@@ -1,0 +1,346 @@
+//! The alternative datapath architectures the paper discusses.
+//!
+//! §4 motivates the mixed 32/128-bit datapath by comparing against a pure
+//! 32-bit datapath ("from 12 [cycles per round] … to 5"), §6 argues that
+//! larger architectures are key-schedule-limited and smaller (8/16-bit)
+//! ones lose on cycle count without winning clock speed, and Table 3
+//! compares against published low-cost (8-bit-style) and high-performance
+//! (fully parallel) cores. This module provides cycle-accurate
+//! encrypt-side models for that design-space sweep.
+
+use core::fmt;
+
+use crate::core::{CoreInputs, CoreOutputs, CoreVariant, CycleCore, ROUNDS};
+use crate::datapath as dp;
+
+/// The datapath design points of the paper's architecture discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AltArch {
+    /// Everything processed 32 bits at a time: 12 cycles per round
+    /// (4 `ByteSub` + 4 `ShiftRow` + 4 `MixColumn`+`AddKey` slices) — the
+    /// paper's explicit baseline.
+    All32,
+    /// The paper's architecture: `ByteSub` at 32 bits, the rest at 128 —
+    /// 5 cycles per round.
+    Mixed32x128,
+    /// Fully parallel 128-bit datapath (16 S-boxes): 1 cycle per round —
+    /// the high-performance comparison point (\[1\] in the paper).
+    Full128,
+    /// An 8-bit serial datapath in the spirit of the low-cost cores of
+    /// Table 3 (\[14\]): 24 cycles per round (16 byte-wide `ByteSub` +
+    /// 4 row-serial `ShiftRow` + 4 column-serial `MixColumn`/`AddKey`
+    /// steps).
+    Serial8,
+}
+
+impl AltArch {
+    /// All design points, smallest datapath first.
+    pub const ALL: [AltArch; 4] =
+        [AltArch::Serial8, AltArch::All32, AltArch::Mixed32x128, AltArch::Full128];
+
+    /// Clock cycles one round occupies.
+    #[must_use]
+    pub const fn cycles_per_round(self) -> u64 {
+        match self {
+            AltArch::Serial8 => 24,
+            AltArch::All32 => 12,
+            AltArch::Mixed32x128 => 5,
+            AltArch::Full128 => 1,
+        }
+    }
+
+    /// Block latency in clock cycles (10 rounds).
+    #[must_use]
+    pub const fn latency_cycles(self) -> u64 {
+        self.cycles_per_round() * ROUNDS
+    }
+
+    /// S-box ROM instances on the encrypt path (datapath + `KStran`).
+    #[must_use]
+    pub const fn sbox_count(self) -> usize {
+        match self {
+            // 1 datapath S-box; the key schedule reuses it over extra
+            // cycles in low-cost designs, plus 1 dedicated.
+            AltArch::Serial8 => 2,
+            // 4 datapath + 4 KStran.
+            AltArch::All32 | AltArch::Mixed32x128 => 8,
+            // 16 datapath + 4 KStran.
+            AltArch::Full128 => 20,
+        }
+    }
+
+    /// Width of the `ByteSub` slice in bits.
+    #[must_use]
+    pub const fn sub_width(self) -> u32 {
+        match self {
+            AltArch::Serial8 => 8,
+            AltArch::All32 | AltArch::Mixed32x128 => 32,
+            AltArch::Full128 => 128,
+        }
+    }
+
+    /// Width of the linear (`ShiftRow`/`MixColumn`/`AddKey`) stage in bits.
+    #[must_use]
+    pub const fn linear_width(self) -> u32 {
+        match self {
+            AltArch::Serial8 => 8,
+            AltArch::All32 => 32,
+            AltArch::Mixed32x128 | AltArch::Full128 => 128,
+        }
+    }
+
+    /// Report name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            AltArch::Serial8 => "serial-8",
+            AltArch::All32 => "all-32",
+            AltArch::Mixed32x128 => "mixed-32/128 (this paper)",
+            AltArch::Full128 => "full-128",
+        }
+    }
+}
+
+impl fmt::Display for AltArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AltFsm {
+    Idle,
+    Running { round: u8, cycle: u64 },
+}
+
+/// A cycle-accurate encrypt core for any [`AltArch`] design point.
+///
+/// Functionally identical to [`crate::core::EncryptCore`] (it is checked
+/// against the same vectors); only the cycle schedule differs.
+///
+/// # Examples
+///
+/// ```
+/// use aes_ip::alt::{AltArch, AltEncryptCore};
+/// use aes_ip::core::{CoreInputs, CycleCore};
+///
+/// let mut core = AltEncryptCore::new(AltArch::Full128);
+/// core.rising_edge(&CoreInputs { setup: true, wr_key: true, din: 0, ..Default::default() });
+/// core.rising_edge(&CoreInputs { wr_data: true, din: 0, ..Default::default() });
+/// let mut out = Default::default();
+/// for _ in 0..core.latency_cycles() {
+///     out = core.rising_edge(&CoreInputs::default());
+/// }
+/// assert!(out.data_ok);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AltEncryptCore {
+    arch: AltArch,
+    key0: u128,
+    round_key: u128,
+    state: u128,
+    data_in: u128,
+    data_in_valid: bool,
+    dout: u128,
+    data_ok: bool,
+    results: u64,
+    fsm: AltFsm,
+}
+
+impl AltEncryptCore {
+    /// Creates a core for the given design point with cleared registers.
+    #[must_use]
+    pub fn new(arch: AltArch) -> Self {
+        AltEncryptCore {
+            arch,
+            key0: 0,
+            round_key: 0,
+            state: 0,
+            data_in: 0,
+            data_in_valid: false,
+            dout: 0,
+            data_ok: false,
+            results: 0,
+            fsm: AltFsm::Idle,
+        }
+    }
+
+    /// The design point this core models.
+    #[must_use]
+    pub fn arch(&self) -> AltArch {
+        self.arch
+    }
+
+    fn consume(&mut self) {
+        self.state = dp::add_key(self.data_in, self.key0);
+        self.round_key = self.key0;
+        self.data_in_valid = false;
+        self.fsm = AltFsm::Running { round: 1, cycle: 1 };
+    }
+
+    /// Applies the complete round transformation. The narrow datapaths
+    /// spread this work over their cycle budget; the model performs it on
+    /// the round's final cycle, which is externally indistinguishable
+    /// (intermediate slices never reach a pin).
+    fn finish_round(&mut self, round: u8) {
+        let mut s = self.state;
+        for c in 0..4 {
+            s = dp::with_column(s, c, dp::byte_sub_word(dp::column(s, c)));
+        }
+        s = dp::shift_rows(s);
+        if u64::from(round) < ROUNDS {
+            s = dp::mix_columns(s);
+        }
+        self.round_key = dp::next_round_key(self.round_key, usize::from(round));
+        s = dp::add_key(s, self.round_key);
+        self.state = s;
+        if u64::from(round) == ROUNDS {
+            self.dout = s;
+            self.data_ok = true;
+            self.results += 1;
+        }
+    }
+}
+
+impl CycleCore for AltEncryptCore {
+    fn rising_edge(&mut self, inputs: &CoreInputs) -> CoreOutputs {
+        if inputs.setup {
+            if inputs.wr_key {
+                self.key0 = inputs.din;
+                self.fsm = AltFsm::Idle;
+                self.data_in_valid = false;
+                self.data_ok = false;
+            }
+            return CoreOutputs { data_ok: self.data_ok, dout: self.dout };
+        }
+        if inputs.wr_data {
+            self.data_in = inputs.din;
+            self.data_in_valid = true;
+        }
+        match self.fsm {
+            AltFsm::Idle => {
+                if self.data_in_valid {
+                    self.consume();
+                }
+            }
+            AltFsm::Running { round, cycle } => {
+                let per_round = self.arch.cycles_per_round();
+                if cycle == per_round {
+                    self.finish_round(round);
+                    if u64::from(round) < ROUNDS {
+                        self.fsm = AltFsm::Running { round: round + 1, cycle: 1 };
+                    } else {
+                        self.fsm = AltFsm::Idle;
+                        if self.data_in_valid {
+                            self.consume();
+                        }
+                    }
+                } else {
+                    self.fsm = AltFsm::Running { round, cycle: cycle + 1 };
+                }
+            }
+        }
+        CoreOutputs { data_ok: self.data_ok, dout: self.dout }
+    }
+
+    fn variant(&self) -> CoreVariant {
+        CoreVariant::Encrypt
+    }
+
+    fn latency_cycles(&self) -> u64 {
+        self.arch.latency_cycles()
+    }
+
+    fn key_setup_cycles(&self) -> u64 {
+        0
+    }
+
+    fn busy(&self) -> bool {
+        !matches!(self.fsm, AltFsm::Idle)
+    }
+
+    fn results_count(&self) -> u64 {
+        self.results
+    }
+
+    fn has_pending(&self) -> bool {
+        self.data_in_valid
+    }
+
+    fn name(&self) -> &'static str {
+        self.arch.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::IpDriver;
+    use crate::core::Direction;
+    use rijndael::vectors::AES128_VECTORS;
+
+    #[test]
+    fn every_design_point_passes_the_vectors() {
+        for arch in AltArch::ALL {
+            for v in AES128_VECTORS {
+                let mut key = [0u8; 16];
+                key.copy_from_slice(v.key);
+                let mut drv = IpDriver::new(AltEncryptCore::new(arch));
+                drv.write_key(&key);
+                let start = drv.cycles();
+                let ct = drv.process_block(&v.plaintext, Direction::Encrypt);
+                assert_eq!(ct, v.ciphertext, "{arch}: {}", v.source);
+                // Load edge + the architecture's processing latency.
+                assert_eq!(
+                    drv.cycles() - start,
+                    1 + arch.latency_cycles(),
+                    "{arch}: latency"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_budgets_match_the_paper() {
+        assert_eq!(AltArch::All32.cycles_per_round(), 12); // paper §4
+        assert_eq!(AltArch::Mixed32x128.cycles_per_round(), 5); // paper §4
+        assert_eq!(AltArch::Mixed32x128.latency_cycles(), 50);
+        assert_eq!(AltArch::Full128.latency_cycles(), 10);
+        // Monotone: wider datapath, fewer cycles.
+        let cycles: Vec<u64> = AltArch::ALL.iter().map(|a| a.latency_cycles()).collect();
+        assert!(cycles.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn sbox_memory_scales_with_width() {
+        let roms: Vec<usize> = AltArch::ALL.iter().map(|a| a.sbox_count()).collect();
+        assert!(roms.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(AltArch::Mixed32x128.sbox_count() * gf256::sbox::SBOX_ROM_BITS, 16384);
+    }
+
+    #[test]
+    fn pipelined_stream_at_each_design_point() {
+        let blocks: Vec<[u8; 16]> = (0..4u8).map(|i| [i.wrapping_mul(17); 16]).collect();
+        let aes = rijndael::Aes128::new(&[3u8; 16]);
+        for arch in AltArch::ALL {
+            let mut drv = IpDriver::new(AltEncryptCore::new(arch));
+            drv.write_key(&[3u8; 16]);
+            let start = drv.cycles();
+            let cts = drv.process_stream(&blocks, Direction::Encrypt);
+            for (b, ct) in blocks.iter().zip(&cts) {
+                assert_eq!(*ct, aes.encrypt_block(b), "{arch}");
+            }
+            let spent = drv.cycles() - start;
+            assert!(
+                spent <= arch.latency_cycles() * 4 + 10,
+                "{arch}: not pipelined ({spent} cycles)"
+            );
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AltArch::Mixed32x128.to_string(), "mixed-32/128 (this paper)");
+        assert_eq!(AltArch::Serial8.to_string(), "serial-8");
+    }
+}

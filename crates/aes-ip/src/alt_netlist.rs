@@ -1,0 +1,575 @@
+//! Gate-level netlists for the alternative datapath architectures.
+//!
+//! The paper's §4/§6 architecture discussion and Table 3 comparison points
+//! are re-derived by pushing real netlists of each design point through
+//! the same synthesis flow as the primary IP:
+//!
+//! * [`AltArch::Full128`] — everything 128 bits wide, 1 cycle/round,
+//!   16 + 4 S-boxes (the high-performance point, \[1\] in the paper);
+//! * [`AltArch::All32`] — everything 32 bits wide, 12 cycles/round
+//!   (4 `ByteSub` + 4 `ShiftRow` + 4 `MixColumn`+`AddKey` slices), the
+//!   paper's explicit baseline;
+//! * [`AltArch::Serial8`] — one 8-bit S-box substituting a byte per
+//!   cycle, a row-serial `ShiftRow` phase and a single shared column unit,
+//!   24 cycles/round (the low-cost point, in the spirit of \[14\]).
+//!
+//! Each generated netlist drives the same pin interface as the primary IP
+//! and is verified against [`crate::alt::AltEncryptCore`] edge by edge in
+//! the tests.
+
+use gf256::SBOX;
+use netlist::ir::{NetId, Netlist};
+
+use crate::alt::AltArch;
+use crate::netlist_gen::RomStyle;
+
+type Byte = [NetId; 8];
+type Bytes = Vec<Byte>;
+
+struct B<'a> {
+    nl: &'a mut Netlist,
+    rom_style: RomStyle,
+}
+
+impl B<'_> {
+    fn sbox(&mut self, addr: &Byte) -> Byte {
+        let out = match self.rom_style {
+            RomStyle::Macro => self.nl.rom256x8(addr, &SBOX),
+            RomStyle::LogicCells => self.nl.rom256x8_lut(addr, &SBOX),
+        };
+        out.try_into().expect("rom emits 8 bits")
+    }
+
+    fn xtime(&mut self, x: &Byte) -> Byte {
+        [
+            x[7],
+            self.nl.xor2(x[0], x[7]),
+            x[1],
+            self.nl.xor2(x[2], x[7]),
+            self.nl.xor2(x[3], x[7]),
+            x[4],
+            x[5],
+            x[6],
+        ]
+    }
+
+    fn xor_bytes(&mut self, terms: &[Byte]) -> Byte {
+        let words: Vec<Vec<NetId>> = terms.iter().map(|t| t.to_vec()).collect();
+        self.nl.xor_many(&words).try_into().expect("byte stays 8 bits")
+    }
+
+    fn mix_column(&mut self, col: &[Byte; 4]) -> [Byte; 4] {
+        let xt: Vec<Byte> = col.iter().map(|b| self.xtime(b)).collect();
+        [
+            self.xor_bytes(&[xt[0], xt[1], col[1], col[2], col[3]]),
+            self.xor_bytes(&[col[0], xt[1], xt[2], col[2], col[3]]),
+            self.xor_bytes(&[col[0], col[1], xt[2], xt[3], col[3]]),
+            self.xor_bytes(&[xt[0], col[0], col[1], col[2], xt[3]]),
+        ]
+    }
+
+    fn mux_byte(&mut self, sel: NetId, a: &Byte, b: &Byte) -> Byte {
+        core::array::from_fn(|i| self.nl.mux2(sel, a[i], b[i]))
+    }
+
+    fn mux_bytes(&mut self, sel: NetId, a: &Bytes, b: &Bytes) -> Bytes {
+        a.iter().zip(b).map(|(x, y)| self.mux_byte(sel, x, y)).collect()
+    }
+
+    fn xor_words(&mut self, a: &Bytes, b: &Bytes) -> Bytes {
+        a.iter().zip(b).map(|(x, y)| self.xor_bytes(&[*x, *y])).collect()
+    }
+
+    /// One-hot AND-OR byte selection.
+    fn select_byte(&mut self, bytes: &[Byte], onehot: &[NetId]) -> Byte {
+        assert_eq!(bytes.len(), onehot.len());
+        core::array::from_fn(|bit| {
+            let mut acc: Option<NetId> = None;
+            for (k, byte) in bytes.iter().enumerate() {
+                let term = self.nl.and2(onehot[k], byte[bit]);
+                acc = Some(match acc {
+                    None => term,
+                    Some(prev) => self.nl.or2(prev, term),
+                });
+            }
+            acc.expect("nonempty selection")
+        })
+    }
+
+    fn rcon_from_onehot(&mut self, onehot: &[NetId], constants: &[u8]) -> Byte {
+        assert_eq!(onehot.len(), constants.len());
+        let zero = self.nl.constant(false);
+        core::array::from_fn(|j| {
+            let mut acc: Option<NetId> = None;
+            for (k, &c) in constants.iter().enumerate() {
+                if (c >> j) & 1 == 1 {
+                    acc = Some(match acc {
+                        None => onehot[k],
+                        Some(prev) => self.nl.or2(prev, onehot[k]),
+                    });
+                }
+            }
+            acc.unwrap_or(zero)
+        })
+    }
+
+    /// Full `KStran` + chain with a dedicated 4-S-box bank.
+    fn next_key_banked(&mut self, key: &Bytes, rcon: &Byte) -> Bytes {
+        let rot = [key[13], key[14], key[15], key[12]];
+        let mut ks: [Byte; 4] = core::array::from_fn(|i| self.sbox(&rot[i]));
+        ks[0] = self.xor_bytes(&[ks[0], *rcon]);
+        self.chain(key, &ks)
+    }
+
+    fn chain(&mut self, key: &Bytes, ks: &[Byte; 4]) -> Bytes {
+        let mut out: Bytes = Vec::with_capacity(16);
+        for i in 0..4 {
+            out.push(self.xor_bytes(&[key[i], ks[i]]));
+        }
+        for w in 1..4 {
+            for i in 0..4 {
+                let prev = out[4 * (w - 1) + i];
+                out.push(self.xor_bytes(&[key[4 * w + i], prev]));
+            }
+        }
+        out
+    }
+}
+
+fn shift_rows_wires(state: &Bytes) -> Bytes {
+    (0..16)
+        .map(|i| {
+            let (c, r) = (i / 4, i % 4);
+            state[4 * ((c + r) % 4) + r]
+        })
+        .collect()
+}
+
+fn bus_to_bytes(bus: &[NetId]) -> Bytes {
+    (0..16).map(|k| core::array::from_fn(|j| bus[(15 - k) * 8 + j])).collect()
+}
+
+fn bytes_to_bus(bytes: &Bytes) -> Vec<NetId> {
+    let mut bus = vec![NetId(0); 128];
+    for (k, byte) in bytes.iter().enumerate() {
+        for (j, &n) in byte.iter().enumerate() {
+            bus[(15 - k) * 8 + j] = n;
+        }
+    }
+    bus
+}
+
+/// Emits an encrypt-only gate-level netlist for the given design point.
+///
+/// The pin interface matches [`crate::netlist_gen::build_core_netlist`]
+/// minus `enc_dec`, so [`crate::gate_sim::GateLevelCore::from_netlist`]
+/// drives it directly.
+///
+/// # Panics
+///
+/// Panics if `arch` is [`AltArch::Mixed32x128`] — use
+/// [`crate::netlist_gen::build_core_netlist`] for the paper's own
+/// architecture.
+#[must_use]
+pub fn build_alt_netlist(arch: AltArch, rom_style: RomStyle) -> Netlist {
+    assert!(
+        arch != AltArch::Mixed32x128,
+        "the paper's architecture is built by netlist_gen::build_core_netlist"
+    );
+    let cycles = arch.cycles_per_round() as usize;
+    let name = format!(
+        "aes128-{}-{}",
+        match arch {
+            AltArch::Full128 => "full128",
+            AltArch::All32 => "all32",
+            AltArch::Serial8 => "serial8",
+            AltArch::Mixed32x128 => unreachable!(),
+        },
+        match rom_style {
+            RomStyle::Macro => "eab",
+            RomStyle::LogicCells => "lcrom",
+        }
+    );
+    let mut nl = Netlist::new(name);
+
+    // Ports.
+    let setup = nl.input("setup");
+    let wr_data = nl.input("wr_data");
+    let wr_key = nl.input("wr_key");
+    let din_bus = nl.input_bus("din", 128);
+
+    // Registers.
+    let state_q = nl.dff_word_uninit(128);
+    let key0_q = nl.dff_word_uninit(128);
+    let round_key_q = nl.dff_word_uninit(128);
+    let data_in_q = nl.dff_word_uninit(128);
+    let dout_q = nl.dff_word_uninit(128);
+    let valid_q = nl.dff_uninit();
+    let data_ok_q = nl.dff_uninit();
+    let busy_q = nl.dff_uninit();
+    let cycle_q = nl.dff_word_uninit(cycles as u32);
+    let round_q = nl.dff_word_uninit(10);
+    // Serial8 accumulates the KStran word one byte at a time.
+    let ks_q = if arch == AltArch::Serial8 { nl.dff_word_uninit(32) } else { Vec::new() };
+
+    let mut b = B { nl: &mut nl, rom_style };
+
+    let din = bus_to_bytes(&din_bus);
+    let state = bus_to_bytes(&state_q);
+    let key0 = bus_to_bytes(&key0_q);
+    let round_key = bus_to_bytes(&round_key_q);
+    let data_in = bus_to_bytes(&data_in_q);
+
+    // Control (same handshake as the primary IP).
+    let op = b.nl.not(setup);
+    let load_key = b.nl.and2(setup, wr_key);
+    let not_load_key = b.nl.not(load_key);
+    let wr_now = b.nl.and2(op, wr_data);
+    let have_data = b.nl.or2(wr_now, valid_q);
+    let last_cycle = cycle_q[cycles - 1];
+    let r10_last = b.nl.and2(round_q[9], last_cycle);
+    let finishing = b.nl.and2(busy_q, r10_last);
+    let not_busy = b.nl.not(busy_q);
+    let free = b.nl.or2(not_busy, finishing);
+    let consume = {
+        let t = b.nl.and2(op, have_data);
+        b.nl.and2(t, free)
+    };
+    let not_consume = b.nl.not(consume);
+
+    let not_finishing = b.nl.not(finishing);
+    let keep_busy = b.nl.and2(busy_q, not_finishing);
+    let busy_d0 = b.nl.or2(consume, keep_busy);
+    let busy_d = b.nl.and2(busy_d0, not_load_key);
+    b.nl.connect_dff(busy_q, busy_d);
+
+    let valid_d0 = b.nl.and2(not_consume, have_data);
+    let valid_d = b.nl.and2(valid_d0, not_load_key);
+    b.nl.connect_dff(valid_q, valid_d);
+
+    // Cycle ring.
+    {
+        let not_r10 = b.nl.not(round_q[9]);
+        let wrap = b.nl.and2(last_cycle, not_r10);
+        let wrap_busy = b.nl.and2(busy_q, wrap);
+        let c1_d0 = b.nl.or2(consume, wrap_busy);
+        let c1_d = b.nl.and2(c1_d0, not_load_key);
+        b.nl.connect_dff(cycle_q[0], c1_d);
+        for k in 0..cycles - 1 {
+            let adv = b.nl.and2(busy_q, cycle_q[k]);
+            let d = b.nl.and2(adv, not_load_key);
+            b.nl.connect_dff(cycle_q[k + 1], d);
+        }
+    }
+
+    // Round ring.
+    {
+        let not_last = b.nl.not(last_cycle);
+        let hold1 = b.nl.and2(round_q[0], not_last);
+        let hold1b = b.nl.and2(busy_q, hold1);
+        let r1_d0 = b.nl.or2(consume, hold1b);
+        let r1_d = b.nl.and2(r1_d0, not_load_key);
+        b.nl.connect_dff(round_q[0], r1_d);
+        for k in 0..9 {
+            let adv = b.nl.and2(round_q[k], last_cycle);
+            let hold = b.nl.and2(round_q[k + 1], not_last);
+            let either = b.nl.or2(adv, hold);
+            let gated = b.nl.and2(busy_q, either);
+            let d = b.nl.and2(gated, not_load_key);
+            b.nl.connect_dff(round_q[k + 1], d);
+        }
+    }
+
+    let rcon_consts: Vec<u8> =
+        (1..=10u32).map(|r| gf256::Gf256::new(2).pow(r - 1).value()).collect();
+    let rcon = b.rcon_from_onehot(&round_q, &rcon_consts);
+
+    // ------------------------------------------------------ architecture
+    // Each arm produces: the state-register writeback (before the consume
+    // override), the stepped round key + its step strobe, and the commit
+    // strobe delivering the round-10 result.
+    let commit_now;
+    let committed: Bytes;
+    let state_active: Bytes;
+    let key_step_now;
+    let key_stepped: Bytes;
+
+    match arch {
+        AltArch::Full128 => {
+            // The whole round in one cycle: 16 S-boxes + shift + mix +
+            // add, key stepped the same cycle.
+            let subbed: Bytes = state.iter().map(|byt| b.sbox(byt)).collect();
+            let shifted = shift_rows_wires(&subbed);
+            let mut mixed: Bytes = Vec::with_capacity(16);
+            for c in 0..4 {
+                let col = [shifted[4 * c], shifted[4 * c + 1], shifted[4 * c + 2], shifted[4 * c + 3]];
+                mixed.extend(b.mix_column(&col));
+            }
+            let not_last_round = b.nl.not(round_q[9]);
+            let linear = b.mux_bytes(not_last_round, &shifted, &mixed);
+            let next_key = b.next_key_banked(&round_key, &rcon);
+            let out = b.xor_words(&linear, &next_key);
+
+            commit_now = b.nl.and2(busy_q, cycle_q[0]);
+            committed = out.clone();
+            state_active = out;
+            key_step_now = commit_now;
+            key_stepped = next_key;
+        }
+        AltArch::All32 => {
+            // Cycles 1-4: ByteSub column c. Cycles 5-8: ShiftRow row r.
+            // Cycles 9-12: MixColumn + AddKey column c. Key at cycle 1.
+            let sub_oh: [NetId; 4] = core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[k]));
+            let shift_oh: [NetId; 4] =
+                core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[4 + k]));
+            let mix_oh: [NetId; 4] =
+                core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[8 + k]));
+
+            // Substitution slice: 4 S-boxes on the selected column.
+            let col_in: [Byte; 4] = core::array::from_fn(|r| {
+                let bytes: Vec<Byte> = (0..4).map(|c| state[4 * c + r]).collect();
+                b.select_byte(&bytes, &sub_oh)
+            });
+            let col_sub: [Byte; 4] = core::array::from_fn(|r| b.sbox(&col_in[r]));
+
+            // Mix slice: one column unit, column selected one-hot; AddKey
+            // with the matching round-key column.
+            let mix_in: [Byte; 4] = core::array::from_fn(|r| {
+                let bytes: Vec<Byte> = (0..4).map(|c| state[4 * c + r]).collect();
+                b.select_byte(&bytes, &mix_oh)
+            });
+            let mixed_col = b.mix_column(&mix_in);
+            let key_col: [Byte; 4] = core::array::from_fn(|r| {
+                let bytes: Vec<Byte> = (0..4).map(|c| round_key[4 * c + r]).collect();
+                b.select_byte(&bytes, &mix_oh)
+            });
+            let not_last_round = b.nl.not(round_q[9]);
+            let lin_col: [Byte; 4] =
+                core::array::from_fn(|r| b.mux_byte(not_last_round, &mix_in[r], &mixed_col[r]));
+            let out_col: [Byte; 4] =
+                core::array::from_fn(|r| b.xor_bytes(&[lin_col[r], key_col[r]]));
+
+            let next_key = b.next_key_banked(&round_key, &rcon);
+
+            // Per-byte writeback.
+            let shifted = shift_rows_wires(&state);
+            let mut active: Bytes = Vec::with_capacity(16);
+            for i in 0..16 {
+                let (c, r) = (i / 4, i % 4);
+                let mut v = state[i];
+                // Substitution writeback for this byte's column.
+                v = b.mux_byte(sub_oh[c], &v, &col_sub[r]);
+                // Shift writeback for this byte's row (row r shifts during
+                // cycle 5+r): the byte takes its ShiftRow source.
+                v = b.mux_byte(shift_oh[r], &v, &shifted[i]);
+                // Mix/AddKey writeback for this byte's column.
+                v = b.mux_byte(mix_oh[c], &v, &out_col[r]);
+                active.push(v);
+            }
+
+            commit_now = b.nl.and2(busy_q, cycle_q[11]);
+            // The committed block is the state after the final column
+            // writeback; assembled per byte: columns 0..2 already updated
+            // in the state register, column 3 from the unit.
+            committed = (0..16)
+                .map(|i| if i / 4 == 3 { out_col[i % 4] } else { state[i] })
+                .collect();
+            state_active = active;
+            key_step_now = b.nl.and2(busy_q, cycle_q[0]);
+            key_stepped = next_key;
+        }
+        AltArch::Serial8 => {
+            // Cycles 1-16: one S-box substitutes byte i (a second S-box
+            // builds the KStran word byte by byte during cycles 1-4).
+            // Cycles 17-20: ShiftRow row r (row ops are independent).
+            // Cycles 21-24: the shared column unit does MixColumn+AddKey
+            // for column c; the round key steps at cycle 20 so the
+            // commits read the new key.
+            let byte_oh: Vec<NetId> =
+                (0..16).map(|k| b.nl.and2(busy_q, cycle_q[k])).collect();
+            let shift_oh: [NetId; 4] =
+                core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[16 + k]));
+            let col_oh: [NetId; 4] =
+                core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[20 + k]));
+
+            let sub_in = b.select_byte(&state, &byte_oh);
+            let sub_out = b.sbox(&sub_in);
+
+            // KStran byte pipeline: cycle j+1 substitutes rotated byte j.
+            let ks_oh: [NetId; 4] = core::array::from_fn(|k| byte_oh[k]);
+            let rot = [round_key[13], round_key[14], round_key[15], round_key[12]];
+            let ks_in = b.select_byte(&rot, &ks_oh);
+            let ks_out = b.sbox(&ks_in);
+            // Accumulate into the 32-bit ks register (byte j at cycle j+1).
+            let ks_bytes: [Byte; 4] =
+                core::array::from_fn(|j| core::array::from_fn(|bit| ks_q[8 * j + bit]));
+            for j in 0..4 {
+                for bit in 0..8 {
+                    let d = b.nl.mux2(ks_oh[j], ks_q[8 * j + bit], ks_out[bit]);
+                    b.nl.connect_dff(ks_q[8 * j + bit], d);
+                }
+            }
+            let mut ks_full = ks_bytes;
+            ks_full[0] = b.xor_bytes(&[ks_full[0], rcon]);
+            let next_key = b.chain(&round_key, &ks_full);
+
+            // Column unit: columns are independent after the shift phase.
+            let mix_in: [Byte; 4] = core::array::from_fn(|r| {
+                let bytes: Vec<Byte> = (0..4).map(|c| state[4 * c + r]).collect();
+                b.select_byte(&bytes, &col_oh)
+            });
+            let mixed_col = b.mix_column(&mix_in);
+            let key_col: [Byte; 4] = core::array::from_fn(|r| {
+                let bytes: Vec<Byte> = (0..4).map(|c| round_key[4 * c + r]).collect();
+                b.select_byte(&bytes, &col_oh)
+            });
+            let not_last_round = b.nl.not(round_q[9]);
+            let lin_col: [Byte; 4] =
+                core::array::from_fn(|r| b.mux_byte(not_last_round, &mix_in[r], &mixed_col[r]));
+            let out_col: [Byte; 4] =
+                core::array::from_fn(|r| b.xor_bytes(&[lin_col[r], key_col[r]]));
+
+            let shifted = shift_rows_wires(&state);
+            let mut active: Bytes = Vec::with_capacity(16);
+            for i in 0..16 {
+                let r = i % 4;
+                let c = i / 4;
+                let mut v = b.mux_byte(byte_oh[i], &state[i], &sub_out);
+                v = b.mux_byte(shift_oh[r], &v, &shifted[i]);
+                v = b.mux_byte(col_oh[c], &v, &out_col[r]);
+                active.push(v);
+            }
+
+            commit_now = b.nl.and2(busy_q, cycle_q[23]);
+            committed = (0..16)
+                .map(|i| if i / 4 == 3 { out_col[i % 4] } else { state[i] })
+                .collect();
+            state_active = active;
+            // Step the round key at the last shift cycle so every column
+            // commit reads the new key.
+            key_step_now = b.nl.and2(busy_q, cycle_q[19]);
+            key_stepped = next_key;
+        }
+        AltArch::Mixed32x128 => unreachable!(),
+    }
+
+    // Consume override on the state register.
+    let din_eff = b.mux_bytes(wr_now, &data_in, &din);
+    let loaded = b.xor_words(&din_eff, &key0);
+    let state_d_bytes: Bytes = (0..16)
+        .map(|i| -> Byte {
+            core::array::from_fn(|j| b.nl.mux2(consume, state_active[i][j], loaded[i][j]))
+        })
+        .collect();
+    let state_d = bytes_to_bus(&state_d_bytes);
+    b.nl.connect_dff_word(&state_q, &state_d);
+
+    // key0 register.
+    for i in 0..128 {
+        let d = b.nl.mux2(load_key, key0_q[i], din_bus[i]);
+        b.nl.connect_dff(key0_q[i], d);
+    }
+
+    // round_key register.
+    {
+        let stepped_bus = bytes_to_bus(&key_stepped);
+        let key0_bus: Vec<NetId> = key0_q.clone();
+        for i in 0..128 {
+            let mut d = b.nl.mux2(key_step_now, round_key_q[i], stepped_bus[i]);
+            d = b.nl.mux2(consume, d, key0_bus[i]);
+            let d = b.nl.mux2(load_key, d, din_bus[i]);
+            b.nl.connect_dff(round_key_q[i], d);
+        }
+    }
+
+    // data_in register.
+    for i in 0..128 {
+        let d = b.nl.mux2(wr_now, data_in_q[i], din_bus[i]);
+        b.nl.connect_dff(data_in_q[i], d);
+    }
+
+    // Output register + handshake.
+    {
+        let final_commit = b.nl.and2(commit_now, round_q[9]);
+        let committed_bus = bytes_to_bus(&committed);
+        for i in 0..128 {
+            let d = b.nl.mux2(final_commit, dout_q[i], committed_bus[i]);
+            b.nl.connect_dff(dout_q[i], d);
+        }
+        let ok_hold = b.nl.or2(data_ok_q, final_commit);
+        let ok_d = b.nl.and2(ok_hold, not_load_key);
+        b.nl.connect_dff(data_ok_q, ok_d);
+    }
+
+    nl.output("data_ok", data_ok_q);
+    nl.output_bus("dout", &dout_q);
+    nl.validate();
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{CoreInputs, CoreVariant, CycleCore};
+    use crate::gate_sim::GateLevelCore;
+    use rijndael::vectors::FIPS197_C1;
+
+    fn check_arch(arch: AltArch) {
+        let nl = build_alt_netlist(arch, RomStyle::Macro);
+        let mut gate = GateLevelCore::from_netlist(nl, CoreVariant::Encrypt);
+        let mut model = crate::alt::AltEncryptCore::new(arch);
+
+        let mut key = [0u8; 16];
+        key.copy_from_slice(FIPS197_C1.key);
+        let key_word = crate::datapath::block_to_u128(&key);
+        let pt_word = crate::datapath::block_to_u128(&FIPS197_C1.plaintext);
+
+        let mut stim = Vec::new();
+        stim.push(CoreInputs { setup: true, wr_key: true, din: key_word, ..Default::default() });
+        stim.push(CoreInputs { wr_data: true, din: pt_word, ..Default::default() });
+        for _ in 0..arch.latency_cycles() + 20 {
+            stim.push(CoreInputs::default());
+        }
+        let mut finished = false;
+        for (t, inputs) in stim.iter().enumerate() {
+            let g = gate.rising_edge(inputs);
+            let m = model.rising_edge(inputs);
+            assert_eq!(g.data_ok, m.data_ok, "{arch}: data_ok diverged at edge {t}");
+            if m.data_ok {
+                assert_eq!(g.dout, m.dout, "{arch}: dout diverged at edge {t}");
+                assert_eq!(
+                    crate::datapath::u128_to_block(g.dout),
+                    FIPS197_C1.ciphertext,
+                    "{arch}: wrong ciphertext"
+                );
+                finished = true;
+            }
+        }
+        assert!(finished, "{arch}: never finished");
+    }
+
+    #[test]
+    fn full128_netlist_matches_model() {
+        check_arch(AltArch::Full128);
+    }
+
+    #[test]
+    fn all32_netlist_matches_model() {
+        check_arch(AltArch::All32);
+    }
+
+    #[test]
+    fn serial8_netlist_matches_model() {
+        check_arch(AltArch::Serial8);
+    }
+
+    #[test]
+    fn sbox_budgets() {
+        assert_eq!(
+            build_alt_netlist(AltArch::Full128, RomStyle::Macro).stats().roms,
+            20
+        );
+        assert_eq!(build_alt_netlist(AltArch::All32, RomStyle::Macro).stats().roms, 8);
+        assert_eq!(build_alt_netlist(AltArch::Serial8, RomStyle::Macro).stats().roms, 2);
+    }
+}

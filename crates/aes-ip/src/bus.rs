@@ -1,0 +1,355 @@
+//! Host-side bus driver for the IP (paper Figures 8–9).
+//!
+//! [`IpDriver`] plays the bus master: it wiggles `setup`/`wr_key`/`wr_data`
+//! with the right timing, counts clock cycles, and exposes both a simple
+//! blocking API and a pipelined streaming API that exploits the decoupled
+//! `Data_In`/`Out` registers (a new block is written while the previous one
+//! is still being processed — the overlap the paper's §4 highlights).
+//!
+//! [`HardwareAes`] adapts a driver to the [`rijndael::BlockCipher`] trait
+//! so the software block-mode implementations (CBC, CTR, ...) run
+//! unmodified over the hardware model.
+
+use std::cell::RefCell;
+use std::fmt;
+
+use rijndael::BlockCipher;
+
+use crate::core::{CoreInputs, CoreOutputs, CycleCore, Direction};
+use crate::datapath::{block_to_u128, u128_to_block};
+
+/// A cycle-counting bus master driving one core.
+///
+/// # Examples
+///
+/// ```
+/// use aes_ip::bus::IpDriver;
+/// use aes_ip::core::{Direction, EncryptCore};
+///
+/// let mut drv = IpDriver::new(EncryptCore::new());
+/// drv.write_key(&[0u8; 16]);
+/// let ct = drv.process_block(&[0u8; 16], Direction::Encrypt);
+/// assert_eq!(ct[0], 0x66); // AES-128 zero vector
+/// // 1 key edge + the load edge + the 50-cycle latency.
+/// assert_eq!(drv.cycles(), 1 + 1 + 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IpDriver<C> {
+    core: C,
+    cycles: u64,
+}
+
+impl<C: CycleCore> IpDriver<C> {
+    /// Wraps a core with a fresh cycle counter.
+    #[must_use]
+    pub fn new(core: C) -> Self {
+        IpDriver { core, cycles: 0 }
+    }
+
+    /// Total rising edges issued so far.
+    #[inline]
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Immutable access to the wrapped core.
+    #[inline]
+    #[must_use]
+    pub fn core(&self) -> &C {
+        &self.core
+    }
+
+    /// Consumes the driver and returns the core.
+    #[must_use]
+    pub fn into_inner(self) -> C {
+        self.core
+    }
+
+    /// Issues one rising edge.
+    pub fn clock(&mut self, inputs: &CoreInputs) -> CoreOutputs {
+        self.cycles += 1;
+        self.core.rising_edge(inputs)
+    }
+
+    /// Idles the core for `n` cycles.
+    pub fn idle(&mut self, n: u64) {
+        for _ in 0..n {
+            self.clock(&CoreInputs::default());
+        }
+    }
+
+    /// Loads a cipher key: one `setup`+`wr_key` edge followed by the
+    /// key-setup walk the core variant requires (10 extra `setup` edges
+    /// for decrypt-capable devices).
+    pub fn write_key(&mut self, key: &[u8; 16]) {
+        self.clock(&CoreInputs {
+            setup: true,
+            wr_key: true,
+            din: block_to_u128(key),
+            ..Default::default()
+        });
+        for _ in 0..self.core.key_setup_cycles() {
+            self.clock(&CoreInputs { setup: true, ..Default::default() });
+        }
+    }
+
+    /// Processes one block and blocks until `data_ok`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core fails to deliver a result within 16× its rated
+    /// latency (a wedged model).
+    pub fn process_block(&mut self, block: &[u8; 16], dir: Direction) -> [u8; 16] {
+        let before = self.core.results_count();
+        let mut out = self.clock(&CoreInputs {
+            wr_data: true,
+            din: block_to_u128(block),
+            enc_dec: dir,
+            ..Default::default()
+        });
+        let budget = 16 * self.core.latency_cycles().max(1);
+        let mut waited = 0;
+        while self.core.results_count() == before {
+            out = self.clock(&CoreInputs { enc_dec: dir, ..Default::default() });
+            waited += 1;
+            assert!(waited <= budget, "core wedged: no result after {waited} cycles");
+        }
+        u128_to_block(out.dout)
+    }
+
+    /// Processes a stream of blocks, pipelined: the next block is written
+    /// while the current one is in flight, sustaining one block per
+    /// latency period (the paper's full-rate operation).
+    ///
+    /// Returns the processed blocks in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core wedges (no completion within 16× latency).
+    pub fn process_stream(&mut self, blocks: &[[u8; 16]], dir: Direction) -> Vec<[u8; 16]> {
+        let mut results = Vec::with_capacity(blocks.len());
+        let mut next_write = 0usize;
+        let mut last_results = self.core.results_count();
+        let budget = 16 * self.core.latency_cycles().max(1) * (blocks.len() as u64 + 1);
+        let mut spent = 0u64;
+
+        while results.len() < blocks.len() {
+            let inputs = if next_write < blocks.len() && !self.core.has_pending() {
+                let din = block_to_u128(&blocks[next_write]);
+                next_write += 1;
+                CoreInputs { wr_data: true, din, enc_dec: dir, ..Default::default() }
+            } else {
+                CoreInputs { enc_dec: dir, ..Default::default() }
+            };
+            let out = self.clock(&inputs);
+            let now = self.core.results_count();
+            if now > last_results {
+                // With a single Out register, completions arrive one at a
+                // time: each block takes ≥1 cycle past the previous one.
+                debug_assert_eq!(now, last_results + 1, "missed a completion");
+                results.push(u128_to_block(out.dout));
+                last_results = now;
+            }
+            spent += 1;
+            assert!(spent <= budget, "stream wedged after {spent} cycles");
+        }
+        results
+    }
+
+}
+
+/// Adapter running the [`rijndael::modes`] implementations over a hardware
+/// core model.
+///
+/// # Examples
+///
+/// ```
+/// use aes_ip::bus::HardwareAes;
+/// use aes_ip::core::EncDecCore;
+/// use rijndael::modes::Cbc;
+///
+/// let hw = HardwareAes::new(EncDecCore::new(), &[0u8; 16]);
+/// let mut data = vec![0u8; 48];
+/// Cbc::encrypt(&hw, &[0u8; 16], &mut data)?;
+/// Cbc::decrypt(&hw, &[0u8; 16], &mut data)?;
+/// assert_eq!(data, vec![0u8; 48]);
+/// # Ok::<(), rijndael::modes::LengthError>(())
+/// ```
+pub struct HardwareAes<C> {
+    driver: RefCell<IpDriver<C>>,
+}
+
+impl<C: CycleCore> HardwareAes<C> {
+    /// Wraps a core and loads `key`.
+    #[must_use]
+    pub fn new(core: C, key: &[u8; 16]) -> Self {
+        let mut driver = IpDriver::new(core);
+        driver.write_key(key);
+        HardwareAes { driver: RefCell::new(driver) }
+    }
+
+    /// Total clock cycles consumed so far (key setup included).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.driver.borrow().cycles()
+    }
+}
+
+impl<C: CycleCore> BlockCipher for HardwareAes<C> {
+    fn block_len(&self) -> usize {
+        16
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the wrapped core cannot encrypt, or `block.len() != 16`.
+    fn encrypt_in_place(&self, block: &mut [u8]) {
+        let arr: [u8; 16] = block.try_into().expect("AES block is 16 bytes");
+        assert!(
+            self.driver.borrow().core().variant().supports_encrypt(),
+            "core variant cannot encrypt"
+        );
+        let out = self.driver.borrow_mut().process_block(&arr, Direction::Encrypt);
+        block.copy_from_slice(&out);
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the wrapped core cannot decrypt, or `block.len() != 16`.
+    fn decrypt_in_place(&self, block: &mut [u8]) {
+        let arr: [u8; 16] = block.try_into().expect("AES block is 16 bytes");
+        assert!(
+            self.driver.borrow().core().variant().supports_decrypt(),
+            "core variant cannot decrypt"
+        );
+        let out = self.driver.borrow_mut().process_block(&arr, Direction::Decrypt);
+        block.copy_from_slice(&out);
+    }
+}
+
+impl<C: CycleCore> fmt::Debug for HardwareAes<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HardwareAes {{ variant: {}, cycles: {} }}",
+            self.driver.borrow().core().variant(),
+            self.cycles()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{DecryptCore, EncDecCore, EncryptCore, LATENCY_CYCLES};
+    use rijndael::modes::{Cbc, Ctr, Ecb};
+    use rijndael::vectors::{AES128_VECTORS, FIPS197_C1};
+
+    #[test]
+    fn driver_single_block_latency_budget() {
+        let mut drv = IpDriver::new(EncryptCore::new());
+        let mut key = [0u8; 16];
+        key.copy_from_slice(FIPS197_C1.key);
+        drv.write_key(&key);
+        assert_eq!(drv.cycles(), 1); // encrypt-only: no setup walk
+        let ct = drv.process_block(&FIPS197_C1.plaintext, Direction::Encrypt);
+        assert_eq!(ct, FIPS197_C1.ciphertext);
+        // Key edge + load edge + 50 processing edges.
+        assert_eq!(drv.cycles(), 1 + 1 + LATENCY_CYCLES);
+    }
+
+    #[test]
+    fn decrypt_driver_includes_setup_walk() {
+        let mut drv = IpDriver::new(DecryptCore::new());
+        let mut key = [0u8; 16];
+        key.copy_from_slice(FIPS197_C1.key);
+        drv.write_key(&key);
+        assert_eq!(drv.cycles(), 1 + 10);
+        let pt = drv.process_block(&FIPS197_C1.ciphertext, Direction::Decrypt);
+        assert_eq!(pt, FIPS197_C1.plaintext);
+    }
+
+    #[test]
+    fn stream_is_pipelined_at_one_block_per_latency() {
+        let mut drv = IpDriver::new(EncryptCore::new());
+        drv.write_key(&[0u8; 16]);
+        let start = drv.cycles();
+        let blocks: Vec<[u8; 16]> = (0..8u8).map(|i| [i; 16]).collect();
+        let cts = drv.process_stream(&blocks, Direction::Encrypt);
+        assert_eq!(cts.len(), 8);
+        // Verify each against the reference cipher.
+        let aes = rijndael::Aes128::new(&[0u8; 16]);
+        for (b, ct) in blocks.iter().zip(&cts) {
+            assert_eq!(*ct, aes.encrypt_block(b));
+        }
+        let spent = drv.cycles() - start;
+        // Full-rate: ~50 cycles per block, not ~50 per block plus drain.
+        assert!(
+            spent <= LATENCY_CYCLES * 8 + 10,
+            "stream not pipelined: {spent} cycles for 8 blocks"
+        );
+        assert!(spent >= LATENCY_CYCLES * 8, "faster than physically possible");
+    }
+
+    #[test]
+    fn stream_with_identical_blocks_keeps_count() {
+        // All-same plaintexts produce all-same ciphertexts; the completion
+        // counter must still see every block.
+        let mut drv = IpDriver::new(EncryptCore::new());
+        drv.write_key(&[7u8; 16]);
+        let blocks = vec![[0xABu8; 16]; 5];
+        let cts = drv.process_stream(&blocks, Direction::Encrypt);
+        assert_eq!(cts.len(), 5);
+        assert!(cts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn hardware_aes_runs_modes() {
+        let key = [0x42u8; 16];
+        let hw = HardwareAes::new(EncDecCore::new(), &key);
+        let sw = rijndael::Aes128::new(&key);
+
+        let mut hw_data = vec![0x11u8; 64];
+        let mut sw_data = hw_data.clone();
+        Cbc::encrypt(&hw, &[9u8; 16], &mut hw_data).unwrap();
+        Cbc::encrypt(&sw, &[9u8; 16], &mut sw_data).unwrap();
+        assert_eq!(hw_data, sw_data);
+        Cbc::decrypt(&hw, &[9u8; 16], &mut hw_data).unwrap();
+        assert_eq!(hw_data, vec![0x11u8; 64]);
+
+        let mut stream = vec![5u8; 30];
+        Ctr::apply(&hw, &[0u8; 16], &mut stream);
+        let mut expect = vec![5u8; 30];
+        Ctr::apply(&sw, &[0u8; 16], &mut expect);
+        assert_eq!(stream, expect);
+    }
+
+    #[test]
+    fn hardware_aes_all_vectors_via_ecb() {
+        for v in AES128_VECTORS {
+            let mut key = [0u8; 16];
+            key.copy_from_slice(v.key);
+            let hw = HardwareAes::new(EncDecCore::new(), &key);
+            let mut data = v.plaintext.to_vec();
+            Ecb::encrypt(&hw, &mut data).unwrap();
+            assert_eq!(&data[..], &v.ciphertext[..], "{}", v.source);
+            Ecb::decrypt(&hw, &mut data).unwrap();
+            assert_eq!(&data[..], &v.plaintext[..], "{}", v.source);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot decrypt")]
+    fn encrypt_only_hardware_rejects_decrypt() {
+        let hw = HardwareAes::new(EncryptCore::new(), &[0u8; 16]);
+        let mut block = [0u8; 16];
+        hw.decrypt_in_place(&mut block);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let hw = HardwareAes::new(EncryptCore::new(), &[0u8; 16]);
+        assert!(format!("{hw:?}").contains("variant: Encrypt"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Combinational datapath slices of the IP, as pure functions.
+//!
+//! Each function models one hardware block of the paper's architecture:
+//! the 32-bit `ByteSub` slice backed by 4 S-box ROMs, the 128-bit
+//! `ShiftRow` (pure wiring), the 128-bit `MixColumn` XOR network, the
+//! 128-bit `AddKey`, and the `KStran`-based on-the-fly round-key steps.
+//! The cycle-accurate cores in [`crate::core`] sequence these; the netlist
+//! generators in [`crate::netlist_gen`] emit the same blocks as gates.
+//!
+//! # Bit conventions
+//!
+//! A 128-bit block is held as a `u128` with wire byte 0 (the first byte on
+//! `din`) in the most-significant position. Column `c` of the state is then
+//! bits `127-32c .. 96-32c`, matching the `state_t` layout of the paper's
+//! Figure 1.
+
+use gf256::{sbox, GfPoly4};
+
+/// Converts a block from wire bytes to the internal `u128` form.
+#[inline]
+#[must_use]
+pub fn block_to_u128(bytes: &[u8; 16]) -> u128 {
+    u128::from_be_bytes(*bytes)
+}
+
+/// Converts the internal `u128` form back to wire bytes.
+#[inline]
+#[must_use]
+pub fn u128_to_block(value: u128) -> [u8; 16] {
+    value.to_be_bytes()
+}
+
+/// Extracts state column `c` (0..4) as a 32-bit word.
+///
+/// # Panics
+///
+/// Panics if `c >= 4`.
+#[inline]
+#[must_use]
+pub fn column(state: u128, c: usize) -> u32 {
+    assert!(c < 4, "column index out of range");
+    (state >> (96 - 32 * c)) as u32
+}
+
+/// Replaces state column `c` (0..4).
+///
+/// # Panics
+///
+/// Panics if `c >= 4`.
+#[inline]
+#[must_use]
+pub fn with_column(state: u128, c: usize, word: u32) -> u128 {
+    assert!(c < 4, "column index out of range");
+    let shift = 96 - 32 * c;
+    (state & !(0xFFFF_FFFFu128 << shift)) | (u128::from(word) << shift)
+}
+
+/// The 32-bit `ByteSub` slice: four parallel S-box ROM lookups
+/// (one column per clock in the paper's datapath).
+#[inline]
+#[must_use]
+pub fn byte_sub_word(word: u32) -> u32 {
+    let b = word.to_be_bytes();
+    u32::from_be_bytes([sbox::sub(b[0]), sbox::sub(b[1]), sbox::sub(b[2]), sbox::sub(b[3])])
+}
+
+/// The 32-bit `IByteSub` slice (four inverse S-box ROMs).
+#[inline]
+#[must_use]
+pub fn inv_byte_sub_word(word: u32) -> u32 {
+    let b = word.to_be_bytes();
+    u32::from_be_bytes([
+        sbox::inv_sub(b[0]),
+        sbox::inv_sub(b[1]),
+        sbox::inv_sub(b[2]),
+        sbox::inv_sub(b[3]),
+    ])
+}
+
+/// 128-bit `ShiftRow`: row `r` rotates left by `r` columns. In hardware
+/// this is wiring only — zero logic cells, which is why the paper builds it
+/// at the full 128 bits.
+#[must_use]
+pub fn shift_rows(state: u128) -> u128 {
+    let b = u128_to_block(state);
+    let mut out = [0u8; 16];
+    for c in 0..4 {
+        for r in 0..4 {
+            out[4 * c + r] = b[4 * ((c + r) % 4) + r];
+        }
+    }
+    block_to_u128(&out)
+}
+
+/// 128-bit `IShiftRow`: row `r` rotates right by `r` columns
+/// (paper Figure 6).
+#[must_use]
+pub fn inv_shift_rows(state: u128) -> u128 {
+    let b = u128_to_block(state);
+    let mut out = [0u8; 16];
+    for c in 0..4 {
+        for r in 0..4 {
+            out[4 * c + r] = b[4 * ((c + 4 - r) % 4) + r];
+        }
+    }
+    block_to_u128(&out)
+}
+
+/// 128-bit `MixColumn` (paper Figure 7): four parallel column multipliers
+/// by `c(x) = {03}x³ + {01}x² + {01}x + {02}`.
+#[must_use]
+pub fn mix_columns(state: u128) -> u128 {
+    let mut out = state;
+    for c in 0..4 {
+        let col = column(state, c).to_be_bytes();
+        let mixed = GfPoly4::MIX_COLUMN.apply_column(col);
+        out = with_column(out, c, u32::from_be_bytes(mixed));
+    }
+    out
+}
+
+/// 128-bit `IMixColumn`: multipliers by `d(x) = {0B}x³+{0D}x²+{09}x+{0E}`.
+#[must_use]
+pub fn inv_mix_columns(state: u128) -> u128 {
+    let mut out = state;
+    for c in 0..4 {
+        let col = column(state, c).to_be_bytes();
+        let mixed = GfPoly4::INV_MIX_COLUMN.apply_column(col);
+        out = with_column(out, c, u32::from_be_bytes(mixed));
+    }
+    out
+}
+
+/// 128-bit `AddKey`: a plain XOR plane. Self-inverse.
+#[inline]
+#[must_use]
+pub fn add_key(state: u128, round_key: u128) -> u128 {
+    state ^ round_key
+}
+
+/// One forward on-the-fly key-schedule step: derives round key `round`
+/// from round key `round - 1`.
+///
+/// `KStran` (rotate + 4 S-boxes + Rcon) feeds word 0; words 1–3 are chained
+/// XORs — the structure of the paper's Figure 3 feeding the `Add Key`
+/// plane.
+///
+/// # Panics
+///
+/// Panics if `round == 0` (round key 0 is the cipher key itself).
+#[must_use]
+pub fn next_round_key(prev: u128, round: usize) -> u128 {
+    assert!(round >= 1, "round key 0 is the cipher key");
+    let u: [u32; 4] = core::array::from_fn(|c| column(prev, c));
+    let mut v = [0u32; 4];
+    v[0] = u[0] ^ kstran_word(u[3], round);
+    v[1] = u[1] ^ v[0];
+    v[2] = u[2] ^ v[1];
+    v[3] = u[3] ^ v[2];
+    pack_key(v)
+}
+
+/// One backward on-the-fly key-schedule step: derives round key
+/// `round - 1` from round key `round` (used by the decrypt core, which
+/// walks the schedule in reverse after computing the final round key once
+/// during `setup`).
+///
+/// # Panics
+///
+/// Panics if `round == 0`.
+#[must_use]
+pub fn prev_round_key(next: u128, round: usize) -> u128 {
+    assert!(round >= 1, "round key 0 has no predecessor");
+    let v: [u32; 4] = core::array::from_fn(|c| column(next, c));
+    let mut u = [0u32; 4];
+    u[3] = v[3] ^ v[2];
+    u[2] = v[2] ^ v[1];
+    u[1] = v[1] ^ v[0];
+    u[0] = v[0] ^ kstran_word(u[3], round);
+    pack_key(u)
+}
+
+/// The `KStran` word function: `SubWord(RotWord(w)) ^ Rcon[round]`.
+///
+/// Uses the same 4-S-box hardware slice as one `ByteSub` step — the reason
+/// the encrypt core holds 8 S-boxes total (4 datapath + 4 key schedule).
+#[must_use]
+pub fn kstran_word(w: u32, round: usize) -> u32 {
+    byte_sub_word(w.rotate_left(8)) ^ rcon_word(round)
+}
+
+/// Round constant as a 32-bit word (`x^(round-1)` in the top byte).
+///
+/// # Panics
+///
+/// Panics if `round == 0`.
+#[must_use]
+pub fn rcon_word(round: usize) -> u32 {
+    assert!(round >= 1, "round constants are 1-indexed");
+    u32::from(gf256::Gf256::new(2).pow((round - 1) as u32).value()) << 24
+}
+
+fn pack_key(words: [u32; 4]) -> u128 {
+    words
+        .iter()
+        .fold(0u128, |acc, &w| (acc << 32) | u128::from(w))
+}
+
+/// Computes round key `n` by iterating [`next_round_key`] from the cipher
+/// key — the operation the decrypt core performs during its `setup`
+/// period (10 clock cycles for AES-128).
+#[must_use]
+pub fn round_key_at(cipher_key: u128, n: usize) -> u128 {
+    let mut k = cipher_key;
+    for round in 1..=n {
+        k = next_round_key(k, round);
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rijndael::{KeySchedule, State};
+
+    const FIPS_KEY: [u8; 16] = [
+        0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+        0x3C,
+    ];
+
+    fn ref_state(x: u128) -> State<4> {
+        State::from_bytes(&u128_to_block(x))
+    }
+
+    fn from_ref(st: &State<4>) -> u128 {
+        block_to_u128(&st.to_bytes())
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
+        assert_eq!(u128_to_block(block_to_u128(&bytes)), bytes);
+        assert_eq!(block_to_u128(&bytes) >> 120, 0x00);
+        assert_eq!(block_to_u128(&bytes) & 0xFF, 0x0F);
+    }
+
+    #[test]
+    fn column_extraction_matches_state() {
+        let bytes: [u8; 16] = core::array::from_fn(|i| (i * 7 + 3) as u8);
+        let x = block_to_u128(&bytes);
+        let st = State::<4>::from_bytes(&bytes);
+        for c in 0..4 {
+            assert_eq!(column(x, c), st.column_word(c));
+        }
+        let y = with_column(x, 2, 0xAABB_CCDD);
+        assert_eq!(column(y, 2), 0xAABB_CCDD);
+        assert_eq!(column(y, 1), column(x, 1));
+    }
+
+    #[test]
+    fn byte_sub_word_is_four_sboxes() {
+        assert_eq!(byte_sub_word(0x0053_00FF), {
+            u32::from_be_bytes([
+                gf256::sbox::sub(0x00),
+                gf256::sbox::sub(0x53),
+                gf256::sbox::sub(0x00),
+                gf256::sbox::sub(0xFF),
+            ])
+        });
+        for w in [0u32, 0xFFFF_FFFF, 0x0123_4567] {
+            assert_eq!(inv_byte_sub_word(byte_sub_word(w)), w);
+        }
+    }
+
+    #[test]
+    fn shift_rows_matches_reference() {
+        let bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let x = block_to_u128(&bytes);
+        let mut st = State::<4>::from_bytes(&bytes);
+        rijndael::transform::shift_row(&mut st);
+        assert_eq!(shift_rows(x), from_ref(&st));
+        assert_eq!(inv_shift_rows(shift_rows(x)), x);
+
+        let mut st2 = ref_state(x);
+        rijndael::transform::inv_shift_row(&mut st2);
+        assert_eq!(inv_shift_rows(x), from_ref(&st2));
+    }
+
+    #[test]
+    fn mix_columns_matches_reference() {
+        for seed in 0u8..8 {
+            let bytes: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(29) ^ seed);
+            let x = block_to_u128(&bytes);
+            let mut st = State::<4>::from_bytes(&bytes);
+            rijndael::transform::mix_column(&mut st);
+            assert_eq!(mix_columns(x), from_ref(&st), "seed {seed}");
+            assert_eq!(inv_mix_columns(mix_columns(x)), x);
+        }
+    }
+
+    #[test]
+    fn key_steps_match_stored_schedule() {
+        let ks = KeySchedule::expand(&FIPS_KEY, 4).unwrap();
+        let pack = |round: usize| {
+            ks.round_key(round)
+                .iter()
+                .fold(0u128, |acc, &w| (acc << 32) | u128::from(w))
+        };
+        let mut k = block_to_u128(&FIPS_KEY);
+        assert_eq!(k, pack(0));
+        for round in 1..=10 {
+            k = next_round_key(k, round);
+            assert_eq!(k, pack(round), "forward step at round {round}");
+        }
+        // Walk back down.
+        for round in (1..=10).rev() {
+            k = prev_round_key(k, round);
+            assert_eq!(k, pack(round - 1), "backward step at round {round}");
+        }
+    }
+
+    #[test]
+    fn round_key_at_jumps_to_final_key() {
+        let ks = KeySchedule::expand(&FIPS_KEY, 4).unwrap();
+        let expect = ks
+            .round_key(10)
+            .iter()
+            .fold(0u128, |acc, &w| (acc << 32) | u128::from(w));
+        assert_eq!(round_key_at(block_to_u128(&FIPS_KEY), 10), expect);
+        assert_eq!(round_key_at(block_to_u128(&FIPS_KEY), 0), block_to_u128(&FIPS_KEY));
+    }
+
+    #[test]
+    fn kstran_matches_reference() {
+        for (w, r) in [(0x09CF_4F3Cu32, 1usize), (0xDEAD_BEEF, 7), (0, 10)] {
+            assert_eq!(kstran_word(w, r), rijndael::key_schedule::kstran(w, r));
+        }
+    }
+
+    #[test]
+    fn full_round_composition_matches_reference_cipher() {
+        // Compose one full encryption from datapath slices and compare with
+        // the reference block encryption.
+        let cipher = rijndael::Rijndael::<4>::new(&FIPS_KEY).unwrap();
+        let pt: [u8; 16] = core::array::from_fn(|i| (i * 13 + 1) as u8);
+        let mut expect = pt;
+        cipher.encrypt(&mut expect);
+
+        let mut state = add_key(block_to_u128(&pt), block_to_u128(&FIPS_KEY));
+        let mut key = block_to_u128(&FIPS_KEY);
+        for round in 1..=10 {
+            // 32-bit ByteSub, one column per "cycle".
+            for c in 0..4 {
+                state = with_column(state, c, byte_sub_word(column(state, c)));
+            }
+            state = shift_rows(state);
+            if round < 10 {
+                state = mix_columns(state);
+            }
+            key = next_round_key(key, round);
+            state = add_key(state, key);
+        }
+        assert_eq!(u128_to_block(state), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of range")]
+    fn column_bounds() {
+        let _ = column(0, 4);
+    }
+}

@@ -1,0 +1,281 @@
+//! Single-event-upset (SEU) fault injection.
+//!
+//! The paper's §6 points to a companion effort, "Testing a Rijndael VHDL
+//! Description to Single Event Upsets" \[16\], and motivates a
+//! radiation-hardened variant. This module reproduces that experiment's
+//! methodology on the gate-level model: flip one flip-flop at one clock
+//! cycle during an encryption and classify what reaches the pins.
+//!
+//! Outcomes mirror the SEU literature:
+//!
+//! * **masked** — the correct ciphertext still comes out on time (the
+//!   upset hit state that was dead or about to be overwritten);
+//! * **corrupted** — `data_ok` rises on schedule but the ciphertext is
+//!   wrong (for upsets in the datapath, AES diffusion turns one flipped
+//!   bit into ~half the output bits — detectable only with end-to-end
+//!   checks);
+//! * **hung** — the control rings lost their one-hot token and the device
+//!   never delivers (detectable by timeout/watchdog).
+
+use crate::core::{CoreInputs, CoreOutputs, CoreVariant, CycleCore};
+use crate::datapath::{block_to_u128, u128_to_block};
+use crate::gate_sim::GateLevelCore;
+use crate::netlist_gen::RomStyle;
+
+/// What an injected upset did to the visible behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeuOutcome {
+    /// Correct ciphertext, on time.
+    Masked,
+    /// Wrong ciphertext delivered with a valid handshake.
+    Corrupted {
+        /// Hamming distance between the delivered and correct outputs.
+        wrong_bits: u32,
+    },
+    /// No result within the watchdog window.
+    Hung,
+}
+
+/// One injection's bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct SeuTrial {
+    /// Flip-flop index (into the gate-level core's register file).
+    pub ff_index: usize,
+    /// Clock cycle of the upset, counted from the data-write edge.
+    pub at_cycle: u64,
+    /// Result classification.
+    pub outcome: SeuOutcome,
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, Default)]
+pub struct SeuCampaign {
+    /// Every trial, in injection order.
+    pub trials: Vec<SeuTrial>,
+}
+
+impl SeuCampaign {
+    /// Fraction of upsets with no visible effect.
+    #[must_use]
+    pub fn masked_rate(&self) -> f64 {
+        self.rate(|o| matches!(o, SeuOutcome::Masked))
+    }
+
+    /// Fraction delivering a wrong result with a good handshake — the
+    /// dangerous class.
+    #[must_use]
+    pub fn corrupted_rate(&self) -> f64 {
+        self.rate(|o| matches!(o, SeuOutcome::Corrupted { .. }))
+    }
+
+    /// Fraction that wedged the control and never delivered.
+    #[must_use]
+    pub fn hung_rate(&self) -> f64 {
+        self.rate(|o| matches!(o, SeuOutcome::Hung))
+    }
+
+    /// Mean Hamming distance of corrupted outputs.
+    #[must_use]
+    pub fn mean_wrong_bits(&self) -> f64 {
+        let (sum, n) = self.trials.iter().fold((0u64, 0u64), |(s, n), t| match t.outcome {
+            SeuOutcome::Corrupted { wrong_bits } => (s + u64::from(wrong_bits), n + 1),
+            _ => (s, n),
+        });
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    fn rate(&self, pred: impl Fn(&SeuOutcome) -> bool) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().filter(|t| pred(&t.outcome)).count() as f64
+            / self.trials.len() as f64
+    }
+}
+
+/// Injects one SEU during an encryption and classifies the outcome.
+///
+/// The upset flips flip-flop `ff_index` on clock cycle `at_cycle`
+/// (0 = the data-write edge). The watchdog allows 4× the rated latency.
+///
+/// # Panics
+///
+/// Panics if `ff_index` is out of range for the variant's register file.
+#[must_use]
+pub fn inject_seu(
+    variant: CoreVariant,
+    rom_style: RomStyle,
+    key: &[u8; 16],
+    plaintext: &[u8; 16],
+    ff_index: usize,
+    at_cycle: u64,
+) -> SeuOutcome {
+    // The golden result matches what the variant does with the block: the
+    // decrypt-only device deciphers its input.
+    let golden = {
+        let aes = rijndael::Aes128::new(key);
+        if variant == CoreVariant::Decrypt {
+            aes.decrypt_block(plaintext)
+        } else {
+            aes.encrypt_block(plaintext)
+        }
+    };
+
+    let mut core = GateLevelCore::new(variant, rom_style);
+    core.rising_edge(&CoreInputs {
+        setup: true,
+        wr_key: true,
+        din: block_to_u128(key),
+        ..Default::default()
+    });
+    for _ in 0..core.key_setup_cycles() {
+        core.rising_edge(&CoreInputs { setup: true, ..Default::default() });
+    }
+
+    core.rising_edge(&CoreInputs {
+        wr_data: true,
+        din: block_to_u128(plaintext),
+        ..Default::default()
+    });
+    if at_cycle == 0 {
+        core.flip_ff(ff_index);
+    }
+    let watchdog = 4 * core.latency_cycles();
+    let mut delivered: Option<CoreOutputs> = None;
+    for cycle in 1..=watchdog {
+        let out = core.rising_edge(&CoreInputs::default());
+        if cycle == at_cycle {
+            core.flip_ff(ff_index);
+        }
+        if core.results_count() > 0 {
+            delivered = Some(out);
+            break;
+        }
+    }
+
+    match delivered {
+        None => SeuOutcome::Hung,
+        Some(res) => {
+            let got = u128_to_block(res.dout);
+            if got == golden {
+                SeuOutcome::Masked
+            } else {
+                let wrong_bits =
+                    (block_to_u128(&got) ^ block_to_u128(&golden)).count_ones();
+                SeuOutcome::Corrupted { wrong_bits }
+            }
+        }
+    }
+}
+
+/// Runs a campaign of `trials` random injections (deterministic per
+/// `seed`), upsets uniformly spread over the register file and the
+/// 50-cycle block window.
+#[must_use]
+pub fn run_campaign(
+    variant: CoreVariant,
+    rom_style: RomStyle,
+    trials: usize,
+    seed: u64,
+) -> SeuCampaign {
+    // Small deterministic PRNG (xorshift) to avoid external dependencies
+    // in the library crate.
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let probe = GateLevelCore::new(variant, rom_style);
+    let ff_count = probe.dff_count();
+    let latency = probe.latency_cycles();
+    drop(probe);
+
+    let key: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(0x11) ^ 0x2B);
+    let pt: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(0x1F) ^ 0x77);
+
+    let mut campaign = SeuCampaign::default();
+    for _ in 0..trials {
+        let ff_index = (next() as usize) % ff_count;
+        let at_cycle = next() % latency;
+        let outcome = inject_seu(variant, rom_style, &key, &pt, ff_index, at_cycle);
+        campaign.trials.push(SeuTrial { ff_index, at_cycle, outcome });
+    }
+    campaign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 16] = [0x2Bu8; 16];
+    const PT: [u8; 16] = [0x77u8; 16];
+
+    #[test]
+    fn no_injection_is_clean() {
+        // Sanity: the harness itself (ff flipped twice = restored... no:
+        // use an upset far after completion, cycle > latency is never
+        // reached because the loop breaks at the result).
+        let out = inject_seu(CoreVariant::Encrypt, RomStyle::Macro, &KEY, &PT, 0, 199);
+        assert_eq!(out, SeuOutcome::Masked);
+    }
+
+    #[test]
+    fn datapath_upset_diffuses() {
+        // Find an upset that corrupts, and check the avalanche: a wrong
+        // result should have many wrong bits when hit early.
+        let mut saw_diffusion = false;
+        for ff in (0..600).step_by(37) {
+            if let SeuOutcome::Corrupted { wrong_bits } =
+                inject_seu(CoreVariant::Encrypt, RomStyle::Macro, &KEY, &PT, ff, 7)
+            {
+                if wrong_bits >= 32 {
+                    saw_diffusion = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_diffusion, "no early datapath upset diffused into >=32 output bits");
+    }
+
+    #[test]
+    fn late_state_upset_flips_exactly_one_bit() {
+        // An upset in the state register on the last ByteSub cycle of
+        // round 10 (cycle 49) only passes through ShiftRow + AddKey —
+        // both bit-preserving — so exactly one ciphertext bit flips. This
+        // is the signature [16]-style campaigns use to distinguish
+        // diffused (early) from late upsets.
+        let mut ones = 0;
+        // The state register is the first 128-FF group by construction.
+        for ff in (0..128).step_by(7) {
+            match inject_seu(CoreVariant::Encrypt, RomStyle::Macro, &KEY, &PT, ff, 49) {
+                SeuOutcome::Corrupted { wrong_bits } => {
+                    assert_eq!(wrong_bits, 1, "late state upset must flip one bit (ff {ff})");
+                    ones += 1;
+                }
+                other => panic!("late state upset must corrupt, got {other:?} (ff {ff})"),
+            }
+        }
+        assert!(ones > 0);
+    }
+
+    #[test]
+    fn campaign_statistics_are_sane() {
+        let c = run_campaign(CoreVariant::Encrypt, RomStyle::Macro, 40, 0xBEEF);
+        assert_eq!(c.trials.len(), 40);
+        let total = c.masked_rate() + c.corrupted_rate() + c.hung_rate();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Some upsets must be masked (huge dead state like data_in when
+        // idle-pending is empty) and some must corrupt.
+        assert!(c.masked_rate() > 0.0);
+        assert!(c.corrupted_rate() > 0.0);
+        if c.corrupted_rate() > 0.0 {
+            assert!(c.mean_wrong_bits() >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Clocks the gate-level netlist as a [`CycleCore`].
+//!
+//! [`GateLevelCore`] evaluates the structural netlist of
+//! [`crate::netlist_gen`] one clock edge at a time, exposing the same
+//! pin-level interface as the cycle-accurate models — so the two
+//! descriptions of the IP can be driven with identical stimulus and
+//! compared output-for-output, the reproduction's equivalent of running
+//! the VHDL through ModelSim against a golden model.
+
+use std::collections::HashMap;
+
+use netlist::ir::{CellKind, NetId, Netlist};
+use netlist::power::ActivityTrace;
+
+use crate::core::{CoreInputs, CoreOutputs, CoreVariant, CycleCore, Direction};
+use crate::netlist_gen::{build_core_netlist_probed, CoreProbes, RomStyle};
+
+/// The structural netlist driven cycle by cycle.
+///
+/// # Examples
+///
+/// ```
+/// use aes_ip::core::{CoreInputs, CoreVariant, CycleCore};
+/// use aes_ip::gate_sim::GateLevelCore;
+/// use aes_ip::netlist_gen::RomStyle;
+///
+/// let mut core = GateLevelCore::new(CoreVariant::Encrypt, RomStyle::Macro);
+/// core.rising_edge(&CoreInputs { setup: true, wr_key: true, din: 0, ..Default::default() });
+/// core.rising_edge(&CoreInputs { wr_data: true, din: 0, ..Default::default() });
+/// let mut out = Default::default();
+/// for _ in 0..50 {
+///     out = core.rising_edge(&CoreInputs::default());
+/// }
+/// assert!(out.data_ok);
+/// assert_eq!(out.dout >> 120, 0x66); // AES-128 zero vector, first byte
+/// ```
+#[derive(Debug, Clone)]
+pub struct GateLevelCore {
+    netlist: Netlist,
+    variant: CoreVariant,
+    /// Current value of every flip-flop output.
+    state: HashMap<NetId, bool>,
+    /// All DFF nets with their data operands, precomputed.
+    dffs: Vec<(NetId, NetId)>,
+    // Port nets.
+    setup: NetId,
+    wr_data: NetId,
+    wr_key: NetId,
+    din: Vec<NetId>,
+    enc_dec: Option<NetId>,
+    data_ok: NetId,
+    dout: Vec<NetId>,
+    results: u64,
+    last_data_ok: bool,
+    /// Internal signal taps (available when built via [`GateLevelCore::new`]).
+    probes: Option<CoreProbes>,
+    /// Sampled probe values from the last edge.
+    probe_busy: bool,
+    probe_pending: bool,
+    /// Switching-activity collection (power analysis); off by default.
+    activity: Option<ActivityTrace>,
+    prev_values: Option<Vec<bool>>,
+}
+
+impl GateLevelCore {
+    /// Builds the netlist for `variant` and wraps it for simulation. All
+    /// registers start cleared (the cycle-accurate models start the same
+    /// way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated netlist is malformed (a bug, not an input
+    /// condition).
+    #[must_use]
+    pub fn new(variant: CoreVariant, rom_style: RomStyle) -> Self {
+        let (netlist, probes) = build_core_netlist_probed(variant, rom_style);
+        let mut core = Self::from_netlist(netlist, variant);
+        core.probes = Some(probes);
+        core
+    }
+
+    /// Wraps an already-built core netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expected ports are missing.
+    #[must_use]
+    pub fn from_netlist(netlist: Netlist, variant: CoreVariant) -> Self {
+        let find_in = |name: &str| {
+            netlist
+                .inputs()
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap_or_else(|| panic!("missing input port {name}"))
+                .net
+        };
+        let setup = find_in("setup");
+        let wr_data = find_in("wr_data");
+        let wr_key = find_in("wr_key");
+        let din: Vec<NetId> = (0..128).map(|i| find_in(&format!("din[{i}]"))).collect();
+        let enc_dec = netlist.inputs().iter().find(|p| p.name == "enc_dec").map(|p| p.net);
+
+        let find_out = |name: &str| {
+            netlist
+                .outputs()
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap_or_else(|| panic!("missing output port {name}"))
+                .net
+        };
+        let data_ok = find_out("data_ok");
+        let dout: Vec<NetId> = (0..128).map(|i| find_out(&format!("dout[{i}]"))).collect();
+
+        let mut dffs = Vec::new();
+        let mut state = HashMap::new();
+        for (i, cell) in netlist.cells().iter().enumerate() {
+            if matches!(cell.kind, CellKind::Dff) {
+                let q = NetId(i as u32);
+                dffs.push((q, cell.inputs[0]));
+                state.insert(q, false);
+            }
+        }
+
+        GateLevelCore {
+            netlist,
+            variant,
+            state,
+            dffs,
+            setup,
+            wr_data,
+            wr_key,
+            din,
+            enc_dec,
+            data_ok,
+            dout,
+            results: 0,
+            last_data_ok: false,
+            probes: None,
+            probe_busy: false,
+            probe_pending: false,
+            activity: None,
+            prev_values: None,
+        }
+    }
+
+    /// Current flip-flop count (diagnostics).
+    #[must_use]
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Access to the wrapped netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Starts collecting switching activity for the power model
+    /// (the paper's §6 future work). Counting begins at the next edge.
+    pub fn enable_activity(&mut self) {
+        self.activity = Some(ActivityTrace::new(&self.netlist));
+        self.prev_values = None;
+    }
+
+    /// Stops collection and returns the trace, if any was recorded.
+    pub fn take_activity(&mut self) -> Option<ActivityTrace> {
+        self.prev_values = None;
+        self.activity.take()
+    }
+
+    /// Flips one flip-flop's stored value — a single-event upset
+    /// (see [`crate::fault`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dff_count()`.
+    pub fn flip_ff(&mut self, index: usize) {
+        let (q, _) = self.dffs[index];
+        let v = self.state[&q];
+        self.state.insert(q, !v);
+    }
+}
+
+impl CycleCore for GateLevelCore {
+    fn rising_edge(&mut self, inputs: &CoreInputs) -> CoreOutputs {
+        let mut input_values: HashMap<NetId, bool> = HashMap::new();
+        input_values.insert(self.setup, inputs.setup);
+        input_values.insert(self.wr_data, inputs.wr_data);
+        input_values.insert(self.wr_key, inputs.wr_key);
+        for (i, &net) in self.din.iter().enumerate() {
+            input_values.insert(net, (inputs.din >> i) & 1 == 1);
+        }
+        if let Some(ed) = self.enc_dec {
+            input_values.insert(ed, matches!(inputs.enc_dec, Direction::Decrypt));
+        }
+
+        let values = self.netlist.evaluate(&input_values, &self.state);
+
+        if let Some(trace) = &mut self.activity {
+            if let Some(prev) = &self.prev_values {
+                trace.record(prev, &values);
+            }
+            self.prev_values = Some(values.clone());
+        }
+
+        // Probe sampling: a result is delivered on edges where the
+        // internal `finishing` strobe is high; busy/pending are the
+        // post-edge register values.
+        if let Some(p) = &self.probes {
+            if values[p.finishing.idx()] {
+                self.results += 1;
+            }
+        }
+
+        // Clock edge: every register captures its D operand.
+        for &(q, d) in &self.dffs {
+            self.state.insert(q, values[d.idx()]);
+        }
+
+        // Outputs are registered: read the post-edge register values.
+        let data_ok = self.state[&self.data_ok];
+        let mut dout = 0u128;
+        for (i, &net) in self.dout.iter().enumerate() {
+            if self.state[&net] {
+                dout |= 1u128 << i;
+            }
+        }
+        if self.probes.is_none() && data_ok && !self.last_data_ok {
+            // Without probes only data_ok rising edges are observable;
+            // with probes the `finishing` strobe above counts every
+            // completion, including back-to-back ones.
+            self.results += 1;
+        }
+        self.last_data_ok = data_ok;
+        if let Some(p) = &self.probes {
+            self.probe_busy = self.state[&p.busy];
+            self.probe_pending = self.state[&p.data_in_valid];
+        }
+
+        CoreOutputs { data_ok, dout }
+    }
+
+    fn variant(&self) -> CoreVariant {
+        self.variant
+    }
+
+    fn latency_cycles(&self) -> u64 {
+        crate::core::LATENCY_CYCLES
+    }
+
+    fn key_setup_cycles(&self) -> u64 {
+        if self.variant.supports_decrypt() {
+            crate::core::KEY_SETUP_CYCLES
+        } else {
+            0
+        }
+    }
+
+    fn busy(&self) -> bool {
+        match &self.probes {
+            Some(_) => self.probe_busy,
+            // Without probes, be conservative: "maybe busy" whenever a
+            // result has not just appeared.
+            None => !self.last_data_ok,
+        }
+    }
+
+    fn results_count(&self) -> u64 {
+        self.results
+    }
+
+    fn has_pending(&self) -> bool {
+        self.probes.is_some() && self.probe_pending
+    }
+
+    fn name(&self) -> &'static str {
+        "aes128-mixed32x128 (gate level)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{DecryptCore, EncDecCore, EncryptCore};
+    use crate::datapath::{block_to_u128, u128_to_block};
+    use rijndael::vectors::{FIPS197_C1, ZERO_VECTOR_128};
+
+    fn drive_block<C: CycleCore>(
+        core: &mut C,
+        key: u128,
+        block: u128,
+        dir: Direction,
+        setup_cycles: u64,
+    ) -> u128 {
+        core.rising_edge(&CoreInputs {
+            setup: true,
+            wr_key: true,
+            din: key,
+            ..Default::default()
+        });
+        for _ in 0..setup_cycles {
+            core.rising_edge(&CoreInputs { setup: true, ..Default::default() });
+        }
+        core.rising_edge(&CoreInputs {
+            wr_data: true,
+            din: block,
+            enc_dec: dir,
+            ..Default::default()
+        });
+        let mut out = CoreOutputs::default();
+        for _ in 0..50 {
+            out = core.rising_edge(&CoreInputs { enc_dec: dir, ..Default::default() });
+        }
+        assert!(out.data_ok, "gate-level core never finished");
+        out.dout
+    }
+
+    #[test]
+    fn gate_level_encrypt_matches_vector() {
+        let mut core = GateLevelCore::new(CoreVariant::Encrypt, RomStyle::Macro);
+        let mut key = [0u8; 16];
+        key.copy_from_slice(FIPS197_C1.key);
+        let ct = drive_block(
+            &mut core,
+            block_to_u128(&key),
+            block_to_u128(&FIPS197_C1.plaintext),
+            Direction::Encrypt,
+            0,
+        );
+        assert_eq!(u128_to_block(ct), FIPS197_C1.ciphertext);
+    }
+
+    #[test]
+    fn gate_level_decrypt_matches_vector() {
+        let mut core = GateLevelCore::new(CoreVariant::Decrypt, RomStyle::Macro);
+        let mut key = [0u8; 16];
+        key.copy_from_slice(FIPS197_C1.key);
+        let pt = drive_block(
+            &mut core,
+            block_to_u128(&key),
+            block_to_u128(&FIPS197_C1.ciphertext),
+            Direction::Decrypt,
+            10,
+        );
+        assert_eq!(u128_to_block(pt), FIPS197_C1.plaintext);
+    }
+
+    #[test]
+    fn gate_level_encdec_both_directions() {
+        let mut core = GateLevelCore::new(CoreVariant::EncDec, RomStyle::Macro);
+        let key = block_to_u128(&[0u8; 16]);
+        let ct = drive_block(&mut core, key, 0, Direction::Encrypt, 10);
+        assert_eq!(u128_to_block(ct), ZERO_VECTOR_128.ciphertext);
+        // Decrypt on the same device without reloading the key.
+        core.rising_edge(&CoreInputs {
+            wr_data: true,
+            din: ct,
+            enc_dec: Direction::Decrypt,
+            ..Default::default()
+        });
+        let mut out = CoreOutputs::default();
+        for _ in 0..50 {
+            out = core.rising_edge(&CoreInputs {
+                enc_dec: Direction::Decrypt,
+                ..Default::default()
+            });
+        }
+        assert_eq!(out.dout, 0);
+    }
+
+    #[test]
+    fn gate_level_agrees_with_cycle_model_edge_by_edge() {
+        // Identical stimulus, compare data_ok and dout at every edge.
+        let mut gate = GateLevelCore::new(CoreVariant::Encrypt, RomStyle::Macro);
+        let mut model = EncryptCore::new();
+        let key = block_to_u128(&[0x42u8; 16]);
+
+        let mut stim = Vec::new();
+        stim.push(CoreInputs { setup: true, wr_key: true, din: key, ..Default::default() });
+        stim.push(CoreInputs { wr_data: true, din: 7, ..Default::default() });
+        for t in 0..160u64 {
+            // Sprinkle overlapping writes mid-flight.
+            stim.push(if t == 20 || t == 90 {
+                CoreInputs { wr_data: true, din: u128::from(t) << 32, ..Default::default() }
+            } else {
+                CoreInputs::default()
+            });
+        }
+        for (t, inputs) in stim.iter().enumerate() {
+            let g = gate.rising_edge(inputs);
+            let m = model.rising_edge(inputs);
+            assert_eq!(g.data_ok, m.data_ok, "data_ok diverged at edge {t}");
+            if m.data_ok {
+                assert_eq!(g.dout, m.dout, "dout diverged at edge {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_level_decrypt_agrees_with_cycle_model() {
+        let mut gate = GateLevelCore::new(CoreVariant::Decrypt, RomStyle::Macro);
+        let mut model = DecryptCore::new();
+        let key = block_to_u128(&[0x13u8; 16]);
+
+        let mut stim = Vec::new();
+        stim.push(CoreInputs { setup: true, wr_key: true, din: key, ..Default::default() });
+        for _ in 0..10 {
+            stim.push(CoreInputs { setup: true, ..Default::default() });
+        }
+        stim.push(CoreInputs {
+            wr_data: true,
+            din: 0xDEAD_BEEF,
+            enc_dec: Direction::Decrypt,
+            ..Default::default()
+        });
+        for _ in 0..120u64 {
+            stim.push(CoreInputs { enc_dec: Direction::Decrypt, ..Default::default() });
+        }
+        for (t, inputs) in stim.iter().enumerate() {
+            let g = gate.rising_edge(inputs);
+            let m = model.rising_edge(inputs);
+            assert_eq!(g.data_ok, m.data_ok, "data_ok diverged at edge {t}");
+            if m.data_ok {
+                assert_eq!(g.dout, m.dout, "dout diverged at edge {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_level_encdec_agrees_with_cycle_model() {
+        let mut gate = GateLevelCore::new(CoreVariant::EncDec, RomStyle::Macro);
+        let mut model = EncDecCore::new();
+        let key = block_to_u128(&[0x77u8; 16]);
+
+        let mut stim = Vec::new();
+        stim.push(CoreInputs { setup: true, wr_key: true, din: key, ..Default::default() });
+        for _ in 0..10 {
+            stim.push(CoreInputs { setup: true, ..Default::default() });
+        }
+        // Encrypt a block, then decrypt a block.
+        stim.push(CoreInputs { wr_data: true, din: 0x1234, ..Default::default() });
+        for _ in 0..55u64 {
+            stim.push(CoreInputs::default());
+        }
+        stim.push(CoreInputs {
+            wr_data: true,
+            din: 0x5678,
+            enc_dec: Direction::Decrypt,
+            ..Default::default()
+        });
+        for _ in 0..55u64 {
+            stim.push(CoreInputs { enc_dec: Direction::Decrypt, ..Default::default() });
+        }
+        for (t, inputs) in stim.iter().enumerate() {
+            let g = gate.rising_edge(inputs);
+            let m = model.rising_edge(inputs);
+            assert_eq!(g.data_ok, m.data_ok, "data_ok diverged at edge {t}");
+            if m.data_ok {
+                assert_eq!(g.dout, m.dout, "dout diverged at edge {t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,747 @@
+//! Structural (gate-level) netlist generation for the IP variants.
+//!
+//! This is the "VHDL elaboration" of the reproduction: the same
+//! architecture the cycle-accurate cores model is emitted as a flat gate
+//! network — registers, the 4-S-box `ByteSub` slice with its column
+//! select/writeback muxes, the 128-bit `ShiftRow` wiring, the `MixColumn`
+//! XOR planes, the on-the-fly `KStran` key path and the one-hot control
+//! rings — ready for the [`netlist`] mapper and the [`fpga`] flow.
+//!
+//! S-boxes are emitted either as asynchronous ROM macros
+//! ([`RomStyle::Macro`], the ACEX/FLEX/APEX case) or as shared
+//! multiplexer-tree logic ([`RomStyle::LogicCells`], the Cyclone case —
+//! the paper's "the memory was implemented using LCs").
+//!
+//! S-box budget (matching the paper's Table 2 memory column):
+//!
+//! * encrypt-only: 4 `ByteSub` + 4 `KStran` = 8 ROMs = 16 Kibit;
+//! * decrypt-only: 4 `IByteSub` + 4 `KStran` = 8 ROMs = 16 Kibit — the
+//!   `KStran` bank is time-shared between the setup-time forward key walk
+//!   and the operation-time backward stepping;
+//! * combined: both banks = 16 ROMs = 32 Kibit.
+//!
+//! Functional equivalence between these netlists and the cycle-accurate
+//! cores is established in the workspace integration tests by clocking
+//! both models through full encryptions.
+
+use gf256::{INV_SBOX, SBOX};
+use netlist::ir::{NetId, Netlist};
+
+use crate::core::CoreVariant;
+
+/// How S-boxes are realised on the target device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RomStyle {
+    /// 256×8 asynchronous embedded-memory macros (EABs on ACEX 1K).
+    Macro,
+    /// Shared Shannon multiplexer trees in logic cells (Cyclone).
+    LogicCells,
+}
+
+/// A 16-wire-byte word; each byte is 8 nets, LSB first. Byte 0 is the
+/// first byte on the bus (`din[127:120]` in VHDL terms).
+type Bytes = Vec<[NetId; 8]>;
+/// Four bytes (one 32-bit column / word).
+type Quad = [[NetId; 8]; 4];
+
+struct Builder<'a> {
+    nl: &'a mut Netlist,
+    rom_style: RomStyle,
+}
+
+impl Builder<'_> {
+    fn sbox(&mut self, addr: &[NetId; 8], inverse: bool) -> [NetId; 8] {
+        let table = if inverse { &INV_SBOX } else { &SBOX };
+        let out = match self.rom_style {
+            RomStyle::Macro => self.nl.rom256x8(addr, table),
+            RomStyle::LogicCells => self.nl.rom256x8_lut(addr, table),
+        };
+        out.try_into().expect("rom emits 8 bits")
+    }
+
+    /// `xtime` (multiplication by {02}) as three XOR gates.
+    fn xtime(&mut self, x: &[NetId; 8]) -> [NetId; 8] {
+        [
+            x[7],
+            self.nl.xor2(x[0], x[7]),
+            x[1],
+            self.nl.xor2(x[2], x[7]),
+            self.nl.xor2(x[3], x[7]),
+            x[4],
+            x[5],
+            x[6],
+        ]
+    }
+
+    fn xor_bytes(&mut self, terms: &[[NetId; 8]]) -> [NetId; 8] {
+        let words: Vec<Vec<NetId>> = terms.iter().map(|t| t.to_vec()).collect();
+        self.nl.xor_many(&words).try_into().expect("byte stays 8 bits")
+    }
+
+    /// `MixColumn` on one column of 4 bytes.
+    fn mix_column(&mut self, col: &Quad) -> Quad {
+        let xt: Vec<[NetId; 8]> = col.iter().map(|b| self.xtime(b)).collect();
+        [
+            self.xor_bytes(&[xt[0], xt[1], col[1], col[2], col[3]]),
+            self.xor_bytes(&[col[0], xt[1], xt[2], col[2], col[3]]),
+            self.xor_bytes(&[col[0], col[1], xt[2], xt[3], col[3]]),
+            self.xor_bytes(&[xt[0], col[0], col[1], col[2], xt[3]]),
+        ]
+    }
+
+    /// The `xtime²` pre-correction `P` with `IMixColumn = MixColumn ∘ P`:
+    /// per column, `u = {04}·(a0 + a2)`, `v = {04}·(a1 + a3)`, then
+    /// `a0 += u, a2 += u, a1 += v, a3 += v`. Lets the decrypt path reuse
+    /// the forward `MixColumn` plane (shared in the combined device).
+    fn pre_inv_mix(&mut self, state: &Bytes) -> Bytes {
+        let mut out = Vec::with_capacity(16);
+        for c in 0..4 {
+            let a0 = state[4 * c];
+            let a1 = state[4 * c + 1];
+            let a2 = state[4 * c + 2];
+            let a3 = state[4 * c + 3];
+            let e02 = self.xor_bytes(&[a0, a2]);
+            let e13 = self.xor_bytes(&[a1, a3]);
+            let t = self.xtime(&e02);
+            let u = self.xtime(&t);
+            let t = self.xtime(&e13);
+            let v = self.xtime(&t);
+            out.push(self.xor_bytes(&[a0, u]));
+            out.push(self.xor_bytes(&[a1, v]));
+            out.push(self.xor_bytes(&[a2, u]));
+            out.push(self.xor_bytes(&[a3, v]));
+        }
+        out
+    }
+
+    fn mix_columns(&mut self, state: &Bytes) -> Bytes {
+        let mut out = Vec::with_capacity(16);
+        for c in 0..4 {
+            let col: Quad =
+                [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            out.extend(self.mix_column(&col));
+        }
+        out
+    }
+
+    fn xor_words(&mut self, a: &Bytes, b: &Bytes) -> Bytes {
+        a.iter().zip(b).map(|(x, y)| self.xor_bytes(&[*x, *y])).collect()
+    }
+
+    fn mux_bytes(&mut self, sel: NetId, a: &Bytes, b: &Bytes) -> Bytes {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| core::array::from_fn(|i| self.nl.mux2(sel, x[i], y[i])))
+            .collect()
+    }
+
+    fn mux_quad(&mut self, sel: NetId, a: &Quad, b: &Quad) -> Quad {
+        core::array::from_fn(|k| core::array::from_fn(|i| self.nl.mux2(sel, a[k][i], b[k][i])))
+    }
+
+    /// One-hot AND-OR selection of one of four 32-bit columns.
+    fn select_column(&mut self, state: &Bytes, onehot: &[NetId; 4]) -> Quad {
+        core::array::from_fn(|byte_in_col| {
+            core::array::from_fn(|bit| {
+                let mut acc: Option<NetId> = None;
+                for c in 0..4 {
+                    let term = self.nl.and2(onehot[c], state[4 * c + byte_in_col][bit]);
+                    acc = Some(match acc {
+                        None => term,
+                        Some(prev) => self.nl.or2(prev, term),
+                    });
+                }
+                acc.expect("four terms")
+            })
+        })
+    }
+
+    /// One `KStran` S-box bank: rotate the input word, substitute all four
+    /// bytes (4 forward S-boxes), XOR `rcon` into the top byte.
+    fn kstran_bank(&mut self, word: &Quad, rcon: &[NetId; 8]) -> Quad {
+        let rot = [word[1], word[2], word[3], word[0]];
+        let mut ks: Quad = core::array::from_fn(|i| self.sbox(&rot[i], false));
+        ks[0] = self.xor_bytes(&[ks[0], *rcon]);
+        ks
+    }
+
+    /// Forward chaining: `v0 = u0 ^ ks`, `v_w = u_w ^ v_{w-1}`.
+    fn chain_forward(&mut self, key: &Bytes, ks: &Quad) -> Bytes {
+        let mut out: Bytes = Vec::with_capacity(16);
+        for i in 0..4 {
+            out.push(self.xor_bytes(&[key[i], ks[i]]));
+        }
+        for w in 1..4 {
+            for i in 0..4 {
+                let prev = out[4 * (w - 1) + i];
+                let cur = key[4 * w + i];
+                out.push(self.xor_bytes(&[cur, prev]));
+            }
+        }
+        out
+    }
+
+    /// Builds the rcon byte from a one-hot ring: bit `j` ORs the stages
+    /// whose constant has bit `j` set.
+    fn rcon_from_onehot(&mut self, onehot: &[NetId], constants: &[u8]) -> [NetId; 8] {
+        assert_eq!(onehot.len(), constants.len());
+        let zero = self.nl.constant(false);
+        core::array::from_fn(|j| {
+            let mut acc: Option<NetId> = None;
+            for (k, &c) in constants.iter().enumerate() {
+                if (c >> j) & 1 == 1 {
+                    acc = Some(match acc {
+                        None => onehot[k],
+                        Some(prev) => self.nl.or2(prev, onehot[k]),
+                    });
+                }
+            }
+            acc.unwrap_or(zero)
+        })
+    }
+
+    fn mux_rcon(&mut self, sel: NetId, a: &[NetId; 8], b: &[NetId; 8]) -> [NetId; 8] {
+        core::array::from_fn(|j| self.nl.mux2(sel, a[j], b[j]))
+    }
+}
+
+/// `ShiftRow` as pure wiring on wire-byte indices.
+fn shift_rows_wires(state: &Bytes) -> Bytes {
+    (0..16)
+        .map(|i| {
+            let (c, r) = (i / 4, i % 4);
+            state[4 * ((c + r) % 4) + r]
+        })
+        .collect()
+}
+
+/// `IShiftRow` wiring.
+fn inv_shift_rows_wires(state: &Bytes) -> Bytes {
+    (0..16)
+        .map(|i| {
+            let (c, r) = (i / 4, i % 4);
+            state[4 * ((c + 4 - r) % 4) + r]
+        })
+        .collect()
+}
+
+fn bus_to_bytes(bus: &[NetId]) -> Bytes {
+    assert_eq!(bus.len(), 128);
+    // Bus bit i = u128 bit i (LSB first); wire byte k occupies bits
+    // (15-k)*8 .. +8, LSB first within the byte.
+    (0..16).map(|k| core::array::from_fn(|j| bus[(15 - k) * 8 + j])).collect()
+}
+
+fn bytes_to_bus(bytes: &Bytes) -> Vec<NetId> {
+    let mut bus = vec![NetId(0); 128];
+    for (k, byte) in bytes.iter().enumerate() {
+        for (j, &n) in byte.iter().enumerate() {
+            bus[(15 - k) * 8 + j] = n;
+        }
+    }
+    bus
+}
+
+fn key_quad(key: &Bytes, word: usize) -> Quad {
+    [key[4 * word], key[4 * word + 1], key[4 * word + 2], key[4 * word + 3]]
+}
+
+/// Internal signal taps for simulation observability (the logic-analyzer
+/// probes of the reproduction): these are *nets inside the netlist*, not
+/// ports, so they do not affect pin counts or fitting.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreProbes {
+    /// The `busy` state flip-flop (q).
+    pub busy: NetId,
+    /// The `Data_In` valid flip-flop (q).
+    pub data_in_valid: NetId,
+    /// Combinational strobe: high during the edge that delivers a result
+    /// to the `Out` register.
+    pub finishing: NetId,
+}
+
+/// Emits the complete gate-level netlist for one core variant.
+///
+/// The interface matches the paper's Table 1: `setup`, `wr_data`,
+/// `wr_key`, `din[128]`, `enc_dec` (combined variant only), `data_ok`,
+/// `dout[128]`; the clock is implicit (single clock domain).
+///
+/// # Examples
+///
+/// ```
+/// use aes_ip::core::CoreVariant;
+/// use aes_ip::netlist_gen::{build_core_netlist, RomStyle};
+///
+/// let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro);
+/// assert_eq!(nl.stats().roms, 8); // 4 ByteSub + 4 KStran S-boxes
+/// // 131 input bits + 129 output bits (+1 clock pin added by the fitter).
+/// assert_eq!(nl.inputs().len() + nl.outputs().len(), 260);
+/// ```
+#[must_use]
+pub fn build_core_netlist(variant: CoreVariant, rom_style: RomStyle) -> Netlist {
+    build_core_netlist_probed(variant, rom_style).0
+}
+
+/// Like [`build_core_netlist`], additionally returning the internal
+/// [`CoreProbes`] the gate-level simulator uses for protocol
+/// introspection.
+#[must_use]
+pub fn build_core_netlist_probed(
+    variant: CoreVariant,
+    rom_style: RomStyle,
+) -> (Netlist, CoreProbes) {
+    let name = format!(
+        "aes128-{}-{}",
+        match variant {
+            CoreVariant::Encrypt => "enc",
+            CoreVariant::Decrypt => "dec",
+            CoreVariant::EncDec => "encdec",
+        },
+        match rom_style {
+            RomStyle::Macro => "eab",
+            RomStyle::LogicCells => "lcrom",
+        }
+    );
+    let mut nl = Netlist::new(name);
+
+    // ------------------------------------------------------------ ports
+    let setup = nl.input("setup");
+    let wr_data = nl.input("wr_data");
+    let wr_key = nl.input("wr_key");
+    let din_bus = nl.input_bus("din", 128);
+    let enc_dec = match variant {
+        CoreVariant::EncDec => Some(nl.input("enc_dec")),
+        _ => None,
+    };
+
+    // -------------------------------------------------------- registers
+    let state_q = nl.dff_word_uninit(128);
+    let key0_q = nl.dff_word_uninit(128);
+    let round_key_q = nl.dff_word_uninit(128);
+    let data_in_q = nl.dff_word_uninit(128);
+    let dout_q = nl.dff_word_uninit(128);
+    let valid_q = nl.dff_uninit();
+    let data_ok_q = nl.dff_uninit();
+    let busy_q = nl.dff_uninit();
+    let cycle_q = nl.dff_word_uninit(5); // one-hot c1..c5
+    let round_q = nl.dff_word_uninit(10); // one-hot r1..r10
+    let needs_dec = !matches!(variant, CoreVariant::Encrypt);
+    let (walk_q, key_end_q, key_ready_q) = if needs_dec {
+        (nl.dff_word_uninit(10), nl.dff_word_uninit(128), Some(nl.dff_uninit()))
+    } else {
+        (Vec::new(), Vec::new(), None)
+    };
+
+    let mut b = Builder { nl: &mut nl, rom_style };
+
+    // ------------------------------------------------------- byte views
+    let din = bus_to_bytes(&din_bus);
+    let state = bus_to_bytes(&state_q);
+    let key0 = bus_to_bytes(&key0_q);
+    let round_key = bus_to_bytes(&round_key_q);
+    let data_in = bus_to_bytes(&data_in_q);
+    let key_end = if needs_dec { bus_to_bytes(&key_end_q) } else { Vec::new() };
+
+    // ---------------------------------------------------------- control
+    let op = b.nl.not(setup);
+    let load_key = b.nl.and2(setup, wr_key);
+    let not_load_key = b.nl.not(load_key);
+    let wr_now = b.nl.and2(op, wr_data);
+    let have_data = b.nl.or2(wr_now, valid_q);
+    let r10c5 = b.nl.and2(round_q[9], cycle_q[4]);
+    let finishing = b.nl.and2(busy_q, r10c5);
+    let not_busy = b.nl.not(busy_q);
+    let free = b.nl.or2(not_busy, finishing);
+    let consume_base = {
+        let t = b.nl.and2(op, have_data);
+        b.nl.and2(t, free)
+    };
+
+    // Pending-direction latch (combined device only): the direction pin is
+    // captured with the data word, as the engine model does.
+    let dir_pending_eff = match (variant, enc_dec) {
+        (CoreVariant::Encrypt, _) => b.nl.constant(false),
+        (CoreVariant::Decrypt, _) => b.nl.constant(true),
+        (CoreVariant::EncDec, Some(ed)) => {
+            let pend_q = b.nl.dff_uninit();
+            let d = b.nl.mux2(wr_now, pend_q, ed);
+            b.nl.connect_dff(pend_q, d);
+            // Effective direction of the word that would be consumed now.
+            b.nl.mux2(wr_now, pend_q, ed)
+        }
+        _ => unreachable!(),
+    };
+
+    let consume = match key_ready_q {
+        None => consume_base,
+        Some(ready) => {
+            // Decrypt needs the key walk done; encrypt (combined device,
+            // pin low) may start immediately.
+            let enc_ok = b.nl.not(dir_pending_eff);
+            let ok = b.nl.or2(enc_ok, ready);
+            b.nl.and2(consume_base, ok)
+        }
+    };
+    let not_consume = b.nl.not(consume);
+
+    // busy' = !load_key & (consume | busy & !finishing)
+    let not_finishing = b.nl.not(finishing);
+    let keep_busy = b.nl.and2(busy_q, not_finishing);
+    let busy_d0 = b.nl.or2(consume, keep_busy);
+    let busy_d = b.nl.and2(busy_d0, not_load_key);
+    b.nl.connect_dff(busy_q, busy_d);
+
+    // valid' = !load_key & !consume & (wr_now | valid)
+    let valid_d0 = b.nl.and2(not_consume, have_data);
+    let valid_d = b.nl.and2(valid_d0, not_load_key);
+    b.nl.connect_dff(valid_q, valid_d);
+
+    // Cycle ring.
+    {
+        let not_r10 = b.nl.not(round_q[9]);
+        let wrap = b.nl.and2(cycle_q[4], not_r10);
+        let wrap_busy = b.nl.and2(busy_q, wrap);
+        let c1_d0 = b.nl.or2(consume, wrap_busy);
+        let c1_d = b.nl.and2(c1_d0, not_load_key);
+        b.nl.connect_dff(cycle_q[0], c1_d);
+        for k in 0..4 {
+            let adv = b.nl.and2(busy_q, cycle_q[k]);
+            let d = b.nl.and2(adv, not_load_key);
+            b.nl.connect_dff(cycle_q[k + 1], d);
+        }
+    }
+
+    // Round ring.
+    {
+        let not_c5 = b.nl.not(cycle_q[4]);
+        let hold1 = b.nl.and2(round_q[0], not_c5);
+        let hold1b = b.nl.and2(busy_q, hold1);
+        let r1_d0 = b.nl.or2(consume, hold1b);
+        let r1_d = b.nl.and2(r1_d0, not_load_key);
+        b.nl.connect_dff(round_q[0], r1_d);
+        for k in 0..9 {
+            let adv = b.nl.and2(round_q[k], cycle_q[4]);
+            let hold = b.nl.and2(round_q[k + 1], not_c5);
+            let either = b.nl.or2(adv, hold);
+            let gated = b.nl.and2(busy_q, either);
+            let d = b.nl.and2(gated, not_load_key);
+            b.nl.connect_dff(round_q[k + 1], d);
+        }
+    }
+
+    // In-flight direction (combined device): latched at consume.
+    let dir_dec = match variant {
+        CoreVariant::Encrypt => b.nl.constant(false),
+        CoreVariant::Decrypt => b.nl.constant(true),
+        CoreVariant::EncDec => {
+            let dir_q = b.nl.dff_uninit();
+            let d = b.nl.mux2(consume, dir_q, dir_pending_eff);
+            b.nl.connect_dff(dir_q, d);
+            // On the consume edge the freshly selected direction applies.
+            b.nl.mux2(consume, dir_q, dir_pending_eff)
+        }
+    };
+
+    // ------------------------------------------------------ ByteSub slice
+    let sub_onehot: [NetId; 4] = core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[k]));
+    let enc_like = matches!(variant, CoreVariant::Encrypt | CoreVariant::EncDec);
+    let dec_like = matches!(variant, CoreVariant::Decrypt | CoreVariant::EncDec);
+
+    // Round constants.
+    let rcon_fwd_consts: Vec<u8> =
+        (1..=10u32).map(|r| gf256::Gf256::new(2).pow(r - 1).value()).collect();
+    let rcon_bwd_consts: Vec<u8> =
+        (1..=10u32).map(|blk| gf256::Gf256::new(2).pow(10 - blk).value()).collect();
+
+    // ------------------------------------------------- decrypt key logic
+    // (shared KStran bank between the setup walk and the backward step)
+    struct DecKey {
+        walking: NetId,
+        last_step: NetId,
+        fwd_next: Bytes,
+        bwd_prev: Bytes,
+    }
+    let dec_key = needs_dec.then(|| {
+        // walk ring: w1' = load_key; w_{k+1}' = setup & w_k.
+        b.nl.connect_dff(walk_q[0], load_key);
+        for k in 0..9 {
+            let d0 = b.nl.and2(setup, walk_q[k]);
+            let d = b.nl.and2(d0, not_load_key);
+            b.nl.connect_dff(walk_q[k + 1], d);
+        }
+        let mut walking = walk_q[0];
+        for &w in &walk_q[1..] {
+            walking = b.nl.or2(walking, w);
+        }
+        let walking = b.nl.and2(setup, walking);
+        let last_step = b.nl.and2(setup, walk_q[9]);
+
+        let ready = key_ready_q.expect("decrypt-capable variant");
+        let ready_hold = b.nl.or2(ready, last_step);
+        let ready_d = b.nl.and2(ready_hold, not_load_key);
+        b.nl.connect_dff(ready, ready_d);
+
+        // Shared bank input: forward uses u3 = round_key word 3; backward
+        // first reconstructs u3 = v3 ^ v2.
+        let v3 = key_quad(&round_key, 3);
+        let v2 = key_quad(&round_key, 2);
+        let u3_bwd: Quad = core::array::from_fn(|i| b.xor_bytes(&[v3[i], v2[i]]));
+        let bank_in = b.mux_quad(walking, &u3_bwd, &v3);
+
+        let walk_rcon = b.rcon_from_onehot(&walk_q, &rcon_fwd_consts);
+        let op_rcon = b.rcon_from_onehot(&round_q, &rcon_bwd_consts);
+        let rcon = b.mux_rcon(walking, &op_rcon, &walk_rcon);
+
+        let ks = b.kstran_bank(&bank_in, &rcon);
+
+        // Forward: chain from round_key.
+        let fwd_next = b.chain_forward(&round_key, &ks);
+        // Backward: u_w = v_w ^ v_{w-1} for w = 1..3; u0 = v0 ^ ks.
+        let mut bwd: Bytes = vec![[NetId(0); 8]; 16];
+        for i in 0..4 {
+            bwd[i] = b.xor_bytes(&[round_key[i], ks[i]]);
+        }
+        for w in 1..4 {
+            for i in 0..4 {
+                bwd[4 * w + i] =
+                    b.xor_bytes(&[round_key[4 * w + i], round_key[4 * (w - 1) + i]]);
+            }
+        }
+        DecKey { walking, last_step, fwd_next, bwd_prev: bwd }
+    });
+
+    // key_end latch (decrypt): capture the walk output at the last step.
+    if let Some(dk) = &dec_key {
+        let fwd_bus = bytes_to_bus(&dk.fwd_next);
+        for i in 0..128 {
+            let d = b.nl.mux2(dk.last_step, key_end_q[i], fwd_bus[i]);
+            b.nl.connect_dff(key_end_q[i], d);
+        }
+    }
+
+    // ------------------------------------------------- encrypt datapath
+    // (substitution slice, ShiftRow wiring and the forward key step; the
+    // MixColumn plane is built once below, shared with the decrypt path
+    // in the combined device)
+    let enc_parts = enc_like.then(|| {
+        let col_in = b.select_column(&state, &sub_onehot);
+        let col_sub: Quad = core::array::from_fn(|i| b.sbox(&col_in[i], false));
+        let shifted = shift_rows_wires(&state);
+
+        // The encrypt KStran bank (dedicated, 4 S-boxes).
+        let rcon = b.rcon_from_onehot(&round_q, &rcon_fwd_consts);
+        let u3 = key_quad(&round_key, 3);
+        let ks = b.kstran_bank(&u3, &rcon);
+        let next_key = b.chain_forward(&round_key, &ks);
+        (col_sub, shifted, next_key)
+    });
+
+    // ------------------------------------------------- decrypt datapath
+    let dec_parts = dec_like.then(|| {
+        let ishifted = inv_shift_rows_wires(&state);
+        // Cycle 1 always substitutes column 0 of the IShiftRow view
+        // (fixed wiring) — the plain column 0 is never read — so the
+        // shifted view slots straight into the one-hot column select,
+        // with no extra mux level on the S-box address path.
+        let sel_view: Bytes = (0..16)
+            .map(|i| if i / 4 == 0 { ishifted[i] } else { state[i] })
+            .collect();
+        let col_in = b.select_column(&sel_view, &sub_onehot);
+        let col_sub: Quad = core::array::from_fn(|i| b.sbox(&col_in[i], true));
+
+        // AddKey first, then the xtime² pre-correction that turns the
+        // shared forward MixColumn plane into IMixColumn.
+        let keyed = b.xor_words(&state, &round_key);
+        let p_keyed = b.pre_inv_mix(&keyed);
+        (col_sub, keyed, p_keyed, ishifted)
+    });
+
+    // ------------------------------------- shared MixColumn commit plane
+    // One MixColumn network serves both directions: the encrypt path
+    // feeds it ShiftRow(state), the decrypt path P(state + key) (since
+    // IMixColumn = MixColumn ∘ P). The final round bypasses it.
+    let not_last = b.nl.not(round_q[9]);
+    let mc_in: Bytes = match (enc_parts.as_ref(), dec_parts.as_ref()) {
+        (Some((_, shifted, _)), None) => shifted.clone(),
+        (None, Some((_, _, p_keyed, _))) => p_keyed.clone(),
+        (Some((_, shifted, _)), Some((_, _, p_keyed, _))) => {
+            b.mux_bytes(dir_dec, shifted, p_keyed)
+        }
+        (None, None) => unreachable!("variant has a datapath"),
+    };
+    let mixed = b.mix_columns(&mc_in);
+    let committed_enc = enc_parts.as_ref().map(|(_, shifted, _)| {
+        let linear: Bytes = (0..16)
+            .map(|i| -> [NetId; 8] {
+                core::array::from_fn(|j| b.nl.mux2(not_last, shifted[i][j], mixed[i][j]))
+            })
+            .collect();
+        b.xor_words(&linear, &round_key)
+    });
+    let committed_dec = dec_parts.as_ref().map(|(_, keyed, _, _)| {
+        (0..16)
+            .map(|i| -> [NetId; 8] {
+                core::array::from_fn(|j| b.nl.mux2(not_last, keyed[i][j], mixed[i][j]))
+            })
+            .collect::<Bytes>()
+    });
+
+    // -------------------------------------------------- state register D
+    let din_eff = b.mux_bytes(wr_now, &data_in, &din);
+    let init_key: Bytes = match variant {
+        CoreVariant::Encrypt => key0.clone(),
+        CoreVariant::Decrypt => key_end.clone(),
+        CoreVariant::EncDec => b.mux_bytes(dir_dec, &key0, &key_end),
+    };
+    let loaded = b.xor_words(&din_eff, &init_key);
+
+    let commit_now = b.nl.and2(busy_q, cycle_q[4]);
+    let c1_now = b.nl.and2(busy_q, cycle_q[0]);
+    let state_d_bytes: Bytes = (0..16)
+        .map(|i| -> [NetId; 8] {
+            let col = i / 4;
+            core::array::from_fn(|j| {
+                let hold = state[i][j];
+
+                let enc_val = enc_parts.as_ref().zip(committed_enc.as_ref()).map(
+                    |((col_sub, _, _), committed)| {
+                        let subbed = b.nl.mux2(sub_onehot[col], hold, col_sub[i % 4][j]);
+                        b.nl.mux2(commit_now, subbed, committed[i][j])
+                    },
+                );
+                let dec_val = dec_parts.as_ref().zip(committed_dec.as_ref()).map(
+                    |((col_sub, _, _, ishift), committed)| {
+                        // Cycle 1 writes the IShiftRow view everywhere,
+                        // with column 0 additionally substituted.
+                        let c1_val = if col == 0 { col_sub[i % 4][j] } else { ishift[i][j] };
+                        let v = b.nl.mux2(c1_now, hold, c1_val);
+                        let v = if col > 0 {
+                            b.nl.mux2(sub_onehot[col], v, col_sub[i % 4][j])
+                        } else {
+                            v
+                        };
+                        b.nl.mux2(commit_now, v, committed[i][j])
+                    },
+                );
+
+                let active = match (enc_val, dec_val) {
+                    (Some(e), None) => e,
+                    (None, Some(d)) => d,
+                    (Some(e), Some(d)) => b.nl.mux2(dir_dec, e, d),
+                    (None, None) => unreachable!("variant has a datapath"),
+                };
+                b.nl.mux2(consume, active, loaded[i][j])
+            })
+        })
+        .collect();
+    let state_d = bytes_to_bus(&state_d_bytes);
+    b.nl.connect_dff_word(&state_q, &state_d);
+
+    // ----------------------------------------------------- key0 register
+    for i in 0..128 {
+        let d = b.nl.mux2(load_key, key0_q[i], din_bus[i]);
+        b.nl.connect_dff(key0_q[i], d);
+    }
+
+    // ------------------------------------------------ round_key register
+    {
+        let step_now = b.nl.and2(busy_q, cycle_q[0]);
+        let stepped: Bytes = match (enc_parts.as_ref(), dec_key.as_ref()) {
+            (Some((_, _, nk)), None) => nk.clone(),
+            (None, Some(dk)) => dk.bwd_prev.clone(),
+            (Some((_, _, nk)), Some(dk)) => b.mux_bytes(dir_dec, nk, &dk.bwd_prev),
+            (None, None) => unreachable!(),
+        };
+        let stepped_bus = bytes_to_bus(&stepped);
+        let init_bus = bytes_to_bus(&init_key);
+        let walk_bus = dec_key.as_ref().map(|dk| bytes_to_bus(&dk.fwd_next));
+
+        for i in 0..128 {
+            let mut d = b.nl.mux2(step_now, round_key_q[i], stepped_bus[i]);
+            d = b.nl.mux2(consume, d, init_bus[i]);
+            if let (Some(dk), Some(wb)) = (dec_key.as_ref(), walk_bus.as_ref()) {
+                d = b.nl.mux2(dk.walking, d, wb[i]);
+            }
+            let d = b.nl.mux2(load_key, d, din_bus[i]);
+            b.nl.connect_dff(round_key_q[i], d);
+        }
+    }
+
+    // ----------------------------------------------- data_in register
+    for i in 0..128 {
+        let d = b.nl.mux2(wr_now, data_in_q[i], din_bus[i]);
+        b.nl.connect_dff(data_in_q[i], d);
+    }
+
+    // ------------------------------------------------- output register
+    {
+        let result: Bytes = match (committed_enc.as_ref(), committed_dec.as_ref()) {
+            (Some(e), None) => e.clone(),
+            (None, Some(d)) => d.clone(),
+            (Some(e), Some(d)) => b.mux_bytes(dir_dec, e, d),
+            (None, None) => unreachable!(),
+        };
+        let result_bus = bytes_to_bus(&result);
+        for i in 0..128 {
+            let d = b.nl.mux2(finishing, dout_q[i], result_bus[i]);
+            b.nl.connect_dff(dout_q[i], d);
+        }
+        let ok_hold = b.nl.or2(data_ok_q, finishing);
+        let ok_d = b.nl.and2(ok_hold, not_load_key);
+        b.nl.connect_dff(data_ok_q, ok_d);
+    }
+
+    // ------------------------------------------------------------ ports
+    nl.output("data_ok", data_ok_q);
+    nl.output_bus("dout", &dout_q);
+    nl.validate();
+    (
+        nl,
+        CoreProbes { busy: busy_q, data_in_valid: valid_q, finishing },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_counts_match_table2() {
+        // 261 pins for single-function devices, 262 for the combined one
+        // (the +1 clock pin is added by the fitter).
+        for (variant, expect) in [
+            (CoreVariant::Encrypt, 260),
+            (CoreVariant::Decrypt, 260),
+            (CoreVariant::EncDec, 261),
+        ] {
+            let nl = build_core_netlist(variant, RomStyle::Macro);
+            assert_eq!(nl.inputs().len() + nl.outputs().len(), expect, "{variant}");
+        }
+    }
+
+    #[test]
+    fn sbox_rom_counts_match_table2_memory() {
+        // 8 ROMs = 16384 bits (enc, dec), 16 ROMs = 32768 bits (both).
+        assert_eq!(build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro).stats().roms, 8);
+        assert_eq!(build_core_netlist(CoreVariant::Decrypt, RomStyle::Macro).stats().roms, 8);
+        assert_eq!(build_core_netlist(CoreVariant::EncDec, RomStyle::Macro).stats().roms, 16);
+    }
+
+    #[test]
+    fn logic_cell_style_has_no_roms() {
+        let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::LogicCells);
+        assert_eq!(nl.stats().roms, 0);
+        assert!(nl.stats().gates > 1000);
+    }
+
+    #[test]
+    fn netlists_validate_and_have_plausible_populations() {
+        for variant in [CoreVariant::Encrypt, CoreVariant::Decrypt, CoreVariant::EncDec] {
+            let nl = build_core_netlist(variant, RomStyle::Macro);
+            nl.validate();
+            let st = nl.stats();
+            assert!(st.dffs >= 640, "{variant}: {} FFs", st.dffs);
+            assert!(st.gates >= 1000, "{variant}: {} gates", st.gates);
+        }
+    }
+}

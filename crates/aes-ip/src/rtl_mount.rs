@@ -1,0 +1,261 @@
+//! Mounts a cycle-accurate core in the event-driven [`rtl`] simulator.
+//!
+//! This is the ModelSim view of the IP: every pin of the paper's Table 1
+//! becomes a [`rtl`] signal, the core becomes a clocked process, and the
+//! whole bench can be dumped to a VCD waveform. The cycle-accurate model
+//! and the RTL mount are checked against each other in the integration
+//! tests.
+
+use std::path::Path;
+
+use rtl::{LogicVec, SignalId, Simulator, Trigger, VcdWriter};
+
+use crate::core::{CoreInputs, CycleCore, Direction};
+use crate::datapath::{block_to_u128, u128_to_block};
+
+/// The IP instantiated inside an [`rtl::Simulator`] with a free-running
+/// clock.
+///
+/// # Examples
+///
+/// ```
+/// use aes_ip::core::EncryptCore;
+/// use aes_ip::rtl_mount::IpBench;
+///
+/// let mut bench = IpBench::new(EncryptCore::new(), 7); // 14 ns clock (Acex1K)
+/// bench.write_key(&[0u8; 16]);
+/// bench.write_data(&[0u8; 16], false);
+/// bench.run_cycles(50);
+/// assert_eq!(bench.dout()[0], 0x66); // AES-128 zero vector
+/// assert!(bench.data_ok());
+/// ```
+#[derive(Debug)]
+pub struct IpBench {
+    sim: Simulator,
+    /// `clk` — all blocks are clocked by it (Table 1).
+    pub clk: SignalId,
+    /// `setup` — configuration/operation period select.
+    pub setup: SignalId,
+    /// `wr_data` — block write strobe.
+    pub wr_data: SignalId,
+    /// `wr_key` — key write strobe.
+    pub wr_key: SignalId,
+    /// `din` — shared 128-bit input bus.
+    pub din: SignalId,
+    /// `enc/dec` — direction select (combined device only).
+    pub enc_dec: SignalId,
+    /// `data_ok` — result-valid handshake.
+    pub data_ok: SignalId,
+    /// `dout` — 128-bit output bus.
+    pub dout: SignalId,
+}
+
+impl IpBench {
+    /// Builds the bench around `core` with the given clock half-period
+    /// (in simulator time units; the paper's Acex1K encrypt device runs a
+    /// 14 ns clock, i.e. half-period 7 with a 1 ns unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_half_period` is 0.
+    #[must_use]
+    pub fn new(mut core: impl CycleCore + 'static, clock_half_period: u64) -> Self {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", clock_half_period);
+        let setup = sim.add_signal("setup", 1);
+        let wr_data = sim.add_signal("wr_data", 1);
+        let wr_key = sim.add_signal("wr_key", 1);
+        let din = sim.add_signal("din", 128);
+        let enc_dec = sim.add_signal("enc_dec", 1);
+        let data_ok = sim.add_signal("data_ok", 1);
+        let dout = sim.add_signal("dout", 128);
+
+        // Benign defaults so the first edge sees known values.
+        sim.set_u128(setup, 0);
+        sim.set_u128(wr_data, 0);
+        sim.set_u128(wr_key, 0);
+        sim.set_u128(enc_dec, 0);
+        sim.set(din, LogicVec::zeros(128));
+
+        sim.add_process("rijndael_ip", Trigger::RisingEdge(clk), move |ctx| {
+            let inputs = CoreInputs {
+                setup: ctx.is_high(setup),
+                wr_data: ctx.is_high(wr_data),
+                wr_key: ctx.is_high(wr_key),
+                din: ctx.read_u128(din).unwrap_or(0),
+                enc_dec: if ctx.is_high(enc_dec) {
+                    Direction::Decrypt
+                } else {
+                    Direction::Encrypt
+                },
+            };
+            let out = core.rising_edge(&inputs);
+            ctx.write_u128(data_ok, u128::from(out.data_ok));
+            ctx.write_u128(dout, out.dout);
+        });
+
+        IpBench { sim, clk, setup, wr_data, wr_key, din, enc_dec, data_ok, dout }
+    }
+
+    /// Attaches a VCD writer named `scope` to the bench.
+    pub fn record_vcd(&mut self, scope: &str) {
+        self.sim.attach_vcd(VcdWriter::new(scope));
+    }
+
+    /// Stops recording and writes the waveform to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; also fails if no VCD was attached.
+    pub fn save_vcd(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        match self.sim.detach_vcd() {
+            Some(vcd) => vcd.save(path),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no VCD writer attached",
+            )),
+        }
+    }
+
+    /// Stops recording and returns the waveform text.
+    #[must_use]
+    pub fn vcd_text(&mut self) -> Option<String> {
+        self.sim.detach_vcd().map(VcdWriter::finish)
+    }
+
+    /// Runs `n` full clock cycles.
+    pub fn run_cycles(&mut self, n: u64) {
+        self.sim.run_cycles(self.clk, n);
+    }
+
+    /// Drives the bus for one clock cycle with the given strobes.
+    pub fn step(&mut self, setup: bool, wr_data: bool, wr_key: bool, din: u128, decrypt: bool) {
+        self.sim.set_u128(self.setup, u128::from(setup));
+        self.sim.set_u128(self.wr_data, u128::from(wr_data));
+        self.sim.set_u128(self.wr_key, u128::from(wr_key));
+        self.sim.set_u128(self.din, din);
+        self.sim.set_u128(self.enc_dec, u128::from(decrypt));
+        self.run_cycles(1);
+        // Deassert strobes so they are one-cycle pulses.
+        self.sim.set_u128(self.wr_data, 0);
+        self.sim.set_u128(self.wr_key, 0);
+    }
+
+    /// Loads a key: `setup`+`wr_key` for one cycle, then 10 setup cycles
+    /// for the decrypt key walk (harmless for encrypt-only cores).
+    pub fn write_key(&mut self, key: &[u8; 16]) {
+        self.step(true, false, true, block_to_u128(key), false);
+        for _ in 0..10 {
+            self.step(true, false, false, 0, false);
+        }
+        self.sim.set_u128(self.setup, 0);
+    }
+
+    /// Writes a data block (direction via `decrypt`).
+    pub fn write_data(&mut self, block: &[u8; 16], decrypt: bool) {
+        self.step(false, true, false, block_to_u128(block), decrypt);
+    }
+
+    /// Current `data_ok` level.
+    #[must_use]
+    pub fn data_ok(&self) -> bool {
+        self.sim.get_u128(self.data_ok) == Some(1)
+    }
+
+    /// Current `dout` value as wire bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dout` still carries `X` bits (no result yet).
+    #[must_use]
+    pub fn dout(&self) -> [u8; 16] {
+        let v = self.sim.get_u128(self.dout).expect("dout is defined");
+        u128_to_block(v)
+    }
+
+    /// Simulated time in clock units.
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.sim.time()
+    }
+
+    /// Access to the underlying simulator (waveform probes, statistics).
+    #[must_use]
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{DecryptCore, EncDecCore, EncryptCore};
+    use rijndael::vectors::{FIPS197_C1, RIJNDAEL_SPEC_B};
+
+    #[test]
+    fn rtl_encrypt_matches_vector() {
+        let mut bench = IpBench::new(EncryptCore::new(), 7);
+        let mut key = [0u8; 16];
+        key.copy_from_slice(FIPS197_C1.key);
+        bench.write_key(&key);
+        bench.write_data(&FIPS197_C1.plaintext, false);
+        // The write_data edge loads the block; 50 processing edges follow.
+        bench.run_cycles(50);
+        assert!(bench.data_ok());
+        assert_eq!(bench.dout(), FIPS197_C1.ciphertext);
+    }
+
+    #[test]
+    fn rtl_decrypt_matches_vector() {
+        let mut bench = IpBench::new(DecryptCore::new(), 7);
+        let mut key = [0u8; 16];
+        key.copy_from_slice(RIJNDAEL_SPEC_B.key);
+        bench.write_key(&key);
+        bench.write_data(&RIJNDAEL_SPEC_B.ciphertext, true);
+        bench.run_cycles(50);
+        assert!(bench.data_ok());
+        assert_eq!(bench.dout(), RIJNDAEL_SPEC_B.plaintext);
+    }
+
+    #[test]
+    fn rtl_encdec_roundtrip_with_vcd() {
+        let mut bench = IpBench::new(EncDecCore::new(), 5); // Cyclone: 10 ns
+        bench.record_vcd("encdec_tb");
+        bench.write_key(&[0x42u8; 16]);
+        let pt = [0x99u8; 16];
+        bench.write_data(&pt, false);
+        bench.run_cycles(50);
+        let ct = bench.dout();
+        bench.write_data(&ct, true);
+        bench.run_cycles(50);
+        assert_eq!(bench.dout(), pt);
+
+        let vcd = bench.vcd_text().expect("vcd attached");
+        assert!(vcd.contains("$var wire 128"));
+        assert!(vcd.contains("data_ok"));
+    }
+
+    #[test]
+    fn latency_in_wall_clock_time_matches_table2() {
+        // Acex1K encrypt: 14 ns clock → 700 ns latency (Table 2).
+        let mut bench = IpBench::new(EncryptCore::new(), 7);
+        bench.write_key(&[0u8; 16]);
+        bench.write_data(&[0u8; 16], false);
+        // Count full clock periods from the load edge to data_ok.
+        let mut periods = 0u64;
+        while !bench.data_ok() {
+            bench.run_cycles(1);
+            periods += 1;
+            assert!(periods <= 60, "never finished");
+        }
+        assert_eq!(periods, 50, "latency is 50 clock periods");
+        assert_eq!(periods * 14, 700, "Table 2: 700 ns at a 14 ns clock");
+    }
+
+    #[test]
+    fn dout_is_x_before_first_result() {
+        let bench = IpBench::new(EncryptCore::new(), 7);
+        assert!(!bench.data_ok());
+        assert_eq!(bench.simulator().get_u128(bench.dout), None);
+    }
+}

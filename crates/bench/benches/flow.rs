@@ -1,0 +1,54 @@
+//! Criterion benches for the EDA substrate itself: netlist generation,
+//! optimisation, LUT mapping and the full synthesis flow.
+
+use std::time::Duration;
+
+use aes_ip::core::CoreVariant;
+use aes_ip::netlist_gen::{build_core_netlist, RomStyle};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga::device::{EP1C20, EP1K100};
+use fpga::flow::{synthesize, FlowOptions};
+use netlist::mapper::{map, MapperConfig};
+use netlist::opt::optimize;
+use std::hint::black_box;
+
+fn bench_netlist_generation(c: &mut Criterion) {
+    c.bench_function("generate_encrypt_netlist", |b| {
+        b.iter(|| build_core_netlist(black_box(CoreVariant::Encrypt), RomStyle::Macro));
+    });
+}
+
+fn bench_optimize_and_map(c: &mut Criterion) {
+    let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro);
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("optimize", |b| {
+        b.iter(|| optimize(black_box(&nl)));
+    });
+    let (clean, _) = optimize(&nl);
+    group.bench_function("lut_map", |b| {
+        b.iter(|| map(black_box(&clean), &MapperConfig::default()));
+    });
+    group.finish();
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_flow");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("encrypt_on_acex", |b| {
+        let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro);
+        b.iter(|| synthesize(black_box(&nl), &EP1K100, &FlowOptions::default()).expect("fits"));
+    });
+    group.bench_function("encrypt_on_cyclone_lut_roms", |b| {
+        let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::LogicCells);
+        b.iter(|| synthesize(black_box(&nl), &EP1C20, &FlowOptions::default()).expect("fits"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_netlist_generation, bench_optimize_and_map, bench_full_flow);
+criterion_main!(benches);

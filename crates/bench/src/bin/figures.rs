@@ -1,0 +1,135 @@
+//! Regenerates the paper's Figures 1–7 as textual demonstrations: each
+//! transformation is shown on the FIPS-197 worked example and cross-
+//! checked against the reference implementation.
+//!
+//! Usage: `figures [fig1|fig2|fig3|fig4|fig5|fig6|fig7]` — no argument
+//! prints everything.
+
+use gf256::SBOX;
+use rijndael::key_schedule::{kstran, rcon, rot_word, sub_word};
+use rijndael::trace::trace_encrypt;
+use rijndael::{Rijndael, State};
+
+const KEY: [u8; 16] = [
+    0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+    0x3C,
+];
+const PT: [u8; 16] = [
+    0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D, 0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37, 0x07,
+    0x34,
+];
+
+fn print_state(title: &str, st: &State<4>) {
+    println!("  {title}:");
+    for r in 0..4 {
+        print!("   ");
+        for c in 0..4 {
+            print!(" {:02x}", st.get(r, c));
+        }
+        println!();
+    }
+}
+
+fn fig1() {
+    println!("Figure 1 — state_t: 4x4 matrix of bytes, filled column by column");
+    let st = State::<4>::from_bytes(&PT);
+    print_state("input bytes 32 43 f6 a8 88 5a ... land as", &st);
+    println!("  cell (row r, column c) holds input byte 4c + r\n");
+}
+
+fn fig2() {
+    println!("Figure 2 — encryption schedule: initial AddKey, 9 full rounds,");
+    println!("final round without MixColumn");
+    let cipher = Rijndael::<4>::new(&KEY).expect("fixed key");
+    let trace = trace_encrypt(&cipher, &State::from_bytes(&PT));
+    println!("  input          {}", trace.input);
+    println!("  after AddKey0  {}", trace.after_initial_add_key);
+    for r in &trace.rounds {
+        println!(
+            "  round {:>2}       {}   (MixColumn {})",
+            r.round,
+            r.after_add_key,
+            if r.after_mix_column.is_some() { "yes" } else { "SKIPPED" }
+        );
+    }
+    println!("  ciphertext     {}\n", trace.output());
+}
+
+fn fig3() {
+    println!("Figure 3 — KStran: shift word left, ByteSub each byte, XOR rcon");
+    let w = 0x09CF_4F3Cu32; // last word of the FIPS-197 key
+    println!("  input word        {w:08x}");
+    println!("  after RotWord     {:08x}", rot_word(w));
+    println!("  after SubWord     {:08x}", sub_word(rot_word(w)));
+    println!("  rcon(1)           {:08x}", rcon(1));
+    println!("  KStran output     {:08x}\n", kstran(w, 1));
+}
+
+fn fig4() {
+    println!("Figure 4 — ByteSub: every state byte indexes the S-box ROM");
+    let mut st = State::<4>::from_bytes(&PT);
+    print_state("before", &st);
+    rijndael::transform::byte_sub(&mut st);
+    print_state("after ", &st);
+    println!();
+}
+
+fn fig5() {
+    println!("Figure 5 — the S-box table (256 x 8 bits = 2048 bits of ROM,");
+    println!("derived from the GF(2^8) inverse + affine transform):");
+    for row in 0..16 {
+        print!("  {:x}x:", row);
+        for col in 0..16 {
+            print!(" {:02x}", SBOX[16 * row + col]);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn fig6() {
+    println!("Figure 6 — (I)ShiftRow: row r rotates by r positions");
+    let bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
+    let mut st = State::<4>::from_bytes(&bytes);
+    print_state("before", &st);
+    rijndael::transform::inv_shift_row(&mut st);
+    print_state("after IShiftRow", &st);
+    println!();
+}
+
+fn fig7() {
+    println!("Figure 7 — MixColumn: each column multiplied by");
+    println!("c(x) = 03 x^3 + 01 x^2 + 01 x + 02  (mod x^4 + 1)");
+    let col = [0xD4, 0xBF, 0x5D, 0x30];
+    let mixed = gf256::GfPoly4::MIX_COLUMN.apply_column(col);
+    println!("  column {col:02x?} -> {mixed:02x?}");
+    let back = gf256::GfPoly4::INV_MIX_COLUMN.apply_column(mixed);
+    println!("  IMixColumn restores {back:02x?}\n");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let all = arg.is_none();
+    let want = |name: &str| all || arg.as_deref() == Some(name);
+    if want("fig1") {
+        fig1();
+    }
+    if want("fig2") {
+        fig2();
+    }
+    if want("fig3") {
+        fig3();
+    }
+    if want("fig4") {
+        fig4();
+    }
+    if want("fig5") {
+        fig5();
+    }
+    if want("fig6") {
+        fig6();
+    }
+    if want("fig7") {
+        fig7();
+    }
+}

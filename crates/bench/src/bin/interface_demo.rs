@@ -1,0 +1,82 @@
+//! Demonstrates the bus architecture of the paper's Figures 8–9: the
+//! decoupled Data_In / Out processes let a new block be written while the
+//! previous one is still being processed, sustaining one block per 50
+//! clock cycles. Writes a VCD waveform of the session next to the binary.
+
+use aes_ip::core::EncDecCore;
+use aes_ip::rtl_mount::IpBench;
+
+fn main() {
+    // Acex1K combined device: 17 ns clock in the paper.
+    let mut bench = IpBench::new(EncDecCore::new(), 9);
+    bench.record_vcd("rijndael_ip_tb");
+
+    println!("interface demo: EncDec device, clock period 18 time units\n");
+    bench.write_key(&[0x2Bu8; 16]);
+    println!("t={:>5}  key written (+10 setup cycles for the decrypt key walk)", bench.time());
+
+    // Three back-to-back blocks: each written while the previous one is
+    // still in flight.
+    let blocks: [[u8; 16]; 3] = [[0x11; 16], [0x22; 16], [0x33; 16]];
+    bench.write_data(&blocks[0], false);
+    println!("t={:>5}  block 0 written (engine absorbs it on this edge)", bench.time());
+
+    // Overlap rule: the Data_In register is a single entry, so the bus
+    // master keeps at most one block outstanding beyond the one in
+    // flight. A pending block is absorbed exactly when the running block
+    // completes, so the master writes the next block shortly after each
+    // completion (and the very first extra block 20 cycles into block 0's
+    // flight).
+    let mut written = 1;
+    let mut results = 0;
+    let mut cycles_since_write = 0u64;
+    let mut write_countdown: Option<u64> = None;
+    let mut last_dout: Option<[u8; 16]> = None;
+    while results < 3 {
+        bench.run_cycles(1);
+        cycles_since_write += 1;
+        if bench.data_ok() {
+            let dout = bench.dout();
+            if last_dout != Some(dout) {
+                results += 1;
+                println!(
+                    "t={:>5}  data_ok high, Out register updated: result {} = {:02x?}...",
+                    bench.time(),
+                    results,
+                    &dout[..4]
+                );
+                last_dout = Some(dout);
+                if written < 3 {
+                    write_countdown = Some(10);
+                }
+            }
+        }
+        if written == 1 && cycles_since_write >= 20 {
+            // First overlapped write: 20 cycles into block 0's flight.
+            write_countdown = Some(0);
+        }
+        if let Some(cd) = write_countdown {
+            if cd == 0 {
+                bench.write_data(&blocks[written], false);
+                cycles_since_write = 0;
+                println!(
+                    "t={:>5}  block {} written while the engine is busy (Data_In register)",
+                    bench.time(),
+                    written
+                );
+                written += 1;
+                write_countdown = None;
+            } else {
+                write_countdown = Some(cd - 1);
+            }
+        }
+        assert!(bench.time() < 20_000, "demo wedged");
+    }
+    println!("\nsustained rate: one 128-bit block per 50 clock cycles (900 time units)");
+
+    let path = std::env::temp_dir().join("rijndael_interface_demo.vcd");
+    match bench.save_vcd(&path) {
+        Ok(()) => println!("\nwaveform written to {}", path.display()),
+        Err(e) => println!("\ncould not write waveform: {e}"),
+    }
+}

@@ -1,0 +1,83 @@
+//! Regenerates the complete measured-results record as one markdown file
+//! (the data behind EXPERIMENTS.md), so the reproduction's numbers can be
+//! refreshed with a single command.
+//!
+//! Usage: `report [output.md]` (default: stdout)
+
+use std::fmt::Write as _;
+
+use aes_ip::alt::AltArch;
+use aes_ip::alt_netlist::build_alt_netlist;
+use aes_ip::core::CoreVariant;
+use aes_ip::netlist_gen::{build_core_netlist, RomStyle};
+use bench_support::flows::table2_rows;
+use fpga::device::EP1K100;
+use fpga::flow::{synthesize, FlowOptions};
+
+fn main() {
+    let mut md = String::new();
+    let _ = writeln!(md, "# Measured results (regenerated)\n");
+
+    // ------------------------------------------------------- Table 2
+    let _ = writeln!(md, "## Table 2\n");
+    let _ = writeln!(
+        md,
+        "| System | Device | LCs | LC % | Memory | Pins | Clk ns | Latency ns | Mbps |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|");
+    for row in table2_rows() {
+        let r = &row.report;
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {:.0}% | {} | {} | {:.1} | {:.0} | {:.0} |",
+            row.variant,
+            row.device.family,
+            r.fit.logic_cells,
+            r.fit.logic_pct,
+            r.fit.memory_bits,
+            r.fit.pins,
+            r.clock_ns,
+            r.latency_ns,
+            r.throughput_mbps,
+        );
+    }
+
+    // -------------------------------------------------- architecture sweep
+    let _ = writeln!(md, "\n## Architecture sweep ({})\n", EP1K100.part);
+    let _ = writeln!(md, "| Architecture | cyc/round | latency | memory | LCs | Clk ns | Mbps |");
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|");
+    for arch in AltArch::ALL {
+        let nl = if arch == AltArch::Mixed32x128 {
+            build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro)
+        } else {
+            build_alt_netlist(arch, RomStyle::Macro)
+        };
+        let options = FlowOptions { latency_cycles: arch.latency_cycles(), ..Default::default() };
+        let r = synthesize(&nl, &EP1K100, &options).expect("sweep fits");
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {:.1} | {:.0} |",
+            arch,
+            arch.cycles_per_round(),
+            arch.latency_cycles(),
+            r.fit.memory_bits,
+            r.fit.logic_cells,
+            r.clock_ns,
+            r.throughput_mbps,
+        );
+    }
+
+    let _ = writeln!(
+        md,
+        "\nSee `table3`, `power_analysis`, `seu_campaign`, `figures` and\n\
+         `interface_demo` for the remaining artifacts."
+    );
+
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, md).expect("write report");
+            println!("report written to {path}");
+        }
+        None => print!("{md}"),
+    }
+}

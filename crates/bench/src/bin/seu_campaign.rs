@@ -1,0 +1,42 @@
+//! Single-event-upset campaign over the gate-level IP — the experiment of
+//! the paper's companion work \[16\] ("Testing a Rijndael VHDL Description
+//! to Single Event Upsets"), run on this reproduction's netlists.
+//!
+//! Random (flip-flop, cycle) upsets are injected during encryptions and
+//! the pin-visible outcome is classified: masked, corrupted (wrong
+//! ciphertext under a valid handshake — the dangerous class AES
+//! diffusion makes hard to detect without end-to-end checks), or hung
+//! (the one-hot control rings lost their token).
+
+use aes_ip::core::CoreVariant;
+use aes_ip::fault::run_campaign;
+use aes_ip::netlist_gen::RomStyle;
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    println!("SEU campaign: {trials} random upsets per variant (gate-level model)\n");
+    println!(
+        "{:<10} | {:>8} | {:>10} | {:>6} | {:>16}",
+        "variant", "masked", "corrupted", "hung", "mean wrong bits"
+    );
+    println!("{}", "-".repeat(62));
+    for variant in [CoreVariant::Encrypt, CoreVariant::Decrypt, CoreVariant::EncDec] {
+        let c = run_campaign(variant, RomStyle::Macro, trials, 0x5E0_CAFE);
+        println!(
+            "{:<10} | {:>7.1}% | {:>9.1}% | {:>5.1}% | {:>13.1}",
+            variant.to_string(),
+            c.masked_rate() * 100.0,
+            c.corrupted_rate() * 100.0,
+            c.hung_rate() * 100.0,
+            c.mean_wrong_bits(),
+        );
+    }
+    println!(
+        "\nreading: corrupted outputs average ~64 wrong bits (full diffusion), so\n\
+         parity/byte-level checks cannot catch them — consistent with [16]'s case\n\
+         for TMR-style hardening of the control and key path."
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates the paper's Table 2: performance and occupation of the
+//! three IP variants on the Acex1K and Cyclone devices, printed next to
+//! the published values.
+
+use bench_support::flows::table2_rows;
+use bench_support::reference::PAPER_TABLE2;
+
+fn main() {
+    println!("Table 2 — performance and occupation (measured by this reproduction's flow");
+    println!("vs the numbers published in the paper)\n");
+    println!(
+        "{:<8} {:<8} | {:>6} {:>5} | {:>7} {:>5} | {:>5} {:>4} | {:>8} | {:>7} | {:>10}",
+        "System", "Device", "LC's", "%", "Mem", "%", "Pins", "%", "Latency", "Clk", "Throughput"
+    );
+    println!("{}", "-".repeat(104));
+    for row in table2_rows() {
+        let r = &row.report;
+        println!(
+            "{:<8} {:<8} | {:>6} {:>4.0}% | {:>7} {:>4.0}% | {:>5} {:>3.0}% | {:>6.0}ns | {:>5.1}ns | {:>6.0} Mbps",
+            row.variant.to_string(),
+            row.device.family.to_string().replace(' ', ""),
+            r.fit.logic_cells,
+            r.fit.logic_pct,
+            r.fit.memory_bits,
+            r.fit.memory_pct,
+            r.fit.pins,
+            r.fit.pin_pct,
+            r.latency_ns,
+            r.clock_ns,
+            r.throughput_mbps,
+        );
+    }
+    println!("\npaper:");
+    for p in PAPER_TABLE2 {
+        println!(
+            "{:<8} {:<8} | {:>6} {:>4}% | {:>7} {:>4}% | {:>5} {:>3}% | {:>6}ns | {:>5}ns | {:>6} Mbps",
+            p.system, p.family, p.lcs.0, p.lcs.1, p.memory.0, p.memory.1, p.pins.0, p.pins.1,
+            p.latency_ns, p.clk_ns, p.throughput_mbps,
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates the paper's Table 3: this IP and the design-space
+//! neighbours on the comparison devices, next to the published rows.
+//!
+//! The published rows are reproduced verbatim where the source text is
+//! legible (several cells of the scanned paper are not recoverable and
+//! are printed as `n/r`); the measured rows re-derive the comparison's
+//! *shape* — the low-cost serial core is smaller and much slower, the
+//! fully parallel core is larger and much faster, and this IP sits
+//! between — from this reproduction's own synthesis flow.
+
+use aes_ip::alt::AltArch;
+use aes_ip::alt_netlist::build_alt_netlist;
+use aes_ip::core::CoreVariant;
+use aes_ip::netlist_gen::{build_core_netlist, RomStyle};
+use bench_support::reference::PAPER_TABLE3;
+use fpga::device::{Device, EP1K100, EP20K300E, EP20K400, EPF10K100A};
+use fpga::flow::{synthesize, FlowOptions};
+
+fn run(name: &str, netlist: &netlist::Netlist, device: &Device, latency: u64) {
+    let options = FlowOptions { latency_cycles: latency, ..Default::default() };
+    match synthesize(netlist, device, &options) {
+        Ok(r) => println!(
+            "{:<34} {:<12} | {:>6} LCs | {:>6} bits | {:>6.1} ns clk | {:>7.1} Mbps",
+            name, device.family.to_string(), r.fit.logic_cells, r.fit.memory_bits,
+            r.clock_ns, r.throughput_mbps,
+        ),
+        Err(e) => println!("{:<34} {:<12} | does not fit: {e}", name, device.family.to_string()),
+    }
+}
+
+fn main() {
+    println!("Table 3 — this flow's measurements on the comparison families\n");
+    for device in [&EPF10K100A, &EP20K400, &EP20K300E] {
+        for variant in [CoreVariant::Encrypt, CoreVariant::Decrypt, CoreVariant::EncDec] {
+            let nl = build_core_netlist(variant, RomStyle::Macro);
+            run(&format!("this IP ({variant})"), &nl, device, 50);
+        }
+    }
+    let low_cost = build_alt_netlist(AltArch::Serial8, RomStyle::Macro);
+    run("serial-8 low-cost analogue of [14]", &low_cost, &EP1K100, AltArch::Serial8.latency_cycles());
+    let high_perf = build_alt_netlist(AltArch::Full128, RomStyle::Macro);
+    run("full-128 high-perf analogue of [1]", &high_perf, &EP20K400, AltArch::Full128.latency_cycles());
+
+    println!("\npublished rows (n/r = not recoverable from the scanned source):");
+    for row in PAPER_TABLE3 {
+        let fmt_u = |v: Option<u32>| v.map_or("n/r".to_string(), |x| x.to_string());
+        let fmt_f = |v: Option<f32>| v.map_or("n/r".to_string(), |x| format!("{x:.1}"));
+        println!(
+            "{:<34} {:<12} | mem {:>6} | LCs E/D/C {:>5}/{:>5}/{:>5} | Mbps E/D/C {:>6}/{:>6}/{:>6}",
+            row.source,
+            row.technology,
+            fmt_u(row.memory_bits),
+            fmt_u(row.lcs[0]), fmt_u(row.lcs[1]), fmt_u(row.lcs[2]),
+            fmt_f(row.throughput_mbps[0]), fmt_f(row.throughput_mbps[1]), fmt_f(row.throughput_mbps[2]),
+        );
+    }
+    println!("\nshape check: the serial-8 core must be the smallest and slowest,");
+    println!("full-128 the largest and fastest, with this IP in between (see arch_sweep).");
+}

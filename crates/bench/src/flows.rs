@@ -1,0 +1,46 @@
+//! Synthesis-flow helpers shared by the table binaries.
+
+use aes_ip::core::CoreVariant;
+use aes_ip::netlist_gen::{build_core_netlist, RomStyle};
+use fpga::device::{Device, EP1C20, EP1K100};
+use fpga::flow::{synthesize, FlowOptions, SynthesisReport};
+
+/// One measured row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Which device variant.
+    pub variant: CoreVariant,
+    /// Target device.
+    pub device: &'static Device,
+    /// Flow result.
+    pub report: SynthesisReport,
+}
+
+/// Synthesizes one variant for one device, choosing the ROM style the
+/// family supports.
+///
+/// # Panics
+///
+/// Panics if the design does not fit (it fits both paper targets).
+#[must_use]
+pub fn synthesize_variant(variant: CoreVariant, device: &'static Device) -> SynthesisReport {
+    let style = if device.family.supports_async_rom() {
+        RomStyle::Macro
+    } else {
+        RomStyle::LogicCells
+    };
+    let nl = build_core_netlist(variant, style);
+    synthesize(&nl, device, &FlowOptions::default()).expect("paper designs fit their devices")
+}
+
+/// All six rows of Table 2 (3 variants x 2 devices).
+#[must_use]
+pub fn table2_rows() -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for variant in [CoreVariant::Encrypt, CoreVariant::Decrypt, CoreVariant::EncDec] {
+        for device in [&EP1K100, &EP1C20] {
+            rows.push(Table2Row { variant, device, report: synthesize_variant(variant, device) });
+        }
+    }
+    rows
+}

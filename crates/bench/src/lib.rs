@@ -1,0 +1,11 @@
+//! Shared support code for the benchmark/table harness.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper; this library holds the pieces they share: running the synthesis
+//! flow over the IP variants, formatting Table-2-style rows, and the
+//! published reference numbers the measured results are printed against.
+
+pub mod flows;
+pub mod reference;
+
+pub use flows::{table2_rows, Table2Row};

@@ -1,0 +1,83 @@
+//! The published numbers of the paper, kept verbatim for side-by-side
+//! reporting (never fed back into the model).
+
+/// One published row of the paper's Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Device block of the table ("Encrypt" / "Decrypt" / "Both").
+    pub system: &'static str,
+    /// Family column.
+    pub family: &'static str,
+    /// Logic cells / percentage.
+    pub lcs: (u32, u32),
+    /// Memory bits / percentage.
+    pub memory: (u32, u32),
+    /// Pins / percentage.
+    pub pins: (u32, u32),
+    /// Latency in ns.
+    pub latency_ns: u32,
+    /// Clock period in ns.
+    pub clk_ns: u32,
+    /// Throughput in Mbps.
+    pub throughput_mbps: u32,
+}
+
+/// Table 2 as printed in the paper.
+pub const PAPER_TABLE2: &[PaperRow] = &[
+    PaperRow { system: "Encrypt", family: "Acex1K", lcs: (2114, 42), memory: (16384, 33), pins: (261, 78), latency_ns: 700, clk_ns: 14, throughput_mbps: 182 },
+    PaperRow { system: "Encrypt", family: "Cyclone", lcs: (4057, 20), memory: (0, 0), pins: (261, 87), latency_ns: 500, clk_ns: 10, throughput_mbps: 256 },
+    PaperRow { system: "Decrypt", family: "Acex1K", lcs: (2217, 44), memory: (16384, 33), pins: (261, 78), latency_ns: 750, clk_ns: 15, throughput_mbps: 170 },
+    PaperRow { system: "Decrypt", family: "Cyclone", lcs: (4211, 20), memory: (0, 0), pins: (261, 87), latency_ns: 550, clk_ns: 11, throughput_mbps: 232 },
+    PaperRow { system: "Both", family: "Acex1K", lcs: (3222, 64), memory: (32768, 66), pins: (262, 78), latency_ns: 850, clk_ns: 17, throughput_mbps: 150 },
+    PaperRow { system: "Both", family: "Cyclone", lcs: (7034, 35), memory: (0, 0), pins: (262, 87), latency_ns: 650, clk_ns: 13, throughput_mbps: 197 },
+];
+
+/// One row of the paper's Table 3 (comparison with published FPGA
+/// implementations). The scanned source text garbles several cells; those
+/// are `None` ("not recoverable") and we do not invent them.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Row {
+    /// Citation tag in the paper.
+    pub source: &'static str,
+    /// Technology / device family.
+    pub technology: &'static str,
+    /// Memory bits, if reported and recoverable.
+    pub memory_bits: Option<u32>,
+    /// Logic cells (encrypt / decrypt / combined), where recoverable.
+    pub lcs: [Option<u32>; 3],
+    /// Throughput in Mbps (encrypt / decrypt / combined), where
+    /// recoverable.
+    pub throughput_mbps: [Option<f32>; 3],
+}
+
+/// Table 3 as recoverable from the paper text.
+pub const PAPER_TABLE3: &[Table3Row] = &[
+    Table3Row {
+        source: "[13] Mroczkowski",
+        technology: "Flex10KA",
+        memory_bits: None,
+        lcs: [None, None, None],
+        throughput_mbps: [None, None, None],
+    },
+    Table3Row {
+        source: "[14] Zigiotto/d'Amore (low-cost)",
+        technology: "Acex1K",
+        memory_bits: None,
+        lcs: [None, None, Some(1965)],
+        throughput_mbps: [None, None, Some(61.2)],
+    },
+    Table3Row {
+        source: "[1] Panato et al. (high-performance)",
+        technology: "Apex20K-1X",
+        memory_bits: None,
+        lcs: [None, None, None],
+        throughput_mbps: [None, None, None],
+    },
+    Table3Row {
+        source: "[15] Altera Hammercores",
+        technology: "Apex20KE",
+        memory_bits: Some(57344),
+        lcs: [None, None, None],
+        throughput_mbps: [None, None, None],
+    },
+];

@@ -1,0 +1,173 @@
+//! Altera device models for the families the paper (and its Table 3
+//! comparison points) target.
+
+use core::fmt;
+
+/// Device family, determining logic-cell timing and embedded-memory
+/// capabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// ACEX 1K — 4-LUT LEs, EAB embedded memory with *asynchronous* ROM
+    /// support (the paper's primary target).
+    Acex1k,
+    /// Cyclone — 4-LUT LEs, M4K memory that is synchronous-only: no
+    /// asynchronous ROM, so S-boxes must burn logic cells (the effect the
+    /// paper observes: "the memory is not implemented in Cyclone family").
+    Cyclone,
+    /// FLEX 10KA — the family of comparison \[13\].
+    Flex10ka,
+    /// APEX 20K — comparison \[1\].
+    Apex20k,
+    /// APEX 20KE — comparison \[15\].
+    Apex20ke,
+}
+
+impl Family {
+    /// Whether the family's embedded memory can implement asynchronous
+    /// (combinational-read) ROM.
+    #[must_use]
+    pub const fn supports_async_rom(self) -> bool {
+        match self {
+            Family::Acex1k | Family::Flex10ka | Family::Apex20k | Family::Apex20ke => true,
+            Family::Cyclone => false,
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Family::Acex1k => "ACEX 1K",
+            Family::Cyclone => "Cyclone",
+            Family::Flex10ka => "FLEX 10KA",
+            Family::Apex20k => "APEX 20K",
+            Family::Apex20ke => "APEX 20KE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One concrete device (a part number with its resource budget).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Ordering part number.
+    pub part: &'static str,
+    /// Family.
+    pub family: Family,
+    /// Logic cells / logic elements.
+    pub logic_cells: u32,
+    /// Embedded memory bits.
+    pub memory_bits: u32,
+    /// User I/O pins.
+    pub user_pins: u32,
+}
+
+/// ACEX 1K EP1K100FC484-1 — the paper's first target: 4992 LEs, 12 EABs
+/// (49 Kibit), 333 user I/O.
+pub const EP1K100: Device = Device {
+    part: "EP1K100FC484-1",
+    family: Family::Acex1k,
+    logic_cells: 4992,
+    memory_bits: 49_152,
+    user_pins: 333,
+};
+
+/// Cyclone EP1C20F400C6 — the paper's second target: 20 060 LEs, 64 M4K
+/// blocks (294 Kibit, synchronous only), 301 user I/O.
+pub const EP1C20: Device = Device {
+    part: "EP1C20F400C6",
+    family: Family::Cyclone,
+    logic_cells: 20_060,
+    memory_bits: 294_912,
+    user_pins: 301,
+};
+
+/// FLEX 10KA EPF10K100A — comparison \[13\]: 4992 LEs, 12 EABs (2 Kibit
+/// each). The BGA600 package provides enough user I/O for the IP's
+/// 261-pin interface.
+pub const EPF10K100A: Device = Device {
+    part: "EPF10K100ABC600-1",
+    family: Family::Flex10ka,
+    logic_cells: 4992,
+    memory_bits: 24_576,
+    user_pins: 406,
+};
+
+/// APEX 20K EP20K400 — comparison \[1\] (high-performance core).
+pub const EP20K400: Device = Device {
+    part: "EP20K400FC672-1X",
+    family: Family::Apex20k,
+    logic_cells: 16_640,
+    memory_bits: 212_992,
+    user_pins: 488,
+};
+
+/// APEX 20KE EP20K300E — comparison \[15\] (Hammercores processors).
+pub const EP20K300E: Device = Device {
+    part: "EP20K300EFC672-1X",
+    family: Family::Apex20ke,
+    logic_cells: 11_520,
+    memory_bits: 147_456,
+    user_pins: 408,
+};
+
+/// The full device list, paper targets first.
+pub const ALL_DEVICES: &[Device] = &[EP1K100, EP1C20, EPF10K100A, EP20K400, EP20K300E];
+
+impl Device {
+    /// Looks a device up by part number (case-insensitive prefix match).
+    #[must_use]
+    pub fn by_part(part: &str) -> Option<Device> {
+        let wanted = part.to_ascii_lowercase();
+        ALL_DEVICES
+            .iter()
+            .find(|d| d.part.to_ascii_lowercase().starts_with(&wanted))
+            .copied()
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.part, self.family)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_percentages_reconstruct() {
+        // Table 2 reports 2114 LCs as 42% of the Acex device and
+        // 4057 LEs as 20% of the Cyclone device; our capacities must make
+        // those percentages come out right.
+        assert_eq!((2114.0_f64 / f64::from(EP1K100.logic_cells) * 100.0).round(), 42.0);
+        assert_eq!((4057.0_f64 / f64::from(EP1C20.logic_cells) * 100.0).round(), 20.0);
+        // Memory: 16384 bits = 33% of the EABs; 32768 = 66%.
+        assert_eq!((16_384.0_f64 / f64::from(EP1K100.memory_bits) * 100.0).round(), 33.0);
+        assert_eq!((32_768.0_f64 / f64::from(EP1K100.memory_bits) * 100.0).round(), 67.0);
+        // Pins: 261 = 78% of Acex, 87% of Cyclone.
+        assert_eq!((261.0_f64 / f64::from(EP1K100.user_pins) * 100.0).round(), 78.0);
+        assert_eq!((261.0_f64 / f64::from(EP1C20.user_pins) * 100.0).round(), 87.0);
+    }
+
+    #[test]
+    fn async_rom_support_matches_the_paper() {
+        assert!(EP1K100.family.supports_async_rom());
+        assert!(!EP1C20.family.supports_async_rom(), "Cyclone M4K is synchronous-only");
+        assert!(EPF10K100A.family.supports_async_rom());
+    }
+
+    #[test]
+    fn lookup_by_part() {
+        assert_eq!(Device::by_part("EP1K100").unwrap().family, Family::Acex1k);
+        assert_eq!(Device::by_part("ep1c20").unwrap().family, Family::Cyclone);
+        assert!(Device::by_part("XC2V1000").is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(EP1K100.to_string(), "EP1K100FC484-1 (ACEX 1K)");
+        assert_eq!(Family::Cyclone.to_string(), "Cyclone");
+    }
+}

@@ -1,0 +1,176 @@
+//! The fitter: places a mapped design's resource demand against a device's
+//! budget and reports occupation the way the paper's Table 2 does.
+
+use core::fmt;
+
+use netlist::ir::Netlist;
+use netlist::mapper::MappedDesign;
+
+use crate::device::Device;
+
+/// Resource overflow diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// More logic cells than the device has.
+    LogicOverflow {
+        /// Cells required.
+        needed: u32,
+        /// Cells available.
+        available: u32,
+    },
+    /// More embedded memory than the device has.
+    MemoryOverflow {
+        /// Bits required.
+        needed: u32,
+        /// Bits available.
+        available: u32,
+    },
+    /// More pins than the device has.
+    PinOverflow {
+        /// Pins required.
+        needed: u32,
+        /// Pins available.
+        available: u32,
+    },
+    /// Asynchronous ROM macros on a family without async-ROM-capable
+    /// memory (the Cyclone case — regenerate the netlist with
+    /// logic-cell S-boxes instead).
+    AsyncRomUnsupported {
+        /// Offending ROM macro count.
+        roms: usize,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::LogicOverflow { needed, available } => {
+                write!(f, "design needs {needed} logic cells, device has {available}")
+            }
+            FitError::MemoryOverflow { needed, available } => {
+                write!(f, "design needs {needed} memory bits, device has {available}")
+            }
+            FitError::PinOverflow { needed, available } => {
+                write!(f, "design needs {needed} pins, device has {available}")
+            }
+            FitError::AsyncRomUnsupported { roms } => write!(
+                f,
+                "{roms} asynchronous ROM macros cannot be placed: this family's \
+                 embedded memory is synchronous-only"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A successful fit: the paper's Table 2 row minus timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// Logic cells used.
+    pub logic_cells: u32,
+    /// Percentage of the device's logic.
+    pub logic_pct: f64,
+    /// Embedded memory bits used.
+    pub memory_bits: u32,
+    /// Percentage of the device's memory.
+    pub memory_pct: f64,
+    /// Pins used (one per primary input/output bit, plus the clock).
+    pub pins: u32,
+    /// Percentage of the device's user I/O.
+    pub pin_pct: f64,
+}
+
+/// Fits a mapped design onto a device.
+///
+/// Pin demand counts every primary input and output bit plus one clock
+/// pin (the convention that reproduces the paper's 261/262 pin counts).
+///
+/// # Errors
+///
+/// Returns a [`FitError`] when any budget is exceeded or the family cannot
+/// realise asynchronous ROMs.
+pub fn fit(netlist: &Netlist, mapped: &MappedDesign, device: &Device) -> Result<FitReport, FitError> {
+    if !mapped.roms.is_empty() && !device.family.supports_async_rom() {
+        return Err(FitError::AsyncRomUnsupported { roms: mapped.roms.len() });
+    }
+    let logic_cells = u32::try_from(mapped.logic_cells).expect("LC count fits u32");
+    let memory_bits = u32::try_from(mapped.memory_bits()).expect("memory bits fit u32");
+    let pins = u32::try_from(netlist.inputs().len() + netlist.outputs().len() + 1)
+        .expect("pin count fits u32");
+
+    if logic_cells > device.logic_cells {
+        return Err(FitError::LogicOverflow { needed: logic_cells, available: device.logic_cells });
+    }
+    if memory_bits > device.memory_bits {
+        return Err(FitError::MemoryOverflow { needed: memory_bits, available: device.memory_bits });
+    }
+    if pins > device.user_pins {
+        return Err(FitError::PinOverflow { needed: pins, available: device.user_pins });
+    }
+
+    Ok(FitReport {
+        logic_cells,
+        logic_pct: f64::from(logic_cells) / f64::from(device.logic_cells) * 100.0,
+        memory_bits,
+        memory_pct: f64::from(memory_bits) / f64::from(device.memory_bits) * 100.0,
+        pins,
+        pin_pct: f64::from(pins) / f64::from(device.user_pins) * 100.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{EP1C20, EP1K100};
+    use netlist::mapper::{map, MapperConfig};
+
+    fn toy_design(with_rom: bool) -> (Netlist, MappedDesign) {
+        let mut nl = Netlist::new("toy");
+        let a = nl.input_bus("a", 8);
+        let b = nl.input_bus("b", 8);
+        let x = nl.xor_word(&a, &b);
+        let q = nl.dff_word(&x);
+        if with_rom {
+            let contents: [u8; 256] = core::array::from_fn(|i| i as u8);
+            let d = nl.rom256x8(&q, &contents);
+            nl.output_bus("d", &d);
+        } else {
+            nl.output_bus("q", &q);
+        }
+        let mapped = map(&nl, &MapperConfig::default());
+        (nl, mapped)
+    }
+
+    #[test]
+    fn fits_and_reports_percentages() {
+        let (nl, mapped) = toy_design(false);
+        let r = fit(&nl, &mapped, &EP1K100).unwrap();
+        assert_eq!(r.logic_cells, 8);
+        assert_eq!(r.pins, 8 + 8 + 8 + 1); // a, b, q, clk
+        assert!(r.logic_pct > 0.0 && r.logic_pct < 1.0);
+        assert_eq!(r.memory_bits, 0);
+    }
+
+    #[test]
+    fn rom_fits_on_acex_not_on_cyclone() {
+        let (nl, mapped) = toy_design(true);
+        let acex = fit(&nl, &mapped, &EP1K100).unwrap();
+        assert_eq!(acex.memory_bits, 2048);
+        let err = fit(&nl, &mapped, &EP1C20).unwrap_err();
+        assert!(matches!(err, FitError::AsyncRomUnsupported { roms: 1 }));
+        assert!(err.to_string().contains("synchronous-only"));
+    }
+
+    #[test]
+    fn overflow_detection() {
+        let (nl, mapped) = toy_design(false);
+        let tiny = Device { logic_cells: 4, ..EP1K100 };
+        assert!(matches!(
+            fit(&nl, &mapped, &tiny),
+            Err(FitError::LogicOverflow { needed: 8, available: 4 })
+        ));
+        let pinless = Device { user_pins: 3, ..EP1K100 };
+        assert!(matches!(fit(&nl, &mapped, &pinless), Err(FitError::PinOverflow { .. })));
+    }
+}

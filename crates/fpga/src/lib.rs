@@ -1,0 +1,40 @@
+//! Altera device models, fitting and timing estimation — the Quartus II
+//! substitute of the reproduction.
+//!
+//! * [`device`] — resource budgets of the paper's targets (ACEX 1K
+//!   EP1K100, Cyclone EP1C20) and the Table 3 comparison families;
+//! * [`timing`] — calibrated per-family delay parameters feeding the
+//!   [`netlist::sta`] analyzer;
+//! * [`fit`] — occupation accounting (logic cells, memory bits, pins) with
+//!   overflow and async-ROM-capability checks;
+//! * [`flow`] — the optimize → map → fit → time pipeline producing a
+//!   complete Table 2 row per design/device pair.
+//!
+//! # Examples
+//!
+//! ```
+//! use fpga::device::EP1K100;
+//! use fpga::flow::{synthesize, FlowOptions};
+//! use netlist::ir::Netlist;
+//!
+//! let mut nl = Netlist::new("reg8");
+//! let a = nl.input_bus("a", 8);
+//! let q = nl.dff_word(&a);
+//! nl.output_bus("q", &q);
+//! let report = synthesize(&nl, &EP1K100, &FlowOptions::default())?;
+//! assert_eq!(report.fit.logic_cells, 8);
+//! # Ok::<(), fpga::fit::FitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod fit;
+pub mod flow;
+pub mod power;
+pub mod timing;
+
+pub use device::{Device, Family, ALL_DEVICES, EP1C20, EP1K100};
+pub use fit::{FitError, FitReport};
+pub use flow::{synthesize, FlowOptions, SynthesisReport};

@@ -1,0 +1,85 @@
+//! Per-family electrical parameters for the activity-based power model —
+//! the paper's §6 future work ("we propose a power analysis of the
+//! architecture. As one of the possible applications area \[is\] mobile
+//! systems, this feature is very interesting").
+//!
+//! Calibration: ACEX 1K is a 2.5 V, 0.22 µm family; Cyclone is a 1.5 V,
+//! 0.13 µm family — the voltage difference alone gives Cyclone a ~2.8×
+//! advantage in switching energy, which is the dominant effect the model
+//! reproduces. Capacitance constants are order-of-magnitude figures for
+//! the respective processes.
+
+use netlist::power::PowerParams;
+
+use crate::device::Family;
+
+/// Returns calibrated [`PowerParams`] for a family.
+#[must_use]
+pub fn power_params_for(family: Family) -> PowerParams {
+    match family {
+        Family::Acex1k => PowerParams {
+            voltage: 2.5,
+            cell_cap_pf: 0.030,
+            wire_cap_per_fanout_pf: 0.008,
+            rom_access_energy_pj: 6.0,
+            clock_energy_per_ff_pj: 0.09,
+        },
+        Family::Cyclone => PowerParams {
+            voltage: 1.5,
+            cell_cap_pf: 0.018,
+            wire_cap_per_fanout_pf: 0.005,
+            rom_access_energy_pj: 3.0,
+            clock_energy_per_ff_pj: 0.05,
+        },
+        Family::Flex10ka => PowerParams {
+            voltage: 3.3,
+            cell_cap_pf: 0.038,
+            wire_cap_per_fanout_pf: 0.010,
+            rom_access_energy_pj: 8.0,
+            clock_energy_per_ff_pj: 0.12,
+        },
+        Family::Apex20k => PowerParams {
+            voltage: 2.5,
+            cell_cap_pf: 0.026,
+            wire_cap_per_fanout_pf: 0.007,
+            rom_access_energy_pj: 5.0,
+            clock_energy_per_ff_pj: 0.08,
+        },
+        Family::Apex20ke => PowerParams {
+            voltage: 1.8,
+            cell_cap_pf: 0.022,
+            wire_cap_per_fanout_pf: 0.006,
+            rom_access_energy_pj: 4.0,
+            clock_energy_per_ff_pj: 0.06,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newer_families_run_at_lower_voltage() {
+        let flex = power_params_for(Family::Flex10ka).voltage;
+        let acex = power_params_for(Family::Acex1k).voltage;
+        let cyc = power_params_for(Family::Cyclone).voltage;
+        assert!(flex > acex && acex > cyc);
+    }
+
+    #[test]
+    fn all_parameters_positive() {
+        for f in [
+            Family::Acex1k,
+            Family::Cyclone,
+            Family::Flex10ka,
+            Family::Apex20k,
+            Family::Apex20ke,
+        ] {
+            let p = power_params_for(f);
+            assert!(p.voltage > 0.0);
+            assert!(p.cell_cap_pf > 0.0);
+            assert!(p.rom_access_energy_pj > 0.0);
+        }
+    }
+}

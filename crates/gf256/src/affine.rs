@@ -1,0 +1,336 @@
+//! Bit-matrices over GF(2) and the Rijndael affine transform.
+//!
+//! `ByteSub` composes the field inverse with an affine transform
+//! `y = A·x + c` over GF(2), where `A` is a circulant 8×8 bit-matrix and
+//! `c = 0x63`. The inverse S-box uses `x = A⁻¹·(y + c)`.
+
+use core::fmt;
+
+use crate::field::Gf256;
+
+/// An 8×8 matrix over GF(2), stored one row per byte (bit `j` of row `i` is
+/// the entry `A[i][j]`; bit 0 is the least-significant input bit).
+///
+/// # Examples
+///
+/// ```
+/// use gf256::BitMatrix;
+///
+/// let id = BitMatrix::IDENTITY;
+/// assert_eq!(id.apply(0xA5), 0xA5);
+/// assert_eq!(id * id, id);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: [u8; 8],
+}
+
+/// The circulant matrix of the Rijndael affine transform (FIPS-197 §5.1.1):
+/// output bit `i` is `x_i ^ x_{(i+4)%8} ^ x_{(i+5)%8} ^ x_{(i+6)%8} ^ x_{(i+7)%8}`.
+pub const AFFINE_MATRIX: BitMatrix = BitMatrix::circulant(0b1111_0001);
+
+/// The additive constant of the forward affine transform.
+pub const AFFINE_CONSTANT: u8 = 0x63;
+
+/// The matrix of the inverse affine transform (circulant with taps at
+/// offsets 2, 5 and 7: `x_i = y_{(i+2)%8} + y_{(i+5)%8} + y_{(i+7)%8}`).
+pub const INV_AFFINE_MATRIX: BitMatrix = BitMatrix::circulant(0b1010_0100);
+
+/// The additive constant applied by the inverse transform *after* the
+/// matrix: `x = A⁻¹·y + A⁻¹·c = A⁻¹·y + 0x05`.
+pub const INV_AFFINE_CONSTANT: u8 = 0x05;
+
+impl BitMatrix {
+    /// The identity matrix.
+    pub const IDENTITY: BitMatrix = {
+        let mut rows = [0u8; 8];
+        let mut i = 0;
+        while i < 8 {
+            rows[i] = 1 << i;
+            i += 1;
+        }
+        BitMatrix { rows }
+    };
+
+    /// The zero matrix.
+    pub const ZERO: BitMatrix = BitMatrix { rows: [0; 8] };
+
+    /// Builds a matrix from explicit rows (row `i`, bit `j` ⇒ `A[i][j]`).
+    #[inline]
+    #[must_use]
+    pub const fn from_rows(rows: [u8; 8]) -> Self {
+        BitMatrix { rows }
+    }
+
+    /// Builds the circulant matrix whose row 0 is `first_row`, each later
+    /// row being the previous row rotated left by one bit position.
+    #[must_use]
+    pub const fn circulant(first_row: u8) -> Self {
+        let mut rows = [0u8; 8];
+        let mut i = 0;
+        while i < 8 {
+            rows[i] = first_row.rotate_left(i as u32);
+            i += 1;
+        }
+        BitMatrix { rows }
+    }
+
+    /// Returns row `i` as a bit mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    #[inline]
+    #[must_use]
+    pub const fn row(&self, i: usize) -> u8 {
+        self.rows[i]
+    }
+
+    /// Returns the bit at row `i`, column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8` or `j >= 8`.
+    #[inline]
+    #[must_use]
+    pub const fn bit(&self, i: usize, j: usize) -> bool {
+        assert!(j < 8);
+        (self.rows[i] >> j) & 1 != 0
+    }
+
+    /// Applies the matrix to a column vector of 8 bits:
+    /// `y_i = parity(row_i & x)`.
+    #[inline]
+    #[must_use]
+    pub const fn apply(&self, x: u8) -> u8 {
+        let mut y = 0u8;
+        let mut i = 0;
+        while i < 8 {
+            let parity = (self.rows[i] & x).count_ones() & 1;
+            y |= (parity as u8) << i;
+            i += 1;
+        }
+        y
+    }
+
+    /// Matrix transpose.
+    #[must_use]
+    pub const fn transpose(&self) -> Self {
+        let mut rows = [0u8; 8];
+        let mut i = 0;
+        while i < 8 {
+            let mut j = 0;
+            while j < 8 {
+                if (self.rows[j] >> i) & 1 != 0 {
+                    rows[i] |= 1 << j;
+                }
+                j += 1;
+            }
+            i += 1;
+        }
+        BitMatrix { rows }
+    }
+
+    /// Matrix product over GF(2) (usable in `const` contexts).
+    #[must_use]
+    pub const fn mul_matrix(&self, rhs: &BitMatrix) -> Self {
+        // (A·B)x = A(Bx); row i of the product applied to x is
+        // parity over k of A[i][k] & B[k][·]x — compute via transpose of rhs.
+        let rt = rhs.transpose();
+        let mut rows = [0u8; 8];
+        let mut i = 0;
+        while i < 8 {
+            let mut j = 0;
+            while j < 8 {
+                let dot = (self.rows[i] & rt.rows[j]).count_ones() & 1;
+                rows[i] |= (dot as u8) << j;
+                j += 1;
+            }
+            i += 1;
+        }
+        BitMatrix { rows }
+    }
+
+    /// Inverse over GF(2) via Gauss–Jordan elimination, or `None` when the
+    /// matrix is singular.
+    #[must_use]
+    pub fn inverse(&self) -> Option<Self> {
+        let mut a = self.rows;
+        let mut inv = BitMatrix::IDENTITY.rows;
+        for col in 0..8 {
+            // Find a pivot row with a 1 in this column.
+            let pivot = (col..8).find(|&r| (a[r] >> col) & 1 != 0)?;
+            a.swap(col, pivot);
+            inv.swap(col, pivot);
+            for r in 0..8 {
+                if r != col && (a[r] >> col) & 1 != 0 {
+                    a[r] ^= a[col];
+                    inv[r] ^= inv[col];
+                }
+            }
+        }
+        Some(BitMatrix { rows: inv })
+    }
+
+    /// Rank of the matrix over GF(2).
+    #[must_use]
+    pub fn rank(&self) -> u32 {
+        let mut a = self.rows;
+        let mut rank = 0;
+        let mut row = 0;
+        for col in 0..8 {
+            if let Some(p) = (row..8).find(|&r| (a[r] >> col) & 1 != 0) {
+                a.swap(row, p);
+                for r in 0..8 {
+                    if r != row && (a[r] >> col) & 1 != 0 {
+                        a[r] ^= a[row];
+                    }
+                }
+                row += 1;
+                rank += 1;
+            }
+        }
+        rank
+    }
+}
+
+impl core::ops::Mul for BitMatrix {
+    type Output = BitMatrix;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.mul_matrix(&rhs)
+    }
+}
+
+impl core::ops::Add for BitMatrix {
+    type Output = BitMatrix;
+    /// Matrix addition over GF(2) is elementwise XOR.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn add(self, rhs: Self) -> Self {
+        let mut rows = self.rows;
+        for (r, o) in rows.iter_mut().zip(rhs.rows) {
+            *r ^= o;
+        }
+        BitMatrix { rows }
+    }
+}
+
+impl Default for BitMatrix {
+    fn default() -> Self {
+        BitMatrix::ZERO
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix [")?;
+        for row in &self.rows {
+            writeln!(f, "  {row:08b}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The forward affine transform of `ByteSub`: `A·x + 0x63`.
+///
+/// ```
+/// use gf256::affine::affine_forward;
+/// // Applied to the inverse of 0x53 (= 0xCA) this yields S-box(0x53) = 0xED.
+/// assert_eq!(affine_forward(0xCA), 0xED);
+/// ```
+#[inline]
+#[must_use]
+pub const fn affine_forward(x: u8) -> u8 {
+    AFFINE_MATRIX.apply(x) ^ AFFINE_CONSTANT
+}
+
+/// The inverse affine transform: `A⁻¹·(y + 0x63) = A⁻¹·y + 0x05`.
+#[inline]
+#[must_use]
+pub const fn affine_inverse(y: u8) -> u8 {
+    INV_AFFINE_MATRIX.apply(y) ^ INV_AFFINE_CONSTANT
+}
+
+/// The affine transform applied to the *field element* form, composing with
+/// [`Gf256::inverse_or_zero`] to give a single S-box step.
+#[inline]
+#[must_use]
+pub const fn sub_byte(x: Gf256) -> Gf256 {
+    Gf256::new(affine_forward(x.inverse_or_zero().value()))
+}
+
+/// Inverse of [`sub_byte`].
+#[inline]
+#[must_use]
+pub const fn inv_sub_byte(y: Gf256) -> Gf256 {
+    Gf256::new(affine_inverse(y.value())).inverse_or_zero()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_matrices_are_mutually_inverse() {
+        assert_eq!(AFFINE_MATRIX * INV_AFFINE_MATRIX, BitMatrix::IDENTITY);
+        assert_eq!(INV_AFFINE_MATRIX * AFFINE_MATRIX, BitMatrix::IDENTITY);
+        assert_eq!(AFFINE_MATRIX.inverse(), Some(INV_AFFINE_MATRIX));
+    }
+
+    #[test]
+    fn inverse_constant_is_image_of_forward_constant() {
+        assert_eq!(INV_AFFINE_MATRIX.apply(AFFINE_CONSTANT), INV_AFFINE_CONSTANT);
+    }
+
+    #[test]
+    fn affine_roundtrip_all_bytes() {
+        for x in 0..=255u8 {
+            assert_eq!(affine_inverse(affine_forward(x)), x);
+        }
+    }
+
+    #[test]
+    fn fips197_affine_example() {
+        // FIPS-197 §5.1.1: S-box(0x53) = 0xED via inverse 0xCA.
+        assert_eq!(sub_byte(Gf256::new(0x53)), Gf256::new(0xED));
+        assert_eq!(inv_sub_byte(Gf256::new(0xED)), Gf256::new(0x53));
+    }
+
+    #[test]
+    fn identity_and_zero_behave() {
+        for x in [0x00u8, 0x01, 0x80, 0xFF, 0x5A] {
+            assert_eq!(BitMatrix::IDENTITY.apply(x), x);
+            assert_eq!(BitMatrix::ZERO.apply(x), 0);
+        }
+        assert_eq!(BitMatrix::IDENTITY.rank(), 8);
+        assert_eq!(BitMatrix::ZERO.rank(), 0);
+        assert_eq!(BitMatrix::ZERO.inverse(), None);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = AFFINE_MATRIX;
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matrix_product_matches_composition() {
+        let p = AFFINE_MATRIX * INV_AFFINE_MATRIX.transpose();
+        for x in 0..=255u8 {
+            assert_eq!(
+                p.apply(x),
+                AFFINE_MATRIX.apply(INV_AFFINE_MATRIX.transpose().apply(x))
+            );
+        }
+    }
+
+    #[test]
+    fn bit_accessor_matches_rows() {
+        let m = AFFINE_MATRIX;
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(m.bit(i, j), (m.row(i) >> j) & 1 != 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Cryptanalytic property analysis of 8-bit S-boxes.
+//!
+//! The AES contest judged candidates on security as well as
+//! implementability (paper §2); the S-box's resistance against
+//! differential and linear cryptanalysis is quantified by its difference
+//! distribution table and linear approximation table. The published
+//! constants for the Rijndael S-box — differential uniformity 4,
+//! nonlinearity 112 — are re-derived here and pinned in tests.
+
+use crate::sbox::SBOX;
+
+/// The difference distribution table: `ddt[a][b]` counts inputs `x` with
+/// `S(x ^ a) ^ S(x) == b`.
+///
+/// # Examples
+///
+/// ```
+/// use gf256::analysis::{ddt, differential_uniformity};
+/// let table = ddt(&gf256::SBOX);
+/// assert_eq!(table[0][0], 256);
+/// assert_eq!(differential_uniformity(&table), 4); // published AES value
+/// ```
+#[must_use]
+#[allow(clippy::needless_range_loop)] // x indexes both sbox[x^a] and sbox[x]
+pub fn ddt(sbox: &[u8; 256]) -> Vec<Vec<u16>> {
+    let mut table = vec![vec![0u16; 256]; 256];
+    for a in 0..256usize {
+        for x in 0..256usize {
+            let b = sbox[x ^ a] ^ sbox[x];
+            table[a][usize::from(b)] += 1;
+        }
+    }
+    table
+}
+
+/// The differential uniformity: the largest DDT entry outside the trivial
+/// `a = 0` row. 4 for the Rijndael S-box (the theoretical optimum for a
+/// bijective 8-bit S-box is believed to be 4).
+#[must_use]
+pub fn differential_uniformity(ddt: &[Vec<u16>]) -> u16 {
+    ddt.iter()
+        .skip(1)
+        .flat_map(|row| row.iter())
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+/// The linear approximation table: `lat[a][b] = #{x : a·x == b·S(x)} - 128`
+/// (dot products over GF(2)).
+#[must_use]
+#[allow(clippy::needless_range_loop)] // x indexes sbox and masks simultaneously
+pub fn lat(sbox: &[u8; 256]) -> Vec<Vec<i16>> {
+    let parity = |v: u8| -> bool { v.count_ones() % 2 == 1 };
+    let mut table = vec![vec![0i16; 256]; 256];
+    for (a, row) in table.iter_mut().enumerate() {
+        for (b, entry) in row.iter_mut().enumerate() {
+            let mut count = 0i16;
+            for x in 0..256usize {
+                if parity(a as u8 & x as u8) == parity(b as u8 & sbox[x]) {
+                    count += 1;
+                }
+            }
+            *entry = count - 128;
+        }
+    }
+    table
+}
+
+/// The linearity: the largest absolute LAT entry outside the trivial
+/// `a = b = 0` cell. 16 for the Rijndael S-box, giving nonlinearity
+/// `128 - 16 = 112`.
+#[must_use]
+pub fn linearity(lat: &[Vec<i16>]) -> u16 {
+    let mut best = 0u16;
+    for (a, row) in lat.iter().enumerate() {
+        for (b, &v) in row.iter().enumerate() {
+            if a == 0 && b == 0 {
+                continue;
+            }
+            best = best.max(v.unsigned_abs());
+        }
+    }
+    best
+}
+
+/// Nonlinearity: `128 - linearity` (distance to the nearest affine
+/// function). 112 for the Rijndael S-box.
+#[must_use]
+pub fn nonlinearity(sbox: &[u8; 256]) -> u16 {
+    128 - linearity(&lat(sbox))
+}
+
+/// Algebraic degree-1 fixed-point count diagnostics used by the S-box
+/// design criteria: Rijndael's S-box has no fixed points and no
+/// anti-fixed points.
+#[must_use]
+#[allow(clippy::needless_range_loop)]
+pub fn fixed_points(sbox: &[u8; 256]) -> (usize, usize) {
+    let fixed = sbox.iter().enumerate().filter(|&(x, &y)| y == x as u8).count();
+    let anti = sbox.iter().enumerate().filter(|&(x, &y)| y == !(x as u8)).count();
+    (fixed, anti)
+}
+
+/// Convenience: the full scorecard of the Rijndael S-box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SboxScore {
+    /// Differential uniformity (4 for AES).
+    pub differential_uniformity: u16,
+    /// Linearity (16 for AES).
+    pub linearity: u16,
+    /// Nonlinearity (112 for AES).
+    pub nonlinearity: u16,
+    /// Fixed points (0 for AES).
+    pub fixed_points: usize,
+    /// Anti-fixed points (0 for AES).
+    pub anti_fixed_points: usize,
+}
+
+/// Computes the scorecard for any 8-bit S-box.
+#[must_use]
+pub fn score(sbox: &[u8; 256]) -> SboxScore {
+    let d = ddt(sbox);
+    let l = lat(sbox);
+    let (fixed, anti) = fixed_points(sbox);
+    let lin = linearity(&l);
+    SboxScore {
+        differential_uniformity: differential_uniformity(&d),
+        linearity: lin,
+        nonlinearity: 128 - lin,
+        fixed_points: fixed,
+        anti_fixed_points: anti,
+    }
+}
+
+/// The scorecard of the standard Rijndael S-box.
+#[must_use]
+pub fn rijndael_score() -> SboxScore {
+    score(&SBOX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbox::INV_SBOX;
+
+    #[test]
+    fn rijndael_sbox_published_constants() {
+        let s = rijndael_score();
+        assert_eq!(s.differential_uniformity, 4, "published AES value");
+        assert_eq!(s.linearity, 16, "published AES value");
+        assert_eq!(s.nonlinearity, 112, "published AES value");
+        assert_eq!(s.fixed_points, 0);
+        assert_eq!(s.anti_fixed_points, 0);
+    }
+
+    #[test]
+    fn inverse_sbox_has_the_same_profile() {
+        // DDT/LAT profiles are preserved under inversion of a bijection.
+        let s = score(&INV_SBOX);
+        assert_eq!(s.differential_uniformity, 4);
+        assert_eq!(s.nonlinearity, 112);
+    }
+
+    #[test]
+    fn ddt_row_sums() {
+        let d = ddt(&SBOX);
+        for (a, row) in d.iter().enumerate() {
+            let sum: u32 = row.iter().map(|&v| u32::from(v)).sum();
+            assert_eq!(sum, 256, "row {a} must sum to 256");
+            // Bijectivity: entries are even.
+            assert!(row.iter().all(|&v| v % 2 == 0), "row {a} has odd entries");
+        }
+        assert_eq!(d[0][0], 256);
+    }
+
+    #[test]
+    fn identity_sbox_is_maximally_weak() {
+        let identity: [u8; 256] = core::array::from_fn(|i| i as u8);
+        let s = score(&identity);
+        assert_eq!(s.differential_uniformity, 256);
+        assert_eq!(s.nonlinearity, 0);
+        assert_eq!(s.fixed_points, 256);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn lat_zero_column_structure() {
+        let l = lat(&SBOX);
+        assert_eq!(l[0][0], 128); // trivial approximation always holds
+        for b in 1..256 {
+            assert_eq!(l[0][b], 0, "balanced output masks (bijection)");
+        }
+    }
+}

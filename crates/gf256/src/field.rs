@@ -1,0 +1,411 @@
+//! The field element type [`Gf256`] and its arithmetic.
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::tables::{ALOG, LOG};
+
+/// The Rijndael reduction polynomial `x^8 + x^4 + x^3 + x + 1` with the
+/// implicit `x^8` bit included (as a 9-bit value).
+pub const REDUCTION_POLY: u16 = 0x11B;
+
+/// An element of GF(2^8) under the Rijndael polynomial `0x11B`.
+///
+/// Addition is XOR; multiplication is carry-less multiplication reduced
+/// modulo [`REDUCTION_POLY`]. All operations are branchless on the value and
+/// constant-time in the table-free `mul_slow` path.
+///
+/// # Examples
+///
+/// ```
+/// use gf256::Gf256;
+///
+/// // xtime (multiplication by x) is the datapath primitive of MixColumn.
+/// assert_eq!(Gf256::new(0x80).xtime(), Gf256::new(0x1B));
+/// assert_eq!(Gf256::new(0x02) * Gf256::new(0x80), Gf256::new(0x1B));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gf256(pub(crate) u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The generator `0x03` used to build the log/antilog tables
+    /// (`0x03 = x + 1` generates the multiplicative group).
+    pub const GENERATOR: Gf256 = Gf256(3);
+
+    /// Wraps a byte as a field element.
+    ///
+    /// ```
+    /// use gf256::Gf256;
+    /// assert_eq!(Gf256::new(7).value(), 7);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// Returns the underlying byte.
+    #[inline]
+    #[must_use]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Multiplication by `x` (i.e. by `0x02`): shift left and conditionally
+    /// XOR the reduction polynomial. This is the `xtime` primitive of
+    /// FIPS-197 §4.2.1 and the cheapest hardware multiplier in the
+    /// MixColumn datapath.
+    ///
+    /// ```
+    /// use gf256::Gf256;
+    /// assert_eq!(Gf256::new(0x57).xtime(), Gf256::new(0xAE));
+    /// assert_eq!(Gf256::new(0xAE).xtime(), Gf256::new(0x47));
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn xtime(self) -> Self {
+        let shifted = (self.0 as u16) << 1;
+        let reduced = shifted ^ (((self.0 >> 7) as u16) * REDUCTION_POLY);
+        Gf256(reduced as u8)
+    }
+
+    /// Carry-less ("peasant") multiplication reduced modulo the Rijndael
+    /// polynomial. Usable in `const` contexts; the runtime [`Mul`] impl uses
+    /// the log/antilog tables instead.
+    #[must_use]
+    pub const fn mul_slow(self, rhs: Self) -> Self {
+        let mut a = self.0 as u16;
+        let mut b = rhs.0;
+        let mut acc: u16 = 0;
+        let mut i = 0;
+        while i < 8 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            b >>= 1;
+            a <<= 1;
+            if a & 0x100 != 0 {
+                a ^= REDUCTION_POLY;
+            }
+            i += 1;
+        }
+        Gf256(acc as u8)
+    }
+
+    /// Fast multiplication through the discrete-log tables:
+    /// `a·b = alog(log a + log b)`.
+    #[inline]
+    #[must_use]
+    pub fn mul_table(self, rhs: Self) -> Self {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let idx = LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize;
+        // 0 <= idx <= 508; ALOG is replicated over 510 entries so no modular
+        // reduction is needed here.
+        Gf256(ALOG[idx])
+    }
+
+    /// Exponentiation by squaring.
+    ///
+    /// ```
+    /// use gf256::Gf256;
+    /// let g = Gf256::GENERATOR;
+    /// assert_eq!(g.pow(255), Gf256::ONE); // group order divides 255
+    /// ```
+    #[must_use]
+    pub const fn pow(self, mut exp: u32) -> Self {
+        let mut base = self;
+        let mut acc = Gf256::ONE;
+        while exp > 0 {
+            if exp & 1 != 0 {
+                acc = acc.mul_slow(base);
+            }
+            base = base.mul_slow(base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    ///
+    /// Computed as `a^254` (Fermat: the multiplicative group has order 255),
+    /// so it is available in `const` contexts — this is how the S-box is
+    /// derived at compile time.
+    ///
+    /// ```
+    /// use gf256::Gf256;
+    /// assert_eq!(Gf256::new(0x53).inverse(), Some(Gf256::new(0xCA)));
+    /// assert_eq!(Gf256::ZERO.inverse(), None);
+    /// ```
+    #[must_use]
+    pub const fn inverse(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(254))
+        }
+    }
+
+    /// The inverse as used by the S-box construction, where zero maps to
+    /// zero (FIPS-197 §5.1.1).
+    #[inline]
+    #[must_use]
+    pub const fn inverse_or_zero(self) -> Self {
+        match self.inverse() {
+            Some(inv) => inv,
+            None => Gf256::ZERO,
+        }
+    }
+
+    /// Discrete logarithm base [`Gf256::GENERATOR`], or `None` for zero.
+    #[inline]
+    #[must_use]
+    pub fn log(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(LOG[self.0 as usize])
+        }
+    }
+}
+
+impl From<u8> for Gf256 {
+    #[inline]
+    fn from(value: u8) -> Self {
+        Gf256(value)
+    }
+}
+
+impl From<Gf256> for u8 {
+    #[inline]
+    fn from(value: Gf256) -> Self {
+        value.0
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    /// Field addition in characteristic 2 *is* XOR.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    /// Subtraction in characteristic 2 coincides with addition.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self + rhs
+    }
+}
+
+impl SubAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self += rhs;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    /// Every element is its own additive inverse in characteristic 2.
+    #[inline]
+    fn neg(self) -> Self {
+        self
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.mul_table(rhs)
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+    /// # Panics
+    ///
+    /// Panics on division by zero, matching integer division semantics.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let inv = rhs.inverse().expect("division by zero in GF(2^8)");
+        self * inv
+    }
+}
+
+impl DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Gf256 {
+    fn sum<I: Iterator<Item = Gf256>>(iter: I) -> Self {
+        iter.fold(Gf256::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Gf256 {
+    fn product<I: Iterator<Item = Gf256>>(iter: I) -> Self {
+        iter.fold(Gf256::ONE, |a, b| a * b)
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256(0x{:02X})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:02X}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_worked_example() {
+        // FIPS-197 §4.2: {57} · {83} = {C1}
+        assert_eq!(Gf256(0x57) * Gf256(0x83), Gf256(0xC1));
+        assert_eq!(Gf256(0x57).mul_slow(Gf256(0x83)), Gf256(0xC1));
+    }
+
+    #[test]
+    fn fips197_xtime_chain() {
+        // FIPS-197 §4.2.1: {57}·{02}={AE}, ·{04}={47}, ·{08}={8E}, ·{10}={07}
+        let a = Gf256(0x57);
+        assert_eq!(a.xtime(), Gf256(0xAE));
+        assert_eq!(a.xtime().xtime(), Gf256(0x47));
+        assert_eq!(a.xtime().xtime().xtime(), Gf256(0x8E));
+        assert_eq!(a.xtime().xtime().xtime().xtime(), Gf256(0x07));
+        // and {57}·{13} = {FE} by decomposition
+        assert_eq!(a * Gf256(0x13), Gf256(0xFE));
+    }
+
+    #[test]
+    fn table_and_slow_multiplication_agree() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    Gf256(a).mul_table(Gf256(b)),
+                    Gf256(a).mul_slow(Gf256(b)),
+                    "mismatch at {a:02x} * {b:02x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_of_every_nonzero_element() {
+        for a in 1..=255u8 {
+            let inv = Gf256(a).inverse().expect("nonzero must be invertible");
+            assert_eq!(Gf256(a) * inv, Gf256::ONE, "inverse failed for {a:02x}");
+        }
+        assert_eq!(Gf256::ZERO.inverse(), None);
+        assert_eq!(Gf256::ZERO.inverse_or_zero(), Gf256::ZERO);
+    }
+
+    #[test]
+    fn fips197_inverse_example() {
+        // FIPS-197 §5.1.1 uses {53} -> inverse {CA}
+        assert_eq!(Gf256(0x53).inverse(), Some(Gf256(0xCA)));
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        let mut x = Gf256::ONE;
+        for _ in 0..255 {
+            assert!(!seen[x.value() as usize], "generator order < 255");
+            seen[x.value() as usize] = true;
+            x *= Gf256::GENERATOR;
+        }
+        assert_eq!(x, Gf256::ONE);
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                let q = Gf256(a) / Gf256(b);
+                assert_eq!(q * Gf256(b), Gf256(a));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256(1) / Gf256(0);
+    }
+
+    #[test]
+    fn log_antilog_consistency() {
+        for a in 1..=255u8 {
+            let l = Gf256(a).log().unwrap();
+            assert_eq!(Gf256::GENERATOR.pow(l as u32), Gf256(a));
+        }
+        assert_eq!(Gf256::ZERO.log(), None);
+    }
+
+    #[test]
+    fn formatting_is_nonempty_and_hex() {
+        assert_eq!(format!("{}", Gf256(0x0B)), "0x0B");
+        assert_eq!(format!("{:x}", Gf256(0x0B)), "b");
+        assert_eq!(format!("{:X}", Gf256(0xAB)), "AB");
+        assert_eq!(format!("{:?}", Gf256::ZERO), "Gf256(0x00)");
+        assert_eq!(format!("{:b}", Gf256(5)), "101");
+    }
+}

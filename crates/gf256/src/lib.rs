@@ -1,0 +1,44 @@
+//! Arithmetic in the Rijndael finite field GF(2^8) and the structures the
+//! cipher derives from it.
+//!
+//! Rijndael interprets every byte as an element of GF(2^8) defined by the
+//! irreducible polynomial
+//!
+//! ```text
+//! m(x) = x^8 + x^4 + x^3 + x + 1        (0x11B)
+//! ```
+//!
+//! This crate provides that field ([`Gf256`]), the affine transform over
+//! GF(2) used by `ByteSub` ([`affine`]), the S-box derived from the two
+//! ([`sbox`]), and four-term polynomials over the field reduced modulo
+//! `x^4 + 1` as used by `MixColumn` ([`poly`]).
+//!
+//! Everything is derived from first principles — the S-box is *computed*
+//! (multiplicative inverse followed by the affine transform), not pasted in —
+//! and the unit tests pin the derivation against the published tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use gf256::Gf256;
+//!
+//! let a = Gf256::new(0x57);
+//! let b = Gf256::new(0x83);
+//! assert_eq!(a * b, Gf256::new(0xC1)); // worked example from FIPS-197 §4.2
+//! assert_eq!(a * a.inverse().unwrap(), Gf256::ONE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod analysis;
+pub mod field;
+pub mod poly;
+pub mod sbox;
+pub mod tables;
+
+pub use affine::BitMatrix;
+pub use field::Gf256;
+pub use poly::GfPoly4;
+pub use sbox::{INV_SBOX, SBOX};

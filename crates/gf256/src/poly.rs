@@ -1,0 +1,294 @@
+//! Four-term polynomials over GF(2^8) modulo `x^4 + 1`, the algebra behind
+//! `MixColumn`.
+//!
+//! A state column `[a0, a1, a2, a3]` (a0 = top row) is read as the polynomial
+//! `a3·x^3 + a2·x^2 + a1·x + a0`. `MixColumn` multiplies it by
+//! `c(x) = {03}x^3 + {01}x^2 + {01}x + {02}`; the decryption path uses the
+//! inverse `d(x) = {0B}x^3 + {0D}x^2 + {09}x + {0E}`.
+
+use core::fmt;
+use core::ops::{Add, Mul};
+
+use crate::field::Gf256;
+
+/// A polynomial `c3·x^3 + c2·x^2 + c1·x + c0` over GF(2^8), reduced modulo
+/// `x^4 + 1` under multiplication.
+///
+/// # Examples
+///
+/// ```
+/// use gf256::GfPoly4;
+///
+/// let c = GfPoly4::MIX_COLUMN;
+/// let d = GfPoly4::INV_MIX_COLUMN;
+/// assert_eq!(c * d, GfPoly4::ONE);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct GfPoly4 {
+    coeffs: [Gf256; 4],
+}
+
+impl GfPoly4 {
+    /// The zero polynomial.
+    pub const ZERO: GfPoly4 = GfPoly4::from_bytes([0, 0, 0, 0]);
+    /// The unit polynomial (multiplicative identity mod `x^4+1`).
+    pub const ONE: GfPoly4 = GfPoly4::from_bytes([1, 0, 0, 0]);
+    /// The `MixColumn` polynomial `{03}x^3 + {01}x^2 + {01}x + {02}`.
+    pub const MIX_COLUMN: GfPoly4 = GfPoly4::from_bytes([0x02, 0x01, 0x01, 0x03]);
+    /// The `IMixColumn` polynomial `{0B}x^3 + {0D}x^2 + {09}x + {0E}`.
+    pub const INV_MIX_COLUMN: GfPoly4 = GfPoly4::from_bytes([0x0E, 0x09, 0x0D, 0x0B]);
+    /// The `RotWord`-like rotation polynomial `x^3` (multiplying by it
+    /// rotates coefficients).
+    pub const X3: GfPoly4 = GfPoly4::from_bytes([0, 0, 0, 1]);
+
+    /// Builds a polynomial from coefficients `[c0, c1, c2, c3]`
+    /// (constant term first).
+    #[inline]
+    #[must_use]
+    pub const fn new(coeffs: [Gf256; 4]) -> Self {
+        GfPoly4 { coeffs }
+    }
+
+    /// Builds a polynomial from raw bytes, constant term first.
+    #[inline]
+    #[must_use]
+    pub const fn from_bytes(bytes: [u8; 4]) -> Self {
+        GfPoly4 {
+            coeffs: [
+                Gf256::new(bytes[0]),
+                Gf256::new(bytes[1]),
+                Gf256::new(bytes[2]),
+                Gf256::new(bytes[3]),
+            ],
+        }
+    }
+
+    /// The coefficients, constant term first.
+    #[inline]
+    #[must_use]
+    pub const fn coeffs(&self) -> [Gf256; 4] {
+        self.coeffs
+    }
+
+    /// The coefficients as raw bytes, constant term first.
+    #[inline]
+    #[must_use]
+    pub const fn to_bytes(self) -> [u8; 4] {
+        [
+            self.coeffs[0].value(),
+            self.coeffs[1].value(),
+            self.coeffs[2].value(),
+            self.coeffs[3].value(),
+        ]
+    }
+
+    /// Multiplication modulo `x^4 + 1` (`const`-friendly form of `*`).
+    ///
+    /// Because `x^4 ≡ 1`, the product coefficient `k` is
+    /// `Σ_{i+j ≡ k (mod 4)} a_i·b_j` — a circular convolution, i.e. the
+    /// matrix-vector form of FIPS-197 §4.3.
+    #[must_use]
+    pub const fn mul_mod(self, rhs: Self) -> Self {
+        let a = self.coeffs;
+        let b = rhs.coeffs;
+        let mut out = [Gf256::ZERO; 4];
+        let mut k = 0;
+        while k < 4 {
+            let mut acc = Gf256::ZERO;
+            let mut i = 0;
+            while i < 4 {
+                let j = (k + 4 - i) % 4;
+                acc = Gf256::new(acc.value() ^ a[i].mul_slow(b[j]).value());
+                i += 1;
+            }
+            out[k] = acc;
+            k += 1;
+        }
+        GfPoly4 { coeffs: out }
+    }
+
+    /// The inverse modulo `x^4 + 1`, if it exists.
+    ///
+    /// `x^4 + 1` is not irreducible, so not every polynomial is invertible;
+    /// the cipher only relies on `c(x)` being invertible. The inverse is
+    /// found by solving the 4×4 circulant linear system over GF(2^8) by
+    /// Gaussian elimination.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // modular column indexing
+    pub fn inverse(&self) -> Option<Self> {
+        // Build the circulant matrix M where (M v)_k = sum_i a_i v_{(k-i)%4},
+        // then solve M v = e0.
+        let a = self.coeffs;
+        let mut m = [[Gf256::ZERO; 5]; 4];
+        for (k, row) in m.iter_mut().enumerate() {
+            for i in 0..4 {
+                let j = (k + 4 - i) % 4;
+                row[j] += a[i];
+            }
+        }
+        m[0][4] = Gf256::ONE;
+
+        // Gaussian elimination with partial (nonzero) pivoting.
+        for col in 0..4 {
+            let pivot = (col..4).find(|&r| m[r][col] != Gf256::ZERO)?;
+            m.swap(col, pivot);
+            let inv = m[col][col].inverse()?;
+            for x in m[col].iter_mut() {
+                *x *= inv;
+            }
+            for r in 0..4 {
+                if r != col && m[r][col] != Gf256::ZERO {
+                    let f = m[r][col];
+                    for c in 0..5 {
+                        let sub = f * m[col][c];
+                        m[r][c] += sub;
+                    }
+                }
+            }
+        }
+        Some(GfPoly4 {
+            coeffs: [m[0][4], m[1][4], m[2][4], m[3][4]],
+        })
+    }
+
+    /// Applies this polynomial as the `MixColumn`-style transform to a
+    /// 4-byte column (top-of-column byte first, matching the paper's
+    /// `state_t` layout where a column is `[s0c, s1c, s2c, s3c]`).
+    ///
+    /// ```
+    /// use gf256::GfPoly4;
+    /// // FIPS-197 Appendix B round 1 MixColumns, first column:
+    /// assert_eq!(
+    ///     GfPoly4::MIX_COLUMN.apply_column([0xD4, 0xBF, 0x5D, 0x30]),
+    ///     [0x04, 0x66, 0x81, 0xE5],
+    /// );
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn apply_column(self, column: [u8; 4]) -> [u8; 4] {
+        GfPoly4::from_bytes(column).mul_mod(self).to_bytes()
+    }
+}
+
+impl Add for GfPoly4 {
+    type Output = GfPoly4;
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self.coeffs;
+        for (o, r) in out.iter_mut().zip(rhs.coeffs) {
+            *o += r;
+        }
+        GfPoly4 { coeffs: out }
+    }
+}
+
+impl Mul for GfPoly4 {
+    type Output = GfPoly4;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.mul_mod(rhs)
+    }
+}
+
+impl fmt::Debug for GfPoly4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GfPoly4({:02X}·x³ + {:02X}·x² + {:02X}·x + {:02X})",
+            self.coeffs[3].value(),
+            self.coeffs[2].value(),
+            self.coeffs[1].value(),
+            self.coeffs[0].value()
+        )
+    }
+}
+
+impl fmt::Display for GfPoly4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixcolumn_polynomials_are_mutually_inverse() {
+        assert_eq!(GfPoly4::MIX_COLUMN * GfPoly4::INV_MIX_COLUMN, GfPoly4::ONE);
+        assert_eq!(
+            GfPoly4::MIX_COLUMN.inverse(),
+            Some(GfPoly4::INV_MIX_COLUMN)
+        );
+        assert_eq!(
+            GfPoly4::INV_MIX_COLUMN.inverse(),
+            Some(GfPoly4::MIX_COLUMN)
+        );
+    }
+
+    #[test]
+    fn one_is_identity() {
+        let p = GfPoly4::from_bytes([0x12, 0x34, 0x56, 0x78]);
+        assert_eq!(p * GfPoly4::ONE, p);
+        assert_eq!(GfPoly4::ONE * p, p);
+        assert_eq!(p + GfPoly4::ZERO, p);
+    }
+
+    #[test]
+    fn x3_rotates() {
+        let p = GfPoly4::from_bytes([1, 2, 3, 4]);
+        // multiplying by x rotates coefficients up; by x^3 down by one
+        assert_eq!((p * GfPoly4::X3).to_bytes(), [2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn fips197_mixcolumns_vectors() {
+        // FIPS-197 Appendix B, round 1.
+        assert_eq!(
+            GfPoly4::MIX_COLUMN.apply_column([0xD4, 0xBF, 0x5D, 0x30]),
+            [0x04, 0x66, 0x81, 0xE5]
+        );
+        assert_eq!(
+            GfPoly4::MIX_COLUMN.apply_column([0xE0, 0xB4, 0x52, 0xAE]),
+            [0xE0, 0xCB, 0x19, 0x9A]
+        );
+        assert_eq!(
+            GfPoly4::MIX_COLUMN.apply_column([0xB8, 0x41, 0x11, 0xF1]),
+            [0x48, 0xF8, 0xD3, 0x7A]
+        );
+        assert_eq!(
+            GfPoly4::MIX_COLUMN.apply_column([0x1E, 0x27, 0x98, 0xE5]),
+            [0x28, 0x06, 0x26, 0x4C]
+        );
+    }
+
+    #[test]
+    fn inverse_mixcolumn_roundtrip_columns() {
+        for seed in 0u32..64 {
+            let col = [
+                (seed.wrapping_mul(13) & 0xFF) as u8,
+                (seed.wrapping_mul(29) >> 3 & 0xFF) as u8,
+                (seed.wrapping_mul(53) >> 5 & 0xFF) as u8,
+                (seed.wrapping_mul(97) >> 7 & 0xFF) as u8,
+            ];
+            let mixed = GfPoly4::MIX_COLUMN.apply_column(col);
+            assert_eq!(GfPoly4::INV_MIX_COLUMN.apply_column(mixed), col);
+        }
+    }
+
+    #[test]
+    fn non_invertible_polynomial() {
+        // x^3 + x^2 + x + 1 = (x+1)(x^2+1) shares the factor (x+1) with
+        // x^4 + 1 = (x+1)^4 over GF(2^8), hence is not invertible.
+        let p = GfPoly4::from_bytes([1, 1, 1, 1]);
+        assert_eq!(p.inverse(), None);
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_distributive() {
+        let a = GfPoly4::from_bytes([0x0A, 0x1B, 0x2C, 0x3D]);
+        let b = GfPoly4::from_bytes([0x55, 0x66, 0x77, 0x88]);
+        let c = GfPoly4::from_bytes([0x01, 0x00, 0xFE, 0x10]);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a * (b + c), a * b + a * c);
+    }
+}

@@ -1,0 +1,112 @@
+//! The Rijndael S-box, derived at compile time from the field inverse and
+//! the affine transform.
+//!
+//! Each S-box in the paper's IP is a 256×8-bit asynchronous ROM (2048 bits,
+//! "2k" in the paper's terminology); 4 of them make one 32-bit `ByteSub`
+//! slice, and 4 more serve the `KStran` key-schedule function.
+
+use crate::affine::sub_byte;
+use crate::field::Gf256;
+
+/// The forward S-box: `SBOX[x] = affine(x⁻¹)`.
+///
+/// ```
+/// use gf256::SBOX;
+/// assert_eq!(SBOX[0x00], 0x63);
+/// assert_eq!(SBOX[0x53], 0xED);
+/// ```
+pub const SBOX: [u8; 256] = build_sbox();
+
+/// The inverse S-box: `INV_SBOX[SBOX[x]] = x`.
+pub const INV_SBOX: [u8; 256] = build_inv_sbox();
+
+/// Size of one S-box ROM in bits (256 entries × 8 bits): the unit the paper
+/// uses when counting embedded memory ("2048 \[bits\] of memory" per S-box).
+pub const SBOX_ROM_BITS: usize = 256 * 8;
+
+const fn build_sbox() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut x: usize = 0;
+    while x < 256 {
+        table[x] = sub_byte(Gf256::new(x as u8)).value();
+        x += 1;
+    }
+    table
+}
+
+const fn build_inv_sbox() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut x: usize = 0;
+    while x < 256 {
+        table[SBOX[x] as usize] = x as u8;
+        x += 1;
+    }
+    table
+}
+
+/// Forward byte substitution.
+#[inline]
+#[must_use]
+pub const fn sub(x: u8) -> u8 {
+    SBOX[x as usize]
+}
+
+/// Inverse byte substitution.
+#[inline]
+#[must_use]
+pub const fn inv_sub(x: u8) -> u8 {
+    INV_SBOX[x as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First and last rows of the published FIPS-197 S-box table, to anchor
+    /// the derivation against the standard.
+    const FIRST_ROW: [u8; 16] = [
+        0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB,
+        0x76,
+    ];
+    const LAST_ROW: [u8; 16] = [
+        0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F, 0xB0, 0x54, 0xBB,
+        0x16,
+    ];
+
+    #[test]
+    fn matches_published_rows() {
+        assert_eq!(&SBOX[0x00..0x10], &FIRST_ROW);
+        assert_eq!(&SBOX[0xF0..=0xFF], &LAST_ROW);
+    }
+
+    #[test]
+    fn sbox_is_a_bijection() {
+        let mut seen = [false; 256];
+        for &y in SBOX.iter() {
+            assert!(!seen[y as usize], "duplicate S-box output {y:02x}");
+            seen[y as usize] = true;
+        }
+    }
+
+    #[test]
+    fn inverse_sbox_inverts() {
+        for x in 0..=255u8 {
+            assert_eq!(inv_sub(sub(x)), x);
+            assert_eq!(sub(inv_sub(x)), x);
+        }
+    }
+
+    #[test]
+    fn sbox_has_no_fixed_points() {
+        // A design property of Rijndael: S(x) != x and S(x) != complement(x).
+        for x in 0..=255u8 {
+            assert_ne!(sub(x), x);
+            assert_ne!(sub(x), !x);
+        }
+    }
+
+    #[test]
+    fn rom_size_matches_paper() {
+        assert_eq!(SBOX_ROM_BITS, 2048);
+    }
+}

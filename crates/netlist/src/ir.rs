@@ -1,0 +1,785 @@
+//! The gate-level intermediate representation.
+//!
+//! A [`Netlist`] is a sea of single-output cells; a cell's output is
+//! identified by its [`NetId`] (SSA style: net *is* driver). Sequential
+//! elements ([`CellKind::Dff`]) and 256×8 ROM bit-slices
+//! ([`CellKind::RomBit`]) break the combinational graph; everything else is
+//! 1- or 2-input logic plus the 3-input mux.
+
+use core::fmt;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies a cell and, equivalently, the net its output drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The net's index into [`Netlist::cells`] (and into the value vector
+    /// returned by [`Netlist::evaluate`]).
+    #[inline]
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One S-box output bit: a 256-entry truth table over an 8-bit address.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RomTable {
+    /// 256 bits packed little-endian: bit `a` of the table is
+    /// `(words[a / 64] >> (a % 64)) & 1`.
+    pub words: [u64; 4],
+}
+
+impl RomTable {
+    /// Builds the table for output bit `bit` of a 256×8 ROM with the given
+    /// byte contents.
+    #[must_use]
+    pub fn from_contents(contents: &[u8; 256], bit: u32) -> Self {
+        let mut words = [0u64; 4];
+        for (a, &byte) in contents.iter().enumerate() {
+            if (byte >> bit) & 1 == 1 {
+                words[a / 64] |= 1u64 << (a % 64);
+            }
+        }
+        RomTable { words }
+    }
+
+    /// Looks up address `a`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, a: u8) -> bool {
+        (self.words[usize::from(a) / 64] >> (usize::from(a) % 64)) & 1 == 1
+    }
+}
+
+impl fmt::Debug for RomTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RomTable({:016x}{:016x}{:016x}{:016x})",
+            self.words[3], self.words[2], self.words[1], self.words[0]
+        )
+    }
+}
+
+/// The cell library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellKind {
+    /// Primary input (no operands).
+    Input,
+    /// Constant driver.
+    Const(bool),
+    /// Inverter: `!a`.
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2:1 multiplexer: operands `[sel, a, b]`, output `sel ? b : a`.
+    Mux2,
+    /// D flip-flop: operand `[d]`; the cell output is `q`. All DFFs share
+    /// the single implicit clock domain (the IP has one `clk` pin).
+    Dff,
+    /// One output bit of a 256×8 asynchronous ROM; operands are the 8
+    /// address bits (LSB first). `group` ties the 8 bit-slices of one
+    /// physical S-box together for memory accounting.
+    RomBit {
+        /// Truth table of this output bit.
+        table: Arc<RomTable>,
+        /// Physical ROM instance this slice belongs to.
+        group: u32,
+    },
+}
+
+impl CellKind {
+    /// Number of operands the kind requires.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        match self {
+            CellKind::Input | CellKind::Const(_) => 0,
+            CellKind::Not | CellKind::Dff => 1,
+            CellKind::And2 | CellKind::Or2 | CellKind::Xor2 => 2,
+            CellKind::Mux2 => 3,
+            CellKind::RomBit { .. } => 8,
+        }
+    }
+
+    /// `true` for purely combinational kinds (mapping fodder).
+    #[must_use]
+    pub fn is_combinational(&self) -> bool {
+        matches!(
+            self,
+            CellKind::Not | CellKind::And2 | CellKind::Or2 | CellKind::Xor2 | CellKind::Mux2
+        )
+    }
+}
+
+/// A cell instance.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Cell function.
+    pub kind: CellKind,
+    /// Operand nets; length equals `kind.arity()`.
+    pub inputs: Vec<NetId>,
+}
+
+/// A named primary output.
+#[derive(Debug, Clone)]
+pub struct PortBinding {
+    /// Port name (bus ports repeat the name with ascending bit index).
+    pub name: String,
+    /// Driven net.
+    pub net: NetId,
+}
+
+/// A flat gate-level netlist.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::ir::Netlist;
+///
+/// let mut nl = Netlist::new("half_adder");
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let sum = nl.xor2(a, b);
+/// let carry = nl.and2(a, b);
+/// nl.output("sum", sum);
+/// nl.output("carry", carry);
+/// assert_eq!(nl.stats().gates, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    cells: Vec<Cell>,
+    inputs: Vec<PortBinding>,
+    outputs: Vec<PortBinding>,
+    next_rom_group: u32,
+}
+
+/// Cell-population summary used by reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Combinational gates (NOT/AND/OR/XOR/MUX).
+    pub gates: usize,
+    /// D flip-flops.
+    pub dffs: usize,
+    /// Physical 256×8 ROM instances.
+    pub roms: usize,
+    /// Constant drivers.
+    pub consts: usize,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            cells: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            next_rom_group: 0,
+        }
+    }
+
+    /// Design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn push(&mut self, kind: CellKind, inputs: Vec<NetId>) -> NetId {
+        debug_assert_eq!(inputs.len(), kind.arity());
+        for i in &inputs {
+            assert!(i.idx() < self.cells.len(), "operand {i:?} does not exist yet");
+        }
+        let id = NetId(u32::try_from(self.cells.len()).expect("netlist too large"));
+        self.cells.push(Cell { kind, inputs });
+        id
+    }
+
+    /// Declares a 1-bit primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.push(CellKind::Input, vec![]);
+        self.inputs.push(PortBinding { name: name.into(), net: id });
+        id
+    }
+
+    /// Declares a `width`-bit primary input bus (bit 0 first).
+    pub fn input_bus(&mut self, name: &str, width: u32) -> Vec<NetId> {
+        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+    }
+
+    /// Binds a net to a named primary output.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        assert!(net.idx() < self.cells.len(), "output net does not exist");
+        self.outputs.push(PortBinding { name: name.into(), net });
+    }
+
+    /// Binds a bus of nets to numbered outputs.
+    pub fn output_bus(&mut self, name: &str, nets: &[NetId]) {
+        for (i, &n) in nets.iter().enumerate() {
+            self.output(format!("{name}[{i}]"), n);
+        }
+    }
+
+    /// Constant `0`/`1` driver.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        self.push(CellKind::Const(value), vec![])
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.push(CellKind::Not, vec![a])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::And2, vec![a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Or2, vec![a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Xor2, vec![a, b])
+    }
+
+    /// 2:1 mux (`sel ? b : a`).
+    pub fn mux2(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Mux2, vec![sel, a, b])
+    }
+
+    /// D flip-flop; returns `q`.
+    pub fn dff(&mut self, d: NetId) -> NetId {
+        self.push(CellKind::Dff, vec![d])
+    }
+
+    /// Declares a D flip-flop whose `d` input is connected later with
+    /// [`Netlist::connect_dff`] — the way register feedback loops (state
+    /// machines, accumulators) are described in this SSA-style IR.
+    pub fn dff_uninit(&mut self) -> NetId {
+        let id = NetId(u32::try_from(self.cells.len()).expect("netlist too large"));
+        self.cells.push(Cell { kind: CellKind::Dff, inputs: vec![] });
+        id
+    }
+
+    /// A word-wide register with deferred inputs.
+    pub fn dff_word_uninit(&mut self, width: u32) -> Vec<NetId> {
+        (0..width).map(|_| self.dff_uninit()).collect()
+    }
+
+    /// Connects the `d` input of a flip-flop created by
+    /// [`Netlist::dff_uninit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not an unconnected DFF or `d` does not exist.
+    pub fn connect_dff(&mut self, q: NetId, d: NetId) {
+        assert!(d.idx() < self.cells.len(), "d net does not exist");
+        let cell = &mut self.cells[q.idx()];
+        assert!(
+            matches!(cell.kind, CellKind::Dff) && cell.inputs.is_empty(),
+            "connect_dff target must be an unconnected DFF"
+        );
+        cell.inputs.push(d);
+    }
+
+    /// Connects a word register declared with [`Netlist::dff_word_uninit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or invalid targets.
+    pub fn connect_dff_word(&mut self, q: &[NetId], d: &[NetId]) {
+        assert_eq!(q.len(), d.len(), "register width mismatch");
+        for (&qb, &db) in q.iter().zip(d) {
+            self.connect_dff(qb, db);
+        }
+    }
+
+    /// Checks structural sanity: every DFF connected, every operand arity
+    /// correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic on the first violation.
+    pub fn validate(&self) {
+        for (i, cell) in self.cells.iter().enumerate() {
+            assert_eq!(
+                cell.inputs.len(),
+                cell.kind.arity(),
+                "cell {i} ({:?}) has {} operands",
+                cell.kind,
+                cell.inputs.len()
+            );
+        }
+    }
+
+    /// Low-level RomBit constructor used by netlist rewriters; prefer
+    /// [`Netlist::rom256x8`] for building designs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr.len() != 8`.
+    pub fn rom_bit_raw(&mut self, table: Arc<RomTable>, group: u32, addr: Vec<NetId>) -> NetId {
+        self.next_rom_group = self.next_rom_group.max(group + 1);
+        self.push(CellKind::RomBit { table, group }, addr)
+    }
+
+    /// A word-wide register: one DFF per bit.
+    pub fn dff_word(&mut self, d: &[NetId]) -> Vec<NetId> {
+        d.iter().map(|&b| self.dff(b)).collect()
+    }
+
+    /// XOR of two equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn xor_word(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len(), "xor_word width mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.xor2(x, y)).collect()
+    }
+
+    /// Word-wide 2:1 mux.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn mux_word(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len(), "mux_word width mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.mux2(sel, x, y)).collect()
+    }
+
+    /// XOR-reduction of several equal-width words (balanced tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty or widths differ.
+    pub fn xor_many(&mut self, words: &[Vec<NetId>]) -> Vec<NetId> {
+        assert!(!words.is_empty(), "xor_many needs at least one word");
+        let mut acc: Vec<Vec<NetId>> = words.to_vec();
+        while acc.len() > 1 {
+            let mut next = Vec::with_capacity(acc.len().div_ceil(2));
+            for pair in acc.chunks(2) {
+                match pair {
+                    [a, b] => next.push(self.xor_word(a, b)),
+                    [a] => next.push(a.clone()),
+                    _ => unreachable!(),
+                }
+            }
+            acc = next;
+        }
+        acc.pop().expect("nonempty")
+    }
+
+    /// Instantiates a 256×8 asynchronous ROM (one S-box): 8 `RomBit`
+    /// slices sharing a group id. `addr` is 8 bits, LSB first; the result
+    /// is 8 data bits, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr.len() != 8`.
+    pub fn rom256x8(&mut self, addr: &[NetId], contents: &[u8; 256]) -> Vec<NetId> {
+        assert_eq!(addr.len(), 8, "ROM address is 8 bits");
+        let group = self.next_rom_group;
+        self.next_rom_group += 1;
+        (0..8)
+            .map(|bit| {
+                let table = Arc::new(RomTable::from_contents(contents, bit));
+                self.push(CellKind::RomBit { table, group }, addr.to_vec())
+            })
+            .collect()
+    }
+
+    /// Instantiates a 256×8 ROM as a *logic-cell* structure: a shared
+    /// Shannon multiplexer tree over the address bits with constant
+    /// leaves. This is how the S-boxes must be built on devices whose
+    /// embedded memory cannot implement asynchronous ROM — the Cyclone
+    /// case the paper's §5 describes ("the memory was implemented using
+    /// LCs").
+    ///
+    /// Identical subtrees are shared (as synthesis would), so the gate
+    /// count reflects what a real flow produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr.len() != 8`.
+    pub fn rom256x8_lut(&mut self, addr: &[NetId], contents: &[u8; 256]) -> Vec<NetId> {
+        assert_eq!(addr.len(), 8, "ROM address is 8 bits");
+        // Memoise subtrees by (level, subtable) so equal slices share
+        // hardware across output bits.
+        let mut memo: HashMap<(u32, Vec<bool>), NetId> = HashMap::new();
+        let mut const_nets: [Option<NetId>; 2] = [None, None];
+        let mut outs = Vec::with_capacity(8);
+        for bit in 0..8u32 {
+            let table: Vec<bool> = (0..256).map(|a| (contents[a] >> bit) & 1 == 1).collect();
+            let n = self.shannon_tree(addr, &table, 8, &mut memo, &mut const_nets);
+            outs.push(n);
+        }
+        outs
+    }
+
+    fn shannon_tree(
+        &mut self,
+        addr: &[NetId],
+        table: &[bool],
+        level: u32,
+        memo: &mut HashMap<(u32, Vec<bool>), NetId>,
+        const_nets: &mut [Option<NetId>; 2],
+    ) -> NetId {
+        if table.iter().all(|&b| !b) || table.iter().all(|&b| b) {
+            let c = table[0];
+            return if let Some(n) = const_nets[usize::from(c)] {
+                n
+            } else {
+                let n = self.constant(c);
+                const_nets[usize::from(c)] = Some(n);
+                n
+            };
+        }
+        let key = (level, table.to_vec());
+        if let Some(&n) = memo.get(&key) {
+            return n;
+        }
+        let half = table.len() / 2;
+        let sel = addr[(level - 1) as usize];
+        // Address bit `level-1` selects between the low half (bit = 0) and
+        // the high half (bit = 1) of the table.
+        let (lo_t, hi_t) = table.split_at(half);
+        let n = if lo_t == hi_t {
+            self.shannon_tree(addr, lo_t, level - 1, memo, const_nets)
+        } else {
+            let lo = self.shannon_tree(addr, lo_t, level - 1, memo, const_nets);
+            let hi = self.shannon_tree(addr, hi_t, level - 1, memo, const_nets);
+            self.mux2(sel, lo, hi)
+        };
+        memo.insert(key, n);
+        n
+    }
+
+    /// The cells, indexed by [`NetId`].
+    #[must_use]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Cell behind a net.
+    #[must_use]
+    pub fn cell(&self, id: NetId) -> &Cell {
+        &self.cells[id.idx()]
+    }
+
+    /// Primary input bindings in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[PortBinding] {
+        &self.inputs
+    }
+
+    /// Primary output bindings in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[PortBinding] {
+        &self.outputs
+    }
+
+    /// Population counts.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut s = NetlistStats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            ..Default::default()
+        };
+        let mut rom_groups = std::collections::HashSet::new();
+        for cell in &self.cells {
+            match &cell.kind {
+                CellKind::Input => {}
+                CellKind::Const(_) => s.consts += 1,
+                CellKind::Dff => s.dffs += 1,
+                CellKind::RomBit { group, .. } => {
+                    rom_groups.insert(*group);
+                }
+                k if k.is_combinational() => s.gates += 1,
+                _ => {}
+            }
+        }
+        s.roms = rom_groups.len();
+        s
+    }
+
+    /// Fanout count per net (used by packing and timing).
+    #[must_use]
+    pub fn fanouts(&self) -> Vec<u32> {
+        let mut f = vec![0u32; self.cells.len()];
+        for cell in &self.cells {
+            for i in &cell.inputs {
+                f[i.idx()] += 1;
+            }
+        }
+        for out in &self.outputs {
+            f[out.net.idx()] += 1;
+        }
+        f
+    }
+
+    /// Evaluates the combinational part of the netlist for the given
+    /// primary-input and state (DFF output) assignment; returns the value
+    /// of every net.
+    ///
+    /// DFF cells evaluate to their entry in `state` (their *current* `q`);
+    /// the caller advances state by re-reading each DFF's `d` operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input or DFF is missing from the maps.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        input_values: &HashMap<NetId, bool>,
+        state: &HashMap<NetId, bool>,
+    ) -> Vec<bool> {
+        let mut values = vec![false; self.cells.len()];
+        // Cells are created in topological order by construction (operands
+        // must exist before use), so one forward pass suffices.
+        for (i, cell) in self.cells.iter().enumerate() {
+            let id = NetId(i as u32);
+            let v = |n: NetId| values[n.idx()];
+            values[i] = match &cell.kind {
+                CellKind::Input => *input_values
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("missing value for input {id:?}")),
+                CellKind::Const(c) => *c,
+                CellKind::Not => !v(cell.inputs[0]),
+                CellKind::And2 => v(cell.inputs[0]) & v(cell.inputs[1]),
+                CellKind::Or2 => v(cell.inputs[0]) | v(cell.inputs[1]),
+                CellKind::Xor2 => v(cell.inputs[0]) ^ v(cell.inputs[1]),
+                CellKind::Mux2 => {
+                    if v(cell.inputs[0]) {
+                        v(cell.inputs[2])
+                    } else {
+                        v(cell.inputs[1])
+                    }
+                }
+                CellKind::Dff => *state
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("missing state for DFF {id:?}")),
+                CellKind::RomBit { table, .. } => {
+                    let mut a = 0u8;
+                    for (bit, &n) in cell.inputs.iter().enumerate() {
+                        if v(n) {
+                            a |= 1 << bit;
+                        }
+                    }
+                    table.get(a)
+                }
+            };
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_adder_evaluates() {
+        let mut nl = Netlist::new("ha");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let sum = nl.xor2(a, b);
+        let carry = nl.and2(a, b);
+        nl.output("sum", sum);
+        nl.output("carry", carry);
+
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let inputs = HashMap::from([(a, va), (b, vb)]);
+            let vals = nl.evaluate(&inputs, &HashMap::new());
+            assert_eq!(vals[sum.idx()], va ^ vb);
+            assert_eq!(vals[carry.idx()], va & vb);
+        }
+    }
+
+    #[test]
+    fn rom_slices_reproduce_contents() {
+        let mut contents = [0u8; 256];
+        for (i, c) in contents.iter_mut().enumerate() {
+            *c = (i as u8).wrapping_mul(31).wrapping_add(7);
+        }
+        let mut nl = Netlist::new("rom");
+        let addr = nl.input_bus("a", 8);
+        let data = nl.rom256x8(&addr, &contents);
+        nl.output_bus("d", &data);
+        assert_eq!(nl.stats().roms, 1);
+
+        for test_addr in [0u8, 1, 0x53, 0xFF, 0x80] {
+            let inputs: HashMap<NetId, bool> = addr
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, (test_addr >> i) & 1 == 1))
+                .collect();
+            let vals = nl.evaluate(&inputs, &HashMap::new());
+            let mut byte = 0u8;
+            for (bit, &n) in data.iter().enumerate() {
+                if vals[n.idx()] {
+                    byte |= 1 << bit;
+                }
+            }
+            assert_eq!(byte, contents[usize::from(test_addr)], "addr {test_addr:#x}");
+        }
+    }
+
+    #[test]
+    fn dff_reads_state() {
+        let mut nl = Netlist::new("reg");
+        let d = nl.input("d");
+        let q = nl.dff(d);
+        let nq = nl.not(q);
+        nl.output("nq", nq);
+
+        let inputs = HashMap::from([(d, true)]);
+        let state = HashMap::from([(q, false)]);
+        let vals = nl.evaluate(&inputs, &state);
+        assert!(!vals[q.idx()]);
+        assert!(vals[nq.idx()]);
+        // Next-state value is read at the DFF's d operand.
+        assert!(vals[d.idx()]);
+    }
+
+    #[test]
+    fn word_helpers() {
+        let mut nl = Netlist::new("w");
+        let a = nl.input_bus("a", 4);
+        let b = nl.input_bus("b", 4);
+        let c = nl.input_bus("c", 4);
+        let x = nl.xor_many(&[a.clone(), b.clone(), c.clone()]);
+        nl.output_bus("x", &x);
+        let inputs: HashMap<NetId, bool> = a
+            .iter()
+            .chain(&b)
+            .chain(&c)
+            .enumerate()
+            .map(|(i, &n)| (n, i % 3 == 0))
+            .collect();
+        let vals = nl.evaluate(&inputs, &HashMap::new());
+        for (i, &n) in x.iter().enumerate() {
+            let expect =
+                inputs[&a[i]] ^ inputs[&b[i]] ^ inputs[&c[i]];
+            assert_eq!(vals[n.idx()], expect);
+        }
+    }
+
+    #[test]
+    fn stats_count_kinds() {
+        let mut nl = Netlist::new("s");
+        let a = nl.input("a");
+        let k = nl.constant(true);
+        let n = nl.not(a);
+        let m = nl.mux2(a, n, k);
+        let q = nl.dff(m);
+        nl.output("q", q);
+        let st = nl.stats();
+        assert_eq!(st.inputs, 1);
+        assert_eq!(st.outputs, 1);
+        assert_eq!(st.gates, 2); // not + mux
+        assert_eq!(st.dffs, 1);
+        assert_eq!(st.consts, 1);
+    }
+
+    #[test]
+    fn fanout_counts() {
+        let mut nl = Netlist::new("f");
+        let a = nl.input("a");
+        let x = nl.not(a);
+        let y = nl.and2(x, x);
+        nl.output("y", y);
+        nl.output("x", x);
+        let f = nl.fanouts();
+        assert_eq!(f[a.idx()], 1);
+        assert_eq!(f[x.idx()], 3); // two and2 operands + one output
+        assert_eq!(f[y.idx()], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_reference_rejected() {
+        let mut nl = Netlist::new("bad");
+        let _ = nl.not(NetId(42));
+    }
+
+    #[test]
+    fn deferred_dff_feedback_loop() {
+        // A toggle register: q feeds its own inverter.
+        let mut nl = Netlist::new("toggle");
+        let q = nl.dff_uninit();
+        let nq = nl.not(q);
+        nl.connect_dff(q, nq);
+        nl.output("q", q);
+        nl.validate();
+
+        let mut state = HashMap::from([(q, false)]);
+        for step in 0..4 {
+            let vals = nl.evaluate(&HashMap::new(), &state);
+            assert_eq!(vals[q.idx()], step % 2 == 1);
+            let d = nl.cell(q).inputs[0];
+            state.insert(q, vals[d.idx()]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unconnected DFF")]
+    fn connect_dff_rejects_regular_cells() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.input("a");
+        let n = nl.not(a);
+        nl.connect_dff(n, a);
+    }
+
+    #[test]
+    fn lut_rom_is_equivalent_to_macro_rom() {
+        let mut contents = [0u8; 256];
+        for (i, c) in contents.iter_mut().enumerate() {
+            *c = (i as u8).wrapping_mul(167).rotate_left(3) ^ 0x5A;
+        }
+
+        let mut nl = Netlist::new("romcmp");
+        let addr = nl.input_bus("a", 8);
+        let macro_out = nl.rom256x8(&addr, &contents);
+        let lut_out = nl.rom256x8_lut(&addr, &contents);
+        nl.output_bus("m", &macro_out);
+        nl.output_bus("l", &lut_out);
+
+        for test_addr in 0..=255u8 {
+            let inputs: HashMap<NetId, bool> = addr
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, (test_addr >> i) & 1 == 1))
+                .collect();
+            let vals = nl.evaluate(&inputs, &HashMap::new());
+            for bit in 0..8 {
+                assert_eq!(
+                    vals[macro_out[bit].idx()],
+                    vals[lut_out[bit].idx()],
+                    "addr {test_addr:#x} bit {bit}"
+                );
+            }
+        }
+        // The LUT form must be non-trivial but far below the naive
+        // 255-mux-per-bit bound thanks to sharing.
+        let gates = nl.stats().gates;
+        assert!(gates > 100, "suspiciously small ROM tree: {gates}");
+        assert!(gates < 8 * 255, "sharing failed: {gates}");
+    }
+}

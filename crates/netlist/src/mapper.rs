@@ -1,0 +1,714 @@
+//! Cut-based K-input LUT technology mapping.
+//!
+//! The classic FPGA mapping recipe (FlowMap/Cutmap lineage):
+//!
+//! 1. enumerate cuts of size ≤ K for every combinational node by merging
+//!    operand cuts (keeping the best few by depth, then size);
+//! 2. label each node with its depth-optimal cut;
+//! 3. cover the netlist from the roots (primary outputs, flip-flop data
+//!    inputs, ROM address pins) backwards, instantiating one LUT per
+//!    chosen cut;
+//! 4. pack LUT+FF pairs into logic cells the way Altera's LE/LC does.
+//!
+//! The mapped network is functionally verified against the gate network in
+//! the tests (and in the cross-crate integration tests on the real AES
+//! datapath).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::{CellKind, NetId, Netlist};
+
+/// Mapper parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MapperConfig {
+    /// LUT input count (4 for the Acex1K/Cyclone generation).
+    pub k: u32,
+    /// Cuts retained per node during enumeration.
+    pub max_cuts: usize,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig { k: 4, max_cuts: 12 }
+    }
+}
+
+/// One mapped LUT.
+#[derive(Debug, Clone)]
+pub struct Lut {
+    /// The net this LUT drives (a root or an interior boundary).
+    pub output: NetId,
+    /// Leaf nets, in truth-table input order.
+    pub inputs: Vec<NetId>,
+    /// Truth table: bit `i` is the output for input assignment `i`
+    /// (input `j` contributes bit `j` of `i`).
+    pub truth: u64,
+    /// LUT depth from the sequential/IO boundary (1 = fed by leaves only).
+    pub level: u32,
+}
+
+/// One physical ROM retained as an embedded-memory macro.
+#[derive(Debug, Clone)]
+pub struct RomMacro {
+    /// Group id from the source netlist.
+    pub group: u32,
+    /// Address nets (LSB first; shared by all 8 slices).
+    pub addr: Vec<NetId>,
+    /// The 8 output nets (may be fewer if some bits were pruned).
+    pub outputs: Vec<NetId>,
+}
+
+/// The mapping result.
+#[derive(Debug, Clone)]
+pub struct MappedDesign {
+    /// Instantiated LUTs (covering order, roots last).
+    pub luts: Vec<Lut>,
+    /// Flip-flop count carried over from the netlist.
+    pub dff_count: usize,
+    /// ROM macros kept in embedded memory.
+    pub roms: Vec<RomMacro>,
+    /// Logic cells after LUT+FF packing.
+    pub logic_cells: usize,
+    /// LUT levels on the longest combinational path.
+    pub depth: u32,
+    /// Index into `luts` by driven net.
+    pub lut_of_net: HashMap<NetId, usize>,
+}
+
+impl MappedDesign {
+    /// Total embedded memory bits (2048 per ROM macro).
+    #[must_use]
+    pub fn memory_bits(&self) -> usize {
+        self.roms.len() * 2048
+    }
+}
+
+#[derive(Clone, PartialEq, Eq)]
+struct Cut {
+    leaves: Vec<NetId>, // sorted
+    depth: u32,
+}
+
+/// Maps a netlist onto K-input LUTs.
+///
+/// Run [`crate::opt::optimize`] first; constant operands inflate cuts.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::ir::Netlist;
+/// use netlist::mapper::{map, MapperConfig};
+///
+/// let mut nl = Netlist::new("maj");
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let c = nl.input("c");
+/// let ab = nl.and2(a, b);
+/// let bc = nl.and2(b, c);
+/// let ca = nl.and2(c, a);
+/// let t = nl.or2(ab, bc);
+/// let maj = nl.or2(t, ca);
+/// nl.output("maj", maj);
+/// let mapped = map(&nl, &MapperConfig::default());
+/// assert_eq!(mapped.luts.len(), 1); // 3-input majority fits one LUT4
+/// assert_eq!(mapped.depth, 1);
+/// ```
+#[must_use]
+pub fn map(netlist: &Netlist, cfg: &MapperConfig) -> MappedDesign {
+    assert!((2..=6).contains(&cfg.k), "LUT size must be 2..=6");
+    let cells = netlist.cells();
+    let n = cells.len();
+
+    // ------------------------------------------------------------------
+    // Node labels (depth) and best cuts, forward pass.
+    // Leaves: Input, Dff (q), Const. RomBit outputs get a label derived
+    // from their address nets but are cut leaves themselves.
+    // ------------------------------------------------------------------
+    let mut label = vec![0u32; n];
+    let mut best_cut: Vec<Option<Cut>> = vec![None; n];
+    let mut cut_sets: Vec<Vec<Cut>> = vec![Vec::new(); n];
+
+    for i in 0..n {
+        let id = NetId(i as u32);
+        match &cells[i].kind {
+            CellKind::Input | CellKind::Dff => {
+                label[i] = 0;
+                cut_sets[i] = vec![Cut { leaves: vec![id], depth: 0 }];
+            }
+            CellKind::Const(_) => {
+                // Constants are free: they contribute no cut leaves (the
+                // truth-table computation folds them away).
+                label[i] = 0;
+                cut_sets[i] = vec![Cut { leaves: vec![], depth: 0 }];
+            }
+            CellKind::RomBit { .. } => {
+                let l = cells[i].inputs.iter().map(|a| label[a.idx()]).max().unwrap_or(0);
+                label[i] = l + 1;
+                cut_sets[i] = vec![Cut { leaves: vec![id], depth: l + 1 }];
+            }
+            kind if kind.is_combinational() => {
+                let ops = &cells[i].inputs;
+                // Merge operand cut sets.
+                let mut merged: Vec<Cut> = Vec::new();
+                merge_cuts(ops, &cut_sets, cfg, &mut merged);
+                // Depth of each merged cut = 1 + max leaf label.
+                for c in &mut merged {
+                    c.depth = 1 + c.leaves.iter().map(|l| label[l.idx()]).max().unwrap_or(0);
+                }
+                merged.sort_by_key(|c| (c.depth, c.leaves.len()));
+                merged.dedup_by(|a, b| a.leaves == b.leaves);
+                merged.truncate(cfg.max_cuts);
+                assert!(
+                    !merged.is_empty(),
+                    "no feasible cut for node {i} — operand fanin exceeds K?"
+                );
+                label[i] = merged[0].depth;
+                best_cut[i] = Some(merged[0].clone());
+                // Parents may also treat this node as a leaf.
+                let mut with_trivial = merged;
+                with_trivial.push(Cut { leaves: vec![id], depth: label[i] });
+                cut_sets[i] = with_trivial;
+            }
+            _ => unreachable!("unhandled cell kind"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Area flow: expected LUT cost per node, discounted by fanout, used
+    // to pick cheap cuts off the critical path during covering.
+    // ------------------------------------------------------------------
+    let fanout = netlist.fanouts();
+    let mut area_flow = vec![0.0f64; n];
+    for i in 0..n {
+        if cells[i].kind.is_combinational() {
+            let mut best = f64::INFINITY;
+            for cut in &cut_sets[i] {
+                if cut.leaves == [NetId(i as u32)] {
+                    continue; // trivial self-cut
+                }
+                let mut af = 1.0;
+                for &l in &cut.leaves {
+                    if cells[l.idx()].kind.is_combinational() {
+                        af += area_flow[l.idx()] / f64::from(fanout[l.idx()].max(1));
+                    }
+                }
+                best = best.min(af);
+            }
+            area_flow[i] = if best.is_finite() { best } else { 1.0 };
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Covering from roots with required-time slack: every node gets the
+    // cheapest (area-flow) cut whose depth bound still meets its required
+    // time; the global depth target is the depth-optimal one.
+    // ------------------------------------------------------------------
+    let mut roots: Vec<NetId> = Vec::new();
+    for po in netlist.outputs() {
+        roots.push(po.net);
+    }
+    for cell in cells {
+        match &cell.kind {
+            CellKind::Dff | CellKind::RomBit { .. } => roots.extend(&cell.inputs),
+            _ => {}
+        }
+    }
+    let global_target = roots.iter().map(|r| label[r.idx()]).max().unwrap_or(0);
+
+    // Process in descending net order (reverse topological): parents fix a
+    // node's required time before the node itself is covered.
+    let mut req: Vec<u32> = vec![u32::MAX; n];
+    let mut needed = vec![false; n];
+    for &r in &roots {
+        if cells[r.idx()].kind.is_combinational() {
+            needed[r.idx()] = true;
+            req[r.idx()] = req[r.idx()].min(global_target);
+        }
+    }
+
+    let mut chosen: Vec<Option<usize>> = vec![None; n]; // cut index per node
+    for i in (0..n).rev() {
+        if !needed[i] {
+            continue;
+        }
+        let id = NetId(i as u32);
+        let budget = req[i];
+        let mut best: Option<(usize, f64, u32)> = None; // (idx, af, depth)
+        for (ci, cut) in cut_sets[i].iter().enumerate() {
+            if cut.leaves == [id] {
+                continue; // trivial self-cut
+            }
+            let depth = 1 + cut.leaves.iter().map(|l| label[l.idx()]).max().unwrap_or(0);
+            if depth > budget {
+                continue;
+            }
+            let mut af = 1.0;
+            for &l in &cut.leaves {
+                if cells[l.idx()].kind.is_combinational() {
+                    af += area_flow[l.idx()] / f64::from(fanout[l.idx()].max(1));
+                }
+            }
+            let better = match best {
+                None => true,
+                Some((_, baf, bd)) => af < baf - 1e-12 || (af < baf + 1e-12 && depth < bd),
+            };
+            if better {
+                best = Some((ci, af, depth));
+            }
+        }
+        let (ci, _, _) = best.expect("label-feasible cut exists within the budget");
+        chosen[i] = Some(ci);
+        for &l in &cut_sets[i][ci].leaves {
+            let li = l.idx();
+            if cells[li].kind.is_combinational() {
+                needed[li] = true;
+                req[li] = req[li].min(budget - 1);
+            } else if let CellKind::RomBit { .. } = cells[li].kind {
+                // ROM addresses become roots with the remaining budget.
+                for &a in &cells[li].inputs {
+                    if cells[a.idx()].kind.is_combinational() {
+                        needed[a.idx()] = true;
+                        req[a.idx()] = req[a.idx()].min(budget.saturating_sub(2));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut luts: Vec<Lut> = Vec::new();
+    let mut lut_of_net: HashMap<NetId, usize> = HashMap::new();
+    for i in 0..n {
+        if let Some(ci) = chosen[i] {
+            let net = NetId(i as u32);
+            let cut = &cut_sets[i][ci];
+            let truth = cone_truth(netlist, net, &cut.leaves);
+            lut_of_net.insert(net, luts.len());
+            luts.push(Lut { output: net, inputs: cut.leaves.clone(), truth, level: 0 });
+        }
+    }
+    let _ = &best_cut; // labels retain the depth-optimal reference
+
+    // ------------------------------------------------------------------
+    // LUT levels (longest path in the mapped network).
+    // ------------------------------------------------------------------
+    let mut level_memo: HashMap<NetId, u32> = HashMap::new();
+    fn net_level(
+        net: NetId,
+        cells: &[crate::ir::Cell],
+        luts: &[Lut],
+        lut_of_net: &HashMap<NetId, usize>,
+        memo: &mut HashMap<NetId, u32>,
+    ) -> u32 {
+        if let Some(&l) = memo.get(&net) {
+            return l;
+        }
+        let l = if let Some(&li) = lut_of_net.get(&net) {
+            1 + luts[li]
+                .inputs
+                .iter()
+                .map(|&x| net_level(x, cells, luts, lut_of_net, memo))
+                .max()
+                .unwrap_or(0)
+        } else if let CellKind::RomBit { .. } = cells[net.idx()].kind {
+            1 + cells[net.idx()]
+                .inputs
+                .iter()
+                .map(|&x| net_level(x, cells, luts, lut_of_net, memo))
+                .max()
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        memo.insert(net, l);
+        l
+    }
+    let mut depth = 0;
+    let lut_nets: Vec<NetId> = luts.iter().map(|l| l.output).collect();
+    for netv in lut_nets {
+        let l = net_level(netv, cells, &luts, &lut_of_net, &mut level_memo);
+        let li = lut_of_net[&netv];
+        luts[li].level = l;
+        depth = depth.max(l);
+    }
+
+    // ------------------------------------------------------------------
+    // ROM macros.
+    // ------------------------------------------------------------------
+    let mut rom_map: HashMap<u32, RomMacro> = HashMap::new();
+    for (i, cell) in cells.iter().enumerate() {
+        if let CellKind::RomBit { group, .. } = &cell.kind {
+            let entry = rom_map.entry(*group).or_insert_with(|| RomMacro {
+                group: *group,
+                addr: cell.inputs.clone(),
+                outputs: Vec::new(),
+            });
+            entry.outputs.push(NetId(i as u32));
+        }
+    }
+    let mut roms: Vec<RomMacro> = rom_map.into_values().collect();
+    roms.sort_by_key(|r| r.group);
+
+    // ------------------------------------------------------------------
+    // LUT + FF packing into logic cells. Each LC holds one LUT and one FF;
+    // a FF pairs with the LUT driving its D input (one FF per LUT).
+    // ------------------------------------------------------------------
+    let mut dff_count = 0usize;
+    let mut host_taken: HashSet<NetId> = HashSet::new();
+    let mut paired = 0usize;
+    for cell in cells {
+        if matches!(cell.kind, CellKind::Dff) {
+            dff_count += 1;
+            let d = cell.inputs[0];
+            if lut_of_net.contains_key(&d) && host_taken.insert(d) {
+                paired += 1;
+            }
+        }
+    }
+    let logic_cells = luts.len() + dff_count - paired;
+
+    MappedDesign { luts, dff_count, roms, logic_cells, depth, lut_of_net }
+}
+
+/// Merges operand cut sets into candidate cuts of size ≤ K.
+fn merge_cuts(ops: &[NetId], cut_sets: &[Vec<Cut>], cfg: &MapperConfig, out: &mut Vec<Cut>) {
+    fn rec(
+        ops: &[NetId],
+        idx: usize,
+        acc: Vec<NetId>,
+        cut_sets: &[Vec<Cut>],
+        cfg: &MapperConfig,
+        out: &mut Vec<Cut>,
+    ) {
+        if out.len() > 4 * cfg.max_cuts * cfg.max_cuts {
+            return; // enumeration budget
+        }
+        if idx == ops.len() {
+            out.push(Cut { leaves: acc, depth: 0 });
+            return;
+        }
+        for cut in &cut_sets[ops[idx].idx()] {
+            let mut merged = acc.clone();
+            for &l in &cut.leaves {
+                if !merged.contains(&l) {
+                    merged.push(l);
+                }
+            }
+            if merged.len() <= cfg.k as usize {
+                let mut m = merged;
+                m.sort();
+                rec(ops, idx + 1, m, cut_sets, cfg, out);
+            }
+        }
+    }
+    rec(ops, 0, Vec::new(), cut_sets, cfg, out);
+}
+
+/// Evaluates the cone rooted at `root` with the given leaf assignment and
+/// returns the truth table over `leaves` (input `j` = bit `j`).
+fn cone_truth(netlist: &Netlist, root: NetId, leaves: &[NetId]) -> u64 {
+    assert!(leaves.len() <= 6, "LUT wider than supported");
+    let mut truth = 0u64;
+    for assignment in 0..(1u32 << leaves.len()) {
+        let mut memo: HashMap<NetId, bool> = leaves
+            .iter()
+            .enumerate()
+            .map(|(j, &l)| (l, (assignment >> j) & 1 == 1))
+            .collect();
+        if eval_cone(netlist, root, &mut memo) {
+            truth |= 1u64 << assignment;
+        }
+    }
+    truth
+}
+
+fn eval_cone(netlist: &Netlist, net: NetId, memo: &mut HashMap<NetId, bool>) -> bool {
+    if let Some(&v) = memo.get(&net) {
+        return v;
+    }
+    let cell = netlist.cell(net);
+    let v = match &cell.kind {
+        CellKind::Const(c) => *c,
+        CellKind::Not => !eval_cone(netlist, cell.inputs[0], memo),
+        CellKind::And2 => {
+            eval_cone(netlist, cell.inputs[0], memo) & eval_cone(netlist, cell.inputs[1], memo)
+        }
+        CellKind::Or2 => {
+            eval_cone(netlist, cell.inputs[0], memo) | eval_cone(netlist, cell.inputs[1], memo)
+        }
+        CellKind::Xor2 => {
+            eval_cone(netlist, cell.inputs[0], memo) ^ eval_cone(netlist, cell.inputs[1], memo)
+        }
+        CellKind::Mux2 => {
+            if eval_cone(netlist, cell.inputs[0], memo) {
+                eval_cone(netlist, cell.inputs[2], memo)
+            } else {
+                eval_cone(netlist, cell.inputs[1], memo)
+            }
+        }
+        other => panic!("cone escapes through non-combinational cell {other:?}"),
+    };
+    memo.insert(net, v);
+    v
+}
+
+/// Evaluates a mapped design on a primary-input/state assignment and
+/// returns the value of every *visible* net (LUT outputs, leaves). Used
+/// for mapping-equivalence verification.
+///
+/// # Panics
+///
+/// Panics if an input or flip-flop value is missing.
+#[must_use]
+pub fn evaluate_mapped(
+    netlist: &Netlist,
+    mapped: &MappedDesign,
+    input_values: &HashMap<NetId, bool>,
+    state: &HashMap<NetId, bool>,
+) -> HashMap<NetId, bool> {
+    let mut values: HashMap<NetId, bool> = HashMap::new();
+    for (&net, &v) in input_values {
+        values.insert(net, v);
+    }
+    for (&net, &v) in state {
+        values.insert(net, v);
+    }
+    // Constants are free leaves.
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        if let CellKind::Const(c) = cell.kind {
+            values.insert(NetId(i as u32), c);
+        }
+    }
+
+    fn get(
+        net: NetId,
+        netlist: &Netlist,
+        mapped: &MappedDesign,
+        values: &mut HashMap<NetId, bool>,
+    ) -> bool {
+        if let Some(&v) = values.get(&net) {
+            return v;
+        }
+        let v = if let Some(&li) = mapped.lut_of_net.get(&net) {
+            let lut = &mapped.luts[li];
+            let mut idx = 0u32;
+            for (j, &inp) in lut.inputs.iter().enumerate() {
+                if get(inp, netlist, mapped, values) {
+                    idx |= 1 << j;
+                }
+            }
+            (lut.truth >> idx) & 1 == 1
+        } else if let CellKind::RomBit { table, .. } = &netlist.cell(net).kind {
+            let mut a = 0u8;
+            for (bit, &inp) in netlist.cell(net).inputs.iter().enumerate() {
+                if get(inp, netlist, mapped, values) {
+                    a |= 1 << bit;
+                }
+            }
+            table.get(a)
+        } else {
+            panic!("net {net:?} is not visible in the mapped design");
+        };
+        values.insert(net, v);
+        v
+    }
+
+    let visible: Vec<NetId> = netlist
+        .outputs()
+        .iter()
+        .map(|p| p.net)
+        .chain(netlist.cells().iter().filter(|&c| matches!(c.kind, CellKind::Dff)).map(|c| c.inputs[0]))
+        .collect();
+    for net in visible {
+        get(net, netlist, mapped, &mut values);
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_equivalence(nl: &Netlist, mapped: &MappedDesign, patterns: u32) {
+        let pis: Vec<NetId> = nl.inputs().iter().map(|p| p.net).collect();
+        let dffs: Vec<NetId> = nl
+            .cells()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c.kind, CellKind::Dff))
+            .map(|(i, _)| NetId(i as u32))
+            .collect();
+        let mut seed = 0xC0FF_EE00_1234u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..patterns {
+            let iv: HashMap<NetId, bool> = pis.iter().map(|&n| (n, rng() & 1 == 1)).collect();
+            let st: HashMap<NetId, bool> = dffs.iter().map(|&n| (n, rng() & 1 == 1)).collect();
+            let gate_vals = nl.evaluate(&iv, &st);
+            let mapped_vals = evaluate_mapped(nl, mapped, &iv, &st);
+            for po in nl.outputs() {
+                assert_eq!(
+                    gate_vals[po.net.idx()],
+                    mapped_vals[&po.net],
+                    "output {} diverged",
+                    po.name
+                );
+            }
+            for &q in &dffs {
+                let d = nl.cell(q).inputs[0];
+                assert_eq!(gate_vals[d.idx()], mapped_vals[&d], "next-state diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_fits_one_lut() {
+        let mut nl = Netlist::new("maj");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let ab = nl.and2(a, b);
+        let bc = nl.and2(b, c);
+        let ca = nl.and2(c, a);
+        let t = nl.or2(ab, bc);
+        let m = nl.or2(t, ca);
+        nl.output("maj", m);
+        let mapped = map(&nl, &MapperConfig::default());
+        assert_eq!(mapped.luts.len(), 1);
+        assert_eq!(mapped.depth, 1);
+        assert_eq!(mapped.logic_cells, 1);
+        check_equivalence(&nl, &mapped, 16);
+    }
+
+    #[test]
+    fn wide_xor_tree_depth() {
+        // 16-input XOR: depth 2 with LUT4s (4 leaves + 1 combiner... the
+        // combiner takes 4 subtree outputs).
+        let mut nl = Netlist::new("xor16");
+        let ins: Vec<NetId> = (0..16).map(|i| nl.input(format!("i{i}"))).collect();
+        let mut layer = ins.clone();
+        while layer.len() > 1 {
+            layer = layer.chunks(2).map(|p| nl.xor2(p[0], p[1])).collect();
+        }
+        nl.output("x", layer[0]);
+        let mapped = map(&nl, &MapperConfig::default());
+        assert_eq!(mapped.depth, 2, "16-input XOR needs exactly 2 LUT4 levels");
+        assert_eq!(mapped.luts.len(), 5, "4 leaf LUTs + 1 combiner");
+        check_equivalence(&nl, &mapped, 64);
+    }
+
+    #[test]
+    fn registered_design_packs_luts_with_ffs() {
+        // 8-bit XOR of two buses into a register: 8 LUTs + 8 FFs → 8 LCs.
+        let mut nl = Netlist::new("regxor");
+        let a = nl.input_bus("a", 8);
+        let b = nl.input_bus("b", 8);
+        let x = nl.xor_word(&a, &b);
+        let q = nl.dff_word(&x);
+        nl.output_bus("q", &q);
+        let mapped = map(&nl, &MapperConfig::default());
+        assert_eq!(mapped.luts.len(), 8);
+        assert_eq!(mapped.dff_count, 8);
+        assert_eq!(mapped.logic_cells, 8, "every FF pairs with its LUT");
+        check_equivalence(&nl, &mapped, 32);
+    }
+
+    #[test]
+    fn unpaired_ff_costs_a_cell() {
+        // A FF fed straight from a PI cannot share a LUT.
+        let mut nl = Netlist::new("pipe");
+        let a = nl.input("a");
+        let q1 = nl.dff(a);
+        let q2 = nl.dff(q1);
+        nl.output("q", q2);
+        let mapped = map(&nl, &MapperConfig::default());
+        assert_eq!(mapped.luts.len(), 0);
+        assert_eq!(mapped.logic_cells, 2);
+    }
+
+    #[test]
+    fn rom_macro_is_kept_and_counted() {
+        let mut contents = [0u8; 256];
+        for (i, c) in contents.iter_mut().enumerate() {
+            *c = (i as u8).wrapping_mul(13);
+        }
+        let mut nl = Netlist::new("rom");
+        let addr = nl.input_bus("a", 8);
+        let data = nl.rom256x8(&addr, &contents);
+        nl.output_bus("d", &data);
+        let mapped = map(&nl, &MapperConfig::default());
+        assert_eq!(mapped.roms.len(), 1);
+        assert_eq!(mapped.memory_bits(), 2048);
+        assert_eq!(mapped.luts.len(), 0);
+        check_equivalence(&nl, &mapped, 32);
+    }
+
+    #[test]
+    fn lut_rom_maps_to_about_31_luts_per_bit() {
+        // The Cyclone case: an S-box-like ROM in logic cells. The mux-tree
+        // bound is 31 LUT4s per output bit (16 leaves + 15 mux nodes);
+        // sharing pulls it below that.
+        let contents: [u8; 256] = core::array::from_fn(|i| {
+            // An S-box-grade dense table (the real S-box lives in gf256;
+            // use a similar-complexity permutation here).
+            let x = i as u8;
+            x.wrapping_mul(167).rotate_left(3) ^ x.wrapping_mul(29).rotate_left(6) ^ 0x63
+        });
+        let mut nl = Netlist::new("lutrom");
+        let addr = nl.input_bus("a", 8);
+        let data = nl.rom256x8_lut(&addr, &contents);
+        nl.output_bus("d", &data);
+        let (opt, _) = crate::opt::optimize(&nl);
+        let mapped = map(&opt, &MapperConfig::default());
+        assert_eq!(mapped.roms.len(), 0);
+        assert!(
+            mapped.luts.len() <= 8 * 31,
+            "mux-tree bound exceeded: {} LUTs",
+            mapped.luts.len()
+        );
+        assert!(mapped.luts.len() >= 100, "implausibly small: {}", mapped.luts.len());
+        // 8-input function: 2 LUT4 levels cover 4+4... the mux tree gives
+        // depth ≥ 3 after packing the bottom 4 levels into leaf LUTs.
+        assert!(mapped.depth <= 5, "depth {} too deep", mapped.depth);
+        check_equivalence(&opt, &mapped, 64);
+    }
+
+    #[test]
+    fn mux_heavy_design_equivalence() {
+        let mut nl = Netlist::new("muxes");
+        let sel = nl.input_bus("s", 2);
+        let data = nl.input_bus("d", 4);
+        let lo = nl.mux2(sel[0], data[0], data[1]);
+        let hi = nl.mux2(sel[0], data[2], data[3]);
+        let out = nl.mux2(sel[1], lo, hi);
+        nl.output("y", out);
+        let mapped = map(&nl, &MapperConfig::default());
+        // 4:1 mux = 6 inputs → 3 LUT4s (two leaf 2:1 muxes + combiner).
+        assert!(mapped.luts.len() <= 3, "{} LUTs", mapped.luts.len());
+        assert!(mapped.depth <= 2);
+        check_equivalence(&nl, &mapped, 64);
+    }
+
+    #[test]
+    fn feedback_register_design() {
+        // 4-bit LFSR-ish: taps xor back into the shift register.
+        let mut nl = Netlist::new("lfsr");
+        let q = nl.dff_word_uninit(4);
+        let fb = nl.xor2(q[3], q[2]);
+        nl.connect_dff(q[0], fb);
+        nl.connect_dff(q[1], q[0]);
+        nl.connect_dff(q[2], q[1]);
+        nl.connect_dff(q[3], q[2]);
+        nl.output_bus("q", &q);
+        nl.validate();
+        let mapped = map(&nl, &MapperConfig::default());
+        assert_eq!(mapped.dff_count, 4);
+        assert_eq!(mapped.luts.len(), 1);
+        // The feedback LUT pairs with q[0]'s FF: 1 + 4 - 1 = 4 LCs.
+        assert_eq!(mapped.logic_cells, 4);
+        check_equivalence(&nl, &mapped, 32);
+    }
+}

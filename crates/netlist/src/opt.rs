@@ -1,0 +1,532 @@
+//! Netlist cleanup: constant folding, algebraic simplification and
+//! dead-code elimination.
+//!
+//! Run before technology mapping so degenerate structures (muxes with
+//! constant legs from ROM lowering, XORs with zero, duplicated operands)
+//! do not inflate the logic-cell count the flow reports.
+
+use std::collections::HashMap;
+
+use crate::ir::{Cell, CellKind, NetId, Netlist};
+
+/// Result of [`optimize`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Cells in the input netlist.
+    pub cells_before: usize,
+    /// Cells after folding + DCE.
+    pub cells_after: usize,
+    /// Folding rewrites applied.
+    pub folds: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    /// Known constant.
+    Const(bool),
+    /// Same value as another net.
+    Alias(NetId),
+    /// Complement of another net.
+    InvAlias(NetId),
+    /// Opaque.
+    Unknown,
+}
+
+/// Folds constants, simplifies algebraically, removes dead cells, and
+/// returns the rewritten netlist (IO names and ROM groups preserved).
+///
+/// # Examples
+///
+/// ```
+/// use netlist::ir::Netlist;
+/// use netlist::opt::optimize;
+///
+/// let mut nl = Netlist::new("fold");
+/// let a = nl.input("a");
+/// let zero = nl.constant(false);
+/// let x = nl.xor2(a, zero); // == a
+/// nl.output("x", x);
+/// let (folded, report) = optimize(&nl);
+/// assert_eq!(folded.stats().gates, 0); // the xor dissolved into a wire
+/// assert!(report.folds >= 1);
+/// ```
+#[must_use]
+pub fn optimize(netlist: &Netlist) -> (Netlist, OptReport) {
+    let cells = netlist.cells();
+    let mut report = OptReport { cells_before: cells.len(), ..Default::default() };
+
+    // ------------------------------------------------------------------
+    // Pass 1: forward value analysis. `value[i]` describes what cell i's
+    // output really is after simplification.
+    // ------------------------------------------------------------------
+    let mut value = vec![Value::Unknown; cells.len()];
+
+    // Resolve a net through alias chains to (net, inverted, const).
+    fn resolve(value: &[Value], mut n: NetId) -> (NetId, bool, Option<bool>) {
+        let mut inv = false;
+        loop {
+            match value[n.idx()] {
+                Value::Const(c) => return (n, false, Some(c ^ inv)),
+                Value::Alias(m) => n = m,
+                Value::InvAlias(m) => {
+                    inv = !inv;
+                    n = m;
+                }
+                Value::Unknown => return (n, inv, None),
+            }
+        }
+    }
+
+    for (i, cell) in cells.iter().enumerate() {
+        let _id = NetId(i as u32);
+        let v = match &cell.kind {
+            CellKind::Const(c) => Value::Const(*c),
+            CellKind::Not => {
+                let (n, inv, c) = resolve(&value, cell.inputs[0]);
+                match c {
+                    Some(c) => Value::Const(!c),
+                    None if inv => Value::Alias(n),
+                    None => Value::InvAlias(n),
+                }
+            }
+            CellKind::And2 | CellKind::Or2 | CellKind::Xor2 => {
+                let (na, ia, ca) = resolve(&value, cell.inputs[0]);
+                let (nb, ib, cb) = resolve(&value, cell.inputs[1]);
+                match (&cell.kind, ca, cb) {
+                    (CellKind::And2, Some(false), _) | (CellKind::And2, _, Some(false)) => {
+                        Value::Const(false)
+                    }
+                    (CellKind::And2, Some(true), None) => lit(nb, ib),
+                    (CellKind::And2, None, Some(true)) => lit(na, ia),
+                    (CellKind::And2, Some(true), Some(true)) => Value::Const(true),
+                    (CellKind::Or2, Some(true), _) | (CellKind::Or2, _, Some(true)) => {
+                        Value::Const(true)
+                    }
+                    (CellKind::Or2, Some(false), None) => lit(nb, ib),
+                    (CellKind::Or2, None, Some(false)) => lit(na, ia),
+                    (CellKind::Or2, Some(false), Some(false)) => Value::Const(false),
+                    (CellKind::Xor2, Some(a), Some(b)) => Value::Const(a ^ b),
+                    (CellKind::Xor2, Some(false), None) => lit(nb, ib),
+                    (CellKind::Xor2, None, Some(false)) => lit(na, ia),
+                    (CellKind::Xor2, Some(true), None) => lit(nb, !ib),
+                    (CellKind::Xor2, None, Some(true)) => lit(na, !ia),
+                    _ if na == nb => match &cell.kind {
+                        // x & x = x, x & !x = 0; x | x = x, x | !x = 1;
+                        // x ^ x = 0, x ^ !x = 1.
+                        CellKind::And2 if ia == ib => lit(na, ia),
+                        CellKind::And2 => Value::Const(false),
+                        CellKind::Or2 if ia == ib => lit(na, ia),
+                        CellKind::Or2 => Value::Const(true),
+                        CellKind::Xor2 => Value::Const(ia != ib),
+                        _ => unreachable!(),
+                    },
+                    _ => Value::Unknown,
+                }
+            }
+            CellKind::Mux2 => {
+                let (ns, is, cs) = resolve(&value, cell.inputs[0]);
+                let (na, ia, ca) = resolve(&value, cell.inputs[1]);
+                let (nb, ib, cb) = resolve(&value, cell.inputs[2]);
+                match cs {
+                    Some(true) => cb.map_or_else(|| lit(nb, ib), Value::Const),
+                    Some(false) => ca.map_or_else(|| lit(na, ia), Value::Const),
+                    None => {
+                        if let (Some(cv), true) = (ca, ca == cb) {
+                            Value::Const(cv)
+                        } else if ca.is_none() && cb.is_none() && na == nb && ia == ib {
+                            lit(na, ia)
+                        } else if ca == Some(false) && cb == Some(true) {
+                            lit(ns, is)
+                        } else if ca == Some(true) && cb == Some(false) {
+                            lit(ns, !is)
+                        } else {
+                            Value::Unknown
+                        }
+                    }
+                }
+            }
+            _ => Value::Unknown,
+        };
+        if !matches!(v, Value::Unknown) && cell.kind.is_combinational() {
+            report.folds += 1;
+        }
+        value[i] = match &cells[i].kind {
+            CellKind::Input | CellKind::Dff | CellKind::RomBit { .. } => Value::Unknown,
+            _ => v,
+        };
+    }
+
+    fn lit(n: NetId, inverted: bool) -> Value {
+        if inverted {
+            Value::InvAlias(n)
+        } else {
+            Value::Alias(n)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 2: liveness from outputs and live DFF/ROM operands.
+    // ------------------------------------------------------------------
+    let mut live = vec![false; cells.len()];
+    let mut stack: Vec<NetId> = Vec::new();
+    let mark = |n: NetId, live: &mut Vec<bool>, stack: &mut Vec<NetId>| {
+        let (root, _, c) = resolve(&value, n);
+        if c.is_none() && !live[root.idx()] {
+            live[root.idx()] = true;
+            stack.push(root);
+        }
+    };
+    for out in netlist.outputs() {
+        mark(out.net, &mut live, &mut stack);
+    }
+    while let Some(n) = stack.pop() {
+        for &op in &cells[n.idx()].inputs {
+            mark(op, &mut live, &mut stack);
+        }
+    }
+    // Keep primary inputs regardless (ports are part of the interface).
+
+    // ------------------------------------------------------------------
+    // Pass 3: rebuild.
+    // ------------------------------------------------------------------
+    let mut out = Netlist::new(netlist.name().to_string());
+    let mut remap: HashMap<NetId, NetId> = HashMap::new();
+    let mut const_nets: [Option<NetId>; 2] = [None, None];
+    let mut get_const = |out: &mut Netlist, c: bool| {
+        if let Some(n) = const_nets[usize::from(c)] {
+            n
+        } else {
+            let n = out.constant(c);
+            const_nets[usize::from(c)] = Some(n);
+            n
+        }
+    };
+
+    // Inputs first, preserving order/names.
+    for pi in netlist.inputs() {
+        let new = out.input(pi.name.clone());
+        remap.insert(pi.net, new);
+    }
+
+    // Lazily materialise nets.
+    #[allow(clippy::too_many_arguments)]
+    fn materialise(
+        n: NetId,
+        cells: &[Cell],
+        value: &[Value],
+        live: &[bool],
+        out: &mut Netlist,
+        remap: &mut HashMap<NetId, NetId>,
+        inv_cache: &mut HashMap<NetId, NetId>,
+        pending_dffs: &mut Vec<(NetId, NetId)>,
+        get_const: &mut impl FnMut(&mut Netlist, bool) -> NetId,
+    ) -> NetId {
+        let (root, inv, c) = {
+            // Inline resolve to avoid borrow issues.
+            let mut m = n;
+            let mut inv = false;
+            loop {
+                match value[m.idx()] {
+                    Value::Const(cv) => break (m, false, Some(cv ^ inv)),
+                    Value::Alias(x) => m = x,
+                    Value::InvAlias(x) => {
+                        inv = !inv;
+                        m = x;
+                    }
+                    Value::Unknown => break (m, inv, None),
+                }
+            }
+        };
+        if let Some(cv) = c {
+            return get_const(out, cv);
+        }
+        let base = if let Some(&mapped) = remap.get(&root) {
+            mapped
+        } else if matches!(cells[root.idx()].kind, CellKind::Dff) {
+            // Registers are sequential leaves: declare the new flip-flop
+            // now, rebuild its data cone later from the top-level
+            // worklist. Descending into the cone here would re-enter any
+            // combinational cell that sits on a feedback loop through
+            // this register while it is still being materialised,
+            // duplicating it (the state-register ↔ S-box loop of the AES
+            // datapath is exactly that shape).
+            let new = out.dff_uninit();
+            remap.insert(root, new);
+            pending_dffs.push((root, new));
+            new
+        } else {
+            debug_assert!(live[root.idx()] || matches!(cells[root.idx()].kind, CellKind::Input));
+            let cell = &cells[root.idx()];
+            let ops: Vec<NetId> = cell
+                .inputs
+                .iter()
+                .map(|&op| {
+                    materialise(op, cells, value, live, out, remap, inv_cache, pending_dffs, get_const)
+                })
+                .collect();
+            let cell = &cells[root.idx()];
+            let new = match &cell.kind {
+                CellKind::Input => unreachable!("inputs pre-mapped"),
+                CellKind::Const(cv) => get_const(out, *cv),
+                CellKind::Not => out.not(ops[0]),
+                CellKind::And2 => out.and2(ops[0], ops[1]),
+                CellKind::Or2 => out.or2(ops[0], ops[1]),
+                CellKind::Xor2 => out.xor2(ops[0], ops[1]),
+                CellKind::Mux2 => out.mux2(ops[0], ops[1], ops[2]),
+                CellKind::Dff => unreachable!("handled above"),
+                CellKind::RomBit { table, group } => {
+                    out.rom_bit_raw(table.clone(), *group, ops)
+                }
+            };
+            remap.insert(root, new);
+            new
+        };
+        if inv {
+            // One shared inverter per complemented net, however many
+            // use sites reference it.
+            if let Some(&cached) = inv_cache.get(&base) {
+                cached
+            } else {
+                let n = out.not(base);
+                inv_cache.insert(base, n);
+                n
+            }
+        } else {
+            base
+        }
+    }
+
+    let mut inv_cache: HashMap<NetId, NetId> = HashMap::new();
+    let mut pending_dffs: Vec<(NetId, NetId)> = Vec::new();
+
+    // Pre-declare every live register in original order so the rewritten
+    // netlist keeps a stable register correspondence (the property that
+    // lets `verify::check_netlists` pair state positionally, and that
+    // real synthesis flows provide by preserving register names).
+    for (i, cell) in cells.iter().enumerate() {
+        let id = NetId(i as u32);
+        if matches!(cell.kind, CellKind::Dff) && live[id.idx()] {
+            let new = out.dff_uninit();
+            remap.insert(id, new);
+            pending_dffs.push((id, new));
+        }
+    }
+
+    for po in netlist.outputs() {
+        let n = materialise(
+            po.net,
+            cells,
+            &value,
+            &live,
+            &mut out,
+            &mut remap,
+            &mut inv_cache,
+            &mut pending_dffs,
+            &mut get_const,
+        );
+        out.output(po.name.clone(), n);
+    }
+    // Rebuild register data cones breadth-first; every cycle passes
+    // through a register, and all registers are already in `remap`, so no
+    // combinational cell can be visited while in flight.
+    while let Some((orig_q, new_q)) = pending_dffs.pop() {
+        let d = materialise(
+            cells[orig_q.idx()].inputs[0],
+            cells,
+            &value,
+            &live,
+            &mut out,
+            &mut remap,
+            &mut inv_cache,
+            &mut pending_dffs,
+            &mut get_const,
+        );
+        out.connect_dff(new_q, d);
+    }
+
+    report.cells_after = out.cells().len();
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    #[test]
+    fn xor_with_zero_dissolves() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let z = nl.constant(false);
+        let x = nl.xor2(a, z);
+        nl.output("x", x);
+        let (o, r) = optimize(&nl);
+        assert_eq!(o.stats().gates, 0);
+        assert!(r.folds >= 1);
+        // Functionality preserved.
+        let pa = o.inputs()[0].net;
+        let vals = o.evaluate(&Map::from([(pa, true)]), &Map::new());
+        assert!(vals[o.outputs()[0].net.idx()]);
+    }
+
+    #[test]
+    fn xor_with_one_becomes_inverter() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let one = nl.constant(true);
+        let x = nl.xor2(a, one);
+        nl.output("x", x);
+        let (o, _) = optimize(&nl);
+        let pa = o.inputs()[0].net;
+        for v in [false, true] {
+            let vals = o.evaluate(&Map::from([(pa, v)]), &Map::new());
+            assert_eq!(vals[o.outputs()[0].net.idx()], !v);
+        }
+    }
+
+    #[test]
+    fn mux_constant_select_folds() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let one = nl.constant(true);
+        let m = nl.mux2(one, a, b); // sel=1 → b
+        nl.output("m", m);
+        let (o, _) = optimize(&nl);
+        assert_eq!(o.stats().gates, 0);
+        let pa = o.inputs()[0].net;
+        let pb = o.inputs()[1].net;
+        let vals = o.evaluate(&Map::from([(pa, false), (pb, true)]), &Map::new());
+        assert!(vals[o.outputs()[0].net.idx()]);
+    }
+
+    #[test]
+    fn mux_of_constants_becomes_wire_or_inverter() {
+        let mut nl = Netlist::new("t");
+        let s = nl.input("s");
+        let zero = nl.constant(false);
+        let one = nl.constant(true);
+        let m = nl.mux2(s, zero, one); // == s
+        let n = nl.mux2(s, one, zero); // == !s
+        nl.output("m", m);
+        nl.output("n", n);
+        let (o, _) = optimize(&nl);
+        assert_eq!(o.stats().gates, 1); // just the inverter
+        let ps = o.inputs()[0].net;
+        for v in [false, true] {
+            let vals = o.evaluate(&Map::from([(ps, v)]), &Map::new());
+            assert_eq!(vals[o.outputs()[0].net.idx()], v);
+            assert_eq!(vals[o.outputs()[1].net.idx()], !v);
+        }
+    }
+
+    #[test]
+    fn self_cancelling_xor() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let x = nl.xor2(a, a);
+        nl.output("x", x);
+        let (o, _) = optimize(&nl);
+        assert_eq!(o.stats().gates, 0);
+        let pa = o.inputs()[0].net;
+        let vals = o.evaluate(&Map::from([(pa, true)]), &Map::new());
+        assert!(!vals[o.outputs()[0].net.idx()]);
+    }
+
+    #[test]
+    fn double_inversion_cancels() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        nl.output("y", n2);
+        let (o, _) = optimize(&nl);
+        assert_eq!(o.stats().gates, 0);
+    }
+
+    #[test]
+    fn dead_code_removed_live_kept() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let dead = nl.and2(a, b);
+        let _deader = nl.not(dead);
+        let live = nl.or2(a, b);
+        nl.output("live", live);
+        let (o, _) = optimize(&nl);
+        assert_eq!(o.stats().gates, 1);
+        assert_eq!(o.inputs().len(), 2, "ports survive DCE");
+    }
+
+    #[test]
+    fn dff_chains_survive() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let q1 = nl.dff(a);
+        let q2 = nl.dff(q1);
+        nl.output("q", q2);
+        let (o, _) = optimize(&nl);
+        assert_eq!(o.stats().dffs, 2);
+    }
+
+    #[test]
+    fn random_equivalence_after_optimize() {
+        // Build a random-ish gate soup and verify functional equivalence.
+        let mut nl = Netlist::new("soup");
+        let ins: Vec<NetId> = (0..6).map(|i| nl.input(format!("i{i}"))).collect();
+        let mut nets = ins.clone();
+        let zero = nl.constant(false);
+        let one = nl.constant(true);
+        nets.push(zero);
+        nets.push(one);
+        let mut seed = 0x1234_5678u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..80 {
+            let a = nets[(rng() as usize) % nets.len()];
+            let b = nets[(rng() as usize) % nets.len()];
+            let s = nets[(rng() as usize) % nets.len()];
+            let n = match rng() % 5 {
+                0 => nl.and2(a, b),
+                1 => nl.or2(a, b),
+                2 => nl.xor2(a, b),
+                3 => nl.not(a),
+                _ => nl.mux2(s, a, b),
+            };
+            nets.push(n);
+        }
+        for (i, &n) in nets.iter().rev().take(5).enumerate() {
+            nl.output(format!("o{i}"), n);
+        }
+        let (o, _) = optimize(&nl);
+        assert!(o.cells().len() <= nl.cells().len());
+
+        for pattern in 0u32..64 {
+            let iv: Map<NetId, bool> = ins
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, (pattern >> i) & 1 == 1))
+                .collect();
+            let iv2: Map<NetId, bool> = o
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.net, (pattern >> i) & 1 == 1))
+                .collect();
+            let va = nl.evaluate(&iv, &Map::new());
+            let vb = o.evaluate(&iv2, &Map::new());
+            for (pa, pb) in nl.outputs().iter().zip(o.outputs()) {
+                assert_eq!(
+                    va[pa.net.idx()],
+                    vb[pb.net.idx()],
+                    "mismatch at pattern {pattern} output {}",
+                    pa.name
+                );
+            }
+        }
+    }
+}

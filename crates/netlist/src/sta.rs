@@ -1,0 +1,323 @@
+//! Static timing analysis over a mapped design.
+//!
+//! A simple but honest FPGA timing model: every LUT contributes a cell
+//! delay, every net a fanout-dependent routing delay, ROM macros an
+//! asynchronous access time, and registers their clock-to-out and setup
+//! times. The minimum clock period is the worst register-to-register or
+//! register-to-pin path — the number Quartus' timing analyzer reported as
+//! the paper's "Clk" row.
+
+use std::collections::HashMap;
+
+use crate::ir::{CellKind, NetId, Netlist};
+use crate::mapper::MappedDesign;
+
+/// Delay parameters, in nanoseconds. Device families provide calibrated
+/// instances (see the `fpga` crate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// LUT cell delay.
+    pub lut_delay: f64,
+    /// Base routing delay per net hop.
+    pub wire_base: f64,
+    /// Additional routing delay per *doubling* of fanout: FPGA routing
+    /// fabrics buffer high-fanout nets, so delay grows logarithmically,
+    /// not linearly (`wire = base + per_fanout · log2(fanout)`).
+    pub wire_per_fanout: f64,
+    /// Asynchronous embedded-ROM access time.
+    pub rom_access: f64,
+    /// Register clock-to-out.
+    pub clk_to_q: f64,
+    /// Register setup time.
+    pub ff_setup: f64,
+    /// Input/output pad delay.
+    pub pad_delay: f64,
+}
+
+impl Default for TimingParams {
+    /// Neutral unit-delay parameters for tests.
+    fn default() -> Self {
+        TimingParams {
+            lut_delay: 1.0,
+            wire_base: 0.0,
+            wire_per_fanout: 0.0,
+            rom_access: 1.0,
+            clk_to_q: 0.0,
+            ff_setup: 0.0,
+            pad_delay: 0.0,
+        }
+    }
+}
+
+/// One node on the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathNode {
+    /// The net.
+    pub net: NetId,
+    /// Arrival time at the net's driver output.
+    pub arrival: f64,
+    /// Human-readable node kind.
+    pub kind: &'static str,
+}
+
+/// The timing result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Minimum clock period in nanoseconds.
+    pub min_period: f64,
+    /// Maximum clock frequency in MHz.
+    pub fmax_mhz: f64,
+    /// The critical path, source first.
+    pub critical_path: Vec<PathNode>,
+    /// Where the critical path ends.
+    pub endpoint: &'static str,
+}
+
+/// Runs STA and returns the minimum clock period and critical path.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::ir::Netlist;
+/// use netlist::mapper::{map, MapperConfig};
+/// use netlist::sta::{analyze, TimingParams};
+///
+/// let mut nl = Netlist::new("pipe");
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let q1 = nl.dff(a);
+/// let q2 = nl.dff(b);
+/// let x = nl.xor2(q1, q2);
+/// let q3 = nl.dff(x);
+/// nl.output("q", q3);
+/// let mapped = map(&nl, &MapperConfig::default());
+/// let report = analyze(&nl, &mapped, &TimingParams::default());
+/// assert!((report.min_period - 1.0).abs() < 1e-9); // one LUT level
+/// ```
+#[must_use]
+pub fn analyze(netlist: &Netlist, mapped: &MappedDesign, params: &TimingParams) -> TimingReport {
+    // Mapped fanout per net: LUT inputs, ROM addresses, FF data, POs.
+    let mut fanout: HashMap<NetId, u32> = HashMap::new();
+    for lut in &mapped.luts {
+        for &i in &lut.inputs {
+            *fanout.entry(i).or_insert(0) += 1;
+        }
+    }
+    for rom in &mapped.roms {
+        for &a in &rom.addr {
+            *fanout.entry(a).or_insert(0) += 1;
+        }
+    }
+    for cell in netlist.cells() {
+        if matches!(cell.kind, CellKind::Dff) {
+            *fanout.entry(cell.inputs[0]).or_insert(0) += 1;
+        }
+    }
+    for po in netlist.outputs() {
+        *fanout.entry(po.net).or_insert(0) += 1;
+    }
+
+    let wire = |net: NetId, fanout: &HashMap<NetId, u32>| -> f64 {
+        let f = fanout.get(&net).copied().unwrap_or(1).max(1);
+        params.wire_base + params.wire_per_fanout * f64::from(f).log2()
+    };
+
+    // Arrival times with predecessor tracking for path reconstruction.
+    let mut arrival: HashMap<NetId, f64> = HashMap::new();
+    let mut pred: HashMap<NetId, Option<NetId>> = HashMap::new();
+
+    #[allow(clippy::too_many_arguments)] // threading memo tables through recursion
+    fn arr(
+        net: NetId,
+        netlist: &Netlist,
+        mapped: &MappedDesign,
+        params: &TimingParams,
+        fanout: &HashMap<NetId, u32>,
+        wire: &dyn Fn(NetId, &HashMap<NetId, u32>) -> f64,
+        arrival: &mut HashMap<NetId, f64>,
+        pred: &mut HashMap<NetId, Option<NetId>>,
+    ) -> f64 {
+        if let Some(&a) = arrival.get(&net) {
+            return a;
+        }
+        let (a, p): (f64, Option<NetId>) = if let Some(&li) = mapped.lut_of_net.get(&net) {
+            let lut = &mapped.luts[li];
+            let mut worst = (f64::MIN, None);
+            for &i in &lut.inputs {
+                let t = arr(i, netlist, mapped, params, fanout, wire, arrival, pred)
+                    + wire(i, fanout);
+                if t > worst.0 {
+                    worst = (t, Some(i));
+                }
+            }
+            (worst.0.max(0.0) + params.lut_delay, worst.1)
+        } else {
+            match &netlist.cell(net).kind {
+                CellKind::Input => (params.pad_delay, None),
+                CellKind::Const(_) => (0.0, None),
+                CellKind::Dff => (params.clk_to_q, None),
+                CellKind::RomBit { .. } => {
+                    let mut worst = (f64::MIN, None);
+                    for &i in &netlist.cell(net).inputs {
+                        let t = arr(i, netlist, mapped, params, fanout, wire, arrival, pred)
+                            + wire(i, fanout);
+                        if t > worst.0 {
+                            worst = (t, Some(i));
+                        }
+                    }
+                    (worst.0.max(0.0) + params.rom_access, worst.1)
+                }
+                other => panic!("net {net:?} ({other:?}) not visible in mapped design"),
+            }
+        };
+        arrival.insert(net, a);
+        pred.insert(net, p);
+        a
+    }
+
+    // Endpoints: FF data pins (+setup) and primary outputs (+pad).
+    let mut worst: (f64, Option<NetId>, &'static str) = (0.0, None, "none");
+    for cell in netlist.cells() {
+        if matches!(cell.kind, CellKind::Dff) {
+            let d = cell.inputs[0];
+            let t = arr(d, netlist, mapped, params, &fanout, &wire, &mut arrival, &mut pred)
+                + wire(d, &fanout)
+                + params.ff_setup;
+            if t > worst.0 {
+                worst = (t, Some(d), "register setup");
+            }
+        }
+    }
+    for po in netlist.outputs() {
+        let t = arr(po.net, netlist, mapped, params, &fanout, &wire, &mut arrival, &mut pred)
+            + wire(po.net, &fanout)
+            + params.pad_delay;
+        if t > worst.0 {
+            worst = (t, Some(po.net), "output pad");
+        }
+    }
+
+    // Reconstruct the critical path.
+    let mut critical_path = Vec::new();
+    let mut cursor = worst.1;
+    while let Some(net) = cursor {
+        let kind = if mapped.lut_of_net.contains_key(&net) {
+            "LUT"
+        } else {
+            match &netlist.cell(net).kind {
+                CellKind::Input => "input pad",
+                CellKind::Dff => "register",
+                CellKind::RomBit { .. } => "ROM",
+                CellKind::Const(_) => "constant",
+                _ => "gate",
+            }
+        };
+        critical_path.push(PathNode { net, arrival: arrival[&net], kind });
+        cursor = pred.get(&net).copied().flatten();
+    }
+    critical_path.reverse();
+
+    let min_period = worst.0.max(f64::EPSILON);
+    TimingReport {
+        min_period,
+        fmax_mhz: 1000.0 / min_period,
+        critical_path,
+        endpoint: worst.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{map, MapperConfig};
+
+    fn unit() -> TimingParams {
+        TimingParams::default()
+    }
+
+    #[test]
+    fn single_lut_between_registers() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let q1 = nl.dff(a);
+        let x = nl.not(q1);
+        let q2 = nl.dff(x);
+        nl.output("q", q2);
+        let mapped = map(&nl, &MapperConfig::default());
+        let r = analyze(&nl, &mapped, &unit());
+        assert!((r.min_period - 1.0).abs() < 1e-9, "{}", r.min_period);
+        assert_eq!(r.endpoint, "register setup");
+        assert!(r.critical_path.iter().any(|n| n.kind == "LUT"));
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        // 16-input xor (2 LUT levels) vs 4-input (1 level).
+        let build = |width: usize| {
+            let mut nl = Netlist::new("x");
+            let ins: Vec<_> = (0..width).map(|i| nl.input(format!("i{i}"))).collect();
+            let regs: Vec<_> = ins.iter().map(|&i| nl.dff(i)).collect();
+            let mut layer = regs;
+            while layer.len() > 1 {
+                layer = layer.chunks(2).map(|p| nl.xor2(p[0], p[1])).collect();
+            }
+            let q = nl.dff(layer[0]);
+            nl.output("q", q);
+            let mapped = map(&nl, &MapperConfig::default());
+            analyze(&nl, &mapped, &unit()).min_period
+        };
+        let shallow = build(4);
+        let deep = build(16);
+        assert!(deep > shallow, "deep {deep} vs shallow {shallow}");
+    }
+
+    #[test]
+    fn rom_access_time_counts() {
+        let contents: [u8; 256] = core::array::from_fn(|i| i as u8);
+        let mut nl = Netlist::new("r");
+        let addr = nl.input_bus("a", 8);
+        let regs = nl.dff_word(&addr);
+        let data = nl.rom256x8(&regs, &contents);
+        let out = nl.dff_word(&data);
+        nl.output_bus("q", &out);
+        let mapped = map(&nl, &MapperConfig::default());
+        let params = TimingParams { rom_access: 5.0, ..unit() };
+        let r = analyze(&nl, &mapped, &params);
+        assert!((r.min_period - 5.0).abs() < 1e-9, "{}", r.min_period);
+        assert!(r.critical_path.iter().any(|n| n.kind == "ROM"));
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        let build = |fan: usize| {
+            let mut nl = Netlist::new("f");
+            let a = nl.input("a");
+            let q = nl.dff(a);
+            let x = nl.not(q);
+            for i in 0..fan {
+                let y = nl.not(x);
+                let qq = nl.dff(y);
+                nl.output(format!("o{i}"), qq);
+            }
+            let mapped = map(&nl, &MapperConfig::default());
+            let params = TimingParams { wire_per_fanout: 0.2, ..unit() };
+            analyze(&nl, &mapped, &params).min_period
+        };
+        assert!(build(8) > build(1));
+    }
+
+    #[test]
+    fn registers_and_pads_contribute() {
+        let mut nl = Netlist::new("p");
+        let a = nl.input("a");
+        let q = nl.dff(a);
+        nl.output("q", q);
+        let mapped = map(&nl, &MapperConfig::default());
+        let params = TimingParams { clk_to_q: 2.0, pad_delay: 3.0, ..unit() };
+        let r = analyze(&nl, &mapped, &params);
+        // q (clk_to_q 2.0) + pad 3.0.
+        assert!((r.min_period - 5.0).abs() < 1e-9, "{}", r.min_period);
+        assert_eq!(r.endpoint, "output pad");
+        assert!(r.fmax_mhz > 0.0);
+    }
+}

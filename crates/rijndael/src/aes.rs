@@ -1,0 +1,172 @@
+//! The AES subset of Rijndael: 128-bit blocks with 128-, 192- or 256-bit
+//! keys (the paper's §3 — "The AES specified a subset of Rijndael, fixing
+//! the block size on 128").
+
+use core::fmt;
+
+use crate::cipher::{BlockCipher, Rijndael};
+
+macro_rules! aes_variant {
+    ($(#[$doc:meta])* $name:ident, $key_bytes:literal, $rounds:literal) => {
+        $(#[$doc])*
+        #[derive(Clone)]
+        pub struct $name {
+            inner: Rijndael<4>,
+        }
+
+        impl $name {
+            /// Key size in bytes.
+            pub const KEY_LEN: usize = $key_bytes;
+            /// Block size in bytes (always 16 for AES).
+            pub const BLOCK_LEN: usize = 16;
+            /// Number of rounds.
+            pub const ROUNDS: usize = $rounds;
+
+            /// Constructs the cipher from a fixed-size key. Infallible:
+            /// the key length is enforced by the type.
+            #[must_use]
+            pub fn new(key: &[u8; $key_bytes]) -> Self {
+                $name {
+                    inner: Rijndael::new(key).expect("statically valid key length"),
+                }
+            }
+
+            /// Encrypts one 16-byte block.
+            #[must_use]
+            pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+                let mut out = *block;
+                self.inner.encrypt(&mut out);
+                out
+            }
+
+            /// Decrypts one 16-byte block.
+            #[must_use]
+            pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+                let mut out = *block;
+                self.inner.decrypt(&mut out);
+                out
+            }
+
+            /// Access to the underlying generic cipher (and through it the
+            /// key schedule).
+            #[must_use]
+            pub fn as_rijndael(&self) -> &Rijndael<4> {
+                &self.inner
+            }
+        }
+
+        impl BlockCipher for $name {
+            fn block_len(&self) -> usize {
+                16
+            }
+            fn encrypt_in_place(&self, block: &mut [u8]) {
+                self.inner.encrypt(block);
+            }
+            fn decrypt_in_place(&self, block: &mut [u8]) {
+                self.inner.decrypt(block);
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), " {{ rounds: {} }}"), Self::ROUNDS)
+            }
+        }
+    };
+}
+
+aes_variant!(
+    /// AES-128: 128-bit key, 10 rounds — the mode the paper's IP implements
+    /// ("this Rijndael implementation run its symmetric cipher algorithm
+    /// using a key size of 128, mode called AES128").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rijndael::Aes128;
+    ///
+    /// let aes = Aes128::new(&[0u8; 16]);
+    /// let ct = aes.encrypt_block(&[0u8; 16]);
+    /// assert_eq!(aes.decrypt_block(&ct), [0u8; 16]);
+    /// ```
+    Aes128, 16, 10
+);
+
+aes_variant!(
+    /// AES-192: 192-bit key, 12 rounds.
+    Aes192, 24, 12
+);
+
+aes_variant!(
+    /// AES-256: 256-bit key, 14 rounds.
+    Aes256, 32, 14
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS-197 Appendix C common plaintext and key pattern.
+    fn c_plaintext() -> [u8; 16] {
+        core::array::from_fn(|i| (i as u8) * 0x11)
+    }
+
+    #[test]
+    fn fips197_c1_aes128() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt_block(&c_plaintext());
+        assert_eq!(
+            ct,
+            [
+                0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70,
+                0xB4, 0xC5, 0x5A
+            ]
+        );
+        assert_eq!(aes.decrypt_block(&ct), c_plaintext());
+    }
+
+    #[test]
+    fn fips197_c2_aes192() {
+        let key: [u8; 24] = core::array::from_fn(|i| i as u8);
+        let aes = Aes192::new(&key);
+        let ct = aes.encrypt_block(&c_plaintext());
+        assert_eq!(
+            ct,
+            [
+                0xDD, 0xA9, 0x7C, 0xA4, 0x86, 0x4C, 0xDF, 0xE0, 0x6E, 0xAF, 0x70, 0xA0, 0xEC,
+                0x0D, 0x71, 0x91
+            ]
+        );
+        assert_eq!(aes.decrypt_block(&ct), c_plaintext());
+    }
+
+    #[test]
+    fn fips197_c3_aes256() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let aes = Aes256::new(&key);
+        let ct = aes.encrypt_block(&c_plaintext());
+        assert_eq!(
+            ct,
+            [
+                0x8E, 0xA2, 0xB7, 0xCA, 0x51, 0x67, 0x45, 0xBF, 0xEA, 0xFC, 0x49, 0x90, 0x4B,
+                0x49, 0x60, 0x89
+            ]
+        );
+        assert_eq!(aes.decrypt_block(&ct), c_plaintext());
+    }
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(Aes128::ROUNDS, 10);
+        assert_eq!(Aes192::ROUNDS, 12);
+        assert_eq!(Aes256::ROUNDS, 14);
+        let aes = Aes128::new(&[0; 16]);
+        assert_eq!(aes.as_rijndael().schedule().rounds(), 10);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", Aes128::new(&[0; 16])), "Aes128 { rounds: 10 }");
+    }
+}

@@ -1,0 +1,207 @@
+//! AES-CMAC message authentication (RFC 4493 / NIST SP 800-38B).
+//!
+//! The paper's application scenarios (smart cards, banking traffic) need
+//! authentication as much as confidentiality; CMAC builds it from the
+//! same block cipher — so the hardware model can compute it with zero
+//! extra gates. Generic over [`BlockCipher`], like the modes.
+
+use crate::cipher::BlockCipher;
+
+/// Doubling in GF(2^128) with the CMAC polynomial (x^128+x^7+x^2+x+1):
+/// shift left one bit, conditionally XOR 0x87 into the last byte.
+fn dbl(block: &mut [u8; 16]) {
+    let msb = block[0] & 0x80 != 0;
+    for i in 0..15 {
+        block[i] = (block[i] << 1) | (block[i + 1] >> 7);
+    }
+    block[15] <<= 1;
+    if msb {
+        block[15] ^= 0x87;
+    }
+}
+
+/// The derived subkeys `(K1, K2)` of RFC 4493 §2.3.
+#[must_use]
+pub fn subkeys<C: BlockCipher>(cipher: &C) -> ([u8; 16], [u8; 16]) {
+    assert_eq!(cipher.block_len(), 16, "CMAC is defined for 128-bit blocks");
+    let mut l = [0u8; 16];
+    cipher.encrypt_in_place(&mut l);
+    let mut k1 = l;
+    dbl(&mut k1);
+    let mut k2 = k1;
+    dbl(&mut k2);
+    (k1, k2)
+}
+
+/// Computes the 128-bit AES-CMAC tag of `message`.
+///
+/// # Examples
+///
+/// ```
+/// use rijndael::{Aes128, cmac::cmac};
+///
+/// // RFC 4493 example 1: the empty message.
+/// let key = [
+///     0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
+///     0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C,
+/// ];
+/// let tag = cmac(&Aes128::new(&key), b"");
+/// assert_eq!(tag[..4], [0xBB, 0x1D, 0x69, 0x29]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the cipher's block length is not 16 bytes.
+#[must_use]
+pub fn cmac<C: BlockCipher>(cipher: &C, message: &[u8]) -> [u8; 16] {
+    let (k1, k2) = subkeys(cipher);
+
+    // Number of blocks, with the empty message counted as one.
+    let n = message.len().div_ceil(16).max(1);
+    let complete = !message.is_empty() && message.len() % 16 == 0;
+
+    let mut x = [0u8; 16];
+    for block in 0..n - 1 {
+        for (xi, &mi) in x.iter_mut().zip(&message[16 * block..16 * (block + 1)]) {
+            *xi ^= mi;
+        }
+        cipher.encrypt_in_place(&mut x);
+    }
+
+    // Last block: XOR K1 when complete, pad + XOR K2 otherwise.
+    let tail = &message[16 * (n - 1)..];
+    let mut last = [0u8; 16];
+    if complete {
+        last.copy_from_slice(tail);
+        for (l, k) in last.iter_mut().zip(&k1) {
+            *l ^= k;
+        }
+    } else {
+        last[..tail.len()].copy_from_slice(tail);
+        last[tail.len()] = 0x80;
+        for (l, k) in last.iter_mut().zip(&k2) {
+            *l ^= k;
+        }
+    }
+    for (xi, &li) in x.iter_mut().zip(&last) {
+        *xi ^= li;
+    }
+    cipher.encrypt_in_place(&mut x);
+    x
+}
+
+/// Constant-shape tag verification (comparison over the full tag; this
+/// model is not a side-channel boundary, but the API mirrors real ones).
+#[must_use]
+pub fn verify<C: BlockCipher>(cipher: &C, message: &[u8], tag: &[u8; 16]) -> bool {
+    let computed = cmac(cipher, message);
+    let mut diff = 0u8;
+    for (a, b) in computed.iter().zip(tag) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes128;
+
+    const RFC_KEY: [u8; 16] = [
+        0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF,
+        0x4F, 0x3C,
+    ];
+
+    #[test]
+    fn rfc4493_subkeys() {
+        // RFC 4493 §4: K1 = fbeed618 35713366 7c85e08f 7236a8de,
+        //              K2 = f7ddac30 6ae266cc f90bc11e e46d513b.
+        let (k1, k2) = subkeys(&Aes128::new(&RFC_KEY));
+        assert_eq!(
+            k1,
+            [
+                0xFB, 0xEE, 0xD6, 0x18, 0x35, 0x71, 0x33, 0x66, 0x7C, 0x85, 0xE0, 0x8F, 0x72,
+                0x36, 0xA8, 0xDE
+            ]
+        );
+        assert_eq!(
+            k2,
+            [
+                0xF7, 0xDD, 0xAC, 0x30, 0x6A, 0xE2, 0x66, 0xCC, 0xF9, 0x0B, 0xC1, 0x1E, 0xE4,
+                0x6D, 0x51, 0x3B
+            ]
+        );
+    }
+
+    #[test]
+    fn rfc4493_example_1_empty_message() {
+        let tag = cmac(&Aes128::new(&RFC_KEY), b"");
+        assert_eq!(
+            tag,
+            [
+                0xBB, 0x1D, 0x69, 0x29, 0xE9, 0x59, 0x37, 0x28, 0x7F, 0xA3, 0x7D, 0x12, 0x9B,
+                0x75, 0x67, 0x46
+            ]
+        );
+    }
+
+    #[test]
+    fn rfc4493_example_2_one_block() {
+        // M = 6bc1bee2 2e409f96 e93d7e11 7393172a
+        // tag = 070a16b4 6b4d4144 f79bdd9d d04a287c
+        let msg = [
+            0x6B, 0xC1, 0xBE, 0xE2, 0x2E, 0x40, 0x9F, 0x96, 0xE9, 0x3D, 0x7E, 0x11, 0x73, 0x93,
+            0x17, 0x2A,
+        ];
+        let tag = cmac(&Aes128::new(&RFC_KEY), &msg);
+        assert_eq!(
+            tag,
+            [
+                0x07, 0x0A, 0x16, 0xB4, 0x6B, 0x4D, 0x41, 0x44, 0xF7, 0x9B, 0xDD, 0x9D, 0xD0,
+                0x4A, 0x28, 0x7C
+            ]
+        );
+    }
+
+    #[test]
+    fn rfc4493_example_3_40_bytes() {
+        // M = first 40 bytes of the NIST test pattern;
+        // tag = dfa66747 de9ae630 30ca3261 1497c827.
+        let msg = [
+            0x6B, 0xC1, 0xBE, 0xE2, 0x2E, 0x40, 0x9F, 0x96, 0xE9, 0x3D, 0x7E, 0x11, 0x73, 0x93,
+            0x17, 0x2A, 0xAE, 0x2D, 0x8A, 0x57, 0x1E, 0x03, 0xAC, 0x9C, 0x9E, 0xB7, 0x6F, 0xAC,
+            0x45, 0xAF, 0x8E, 0x51, 0x30, 0xC8, 0x1C, 0x46, 0xA3, 0x5C, 0xE4, 0x11,
+        ];
+        let tag = cmac(&Aes128::new(&RFC_KEY), &msg);
+        assert_eq!(
+            tag,
+            [
+                0xDF, 0xA6, 0x67, 0x47, 0xDE, 0x9A, 0xE6, 0x30, 0x30, 0xCA, 0x32, 0x61, 0x14,
+                0x97, 0xC8, 0x27
+            ]
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let cipher = Aes128::new(&RFC_KEY);
+        let msg = b"transaction: 42 units";
+        let tag = cmac(&cipher, msg);
+        assert!(verify(&cipher, msg, &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!verify(&cipher, msg, &bad));
+        assert!(!verify(&cipher, b"transaction: 43 units", &tag));
+    }
+
+    #[test]
+    fn tags_depend_on_length_not_just_content() {
+        let cipher = Aes128::new(&RFC_KEY);
+        // A complete block vs the same bytes plus padding path.
+        let t16 = cmac(&cipher, &[0xAA; 16]);
+        let t15 = cmac(&cipher, &[0xAA; 15]);
+        let t17 = cmac(&cipher, &[0xAA; 17]);
+        assert_ne!(t16, t15);
+        assert_ne!(t16, t17);
+    }
+}

@@ -1,0 +1,162 @@
+//! Avalanche / diffusion measurements over any [`BlockCipher`].
+//!
+//! A block cipher should flip about half the output bits when one input
+//! bit changes (the strict avalanche criterion). The AES contest scored
+//! candidates on security properties like this (paper §2); these
+//! measurements also power the SEU analysis interpretation — an upset in
+//! the datapath diffuses exactly like a plaintext bit-flip from that
+//! round onward.
+
+use crate::cipher::BlockCipher;
+
+/// Avalanche statistics from a measurement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvalancheStats {
+    /// Mean flipped output bits per single-bit input change.
+    pub mean_flipped_bits: f64,
+    /// Minimum observed.
+    pub min_flipped_bits: u32,
+    /// Maximum observed.
+    pub max_flipped_bits: u32,
+    /// Trials performed.
+    pub trials: u32,
+}
+
+impl AvalancheStats {
+    /// `true` when the statistics satisfy a loose strict-avalanche
+    /// criterion for a `bits`-bit block: mean within `bits/2 ± tolerance`
+    /// and no degenerate (0-flip) trials.
+    #[must_use]
+    pub fn satisfies_sac(&self, bits: u32, tolerance: f64) -> bool {
+        let half = f64::from(bits) / 2.0;
+        (self.mean_flipped_bits - half).abs() <= tolerance && self.min_flipped_bits > 0
+    }
+}
+
+fn hamming(a: &[u8], b: &[u8]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// Measures plaintext avalanche: flip every bit of `trial` deterministic
+/// plaintexts (one at a time) and count ciphertext bit flips.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the cipher block is not 16 bytes.
+#[must_use]
+pub fn plaintext_avalanche<C: BlockCipher>(cipher: &C, trials: u32) -> AvalancheStats {
+    assert!(trials > 0, "need at least one trial");
+    assert_eq!(cipher.block_len(), 16, "measurement assumes AES blocks");
+    let mut total: u64 = 0;
+    let mut min = u32::MAX;
+    let mut max = 0u32;
+    let mut count = 0u32;
+
+    for t in 0..trials {
+        let base: [u8; 16] =
+            core::array::from_fn(|i| (i as u8).wrapping_mul(29).wrapping_add(t as u8 ^ 0x5A));
+        let mut base_ct = base;
+        cipher.encrypt_in_place(&mut base_ct);
+        // One flipped bit per trial, spread across positions.
+        let bit = t % 128;
+        let mut flipped = base;
+        flipped[(bit / 8) as usize] ^= 1 << (bit % 8);
+        cipher.encrypt_in_place(&mut flipped);
+        let d = hamming(&base_ct, &flipped);
+        total += u64::from(d);
+        min = min.min(d);
+        max = max.max(d);
+        count += 1;
+    }
+
+    AvalancheStats {
+        mean_flipped_bits: total as f64 / f64::from(count),
+        min_flipped_bits: min,
+        max_flipped_bits: max,
+        trials: count,
+    }
+}
+
+/// Measures key avalanche: flip single key bits and compare ciphertexts
+/// of a fixed plaintext. `make_cipher` builds the cipher for each key.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+#[must_use]
+pub fn key_avalanche<C: BlockCipher>(
+    trials: u32,
+    mut make_cipher: impl FnMut(&[u8; 16]) -> C,
+) -> AvalancheStats {
+    assert!(trials > 0, "need at least one trial");
+    let pt = [0x6Bu8; 16];
+    let mut total: u64 = 0;
+    let mut min = u32::MAX;
+    let mut max = 0u32;
+
+    for t in 0..trials {
+        let base_key: [u8; 16] =
+            core::array::from_fn(|i| (i as u8).wrapping_mul(53).wrapping_add(t as u8));
+        let mut base_ct = pt;
+        make_cipher(&base_key).encrypt_in_place(&mut base_ct);
+
+        let bit = t % 128;
+        let mut key = base_key;
+        key[(bit / 8) as usize] ^= 1 << (bit % 8);
+        let mut ct = pt;
+        make_cipher(&key).encrypt_in_place(&mut ct);
+
+        let d = hamming(&base_ct, &ct);
+        total += u64::from(d);
+        min = min.min(d);
+        max = max.max(d);
+    }
+
+    AvalancheStats {
+        mean_flipped_bits: total as f64 / f64::from(trials),
+        min_flipped_bits: min,
+        max_flipped_bits: max,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes128;
+
+    #[test]
+    fn aes_satisfies_the_avalanche_criterion() {
+        let aes = Aes128::new(&[7u8; 16]);
+        let stats = plaintext_avalanche(&aes, 256);
+        assert!(
+            stats.satisfies_sac(128, 3.0),
+            "mean {} out of tolerance",
+            stats.mean_flipped_bits
+        );
+        assert!(stats.min_flipped_bits >= 40, "weak diffusion: {stats:?}");
+        assert!(stats.max_flipped_bits <= 90, "suspicious: {stats:?}");
+    }
+
+    #[test]
+    fn key_avalanche_is_full() {
+        let stats = key_avalanche(128, Aes128::new);
+        assert!(stats.satisfies_sac(128, 3.0), "{stats:?}");
+    }
+
+    #[test]
+    fn broken_cipher_fails_sac() {
+        // The identity "cipher" flips exactly the one input bit.
+        struct Identity;
+        impl BlockCipher for Identity {
+            fn block_len(&self) -> usize {
+                16
+            }
+            fn encrypt_in_place(&self, _block: &mut [u8]) {}
+            fn decrypt_in_place(&self, _block: &mut [u8]) {}
+        }
+        let stats = plaintext_avalanche(&Identity, 64);
+        assert_eq!(stats.mean_flipped_bits, 1.0);
+        assert!(!stats.satisfies_sac(128, 3.0));
+    }
+}

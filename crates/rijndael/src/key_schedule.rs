@@ -1,0 +1,310 @@
+//! Round-key generation, including the `KStran` sub-function of the paper's
+//! Figure 3.
+//!
+//! The schedule expands the cipher key into `NB × (NR + 1)` 32-bit words.
+//! Word `i` depends on words `i-1` and `i-NK`; every `NK`-th word first
+//! passes through `KStran` — rotate left one byte, substitute each byte
+//! through the S-box, then XOR a round constant. The paper's IP computes
+//! these words *on the fly* with 4 dedicated S-boxes; this module is the
+//! stored-schedule reference it is checked against.
+
+use core::fmt;
+
+use gf256::{sbox, Gf256};
+
+/// Round constant `Rcon[i] = x^(i-1)` in GF(2^8), placed in the
+/// most-significant byte of the word.
+///
+/// ```
+/// use rijndael::key_schedule::rcon;
+/// assert_eq!(rcon(1), 0x0100_0000);
+/// assert_eq!(rcon(9), 0x1B00_0000); // first wrap through the reduction poly
+/// ```
+///
+/// # Panics
+///
+/// Panics if `i == 0` (round constants are 1-indexed).
+#[must_use]
+pub fn rcon(i: usize) -> u32 {
+    assert!(i >= 1, "round constants are 1-indexed");
+    let byte = Gf256::new(2).pow((i - 1) as u32).value();
+    u32::from(byte) << 24
+}
+
+/// Rotates a word left by one byte: `[a0,a1,a2,a3] -> [a1,a2,a3,a0]`
+/// (`RotWord` / the first step of `KStran`).
+#[inline]
+#[must_use]
+pub const fn rot_word(w: u32) -> u32 {
+    w.rotate_left(8)
+}
+
+/// Substitutes each byte of a word through the S-box (`SubWord`).
+#[inline]
+#[must_use]
+pub fn sub_word(w: u32) -> u32 {
+    let b = w.to_be_bytes();
+    u32::from_be_bytes([
+        sbox::sub(b[0]),
+        sbox::sub(b[1]),
+        sbox::sub(b[2]),
+        sbox::sub(b[3]),
+    ])
+}
+
+/// The `KStran` sub-function (paper Figure 3): shift the word left one
+/// byte, substitute every byte, then XOR the round constant for `round`.
+///
+/// ```
+/// use rijndael::key_schedule::kstran;
+/// // FIPS-197 Appendix A.1, i = 4: temp = 09cf4f3c,
+/// // after RotWord = cf4f3c09, after SubWord = 8a84eb01,
+/// // after Rcon(1) = 8b84eb01.
+/// assert_eq!(kstran(0x09CF4F3C, 1), 0x8B84_EB01);
+/// ```
+#[inline]
+#[must_use]
+pub fn kstran(w: u32, round: usize) -> u32 {
+    sub_word(rot_word(w)) ^ rcon(round)
+}
+
+/// Error returned when a key has a length Rijndael does not accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidKeyLength {
+    /// The offending length in bytes.
+    pub len: usize,
+}
+
+impl fmt::Display for InvalidKeyLength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid Rijndael key length {} (expected 16, 20, 24, 28 or 32 bytes)",
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for InvalidKeyLength {}
+
+/// An expanded Rijndael key schedule.
+///
+/// # Examples
+///
+/// ```
+/// use rijndael::KeySchedule;
+///
+/// let key = [0u8; 16];
+/// let ks = KeySchedule::expand(&key, 4)?;
+/// assert_eq!(ks.rounds(), 10);
+/// assert_eq!(ks.round_key(0).len(), 4);
+/// # Ok::<(), rijndael::key_schedule::InvalidKeyLength>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct KeySchedule {
+    words: Vec<u32>,
+    nb: usize,
+    nk: usize,
+    nr: usize,
+}
+
+impl KeySchedule {
+    /// Expands `key` for a block width of `nb` columns.
+    ///
+    /// `key.len()` must be 16, 20, 24, 28 or 32 bytes (`NK = len/4` words);
+    /// `nb` must be in `4..=8`. The number of rounds is
+    /// `NR = max(NB, NK) + 6` (Rijndael specification).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidKeyLength`] when the key length is not a supported
+    /// Rijndael key size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nb` is outside `4..=8`.
+    pub fn expand(key: &[u8], nb: usize) -> Result<Self, InvalidKeyLength> {
+        assert!((4..=8).contains(&nb), "block width must be 4..=8 columns");
+        if !key.len().is_multiple_of(4) || !(4..=8).contains(&(key.len() / 4)) {
+            return Err(InvalidKeyLength { len: key.len() });
+        }
+        let nk = key.len() / 4;
+        let nr = nb.max(nk) + 6;
+        let total = nb * (nr + 1);
+
+        let mut words = Vec::with_capacity(total);
+        for chunk in key.chunks_exact(4) {
+            words.push(u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        for i in nk..total {
+            let mut temp = words[i - 1];
+            if i % nk == 0 {
+                temp = kstran(temp, i / nk);
+            } else if nk > 6 && i % nk == 4 {
+                temp = sub_word(temp);
+            }
+            words.push(words[i - nk] ^ temp);
+        }
+        Ok(KeySchedule { words, nb, nk, nr })
+    }
+
+    /// Number of cipher rounds `NR`.
+    #[inline]
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.nr
+    }
+
+    /// Block width `NB` in 32-bit columns.
+    #[inline]
+    #[must_use]
+    pub fn block_words(&self) -> usize {
+        self.nb
+    }
+
+    /// Key width `NK` in 32-bit words.
+    #[inline]
+    #[must_use]
+    pub fn key_words(&self) -> usize {
+        self.nk
+    }
+
+    /// The round key for `round` (0 = the initial `AddKey`), as `NB` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round > NR`.
+    #[inline]
+    #[must_use]
+    pub fn round_key(&self, round: usize) -> &[u32] {
+        assert!(round <= self.nr, "round {round} exceeds NR = {}", self.nr);
+        &self.words[round * self.nb..(round + 1) * self.nb]
+    }
+
+    /// All expanded words (`w[i]` of FIPS-197 §5.2).
+    #[inline]
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for KeySchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KeySchedule {{ nb: {}, nk: {}, nr: {}, words: [..{} words] }}",
+            self.nb,
+            self.nk,
+            self.nr,
+            self.words.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIPS_KEY_128: [u8; 16] = [
+        0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+        0x3C,
+    ];
+
+    #[test]
+    fn rcon_sequence() {
+        let expected: [u8; 14] = [
+            0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(rcon(i + 1), u32::from(e) << 24, "rcon({})", i + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn rcon_zero_panics() {
+        let _ = rcon(0);
+    }
+
+    #[test]
+    fn fips197_appendix_a1_expansion() {
+        // Spot anchors from the FIPS-197 Appendix A.1 key expansion table.
+        let ks = KeySchedule::expand(&FIPS_KEY_128, 4).unwrap();
+        assert_eq!(ks.rounds(), 10);
+        let w = ks.words();
+        assert_eq!(w[0], 0x2B7E_1516);
+        assert_eq!(w[3], 0x09CF_4F3C);
+        assert_eq!(w[4], 0xA0FA_FE17);
+        assert_eq!(w[5], 0x8854_2CB1);
+        assert_eq!(w[8], 0xF2C2_95F2);
+        assert_eq!(w[9], 0x7A96_B943);
+        assert_eq!(w[43], 0xB663_0CA6);
+    }
+
+    #[test]
+    fn fips197_aes192_and_256_anchors() {
+        // Appendix A.2 (AES-192) and A.3 (AES-256) spot values.
+        let key192: [u8; 24] = [
+            0x8E, 0x73, 0xB0, 0xF7, 0xDA, 0x0E, 0x64, 0x52, 0xC8, 0x10, 0xF3, 0x2B, 0x80, 0x90,
+            0x79, 0xE5, 0x62, 0xF8, 0xEA, 0xD2, 0x52, 0x2C, 0x6B, 0x7B,
+        ];
+        let ks = KeySchedule::expand(&key192, 4).unwrap();
+        assert_eq!(ks.rounds(), 12);
+        assert_eq!(ks.words()[6], 0xFE0C_91F7);
+
+        let key256: [u8; 32] = [
+            0x60, 0x3D, 0xEB, 0x10, 0x15, 0xCA, 0x71, 0xBE, 0x2B, 0x73, 0xAE, 0xF0, 0x85, 0x7D,
+            0x77, 0x81, 0x1F, 0x35, 0x2C, 0x07, 0x3B, 0x61, 0x08, 0xD7, 0x2D, 0x98, 0x10, 0xA3,
+            0x09, 0x14, 0xDF, 0xF4,
+        ];
+        let ks = KeySchedule::expand(&key256, 4).unwrap();
+        assert_eq!(ks.rounds(), 14);
+        assert_eq!(ks.words()[8], 0x9BA3_5411);
+    }
+
+    #[test]
+    fn kstran_matches_manual_decomposition() {
+        for (w, round) in [(0x09CF_4F3Cu32, 1usize), (0x1234_5678, 5), (0, 10)] {
+            assert_eq!(kstran(w, round), sub_word(rot_word(w)) ^ rcon(round));
+        }
+    }
+
+    #[test]
+    fn invalid_key_lengths_rejected() {
+        for len in [0usize, 1, 15, 17, 33, 64] {
+            let key = vec![0u8; len];
+            let err = KeySchedule::expand(&key, 4).unwrap_err();
+            assert_eq!(err.len, len);
+            assert!(err.to_string().contains("invalid Rijndael key length"));
+        }
+    }
+
+    #[test]
+    fn valid_rijndael_sizes_accepted() {
+        for nk_bytes in [16usize, 20, 24, 28, 32] {
+            for nb in 4..=8usize {
+                let key = vec![0u8; nk_bytes];
+                let ks = KeySchedule::expand(&key, nb).unwrap();
+                assert_eq!(ks.rounds(), nb.max(nk_bytes / 4) + 6);
+                assert_eq!(ks.words().len(), nb * (ks.rounds() + 1));
+                assert_eq!(ks.block_words(), nb);
+                assert_eq!(ks.key_words(), nk_bytes / 4);
+            }
+        }
+    }
+
+    #[test]
+    fn round_key_slicing() {
+        let ks = KeySchedule::expand(&FIPS_KEY_128, 4).unwrap();
+        assert_eq!(ks.round_key(0), &ks.words()[0..4]);
+        assert_eq!(ks.round_key(10), &ks.words()[40..44]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds NR")]
+    fn round_key_out_of_range() {
+        let ks = KeySchedule::expand(&FIPS_KEY_128, 4).unwrap();
+        let _ = ks.round_key(11);
+    }
+}

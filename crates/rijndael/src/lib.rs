@@ -1,0 +1,59 @@
+//! Golden software reference for the Rijndael block cipher.
+//!
+//! This crate is the specification-level model against which the
+//! cycle-accurate soft IP of the DATE 2003 paper is verified. It covers the
+//! *whole* Rijndael design space the paper's §2–3 describe, not just the
+//! AES-128 subset the IP implements:
+//!
+//! * [`state`] — the `state_t` working variable (Figure 1 of the paper): a
+//!   4-row matrix of bytes with 4–8 columns;
+//! * [`transform`] — the four round transformations (`ByteSub`, `ShiftRow`,
+//!   `MixColumn`, `AddKey`) and their inverses (Figures 4–7);
+//! * [`key_schedule`] — the round-key generation including the `KStran`
+//!   sub-function (Figure 3);
+//! * [`cipher`] — the generic cipher for every block/key size combination
+//!   (128–256 bits in 32-bit steps);
+//! * [`aes`] — the AES-128/192/256 subset standardised by NIST;
+//! * [`ttable`] — the 32-bit table-lookup ("T-table") implementation that
+//!   era-typical software used, kept as a software performance baseline;
+//! * [`modes`] — block-cipher modes of operation (ECB, CBC, CTR, CFB, OFB);
+//! * [`trace`] — round-by-round execution traces (used to reproduce the
+//!   paper's Figure 2 and to debug the hardware model);
+//! * [`vectors`] — published known-answer vectors.
+//!
+//! # Examples
+//!
+//! ```
+//! use rijndael::Aes128;
+//!
+//! // FIPS-197 Appendix C.1
+//! let key: [u8; 16] = (0..16).collect::<Vec<u8>>().try_into().unwrap();
+//! let pt: [u8; 16] = (0..16).map(|i| i * 0x11).collect::<Vec<u8>>().try_into().unwrap();
+//! let aes = Aes128::new(&key);
+//! assert_eq!(
+//!     aes.encrypt_block(&pt),
+//!     [0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30,
+//!      0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5, 0x5A]
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod cipher;
+pub mod cmac;
+pub mod diffusion;
+pub mod key_schedule;
+pub mod mct;
+pub mod modes;
+pub mod state;
+pub mod trace;
+pub mod transform;
+pub mod ttable;
+pub mod vectors;
+
+pub use aes::{Aes128, Aes192, Aes256};
+pub use cipher::{BlockCipher, Rijndael};
+pub use key_schedule::KeySchedule;
+pub use state::State;

@@ -1,0 +1,412 @@
+//! Block-cipher modes of operation over any [`BlockCipher`].
+//!
+//! The paper positions the IP for "backbone communication channels" and
+//! "Internet Banking" traffic; real deployments wrap the raw block cipher
+//! in a mode. ECB, CBC, CTR, CFB and OFB are provided, generic over the
+//! cipher so the same workload code drives the software reference, the
+//! T-table baseline and the cycle-accurate hardware model.
+
+use core::fmt;
+
+use crate::cipher::BlockCipher;
+
+/// Error for buffers whose length does not fit the requested mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LengthError {
+    /// Offending buffer length.
+    pub len: usize,
+    /// Required granularity in bytes.
+    pub block: usize,
+}
+
+impl fmt::Display for LengthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer length {} is not a multiple of the {}-byte block",
+            self.len, self.block
+        )
+    }
+}
+
+impl std::error::Error for LengthError {}
+
+/// Electronic codebook: each block enciphered independently.
+///
+/// # Examples
+///
+/// ```
+/// use rijndael::{Aes128, modes::Ecb};
+///
+/// let aes = Aes128::new(&[0u8; 16]);
+/// let mut data = vec![0u8; 32];
+/// Ecb::encrypt(&aes, &mut data)?;
+/// Ecb::decrypt(&aes, &mut data)?;
+/// assert_eq!(data, vec![0u8; 32]);
+/// # Ok::<(), rijndael::modes::LengthError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Ecb;
+
+impl Ecb {
+    /// Encrypts `data` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LengthError`] unless `data.len()` is a multiple of the
+    /// cipher's block length.
+    pub fn encrypt<C: BlockCipher + ?Sized>(cipher: &C, data: &mut [u8]) -> Result<(), LengthError> {
+        let bl = cipher.block_len();
+        if !data.len().is_multiple_of(bl) {
+            return Err(LengthError { len: data.len(), block: bl });
+        }
+        for block in data.chunks_exact_mut(bl) {
+            cipher.encrypt_in_place(block);
+        }
+        Ok(())
+    }
+
+    /// Decrypts `data` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LengthError`] unless `data.len()` is a multiple of the
+    /// cipher's block length.
+    pub fn decrypt<C: BlockCipher + ?Sized>(cipher: &C, data: &mut [u8]) -> Result<(), LengthError> {
+        let bl = cipher.block_len();
+        if !data.len().is_multiple_of(bl) {
+            return Err(LengthError { len: data.len(), block: bl });
+        }
+        for block in data.chunks_exact_mut(bl) {
+            cipher.decrypt_in_place(block);
+        }
+        Ok(())
+    }
+}
+
+/// Cipher block chaining with an explicit IV.
+#[derive(Debug, Clone, Copy)]
+pub struct Cbc;
+
+impl Cbc {
+    /// Encrypts `data` in place under `iv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LengthError`] unless `data.len()` is a multiple of the
+    /// block length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iv.len()` differs from the cipher's block length.
+    pub fn encrypt<C: BlockCipher + ?Sized>(
+        cipher: &C,
+        iv: &[u8],
+        data: &mut [u8],
+    ) -> Result<(), LengthError> {
+        let bl = cipher.block_len();
+        assert_eq!(iv.len(), bl, "IV must be one block long");
+        if !data.len().is_multiple_of(bl) {
+            return Err(LengthError { len: data.len(), block: bl });
+        }
+        let mut chain = iv.to_vec();
+        for block in data.chunks_exact_mut(bl) {
+            for (b, c) in block.iter_mut().zip(&chain) {
+                *b ^= c;
+            }
+            cipher.encrypt_in_place(block);
+            chain.copy_from_slice(block);
+        }
+        Ok(())
+    }
+
+    /// Decrypts `data` in place under `iv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LengthError`] unless `data.len()` is a multiple of the
+    /// block length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iv.len()` differs from the cipher's block length.
+    pub fn decrypt<C: BlockCipher + ?Sized>(
+        cipher: &C,
+        iv: &[u8],
+        data: &mut [u8],
+    ) -> Result<(), LengthError> {
+        let bl = cipher.block_len();
+        assert_eq!(iv.len(), bl, "IV must be one block long");
+        if !data.len().is_multiple_of(bl) {
+            return Err(LengthError { len: data.len(), block: bl });
+        }
+        let mut chain = iv.to_vec();
+        let mut next_chain = vec![0u8; bl];
+        for block in data.chunks_exact_mut(bl) {
+            next_chain.copy_from_slice(block);
+            cipher.decrypt_in_place(block);
+            for (b, c) in block.iter_mut().zip(&chain) {
+                *b ^= c;
+            }
+            core::mem::swap(&mut chain, &mut next_chain);
+        }
+        Ok(())
+    }
+}
+
+/// Counter mode: a stream cipher built from block encryptions of a counter.
+///
+/// Works on any data length; decryption is the same operation as
+/// encryption.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctr;
+
+impl Ctr {
+    /// XORs the keystream for (`nonce`, starting counter 0) into `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nonce.len()` differs from the cipher's block length
+    /// (the final 4 bytes are replaced by the big-endian block counter).
+    pub fn apply<C: BlockCipher + ?Sized>(cipher: &C, nonce: &[u8], data: &mut [u8]) {
+        let bl = cipher.block_len();
+        assert_eq!(nonce.len(), bl, "nonce must be one block long");
+        let mut counter_block = nonce.to_vec();
+        let mut keystream = vec![0u8; bl];
+        for (i, chunk) in data.chunks_mut(bl).enumerate() {
+            let ctr = u32::try_from(i).expect("stream longer than 2^32 blocks");
+            counter_block[bl - 4..].copy_from_slice(&ctr.to_be_bytes());
+            keystream.copy_from_slice(&counter_block);
+            cipher.encrypt_in_place(&mut keystream);
+            for (b, k) in chunk.iter_mut().zip(&keystream) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+/// Cipher feedback (full-block CFB).
+#[derive(Debug, Clone, Copy)]
+pub struct Cfb;
+
+impl Cfb {
+    /// Encrypts `data` in place under `iv`. Handles a partial final block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iv.len()` differs from the cipher's block length.
+    pub fn encrypt<C: BlockCipher + ?Sized>(cipher: &C, iv: &[u8], data: &mut [u8]) {
+        let bl = cipher.block_len();
+        assert_eq!(iv.len(), bl, "IV must be one block long");
+        let mut feedback = iv.to_vec();
+        for chunk in data.chunks_mut(bl) {
+            cipher.encrypt_in_place(&mut feedback);
+            for (b, k) in chunk.iter_mut().zip(&feedback) {
+                *b ^= k;
+            }
+            feedback[..chunk.len()].copy_from_slice(chunk);
+        }
+    }
+
+    /// Decrypts `data` in place under `iv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iv.len()` differs from the cipher's block length.
+    pub fn decrypt<C: BlockCipher + ?Sized>(cipher: &C, iv: &[u8], data: &mut [u8]) {
+        let bl = cipher.block_len();
+        assert_eq!(iv.len(), bl, "IV must be one block long");
+        let mut feedback = iv.to_vec();
+        let mut ct = vec![0u8; bl];
+        for chunk in data.chunks_mut(bl) {
+            ct[..chunk.len()].copy_from_slice(chunk);
+            cipher.encrypt_in_place(&mut feedback);
+            for (b, k) in chunk.iter_mut().zip(&feedback) {
+                *b ^= k;
+            }
+            feedback[..chunk.len()].copy_from_slice(&ct[..chunk.len()]);
+        }
+    }
+}
+
+/// Output feedback: a synchronous stream cipher. Encryption and decryption
+/// are the same operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Ofb;
+
+impl Ofb {
+    /// XORs the OFB keystream for `iv` into `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iv.len()` differs from the cipher's block length.
+    pub fn apply<C: BlockCipher + ?Sized>(cipher: &C, iv: &[u8], data: &mut [u8]) {
+        let bl = cipher.block_len();
+        assert_eq!(iv.len(), bl, "IV must be one block long");
+        let mut feedback = iv.to_vec();
+        for chunk in data.chunks_mut(bl) {
+            cipher.encrypt_in_place(&mut feedback);
+            for (b, k) in chunk.iter_mut().zip(&feedback) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+/// Appends PKCS#7 padding so the buffer becomes a whole number of blocks.
+///
+/// # Panics
+///
+/// Panics if `block_len` is 0 or greater than 255.
+pub fn pkcs7_pad(data: &mut Vec<u8>, block_len: usize) {
+    assert!(block_len > 0 && block_len <= 255, "invalid block length");
+    let pad = block_len - data.len() % block_len;
+    data.extend(std::iter::repeat_n(pad as u8, pad));
+}
+
+/// Removes PKCS#7 padding, returning the unpadded length, or `None` when
+/// the padding is malformed.
+#[must_use]
+pub fn pkcs7_unpad(data: &[u8], block_len: usize) -> Option<usize> {
+    if data.is_empty() || !data.len().is_multiple_of(block_len) {
+        return None;
+    }
+    let pad = *data.last()? as usize;
+    if pad == 0 || pad > block_len || pad > data.len() {
+        return None;
+    }
+    let body = data.len() - pad;
+    data[body..].iter().all(|&b| b as usize == pad).then_some(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes128;
+
+    fn cipher() -> Aes128 {
+        Aes128::new(&core::array::from_fn(|i| i as u8))
+    }
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(73).wrapping_add(5)).collect()
+    }
+
+    #[test]
+    fn ecb_roundtrip_and_determinism() {
+        let c = cipher();
+        let pt = sample(64);
+        let mut a = pt.clone();
+        Ecb::encrypt(&c, &mut a).unwrap();
+        // Identical plaintext blocks encrypt identically in ECB.
+        let half = sample(16);
+        let mut t = [half.clone(), half].concat();
+        Ecb::encrypt(&c, &mut t).unwrap();
+        assert_eq!(&t[..16], &t[16..]);
+        Ecb::decrypt(&c, &mut a).unwrap();
+        assert_eq!(a, pt);
+    }
+
+    #[test]
+    fn ecb_rejects_ragged_lengths() {
+        let c = cipher();
+        let mut data = vec![0u8; 17];
+        let err = Ecb::encrypt(&c, &mut data).unwrap_err();
+        assert_eq!(err.block, 16);
+        assert!(err.to_string().contains("not a multiple"));
+    }
+
+    #[test]
+    fn cbc_roundtrip_and_chaining() {
+        let c = cipher();
+        let iv = sample(16);
+        let pt = vec![0u8; 48]; // three identical blocks
+        let mut ct = pt.clone();
+        Cbc::encrypt(&c, &iv, &mut ct).unwrap();
+        // Chaining must break the ECB pattern.
+        assert_ne!(&ct[..16], &ct[16..32]);
+        assert_ne!(&ct[16..32], &ct[32..48]);
+        Cbc::decrypt(&c, &iv, &mut ct).unwrap();
+        assert_eq!(ct, pt);
+    }
+
+    #[test]
+    fn cbc_iv_sensitivity() {
+        let c = cipher();
+        let pt = sample(32);
+        let mut a = pt.clone();
+        let mut b = pt.clone();
+        Cbc::encrypt(&c, &[0u8; 16], &mut a).unwrap();
+        Cbc::encrypt(&c, &[1u8; 16], &mut b).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ctr_roundtrip_any_length() {
+        let c = cipher();
+        for len in [0usize, 1, 15, 16, 17, 100] {
+            let pt = sample(len);
+            let mut data = pt.clone();
+            Ctr::apply(&c, &[9u8; 16], &mut data);
+            if len > 0 {
+                assert_ne!(data, pt);
+            }
+            Ctr::apply(&c, &[9u8; 16], &mut data);
+            assert_eq!(data, pt, "CTR roundtrip failed at len {len}");
+        }
+    }
+
+    #[test]
+    fn cfb_roundtrip_any_length() {
+        let c = cipher();
+        for len in [1usize, 16, 31, 32, 33] {
+            let pt = sample(len);
+            let mut data = pt.clone();
+            Cfb::encrypt(&c, &[3u8; 16], &mut data);
+            Cfb::decrypt(&c, &[3u8; 16], &mut data);
+            assert_eq!(data, pt, "CFB roundtrip failed at len {len}");
+        }
+    }
+
+    #[test]
+    fn ofb_is_involutive() {
+        let c = cipher();
+        let pt = sample(50);
+        let mut data = pt.clone();
+        Ofb::apply(&c, &[8u8; 16], &mut data);
+        Ofb::apply(&c, &[8u8; 16], &mut data);
+        assert_eq!(data, pt);
+    }
+
+    #[test]
+    fn ofb_keystream_is_position_dependent() {
+        let c = cipher();
+        let mut z = vec![0u8; 32];
+        Ofb::apply(&c, &[8u8; 16], &mut z);
+        assert_ne!(&z[..16], &z[16..]);
+    }
+
+    #[test]
+    fn pkcs7_roundtrip() {
+        for len in 0..=33usize {
+            let mut data = sample(len);
+            pkcs7_pad(&mut data, 16);
+            assert_eq!(data.len() % 16, 0);
+            assert!(data.len() > len);
+            let body = pkcs7_unpad(&data, 16).unwrap();
+            assert_eq!(body, len);
+        }
+    }
+
+    #[test]
+    fn pkcs7_rejects_malformed() {
+        assert_eq!(pkcs7_unpad(&[], 16), None);
+        assert_eq!(pkcs7_unpad(&[0u8; 16], 16), None); // pad byte 0
+        let mut bad = vec![4u8; 16];
+        bad[15] = 17; // pad > block
+        assert_eq!(pkcs7_unpad(&bad, 16), None);
+        let mut torn = vec![2u8; 16];
+        torn[14] = 3; // inconsistent pad bytes
+        assert_eq!(pkcs7_unpad(&torn, 16), None);
+    }
+}

@@ -1,0 +1,308 @@
+//! The Rijndael working variable `state_t` (paper Figure 1).
+//!
+//! The state is a matrix of bytes with four rows and `NB` columns
+//! (`NB` = block bits / 32, i.e. 4 for AES). Input bytes fill the state
+//! column by column: byte `i` lands at row `i % 4`, column `i / 4`
+//! (FIPS-197 §3.4).
+
+use core::fmt;
+
+/// A Rijndael state with `NB` columns of 4 bytes.
+///
+/// `NB` ranges over 4..=8 (block sizes 128..256 bits in 32-bit steps); the
+/// AES subset fixes `NB = 4`, which is the `state_t` of the paper's
+/// Figure 1.
+///
+/// # Examples
+///
+/// ```
+/// use rijndael::State;
+///
+/// let bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
+/// let st = State::<4>::from_bytes(&bytes);
+/// assert_eq!(st.get(1, 0), 0x01); // row 1, column 0 = input byte 1
+/// assert_eq!(st.get(0, 1), 0x04); // row 0, column 1 = input byte 4
+/// assert_eq!(st.to_bytes(), bytes);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct State<const NB: usize> {
+    /// Column-major storage: `cols[c][r]`.
+    cols: [[u8; 4]; NB],
+}
+
+impl<const NB: usize> State<NB> {
+    /// Number of bytes in a block with `NB` columns.
+    pub const BYTES: usize = 4 * NB;
+
+    /// The all-zero state.
+    #[inline]
+    #[must_use]
+    pub const fn zero() -> Self {
+        State { cols: [[0; 4]; NB] }
+    }
+
+    /// Creates a new all-zero state (alias of [`State::zero`]).
+    #[inline]
+    #[must_use]
+    pub const fn new() -> Self {
+        Self::zero()
+    }
+
+    /// Loads a state from a byte block, column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != 4 * NB`.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(
+            bytes.len(),
+            Self::BYTES,
+            "state requires exactly {} bytes",
+            Self::BYTES
+        );
+        let mut st = Self::zero();
+        for (i, &b) in bytes.iter().enumerate() {
+            st.cols[i / 4][i % 4] = b;
+        }
+        st
+    }
+
+    /// Serialises the state back to bytes, column by column.
+    ///
+    /// The fixed-size array form is only available for the AES block size
+    /// (`NB = 4`); wider blocks use [`State::write_bytes`] / [`State::to_vec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `NB != 4`.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 16] {
+        assert_eq!(NB, 4, "array form is only available for NB = 4");
+        let mut out = [0u8; 16];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = self.cols[i / 4][i % 4];
+        }
+        out
+    }
+
+    /// Writes the state into a caller-provided buffer, column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != 4 * NB`.
+    pub fn write_bytes(&self, out: &mut [u8]) {
+        assert_eq!(out.len(), Self::BYTES);
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = self.cols[i / 4][i % 4];
+        }
+    }
+
+    /// The state as a vector of bytes (general-`NB` counterpart of
+    /// [`State::to_bytes`]).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = vec![0u8; Self::BYTES];
+        self.write_bytes(&mut v);
+        v
+    }
+
+    /// Byte at `row`, `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 4` or `col >= NB`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> u8 {
+        self.cols[col][row]
+    }
+
+    /// Sets the byte at `row`, `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 4` or `col >= NB`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: u8) {
+        self.cols[col][row] = value;
+    }
+
+    /// Column `c` as a 4-byte array (top row first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= NB`.
+    #[inline]
+    #[must_use]
+    pub fn column(&self, c: usize) -> [u8; 4] {
+        self.cols[c]
+    }
+
+    /// Replaces column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= NB`.
+    #[inline]
+    pub fn set_column(&mut self, c: usize, col: [u8; 4]) {
+        self.cols[c] = col;
+    }
+
+    /// Column `c` as a big-endian 32-bit word (`s0c` in the most-significant
+    /// byte), the word form used by the 32-bit datapath slices of the IP.
+    #[inline]
+    #[must_use]
+    pub fn column_word(&self, c: usize) -> u32 {
+        u32::from_be_bytes(self.cols[c])
+    }
+
+    /// Sets column `c` from a big-endian 32-bit word.
+    #[inline]
+    pub fn set_column_word(&mut self, c: usize, word: u32) {
+        self.cols[c] = word.to_be_bytes();
+    }
+
+    /// Row `r` as `NB` bytes (column 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 4`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> [u8; NB] {
+        core::array::from_fn(|c| self.cols[c][r])
+    }
+
+    /// Replaces row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 4`.
+    pub fn set_row(&mut self, r: usize, row: [u8; NB]) {
+        for (c, &b) in row.iter().enumerate() {
+            self.cols[c][r] = b;
+        }
+    }
+
+    /// Applies a byte-wise function to every cell.
+    pub fn map_bytes(&mut self, mut f: impl FnMut(u8) -> u8) {
+        for col in &mut self.cols {
+            for b in col {
+                *b = f(*b);
+            }
+        }
+    }
+
+    /// XORs another state into this one (the `AddKey` primitive).
+    pub fn xor_assign(&mut self, other: &Self) {
+        for (c, oc) in self.cols.iter_mut().zip(&other.cols) {
+            for (b, ob) in c.iter_mut().zip(oc) {
+                *b ^= ob;
+            }
+        }
+    }
+}
+
+impl<const NB: usize> Default for State<NB> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<const NB: usize> fmt::Debug for State<NB> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "State<{NB}> [")?;
+        for r in 0..4 {
+            write!(f, " ")?;
+            for c in 0..NB {
+                write!(f, " {:02x}", self.cols[c][r])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<const NB: usize> fmt::Display for State<NB> {
+    /// Hex dump in input-byte order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..Self::BYTES {
+            write!(f, "{:02x}", self.cols[i / 4][i % 4])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_loading() {
+        let bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let st = State::<4>::from_bytes(&bytes);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(st.get(r, c), (r + 4 * c) as u8);
+            }
+        }
+        assert_eq!(st.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn wide_blocks_roundtrip() {
+        let bytes: Vec<u8> = (0..24).collect();
+        let st = State::<6>::from_bytes(&bytes);
+        assert_eq!(st.to_vec(), bytes);
+        assert_eq!(st.get(3, 5), 23);
+    }
+
+    #[test]
+    fn rows_and_columns() {
+        let bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let mut st = State::<4>::from_bytes(&bytes);
+        assert_eq!(st.row(0), [0, 4, 8, 12]);
+        assert_eq!(st.column(1), [4, 5, 6, 7]);
+        st.set_row(0, [0xAA; 4]);
+        assert_eq!(st.get(0, 2), 0xAA);
+        st.set_column(2, [1, 2, 3, 4]);
+        assert_eq!(st.row(3)[2], 4);
+    }
+
+    #[test]
+    fn column_words_are_big_endian() {
+        let mut st = State::<4>::zero();
+        st.set_column_word(0, 0x0102_0304);
+        assert_eq!(st.column(0), [1, 2, 3, 4]);
+        assert_eq!(st.column_word(0), 0x0102_0304);
+    }
+
+    #[test]
+    fn xor_assign_is_addkey() {
+        let a_bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let b_bytes: [u8; 16] = core::array::from_fn(|i| (i as u8) << 4);
+        let mut a = State::<4>::from_bytes(&a_bytes);
+        let b = State::<4>::from_bytes(&b_bytes);
+        a.xor_assign(&b);
+        for i in 0..16 {
+            assert_eq!(a.to_bytes()[i], a_bytes[i] ^ b_bytes[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state requires exactly 16 bytes")]
+    fn wrong_length_panics() {
+        let _ = State::<4>::from_bytes(&[0u8; 15]);
+    }
+
+    #[test]
+    fn display_matches_hex_dump() {
+        let bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let st = State::<4>::from_bytes(&bytes);
+        assert_eq!(
+            st.to_string(),
+            "000102030405060708090a0b0c0d0e0f"
+        );
+        assert!(format!("{st:?}").contains("State<4>"));
+    }
+}

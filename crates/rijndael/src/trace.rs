@@ -1,0 +1,166 @@
+//! Round-by-round execution traces.
+//!
+//! The paper's Figure 2 is the encryption schedule: initial `AddKey`,
+//! `NR - 1` identical rounds, and a final round without `MixColumn`. These
+//! traces make that schedule observable — the `figures` binary prints them,
+//! and the hardware model's per-round registers are checked against them.
+
+use crate::cipher::Rijndael;
+use crate::state::State;
+use crate::transform;
+
+/// Snapshot of one encryption round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundTrace<const NB: usize> {
+    /// Round number, 1-based (round `NR` is the final round).
+    pub round: usize,
+    /// State after `ByteSub`.
+    pub after_byte_sub: State<NB>,
+    /// State after `ShiftRow`.
+    pub after_shift_row: State<NB>,
+    /// State after `MixColumn`; `None` in the final round, which skips it.
+    pub after_mix_column: Option<State<NB>>,
+    /// State after `AddKey` (the round output).
+    pub after_add_key: State<NB>,
+    /// The round key that was added.
+    pub round_key: Vec<u32>,
+}
+
+/// A complete encryption trace (Figure 2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptionTrace<const NB: usize> {
+    /// The plaintext state.
+    pub input: State<NB>,
+    /// State after the initial `AddKey` with round key 0.
+    pub after_initial_add_key: State<NB>,
+    /// One entry per round, in execution order.
+    pub rounds: Vec<RoundTrace<NB>>,
+}
+
+impl<const NB: usize> EncryptionTrace<NB> {
+    /// The ciphertext state (output of the last round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty (cannot happen for traces produced by
+    /// [`trace_encrypt`]).
+    #[must_use]
+    pub fn output(&self) -> &State<NB> {
+        &self.rounds.last().expect("trace has at least one round").after_add_key
+    }
+}
+
+/// Runs an encryption while recording every intermediate state.
+///
+/// # Examples
+///
+/// ```
+/// use rijndael::{Rijndael, trace::trace_encrypt, State};
+///
+/// let cipher = Rijndael::<4>::new(&[0u8; 16])?;
+/// let trace = trace_encrypt(&cipher, &State::from_bytes(&[0u8; 16]));
+/// assert_eq!(trace.rounds.len(), 10);
+/// assert!(trace.rounds[9].after_mix_column.is_none()); // final round
+/// # Ok::<(), rijndael::key_schedule::InvalidKeyLength>(())
+/// ```
+#[must_use]
+pub fn trace_encrypt<const NB: usize>(
+    cipher: &Rijndael<NB>,
+    input: &State<NB>,
+) -> EncryptionTrace<NB> {
+    let schedule = cipher.schedule();
+    let nr = schedule.rounds();
+    let mut st = *input;
+    transform::add_round_key(&mut st, schedule.round_key(0));
+    let after_initial_add_key = st;
+
+    let mut rounds = Vec::with_capacity(nr);
+    for round in 1..=nr {
+        transform::byte_sub(&mut st);
+        let after_byte_sub = st;
+        transform::shift_row(&mut st);
+        let after_shift_row = st;
+        let after_mix_column = if round < nr {
+            transform::mix_column(&mut st);
+            Some(st)
+        } else {
+            None
+        };
+        transform::add_round_key(&mut st, schedule.round_key(round));
+        rounds.push(RoundTrace {
+            round,
+            after_byte_sub,
+            after_shift_row,
+            after_mix_column,
+            after_add_key: st,
+            round_key: schedule.round_key(round).to_vec(),
+        });
+    }
+
+    EncryptionTrace {
+        input: *input,
+        after_initial_add_key,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIPS_KEY: [u8; 16] = [
+        0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+        0x3C,
+    ];
+    const FIPS_PT: [u8; 16] = [
+        0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D, 0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37, 0x07,
+        0x34,
+    ];
+
+    #[test]
+    fn trace_matches_plain_encwhile_recording() {
+        let cipher = Rijndael::<4>::new(&FIPS_KEY).unwrap();
+        let trace = trace_encrypt(&cipher, &State::from_bytes(&FIPS_PT));
+        let mut expect = FIPS_PT;
+        cipher.encrypt(&mut expect);
+        assert_eq!(trace.output().to_bytes(), expect);
+    }
+
+    #[test]
+    fn only_final_round_skips_mix_column() {
+        let cipher = Rijndael::<4>::new(&FIPS_KEY).unwrap();
+        let trace = trace_encrypt(&cipher, &State::from_bytes(&FIPS_PT));
+        for r in &trace.rounds[..9] {
+            assert!(r.after_mix_column.is_some(), "round {} missing MixColumn", r.round);
+        }
+        assert!(trace.rounds[9].after_mix_column.is_none());
+    }
+
+    #[test]
+    fn appendix_b_round1_intermediates() {
+        let cipher = Rijndael::<4>::new(&FIPS_KEY).unwrap();
+        let trace = trace_encrypt(&cipher, &State::from_bytes(&FIPS_PT));
+        assert_eq!(
+            trace.after_initial_add_key.to_string(),
+            "193de3bea0f4e22b9ac68d2ae9f84808"
+        );
+        let r1 = &trace.rounds[0];
+        assert_eq!(r1.after_byte_sub.to_string(), "d42711aee0bf98f1b8b45de51e415230");
+        assert_eq!(r1.after_shift_row.to_string(), "d4bf5d30e0b452aeb84111f11e2798e5");
+        assert_eq!(
+            r1.after_mix_column.unwrap().to_string(),
+            "046681e5e0cb199a48f8d37a2806264c"
+        );
+        assert_eq!(r1.after_add_key.to_string(), "a49c7ff2689f352b6b5bea43026a5049");
+    }
+
+    #[test]
+    fn trace_records_round_keys() {
+        let cipher = Rijndael::<4>::new(&FIPS_KEY).unwrap();
+        let trace = trace_encrypt(&cipher, &State::from_bytes(&FIPS_PT));
+        for (i, r) in trace.rounds.iter().enumerate() {
+            assert_eq!(r.round, i + 1);
+            assert_eq!(&r.round_key[..], cipher.schedule().round_key(i + 1));
+        }
+    }
+}

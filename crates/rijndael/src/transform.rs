@@ -1,0 +1,196 @@
+//! The four Rijndael round transformations and their inverses
+//! (paper Figures 4–7).
+//!
+//! Encryption applies `ByteSub → ShiftRow → MixColumn → AddKey`; decryption
+//! applies `AddKey → IMixColumn → IShiftRow → IByteSub` (the order the paper
+//! gives in §3). The final encryption round and the first decryption round
+//! skip the (inverse) `MixColumn`.
+
+use gf256::{poly::GfPoly4, sbox};
+
+use crate::state::State;
+
+/// Row-shift offsets `(C1, C2, C3)` for a given block width `NB`
+/// (Rijndael specification table 4.1; constant for the AES subset).
+///
+/// ```
+/// use rijndael::transform::shift_offsets;
+/// assert_eq!(shift_offsets(4), [0, 1, 2, 3]);
+/// assert_eq!(shift_offsets(8), [0, 1, 3, 4]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `nb` is not in `4..=8`.
+#[must_use]
+pub const fn shift_offsets(nb: usize) -> [usize; 4] {
+    match nb {
+        4..=6 => [0, 1, 2, 3],
+        7 => [0, 1, 2, 4],
+        8 => [0, 1, 3, 4],
+        _ => panic!("Rijndael block width must be 4..=8 columns"),
+    }
+}
+
+/// `ByteSub` (Figure 4): substitutes every state byte through the S-box.
+pub fn byte_sub<const NB: usize>(state: &mut State<NB>) {
+    state.map_bytes(sbox::sub);
+}
+
+/// `IByteSub`: the inverse substitution.
+pub fn inv_byte_sub<const NB: usize>(state: &mut State<NB>) {
+    state.map_bytes(sbox::inv_sub);
+}
+
+/// `ShiftRow` (Figure 6 shows the inverse): rotates row `r` left by the
+/// offset `C_r` that depends on the block width.
+pub fn shift_row<const NB: usize>(state: &mut State<NB>) {
+    let offs = shift_offsets(NB);
+    for r in 1..4 {
+        let row = state.row(r);
+        let shifted: [u8; NB] = core::array::from_fn(|c| row[(c + offs[r]) % NB]);
+        state.set_row(r, shifted);
+    }
+}
+
+/// `IShiftRow`: rotates row `r` right by `C_r`.
+pub fn inv_shift_row<const NB: usize>(state: &mut State<NB>) {
+    let offs = shift_offsets(NB);
+    for r in 1..4 {
+        let row = state.row(r);
+        let shifted: [u8; NB] = core::array::from_fn(|c| row[(c + NB - offs[r]) % NB]);
+        state.set_row(r, shifted);
+    }
+}
+
+/// `MixColumn` (Figure 7): multiplies every column by
+/// `c(x) = {03}x³ + {01}x² + {01}x + {02}` modulo `x⁴ + 1`.
+pub fn mix_column<const NB: usize>(state: &mut State<NB>) {
+    for c in 0..NB {
+        state.set_column(c, GfPoly4::MIX_COLUMN.apply_column(state.column(c)));
+    }
+}
+
+/// `IMixColumn`: multiplies every column by the inverse polynomial
+/// `d(x) = {0B}x³ + {0D}x² + {09}x + {0E}`.
+pub fn inv_mix_column<const NB: usize>(state: &mut State<NB>) {
+    for c in 0..NB {
+        state.set_column(c, GfPoly4::INV_MIX_COLUMN.apply_column(state.column(c)));
+    }
+}
+
+/// `AddKey`: XORs a round key (as `NB` big-endian column words) into the
+/// state. Self-inverse, as the paper notes.
+pub fn add_round_key<const NB: usize>(state: &mut State<NB>, round_key: &[u32]) {
+    assert_eq!(round_key.len(), NB, "round key must provide NB words");
+    for (c, &w) in round_key.iter().enumerate() {
+        state.set_column_word(c, state.column_word(c) ^ w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_from(bytes: [u8; 16]) -> State<4> {
+        State::from_bytes(&bytes)
+    }
+
+    #[test]
+    fn byte_sub_roundtrip() {
+        let bytes: [u8; 16] = core::array::from_fn(|i| (i * 17) as u8);
+        let mut st = state_from(bytes);
+        byte_sub(&mut st);
+        inv_byte_sub(&mut st);
+        assert_eq!(st.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn byte_sub_matches_sbox() {
+        let mut st = state_from([0x53; 16]);
+        byte_sub(&mut st);
+        assert_eq!(st.to_bytes(), [0xED; 16]);
+    }
+
+    #[test]
+    fn shift_row_pattern() {
+        // Rows shift left by 0,1,2,3 for NB = 4.
+        let bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let mut st = state_from(bytes);
+        shift_row(&mut st);
+        assert_eq!(st.row(0), [0, 4, 8, 12]); // unchanged
+        assert_eq!(st.row(1), [5, 9, 13, 1]); // left by 1
+        assert_eq!(st.row(2), [10, 14, 2, 6]); // left by 2
+        assert_eq!(st.row(3), [15, 3, 7, 11]); // left by 3
+    }
+
+    #[test]
+    fn shift_row_roundtrip_all_widths() {
+        fn check<const NB: usize>() {
+            let bytes: Vec<u8> = (0..4 * NB as u8).collect();
+            let mut st = State::<NB>::from_bytes(&bytes);
+            shift_row(&mut st);
+            inv_shift_row(&mut st);
+            assert_eq!(st.to_vec(), bytes);
+        }
+        check::<4>();
+        check::<5>();
+        check::<6>();
+        check::<7>();
+        check::<8>();
+    }
+
+    #[test]
+    fn mix_column_roundtrip() {
+        let bytes: [u8; 16] = core::array::from_fn(|i| (i * 31 + 7) as u8);
+        let mut st = state_from(bytes);
+        mix_column(&mut st);
+        inv_mix_column(&mut st);
+        assert_eq!(st.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn add_round_key_is_self_inverse() {
+        let bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let key = [0xDEAD_BEEF, 0x0123_4567, 0x89AB_CDEF, 0xFFFF_0000];
+        let mut st = state_from(bytes);
+        add_round_key(&mut st, &key);
+        add_round_key(&mut st, &key);
+        assert_eq!(st.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn fips197_round1_sequence() {
+        // FIPS-197 Appendix B round 1: start_of_round state after AddKey(0).
+        let start: [u8; 16] = [
+            0x19, 0x3D, 0xE3, 0xBE, 0xA0, 0xF4, 0xE2, 0x2B, 0x9A, 0xC6, 0x8D, 0x2A, 0xE9, 0xF8,
+            0x48, 0x08,
+        ];
+        let mut st = state_from(start);
+        byte_sub(&mut st);
+        let after_sub: [u8; 16] = [
+            0xD4, 0x27, 0x11, 0xAE, 0xE0, 0xBF, 0x98, 0xF1, 0xB8, 0xB4, 0x5D, 0xE5, 0x1E, 0x41,
+            0x52, 0x30,
+        ];
+        assert_eq!(st.to_bytes(), after_sub);
+        shift_row(&mut st);
+        let after_shift: [u8; 16] = [
+            0xD4, 0xBF, 0x5D, 0x30, 0xE0, 0xB4, 0x52, 0xAE, 0xB8, 0x41, 0x11, 0xF1, 0x1E, 0x27,
+            0x98, 0xE5,
+        ];
+        assert_eq!(st.to_bytes(), after_shift);
+        mix_column(&mut st);
+        let after_mix: [u8; 16] = [
+            0x04, 0x66, 0x81, 0xE5, 0xE0, 0xCB, 0x19, 0x9A, 0x48, 0xF8, 0xD3, 0x7A, 0x28, 0x06,
+            0x26, 0x4C,
+        ];
+        assert_eq!(st.to_bytes(), after_mix);
+    }
+
+    #[test]
+    #[should_panic(expected = "round key must provide NB words")]
+    fn add_round_key_wrong_width() {
+        let mut st = State::<4>::zero();
+        add_round_key(&mut st, &[0u32; 3]);
+    }
+}

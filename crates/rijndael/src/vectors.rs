@@ -1,0 +1,169 @@
+//! Published known-answer vectors used across the workspace test suites.
+//!
+//! Sources: FIPS-197 Appendix C (the official AES example vectors), the
+//! Rijndael submission document Appendix B, and the first NIST AESAVS
+//! GFSbox vector. Each vector carries its provenance so a failing test
+//! names the external authority it disagrees with.
+
+/// One known-answer encryption vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownAnswer {
+    /// Where the vector was published.
+    pub source: &'static str,
+    /// Cipher key (16, 24 or 32 bytes used).
+    pub key: &'static [u8],
+    /// 16-byte plaintext block.
+    pub plaintext: [u8; 16],
+    /// 16-byte expected ciphertext block.
+    pub ciphertext: [u8; 16],
+}
+
+/// FIPS-197 Appendix C.1 — AES-128.
+pub const FIPS197_C1: KnownAnswer = KnownAnswer {
+    source: "FIPS-197 Appendix C.1",
+    key: &[
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E,
+        0x0F,
+    ],
+    plaintext: [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE,
+        0xFF,
+    ],
+    ciphertext: [
+        0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5,
+        0x5A,
+    ],
+};
+
+/// FIPS-197 Appendix C.2 — AES-192.
+pub const FIPS197_C2: KnownAnswer = KnownAnswer {
+    source: "FIPS-197 Appendix C.2",
+    key: &[
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E,
+        0x0F, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17,
+    ],
+    plaintext: [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE,
+        0xFF,
+    ],
+    ciphertext: [
+        0xDD, 0xA9, 0x7C, 0xA4, 0x86, 0x4C, 0xDF, 0xE0, 0x6E, 0xAF, 0x70, 0xA0, 0xEC, 0x0D, 0x71,
+        0x91,
+    ],
+};
+
+/// FIPS-197 Appendix C.3 — AES-256.
+pub const FIPS197_C3: KnownAnswer = KnownAnswer {
+    source: "FIPS-197 Appendix C.3",
+    key: &[
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E,
+        0x0F, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x1B, 0x1C, 0x1D,
+        0x1E, 0x1F,
+    ],
+    plaintext: [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE,
+        0xFF,
+    ],
+    ciphertext: [
+        0x8E, 0xA2, 0xB7, 0xCA, 0x51, 0x67, 0x45, 0xBF, 0xEA, 0xFC, 0x49, 0x90, 0x4B, 0x49, 0x60,
+        0x89,
+    ],
+};
+
+/// Rijndael submission document Appendix B — AES-128 worked example.
+pub const RIJNDAEL_SPEC_B: KnownAnswer = KnownAnswer {
+    source: "Rijndael submission Appendix B",
+    key: &[
+        0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+        0x3C,
+    ],
+    plaintext: [
+        0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D, 0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37, 0x07,
+        0x34,
+    ],
+    ciphertext: [
+        0x39, 0x25, 0x84, 0x1D, 0x02, 0xDC, 0x09, 0xFB, 0xDC, 0x11, 0x85, 0x97, 0x19, 0x6A, 0x0B,
+        0x32,
+    ],
+};
+
+/// NIST AESAVS GFSbox, AES-128, vector #1 (all-zero key).
+pub const AESAVS_GFSBOX_128_1: KnownAnswer = KnownAnswer {
+    source: "NIST AESAVS GFSbox AES-128 #1",
+    key: &[0u8; 16],
+    plaintext: [
+        0xF3, 0x44, 0x81, 0xEC, 0x3C, 0xC6, 0x27, 0xBA, 0xCD, 0x5D, 0xC3, 0xFB, 0x08, 0xF2, 0x73,
+        0xE6,
+    ],
+    ciphertext: [
+        0x03, 0x36, 0x76, 0x3E, 0x96, 0x6D, 0x92, 0x59, 0x5A, 0x56, 0x7C, 0xC9, 0xCE, 0x53, 0x7F,
+        0x5E,
+    ],
+};
+
+/// All-zero key, all-zero plaintext — the ubiquitous smoke-test vector.
+pub const ZERO_VECTOR_128: KnownAnswer = KnownAnswer {
+    source: "AES-128 zero key / zero plaintext",
+    key: &[0u8; 16],
+    plaintext: [0u8; 16],
+    ciphertext: [
+        0x66, 0xE9, 0x4B, 0xD4, 0xEF, 0x8A, 0x2C, 0x3B, 0x88, 0x4C, 0xFA, 0x59, 0xCA, 0x34, 0x2B,
+        0x2E,
+    ],
+};
+
+/// Every AES-128 vector in this module (the size the paper's IP runs).
+pub const AES128_VECTORS: &[KnownAnswer] = &[
+    FIPS197_C1,
+    RIJNDAEL_SPEC_B,
+    AESAVS_GFSBOX_128_1,
+    ZERO_VECTOR_128,
+];
+
+/// Every vector in this module, across all key sizes.
+pub const ALL_VECTORS: &[KnownAnswer] = &[
+    FIPS197_C1,
+    FIPS197_C2,
+    FIPS197_C3,
+    RIJNDAEL_SPEC_B,
+    AESAVS_GFSBOX_128_1,
+    ZERO_VECTOR_128,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::Rijndael;
+    use crate::ttable::TtableAes;
+
+    #[test]
+    fn reference_cipher_passes_all_vectors() {
+        for v in ALL_VECTORS {
+            let cipher = Rijndael::<4>::new(v.key).expect("vector key length");
+            let mut block = v.plaintext;
+            cipher.encrypt(&mut block);
+            assert_eq!(block, v.ciphertext, "encrypt failed: {}", v.source);
+            cipher.decrypt(&mut block);
+            assert_eq!(block, v.plaintext, "decrypt failed: {}", v.source);
+        }
+    }
+
+    #[test]
+    fn ttable_cipher_passes_all_vectors() {
+        for v in ALL_VECTORS {
+            let cipher = TtableAes::new(v.key).expect("vector key length");
+            let mut block = v.plaintext;
+            cipher.encrypt_block(&mut block);
+            assert_eq!(block, v.ciphertext, "T-table encrypt failed: {}", v.source);
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block, v.plaintext, "T-table decrypt failed: {}", v.source);
+        }
+    }
+
+    #[test]
+    fn aes128_vector_list_is_aes128_only() {
+        for v in AES128_VECTORS {
+            assert_eq!(v.key.len(), 16, "{}", v.source);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! An event-driven digital-logic simulator with VHDL-style delta cycles.
+//!
+//! This crate is the ModelSim substitute of the reproduction: the paper's
+//! soft IP was described in VHDL and simulated in ModelSim; here the same
+//! architecture is described as [`Simulator`] processes over three-state
+//! [`logic::LogicVec`] signals, with [`vcd`] waveform output for
+//! inspection.
+//!
+//! # Semantics
+//!
+//! * Signals carry `0`, `1` or `X`; everything starts `X` until driven
+//!   (uninitialised-register bugs surface as `X` at the outputs, exactly as
+//!   in VHDL simulation).
+//! * Process writes are nonblocking: they take effect in the next delta
+//!   cycle, so clocked processes cannot race.
+//! * Combinational processes declare a sensitivity list
+//!   ([`Trigger::AnyChange`]); clocked processes trigger on clock edges
+//!   ([`Trigger::RisingEdge`] / [`Trigger::FallingEdge`]).
+//! * A delta-cycle limit converts combinational loops into a diagnostic
+//!   panic instead of a hang.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtl::{Simulator, Trigger};
+//!
+//! let mut sim = Simulator::new();
+//! let clk = sim.add_clock("clk", 5); // rising edges at t = 5, 15, 25, ...
+//! let q = sim.add_signal("q", 8);
+//! sim.set_u128(q, 0);
+//! sim.add_process("increment", Trigger::RisingEdge(clk), move |ctx| {
+//!     let v = ctx.read_u128(q).expect("q initialised");
+//!     ctx.write_u128(q, (v + 1) & 0xFF);
+//! });
+//! sim.run_until(30);
+//! assert_eq!(sim.get_u128(q), Some(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod logic;
+pub mod probe;
+pub mod sim;
+pub mod vcd;
+
+pub use logic::{Bit, LogicVec};
+pub use sim::{ProcCtx, ProcessId, SignalId, SimStats, Simulator, Trigger};
+pub use vcd::VcdWriter;

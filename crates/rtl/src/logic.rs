@@ -1,0 +1,513 @@
+//! Three-state logic values and bounded bit-vectors.
+//!
+//! The simulator models `0`, `1` and `X` (unknown). `X` captures
+//! uninitialised registers and contaminated combinational outputs — the
+//! same discipline ModelSim enforced on the paper's VHDL. High-impedance
+//! `Z` is not modelled: the IP has no tristate buses.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A single logic bit: `0`, `1` or unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Bit {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialised.
+    #[default]
+    X,
+}
+
+impl Bit {
+    /// `true` when the bit is `0` or `1`.
+    #[inline]
+    #[must_use]
+    pub const fn is_known(self) -> bool {
+        !matches!(self, Bit::X)
+    }
+
+    /// Converts to `bool`, treating `X` as an error.
+    #[inline]
+    #[must_use]
+    pub const fn to_bool(self) -> Option<bool> {
+        match self {
+            Bit::Zero => Some(false),
+            Bit::One => Some(true),
+            Bit::X => None,
+        }
+    }
+}
+
+impl From<bool> for Bit {
+    #[inline]
+    fn from(b: bool) -> Self {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Bit::Zero => '0',
+            Bit::One => '1',
+            Bit::X => 'x',
+        };
+        write!(f, "{c}")
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+    fn not(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+            Bit::X => Bit::X,
+        }
+    }
+}
+
+impl BitAnd for Bit {
+    type Output = Bit;
+    fn bitand(self, rhs: Bit) -> Bit {
+        match (self, rhs) {
+            (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
+            (Bit::One, Bit::One) => Bit::One,
+            _ => Bit::X,
+        }
+    }
+}
+
+impl BitOr for Bit {
+    type Output = Bit;
+    fn bitor(self, rhs: Bit) -> Bit {
+        match (self, rhs) {
+            (Bit::One, _) | (_, Bit::One) => Bit::One,
+            (Bit::Zero, Bit::Zero) => Bit::Zero,
+            _ => Bit::X,
+        }
+    }
+}
+
+impl BitXor for Bit {
+    type Output = Bit;
+    fn bitxor(self, rhs: Bit) -> Bit {
+        match (self, rhs) {
+            (Bit::X, _) | (_, Bit::X) => Bit::X,
+            (a, b) => Bit::from(a != b),
+        }
+    }
+}
+
+/// A logic vector of up to 128 bits with per-bit known/unknown tracking.
+///
+/// Bit 0 is the least-significant bit. Widths are fixed at construction;
+/// binary operations panic on width mismatch (the same rule VHDL's strict
+/// typing enforces).
+///
+/// # Examples
+///
+/// ```
+/// use rtl::logic::LogicVec;
+///
+/// let a = LogicVec::from_u128(8, 0x5A);
+/// let b = LogicVec::from_u128(8, 0x0F);
+/// assert_eq!((a ^ b).to_u128(), Some(0x55));
+/// assert_eq!(LogicVec::unknown(8).to_u128(), None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LogicVec {
+    width: u32,
+    /// Bit values; unknown bits are stored as 0 here.
+    value: u128,
+    /// 1 = bit is known.
+    known: u128,
+}
+
+impl LogicVec {
+    /// Maximum supported width.
+    pub const MAX_WIDTH: u32 = 128;
+
+    fn mask(width: u32) -> u128 {
+        if width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        }
+    }
+
+    /// An all-`X` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`LogicVec::MAX_WIDTH`].
+    #[must_use]
+    pub fn unknown(width: u32) -> Self {
+        assert!((1..=Self::MAX_WIDTH).contains(&width), "width must be 1..=128");
+        LogicVec { width, value: 0, known: 0 }
+    }
+
+    /// An all-zero vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`LogicVec::MAX_WIDTH`].
+    #[must_use]
+    pub fn zeros(width: u32) -> Self {
+        Self::from_u128(width, 0)
+    }
+
+    /// A fully-known vector from an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is invalid or `value` does not fit in `width` bits.
+    #[must_use]
+    pub fn from_u128(width: u32, value: u128) -> Self {
+        assert!((1..=Self::MAX_WIDTH).contains(&width), "width must be 1..=128");
+        assert!(
+            value & !Self::mask(width) == 0,
+            "value 0x{value:x} does not fit in {width} bits"
+        );
+        LogicVec { width, value, known: Self::mask(width) }
+    }
+
+    /// A 1-bit vector from a [`Bit`].
+    #[must_use]
+    pub fn from_bit(bit: Bit) -> Self {
+        match bit {
+            Bit::Zero => Self::from_u128(1, 0),
+            Bit::One => Self::from_u128(1, 1),
+            Bit::X => Self::unknown(1),
+        }
+    }
+
+    /// Width in bits.
+    #[inline]
+    #[must_use]
+    pub const fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The integer value if every bit is known.
+    #[inline]
+    #[must_use]
+    pub fn to_u128(&self) -> Option<u128> {
+        self.is_fully_known().then_some(self.value)
+    }
+
+    /// `true` when no bit is `X`.
+    #[inline]
+    #[must_use]
+    pub fn is_fully_known(&self) -> bool {
+        self.known == Self::mask(self.width)
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[must_use]
+    pub fn bit(&self, i: u32) -> Bit {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        if (self.known >> i) & 1 == 0 {
+            Bit::X
+        } else if (self.value >> i) & 1 == 1 {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Returns a copy with bit `i` set to `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[must_use]
+    pub fn with_bit(mut self, i: u32, bit: Bit) -> Self {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        let m = 1u128 << i;
+        match bit {
+            Bit::Zero => {
+                self.value &= !m;
+                self.known |= m;
+            }
+            Bit::One => {
+                self.value |= m;
+                self.known |= m;
+            }
+            Bit::X => {
+                self.value &= !m;
+                self.known &= !m;
+            }
+        }
+        self
+    }
+
+    /// Extracts the bit range `[lo, lo + width)` as a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds this vector's width or `width == 0`.
+    #[must_use]
+    pub fn slice(&self, lo: u32, width: u32) -> Self {
+        assert!(width >= 1, "slice width must be nonzero");
+        assert!(
+            lo + width <= self.width,
+            "slice [{lo}, {}) exceeds width {}",
+            lo + width,
+            self.width
+        );
+        let m = Self::mask(width);
+        LogicVec {
+            width,
+            value: (self.value >> lo) & m,
+            known: (self.known >> lo) & m,
+        }
+    }
+
+    /// Concatenates `self` (low part) with `high` (high part).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`LogicVec::MAX_WIDTH`].
+    #[must_use]
+    pub fn concat(&self, high: &LogicVec) -> Self {
+        let width = self.width + high.width;
+        assert!(width <= Self::MAX_WIDTH, "concatenation exceeds 128 bits");
+        LogicVec {
+            width,
+            value: self.value | (high.value << self.width),
+            known: self.known | (high.known << self.width),
+        }
+    }
+
+    /// `true` if every bit equals the given bit value.
+    #[must_use]
+    pub fn all(&self, bit: Bit) -> bool {
+        (0..self.width).all(|i| self.bit(i) == bit)
+    }
+
+    fn assert_same_width(&self, rhs: &LogicVec) {
+        assert_eq!(
+            self.width, rhs.width,
+            "operand widths differ ({} vs {})",
+            self.width, rhs.width
+        );
+    }
+}
+
+impl Not for LogicVec {
+    type Output = LogicVec;
+    fn not(self) -> LogicVec {
+        let m = Self::mask(self.width);
+        LogicVec {
+            width: self.width,
+            value: !self.value & self.known & m,
+            known: self.known,
+        }
+    }
+}
+
+impl BitXor for LogicVec {
+    type Output = LogicVec;
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    fn bitxor(self, rhs: LogicVec) -> LogicVec {
+        self.assert_same_width(&rhs);
+        let known = self.known & rhs.known;
+        LogicVec {
+            width: self.width,
+            value: (self.value ^ rhs.value) & known,
+            known,
+        }
+    }
+}
+
+impl BitAnd for LogicVec {
+    type Output = LogicVec;
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    fn bitand(self, rhs: LogicVec) -> LogicVec {
+        self.assert_same_width(&rhs);
+        // Known when both known, or when either side is a known 0.
+        let zero_l = self.known & !self.value;
+        let zero_r = rhs.known & !rhs.value;
+        let known = (self.known & rhs.known) | zero_l | zero_r;
+        LogicVec {
+            width: self.width,
+            value: self.value & rhs.value & known,
+            known,
+        }
+    }
+}
+
+impl BitOr for LogicVec {
+    type Output = LogicVec;
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    fn bitor(self, rhs: LogicVec) -> LogicVec {
+        self.assert_same_width(&rhs);
+        let one_l = self.known & self.value;
+        let one_r = rhs.known & rhs.value;
+        let known = (self.known & rhs.known) | one_l | one_r;
+        LogicVec {
+            width: self.width,
+            value: (self.value | rhs.value) & known,
+            known,
+        }
+    }
+}
+
+impl fmt::Debug for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LogicVec({}'b{self})", self.width)
+    }
+}
+
+impl fmt::Display for LogicVec {
+    /// Binary string, most-significant bit first, `x` for unknowns.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", self.bit(i))?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Bit> for LogicVec {
+    fn from(bit: Bit) -> Self {
+        LogicVec::from_bit(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_truth_tables() {
+        use Bit::{One, X, Zero};
+        assert_eq!(Zero & X, Zero);
+        assert_eq!(X & One, X);
+        assert_eq!(One | X, One);
+        assert_eq!(X | Zero, X);
+        assert_eq!(One ^ X, X);
+        assert_eq!(One ^ Zero, One);
+        assert_eq!(!X, X);
+        assert_eq!(!One, Zero);
+        assert_eq!(Bit::from(true), One);
+        assert_eq!(One.to_bool(), Some(true));
+        assert_eq!(X.to_bool(), None);
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let v = LogicVec::from_u128(16, 0xBEEF);
+        assert_eq!(v.width(), 16);
+        assert_eq!(v.to_u128(), Some(0xBEEF));
+        assert_eq!(v.bit(0), Bit::One);
+        assert_eq!(v.bit(4), Bit::Zero);
+        assert!(v.is_fully_known());
+
+        let u = LogicVec::unknown(4);
+        assert_eq!(u.to_u128(), None);
+        assert_eq!(u.bit(2), Bit::X);
+        assert!(!u.is_fully_known());
+    }
+
+    #[test]
+    fn with_bit_transitions() {
+        let v = LogicVec::unknown(3)
+            .with_bit(0, Bit::One)
+            .with_bit(1, Bit::Zero);
+        assert_eq!(v.bit(0), Bit::One);
+        assert_eq!(v.bit(1), Bit::Zero);
+        assert_eq!(v.bit(2), Bit::X);
+        let w = v.with_bit(0, Bit::X);
+        assert_eq!(w.bit(0), Bit::X);
+    }
+
+    #[test]
+    fn xor_poisons_on_x() {
+        let a = LogicVec::from_u128(4, 0b1010);
+        let b = LogicVec::unknown(4).with_bit(0, Bit::One);
+        let c = a ^ b;
+        assert_eq!(c.bit(0), Bit::One); // 0 ^ 1
+        assert_eq!(c.bit(1), Bit::X);
+        assert_eq!(c.bit(3), Bit::X);
+    }
+
+    #[test]
+    fn and_or_dominance_over_x() {
+        let x = LogicVec::unknown(2);
+        let zero = LogicVec::zeros(2);
+        let ones = LogicVec::from_u128(2, 0b11);
+        assert_eq!((x & zero).to_u128(), Some(0));
+        assert_eq!((x | ones).to_u128(), Some(0b11));
+        assert!(!(x & ones).is_fully_known());
+        assert!(!(x | zero).is_fully_known());
+    }
+
+    #[test]
+    fn not_preserves_unknownness() {
+        let v = LogicVec::unknown(2).with_bit(0, Bit::Zero);
+        let n = !v;
+        assert_eq!(n.bit(0), Bit::One);
+        assert_eq!(n.bit(1), Bit::X);
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let v = LogicVec::from_u128(32, 0xDEAD_BEEF);
+        assert_eq!(v.slice(0, 16).to_u128(), Some(0xBEEF));
+        assert_eq!(v.slice(16, 16).to_u128(), Some(0xDEAD));
+        let r = v.slice(0, 16).concat(&v.slice(16, 16));
+        assert_eq!(r.to_u128(), Some(0xDEAD_BEEF));
+        assert_eq!(r.width(), 32);
+    }
+
+    #[test]
+    fn full_width_vectors() {
+        let v = LogicVec::from_u128(128, u128::MAX);
+        assert_eq!(v.to_u128(), Some(u128::MAX));
+        assert_eq!((!v).to_u128(), Some(0));
+    }
+
+    #[test]
+    fn display_renders_x() {
+        let v = LogicVec::unknown(4).with_bit(0, Bit::One).with_bit(3, Bit::Zero);
+        assert_eq!(v.to_string(), "0xx1");
+        assert_eq!(format!("{v:?}"), "LogicVec(4'b0xx1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_rejected() {
+        let _ = LogicVec::from_u128(4, 0x10);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand widths differ")]
+    fn width_mismatch_rejected() {
+        let _ = LogicVec::zeros(4) ^ LogicVec::zeros(8);
+    }
+
+    #[test]
+    fn all_predicate() {
+        assert!(LogicVec::zeros(8).all(Bit::Zero));
+        assert!(LogicVec::unknown(8).all(Bit::X));
+        assert!(!LogicVec::from_u128(8, 1).all(Bit::Zero));
+    }
+}

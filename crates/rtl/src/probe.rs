@@ -1,0 +1,174 @@
+//! Signal-history probes: record a signal's value over time and query the
+//! trace — the scripting side of a logic analyzer, complementing the raw
+//! [`crate::vcd`] dump.
+
+use crate::logic::{Bit, LogicVec};
+use crate::sim::{SignalId, Simulator};
+
+/// One recorded change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Simulation time of the change.
+    pub time: u64,
+    /// The new value.
+    pub value: LogicVec,
+}
+
+/// A recorded value history for one signal.
+///
+/// Build it by sampling the simulator between run steps; the recorder
+/// stores only changes.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::{Simulator, Trigger};
+/// use rtl::probe::History;
+///
+/// let mut sim = Simulator::new();
+/// let clk = sim.add_clock("clk", 5);
+/// let q = sim.add_signal("q", 1);
+/// sim.set_u128(q, 0);
+/// sim.add_process("t", Trigger::RisingEdge(clk), move |ctx| {
+///     ctx.write(q, !ctx.read(q));
+/// });
+/// let mut hist = History::new(q);
+/// for _ in 0..10 {
+///     sim.run_cycles(clk, 1);
+///     hist.sample(&sim);
+/// }
+/// // q toggles once per clock: samples read 1,0,1,0,... → four 0→1 edges.
+/// assert_eq!(hist.rising_edges(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct History {
+    signal: SignalId,
+    samples: Vec<Sample>,
+}
+
+impl History {
+    /// Creates an empty history for `signal`.
+    #[must_use]
+    pub fn new(signal: SignalId) -> Self {
+        History { signal, samples: Vec::new() }
+    }
+
+    /// The probed signal.
+    #[must_use]
+    pub fn signal(&self) -> SignalId {
+        self.signal
+    }
+
+    /// Samples the current value; stores it only if it changed.
+    pub fn sample(&mut self, sim: &Simulator) {
+        let value = sim.get(self.signal);
+        if self.samples.last().map(|s| s.value) != Some(value) {
+            self.samples.push(Sample { time: sim.time(), value });
+        }
+    }
+
+    /// All recorded changes, oldest first.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of recorded 0→1 transitions of bit 0.
+    #[must_use]
+    pub fn rising_edges(&self) -> usize {
+        self.samples
+            .windows(2)
+            .filter(|w| w[0].value.bit(0) != Bit::One && w[1].value.bit(0) == Bit::One)
+            .count()
+    }
+
+    /// Number of recorded 1→0 transitions of bit 0.
+    #[must_use]
+    pub fn falling_edges(&self) -> usize {
+        self.samples
+            .windows(2)
+            .filter(|w| w[0].value.bit(0) == Bit::One && w[1].value.bit(0) != Bit::One)
+            .count()
+    }
+
+    /// The value most recently recorded at or before `time`, if any.
+    #[must_use]
+    pub fn value_at(&self, time: u64) -> Option<LogicVec> {
+        self.samples
+            .iter()
+            .take_while(|s| s.time <= time)
+            .last()
+            .map(|s| s.value)
+    }
+
+    /// Time of the first sample whose value equals `value`.
+    #[must_use]
+    pub fn first_time_of(&self, value: u128) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.value.to_u128() == Some(value))
+            .map(|s| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Trigger;
+
+    fn counter_sim() -> (Simulator, SignalId, SignalId) {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 5);
+        let count = sim.add_signal("count", 8);
+        sim.set_u128(count, 0);
+        sim.add_process("count", Trigger::RisingEdge(clk), move |ctx| {
+            let c = ctx.read_u128(count).expect("initialised");
+            ctx.write_u128(count, (c + 1) & 0xFF);
+        });
+        (sim, clk, count)
+    }
+
+    #[test]
+    fn history_records_changes_only() {
+        let (mut sim, clk, count) = counter_sim();
+        let mut hist = History::new(count);
+        hist.sample(&sim); // initial 0
+        for _ in 0..5 {
+            sim.run_cycles(clk, 1);
+            hist.sample(&sim);
+            hist.sample(&sim); // duplicate sampling must not duplicate entries
+        }
+        assert_eq!(hist.samples().len(), 6); // 0,1,2,3,4,5
+        assert_eq!(hist.samples()[5].value.to_u128(), Some(5));
+    }
+
+    #[test]
+    fn value_at_and_first_time_of() {
+        let (mut sim, clk, count) = counter_sim();
+        let mut hist = History::new(count);
+        hist.sample(&sim);
+        for _ in 0..6 {
+            sim.run_cycles(clk, 1);
+            hist.sample(&sim);
+        }
+        let t3 = hist.first_time_of(3).expect("count reached 3");
+        assert_eq!(hist.value_at(t3).and_then(|v| v.to_u128()), Some(3));
+        assert_eq!(hist.value_at(t3 + 1).and_then(|v| v.to_u128()), Some(3));
+        assert!(hist.first_time_of(200).is_none());
+    }
+
+    #[test]
+    fn edge_counting_on_clock() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 5);
+        let mut hist = History::new(clk);
+        hist.sample(&sim);
+        for _ in 0..40 {
+            sim.run_for(5);
+            hist.sample(&sim);
+        }
+        // 200 time units = 20 full periods.
+        assert_eq!(hist.rising_edges(), 20);
+        assert_eq!(hist.falling_edges(), 20);
+    }
+}

@@ -1,0 +1,688 @@
+//! The event-driven simulation kernel.
+//!
+//! The kernel follows the VHDL simulation cycle: signal updates are
+//! *nonblocking* — a process reads the current values and schedules new
+//! ones, which take effect in the next delta cycle; processes sensitive to
+//! the changed signals then run, and so on until the time step is stable,
+//! at which point simulated time advances to the next scheduled event.
+
+use std::collections::BTreeMap;
+
+use crate::logic::{Bit, LogicVec};
+use crate::vcd::VcdWriter;
+
+/// Handle to a signal owned by a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(usize);
+
+/// Handle to a process owned by a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(usize);
+
+/// What wakes a process up.
+#[derive(Debug, Clone)]
+pub enum Trigger {
+    /// Run whenever any of the listed signals changes value
+    /// (a combinational process's sensitivity list).
+    AnyChange(Vec<SignalId>),
+    /// Run on a 0→1 transition of the signal (a clocked process).
+    RisingEdge(SignalId),
+    /// Run on a 1→0 transition of the signal.
+    FallingEdge(SignalId),
+}
+
+/// The read/write interface a process sees while running.
+///
+/// Reads observe the values at the start of the delta cycle; writes are
+/// collected and applied together when the delta ends (nonblocking
+/// assignment semantics).
+pub struct ProcCtx<'a> {
+    values: &'a [LogicVec],
+    writes: Vec<(SignalId, LogicVec)>,
+}
+
+impl ProcCtx<'_> {
+    /// Current value of a signal.
+    #[must_use]
+    pub fn read(&self, sig: SignalId) -> LogicVec {
+        self.values[sig.0]
+    }
+
+    /// Current value as an integer; `None` if any bit is `X`.
+    #[must_use]
+    pub fn read_u128(&self, sig: SignalId) -> Option<u128> {
+        self.values[sig.0].to_u128()
+    }
+
+    /// Current value of a 1-bit signal as a [`Bit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is wider than 1 bit.
+    #[must_use]
+    pub fn read_bit(&self, sig: SignalId) -> Bit {
+        let v = self.values[sig.0];
+        assert_eq!(v.width(), 1, "read_bit on a {}-bit signal", v.width());
+        v.bit(0)
+    }
+
+    /// `true` when a 1-bit signal is a known `1`.
+    #[must_use]
+    pub fn is_high(&self, sig: SignalId) -> bool {
+        self.read_bit(sig) == Bit::One
+    }
+
+    /// Schedules a new value for the next delta cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value width differs from the signal width.
+    pub fn write(&mut self, sig: SignalId, value: LogicVec) {
+        assert_eq!(
+            self.values[sig.0].width(),
+            value.width(),
+            "write width mismatch on signal {}",
+            sig.0
+        );
+        self.writes.push((sig, value));
+    }
+
+    /// Schedules an integer value for the next delta cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit the signal width.
+    pub fn write_u128(&mut self, sig: SignalId, value: u128) {
+        let width = self.values[sig.0].width();
+        self.writes.push((sig, LogicVec::from_u128(width, value)));
+    }
+
+    /// Schedules a 1-bit value for the next delta cycle.
+    pub fn write_bit(&mut self, sig: SignalId, bit: Bit) {
+        self.write(sig, LogicVec::from_bit(bit));
+    }
+}
+
+type Behavior = Box<dyn FnMut(&mut ProcCtx<'_>)>;
+
+struct ProcessEntry {
+    name: String,
+    trigger: Trigger,
+    behavior: Behavior,
+}
+
+struct SignalEntry {
+    name: String,
+    value: LogicVec,
+}
+
+enum TimedEvent {
+    Write(SignalId, LogicVec),
+    ClockToggle(usize),
+}
+
+struct ClockEntry {
+    signal: SignalId,
+    half_period: u64,
+}
+
+/// Simulation statistics, exposed for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Delta cycles executed.
+    pub delta_cycles: u64,
+    /// Process activations.
+    pub process_runs: u64,
+    /// Signal value changes applied.
+    pub signal_updates: u64,
+}
+
+/// An event-driven, delta-cycle digital-logic simulator.
+///
+/// # Examples
+///
+/// A toggling register driven by a clock:
+///
+/// ```
+/// use rtl::{Simulator, Trigger, logic::{Bit, LogicVec}};
+///
+/// let mut sim = Simulator::new();
+/// let clk = sim.add_clock("clk", 10);
+/// let q = sim.add_signal("q", 1);
+/// sim.set(q, LogicVec::from_u128(1, 0));
+/// sim.add_process("toggle", Trigger::RisingEdge(clk), move |ctx| {
+///     let cur = ctx.read(q);
+///     ctx.write(q, !cur);
+/// });
+/// sim.run_for(25); // two rising edges (t=5 if clock starts low... see docs)
+/// assert!(sim.get(q).is_fully_known());
+/// ```
+pub struct Simulator {
+    signals: Vec<SignalEntry>,
+    processes: Vec<ProcessEntry>,
+    clocks: Vec<ClockEntry>,
+    queue: BTreeMap<u64, Vec<TimedEvent>>,
+    time: u64,
+    stats: SimStats,
+    vcd: Option<VcdWriter>,
+    /// Delta-cycle safety valve; a combinational loop trips it.
+    max_deltas_per_step: u32,
+}
+
+impl Simulator {
+    /// Creates an empty simulator at time 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulator {
+            signals: Vec::new(),
+            processes: Vec::new(),
+            clocks: Vec::new(),
+            queue: BTreeMap::new(),
+            time: 0,
+            stats: SimStats::default(),
+            vcd: None,
+            max_deltas_per_step: 10_000,
+        }
+    }
+
+    /// Declares a signal; its initial value is all-`X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 128.
+    pub fn add_signal(&mut self, name: impl Into<String>, width: u32) -> SignalId {
+        let id = SignalId(self.signals.len());
+        self.signals.push(SignalEntry {
+            name: name.into(),
+            value: LogicVec::unknown(width),
+        });
+        id
+    }
+
+    /// Declares a free-running clock that starts low and toggles every
+    /// `half_period` time units (first rising edge at `half_period`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_period` is 0.
+    pub fn add_clock(&mut self, name: impl Into<String>, half_period: u64) -> SignalId {
+        assert!(half_period > 0, "clock half-period must be nonzero");
+        let signal = self.add_signal(name, 1);
+        self.signals[signal.0].value = LogicVec::from_u128(1, 0);
+        let idx = self.clocks.len();
+        self.clocks.push(ClockEntry { signal, half_period });
+        self.queue
+            .entry(self.time + half_period)
+            .or_default()
+            .push(TimedEvent::ClockToggle(idx));
+        signal
+    }
+
+    /// Registers a process. Every process runs once immediately when the
+    /// simulation starts (the VHDL elaboration run) and then on its
+    /// trigger.
+    pub fn add_process(
+        &mut self,
+        name: impl Into<String>,
+        trigger: Trigger,
+        behavior: impl FnMut(&mut ProcCtx<'_>) + 'static,
+    ) -> ProcessId {
+        let id = ProcessId(self.processes.len());
+        self.processes.push(ProcessEntry {
+            name: name.into(),
+            trigger,
+            behavior: Box::new(behavior),
+        });
+        id
+    }
+
+    /// Current simulated time.
+    #[inline]
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Accumulated kernel statistics.
+    #[inline]
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Current value of a signal.
+    #[must_use]
+    pub fn get(&self, sig: SignalId) -> LogicVec {
+        self.signals[sig.0].value
+    }
+
+    /// Current value as an integer; `None` if any bit is `X`.
+    #[must_use]
+    pub fn get_u128(&self, sig: SignalId) -> Option<u128> {
+        self.signals[sig.0].value.to_u128()
+    }
+
+    /// Signal name (for reports and VCD).
+    #[must_use]
+    pub fn signal_name(&self, sig: SignalId) -> &str {
+        &self.signals[sig.0].name
+    }
+
+    /// Immediately sets a signal (testbench poke) and settles the deltas it
+    /// causes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or a combinational oscillation.
+    pub fn set(&mut self, sig: SignalId, value: LogicVec) {
+        assert_eq!(
+            self.signals[sig.0].value.width(),
+            value.width(),
+            "set width mismatch on signal {:?}",
+            self.signals[sig.0].name
+        );
+        self.settle(vec![(sig, value)]);
+    }
+
+    /// Immediately sets a signal from an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the signal width.
+    pub fn set_u128(&mut self, sig: SignalId, value: u128) {
+        let width = self.signals[sig.0].value.width();
+        self.set(sig, LogicVec::from_u128(width, value));
+    }
+
+    /// Schedules a future write at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or on width mismatch.
+    pub fn schedule(&mut self, sig: SignalId, value: LogicVec, at: u64) {
+        assert!(at >= self.time, "cannot schedule in the past");
+        assert_eq!(self.signals[sig.0].value.width(), value.width());
+        self.queue.entry(at).or_default().push(TimedEvent::Write(sig, value));
+    }
+
+    /// Attaches a VCD waveform writer; all signals declared so far are
+    /// dumped from the current time on.
+    pub fn attach_vcd(&mut self, mut vcd: VcdWriter) {
+        for (i, s) in self.signals.iter().enumerate() {
+            vcd.declare(SignalId(i), &s.name, s.value.width());
+        }
+        vcd.begin(self.time, self.signals.iter().map(|s| s.value).collect());
+        self.vcd = Some(vcd);
+    }
+
+    /// Detaches and returns the VCD writer, flushing pending output.
+    pub fn detach_vcd(&mut self) -> Option<VcdWriter> {
+        self.vcd.take()
+    }
+
+    /// Runs the elaboration pass: every *combinational* process executes
+    /// once so derived signals settle before time advances (edge-triggered
+    /// processes model bodies guarded by `rising_edge(clk)` and stay
+    /// quiescent). Called automatically by the first `run_*`; callable
+    /// explicitly for tests.
+    pub fn elaborate(&mut self) {
+        let comb: Vec<usize> = self
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.trigger, Trigger::AnyChange(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let writes = self.run_processes(&comb);
+        self.settle(writes);
+    }
+
+    /// Advances to the next scheduled event and settles it. Returns `false`
+    /// when the event queue is empty.
+    pub fn step_event(&mut self) -> bool {
+        let Some((&at, _)) = self.queue.iter().next() else {
+            return false;
+        };
+        let events = self.queue.remove(&at).expect("key just observed");
+        self.time = at;
+        let mut writes = Vec::new();
+        for ev in events {
+            match ev {
+                TimedEvent::Write(sig, value) => writes.push((sig, value)),
+                TimedEvent::ClockToggle(idx) => {
+                    let ClockEntry { signal, half_period } = self.clocks[idx];
+                    let cur = self.signals[signal.0].value;
+                    let next = match cur.bit(0) {
+                        Bit::One => LogicVec::from_u128(1, 0),
+                        _ => LogicVec::from_u128(1, 1),
+                    };
+                    writes.push((signal, next));
+                    self.queue
+                        .entry(at + half_period)
+                        .or_default()
+                        .push(TimedEvent::ClockToggle(idx));
+                }
+            }
+        }
+        self.settle(writes);
+        true
+    }
+
+    /// Runs until simulated time reaches `self.time() + duration` (events
+    /// at the deadline itself are processed).
+    pub fn run_for(&mut self, duration: u64) {
+        let deadline = self.time + duration;
+        self.run_until(deadline);
+    }
+
+    /// Runs until simulated time reaches `deadline`.
+    pub fn run_until(&mut self, deadline: u64) {
+        if self.stats.process_runs == 0 {
+            self.elaborate();
+        }
+        while let Some((&at, _)) = self.queue.iter().next() {
+            if at > deadline {
+                break;
+            }
+            self.step_event();
+        }
+        self.time = self.time.max(deadline);
+        if let Some(vcd) = &mut self.vcd {
+            vcd.advance_time(self.time);
+        }
+    }
+
+    /// Runs for `n` full periods of the given clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clk` was not created by [`Simulator::add_clock`].
+    pub fn run_cycles(&mut self, clk: SignalId, n: u64) {
+        let entry = self
+            .clocks
+            .iter()
+            .find(|c| c.signal == clk)
+            .expect("signal is not a clock");
+        let period = entry.half_period * 2;
+        self.run_for(period * n);
+    }
+
+    fn run_processes(&mut self, ids: &[usize]) -> Vec<(SignalId, LogicVec)> {
+        let values: Vec<LogicVec> = self.signals.iter().map(|s| s.value).collect();
+        let mut all_writes = Vec::new();
+        for &pid in ids {
+            let mut ctx = ProcCtx { values: &values, writes: Vec::new() };
+            (self.processes[pid].behavior)(&mut ctx);
+            self.stats.process_runs += 1;
+            all_writes.extend(ctx.writes);
+        }
+        all_writes
+    }
+
+    /// Applies writes and iterates delta cycles until no signal changes.
+    fn settle(&mut self, mut writes: Vec<(SignalId, LogicVec)>) {
+        let mut deltas = 0u32;
+        while !writes.is_empty() {
+            deltas += 1;
+            assert!(
+                deltas <= self.max_deltas_per_step,
+                "delta-cycle limit exceeded at t={} — combinational loop? \
+                 last writers touched {:?}",
+                self.time,
+                writes
+                    .iter()
+                    .map(|(s, _)| self.signals[s.0].name.clone())
+                    .collect::<Vec<_>>()
+            );
+            self.stats.delta_cycles += 1;
+
+            // Apply writes; later writes to the same signal win (last
+            // assignment in a process, or a later process at equal delta).
+            let mut changed: Vec<(usize, LogicVec)> = Vec::new();
+            for (sig, value) in writes.drain(..) {
+                let old = self.signals[sig.0].value;
+                if old != value {
+                    self.signals[sig.0].value = value;
+                    match changed.iter_mut().find(|(i, _)| *i == sig.0) {
+                        Some(entry) => entry.1 = old, // keep the oldest old value
+                        None => changed.push((sig.0, old)),
+                    }
+                }
+            }
+            // Drop entries that ended up back at their original value.
+            changed.retain(|&(i, old)| self.signals[i].value != old);
+            if changed.is_empty() {
+                break;
+            }
+            self.stats.signal_updates += changed.len() as u64;
+
+            if let Some(vcd) = &mut self.vcd {
+                vcd.advance_time(self.time);
+                for &(i, _) in &changed {
+                    vcd.change(SignalId(i), self.signals[i].value);
+                }
+            }
+
+            // Wake processes.
+            let mut woken: Vec<usize> = Vec::new();
+            for (pid, proc_entry) in self.processes.iter().enumerate() {
+                let fire = match &proc_entry.trigger {
+                    Trigger::AnyChange(list) => {
+                        list.iter().any(|s| changed.iter().any(|&(i, _)| i == s.0))
+                    }
+                    Trigger::RisingEdge(s) => changed.iter().any(|&(i, old)| {
+                        i == s.0
+                            && old.bit(0) != Bit::One
+                            && self.signals[i].value.bit(0) == Bit::One
+                    }),
+                    Trigger::FallingEdge(s) => changed.iter().any(|&(i, old)| {
+                        i == s.0
+                            && old.bit(0) != Bit::Zero
+                            && self.signals[i].value.bit(0) == Bit::Zero
+                    }),
+                };
+                if fire {
+                    woken.push(pid);
+                }
+            }
+            writes = self.run_processes(&woken);
+        }
+    }
+
+    /// Names of all processes (diagnostics).
+    #[must_use]
+    pub fn process_names(&self) -> Vec<&str> {
+        self.processes.iter().map(|p| p.name.as_str()).collect()
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Simulator {{ t: {}, signals: {}, processes: {}, pending events: {} }}",
+            self.time,
+            self.signals.len(),
+            self.processes.len(),
+            self.queue.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_xor_settles() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 8);
+        let b = sim.add_signal("b", 8);
+        let y = sim.add_signal("y", 8);
+        sim.add_process("xor", Trigger::AnyChange(vec![a, b]), move |ctx| {
+            let v = ctx.read(a) ^ ctx.read(b);
+            ctx.write(y, v);
+        });
+        sim.elaborate();
+        sim.set_u128(a, 0x5A);
+        sim.set_u128(b, 0x0F);
+        assert_eq!(sim.get_u128(y), Some(0x55));
+        sim.set_u128(b, 0x5A);
+        assert_eq!(sim.get_u128(y), Some(0x00));
+    }
+
+    #[test]
+    fn clocked_counter_counts_rising_edges() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 5);
+        let count = sim.add_signal("count", 8);
+        sim.set_u128(count, 0);
+        sim.add_process("counter", Trigger::RisingEdge(clk), move |ctx| {
+            let c = ctx.read_u128(count).expect("counter is initialised");
+            ctx.write_u128(count, (c + 1) & 0xFF);
+        });
+        // Clock starts low; rising edges at t = 5, 15, 25, ...
+        sim.run_until(52);
+        assert_eq!(sim.get_u128(count), Some(5));
+    }
+
+    #[test]
+    fn falling_edge_trigger() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 5);
+        let count = sim.add_signal("count", 8);
+        sim.set_u128(count, 0);
+        sim.add_process("neg", Trigger::FallingEdge(clk), move |ctx| {
+            let c = ctx.read_u128(count).unwrap();
+            ctx.write_u128(count, (c + 1) & 0xFF);
+        });
+        // Falling edges at t = 10, 20, 30, 40.
+        sim.run_until(44);
+        assert_eq!(sim.get_u128(count), Some(4));
+    }
+
+    #[test]
+    fn nonblocking_semantics_swap() {
+        // Two registers swapping values every clock must not race.
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 5);
+        let r1 = sim.add_signal("r1", 8);
+        let r2 = sim.add_signal("r2", 8);
+        sim.set_u128(r1, 0xAA);
+        sim.set_u128(r2, 0x55);
+        sim.add_process("swap1", Trigger::RisingEdge(clk), move |ctx| {
+            ctx.write(r1, ctx.read(r2));
+        });
+        sim.add_process("swap2", Trigger::RisingEdge(clk), move |ctx| {
+            ctx.write(r2, ctx.read(r1));
+        });
+        sim.run_until(7); // one rising edge at t=5
+        assert_eq!(sim.get_u128(r1), Some(0x55));
+        assert_eq!(sim.get_u128(r2), Some(0xAA));
+        sim.run_until(17); // second edge
+        assert_eq!(sim.get_u128(r1), Some(0xAA));
+        assert_eq!(sim.get_u128(r2), Some(0x55));
+    }
+
+    #[test]
+    fn chained_combinational_logic_propagates_through_deltas() {
+        // a -> not -> n1 -> not -> n2: two deltas needed per change.
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let n1 = sim.add_signal("n1", 1);
+        let n2 = sim.add_signal("n2", 1);
+        sim.add_process("inv1", Trigger::AnyChange(vec![a]), move |ctx| {
+            ctx.write(n1, !ctx.read(a));
+        });
+        sim.add_process("inv2", Trigger::AnyChange(vec![n1]), move |ctx| {
+            ctx.write(n2, !ctx.read(n1));
+        });
+        sim.elaborate();
+        sim.set_u128(a, 1);
+        assert_eq!(sim.get_u128(n1), Some(0));
+        assert_eq!(sim.get_u128(n2), Some(1));
+        sim.set_u128(a, 0);
+        assert_eq!(sim.get_u128(n2), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational loop")]
+    fn oscillator_is_detected() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        sim.add_process("selfinv", Trigger::AnyChange(vec![a]), move |ctx| {
+            ctx.write(a, !ctx.read(a));
+        });
+        sim.elaborate();
+        sim.set_u128(a, 0);
+    }
+
+    #[test]
+    fn uninitialised_signals_read_x() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 4);
+        assert_eq!(sim.get_u128(s), None);
+        assert!(sim.get(s).all(Bit::X));
+    }
+
+    #[test]
+    fn scheduled_writes_fire_in_order() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 8);
+        sim.schedule(s, LogicVec::from_u128(8, 1), 10);
+        sim.schedule(s, LogicVec::from_u128(8, 2), 20);
+        sim.run_until(15);
+        assert_eq!(sim.get_u128(s), Some(1));
+        sim.run_until(25);
+        assert_eq!(sim.get_u128(s), Some(2));
+        assert_eq!(sim.time(), 25);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 5);
+        let q = sim.add_signal("q", 1);
+        sim.set_u128(q, 0);
+        sim.add_process("t", Trigger::RisingEdge(clk), move |ctx| {
+            ctx.write(q, !ctx.read(q));
+        });
+        sim.run_until(100);
+        let st = sim.stats();
+        assert!(st.process_runs >= 10);
+        assert!(st.signal_updates >= 20); // clock toggles + q toggles
+        assert!(st.delta_cycles >= 20);
+    }
+
+    #[test]
+    fn run_cycles_uses_clock_period() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 7);
+        sim.run_cycles(clk, 3);
+        assert_eq!(sim.time(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a clock")]
+    fn run_cycles_rejects_non_clock() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 1);
+        sim.run_cycles(s, 1);
+    }
+
+    #[test]
+    fn set_width_mismatch_panics() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 8);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.set(s, LogicVec::from_u128(4, 0));
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Value-change-dump (VCD) waveform output.
+//!
+//! The paper's flow inspected ModelSim waveforms; this writer produces
+//! standard VCD text that GTKWave (or any other viewer) opens, so the soft
+//! IP's bus handshake can be inspected the same way.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::logic::LogicVec;
+use crate::sim::SignalId;
+
+/// Streaming VCD writer.
+///
+/// Drive it through [`crate::Simulator::attach_vcd`]; standalone use is
+/// possible for tools that produce waveforms without the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::{Simulator, Trigger, vcd::VcdWriter, logic::LogicVec};
+///
+/// let mut sim = Simulator::new();
+/// let clk = sim.add_clock("clk", 5);
+/// sim.attach_vcd(VcdWriter::new("testbench"));
+/// sim.run_for(20);
+/// let vcd = sim.detach_vcd().unwrap().finish();
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("#5"));
+/// ```
+#[derive(Debug)]
+pub struct VcdWriter {
+    scope: String,
+    header: String,
+    body: String,
+    ids: HashMap<SignalId, String>,
+    widths: HashMap<SignalId, u32>,
+    last_time: Option<u64>,
+    next_code: u32,
+    started: bool,
+}
+
+impl VcdWriter {
+    /// Creates a writer with the given module scope name.
+    #[must_use]
+    pub fn new(scope: impl Into<String>) -> Self {
+        VcdWriter {
+            scope: scope.into(),
+            header: String::new(),
+            body: String::new(),
+            ids: HashMap::new(),
+            widths: HashMap::new(),
+            last_time: None,
+            next_code: 0,
+            started: false,
+        }
+    }
+
+    fn code_for(mut n: u32) -> String {
+        // Printable identifier alphabet per the VCD spec: '!'..='~'.
+        let mut s = String::new();
+        loop {
+            s.push(char::from(b'!' + (n % 94) as u8));
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Declares a signal. Must be called before [`VcdWriter::begin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if dumping has already started.
+    pub fn declare(&mut self, sig: SignalId, name: &str, width: u32) {
+        assert!(!self.started, "cannot declare signals after dumping started");
+        let code = Self::code_for(self.next_code);
+        self.next_code += 1;
+        // VCD identifiers must not contain whitespace; sanitise the name.
+        let clean: String = name
+            .chars()
+            .map(|c| if c.is_whitespace() { '_' } else { c })
+            .collect();
+        let _ = writeln!(self.header, "$var wire {width} {code} {clean} $end");
+        self.ids.insert(sig, code);
+        self.widths.insert(sig, width);
+    }
+
+    /// Starts the dump at `time` with initial `values` (indexed by the
+    /// declaration order of the signals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn begin(&mut self, time: u64, values: Vec<LogicVec>) {
+        assert!(!self.started, "begin called twice");
+        self.started = true;
+        let _ = writeln!(self.body, "$dumpvars");
+        let sigs: Vec<SignalId> = {
+            let mut v: Vec<_> = self.ids.keys().copied().collect();
+            v.sort();
+            v
+        };
+        for (sig, value) in sigs.into_iter().zip(values) {
+            self.emit(sig, value);
+        }
+        let _ = writeln!(self.body, "$end");
+        self.last_time = Some(time);
+        let _ = writeln!(self.body, "#{time}");
+    }
+
+    /// Moves the timestamp forward (no-op when unchanged).
+    pub fn advance_time(&mut self, time: u64) {
+        if self.last_time != Some(time) {
+            self.last_time = Some(time);
+            let _ = writeln!(self.body, "#{time}");
+        }
+    }
+
+    /// Records a value change for a declared signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal was never declared.
+    pub fn change(&mut self, sig: SignalId, value: LogicVec) {
+        assert!(self.ids.contains_key(&sig), "change on undeclared signal");
+        self.emit(sig, value);
+    }
+
+    fn emit(&mut self, sig: SignalId, value: LogicVec) {
+        let code = &self.ids[&sig];
+        if value.width() == 1 {
+            let _ = writeln!(self.body, "{}{}", value.bit(0), code);
+        } else {
+            let _ = writeln!(self.body, "b{value} {code}");
+        }
+    }
+
+    /// Finalises and returns the VCD text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module {} $end", self.scope);
+        out.push_str(&self.header);
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        out.push_str(&self.body);
+        out
+    }
+
+    /// Finalises and writes the VCD text to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn save(self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::Bit;
+    use crate::sim::{Simulator, Trigger};
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..500 {
+            let code = VcdWriter::code_for(n);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code));
+        }
+    }
+
+    #[test]
+    fn full_dump_structure() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", 5);
+        let q = sim.add_signal("q", 8);
+        sim.set_u128(q, 0);
+        sim.add_process("count", Trigger::RisingEdge(clk), move |ctx| {
+            let v = ctx.read_u128(q).unwrap();
+            ctx.write_u128(q, (v + 1) & 0xFF);
+        });
+        sim.attach_vcd(VcdWriter::new("tb"));
+        sim.run_for(22);
+        let text = sim.detach_vcd().unwrap().finish();
+        assert!(text.starts_with("$timescale 1ns $end"));
+        assert!(text.contains("$scope module tb $end"));
+        assert!(text.contains("$var wire 1"));
+        assert!(text.contains("$var wire 8"));
+        assert!(text.contains("$dumpvars"));
+        // Two rising edges by t=22 → q reaches 2.
+        assert!(text.contains("b00000010 "), "missing q value change: {text}");
+        assert!(text.contains("#15"));
+    }
+
+    #[test]
+    fn x_values_render() {
+        let mut w = VcdWriter::new("s");
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("bus", 4);
+        w.declare(s, "bus", 4);
+        w.begin(0, vec![LogicVec::unknown(4)]);
+        w.advance_time(3);
+        w.change(s, LogicVec::unknown(4).with_bit(0, Bit::One));
+        let text = w.finish();
+        assert!(text.contains("bxxxx "));
+        assert!(text.contains("bxxx1 "));
+    }
+
+    #[test]
+    fn names_are_sanitised() {
+        let mut w = VcdWriter::new("s");
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("a b", 1);
+        w.declare(s, "a b", 1);
+        w.begin(0, vec![LogicVec::zeros(1)]);
+        assert!(w.finish().contains("a_b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "after dumping started")]
+    fn late_declare_rejected() {
+        let mut w = VcdWriter::new("s");
+        w.begin(0, vec![]);
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("x", 1);
+        w.declare(s, "x", 1);
+    }
+}

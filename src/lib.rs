@@ -1,0 +1,37 @@
+//! Umbrella crate for the reproduction of *A Low Device Occupation IP to
+//! Implement Rijndael Algorithm* (Panato, Barcelos, Reis — DATE 2003).
+//!
+//! This crate re-exports the workspace members so downstream users (and the
+//! workspace-level integration tests and examples) can reach the whole
+//! system through a single dependency:
+//!
+//! * [`gf256`] — GF(2^8) arithmetic and the S-box derivation;
+//! * [`rijndael`] — the golden software reference cipher (all Rijndael
+//!   block/key sizes, the AES subset, block modes, T-tables);
+//! * [`rtl`] — the event-driven digital-logic simulator substrate;
+//! * [`netlist`] — gate-level netlists, K-LUT technology mapping, packing
+//!   and static timing analysis;
+//! * [`fpga`] — Altera device models, the fitter and timing estimation;
+//! * [`aes_ip`] — the paper's contribution: the low-area AES-128 soft IP
+//!   (cycle-accurate cores, bus interface, netlist generators and the
+//!   alternative architectures used for comparison).
+//!
+//! # Examples
+//!
+//! ```
+//! use rijndael_ip::rijndael::Aes128;
+//!
+//! let key = [0u8; 16];
+//! let aes = Aes128::new(&key);
+//! let ct = aes.encrypt_block(&[0u8; 16]);
+//! assert_eq!(aes.decrypt_block(&ct), [0u8; 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use aes_ip;
+pub use fpga;
+pub use gf256;
+pub use netlist;
+pub use rijndael;
+pub use rtl;

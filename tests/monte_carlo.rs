@@ -1,0 +1,37 @@
+//! The AESAVS Monte Carlo chain run over the hardware model: thousands of
+//! dependent block operations with key feedback, stressing the on-the-fly
+//! key schedule's rekeying path far beyond single-vector tests.
+
+use rijndael_ip::aes_ip::bus::HardwareAes;
+use rijndael_ip::aes_ip::core::EncryptCore;
+use rijndael_ip::rijndael::mct::encrypt_mct;
+use rijndael_ip::rijndael::Aes128;
+
+#[test]
+fn hardware_survives_a_reduced_monte_carlo_chain() {
+    // Reduced AESAVS shape: 6 outer rounds (6 rekeys) x 40 inner
+    // encryptions = 240 chained hardware blocks.
+    let key = [0x12u8; 16];
+    let seed = [0x34u8; 16];
+
+    let software = encrypt_mct(key, seed, 6, 40, Aes128::new);
+    let hardware = encrypt_mct(key, seed, 6, 40, |k| {
+        HardwareAes::new(EncryptCore::new(), k)
+    });
+
+    assert_eq!(software.checkpoints, hardware.checkpoints);
+    assert_eq!(software.final_key, hardware.final_key);
+}
+
+#[test]
+fn full_outer_round_matches_on_one_segment() {
+    // One official-size outer round (1000 inner encryptions) to exercise
+    // a long single-key chain at full AESAVS length.
+    let key = [0u8; 16];
+    let seed = [0u8; 16];
+    let software = encrypt_mct(key, seed, 1, 1000, Aes128::new);
+    let hardware = encrypt_mct(key, seed, 1, 1000, |k| {
+        HardwareAes::new(EncryptCore::new(), k)
+    });
+    assert_eq!(software.checkpoints, hardware.checkpoints);
+}
