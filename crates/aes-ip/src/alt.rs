@@ -35,8 +35,12 @@ pub enum AltArch {
 
 impl AltArch {
     /// All design points, smallest datapath first.
-    pub const ALL: [AltArch; 4] =
-        [AltArch::Serial8, AltArch::All32, AltArch::Mixed32x128, AltArch::Full128];
+    pub const ALL: [AltArch; 4] = [
+        AltArch::Serial8,
+        AltArch::All32,
+        AltArch::Mixed32x128,
+        AltArch::Full128,
+    ];
 
     /// Clock cycles one round occupies.
     #[must_use]
@@ -211,7 +215,10 @@ impl CycleCore for AltEncryptCore {
                 self.data_in_valid = false;
                 self.data_ok = false;
             }
-            return CoreOutputs { data_ok: self.data_ok, dout: self.dout };
+            return CoreOutputs {
+                data_ok: self.data_ok,
+                dout: self.dout,
+            };
         }
         if inputs.wr_data {
             self.data_in = inputs.din;
@@ -228,7 +235,10 @@ impl CycleCore for AltEncryptCore {
                 if cycle == per_round {
                     self.finish_round(round);
                     if u64::from(round) < ROUNDS {
-                        self.fsm = AltFsm::Running { round: round + 1, cycle: 1 };
+                        self.fsm = AltFsm::Running {
+                            round: round + 1,
+                            cycle: 1,
+                        };
                     } else {
                         self.fsm = AltFsm::Idle;
                         if self.data_in_valid {
@@ -236,11 +246,17 @@ impl CycleCore for AltEncryptCore {
                         }
                     }
                 } else {
-                    self.fsm = AltFsm::Running { round, cycle: cycle + 1 };
+                    self.fsm = AltFsm::Running {
+                        round,
+                        cycle: cycle + 1,
+                    };
                 }
             }
         }
-        CoreOutputs { data_ok: self.data_ok, dout: self.dout }
+        CoreOutputs {
+            data_ok: self.data_ok,
+            dout: self.dout,
+        }
     }
 
     fn variant(&self) -> CoreVariant {
@@ -315,7 +331,10 @@ mod tests {
     fn sbox_memory_scales_with_width() {
         let roms: Vec<usize> = AltArch::ALL.iter().map(|a| a.sbox_count()).collect();
         assert!(roms.windows(2).all(|w| w[0] <= w[1]));
-        assert_eq!(AltArch::Mixed32x128.sbox_count() * gf256::sbox::SBOX_ROM_BITS, 16384);
+        assert_eq!(
+            AltArch::Mixed32x128.sbox_count() * gf256::sbox::SBOX_ROM_BITS,
+            16384
+        );
     }
 
     #[test]
@@ -340,7 +359,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(AltArch::Mixed32x128.to_string(), "mixed-32/128 (this paper)");
+        assert_eq!(
+            AltArch::Mixed32x128.to_string(),
+            "mixed-32/128 (this paper)"
+        );
         assert_eq!(AltArch::Serial8.to_string(), "serial-8");
     }
 }

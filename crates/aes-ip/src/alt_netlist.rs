@@ -55,7 +55,10 @@ impl B<'_> {
 
     fn xor_bytes(&mut self, terms: &[Byte]) -> Byte {
         let words: Vec<Vec<NetId>> = terms.iter().map(|t| t.to_vec()).collect();
-        self.nl.xor_many(&words).try_into().expect("byte stays 8 bits")
+        self.nl
+            .xor_many(&words)
+            .try_into()
+            .expect("byte stays 8 bits")
     }
 
     fn mix_column(&mut self, col: &[Byte; 4]) -> [Byte; 4] {
@@ -73,11 +76,17 @@ impl B<'_> {
     }
 
     fn mux_bytes(&mut self, sel: NetId, a: &Bytes, b: &Bytes) -> Bytes {
-        a.iter().zip(b).map(|(x, y)| self.mux_byte(sel, x, y)).collect()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| self.mux_byte(sel, x, y))
+            .collect()
     }
 
     fn xor_words(&mut self, a: &Bytes, b: &Bytes) -> Bytes {
-        a.iter().zip(b).map(|(x, y)| self.xor_bytes(&[*x, *y])).collect()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| self.xor_bytes(&[*x, *y]))
+            .collect()
     }
 
     /// One-hot AND-OR byte selection.
@@ -146,7 +155,9 @@ fn shift_rows_wires(state: &Bytes) -> Bytes {
 }
 
 fn bus_to_bytes(bus: &[NetId]) -> Bytes {
-    (0..16).map(|k| core::array::from_fn(|j| bus[(15 - k) * 8 + j])).collect()
+    (0..16)
+        .map(|k| core::array::from_fn(|j| bus[(15 - k) * 8 + j]))
+        .collect()
 }
 
 fn bytes_to_bus(bytes: &Bytes) -> Vec<NetId> {
@@ -210,9 +221,16 @@ pub fn build_alt_netlist(arch: AltArch, rom_style: RomStyle) -> Netlist {
     let cycle_q = nl.dff_word_uninit(cycles as u32);
     let round_q = nl.dff_word_uninit(10);
     // Serial8 accumulates the KStran word one byte at a time.
-    let ks_q = if arch == AltArch::Serial8 { nl.dff_word_uninit(32) } else { Vec::new() };
+    let ks_q = if arch == AltArch::Serial8 {
+        nl.dff_word_uninit(32)
+    } else {
+        Vec::new()
+    };
 
-    let mut b = B { nl: &mut nl, rom_style };
+    let mut b = B {
+        nl: &mut nl,
+        rom_style,
+    };
 
     let din = bus_to_bytes(&din_bus);
     let state = bus_to_bytes(&state_q);
@@ -280,8 +298,9 @@ pub fn build_alt_netlist(arch: AltArch, rom_style: RomStyle) -> Netlist {
         }
     }
 
-    let rcon_consts: Vec<u8> =
-        (1..=10u32).map(|r| gf256::Gf256::new(2).pow(r - 1).value()).collect();
+    let rcon_consts: Vec<u8> = (1..=10u32)
+        .map(|r| gf256::Gf256::new(2).pow(r - 1).value())
+        .collect();
     let rcon = b.rcon_from_onehot(&round_q, &rcon_consts);
 
     // ------------------------------------------------------ architecture
@@ -302,7 +321,12 @@ pub fn build_alt_netlist(arch: AltArch, rom_style: RomStyle) -> Netlist {
             let shifted = shift_rows_wires(&subbed);
             let mut mixed: Bytes = Vec::with_capacity(16);
             for c in 0..4 {
-                let col = [shifted[4 * c], shifted[4 * c + 1], shifted[4 * c + 2], shifted[4 * c + 3]];
+                let col = [
+                    shifted[4 * c],
+                    shifted[4 * c + 1],
+                    shifted[4 * c + 2],
+                    shifted[4 * c + 3],
+                ];
                 mixed.extend(b.mix_column(&col));
             }
             let not_last_round = b.nl.not(round_q[9]);
@@ -320,10 +344,8 @@ pub fn build_alt_netlist(arch: AltArch, rom_style: RomStyle) -> Netlist {
             // Cycles 1-4: ByteSub column c. Cycles 5-8: ShiftRow row r.
             // Cycles 9-12: MixColumn + AddKey column c. Key at cycle 1.
             let sub_oh: [NetId; 4] = core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[k]));
-            let shift_oh: [NetId; 4] =
-                core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[4 + k]));
-            let mix_oh: [NetId; 4] =
-                core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[8 + k]));
+            let shift_oh: [NetId; 4] = core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[4 + k]));
+            let mix_oh: [NetId; 4] = core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[8 + k]));
 
             // Substitution slice: 4 S-boxes on the selected column.
             let col_in: [Byte; 4] = core::array::from_fn(|r| {
@@ -385,12 +407,9 @@ pub fn build_alt_netlist(arch: AltArch, rom_style: RomStyle) -> Netlist {
             // Cycles 21-24: the shared column unit does MixColumn+AddKey
             // for column c; the round key steps at cycle 20 so the
             // commits read the new key.
-            let byte_oh: Vec<NetId> =
-                (0..16).map(|k| b.nl.and2(busy_q, cycle_q[k])).collect();
-            let shift_oh: [NetId; 4] =
-                core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[16 + k]));
-            let col_oh: [NetId; 4] =
-                core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[20 + k]));
+            let byte_oh: Vec<NetId> = (0..16).map(|k| b.nl.and2(busy_q, cycle_q[k])).collect();
+            let shift_oh: [NetId; 4] = core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[16 + k]));
+            let col_oh: [NetId; 4] = core::array::from_fn(|k| b.nl.and2(busy_q, cycle_q[20 + k]));
 
             let sub_in = b.select_byte(&state, &byte_oh);
             let sub_out = b.sbox(&sub_in);
@@ -525,8 +544,17 @@ mod tests {
         let pt_word = crate::datapath::block_to_u128(&FIPS197_C1.plaintext);
 
         let mut stim = Vec::new();
-        stim.push(CoreInputs { setup: true, wr_key: true, din: key_word, ..Default::default() });
-        stim.push(CoreInputs { wr_data: true, din: pt_word, ..Default::default() });
+        stim.push(CoreInputs {
+            setup: true,
+            wr_key: true,
+            din: key_word,
+            ..Default::default()
+        });
+        stim.push(CoreInputs {
+            wr_data: true,
+            din: pt_word,
+            ..Default::default()
+        });
         for _ in 0..arch.latency_cycles() + 20 {
             stim.push(CoreInputs::default());
         }
@@ -566,10 +594,22 @@ mod tests {
     #[test]
     fn sbox_budgets() {
         assert_eq!(
-            build_alt_netlist(AltArch::Full128, RomStyle::Macro).stats().roms,
+            build_alt_netlist(AltArch::Full128, RomStyle::Macro)
+                .stats()
+                .roms,
             20
         );
-        assert_eq!(build_alt_netlist(AltArch::All32, RomStyle::Macro).stats().roms, 8);
-        assert_eq!(build_alt_netlist(AltArch::Serial8, RomStyle::Macro).stats().roms, 2);
+        assert_eq!(
+            build_alt_netlist(AltArch::All32, RomStyle::Macro)
+                .stats()
+                .roms,
+            8
+        );
+        assert_eq!(
+            build_alt_netlist(AltArch::Serial8, RomStyle::Macro)
+                .stats()
+                .roms,
+            2
+        );
     }
 }

@@ -90,7 +90,10 @@ impl<C: CycleCore> IpDriver<C> {
             ..Default::default()
         });
         for _ in 0..self.core.key_setup_cycles() {
-            self.clock(&CoreInputs { setup: true, ..Default::default() });
+            self.clock(&CoreInputs {
+                setup: true,
+                ..Default::default()
+            });
         }
     }
 
@@ -111,9 +114,15 @@ impl<C: CycleCore> IpDriver<C> {
         let budget = 16 * self.core.latency_cycles().max(1);
         let mut waited = 0;
         while self.core.results_count() == before {
-            out = self.clock(&CoreInputs { enc_dec: dir, ..Default::default() });
+            out = self.clock(&CoreInputs {
+                enc_dec: dir,
+                ..Default::default()
+            });
             waited += 1;
-            assert!(waited <= budget, "core wedged: no result after {waited} cycles");
+            assert!(
+                waited <= budget,
+                "core wedged: no result after {waited} cycles"
+            );
         }
         u128_to_block(out.dout)
     }
@@ -138,9 +147,17 @@ impl<C: CycleCore> IpDriver<C> {
             let inputs = if next_write < blocks.len() && !self.core.has_pending() {
                 let din = block_to_u128(&blocks[next_write]);
                 next_write += 1;
-                CoreInputs { wr_data: true, din, enc_dec: dir, ..Default::default() }
+                CoreInputs {
+                    wr_data: true,
+                    din,
+                    enc_dec: dir,
+                    ..Default::default()
+                }
             } else {
-                CoreInputs { enc_dec: dir, ..Default::default() }
+                CoreInputs {
+                    enc_dec: dir,
+                    ..Default::default()
+                }
             };
             let out = self.clock(&inputs);
             let now = self.core.results_count();
@@ -156,7 +173,6 @@ impl<C: CycleCore> IpDriver<C> {
         }
         results
     }
-
 }
 
 /// Adapter running the [`rijndael::modes`] implementations over a hardware
@@ -186,7 +202,9 @@ impl<C: CycleCore> HardwareAes<C> {
     pub fn new(core: C, key: &[u8; 16]) -> Self {
         let mut driver = IpDriver::new(core);
         driver.write_key(key);
-        HardwareAes { driver: RefCell::new(driver) }
+        HardwareAes {
+            driver: RefCell::new(driver),
+        }
     }
 
     /// Total clock cycles consumed so far (key setup included).
@@ -210,7 +228,10 @@ impl<C: CycleCore> BlockCipher for HardwareAes<C> {
             self.driver.borrow().core().variant().supports_encrypt(),
             "core variant cannot encrypt"
         );
-        let out = self.driver.borrow_mut().process_block(&arr, Direction::Encrypt);
+        let out = self
+            .driver
+            .borrow_mut()
+            .process_block(&arr, Direction::Encrypt);
         block.copy_from_slice(&out);
     }
 
@@ -223,7 +244,10 @@ impl<C: CycleCore> BlockCipher for HardwareAes<C> {
             self.driver.borrow().core().variant().supports_decrypt(),
             "core variant cannot decrypt"
         );
-        let out = self.driver.borrow_mut().process_block(&arr, Direction::Decrypt);
+        let out = self
+            .driver
+            .borrow_mut()
+            .process_block(&arr, Direction::Decrypt);
         block.copy_from_slice(&out);
     }
 }
@@ -289,7 +313,10 @@ mod tests {
             spent <= LATENCY_CYCLES * 8 + 10,
             "stream not pipelined: {spent} cycles for 8 blocks"
         );
-        assert!(spent >= LATENCY_CYCLES * 8, "faster than physically possible");
+        assert!(
+            spent >= LATENCY_CYCLES * 8,
+            "faster than physically possible"
+        );
     }
 
     #[test]

@@ -177,7 +177,10 @@ enum Fsm {
     Idle,
     /// `round` 1..=10, `cycle` 1..=5; the stored value is the *next* cycle
     /// to execute.
-    Running { round: u8, cycle: u8 },
+    Running {
+        round: u8,
+        cycle: u8,
+    },
 }
 
 /// The shared engine behind the three variants.
@@ -244,8 +247,7 @@ impl Engine {
 
     /// `true` when a pending block may be absorbed right now.
     fn can_consume(&self) -> bool {
-        self.data_in_valid
-            && (self.dir_pending == Direction::Encrypt || self.key_ready_for_dec)
+        self.data_in_valid && (self.dir_pending == Direction::Encrypt || self.key_ready_for_dec)
     }
 
     /// Absorb the pending block: the initial `AddKey` is folded into the
@@ -287,7 +289,10 @@ impl Engine {
                     self.key_ready_for_dec = true;
                 }
             }
-            return CoreOutputs { data_ok: self.data_ok, dout: self.dout };
+            return CoreOutputs {
+                data_ok: self.data_ok,
+                dout: self.dout,
+            };
         }
 
         // --- operation period ----------------------------------------
@@ -311,9 +316,15 @@ impl Engine {
                 }
                 // Advance the micro-program counter.
                 if cycle < 5 {
-                    self.fsm = Fsm::Running { round, cycle: cycle + 1 };
+                    self.fsm = Fsm::Running {
+                        round,
+                        cycle: cycle + 1,
+                    };
                 } else if u64::from(round) < ROUNDS {
-                    self.fsm = Fsm::Running { round: round + 1, cycle: 1 };
+                    self.fsm = Fsm::Running {
+                        round: round + 1,
+                        cycle: 1,
+                    };
                 } else {
                     // Block finished this edge; the Out register was
                     // written by the cycle handler. Absorb a pending block
@@ -326,7 +337,10 @@ impl Engine {
             }
         }
 
-        CoreOutputs { data_ok: self.data_ok, dout: self.dout }
+        CoreOutputs {
+            data_ok: self.data_ok,
+            dout: self.dout,
+        }
     }
 
     fn encrypt_cycle(&mut self, round: u8, cycle: u8) {
@@ -508,7 +522,12 @@ mod tests {
 
     /// Drives a full key-load + single-block operation and returns the
     /// output along with the number of cycles from data write to data_ok.
-    fn run_block<C: CycleCore>(core: &mut C, key: u128, block: u128, dir: Direction) -> (u128, u64) {
+    fn run_block<C: CycleCore>(
+        core: &mut C,
+        key: u128,
+        block: u128,
+        dir: Direction,
+    ) -> (u128, u64) {
         // Setup: write key, then hold setup for the key walk.
         core.rising_edge(&CoreInputs {
             setup: true,
@@ -517,7 +536,10 @@ mod tests {
             ..Default::default()
         });
         for _ in 0..core.key_setup_cycles() {
-            core.rising_edge(&CoreInputs { setup: true, ..Default::default() });
+            core.rising_edge(&CoreInputs {
+                setup: true,
+                ..Default::default()
+            });
         }
         // Operation: write the block.
         core.rising_edge(&CoreInputs {
@@ -529,7 +551,10 @@ mod tests {
         let mut cycles = 0u64;
         loop {
             cycles += 1;
-            let out = core.rising_edge(&CoreInputs { enc_dec: dir, ..Default::default() });
+            let out = core.rising_edge(&CoreInputs {
+                enc_dec: dir,
+                ..Default::default()
+            });
             if out.data_ok {
                 return (out.dout, cycles);
             }
@@ -604,8 +629,14 @@ mod tests {
         assert_eq!(CYCLES_PER_ROUND, 5);
         // The paper's Table 2 rows all satisfy latency = 50 × clock:
         // 700/14, 750/15, 850/17, 500/10, 550/11, 650/13.
-        for (lat_ns, clk_ns) in [(700, 14), (750, 15), (850, 17), (500, 10), (550, 11), (650, 13)]
-        {
+        for (lat_ns, clk_ns) in [
+            (700, 14),
+            (750, 15),
+            (850, 17),
+            (500, 10),
+            (550, 11),
+            (650, 13),
+        ] {
             assert_eq!(lat_ns / clk_ns, 50);
         }
     }
@@ -616,8 +647,17 @@ mod tests {
         // come exactly 50 cycles after data_ok for A.
         let key = 0u128;
         let mut core = EncryptCore::new();
-        core.rising_edge(&CoreInputs { setup: true, wr_key: true, din: key, ..Default::default() });
-        core.rising_edge(&CoreInputs { wr_data: true, din: 1, ..Default::default() });
+        core.rising_edge(&CoreInputs {
+            setup: true,
+            wr_key: true,
+            din: key,
+            ..Default::default()
+        });
+        core.rising_edge(&CoreInputs {
+            wr_data: true,
+            din: 1,
+            ..Default::default()
+        });
 
         let mut first_ok_at = None;
         let mut second_ok_at = None;
@@ -627,7 +667,11 @@ mod tests {
             // Push the second block mid-flight of the first.
             let inputs = if t == 20 {
                 wrote_second = true;
-                CoreInputs { wr_data: true, din: 2, ..Default::default() }
+                CoreInputs {
+                    wr_data: true,
+                    din: 2,
+                    ..Default::default()
+                }
             } else {
                 CoreInputs::default()
             };
@@ -645,7 +689,11 @@ mod tests {
         let f = first_ok_at.expect("first block completed");
         let s = second_ok_at.expect("second block completed");
         assert_eq!(f, LATENCY_CYCLES);
-        assert_eq!(s - f, LATENCY_CYCLES, "sustained rate must be one block per 50 cycles");
+        assert_eq!(
+            s - f,
+            LATENCY_CYCLES,
+            "sustained rate must be one block per 50 cycles"
+        );
     }
 
     #[test]
@@ -667,7 +715,11 @@ mod tests {
         for t in 1..=LATENCY_CYCLES {
             // Continuously rewrite Data_In with garbage mid-flight.
             let inputs = if t % 7 == 3 {
-                CoreInputs { wr_data: true, din: u128::from(t) * 0x0101_0101, ..Default::default() }
+                CoreInputs {
+                    wr_data: true,
+                    din: u128::from(t) * 0x0101_0101,
+                    ..Default::default()
+                }
             } else {
                 CoreInputs::default()
             };
@@ -701,7 +753,10 @@ mod tests {
         assert!(!core.busy());
         // Now run the setup walk.
         for _ in 0..KEY_SETUP_CYCLES {
-            core.rising_edge(&CoreInputs { setup: true, ..Default::default() });
+            core.rising_edge(&CoreInputs {
+                setup: true,
+                ..Default::default()
+            });
         }
         assert!(core.key_ready());
         // The held block is absorbed on the next operational edge.
@@ -716,13 +771,27 @@ mod tests {
     #[test]
     fn key_rewrite_invalidates_inflight_work() {
         let mut core = EncryptCore::new();
-        core.rising_edge(&CoreInputs { setup: true, wr_key: true, din: 7, ..Default::default() });
-        core.rising_edge(&CoreInputs { wr_data: true, din: 9, ..Default::default() });
+        core.rising_edge(&CoreInputs {
+            setup: true,
+            wr_key: true,
+            din: 7,
+            ..Default::default()
+        });
+        core.rising_edge(&CoreInputs {
+            wr_data: true,
+            din: 9,
+            ..Default::default()
+        });
         for _ in 0..10 {
             core.rising_edge(&CoreInputs::default());
         }
         assert!(core.busy());
-        core.rising_edge(&CoreInputs { setup: true, wr_key: true, din: 8, ..Default::default() });
+        core.rising_edge(&CoreInputs {
+            setup: true,
+            wr_key: true,
+            din: 8,
+            ..Default::default()
+        });
         assert!(!core.busy());
         assert!(!core.has_pending_data());
     }

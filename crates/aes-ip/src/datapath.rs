@@ -61,7 +61,12 @@ pub fn with_column(state: u128, c: usize, word: u32) -> u128 {
 #[must_use]
 pub fn byte_sub_word(word: u32) -> u32 {
     let b = word.to_be_bytes();
-    u32::from_be_bytes([sbox::sub(b[0]), sbox::sub(b[1]), sbox::sub(b[2]), sbox::sub(b[3])])
+    u32::from_be_bytes([
+        sbox::sub(b[0]),
+        sbox::sub(b[1]),
+        sbox::sub(b[2]),
+        sbox::sub(b[3]),
+    ])
 }
 
 /// The 32-bit `IByteSub` slice (four inverse S-box ROMs).
@@ -327,7 +332,10 @@ mod tests {
             .iter()
             .fold(0u128, |acc, &w| (acc << 32) | u128::from(w));
         assert_eq!(round_key_at(block_to_u128(&FIPS_KEY), 10), expect);
-        assert_eq!(round_key_at(block_to_u128(&FIPS_KEY), 0), block_to_u128(&FIPS_KEY));
+        assert_eq!(
+            round_key_at(block_to_u128(&FIPS_KEY), 0),
+            block_to_u128(&FIPS_KEY)
+        );
     }
 
     #[test]

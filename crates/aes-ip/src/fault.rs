@@ -77,10 +77,13 @@ impl SeuCampaign {
     /// Mean Hamming distance of corrupted outputs.
     #[must_use]
     pub fn mean_wrong_bits(&self) -> f64 {
-        let (sum, n) = self.trials.iter().fold((0u64, 0u64), |(s, n), t| match t.outcome {
-            SeuOutcome::Corrupted { wrong_bits } => (s + u64::from(wrong_bits), n + 1),
-            _ => (s, n),
-        });
+        let (sum, n) = self
+            .trials
+            .iter()
+            .fold((0u64, 0u64), |(s, n), t| match t.outcome {
+                SeuOutcome::Corrupted { wrong_bits } => (s + u64::from(wrong_bits), n + 1),
+                _ => (s, n),
+            });
         if n == 0 {
             0.0
         } else {
@@ -92,8 +95,7 @@ impl SeuCampaign {
         if self.trials.is_empty() {
             return 0.0;
         }
-        self.trials.iter().filter(|t| pred(&t.outcome)).count() as f64
-            / self.trials.len() as f64
+        self.trials.iter().filter(|t| pred(&t.outcome)).count() as f64 / self.trials.len() as f64
     }
 }
 
@@ -133,7 +135,10 @@ pub fn inject_seu(
         ..Default::default()
     });
     for _ in 0..core.key_setup_cycles() {
-        core.rising_edge(&CoreInputs { setup: true, ..Default::default() });
+        core.rising_edge(&CoreInputs {
+            setup: true,
+            ..Default::default()
+        });
     }
 
     core.rising_edge(&CoreInputs {
@@ -164,8 +169,7 @@ pub fn inject_seu(
             if got == golden {
                 SeuOutcome::Masked
             } else {
-                let wrong_bits =
-                    (block_to_u128(&got) ^ block_to_u128(&golden)).count_ones();
+                let wrong_bits = (block_to_u128(&got) ^ block_to_u128(&golden)).count_ones();
                 SeuOutcome::Corrupted { wrong_bits }
             }
         }
@@ -204,7 +208,11 @@ pub fn run_campaign(
         let ff_index = (next() as usize) % ff_count;
         let at_cycle = next() % latency;
         let outcome = inject_seu(variant, rom_style, &key, &pt, ff_index, at_cycle);
-        campaign.trials.push(SeuTrial { ff_index, at_cycle, outcome });
+        campaign.trials.push(SeuTrial {
+            ff_index,
+            at_cycle,
+            outcome,
+        });
     }
     campaign
 }
@@ -240,7 +248,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_diffusion, "no early datapath upset diffused into >=32 output bits");
+        assert!(
+            saw_diffusion,
+            "no early datapath upset diffused into >=32 output bits"
+        );
     }
 
     #[test]
@@ -255,7 +266,10 @@ mod tests {
         for ff in (0..128).step_by(7) {
             match inject_seu(CoreVariant::Encrypt, RomStyle::Macro, &KEY, &PT, ff, 49) {
                 SeuOutcome::Corrupted { wrong_bits } => {
-                    assert_eq!(wrong_bits, 1, "late state upset must flip one bit (ff {ff})");
+                    assert_eq!(
+                        wrong_bits, 1,
+                        "late state upset must flip one bit (ff {ff})"
+                    );
                     ones += 1;
                 }
                 other => panic!("late state upset must corrupt, got {other:?} (ff {ff})"),

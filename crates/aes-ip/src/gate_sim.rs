@@ -98,7 +98,11 @@ impl GateLevelCore {
         let wr_data = find_in("wr_data");
         let wr_key = find_in("wr_key");
         let din: Vec<NetId> = (0..128).map(|i| find_in(&format!("din[{i}]"))).collect();
-        let enc_dec = netlist.inputs().iter().find(|p| p.name == "enc_dec").map(|p| p.net);
+        let enc_dec = netlist
+            .inputs()
+            .iter()
+            .find(|p| p.name == "enc_dec")
+            .map(|p| p.net);
 
         let find_out = |name: &str| {
             netlist
@@ -299,7 +303,10 @@ mod tests {
             ..Default::default()
         });
         for _ in 0..setup_cycles {
-            core.rising_edge(&CoreInputs { setup: true, ..Default::default() });
+            core.rising_edge(&CoreInputs {
+                setup: true,
+                ..Default::default()
+            });
         }
         core.rising_edge(&CoreInputs {
             wr_data: true,
@@ -309,7 +316,10 @@ mod tests {
         });
         let mut out = CoreOutputs::default();
         for _ in 0..50 {
-            out = core.rising_edge(&CoreInputs { enc_dec: dir, ..Default::default() });
+            out = core.rising_edge(&CoreInputs {
+                enc_dec: dir,
+                ..Default::default()
+            });
         }
         assert!(out.data_ok, "gate-level core never finished");
         out.dout
@@ -376,12 +386,25 @@ mod tests {
         let key = block_to_u128(&[0x42u8; 16]);
 
         let mut stim = Vec::new();
-        stim.push(CoreInputs { setup: true, wr_key: true, din: key, ..Default::default() });
-        stim.push(CoreInputs { wr_data: true, din: 7, ..Default::default() });
+        stim.push(CoreInputs {
+            setup: true,
+            wr_key: true,
+            din: key,
+            ..Default::default()
+        });
+        stim.push(CoreInputs {
+            wr_data: true,
+            din: 7,
+            ..Default::default()
+        });
         for t in 0..160u64 {
             // Sprinkle overlapping writes mid-flight.
             stim.push(if t == 20 || t == 90 {
-                CoreInputs { wr_data: true, din: u128::from(t) << 32, ..Default::default() }
+                CoreInputs {
+                    wr_data: true,
+                    din: u128::from(t) << 32,
+                    ..Default::default()
+                }
             } else {
                 CoreInputs::default()
             });
@@ -403,9 +426,17 @@ mod tests {
         let key = block_to_u128(&[0x13u8; 16]);
 
         let mut stim = Vec::new();
-        stim.push(CoreInputs { setup: true, wr_key: true, din: key, ..Default::default() });
+        stim.push(CoreInputs {
+            setup: true,
+            wr_key: true,
+            din: key,
+            ..Default::default()
+        });
         for _ in 0..10 {
-            stim.push(CoreInputs { setup: true, ..Default::default() });
+            stim.push(CoreInputs {
+                setup: true,
+                ..Default::default()
+            });
         }
         stim.push(CoreInputs {
             wr_data: true,
@@ -414,7 +445,10 @@ mod tests {
             ..Default::default()
         });
         for _ in 0..120u64 {
-            stim.push(CoreInputs { enc_dec: Direction::Decrypt, ..Default::default() });
+            stim.push(CoreInputs {
+                enc_dec: Direction::Decrypt,
+                ..Default::default()
+            });
         }
         for (t, inputs) in stim.iter().enumerate() {
             let g = gate.rising_edge(inputs);
@@ -433,12 +467,24 @@ mod tests {
         let key = block_to_u128(&[0x77u8; 16]);
 
         let mut stim = Vec::new();
-        stim.push(CoreInputs { setup: true, wr_key: true, din: key, ..Default::default() });
+        stim.push(CoreInputs {
+            setup: true,
+            wr_key: true,
+            din: key,
+            ..Default::default()
+        });
         for _ in 0..10 {
-            stim.push(CoreInputs { setup: true, ..Default::default() });
+            stim.push(CoreInputs {
+                setup: true,
+                ..Default::default()
+            });
         }
         // Encrypt a block, then decrypt a block.
-        stim.push(CoreInputs { wr_data: true, din: 0x1234, ..Default::default() });
+        stim.push(CoreInputs {
+            wr_data: true,
+            din: 0x1234,
+            ..Default::default()
+        });
         for _ in 0..55u64 {
             stim.push(CoreInputs::default());
         }
@@ -449,7 +495,10 @@ mod tests {
             ..Default::default()
         });
         for _ in 0..55u64 {
-            stim.push(CoreInputs { enc_dec: Direction::Decrypt, ..Default::default() });
+            stim.push(CoreInputs {
+                enc_dec: Direction::Decrypt,
+                ..Default::default()
+            });
         }
         for (t, inputs) in stim.iter().enumerate() {
             let g = gate.rising_edge(inputs);

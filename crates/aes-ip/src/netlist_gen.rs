@@ -75,7 +75,10 @@ impl Builder<'_> {
 
     fn xor_bytes(&mut self, terms: &[[NetId; 8]]) -> [NetId; 8] {
         let words: Vec<Vec<NetId>> = terms.iter().map(|t| t.to_vec()).collect();
-        self.nl.xor_many(&words).try_into().expect("byte stays 8 bits")
+        self.nl
+            .xor_many(&words)
+            .try_into()
+            .expect("byte stays 8 bits")
     }
 
     /// `MixColumn` on one column of 4 bytes.
@@ -117,15 +120,22 @@ impl Builder<'_> {
     fn mix_columns(&mut self, state: &Bytes) -> Bytes {
         let mut out = Vec::with_capacity(16);
         for c in 0..4 {
-            let col: Quad =
-                [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col: Quad = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             out.extend(self.mix_column(&col));
         }
         out
     }
 
     fn xor_words(&mut self, a: &Bytes, b: &Bytes) -> Bytes {
-        a.iter().zip(b).map(|(x, y)| self.xor_bytes(&[*x, *y])).collect()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| self.xor_bytes(&[*x, *y]))
+            .collect()
     }
 
     fn mux_bytes(&mut self, sel: NetId, a: &Bytes, b: &Bytes) -> Bytes {
@@ -229,7 +239,9 @@ fn bus_to_bytes(bus: &[NetId]) -> Bytes {
     assert_eq!(bus.len(), 128);
     // Bus bit i = u128 bit i (LSB first); wire byte k occupies bits
     // (15-k)*8 .. +8, LSB first within the byte.
-    (0..16).map(|k| core::array::from_fn(|j| bus[(15 - k) * 8 + j])).collect()
+    (0..16)
+        .map(|k| core::array::from_fn(|j| bus[(15 - k) * 8 + j]))
+        .collect()
 }
 
 fn bytes_to_bus(bytes: &Bytes) -> Vec<NetId> {
@@ -243,7 +255,12 @@ fn bytes_to_bus(bytes: &Bytes) -> Vec<NetId> {
 }
 
 fn key_quad(key: &Bytes, word: usize) -> Quad {
-    [key[4 * word], key[4 * word + 1], key[4 * word + 2], key[4 * word + 3]]
+    [
+        key[4 * word],
+        key[4 * word + 1],
+        key[4 * word + 2],
+        key[4 * word + 3],
+    ]
 }
 
 /// Internal signal taps for simulation observability (the logic-analyzer
@@ -327,12 +344,19 @@ pub fn build_core_netlist_probed(
     let round_q = nl.dff_word_uninit(10); // one-hot r1..r10
     let needs_dec = !matches!(variant, CoreVariant::Encrypt);
     let (walk_q, key_end_q, key_ready_q) = if needs_dec {
-        (nl.dff_word_uninit(10), nl.dff_word_uninit(128), Some(nl.dff_uninit()))
+        (
+            nl.dff_word_uninit(10),
+            nl.dff_word_uninit(128),
+            Some(nl.dff_uninit()),
+        )
     } else {
         (Vec::new(), Vec::new(), None)
     };
 
-    let mut b = Builder { nl: &mut nl, rom_style };
+    let mut b = Builder {
+        nl: &mut nl,
+        rom_style,
+    };
 
     // ------------------------------------------------------- byte views
     let din = bus_to_bytes(&din_bus);
@@ -340,7 +364,11 @@ pub fn build_core_netlist_probed(
     let key0 = bus_to_bytes(&key0_q);
     let round_key = bus_to_bytes(&round_key_q);
     let data_in = bus_to_bytes(&data_in_q);
-    let key_end = if needs_dec { bus_to_bytes(&key_end_q) } else { Vec::new() };
+    let key_end = if needs_dec {
+        bus_to_bytes(&key_end_q)
+    } else {
+        Vec::new()
+    };
 
     // ---------------------------------------------------------- control
     let op = b.nl.not(setup);
@@ -448,10 +476,12 @@ pub fn build_core_netlist_probed(
     let dec_like = matches!(variant, CoreVariant::Decrypt | CoreVariant::EncDec);
 
     // Round constants.
-    let rcon_fwd_consts: Vec<u8> =
-        (1..=10u32).map(|r| gf256::Gf256::new(2).pow(r - 1).value()).collect();
-    let rcon_bwd_consts: Vec<u8> =
-        (1..=10u32).map(|blk| gf256::Gf256::new(2).pow(10 - blk).value()).collect();
+    let rcon_fwd_consts: Vec<u8> = (1..=10u32)
+        .map(|r| gf256::Gf256::new(2).pow(r - 1).value())
+        .collect();
+    let rcon_bwd_consts: Vec<u8> = (1..=10u32)
+        .map(|blk| gf256::Gf256::new(2).pow(10 - blk).value())
+        .collect();
 
     // ------------------------------------------------- decrypt key logic
     // (shared KStran bank between the setup walk and the backward step)
@@ -503,11 +533,15 @@ pub fn build_core_netlist_probed(
         }
         for w in 1..4 {
             for i in 0..4 {
-                bwd[4 * w + i] =
-                    b.xor_bytes(&[round_key[4 * w + i], round_key[4 * (w - 1) + i]]);
+                bwd[4 * w + i] = b.xor_bytes(&[round_key[4 * w + i], round_key[4 * (w - 1) + i]]);
             }
         }
-        DecKey { walking, last_step, fwd_next, bwd_prev: bwd }
+        DecKey {
+            walking,
+            last_step,
+            fwd_next,
+            bwd_prev: bwd,
+        }
     });
 
     // key_end latch (decrypt): capture the walk output at the last step.
@@ -564,9 +598,7 @@ pub fn build_core_netlist_probed(
     let mc_in: Bytes = match (enc_parts.as_ref(), dec_parts.as_ref()) {
         (Some((_, shifted, _)), None) => shifted.clone(),
         (None, Some((_, _, p_keyed, _))) => p_keyed.clone(),
-        (Some((_, shifted, _)), Some((_, _, p_keyed, _))) => {
-            b.mux_bytes(dir_dec, shifted, p_keyed)
-        }
+        (Some((_, shifted, _)), Some((_, _, p_keyed, _))) => b.mux_bytes(dir_dec, shifted, p_keyed),
         (None, None) => unreachable!("variant has a datapath"),
     };
     let mixed = b.mix_columns(&mc_in);
@@ -613,7 +645,11 @@ pub fn build_core_netlist_probed(
                     |((col_sub, _, _, ishift), committed)| {
                         // Cycle 1 writes the IShiftRow view everywhere,
                         // with column 0 additionally substituted.
-                        let c1_val = if col == 0 { col_sub[i % 4][j] } else { ishift[i][j] };
+                        let c1_val = if col == 0 {
+                            col_sub[i % 4][j]
+                        } else {
+                            ishift[i][j]
+                        };
                         let v = b.nl.mux2(c1_now, hold, c1_val);
                         let v = if col > 0 {
                             b.nl.mux2(sub_onehot[col], v, col_sub[i % 4][j])
@@ -697,7 +733,11 @@ pub fn build_core_netlist_probed(
     nl.validate();
     (
         nl,
-        CoreProbes { busy: busy_q, data_in_valid: valid_q, finishing },
+        CoreProbes {
+            busy: busy_q,
+            data_in_valid: valid_q,
+            finishing,
+        },
     )
 }
 
@@ -722,9 +762,24 @@ mod tests {
     #[test]
     fn sbox_rom_counts_match_table2_memory() {
         // 8 ROMs = 16384 bits (enc, dec), 16 ROMs = 32768 bits (both).
-        assert_eq!(build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro).stats().roms, 8);
-        assert_eq!(build_core_netlist(CoreVariant::Decrypt, RomStyle::Macro).stats().roms, 8);
-        assert_eq!(build_core_netlist(CoreVariant::EncDec, RomStyle::Macro).stats().roms, 16);
+        assert_eq!(
+            build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro)
+                .stats()
+                .roms,
+            8
+        );
+        assert_eq!(
+            build_core_netlist(CoreVariant::Decrypt, RomStyle::Macro)
+                .stats()
+                .roms,
+            8
+        );
+        assert_eq!(
+            build_core_netlist(CoreVariant::EncDec, RomStyle::Macro)
+                .stats()
+                .roms,
+            16
+        );
     }
 
     #[test]
@@ -736,7 +791,11 @@ mod tests {
 
     #[test]
     fn netlists_validate_and_have_plausible_populations() {
-        for variant in [CoreVariant::Encrypt, CoreVariant::Decrypt, CoreVariant::EncDec] {
+        for variant in [
+            CoreVariant::Encrypt,
+            CoreVariant::Decrypt,
+            CoreVariant::EncDec,
+        ] {
             let nl = build_core_netlist(variant, RomStyle::Macro);
             nl.validate();
             let st = nl.stats();

@@ -94,7 +94,17 @@ impl IpBench {
             ctx.write_u128(dout, out.dout);
         });
 
-        IpBench { sim, clk, setup, wr_data, wr_key, din, enc_dec, data_ok, dout }
+        IpBench {
+            sim,
+            clk,
+            setup,
+            wr_data,
+            wr_key,
+            din,
+            enc_dec,
+            data_ok,
+            dout,
+        }
     }
 
     /// Attaches a VCD writer named `scope` to the bench.

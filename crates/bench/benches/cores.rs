@@ -1,59 +1,60 @@
-//! Criterion benches over the hardware models: how fast the reproduction
-//! simulates each architecture (cycle-accurate and gate-level), which
-//! bounds how much stimulus the verification suites can afford.
+//! Benches over the hardware models: how fast the reproduction simulates
+//! each architecture (cycle-accurate and gate-level), which bounds how
+//! much stimulus the verification suites can afford. Runs on the hermetic
+//! `testkit` harness (warmup + median-of-K, JSON summary on stdout).
 
 use aes_ip::alt::{AltArch, AltEncryptCore};
 use aes_ip::bus::IpDriver;
 use aes_ip::core::{CoreVariant, Direction, EncDecCore, EncryptCore};
 use aes_ip::gate_sim::GateLevelCore;
 use aes_ip::netlist_gen::RomStyle;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use std::time::Duration;
+use testkit::bench::Bench;
 
-fn bench_cycle_core(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cycle_core_block");
-    group.throughput(Throughput::Bytes(16));
-    group.bench_function("encrypt", |b| {
+fn main() {
+    let mut bench = Bench::from_args("cores");
+
+    {
+        let mut group = bench.group("cycle_core_block");
+        group.throughput_bytes(16);
+
         let mut drv = IpDriver::new(EncryptCore::new());
         drv.write_key(&[0u8; 16]);
-        b.iter(|| drv.process_block(black_box(&[7u8; 16]), Direction::Encrypt));
-    });
-    group.bench_function("encdec_decrypt", |b| {
+        group.bench("encrypt", || {
+            drv.process_block(black_box(&[7u8; 16]), Direction::Encrypt)
+        });
+
         let mut drv = IpDriver::new(EncDecCore::new());
         drv.write_key(&[0u8; 16]);
-        b.iter(|| drv.process_block(black_box(&[7u8; 16]), Direction::Decrypt));
-    });
-    group.finish();
-}
-
-fn bench_alt_architectures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alt_arch_block");
-    for arch in AltArch::ALL {
-        if arch == AltArch::Mixed32x128 {
-            continue; // covered by cycle_core_block/encrypt
-        }
-        group.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, &arch| {
-            let mut drv = IpDriver::new(AltEncryptCore::new(arch));
-            drv.write_key(&[0u8; 16]);
-            b.iter(|| drv.process_block(black_box(&[7u8; 16]), Direction::Encrypt));
+        group.bench("encdec_decrypt", || {
+            drv.process_block(black_box(&[7u8; 16]), Direction::Decrypt)
         });
     }
-    group.finish();
-}
 
-fn bench_gate_level(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gate_level_block");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(5));
-    group.bench_function("encrypt_eab", |b| {
+    {
+        let mut group = bench.group("alt_arch_block");
+        group.throughput_bytes(16);
+        for arch in AltArch::ALL {
+            if arch == AltArch::Mixed32x128 {
+                continue; // covered by cycle_core_block/encrypt
+            }
+            let mut drv = IpDriver::new(AltEncryptCore::new(arch));
+            drv.write_key(&[0u8; 16]);
+            group.bench(&arch.to_string(), || {
+                drv.process_block(black_box(&[7u8; 16]), Direction::Encrypt)
+            });
+        }
+    }
+
+    {
+        let mut group = bench.group("gate_level_block");
+        group.samples(5).warmup_ms(500).sample_ms(400);
         let mut drv = IpDriver::new(GateLevelCore::new(CoreVariant::Encrypt, RomStyle::Macro));
         drv.write_key(&[0u8; 16]);
-        b.iter(|| drv.process_block(black_box(&[7u8; 16]), Direction::Encrypt));
-    });
-    group.finish();
-}
+        group.bench("encrypt_eab", || {
+            drv.process_block(black_box(&[7u8; 16]), Direction::Encrypt)
+        });
+    }
 
-criterion_group!(benches, bench_cycle_core, bench_alt_architectures, bench_gate_level);
-criterion_main!(benches);
+    bench.finish();
+}

@@ -1,54 +1,48 @@
-//! Criterion benches for the EDA substrate itself: netlist generation,
-//! optimisation, LUT mapping and the full synthesis flow.
-
-use std::time::Duration;
+//! Benches for the EDA substrate itself: netlist generation, optimisation,
+//! LUT mapping and the full synthesis flow. Runs on the hermetic `testkit`
+//! harness.
 
 use aes_ip::core::CoreVariant;
 use aes_ip::netlist_gen::{build_core_netlist, RomStyle};
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpga::device::{EP1C20, EP1K100};
 use fpga::flow::{synthesize, FlowOptions};
 use netlist::mapper::{map, MapperConfig};
 use netlist::opt::optimize;
 use std::hint::black_box;
+use testkit::bench::Bench;
 
-fn bench_netlist_generation(c: &mut Criterion) {
-    c.bench_function("generate_encrypt_netlist", |b| {
-        b.iter(|| build_core_netlist(black_box(CoreVariant::Encrypt), RomStyle::Macro));
-    });
-}
+fn main() {
+    let mut bench = Bench::from_args("flow");
 
-fn bench_optimize_and_map(c: &mut Criterion) {
-    let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro);
-    let mut group = c.benchmark_group("synthesis");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(5));
-    group.bench_function("optimize", |b| {
-        b.iter(|| optimize(black_box(&nl)));
-    });
-    let (clean, _) = optimize(&nl);
-    group.bench_function("lut_map", |b| {
-        b.iter(|| map(black_box(&clean), &MapperConfig::default()));
-    });
-    group.finish();
-}
+    bench
+        .group("netlist")
+        .bench("generate_encrypt_netlist", || {
+            build_core_netlist(black_box(CoreVariant::Encrypt), RomStyle::Macro)
+        });
 
-fn bench_full_flow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_flow");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(8));
-    group.bench_function("encrypt_on_acex", |b| {
+    {
         let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro);
-        b.iter(|| synthesize(black_box(&nl), &EP1K100, &FlowOptions::default()).expect("fits"));
-    });
-    group.bench_function("encrypt_on_cyclone_lut_roms", |b| {
-        let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::LogicCells);
-        b.iter(|| synthesize(black_box(&nl), &EP1C20, &FlowOptions::default()).expect("fits"));
-    });
-    group.finish();
-}
+        let mut group = bench.group("synthesis");
+        group.samples(5).warmup_ms(500).sample_ms(400);
+        group.bench("optimize", || optimize(black_box(&nl)));
+        let (clean, _) = optimize(&nl);
+        group.bench("lut_map", || {
+            map(black_box(&clean), &MapperConfig::default())
+        });
+    }
 
-criterion_group!(benches, bench_netlist_generation, bench_optimize_and_map, bench_full_flow);
-criterion_main!(benches);
+    {
+        let mut group = bench.group("full_flow");
+        group.samples(5).warmup_ms(500).sample_ms(600);
+        let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro);
+        group.bench("encrypt_on_acex", || {
+            synthesize(black_box(&nl), &EP1K100, &FlowOptions::default()).expect("fits")
+        });
+        let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::LogicCells);
+        group.bench("encrypt_on_cyclone_lut_roms", || {
+            synthesize(black_box(&nl), &EP1C20, &FlowOptions::default()).expect("fits")
+        });
+    }
+
+    bench.finish();
+}

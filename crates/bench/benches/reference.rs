@@ -1,89 +1,76 @@
-//! Criterion benches for the software baselines: the paper's introduction
-//! motivates hardware by software cost, so the reproduction measures what
+//! Benches for the software baselines: the paper's introduction motivates
+//! hardware by software cost, so the reproduction measures what
 //! era-typical software approaches achieve on the host: the plain
 //! specification cipher vs the 32-bit T-table implementation, plus the
-//! key schedule and the block modes.
+//! key schedule and the block modes. Runs on the hermetic `testkit`
+//! harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rijndael::modes::{Cbc, Ctr};
 use rijndael::ttable::TtableAes;
 use rijndael::{Aes128, KeySchedule, Rijndael};
 use std::hint::black_box;
+use testkit::bench::Bench;
 
-fn bench_block_encrypt(c: &mut Criterion) {
-    let key = [0x2Bu8; 16];
-    let spec = Rijndael::<4>::new(&key).expect("valid key");
-    let fast = TtableAes::new(&key).expect("valid key");
-    let mut group = c.benchmark_group("block_encrypt");
-    group.throughput(Throughput::Bytes(16));
-    group.bench_function("specification", |b| {
+fn main() {
+    let mut bench = Bench::from_args("reference");
+
+    {
+        let key = [0x2Bu8; 16];
+        let spec = Rijndael::<4>::new(&key).expect("valid key");
+        let fast = TtableAes::new(&key).expect("valid key");
+        let mut group = bench.group("block_encrypt");
+        group.throughput_bytes(16);
         let mut block = [7u8; 16];
-        b.iter(|| {
+        group.bench("specification", || {
             spec.encrypt(black_box(&mut block));
         });
-    });
-    group.bench_function("t_table", |b| {
         let mut block = [7u8; 16];
-        b.iter(|| {
+        group.bench("t_table", || {
             fast.encrypt_block(black_box(&mut block));
         });
-    });
-    group.finish();
-}
+    }
 
-fn bench_key_schedule(c: &mut Criterion) {
-    let mut group = c.benchmark_group("key_schedule");
-    for bytes in [16usize, 24, 32] {
-        let key = vec![0x5Au8; bytes];
-        group.bench_with_input(BenchmarkId::from_parameter(bytes * 8), &key, |b, key| {
-            b.iter(|| KeySchedule::expand(black_box(key), 4).expect("valid key"));
+    {
+        let mut group = bench.group("key_schedule");
+        for bytes in [16usize, 24, 32] {
+            let key = vec![0x5Au8; bytes];
+            group.bench(&format!("{}", bytes * 8), || {
+                KeySchedule::expand(black_box(&key), 4).expect("valid key")
+            });
+        }
+    }
+
+    {
+        let aes = Aes128::new(&[1u8; 16]);
+        let mut group = bench.group("modes_4k");
+        group.throughput_bytes(4096);
+        let mut buf = vec![0u8; 4096];
+        group.bench("cbc_encrypt", || {
+            Cbc::encrypt(&aes, &[0u8; 16], black_box(&mut buf)).expect("aligned");
+        });
+        let mut buf = vec![0u8; 4096];
+        group.bench("ctr", || {
+            Ctr::apply(&aes, &[0u8; 16], black_box(&mut buf));
         });
     }
-    group.finish();
-}
 
-fn bench_modes(c: &mut Criterion) {
-    let aes = Aes128::new(&[1u8; 16]);
-    let mut group = c.benchmark_group("modes_4k");
-    group.throughput(Throughput::Bytes(4096));
-    group.bench_function("cbc_encrypt", |b| {
-        let mut buf = vec![0u8; 4096];
-        b.iter(|| Cbc::encrypt(&aes, &[0u8; 16], black_box(&mut buf)).expect("aligned"));
-    });
-    group.bench_function("ctr", |b| {
-        let mut buf = vec![0u8; 4096];
-        b.iter(|| Ctr::apply(&aes, &[0u8; 16], black_box(&mut buf)));
-    });
-    group.finish();
-}
+    {
+        // The non-AES Rijndael block sizes, to show the generic cipher's cost.
+        let mut group = bench.group("rijndael_block_sizes");
+        let key = [0u8; 32];
 
-fn bench_wide_rijndael(c: &mut Criterion) {
-    // The non-AES Rijndael block sizes, to show the generic cipher's cost.
-    let mut group = c.benchmark_group("rijndael_block_sizes");
-    let key = [0u8; 32];
-    group.bench_function("nb4_128bit", |b| {
         let cipher = Rijndael::<4>::new(&key).expect("valid");
         let mut block = [0u8; 16];
-        b.iter(|| cipher.encrypt(black_box(&mut block)));
-    });
-    group.bench_function("nb6_192bit", |b| {
+        group.bench("nb4_128bit", || cipher.encrypt(black_box(&mut block)));
+
         let cipher = Rijndael::<6>::new(&key).expect("valid");
         let mut block = [0u8; 24];
-        b.iter(|| cipher.encrypt(black_box(&mut block)));
-    });
-    group.bench_function("nb8_256bit", |b| {
+        group.bench("nb6_192bit", || cipher.encrypt(black_box(&mut block)));
+
         let cipher = Rijndael::<8>::new(&key).expect("valid");
         let mut block = [0u8; 32];
-        b.iter(|| cipher.encrypt(black_box(&mut block)));
-    });
-    group.finish();
-}
+        group.bench("nb8_256bit", || cipher.encrypt(black_box(&mut block)));
+    }
 
-criterion_group!(
-    benches,
-    bench_block_encrypt,
-    bench_key_schedule,
-    bench_modes,
-    bench_wide_rijndael
-);
-criterion_main!(benches);
+    bench.finish();
+}

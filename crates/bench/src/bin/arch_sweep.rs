@@ -29,7 +29,10 @@ fn main() {
         } else {
             build_alt_netlist(arch, RomStyle::Macro)
         };
-        let options = FlowOptions { latency_cycles: arch.latency_cycles(), ..Default::default() };
+        let options = FlowOptions {
+            latency_cycles: arch.latency_cycles(),
+            ..Default::default()
+        };
         let r = synthesize(&nl, &EP1K100, &options).expect("sweep designs fit");
         rows.push((
             arch.to_string(),
@@ -49,8 +52,11 @@ fn main() {
     }
 
     println!("\npaper claims checked:");
-    println!("  * all-32 needs 12 cycles/round, the mixed datapath 5 (paper §4): {} -> {}",
-        AltArch::All32.cycles_per_round(), AltArch::Mixed32x128.cycles_per_round());
+    println!(
+        "  * all-32 needs 12 cycles/round, the mixed datapath 5 (paper §4): {} -> {}",
+        AltArch::All32.cycles_per_round(),
+        AltArch::Mixed32x128.cycles_per_round()
+    );
     let serial = &rows[0];
     let mixed = &rows[2];
     println!(

@@ -11,7 +11,9 @@ use netlist::mapper::{map, MapperConfig};
 use netlist::opt::optimize;
 
 fn main() -> std::io::Result<()> {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "rtl_export".to_string());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "rtl_export".to_string());
     std::fs::create_dir_all(&dir)?;
 
     for (variant, tag) in [

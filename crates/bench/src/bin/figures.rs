@@ -11,12 +11,10 @@ use rijndael::trace::trace_encrypt;
 use rijndael::{Rijndael, State};
 
 const KEY: [u8; 16] = [
-    0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
-    0x3C,
+    0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C,
 ];
 const PT: [u8; 16] = [
-    0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D, 0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37, 0x07,
-    0x34,
+    0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D, 0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37, 0x07, 0x34,
 ];
 
 fn print_state(title: &str, st: &State<4>) {
@@ -49,7 +47,11 @@ fn fig2() {
             "  round {:>2}       {}   (MixColumn {})",
             r.round,
             r.after_add_key,
-            if r.after_mix_column.is_some() { "yes" } else { "SKIPPED" }
+            if r.after_mix_column.is_some() {
+                "yes"
+            } else {
+                "SKIPPED"
+            }
         );
     }
     println!("  ciphertext     {}\n", trace.output());

@@ -13,13 +13,19 @@ fn main() {
 
     println!("interface demo: EncDec device, clock period 18 time units\n");
     bench.write_key(&[0x2Bu8; 16]);
-    println!("t={:>5}  key written (+10 setup cycles for the decrypt key walk)", bench.time());
+    println!(
+        "t={:>5}  key written (+10 setup cycles for the decrypt key walk)",
+        bench.time()
+    );
 
     // Three back-to-back blocks: each written while the previous one is
     // still in flight.
     let blocks: [[u8; 16]; 3] = [[0x11; 16], [0x22; 16], [0x33; 16]];
     bench.write_data(&blocks[0], false);
-    println!("t={:>5}  block 0 written (engine absorbs it on this edge)", bench.time());
+    println!(
+        "t={:>5}  block 0 written (engine absorbs it on this edge)",
+        bench.time()
+    );
 
     // Overlap rule: the Data_In register is a single entry, so the bus
     // master keeps at most one block outstanding beyond the one in

@@ -44,7 +44,10 @@ fn main() {
 
     // -------------------------------------------------- architecture sweep
     let _ = writeln!(md, "\n## Architecture sweep ({})\n", EP1K100.part);
-    let _ = writeln!(md, "| Architecture | cyc/round | latency | memory | LCs | Clk ns | Mbps |");
+    let _ = writeln!(
+        md,
+        "| Architecture | cyc/round | latency | memory | LCs | Clk ns | Mbps |"
+    );
     let _ = writeln!(md, "|---|---|---|---|---|---|---|");
     for arch in AltArch::ALL {
         let nl = if arch == AltArch::Mixed32x128 {
@@ -52,7 +55,10 @@ fn main() {
         } else {
             build_alt_netlist(arch, RomStyle::Macro)
         };
-        let options = FlowOptions { latency_cycles: arch.latency_cycles(), ..Default::default() };
+        let options = FlowOptions {
+            latency_cycles: arch.latency_cycles(),
+            ..Default::default()
+        };
         let r = synthesize(&nl, &EP1K100, &options).expect("sweep fits");
         let _ = writeln!(
             md,

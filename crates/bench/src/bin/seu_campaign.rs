@@ -23,7 +23,11 @@ fn main() {
         "variant", "masked", "corrupted", "hung", "mean wrong bits"
     );
     println!("{}", "-".repeat(62));
-    for variant in [CoreVariant::Encrypt, CoreVariant::Decrypt, CoreVariant::EncDec] {
+    for variant in [
+        CoreVariant::Encrypt,
+        CoreVariant::Decrypt,
+        CoreVariant::EncDec,
+    ] {
         let c = run_campaign(variant, RomStyle::Macro, trials, 0x5E0_CAFE);
         println!(
             "{:<10} | {:>7.1}% | {:>9.1}% | {:>5.1}% | {:>13.1}",

@@ -17,29 +17,54 @@ use fpga::device::{Device, EP1K100, EP20K300E, EP20K400, EPF10K100A};
 use fpga::flow::{synthesize, FlowOptions};
 
 fn run(name: &str, netlist: &netlist::Netlist, device: &Device, latency: u64) {
-    let options = FlowOptions { latency_cycles: latency, ..Default::default() };
+    let options = FlowOptions {
+        latency_cycles: latency,
+        ..Default::default()
+    };
     match synthesize(netlist, device, &options) {
         Ok(r) => println!(
             "{:<34} {:<12} | {:>6} LCs | {:>6} bits | {:>6.1} ns clk | {:>7.1} Mbps",
-            name, device.family.to_string(), r.fit.logic_cells, r.fit.memory_bits,
-            r.clock_ns, r.throughput_mbps,
+            name,
+            device.family.to_string(),
+            r.fit.logic_cells,
+            r.fit.memory_bits,
+            r.clock_ns,
+            r.throughput_mbps,
         ),
-        Err(e) => println!("{:<34} {:<12} | does not fit: {e}", name, device.family.to_string()),
+        Err(e) => println!(
+            "{:<34} {:<12} | does not fit: {e}",
+            name,
+            device.family.to_string()
+        ),
     }
 }
 
 fn main() {
     println!("Table 3 — this flow's measurements on the comparison families\n");
     for device in [&EPF10K100A, &EP20K400, &EP20K300E] {
-        for variant in [CoreVariant::Encrypt, CoreVariant::Decrypt, CoreVariant::EncDec] {
+        for variant in [
+            CoreVariant::Encrypt,
+            CoreVariant::Decrypt,
+            CoreVariant::EncDec,
+        ] {
             let nl = build_core_netlist(variant, RomStyle::Macro);
             run(&format!("this IP ({variant})"), &nl, device, 50);
         }
     }
     let low_cost = build_alt_netlist(AltArch::Serial8, RomStyle::Macro);
-    run("serial-8 low-cost analogue of [14]", &low_cost, &EP1K100, AltArch::Serial8.latency_cycles());
+    run(
+        "serial-8 low-cost analogue of [14]",
+        &low_cost,
+        &EP1K100,
+        AltArch::Serial8.latency_cycles(),
+    );
     let high_perf = build_alt_netlist(AltArch::Full128, RomStyle::Macro);
-    run("full-128 high-perf analogue of [1]", &high_perf, &EP20K400, AltArch::Full128.latency_cycles());
+    run(
+        "full-128 high-perf analogue of [1]",
+        &high_perf,
+        &EP20K400,
+        AltArch::Full128.latency_cycles(),
+    );
 
     println!("\npublished rows (n/r = not recoverable from the scanned source):");
     for row in PAPER_TABLE3 {

@@ -37,9 +37,17 @@ pub fn synthesize_variant(variant: CoreVariant, device: &'static Device) -> Synt
 #[must_use]
 pub fn table2_rows() -> Vec<Table2Row> {
     let mut rows = Vec::new();
-    for variant in [CoreVariant::Encrypt, CoreVariant::Decrypt, CoreVariant::EncDec] {
+    for variant in [
+        CoreVariant::Encrypt,
+        CoreVariant::Decrypt,
+        CoreVariant::EncDec,
+    ] {
         for device in [&EP1K100, &EP1C20] {
-            rows.push(Table2Row { variant, device, report: synthesize_variant(variant, device) });
+            rows.push(Table2Row {
+                variant,
+                device,
+                report: synthesize_variant(variant, device),
+            });
         }
     }
     rows

@@ -24,12 +24,66 @@ pub struct PaperRow {
 
 /// Table 2 as printed in the paper.
 pub const PAPER_TABLE2: &[PaperRow] = &[
-    PaperRow { system: "Encrypt", family: "Acex1K", lcs: (2114, 42), memory: (16384, 33), pins: (261, 78), latency_ns: 700, clk_ns: 14, throughput_mbps: 182 },
-    PaperRow { system: "Encrypt", family: "Cyclone", lcs: (4057, 20), memory: (0, 0), pins: (261, 87), latency_ns: 500, clk_ns: 10, throughput_mbps: 256 },
-    PaperRow { system: "Decrypt", family: "Acex1K", lcs: (2217, 44), memory: (16384, 33), pins: (261, 78), latency_ns: 750, clk_ns: 15, throughput_mbps: 170 },
-    PaperRow { system: "Decrypt", family: "Cyclone", lcs: (4211, 20), memory: (0, 0), pins: (261, 87), latency_ns: 550, clk_ns: 11, throughput_mbps: 232 },
-    PaperRow { system: "Both", family: "Acex1K", lcs: (3222, 64), memory: (32768, 66), pins: (262, 78), latency_ns: 850, clk_ns: 17, throughput_mbps: 150 },
-    PaperRow { system: "Both", family: "Cyclone", lcs: (7034, 35), memory: (0, 0), pins: (262, 87), latency_ns: 650, clk_ns: 13, throughput_mbps: 197 },
+    PaperRow {
+        system: "Encrypt",
+        family: "Acex1K",
+        lcs: (2114, 42),
+        memory: (16384, 33),
+        pins: (261, 78),
+        latency_ns: 700,
+        clk_ns: 14,
+        throughput_mbps: 182,
+    },
+    PaperRow {
+        system: "Encrypt",
+        family: "Cyclone",
+        lcs: (4057, 20),
+        memory: (0, 0),
+        pins: (261, 87),
+        latency_ns: 500,
+        clk_ns: 10,
+        throughput_mbps: 256,
+    },
+    PaperRow {
+        system: "Decrypt",
+        family: "Acex1K",
+        lcs: (2217, 44),
+        memory: (16384, 33),
+        pins: (261, 78),
+        latency_ns: 750,
+        clk_ns: 15,
+        throughput_mbps: 170,
+    },
+    PaperRow {
+        system: "Decrypt",
+        family: "Cyclone",
+        lcs: (4211, 20),
+        memory: (0, 0),
+        pins: (261, 87),
+        latency_ns: 550,
+        clk_ns: 11,
+        throughput_mbps: 232,
+    },
+    PaperRow {
+        system: "Both",
+        family: "Acex1K",
+        lcs: (3222, 64),
+        memory: (32768, 66),
+        pins: (262, 78),
+        latency_ns: 850,
+        clk_ns: 17,
+        throughput_mbps: 150,
+    },
+    PaperRow {
+        system: "Both",
+        family: "Cyclone",
+        lcs: (7034, 35),
+        memory: (0, 0),
+        pins: (262, 87),
+        latency_ns: 650,
+        clk_ns: 13,
+        throughput_mbps: 197,
+    },
 ];
 
 /// One row of the paper's Table 3 (comparison with published FPGA

@@ -141,20 +141,41 @@ mod tests {
         // Table 2 reports 2114 LCs as 42% of the Acex device and
         // 4057 LEs as 20% of the Cyclone device; our capacities must make
         // those percentages come out right.
-        assert_eq!((2114.0_f64 / f64::from(EP1K100.logic_cells) * 100.0).round(), 42.0);
-        assert_eq!((4057.0_f64 / f64::from(EP1C20.logic_cells) * 100.0).round(), 20.0);
+        assert_eq!(
+            (2114.0_f64 / f64::from(EP1K100.logic_cells) * 100.0).round(),
+            42.0
+        );
+        assert_eq!(
+            (4057.0_f64 / f64::from(EP1C20.logic_cells) * 100.0).round(),
+            20.0
+        );
         // Memory: 16384 bits = 33% of the EABs; 32768 = 66%.
-        assert_eq!((16_384.0_f64 / f64::from(EP1K100.memory_bits) * 100.0).round(), 33.0);
-        assert_eq!((32_768.0_f64 / f64::from(EP1K100.memory_bits) * 100.0).round(), 67.0);
+        assert_eq!(
+            (16_384.0_f64 / f64::from(EP1K100.memory_bits) * 100.0).round(),
+            33.0
+        );
+        assert_eq!(
+            (32_768.0_f64 / f64::from(EP1K100.memory_bits) * 100.0).round(),
+            67.0
+        );
         // Pins: 261 = 78% of Acex, 87% of Cyclone.
-        assert_eq!((261.0_f64 / f64::from(EP1K100.user_pins) * 100.0).round(), 78.0);
-        assert_eq!((261.0_f64 / f64::from(EP1C20.user_pins) * 100.0).round(), 87.0);
+        assert_eq!(
+            (261.0_f64 / f64::from(EP1K100.user_pins) * 100.0).round(),
+            78.0
+        );
+        assert_eq!(
+            (261.0_f64 / f64::from(EP1C20.user_pins) * 100.0).round(),
+            87.0
+        );
     }
 
     #[test]
     fn async_rom_support_matches_the_paper() {
         assert!(EP1K100.family.supports_async_rom());
-        assert!(!EP1C20.family.supports_async_rom(), "Cyclone M4K is synchronous-only");
+        assert!(
+            !EP1C20.family.supports_async_rom(),
+            "Cyclone M4K is synchronous-only"
+        );
         assert!(EPF10K100A.family.supports_async_rom());
     }
 

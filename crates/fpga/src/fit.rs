@@ -45,10 +45,16 @@ impl fmt::Display for FitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FitError::LogicOverflow { needed, available } => {
-                write!(f, "design needs {needed} logic cells, device has {available}")
+                write!(
+                    f,
+                    "design needs {needed} logic cells, device has {available}"
+                )
             }
             FitError::MemoryOverflow { needed, available } => {
-                write!(f, "design needs {needed} memory bits, device has {available}")
+                write!(
+                    f,
+                    "design needs {needed} memory bits, device has {available}"
+                )
             }
             FitError::PinOverflow { needed, available } => {
                 write!(f, "design needs {needed} pins, device has {available}")
@@ -90,9 +96,15 @@ pub struct FitReport {
 ///
 /// Returns a [`FitError`] when any budget is exceeded or the family cannot
 /// realise asynchronous ROMs.
-pub fn fit(netlist: &Netlist, mapped: &MappedDesign, device: &Device) -> Result<FitReport, FitError> {
+pub fn fit(
+    netlist: &Netlist,
+    mapped: &MappedDesign,
+    device: &Device,
+) -> Result<FitReport, FitError> {
     if !mapped.roms.is_empty() && !device.family.supports_async_rom() {
-        return Err(FitError::AsyncRomUnsupported { roms: mapped.roms.len() });
+        return Err(FitError::AsyncRomUnsupported {
+            roms: mapped.roms.len(),
+        });
     }
     let logic_cells = u32::try_from(mapped.logic_cells).expect("LC count fits u32");
     let memory_bits = u32::try_from(mapped.memory_bits()).expect("memory bits fit u32");
@@ -100,13 +112,22 @@ pub fn fit(netlist: &Netlist, mapped: &MappedDesign, device: &Device) -> Result<
         .expect("pin count fits u32");
 
     if logic_cells > device.logic_cells {
-        return Err(FitError::LogicOverflow { needed: logic_cells, available: device.logic_cells });
+        return Err(FitError::LogicOverflow {
+            needed: logic_cells,
+            available: device.logic_cells,
+        });
     }
     if memory_bits > device.memory_bits {
-        return Err(FitError::MemoryOverflow { needed: memory_bits, available: device.memory_bits });
+        return Err(FitError::MemoryOverflow {
+            needed: memory_bits,
+            available: device.memory_bits,
+        });
     }
     if pins > device.user_pins {
-        return Err(FitError::PinOverflow { needed: pins, available: device.user_pins });
+        return Err(FitError::PinOverflow {
+            needed: pins,
+            available: device.user_pins,
+        });
     }
 
     Ok(FitReport {
@@ -165,12 +186,24 @@ mod tests {
     #[test]
     fn overflow_detection() {
         let (nl, mapped) = toy_design(false);
-        let tiny = Device { logic_cells: 4, ..EP1K100 };
+        let tiny = Device {
+            logic_cells: 4,
+            ..EP1K100
+        };
         assert!(matches!(
             fit(&nl, &mapped, &tiny),
-            Err(FitError::LogicOverflow { needed: 8, available: 4 })
+            Err(FitError::LogicOverflow {
+                needed: 8,
+                available: 4
+            })
         ));
-        let pinless = Device { user_pins: 3, ..EP1K100 };
-        assert!(matches!(fit(&nl, &mapped, &pinless), Err(FitError::PinOverflow { .. })));
+        let pinless = Device {
+            user_pins: 3,
+            ..EP1K100
+        };
+        assert!(matches!(
+            fit(&nl, &mapped, &pinless),
+            Err(FitError::PinOverflow { .. })
+        ));
     }
 }

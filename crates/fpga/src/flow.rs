@@ -30,7 +30,11 @@ pub struct FlowOptions {
 
 impl Default for FlowOptions {
     fn default() -> Self {
-        FlowOptions { mapper: MapperConfig::default(), latency_cycles: 50, block_bits: 128 }
+        FlowOptions {
+            mapper: MapperConfig::default(),
+            latency_cycles: 50,
+            block_bits: 128,
+        }
     }
 }
 
@@ -68,7 +72,11 @@ impl fmt::Display for SynthesisReport {
             "  Memory    {:>6} / {:>4.0}%",
             self.fit.memory_bits, self.fit.memory_pct
         )?;
-        writeln!(f, "  Pins      {:>6} / {:>4.0}%", self.fit.pins, self.fit.pin_pct)?;
+        writeln!(
+            f,
+            "  Pins      {:>6} / {:>4.0}%",
+            self.fit.pins, self.fit.pin_pct
+        )?;
         writeln!(f, "  Latency   {:>6.0} ns", self.latency_ns)?;
         writeln!(f, "  Clk       {:>6.1} ns", self.clock_ns)?;
         write!(f, "  Throughput {:>5.0} Mbps", self.throughput_mbps)

@@ -279,7 +279,10 @@ mod tests {
 
     #[test]
     fn inverse_constant_is_image_of_forward_constant() {
-        assert_eq!(INV_AFFINE_MATRIX.apply(AFFINE_CONSTANT), INV_AFFINE_CONSTANT);
+        assert_eq!(
+            INV_AFFINE_MATRIX.apply(AFFINE_CONSTANT),
+            INV_AFFINE_CONSTANT
+        );
     }
 
     #[test]

@@ -97,8 +97,16 @@ pub fn nonlinearity(sbox: &[u8; 256]) -> u16 {
 #[must_use]
 #[allow(clippy::needless_range_loop)]
 pub fn fixed_points(sbox: &[u8; 256]) -> (usize, usize) {
-    let fixed = sbox.iter().enumerate().filter(|&(x, &y)| y == x as u8).count();
-    let anti = sbox.iter().enumerate().filter(|&(x, &y)| y == !(x as u8)).count();
+    let fixed = sbox
+        .iter()
+        .enumerate()
+        .filter(|&(x, &y)| y == x as u8)
+        .count();
+    let anti = sbox
+        .iter()
+        .enumerate()
+        .filter(|&(x, &y)| y == !(x as u8))
+        .count();
     (fixed, anti)
 }
 

@@ -215,14 +215,8 @@ mod tests {
     #[test]
     fn mixcolumn_polynomials_are_mutually_inverse() {
         assert_eq!(GfPoly4::MIX_COLUMN * GfPoly4::INV_MIX_COLUMN, GfPoly4::ONE);
-        assert_eq!(
-            GfPoly4::MIX_COLUMN.inverse(),
-            Some(GfPoly4::INV_MIX_COLUMN)
-        );
-        assert_eq!(
-            GfPoly4::INV_MIX_COLUMN.inverse(),
-            Some(GfPoly4::MIX_COLUMN)
-        );
+        assert_eq!(GfPoly4::MIX_COLUMN.inverse(), Some(GfPoly4::INV_MIX_COLUMN));
+        assert_eq!(GfPoly4::INV_MIX_COLUMN.inverse(), Some(GfPoly4::MIX_COLUMN));
     }
 
     #[test]

@@ -200,7 +200,10 @@ impl Netlist {
     fn push(&mut self, kind: CellKind, inputs: Vec<NetId>) -> NetId {
         debug_assert_eq!(inputs.len(), kind.arity());
         for i in &inputs {
-            assert!(i.idx() < self.cells.len(), "operand {i:?} does not exist yet");
+            assert!(
+                i.idx() < self.cells.len(),
+                "operand {i:?} does not exist yet"
+            );
         }
         let id = NetId(u32::try_from(self.cells.len()).expect("netlist too large"));
         self.cells.push(Cell { kind, inputs });
@@ -210,19 +213,27 @@ impl Netlist {
     /// Declares a 1-bit primary input.
     pub fn input(&mut self, name: impl Into<String>) -> NetId {
         let id = self.push(CellKind::Input, vec![]);
-        self.inputs.push(PortBinding { name: name.into(), net: id });
+        self.inputs.push(PortBinding {
+            name: name.into(),
+            net: id,
+        });
         id
     }
 
     /// Declares a `width`-bit primary input bus (bit 0 first).
     pub fn input_bus(&mut self, name: &str, width: u32) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Binds a net to a named primary output.
     pub fn output(&mut self, name: impl Into<String>, net: NetId) {
         assert!(net.idx() < self.cells.len(), "output net does not exist");
-        self.outputs.push(PortBinding { name: name.into(), net });
+        self.outputs.push(PortBinding {
+            name: name.into(),
+            net,
+        });
     }
 
     /// Binds a bus of nets to numbered outputs.
@@ -272,7 +283,10 @@ impl Netlist {
     /// machines, accumulators) are described in this SSA-style IR.
     pub fn dff_uninit(&mut self) -> NetId {
         let id = NetId(u32::try_from(self.cells.len()).expect("netlist too large"));
-        self.cells.push(Cell { kind: CellKind::Dff, inputs: vec![] });
+        self.cells.push(Cell {
+            kind: CellKind::Dff,
+            inputs: vec![],
+        });
         id
     }
 
@@ -360,7 +374,10 @@ impl Netlist {
     /// Panics on width mismatch.
     pub fn mux_word(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
         assert_eq!(a.len(), b.len(), "mux_word width mismatch");
-        a.iter().zip(b).map(|(&x, &y)| self.mux2(sel, x, y)).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux2(sel, x, y))
+            .collect()
     }
 
     /// XOR-reduction of several equal-width words (balanced tree).
@@ -637,7 +654,11 @@ mod tests {
                     byte |= 1 << bit;
                 }
             }
-            assert_eq!(byte, contents[usize::from(test_addr)], "addr {test_addr:#x}");
+            assert_eq!(
+                byte,
+                contents[usize::from(test_addr)],
+                "addr {test_addr:#x}"
+            );
         }
     }
 
@@ -675,8 +696,7 @@ mod tests {
             .collect();
         let vals = nl.evaluate(&inputs, &HashMap::new());
         for (i, &n) in x.iter().enumerate() {
-            let expect =
-                inputs[&a[i]] ^ inputs[&b[i]] ^ inputs[&c[i]];
+            let expect = inputs[&a[i]] ^ inputs[&b[i]] ^ inputs[&c[i]];
             assert_eq!(vals[n.idx()], expect);
         }
     }

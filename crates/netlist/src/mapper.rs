@@ -133,18 +133,32 @@ pub fn map(netlist: &Netlist, cfg: &MapperConfig) -> MappedDesign {
         match &cells[i].kind {
             CellKind::Input | CellKind::Dff => {
                 label[i] = 0;
-                cut_sets[i] = vec![Cut { leaves: vec![id], depth: 0 }];
+                cut_sets[i] = vec![Cut {
+                    leaves: vec![id],
+                    depth: 0,
+                }];
             }
             CellKind::Const(_) => {
                 // Constants are free: they contribute no cut leaves (the
                 // truth-table computation folds them away).
                 label[i] = 0;
-                cut_sets[i] = vec![Cut { leaves: vec![], depth: 0 }];
+                cut_sets[i] = vec![Cut {
+                    leaves: vec![],
+                    depth: 0,
+                }];
             }
             CellKind::RomBit { .. } => {
-                let l = cells[i].inputs.iter().map(|a| label[a.idx()]).max().unwrap_or(0);
+                let l = cells[i]
+                    .inputs
+                    .iter()
+                    .map(|a| label[a.idx()])
+                    .max()
+                    .unwrap_or(0);
                 label[i] = l + 1;
-                cut_sets[i] = vec![Cut { leaves: vec![id], depth: l + 1 }];
+                cut_sets[i] = vec![Cut {
+                    leaves: vec![id],
+                    depth: l + 1,
+                }];
             }
             kind if kind.is_combinational() => {
                 let ops = &cells[i].inputs;
@@ -166,7 +180,10 @@ pub fn map(netlist: &Netlist, cfg: &MapperConfig) -> MappedDesign {
                 best_cut[i] = Some(merged[0].clone());
                 // Parents may also treat this node as a leaf.
                 let mut with_trivial = merged;
-                with_trivial.push(Cut { leaves: vec![id], depth: label[i] });
+                with_trivial.push(Cut {
+                    leaves: vec![id],
+                    depth: label[i],
+                });
                 cut_sets[i] = with_trivial;
             }
             _ => unreachable!("unhandled cell kind"),
@@ -283,7 +300,12 @@ pub fn map(netlist: &Netlist, cfg: &MapperConfig) -> MappedDesign {
             let cut = &cut_sets[i][ci];
             let truth = cone_truth(netlist, net, &cut.leaves);
             lut_of_net.insert(net, luts.len());
-            luts.push(Lut { output: net, inputs: cut.leaves.clone(), truth, level: 0 });
+            luts.push(Lut {
+                output: net,
+                inputs: cut.leaves.clone(),
+                truth,
+                level: 0,
+            });
         }
     }
     let _ = &best_cut; // labels retain the depth-optimal reference
@@ -366,7 +388,14 @@ pub fn map(netlist: &Netlist, cfg: &MapperConfig) -> MappedDesign {
     }
     let logic_cells = luts.len() + dff_count - paired;
 
-    MappedDesign { luts, dff_count, roms, logic_cells, depth, lut_of_net }
+    MappedDesign {
+        luts,
+        dff_count,
+        roms,
+        logic_cells,
+        depth,
+        lut_of_net,
+    }
 }
 
 /// Merges operand cut sets into candidate cuts of size ≤ K.
@@ -383,7 +412,10 @@ fn merge_cuts(ops: &[NetId], cut_sets: &[Vec<Cut>], cfg: &MapperConfig, out: &mu
             return; // enumeration budget
         }
         if idx == ops.len() {
-            out.push(Cut { leaves: acc, depth: 0 });
+            out.push(Cut {
+                leaves: acc,
+                depth: 0,
+            });
             return;
         }
         for cut in &cut_sets[ops[idx].idx()] {
@@ -516,7 +548,13 @@ pub fn evaluate_mapped(
         .outputs()
         .iter()
         .map(|p| p.net)
-        .chain(netlist.cells().iter().filter(|&c| matches!(c.kind, CellKind::Dff)).map(|c| c.inputs[0]))
+        .chain(
+            netlist
+                .cells()
+                .iter()
+                .filter(|&c| matches!(c.kind, CellKind::Dff))
+                .map(|c| c.inputs[0]),
+        )
         .collect();
     for net in visible {
         get(net, netlist, mapped, &mut values);
@@ -669,7 +707,11 @@ mod tests {
             "mux-tree bound exceeded: {} LUTs",
             mapped.luts.len()
         );
-        assert!(mapped.luts.len() >= 100, "implausibly small: {}", mapped.luts.len());
+        assert!(
+            mapped.luts.len() >= 100,
+            "implausibly small: {}",
+            mapped.luts.len()
+        );
         // 8-input function: 2 LUT4 levels cover 4+4... the mux tree gives
         // depth ≥ 3 after packing the bottom 4 levels into leaf LUTs.
         assert!(mapped.depth <= 5, "depth {} too deep", mapped.depth);

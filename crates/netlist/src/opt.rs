@@ -53,7 +53,10 @@ enum Value {
 #[must_use]
 pub fn optimize(netlist: &Netlist) -> (Netlist, OptReport) {
     let cells = netlist.cells();
-    let mut report = OptReport { cells_before: cells.len(), ..Default::default() };
+    let mut report = OptReport {
+        cells_before: cells.len(),
+        ..Default::default()
+    };
 
     // ------------------------------------------------------------------
     // Pass 1: forward value analysis. `value[i]` describes what cell i's
@@ -261,7 +264,17 @@ pub fn optimize(netlist: &Netlist) -> (Netlist, OptReport) {
                 .inputs
                 .iter()
                 .map(|&op| {
-                    materialise(op, cells, value, live, out, remap, inv_cache, pending_dffs, get_const)
+                    materialise(
+                        op,
+                        cells,
+                        value,
+                        live,
+                        out,
+                        remap,
+                        inv_cache,
+                        pending_dffs,
+                        get_const,
+                    )
                 })
                 .collect();
             let cell = &cells[root.idx()];
@@ -274,9 +287,7 @@ pub fn optimize(netlist: &Netlist) -> (Netlist, OptReport) {
                 CellKind::Xor2 => out.xor2(ops[0], ops[1]),
                 CellKind::Mux2 => out.mux2(ops[0], ops[1], ops[2]),
                 CellKind::Dff => unreachable!("handled above"),
-                CellKind::RomBit { table, group } => {
-                    out.rom_bit_raw(table.clone(), *group, ops)
-                }
+                CellKind::RomBit { table, group } => out.rom_bit_raw(table.clone(), *group, ops),
             };
             remap.insert(root, new);
             new

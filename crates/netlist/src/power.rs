@@ -41,7 +41,10 @@ impl ActivityTrace {
     /// An empty trace sized for `netlist`.
     #[must_use]
     pub fn new(netlist: &Netlist) -> Self {
-        ActivityTrace { toggles: vec![0; netlist.cells().len()], cycles: 0 }
+        ActivityTrace {
+            toggles: vec![0; netlist.cells().len()],
+            cycles: 0,
+        }
     }
 
     /// Accumulates one clock cycle's value vector against the previous
@@ -51,7 +54,11 @@ impl ActivityTrace {
     ///
     /// Panics if `values.len()` differs from the trace size.
     pub fn record(&mut self, previous: &[bool], current: &[bool]) {
-        assert_eq!(current.len(), self.toggles.len(), "value vector size mismatch");
+        assert_eq!(
+            current.len(),
+            self.toggles.len(),
+            "value vector size mismatch"
+        );
         assert_eq!(previous.len(), current.len());
         for ((t, &p), &c) in self.toggles.iter_mut().zip(previous).zip(current) {
             if p != c {
@@ -124,8 +131,7 @@ pub fn estimate_power(
 
     for (i, cell) in netlist.cells().iter().enumerate() {
         let toggles = activity.toggles[i] as f64;
-        let cap_pf =
-            params.cell_cap_pf + params.wire_cap_per_fanout_pf * f64::from(fanout[i]);
+        let cap_pf = params.cell_cap_pf + params.wire_cap_per_fanout_pf * f64::from(fanout[i]);
         // E = 1/2 C V^2 per transition; C in pF and V in volts gives pJ.
         let switch_pj = 0.5 * cap_pf * v2 * toggles;
         match &cell.kind {
@@ -184,7 +190,11 @@ mod tests {
         // mux(en, b, b) folds away; build a real toggler instead:
         let _ = d;
         let nq: Vec<_> = q.iter().map(|&b| nl.not(b)).collect();
-        let d: Vec<_> = q.iter().zip(&nq).map(|(&h, &t)| nl.mux2(en, h, t)).collect();
+        let d: Vec<_> = q
+            .iter()
+            .zip(&nq)
+            .map(|(&h, &t)| nl.mux2(en, h, t))
+            .collect();
         nl.connect_dff_word(&q, &d);
         nl.output_bus("q", &q);
 
@@ -212,8 +222,12 @@ mod tests {
         let (nl_cold, cold) = toggle_workload(false);
         let p_hot = estimate_power(&nl_hot, &hot, &params(), 10.0);
         let p_cold = estimate_power(&nl_cold, &cold, &params(), 10.0);
-        assert!(p_hot.dynamic_mw > p_cold.dynamic_mw * 2.0,
-            "hot {} vs cold {}", p_hot.dynamic_mw, p_cold.dynamic_mw);
+        assert!(
+            p_hot.dynamic_mw > p_cold.dynamic_mw * 2.0,
+            "hot {} vs cold {}",
+            p_hot.dynamic_mw,
+            p_cold.dynamic_mw
+        );
         // Idle still pays the clock tree.
         assert!(p_cold.clock_mw > 0.0);
         assert!(p_cold.dynamic_mw >= p_cold.clock_mw);
@@ -222,8 +236,24 @@ mod tests {
     #[test]
     fn voltage_scales_quadratically() {
         let (nl, trace) = toggle_workload(true);
-        let lo = estimate_power(&nl, &trace, &PowerParams { voltage: 1.5, ..params() }, 10.0);
-        let hi = estimate_power(&nl, &trace, &PowerParams { voltage: 3.0, ..params() }, 10.0);
+        let lo = estimate_power(
+            &nl,
+            &trace,
+            &PowerParams {
+                voltage: 1.5,
+                ..params()
+            },
+            10.0,
+        );
+        let hi = estimate_power(
+            &nl,
+            &trace,
+            &PowerParams {
+                voltage: 3.0,
+                ..params()
+            },
+            10.0,
+        );
         // Switching components scale by (3.0/1.5)^2 = 4; the clock term is
         // voltage-independent in this model, so compare logic only.
         assert!((hi.logic_mw / lo.logic_mw - 4.0).abs() < 1e-9);

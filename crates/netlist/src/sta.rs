@@ -144,8 +144,8 @@ pub fn analyze(netlist: &Netlist, mapped: &MappedDesign, params: &TimingParams) 
             let lut = &mapped.luts[li];
             let mut worst = (f64::MIN, None);
             for &i in &lut.inputs {
-                let t = arr(i, netlist, mapped, params, fanout, wire, arrival, pred)
-                    + wire(i, fanout);
+                let t =
+                    arr(i, netlist, mapped, params, fanout, wire, arrival, pred) + wire(i, fanout);
                 if t > worst.0 {
                     worst = (t, Some(i));
                 }
@@ -180,8 +180,16 @@ pub fn analyze(netlist: &Netlist, mapped: &MappedDesign, params: &TimingParams) 
     for cell in netlist.cells() {
         if matches!(cell.kind, CellKind::Dff) {
             let d = cell.inputs[0];
-            let t = arr(d, netlist, mapped, params, &fanout, &wire, &mut arrival, &mut pred)
-                + wire(d, &fanout)
+            let t = arr(
+                d,
+                netlist,
+                mapped,
+                params,
+                &fanout,
+                &wire,
+                &mut arrival,
+                &mut pred,
+            ) + wire(d, &fanout)
                 + params.ff_setup;
             if t > worst.0 {
                 worst = (t, Some(d), "register setup");
@@ -189,8 +197,16 @@ pub fn analyze(netlist: &Netlist, mapped: &MappedDesign, params: &TimingParams) 
         }
     }
     for po in netlist.outputs() {
-        let t = arr(po.net, netlist, mapped, params, &fanout, &wire, &mut arrival, &mut pred)
-            + wire(po.net, &fanout)
+        let t = arr(
+            po.net,
+            netlist,
+            mapped,
+            params,
+            &fanout,
+            &wire,
+            &mut arrival,
+            &mut pred,
+        ) + wire(po.net, &fanout)
             + params.pad_delay;
         if t > worst.0 {
             worst = (t, Some(po.net), "output pad");
@@ -212,7 +228,11 @@ pub fn analyze(netlist: &Netlist, mapped: &MappedDesign, params: &TimingParams) 
                 _ => "gate",
             }
         };
-        critical_path.push(PathNode { net, arrival: arrival[&net], kind });
+        critical_path.push(PathNode {
+            net,
+            arrival: arrival[&net],
+            kind,
+        });
         cursor = pred.get(&net).copied().flatten();
     }
     critical_path.reverse();
@@ -281,7 +301,10 @@ mod tests {
         let out = nl.dff_word(&data);
         nl.output_bus("q", &out);
         let mapped = map(&nl, &MapperConfig::default());
-        let params = TimingParams { rom_access: 5.0, ..unit() };
+        let params = TimingParams {
+            rom_access: 5.0,
+            ..unit()
+        };
         let r = analyze(&nl, &mapped, &params);
         assert!((r.min_period - 5.0).abs() < 1e-9, "{}", r.min_period);
         assert!(r.critical_path.iter().any(|n| n.kind == "ROM"));
@@ -300,7 +323,10 @@ mod tests {
                 nl.output(format!("o{i}"), qq);
             }
             let mapped = map(&nl, &MapperConfig::default());
-            let params = TimingParams { wire_per_fanout: 0.2, ..unit() };
+            let params = TimingParams {
+                wire_per_fanout: 0.2,
+                ..unit()
+            };
             analyze(&nl, &mapped, &params).min_period
         };
         assert!(build(8) > build(1));
@@ -313,7 +339,11 @@ mod tests {
         let q = nl.dff(a);
         nl.output("q", q);
         let mapped = map(&nl, &MapperConfig::default());
-        let params = TimingParams { clk_to_q: 2.0, pad_delay: 3.0, ..unit() };
+        let params = TimingParams {
+            clk_to_q: 2.0,
+            pad_delay: 3.0,
+            ..unit()
+        };
         let r = analyze(&nl, &mapped, &params);
         // q (clk_to_q 2.0) + pad 3.0.
         assert!((r.min_period - 5.0).abs() < 1e-9, "{}", r.min_period);

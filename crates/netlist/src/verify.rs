@@ -83,13 +83,19 @@ pub fn check_mapping(
 
         for po in netlist.outputs() {
             if gate_vals[po.net.idx()] != mapped_vals[&po.net] {
-                return Some(Mismatch { pattern, signal: po.name.clone() });
+                return Some(Mismatch {
+                    pattern,
+                    signal: po.name.clone(),
+                });
             }
         }
         for &q in &dffs {
             let d = netlist.cell(q).inputs[0];
             if gate_vals[d.idx()] != mapped_vals[&d] {
-                return Some(Mismatch { pattern, signal: format!("dff:{}", q.0) });
+                return Some(Mismatch {
+                    pattern,
+                    signal: format!("dff:{}", q.0),
+                });
             }
         }
     }
@@ -125,10 +131,16 @@ pub fn check_netlists(a: &Netlist, b: &Netlist, patterns: u32, seed: u64) -> Opt
     let b_dffs = dff_nets(b);
     assert_eq!(a_dffs.len(), b_dffs.len(), "register counts differ");
 
-    let b_out_by_name: HashMap<&str, NetId> =
-        b.outputs().iter().map(|p| (p.name.as_str(), p.net)).collect();
-    let b_in_by_name: HashMap<&str, NetId> =
-        b.inputs().iter().map(|p| (p.name.as_str(), p.net)).collect();
+    let b_out_by_name: HashMap<&str, NetId> = b
+        .outputs()
+        .iter()
+        .map(|p| (p.name.as_str(), p.net))
+        .collect();
+    let b_in_by_name: HashMap<&str, NetId> = b
+        .inputs()
+        .iter()
+        .map(|p| (p.name.as_str(), p.net))
+        .collect();
 
     let mut rng = Rng(seed | 1);
     for pattern in 0..patterns {
@@ -152,14 +164,20 @@ pub fn check_netlists(a: &Netlist, b: &Netlist, patterns: u32, seed: u64) -> Opt
         for pa in a.outputs() {
             let nb = b_out_by_name[pa.name.as_str()];
             if va[pa.net.idx()] != vb[nb.idx()] {
-                return Some(Mismatch { pattern, signal: pa.name.clone() });
+                return Some(Mismatch {
+                    pattern,
+                    signal: pa.name.clone(),
+                });
             }
         }
         for (&qa, &qb) in a_dffs.iter().zip(&b_dffs) {
             let da = a.cell(qa).inputs[0];
             let db = b.cell(qb).inputs[0];
             if va[da.idx()] != vb[db.idx()] {
-                return Some(Mismatch { pattern, signal: format!("dff:{}", qa.0) });
+                return Some(Mismatch {
+                    pattern,
+                    signal: format!("dff:{}", qa.0),
+                });
             }
         }
     }

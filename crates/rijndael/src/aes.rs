@@ -119,8 +119,8 @@ mod tests {
         assert_eq!(
             ct,
             [
-                0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70,
-                0xB4, 0xC5, 0x5A
+                0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4,
+                0xC5, 0x5A
             ]
         );
         assert_eq!(aes.decrypt_block(&ct), c_plaintext());
@@ -134,8 +134,8 @@ mod tests {
         assert_eq!(
             ct,
             [
-                0xDD, 0xA9, 0x7C, 0xA4, 0x86, 0x4C, 0xDF, 0xE0, 0x6E, 0xAF, 0x70, 0xA0, 0xEC,
-                0x0D, 0x71, 0x91
+                0xDD, 0xA9, 0x7C, 0xA4, 0x86, 0x4C, 0xDF, 0xE0, 0x6E, 0xAF, 0x70, 0xA0, 0xEC, 0x0D,
+                0x71, 0x91
             ]
         );
         assert_eq!(aes.decrypt_block(&ct), c_plaintext());
@@ -149,8 +149,8 @@ mod tests {
         assert_eq!(
             ct,
             [
-                0x8E, 0xA2, 0xB7, 0xCA, 0x51, 0x67, 0x45, 0xBF, 0xEA, 0xFC, 0x49, 0x90, 0x4B,
-                0x49, 0x60, 0x89
+                0x8E, 0xA2, 0xB7, 0xCA, 0x51, 0x67, 0x45, 0xBF, 0xEA, 0xFC, 0x49, 0x90, 0x4B, 0x49,
+                0x60, 0x89
             ]
         );
         assert_eq!(aes.decrypt_block(&ct), c_plaintext());
@@ -167,6 +167,9 @@ mod tests {
 
     #[test]
     fn debug_is_nonempty() {
-        assert_eq!(format!("{:?}", Aes128::new(&[0; 16])), "Aes128 { rounds: 10 }");
+        assert_eq!(
+            format!("{:?}", Aes128::new(&[0; 16])),
+            "Aes128 { rounds: 10 }"
+        );
     }
 }

@@ -183,8 +183,8 @@ mod tests {
         assert_eq!(
             block,
             [
-                0x39, 0x25, 0x84, 0x1D, 0x02, 0xDC, 0x09, 0xFB, 0xDC, 0x11, 0x85, 0x97, 0x19,
-                0x6A, 0x0B, 0x32
+                0x39, 0x25, 0x84, 0x1D, 0x02, 0xDC, 0x09, 0xFB, 0xDC, 0x11, 0x85, 0x97, 0x19, 0x6A,
+                0x0B, 0x32
             ]
         );
         cipher.decrypt(&mut block);
@@ -198,8 +198,9 @@ mod tests {
             for key_len in [16usize, 20, 24, 28, 32] {
                 let key: Vec<u8> = (0..key_len as u8).map(|b| b.wrapping_mul(37)).collect();
                 let cipher = Rijndael::<NB>::new(&key).unwrap();
-                let original: Vec<u8> =
-                    (0..4 * NB as u8).map(|b| b.wrapping_mul(11) ^ 0x5A).collect();
+                let original: Vec<u8> = (0..4 * NB as u8)
+                    .map(|b| b.wrapping_mul(11) ^ 0x5A)
+                    .collect();
                 let mut block = original.clone();
                 cipher.encrypt(&mut block);
                 assert_ne!(block, original, "encryption must change the block");

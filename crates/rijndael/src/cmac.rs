@@ -58,7 +58,7 @@ pub fn cmac<C: BlockCipher>(cipher: &C, message: &[u8]) -> [u8; 16] {
 
     // Number of blocks, with the empty message counted as one.
     let n = message.len().div_ceil(16).max(1);
-    let complete = !message.is_empty() && message.len() % 16 == 0;
+    let complete = !message.is_empty() && message.len().is_multiple_of(16);
 
     let mut x = [0u8; 16];
     for block in 0..n - 1 {
@@ -108,8 +108,8 @@ mod tests {
     use crate::aes::Aes128;
 
     const RFC_KEY: [u8; 16] = [
-        0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF,
-        0x4F, 0x3C,
+        0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+        0x3C,
     ];
 
     #[test]
@@ -120,15 +120,15 @@ mod tests {
         assert_eq!(
             k1,
             [
-                0xFB, 0xEE, 0xD6, 0x18, 0x35, 0x71, 0x33, 0x66, 0x7C, 0x85, 0xE0, 0x8F, 0x72,
-                0x36, 0xA8, 0xDE
+                0xFB, 0xEE, 0xD6, 0x18, 0x35, 0x71, 0x33, 0x66, 0x7C, 0x85, 0xE0, 0x8F, 0x72, 0x36,
+                0xA8, 0xDE
             ]
         );
         assert_eq!(
             k2,
             [
-                0xF7, 0xDD, 0xAC, 0x30, 0x6A, 0xE2, 0x66, 0xCC, 0xF9, 0x0B, 0xC1, 0x1E, 0xE4,
-                0x6D, 0x51, 0x3B
+                0xF7, 0xDD, 0xAC, 0x30, 0x6A, 0xE2, 0x66, 0xCC, 0xF9, 0x0B, 0xC1, 0x1E, 0xE4, 0x6D,
+                0x51, 0x3B
             ]
         );
     }
@@ -139,8 +139,8 @@ mod tests {
         assert_eq!(
             tag,
             [
-                0xBB, 0x1D, 0x69, 0x29, 0xE9, 0x59, 0x37, 0x28, 0x7F, 0xA3, 0x7D, 0x12, 0x9B,
-                0x75, 0x67, 0x46
+                0xBB, 0x1D, 0x69, 0x29, 0xE9, 0x59, 0x37, 0x28, 0x7F, 0xA3, 0x7D, 0x12, 0x9B, 0x75,
+                0x67, 0x46
             ]
         );
     }
@@ -157,8 +157,8 @@ mod tests {
         assert_eq!(
             tag,
             [
-                0x07, 0x0A, 0x16, 0xB4, 0x6B, 0x4D, 0x41, 0x44, 0xF7, 0x9B, 0xDD, 0x9D, 0xD0,
-                0x4A, 0x28, 0x7C
+                0x07, 0x0A, 0x16, 0xB4, 0x6B, 0x4D, 0x41, 0x44, 0xF7, 0x9B, 0xDD, 0x9D, 0xD0, 0x4A,
+                0x28, 0x7C
             ]
         );
     }
@@ -176,8 +176,8 @@ mod tests {
         assert_eq!(
             tag,
             [
-                0xDF, 0xA6, 0x67, 0x47, 0xDE, 0x9A, 0xE6, 0x30, 0x30, 0xCA, 0x32, 0x61, 0x14,
-                0x97, 0xC8, 0x27
+                0xDF, 0xA6, 0x67, 0x47, 0xDE, 0x9A, 0xE6, 0x30, 0x30, 0xCA, 0x32, 0x61, 0x14, 0x97,
+                0xC8, 0x27
             ]
         );
     }

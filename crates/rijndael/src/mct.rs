@@ -68,7 +68,10 @@ pub fn encrypt_mct<C: BlockCipher>(
         pt = ct;
     }
 
-    MctResult { checkpoints, final_key: key.to_vec() }
+    MctResult {
+        checkpoints,
+        final_key: key.to_vec(),
+    }
 }
 
 #[cfg(test)]

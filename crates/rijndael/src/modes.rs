@@ -55,10 +55,16 @@ impl Ecb {
     ///
     /// Returns [`LengthError`] unless `data.len()` is a multiple of the
     /// cipher's block length.
-    pub fn encrypt<C: BlockCipher + ?Sized>(cipher: &C, data: &mut [u8]) -> Result<(), LengthError> {
+    pub fn encrypt<C: BlockCipher + ?Sized>(
+        cipher: &C,
+        data: &mut [u8],
+    ) -> Result<(), LengthError> {
         let bl = cipher.block_len();
         if !data.len().is_multiple_of(bl) {
-            return Err(LengthError { len: data.len(), block: bl });
+            return Err(LengthError {
+                len: data.len(),
+                block: bl,
+            });
         }
         for block in data.chunks_exact_mut(bl) {
             cipher.encrypt_in_place(block);
@@ -72,10 +78,16 @@ impl Ecb {
     ///
     /// Returns [`LengthError`] unless `data.len()` is a multiple of the
     /// cipher's block length.
-    pub fn decrypt<C: BlockCipher + ?Sized>(cipher: &C, data: &mut [u8]) -> Result<(), LengthError> {
+    pub fn decrypt<C: BlockCipher + ?Sized>(
+        cipher: &C,
+        data: &mut [u8],
+    ) -> Result<(), LengthError> {
         let bl = cipher.block_len();
         if !data.len().is_multiple_of(bl) {
-            return Err(LengthError { len: data.len(), block: bl });
+            return Err(LengthError {
+                len: data.len(),
+                block: bl,
+            });
         }
         for block in data.chunks_exact_mut(bl) {
             cipher.decrypt_in_place(block);
@@ -107,7 +119,10 @@ impl Cbc {
         let bl = cipher.block_len();
         assert_eq!(iv.len(), bl, "IV must be one block long");
         if !data.len().is_multiple_of(bl) {
-            return Err(LengthError { len: data.len(), block: bl });
+            return Err(LengthError {
+                len: data.len(),
+                block: bl,
+            });
         }
         let mut chain = iv.to_vec();
         for block in data.chunks_exact_mut(bl) {
@@ -138,7 +153,10 @@ impl Cbc {
         let bl = cipher.block_len();
         assert_eq!(iv.len(), bl, "IV must be one block long");
         if !data.len().is_multiple_of(bl) {
-            return Err(LengthError { len: data.len(), block: bl });
+            return Err(LengthError {
+                len: data.len(),
+                block: bl,
+            });
         }
         let mut chain = iv.to_vec();
         let mut next_chain = vec![0u8; bl];
@@ -276,7 +294,10 @@ pub fn pkcs7_unpad(data: &[u8], block_len: usize) -> Option<usize> {
         return None;
     }
     let body = data.len() - pad;
-    data[body..].iter().all(|&b| b as usize == pad).then_some(body)
+    data[body..]
+        .iter()
+        .all(|&b| b as usize == pad)
+        .then_some(body)
 }
 
 #[cfg(test)]
@@ -289,7 +310,9 @@ mod tests {
     }
 
     fn sample(len: usize) -> Vec<u8> {
-        (0..len).map(|i| (i as u8).wrapping_mul(73).wrapping_add(5)).collect()
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(73).wrapping_add(5))
+            .collect()
     }
 
     #[test]

@@ -299,10 +299,7 @@ mod tests {
     fn display_matches_hex_dump() {
         let bytes: [u8; 16] = core::array::from_fn(|i| i as u8);
         let st = State::<4>::from_bytes(&bytes);
-        assert_eq!(
-            st.to_string(),
-            "000102030405060708090a0b0c0d0e0f"
-        );
+        assert_eq!(st.to_string(), "000102030405060708090a0b0c0d0e0f");
         assert!(format!("{st:?}").contains("State<4>"));
     }
 }

@@ -46,7 +46,11 @@ impl<const NB: usize> EncryptionTrace<NB> {
     /// [`trace_encrypt`]).
     #[must_use]
     pub fn output(&self) -> &State<NB> {
-        &self.rounds.last().expect("trace has at least one round").after_add_key
+        &self
+            .rounds
+            .last()
+            .expect("trace has at least one round")
+            .after_add_key
     }
 }
 
@@ -131,7 +135,11 @@ mod tests {
         let cipher = Rijndael::<4>::new(&FIPS_KEY).unwrap();
         let trace = trace_encrypt(&cipher, &State::from_bytes(&FIPS_PT));
         for r in &trace.rounds[..9] {
-            assert!(r.after_mix_column.is_some(), "round {} missing MixColumn", r.round);
+            assert!(
+                r.after_mix_column.is_some(),
+                "round {} missing MixColumn",
+                r.round
+            );
         }
         assert!(trace.rounds[9].after_mix_column.is_none());
     }
@@ -145,13 +153,22 @@ mod tests {
             "193de3bea0f4e22b9ac68d2ae9f84808"
         );
         let r1 = &trace.rounds[0];
-        assert_eq!(r1.after_byte_sub.to_string(), "d42711aee0bf98f1b8b45de51e415230");
-        assert_eq!(r1.after_shift_row.to_string(), "d4bf5d30e0b452aeb84111f11e2798e5");
+        assert_eq!(
+            r1.after_byte_sub.to_string(),
+            "d42711aee0bf98f1b8b45de51e415230"
+        );
+        assert_eq!(
+            r1.after_shift_row.to_string(),
+            "d4bf5d30e0b452aeb84111f11e2798e5"
+        );
         assert_eq!(
             r1.after_mix_column.unwrap().to_string(),
             "046681e5e0cb199a48f8d37a2806264c"
         );
-        assert_eq!(r1.after_add_key.to_string(), "a49c7ff2689f352b6b5bea43026a5049");
+        assert_eq!(
+            r1.after_add_key.to_string(),
+            "a49c7ff2689f352b6b5bea43026a5049"
+        );
     }
 
     #[test]

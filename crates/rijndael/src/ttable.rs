@@ -69,7 +69,9 @@ fn td(i: usize, x: u8) -> u32 {
 pub fn inv_mix_word(w: u32) -> u32 {
     let b = w.to_be_bytes().map(Gf256::new);
     let m = |c0: u8, c1: u8, c2: u8, c3: u8| {
-        (b[0] * Gf256::new(c0) + b[1] * Gf256::new(c1) + b[2] * Gf256::new(c2)
+        (b[0] * Gf256::new(c0)
+            + b[1] * Gf256::new(c1)
+            + b[2] * Gf256::new(c2)
             + b[3] * Gf256::new(c3))
         .value()
     };
@@ -163,8 +165,12 @@ impl TtableAes {
         assert_eq!(block.len(), 16);
         let rk = &self.enc_keys;
         let mut s: [u32; 4] = core::array::from_fn(|c| {
-            u32::from_be_bytes([block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]])
-                ^ rk[c]
+            u32::from_be_bytes([
+                block[4 * c],
+                block[4 * c + 1],
+                block[4 * c + 2],
+                block[4 * c + 3],
+            ]) ^ rk[c]
         });
 
         for round in 1..self.rounds {
@@ -203,8 +209,12 @@ impl TtableAes {
         assert_eq!(block.len(), 16);
         let rk = &self.dec_keys;
         let mut s: [u32; 4] = core::array::from_fn(|c| {
-            u32::from_be_bytes([block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]])
-                ^ rk[c]
+            u32::from_be_bytes([
+                block[4 * c],
+                block[4 * c + 1],
+                block[4 * c + 2],
+                block[4 * c + 3],
+            ]) ^ rk[c]
         });
 
         for round in 1..self.rounds {
@@ -273,8 +283,8 @@ mod tests {
         assert_eq!(
             block,
             [
-                0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70,
-                0xB4, 0xC5, 0x5A
+                0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4,
+                0xC5, 0x5A
             ]
         );
         t.decrypt_block(&mut block);

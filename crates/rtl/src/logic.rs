@@ -149,8 +149,15 @@ impl LogicVec {
     /// Panics if `width` is 0 or exceeds [`LogicVec::MAX_WIDTH`].
     #[must_use]
     pub fn unknown(width: u32) -> Self {
-        assert!((1..=Self::MAX_WIDTH).contains(&width), "width must be 1..=128");
-        LogicVec { width, value: 0, known: 0 }
+        assert!(
+            (1..=Self::MAX_WIDTH).contains(&width),
+            "width must be 1..=128"
+        );
+        LogicVec {
+            width,
+            value: 0,
+            known: 0,
+        }
     }
 
     /// An all-zero vector.
@@ -170,12 +177,19 @@ impl LogicVec {
     /// Panics if `width` is invalid or `value` does not fit in `width` bits.
     #[must_use]
     pub fn from_u128(width: u32, value: u128) -> Self {
-        assert!((1..=Self::MAX_WIDTH).contains(&width), "width must be 1..=128");
+        assert!(
+            (1..=Self::MAX_WIDTH).contains(&width),
+            "width must be 1..=128"
+        );
         assert!(
             value & !Self::mask(width) == 0,
             "value 0x{value:x} does not fit in {width} bits"
         );
-        LogicVec { width, value, known: Self::mask(width) }
+        LogicVec {
+            width,
+            value,
+            known: Self::mask(width),
+        }
     }
 
     /// A 1-bit vector from a [`Bit`].
@@ -216,7 +230,11 @@ impl LogicVec {
     /// Panics if `i >= width`.
     #[must_use]
     pub fn bit(&self, i: u32) -> Bit {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         if (self.known >> i) & 1 == 0 {
             Bit::X
         } else if (self.value >> i) & 1 == 1 {
@@ -233,7 +251,11 @@ impl LogicVec {
     /// Panics if `i >= width`.
     #[must_use]
     pub fn with_bit(mut self, i: u32, bit: Bit) -> Self {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let m = 1u128 << i;
         match bit {
             Bit::Zero => {
@@ -398,7 +420,7 @@ mod tests {
 
     #[test]
     fn bit_truth_tables() {
-        use Bit::{One, X, Zero};
+        use Bit::{One, Zero, X};
         assert_eq!(Zero & X, Zero);
         assert_eq!(X & One, X);
         assert_eq!(One | X, One);
@@ -487,7 +509,9 @@ mod tests {
 
     #[test]
     fn display_renders_x() {
-        let v = LogicVec::unknown(4).with_bit(0, Bit::One).with_bit(3, Bit::Zero);
+        let v = LogicVec::unknown(4)
+            .with_bit(0, Bit::One)
+            .with_bit(3, Bit::Zero);
         assert_eq!(v.to_string(), "0xx1");
         assert_eq!(format!("{v:?}"), "LogicVec(4'b0xx1)");
     }

@@ -50,7 +50,10 @@ impl History {
     /// Creates an empty history for `signal`.
     #[must_use]
     pub fn new(signal: SignalId) -> Self {
-        History { signal, samples: Vec::new() }
+        History {
+            signal,
+            samples: Vec::new(),
+        }
     }
 
     /// The probed signal.
@@ -63,7 +66,10 @@ impl History {
     pub fn sample(&mut self, sim: &Simulator) {
         let value = sim.get(self.signal);
         if self.samples.last().map(|s| s.value) != Some(value) {
-            self.samples.push(Sample { time: sim.time(), value });
+            self.samples.push(Sample {
+                time: sim.time(),
+                value,
+            });
         }
     }
 

@@ -210,7 +210,10 @@ impl Simulator {
         let signal = self.add_signal(name, 1);
         self.signals[signal.0].value = LogicVec::from_u128(1, 0);
         let idx = self.clocks.len();
-        self.clocks.push(ClockEntry { signal, half_period });
+        self.clocks.push(ClockEntry {
+            signal,
+            half_period,
+        });
         self.queue
             .entry(self.time + half_period)
             .or_default()
@@ -302,7 +305,10 @@ impl Simulator {
     pub fn schedule(&mut self, sig: SignalId, value: LogicVec, at: u64) {
         assert!(at >= self.time, "cannot schedule in the past");
         assert_eq!(self.signals[sig.0].value.width(), value.width());
-        self.queue.entry(at).or_default().push(TimedEvent::Write(sig, value));
+        self.queue
+            .entry(at)
+            .or_default()
+            .push(TimedEvent::Write(sig, value));
     }
 
     /// Attaches a VCD waveform writer; all signals declared so far are
@@ -350,7 +356,10 @@ impl Simulator {
             match ev {
                 TimedEvent::Write(sig, value) => writes.push((sig, value)),
                 TimedEvent::ClockToggle(idx) => {
-                    let ClockEntry { signal, half_period } = self.clocks[idx];
+                    let ClockEntry {
+                        signal,
+                        half_period,
+                    } = self.clocks[idx];
                     let cur = self.signals[signal.0].value;
                     let next = match cur.bit(0) {
                         Bit::One => LogicVec::from_u128(1, 0),
@@ -411,7 +420,10 @@ impl Simulator {
         let values: Vec<LogicVec> = self.signals.iter().map(|s| s.value).collect();
         let mut all_writes = Vec::new();
         for &pid in ids {
-            let mut ctx = ProcCtx { values: &values, writes: Vec::new() };
+            let mut ctx = ProcCtx {
+                values: &values,
+                writes: Vec::new(),
+            };
             (self.processes[pid].behavior)(&mut ctx);
             self.stats.process_runs += 1;
             all_writes.extend(ctx.writes);

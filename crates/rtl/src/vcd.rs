@@ -77,7 +77,10 @@ impl VcdWriter {
     ///
     /// Panics if dumping has already started.
     pub fn declare(&mut self, sig: SignalId, name: &str, width: u32) {
-        assert!(!self.started, "cannot declare signals after dumping started");
+        assert!(
+            !self.started,
+            "cannot declare signals after dumping started"
+        );
         let code = Self::code_for(self.next_code);
         self.next_code += 1;
         // VCD identifiers must not contain whitespace; sanitise the name.
@@ -198,7 +201,10 @@ mod tests {
         assert!(text.contains("$var wire 8"));
         assert!(text.contains("$dumpvars"));
         // Two rising edges by t=22 → q reaches 2.
-        assert!(text.contains("b00000010 "), "missing q value change: {text}");
+        assert!(
+            text.contains("b00000010 "),
+            "missing q value change: {text}"
+        );
         assert!(text.contains("#15"));
     }
 

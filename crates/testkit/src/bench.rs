@@ -1,0 +1,338 @@
+//! A minimal micro-benchmark harness (hermetic `criterion` replacement).
+//!
+//! Each benchmark is calibrated during a warmup phase (doubling the
+//! per-sample iteration count until a sample is long enough to time
+//! reliably), then measured as K samples whose **median** is reported —
+//! the median is robust against scheduler noise in a way a mean is not.
+//! Results print as one human-readable line per benchmark and, when the
+//! suite finishes, as a single JSON document on stdout (and to the file
+//! named by `TESTKIT_BENCH_JSON`, if set) for machine consumption.
+//!
+//! ```no_run
+//! let mut bench = testkit::bench::Bench::from_args("example");
+//! bench
+//!     .group("hashing")
+//!     .throughput_bytes(16)
+//!     .bench("fnv", || std::hint::black_box(42u64).wrapping_mul(0x100000001b3));
+//! bench.finish();
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Benchmark group (e.g. `cycle_core_block`).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Iterations folded into each timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+    /// Bytes processed per iteration, when declared via
+    /// [`Group::throughput_bytes`].
+    pub bytes_per_iter: Option<u64>,
+}
+
+impl Record {
+    /// Throughput in MiB/s derived from the median, when a byte count was
+    /// declared.
+    #[must_use]
+    pub fn throughput_mib_s(&self) -> Option<f64> {
+        self.bytes_per_iter
+            .map(|b| b as f64 / (1024.0 * 1024.0) / (self.median_ns / 1e9))
+    }
+
+    fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"group\":{}", json_string(&self.group)),
+            format!("\"name\":{}", json_string(&self.name)),
+            format!("\"iters_per_sample\":{}", self.iters_per_sample),
+            format!("\"samples\":{}", self.samples),
+            format!("\"median_ns\":{}", json_f64(self.median_ns)),
+            format!("\"min_ns\":{}", json_f64(self.min_ns)),
+            format!("\"max_ns\":{}", json_f64(self.max_ns)),
+        ];
+        if let Some(b) = self.bytes_per_iter {
+            fields.push(format!("\"bytes_per_iter\":{b}"));
+            if let Some(t) = self.throughput_mib_s() {
+                fields.push(format!("\"mib_per_s\":{}", json_f64(t)));
+            }
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A benchmark suite: owns the collected records and the CLI filter.
+pub struct Bench {
+    suite: String,
+    filter: Option<String>,
+    records: Vec<Record>,
+}
+
+impl Bench {
+    /// Creates a suite, reading an optional substring filter from the
+    /// command line (`cargo bench --bench cores -- gate` runs only
+    /// benchmarks whose `group/name` contains `gate`). Harness flags that
+    /// cargo forwards (`--bench`, `--test`, ...) are ignored.
+    #[must_use]
+    pub fn from_args(suite: &str) -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            suite: suite.to_string(),
+            filter,
+            records: Vec::new(),
+        }
+    }
+
+    /// Opens a named benchmark group with default sampling parameters
+    /// (11 samples of ≥20 ms each after a 150 ms warmup).
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.to_string(),
+            samples: 11,
+            warmup: Duration::from_millis(150),
+            sample_target: Duration::from_millis(20),
+            bytes_per_iter: None,
+        }
+    }
+
+    /// Prints the JSON document and returns the records.
+    pub fn finish(self) -> Vec<Record> {
+        let body = self
+            .records
+            .iter()
+            .map(Record::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        let doc = format!(
+            "{{\"suite\":{},\"results\":[{}]}}",
+            json_string(&self.suite),
+            body
+        );
+        println!("{doc}");
+        if let Ok(path) = std::env::var("TESTKIT_BENCH_JSON") {
+            if let Err(e) = std::fs::write(&path, &doc) {
+                eprintln!("testkit-bench: cannot write {path}: {e}");
+            }
+        }
+        self.records
+    }
+}
+
+/// A group of related benchmarks sharing sampling parameters.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    samples: usize,
+    warmup: Duration,
+    sample_target: Duration,
+    bytes_per_iter: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Sets the number of timed samples (the K in median-of-K).
+    pub fn samples(&mut self, k: usize) -> &mut Self {
+        assert!(k >= 1);
+        self.samples = k;
+        self
+    }
+
+    /// Sets the warmup duration.
+    pub fn warmup_ms(&mut self, ms: u64) -> &mut Self {
+        self.warmup = Duration::from_millis(ms);
+        self
+    }
+
+    /// Sets the target duration of one timed sample.
+    pub fn sample_ms(&mut self, ms: u64) -> &mut Self {
+        self.sample_target = Duration::from_millis(ms);
+        self
+    }
+
+    /// Declares how many bytes one iteration processes, enabling
+    /// throughput reporting.
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.bytes_per_iter = Some(bytes);
+        self
+    }
+
+    /// Runs one benchmark. The closure's return value is passed through
+    /// [`black_box`] so the computation cannot be optimized away.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.bench.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+
+        // Warmup + calibration: run batches, doubling the batch size until
+        // one batch takes at least the per-sample target (or the warmup
+        // window closes on an already-long batch).
+        let warmup_start = Instant::now();
+        let mut iters: u64 = 1;
+        let mut batch_time;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            batch_time = t.elapsed();
+            if batch_time >= self.sample_target {
+                break;
+            }
+            if warmup_start.elapsed() >= self.warmup && batch_time >= Duration::from_micros(100) {
+                // Slow-enough batch and warmup satisfied: scale directly to
+                // the target instead of doubling further.
+                let scale = self.sample_target.as_nanos() as f64 / batch_time.as_nanos() as f64;
+                iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+            } else {
+                iters = iters.saturating_mul(2);
+            }
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+
+        let record = Record {
+            group: self.name.clone(),
+            name: name.to_string(),
+            iters_per_sample: iters,
+            samples: self.samples,
+            median_ns: median,
+            min_ns: per_iter_ns[0],
+            max_ns: per_iter_ns[per_iter_ns.len() - 1],
+            bytes_per_iter: self.bytes_per_iter,
+        };
+        let throughput = record
+            .throughput_mib_s()
+            .map(|t| format!("  {t:10.1} MiB/s"))
+            .unwrap_or_default();
+        println!(
+            "{id:<42} {:>12} /iter  [{} .. {}]  ({iters} iters x {} samples){throughput}",
+            format_ns(record.median_ns),
+            format_ns(record.min_ns),
+            format_ns(record.max_ns),
+            self.samples,
+        );
+        self.bench.records.push(record);
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_sane_statistics() {
+        let mut bench = Bench {
+            suite: "selftest".to_string(),
+            filter: None,
+            records: Vec::new(),
+        };
+        bench
+            .group("tiny")
+            .samples(5)
+            .warmup_ms(1)
+            .sample_ms(1)
+            .throughput_bytes(16)
+            .bench("xor", || black_box(17u64) ^ black_box(23u64));
+        let records = bench.finish();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!((r.group.as_str(), r.name.as_str()), ("tiny", "xor"));
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.median_ns > 0.0);
+        assert!(r.throughput_mib_s().expect("bytes declared") > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut bench = Bench {
+            suite: "selftest".to_string(),
+            filter: Some("nomatch".to_string()),
+            records: Vec::new(),
+        };
+        bench
+            .group("g")
+            .samples(1)
+            .warmup_ms(1)
+            .sample_ms(1)
+            .bench("skipped", || panic!("must not run"));
+        assert!(bench.finish().is_empty());
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        let r = Record {
+            group: "g".into(),
+            name: "n".into(),
+            iters_per_sample: 3,
+            samples: 5,
+            median_ns: 1.5,
+            min_ns: 1.0,
+            max_ns: 2.0,
+            bytes_per_iter: Some(16),
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"median_ns\":1.500"), "{j}");
+        assert!(j.contains("\"bytes_per_iter\":16"), "{j}");
+        assert!(j.contains("\"mib_per_s\":"), "{j}");
+    }
+}

@@ -34,7 +34,12 @@ fn main() {
     }
 
     let per_block = cycles as f64 / burst.len() as f64;
-    println!("encrypted {} blocks in {} cycles ({:.1} cycles/block)", burst.len(), cycles, per_block);
+    println!(
+        "encrypted {} blocks in {} cycles ({:.1} cycles/block)",
+        burst.len(),
+        cycles,
+        per_block
+    );
     println!(
         "pipelining efficiency: {:.1}% of the theoretical 1 block / {} cycles\n",
         100.0 * link.core().latency_cycles() as f64 / per_block,

@@ -15,7 +15,10 @@ fn main() {
     // The combined encrypt/decrypt device behind its bus interface.
     let mut ip = IpDriver::new(EncDecCore::new());
     ip.write_key(&key);
-    println!("key loaded ({} clock cycles incl. the decrypt key walk)", ip.cycles());
+    println!(
+        "key loaded ({} clock cycles incl. the decrypt key walk)",
+        ip.cycles()
+    );
 
     let before = ip.cycles();
     let ciphertext = ip.process_block(&plaintext, Direction::Encrypt);

@@ -35,7 +35,11 @@ fn main() {
     let hw = HardwareAes::new(EncDecCore::new(), &session_key);
 
     let record = b"PAN=5413330089010434;AMT=004250;CUR=986;ARQC".to_vec();
-    println!("transaction record ({} bytes): {}", record.len(), String::from_utf8_lossy(&record));
+    println!(
+        "transaction record ({} bytes): {}",
+        record.len(),
+        String::from_utf8_lossy(&record)
+    );
 
     let mut wire = record.clone();
     pkcs7_pad(&mut wire, 16);

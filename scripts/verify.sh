@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the Rijndael IP workspace.
+#
+# Everything runs --locked --offline: the workspace has zero registry
+# dependencies (see "Hermetic build policy" in README.md / DESIGN.md), so
+# a clean checkout must format-check, lint, build and test with no
+# network access and no lockfile drift.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets --locked --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --locked --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --locked --offline
+
+echo "==> OK: hermetic verify passed"

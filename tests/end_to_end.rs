@@ -3,28 +3,28 @@
 //! workloads, and the hardware models must compose with the software
 //! block modes.
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
 use rijndael_ip::aes_ip::bus::{HardwareAes, IpDriver};
-use rijndael_ip::aes_ip::core::{
-    CoreVariant, Direction, DecryptCore, EncDecCore, EncryptCore,
-};
+use rijndael_ip::aes_ip::core::{CoreVariant, DecryptCore, Direction, EncDecCore, EncryptCore};
 use rijndael_ip::aes_ip::gate_sim::GateLevelCore;
 use rijndael_ip::aes_ip::netlist_gen::RomStyle;
 use rijndael_ip::rijndael::modes::{Cbc, Ctr, Ecb, Ofb};
 use rijndael_ip::rijndael::ttable::TtableAes;
 use rijndael_ip::rijndael::Aes128;
+use testkit::Rng;
 
 #[test]
 fn four_implementations_agree_on_random_blocks() {
-    let mut rng = StdRng::seed_from_u64(0xAE5_2003);
+    let mut rng = Rng::seed_from_u64(0xAE5_2003);
     for trial in 0..12 {
-        let key: [u8; 16] = rng.gen();
-        let pt: [u8; 16] = rng.gen();
+        let key: [u8; 16] = rng.gen_array();
+        let pt: [u8; 16] = rng.gen_array();
 
         let spec = Aes128::new(&key).encrypt_block(&pt);
 
         let mut ttable_block = pt;
-        TtableAes::new(&key).expect("AES key").encrypt_block(&mut ttable_block);
+        TtableAes::new(&key)
+            .expect("AES key")
+            .encrypt_block(&mut ttable_block);
         assert_eq!(ttable_block, spec, "T-table diverged (trial {trial})");
 
         let mut cyc = IpDriver::new(EncryptCore::new());
@@ -47,10 +47,10 @@ fn four_implementations_agree_on_random_blocks() {
 
 #[test]
 fn decrypt_cores_invert_encrypt_cores() {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     for _ in 0..6 {
-        let key: [u8; 16] = rng.gen();
-        let pt: [u8; 16] = rng.gen();
+        let key: [u8; 16] = rng.gen_array();
+        let pt: [u8; 16] = rng.gen_array();
 
         let mut enc = IpDriver::new(EncryptCore::new());
         enc.write_key(&key);
@@ -69,7 +69,10 @@ fn lut_rom_gate_level_matches_eab_gate_level() {
     let key = [0x5Au8; 16];
     let pt = [0xC3u8; 16];
     let mut eab = IpDriver::new(GateLevelCore::new(CoreVariant::Encrypt, RomStyle::Macro));
-    let mut lut = IpDriver::new(GateLevelCore::new(CoreVariant::Encrypt, RomStyle::LogicCells));
+    let mut lut = IpDriver::new(GateLevelCore::new(
+        CoreVariant::Encrypt,
+        RomStyle::LogicCells,
+    ));
     eab.write_key(&key);
     lut.write_key(&key);
     assert_eq!(
@@ -84,8 +87,8 @@ fn hardware_runs_every_mode_like_software() {
     let iv = [3u8; 16];
     let hw = HardwareAes::new(EncDecCore::new(), &key);
     let sw = Aes128::new(&key);
-    let mut rng = StdRng::seed_from_u64(99);
-    let msg: Vec<u8> = (0..96).map(|_| rng.gen()).collect();
+    let mut rng = Rng::seed_from_u64(99);
+    let msg: Vec<u8> = rng.gen_vec(96);
 
     let mut a = msg.clone();
     let mut b = msg.clone();
@@ -142,8 +145,8 @@ fn key_agility_reload_mid_stream() {
 #[test]
 fn pipelined_stream_equals_blockwise_processing() {
     let key = [0x77u8; 16];
-    let mut rng = StdRng::seed_from_u64(1234);
-    let blocks: Vec<[u8; 16]> = (0..10).map(|_| rng.gen()).collect();
+    let mut rng = Rng::seed_from_u64(1234);
+    let blocks: Vec<[u8; 16]> = (0..10).map(|_| rng.gen_array()).collect();
 
     let mut streamed = IpDriver::new(EncryptCore::new());
     streamed.write_key(&key);

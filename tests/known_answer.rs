@@ -1,0 +1,82 @@
+//! Zero-dependency FIPS-197 known-answer tests for the three hardware
+//! core variants of the paper (encrypt-only, decrypt-only, combined
+//! enc/dec), run through the bus driver against every published AES-128
+//! vector the workspace carries (FIPS-197 Appendix B worked example /
+//! Appendix C.1, AESAVS GFSbox, zero vector).
+//!
+//! These tests use no random stimulus and no test harness beyond
+//! `#[test]`, so basic hardware correctness is established independently
+//! of the property suite in `tests/properties.rs`.
+
+use rijndael_ip::aes_ip::bus::IpDriver;
+use rijndael_ip::aes_ip::core::{DecryptCore, Direction, EncDecCore, EncryptCore};
+use rijndael_ip::rijndael::vectors::{KnownAnswer, AES128_VECTORS};
+
+fn aes128_key(v: &KnownAnswer) -> [u8; 16] {
+    v.key.try_into().expect("AES-128 vector key")
+}
+
+#[test]
+fn encrypt_core_passes_fips197_vectors() {
+    for v in AES128_VECTORS {
+        let mut drv = IpDriver::new(EncryptCore::new());
+        drv.write_key(&aes128_key(v));
+        assert_eq!(
+            drv.process_block(&v.plaintext, Direction::Encrypt),
+            v.ciphertext,
+            "encrypt core disagrees with {}",
+            v.source
+        );
+    }
+}
+
+#[test]
+fn decrypt_core_passes_fips197_vectors() {
+    for v in AES128_VECTORS {
+        let mut drv = IpDriver::new(DecryptCore::new());
+        drv.write_key(&aes128_key(v));
+        assert_eq!(
+            drv.process_block(&v.ciphertext, Direction::Decrypt),
+            v.plaintext,
+            "decrypt core disagrees with {}",
+            v.source
+        );
+    }
+}
+
+#[test]
+fn encdec_core_passes_fips197_vectors_both_ways() {
+    for v in AES128_VECTORS {
+        let mut drv = IpDriver::new(EncDecCore::new());
+        drv.write_key(&aes128_key(v));
+        assert_eq!(
+            drv.process_block(&v.plaintext, Direction::Encrypt),
+            v.ciphertext,
+            "enc/dec core (encrypt) disagrees with {}",
+            v.source
+        );
+        assert_eq!(
+            drv.process_block(&v.ciphertext, Direction::Decrypt),
+            v.plaintext,
+            "enc/dec core (decrypt) disagrees with {}",
+            v.source
+        );
+    }
+}
+
+#[test]
+fn vectors_survive_without_rekeying_between_blocks() {
+    // All vectors under one key loaded once: the FIPS-197 C.1 key is
+    // reused to check the schedule is not consumed by a block operation.
+    let v = &AES128_VECTORS[0];
+    let mut drv = IpDriver::new(EncDecCore::new());
+    drv.write_key(&aes128_key(v));
+    for _ in 0..3 {
+        assert_eq!(
+            drv.process_block(&v.plaintext, Direction::Encrypt),
+            v.ciphertext,
+            "repeat encryption diverged for {}",
+            v.source
+        );
+    }
+}

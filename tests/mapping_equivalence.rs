@@ -5,17 +5,20 @@
 
 use std::collections::HashMap;
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
 use rijndael_ip::aes_ip::core::CoreVariant;
 use rijndael_ip::aes_ip::netlist_gen::{build_core_netlist, RomStyle};
 use rijndael_ip::netlist::ir::{CellKind, NetId};
 use rijndael_ip::netlist::mapper::{evaluate_mapped, map, MapperConfig};
 use rijndael_ip::netlist::opt::optimize;
+use testkit::Rng;
 
 fn check_mapping(variant: CoreVariant, style: RomStyle, patterns: u32) {
     let nl = build_core_netlist(variant, style);
     let (clean, report) = optimize(&nl);
-    assert!(report.cells_after <= report.cells_before, "optimizer grew the netlist");
+    assert!(
+        report.cells_after <= report.cells_before,
+        "optimizer grew the netlist"
+    );
     let mapped = map(&clean, &MapperConfig::default());
 
     let pis: Vec<NetId> = clean.inputs().iter().map(|p| p.net).collect();
@@ -27,10 +30,10 @@ fn check_mapping(variant: CoreVariant, style: RomStyle, patterns: u32) {
         .map(|(i, _)| NetId(i as u32))
         .collect();
 
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2003);
+    let mut rng = Rng::seed_from_u64(0xDA7E_2003);
     for pattern in 0..patterns {
-        let iv: HashMap<NetId, bool> = pis.iter().map(|&n| (n, rng.gen())).collect();
-        let st: HashMap<NetId, bool> = dffs.iter().map(|&n| (n, rng.gen())).collect();
+        let iv: HashMap<NetId, bool> = pis.iter().map(|&n| (n, rng.gen_bool())).collect();
+        let st: HashMap<NetId, bool> = dffs.iter().map(|&n| (n, rng.gen_bool())).collect();
 
         let gate_vals = clean.evaluate(&iv, &st);
         let mapped_vals = evaluate_mapped(&clean, &mapped, &iv, &st);
@@ -84,7 +87,15 @@ fn public_verify_api_agrees() {
     use rijndael_ip::netlist::verify::{check_mapping as vm, check_netlists};
     let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro);
     let (clean, _) = optimize(&nl);
-    assert_eq!(check_netlists(&nl, &clean, 8, 0xA5), None, "optimize changed behaviour");
+    assert_eq!(
+        check_netlists(&nl, &clean, 8, 0xA5),
+        None,
+        "optimize changed behaviour"
+    );
     let mapped = map(&clean, &MapperConfig::default());
-    assert_eq!(vm(&clean, &mapped, 8, 0xA5), None, "mapping changed behaviour");
+    assert_eq!(
+        vm(&clean, &mapped, 8, 0xA5),
+        None,
+        "mapping changed behaviour"
+    );
 }

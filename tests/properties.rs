@@ -2,115 +2,102 @@
 //! arbitrary keys and blocks at every Rijndael size, hardware/software
 //! agreement under arbitrary inputs, bus-protocol robustness under
 //! arbitrary handshake timing, and the algebra the datapath relies on.
+//!
+//! Runs on the hermetic `testkit` harness: 64 deterministic cases per
+//! law (the same budget the old `ProptestConfig::with_cases(64)` used),
+//! with seed reporting and bisection shrinking on failure.
 
-use proptest::prelude::*;
 use rijndael_ip::aes_ip::bus::IpDriver;
-use rijndael_ip::aes_ip::core::{
-    CoreInputs, CycleCore, Direction, EncDecCore, EncryptCore,
-};
+use rijndael_ip::aes_ip::core::{CoreInputs, CycleCore, Direction, EncDecCore, EncryptCore};
 use rijndael_ip::aes_ip::datapath;
 use rijndael_ip::gf256::{Gf256, GfPoly4};
 use rijndael_ip::rijndael::{Aes128, Rijndael};
+use testkit::forall;
+use testkit::prop::{any, vec_of};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+forall!(cases = 64, fn aes128_roundtrip(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>()) {
+    let aes = Aes128::new(&key);
+    assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+});
 
-    #[test]
-    fn aes128_roundtrip(key in prop::array::uniform16(any::<u8>()),
-                        pt in prop::array::uniform16(any::<u8>())) {
-        let aes = Aes128::new(&key);
-        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+forall!(cases = 64, fn wide_rijndael_roundtrip(key in any::<[u8; 20]>(), pt in any::<[u8; 28]>()) {
+    // 160-bit key, 224-bit block: deep inside the non-AES space.
+    let cipher = Rijndael::<7>::new(&key).expect("valid size");
+    let mut block = pt;
+    cipher.encrypt(&mut block);
+    cipher.decrypt(&mut block);
+    assert_eq!(block, pt);
+});
+
+forall!(cases = 64, fn hardware_equals_software(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>()) {
+    let mut drv = IpDriver::new(EncryptCore::new());
+    drv.write_key(&key);
+    let hw = drv.process_block(&pt, Direction::Encrypt);
+    assert_eq!(hw, Aes128::new(&key).encrypt_block(&pt));
+});
+
+forall!(cases = 64, fn key_walk_matches_stored_schedule(key in any::<u128>(), n in 0usize..=10) {
+    // The decrypt core's setup walk must reach the same round key the
+    // stored schedule holds.
+    let bytes = datapath::u128_to_block(key);
+    let schedule = rijndael_ip::rijndael::KeySchedule::expand(&bytes, 4).expect("16 bytes");
+    let expect = schedule.round_key(n).iter()
+        .fold(0u128, |acc, &w| (acc << 32) | u128::from(w));
+    assert_eq!(datapath::round_key_at(key, n), expect);
+});
+
+forall!(cases = 64, fn gf_distributivity(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+    let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+    assert_eq!(a * (b + c), a * b + a * c);
+});
+
+forall!(cases = 64, fn mix_column_polynomial_roundtrip(col in any::<[u8; 4]>()) {
+    let mixed = GfPoly4::MIX_COLUMN.apply_column(col);
+    assert_eq!(GfPoly4::INV_MIX_COLUMN.apply_column(mixed), col);
+});
+
+forall!(cases = 64, fn shift_sub_commute(state in any::<u128>()) {
+    // The decrypt datapath folds IShiftRow into the IByteSub cycle;
+    // that is only legal because the two commute.
+    let a = datapath::inv_shift_rows(sub_all(state));
+    let b = sub_all(datapath::inv_shift_rows(state));
+    assert_eq!(a, b);
+});
+
+forall!(cases = 64, fn bus_survives_arbitrary_strobe_noise(
+    key in any::<u128>(),
+    pt in any::<u128>(),
+    noise in vec_of(any::<(bool, u128)>(), 0..40),
+) {
+    // Arbitrary wr_data writes mid-flight must never corrupt the block
+    // being processed (they only replace the *pending* word).
+    let mut core = EncryptCore::new();
+    core.rising_edge(&CoreInputs { setup: true, wr_key: true, din: key, ..Default::default() });
+    core.rising_edge(&CoreInputs { wr_data: true, din: pt, ..Default::default() });
+    let mut out = Default::default();
+    let mut noise_iter = noise.into_iter();
+    for _ in 0..50 {
+        let inputs = match noise_iter.next() {
+            Some((true, din)) => CoreInputs { wr_data: true, din, ..Default::default() },
+            _ => CoreInputs::default(),
+        };
+        out = core.rising_edge(&inputs);
     }
+    assert!(out.data_ok);
+    let expect = Aes128::new(&datapath::u128_to_block(key))
+        .encrypt_block(&datapath::u128_to_block(pt));
+    assert_eq!(datapath::u128_to_block(out.dout), expect);
+});
 
-    #[test]
-    fn wide_rijndael_roundtrip(key in prop::collection::vec(any::<u8>(), 20..=20),
-                               pt in prop::collection::vec(any::<u8>(), 28..=28)) {
-        // 160-bit key, 224-bit block: deep inside the non-AES space.
-        let cipher = Rijndael::<7>::new(&key).expect("valid size");
-        let mut block = pt.clone();
-        cipher.encrypt(&mut block);
-        cipher.decrypt(&mut block);
-        prop_assert_eq!(block, pt);
-    }
-
-    #[test]
-    fn hardware_equals_software(key in prop::array::uniform16(any::<u8>()),
-                                pt in prop::array::uniform16(any::<u8>())) {
-        let mut drv = IpDriver::new(EncryptCore::new());
-        drv.write_key(&key);
-        let hw = drv.process_block(&pt, Direction::Encrypt);
-        prop_assert_eq!(hw, Aes128::new(&key).encrypt_block(&pt));
-    }
-
-    #[test]
-    fn key_walk_matches_stored_schedule(key in any::<u128>(), n in 0usize..=10) {
-        // The decrypt core's setup walk must reach the same round key the
-        // stored schedule holds.
-        let bytes = datapath::u128_to_block(key);
-        let schedule = rijndael_ip::rijndael::KeySchedule::expand(&bytes, 4).expect("16 bytes");
-        let expect = schedule.round_key(n).iter()
-            .fold(0u128, |acc, &w| (acc << 32) | u128::from(w));
-        prop_assert_eq!(datapath::round_key_at(key, n), expect);
-    }
-
-    #[test]
-    fn gf_distributivity(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
-        let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
-        prop_assert_eq!(a * (b + c), a * b + a * c);
-    }
-
-    #[test]
-    fn mix_column_polynomial_roundtrip(col in prop::array::uniform4(any::<u8>())) {
-        let mixed = GfPoly4::MIX_COLUMN.apply_column(col);
-        prop_assert_eq!(GfPoly4::INV_MIX_COLUMN.apply_column(mixed), col);
-    }
-
-    #[test]
-    fn shift_sub_commute(state in any::<u128>()) {
-        // The decrypt datapath folds IShiftRow into the IByteSub cycle;
-        // that is only legal because the two commute.
-        let a = datapath::inv_shift_rows(sub_all(state));
-        let b = sub_all(datapath::inv_shift_rows(state));
-        prop_assert_eq!(a, b);
-    }
-
-    #[test]
-    fn bus_survives_arbitrary_strobe_noise(
-        key in any::<u128>(),
-        pt in any::<u128>(),
-        noise in prop::collection::vec((any::<bool>(), any::<u128>()), 0..40),
-    ) {
-        // Arbitrary wr_data writes mid-flight must never corrupt the block
-        // being processed (they only replace the *pending* word).
-        let mut core = EncryptCore::new();
-        core.rising_edge(&CoreInputs { setup: true, wr_key: true, din: key, ..Default::default() });
-        core.rising_edge(&CoreInputs { wr_data: true, din: pt, ..Default::default() });
-        let mut out = Default::default();
-        let mut noise_iter = noise.into_iter();
-        for _ in 0..50 {
-            let inputs = match noise_iter.next() {
-                Some((true, din)) => CoreInputs { wr_data: true, din, ..Default::default() },
-                _ => CoreInputs::default(),
-            };
-            out = core.rising_edge(&inputs);
-        }
-        prop_assert!(out.data_ok);
-        let expect = Aes128::new(&datapath::u128_to_block(key))
-            .encrypt_block(&datapath::u128_to_block(pt));
-        prop_assert_eq!(datapath::u128_to_block(out.dout), expect);
-    }
-
-    #[test]
-    fn encdec_device_is_an_involution(key in any::<u128>(), pt in any::<u128>()) {
-        let key_bytes = datapath::u128_to_block(key);
-        let pt_bytes = datapath::u128_to_block(pt);
-        let mut drv = IpDriver::new(EncDecCore::new());
-        drv.write_key(&key_bytes);
-        let ct = drv.process_block(&pt_bytes, Direction::Encrypt);
-        let back = drv.process_block(&ct, Direction::Decrypt);
-        prop_assert_eq!(back, pt_bytes);
-    }
-}
+forall!(cases = 64, fn encdec_device_is_an_involution(key in any::<u128>(), pt in any::<u128>()) {
+    let key_bytes = datapath::u128_to_block(key);
+    let pt_bytes = datapath::u128_to_block(pt);
+    let mut drv = IpDriver::new(EncDecCore::new());
+    drv.write_key(&key_bytes);
+    let ct = drv.process_block(&pt_bytes, Direction::Encrypt);
+    let back = drv.process_block(&ct, Direction::Decrypt);
+    assert_eq!(back, pt_bytes);
+});
 
 fn sub_all(state: u128) -> u128 {
     let mut s = state;
@@ -122,8 +109,8 @@ fn sub_all(state: u128) -> u128 {
 
 #[test]
 fn stream_timing_is_deterministic() {
-    // Not a proptest (it is about exact counts): three runs of the same
-    // stream take identical cycle counts.
+    // Not a property test (it is about exact counts): three runs of the
+    // same stream take identical cycle counts.
     let blocks: Vec<[u8; 16]> = (0..5u8).map(|i| [i; 16]).collect();
     let mut counts = Vec::new();
     for _ in 0..3 {

@@ -90,7 +90,10 @@ fn cyclone_rejects_asynchronous_rom_macros() {
     // memory in LCs.
     let nl = build_core_netlist(CoreVariant::Encrypt, RomStyle::Macro);
     let err = synthesize(&nl, &EP1C20, &FlowOptions::default()).unwrap_err();
-    assert!(matches!(err, FitError::AsyncRomUnsupported { .. }), "got {err}");
+    assert!(
+        matches!(err, FitError::AsyncRomUnsupported { .. }),
+        "got {err}"
+    );
 }
 
 #[test]
@@ -105,7 +108,10 @@ fn architecture_sweep_throughput_ordering() {
         } else {
             build_alt_netlist(arch, RomStyle::Macro)
         };
-        let options = FlowOptions { latency_cycles: arch.latency_cycles(), ..Default::default() };
+        let options = FlowOptions {
+            latency_cycles: arch.latency_cycles(),
+            ..Default::default()
+        };
         let r = synthesize(&nl, &EP1K100, &options).expect("sweep fits");
         throughputs.push(r.throughput_mbps);
         memories.push(r.fit.memory_bits);
