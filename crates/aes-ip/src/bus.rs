@@ -6,6 +6,21 @@
 //! `Data_In`/`Out` registers (a new block is written while the previous one
 //! is still being processed — the overlap the paper's §4 highlights).
 //!
+//! The streaming API comes in two layers:
+//!
+//! * [`IpDriver::try_process_stream`] / [`IpDriver::try_process_block`] —
+//!   fallible one-shot calls returning [`StreamError`] instead of aborting
+//!   when the core wedges, the direction is unsupported, or the key is
+//!   rewritten mid-stream;
+//! * [`StreamSession`] — a resumable session created by
+//!   [`IpDriver::begin_stream`] and advanced by [`StreamSession::pump`] in
+//!   bounded cycle slices, so a scheduler can interleave many cores in
+//!   virtual lockstep (the multi-core `engine` crate drives it this way).
+//!
+//! The original panicking [`IpDriver::process_block`] and
+//! [`IpDriver::process_stream`] remain as thin wrappers over the fallible
+//! layer.
+//!
 //! [`HardwareAes`] adapts a driver to the [`rijndael::BlockCipher`] trait
 //! so the software block-mode implementations (CBC, CTR, ...) run
 //! unmodified over the hardware model.
@@ -15,8 +30,86 @@ use std::fmt;
 
 use rijndael::BlockCipher;
 
-use crate::core::{CoreInputs, CoreOutputs, CycleCore, Direction};
+use crate::core::{CoreInputs, CoreOutputs, CoreVariant, CycleCore, Direction};
 use crate::datapath::{block_to_u128, u128_to_block};
+
+/// Failures of the fallible bus streaming APIs.
+///
+/// Every condition that used to abort the process via `assert!` is reported
+/// through this type instead; the legacy wrappers translate it back into a
+/// panic for callers that opted into the old contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The core variant has no datapath for the requested direction
+    /// (e.g. a decrypt stream on the encrypt-only device).
+    UnsupportedDirection {
+        /// The device variant that rejected the stream.
+        variant: CoreVariant,
+        /// The direction it cannot process.
+        dir: Direction,
+    },
+    /// A stream cannot start while the core still has a block in flight or
+    /// an unconsumed word in `Data_In` (completions would be attributed to
+    /// the wrong stream).
+    CoreBusy,
+    /// `write_key` was issued while the session was in flight; the key
+    /// change invalidated the in-flight blocks, so the stream cannot
+    /// produce its remaining results.
+    KeyChangedMidStream {
+        /// Blocks that completed before the key was rewritten.
+        completed: usize,
+    },
+    /// The core stopped delivering completions: no progress for more than
+    /// 16× the rated latency (a wedged model, e.g. a decrypt stream whose
+    /// key-setup walk never ran).
+    Wedged {
+        /// Blocks that completed before the stall.
+        completed: usize,
+        /// Consecutive cycles without a write or a completion.
+        idle_cycles: u64,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::UnsupportedDirection { variant, dir } => {
+                let verb = match dir {
+                    Direction::Encrypt => "encrypt",
+                    Direction::Decrypt => "decrypt",
+                };
+                write!(f, "core variant {variant} cannot {verb}")
+            }
+            StreamError::CoreBusy => {
+                write!(f, "core is busy: a stream cannot start mid-flight")
+            }
+            StreamError::KeyChangedMidStream { completed } => write!(
+                f,
+                "key rewritten mid-stream after {completed} completed blocks"
+            ),
+            StreamError::Wedged {
+                completed,
+                idle_cycles,
+            } => write!(
+                f,
+                "stream wedged: no completion for {idle_cycles} cycles \
+                 ({completed} blocks completed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Outcome of one [`StreamSession::pump`] slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamProgress {
+    /// All blocks of the session have completed.
+    Complete,
+    /// The cycle allowance was exhausted with blocks still in flight;
+    /// pump again to continue.
+    InProgress,
+}
 
 /// A cycle-counting bus master driving one core.
 ///
@@ -37,13 +130,18 @@ use crate::datapath::{block_to_u128, u128_to_block};
 pub struct IpDriver<C> {
     core: C,
     cycles: u64,
+    key_epoch: u64,
 }
 
 impl<C: CycleCore> IpDriver<C> {
     /// Wraps a core with a fresh cycle counter.
     #[must_use]
     pub fn new(core: C) -> Self {
-        IpDriver { core, cycles: 0 }
+        IpDriver {
+            core,
+            cycles: 0,
+            key_epoch: 0,
+        }
     }
 
     /// Total rising edges issued so far.
@@ -51,6 +149,14 @@ impl<C: CycleCore> IpDriver<C> {
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Number of `write_key` calls issued so far. A [`StreamSession`]
+    /// snapshots this at creation to detect mid-stream key changes.
+    #[inline]
+    #[must_use]
+    pub fn key_epoch(&self) -> u64 {
+        self.key_epoch
     }
 
     /// Immutable access to the wrapped core.
@@ -81,8 +187,11 @@ impl<C: CycleCore> IpDriver<C> {
 
     /// Loads a cipher key: one `setup`+`wr_key` edge followed by the
     /// key-setup walk the core variant requires (10 extra `setup` edges
-    /// for decrypt-capable devices).
+    /// for decrypt-capable devices). Any in-flight block is invalidated by
+    /// the hardware; open [`StreamSession`]s observe the epoch change and
+    /// report [`StreamError::KeyChangedMidStream`] on their next pump.
     pub fn write_key(&mut self, key: &[u8; 16]) {
+        self.key_epoch += 1;
         self.clock(&CoreInputs {
             setup: true,
             wr_key: true,
@@ -97,81 +206,253 @@ impl<C: CycleCore> IpDriver<C> {
         }
     }
 
-    /// Processes one block and blocks until `data_ok`.
+    /// Opens a resumable pipelined stream over `blocks`.
     ///
-    /// # Panics
+    /// The session is advanced with [`StreamSession::pump`]; nothing is
+    /// clocked until the first pump.
     ///
-    /// Panics if the core fails to deliver a result within 16× its rated
-    /// latency (a wedged model).
-    pub fn process_block(&mut self, block: &[u8; 16], dir: Direction) -> [u8; 16] {
-        let before = self.core.results_count();
-        let mut out = self.clock(&CoreInputs {
-            wr_data: true,
-            din: block_to_u128(block),
-            enc_dec: dir,
-            ..Default::default()
-        });
-        let budget = 16 * self.core.latency_cycles().max(1);
-        let mut waited = 0;
-        while self.core.results_count() == before {
-            out = self.clock(&CoreInputs {
-                enc_dec: dir,
-                ..Default::default()
-            });
-            waited += 1;
-            assert!(
-                waited <= budget,
-                "core wedged: no result after {waited} cycles"
-            );
+    /// # Errors
+    ///
+    /// * [`StreamError::UnsupportedDirection`] when the variant has no
+    ///   datapath for `dir`;
+    /// * [`StreamError::CoreBusy`] when a block is still in flight or
+    ///   pending from earlier activity.
+    pub fn begin_stream(
+        &self,
+        blocks: &[[u8; 16]],
+        dir: Direction,
+    ) -> Result<StreamSession, StreamError> {
+        let variant = self.core.variant();
+        let supported = match dir {
+            Direction::Encrypt => variant.supports_encrypt(),
+            Direction::Decrypt => variant.supports_decrypt(),
+        };
+        if !supported {
+            return Err(StreamError::UnsupportedDirection { variant, dir });
         }
-        u128_to_block(out.dout)
+        if self.core.busy() || self.core.has_pending() {
+            return Err(StreamError::CoreBusy);
+        }
+        Ok(StreamSession {
+            blocks: blocks.to_vec(),
+            dir,
+            results: Vec::with_capacity(blocks.len()),
+            next_write: 0,
+            epoch: self.key_epoch,
+            last_results: self.core.results_count(),
+            idle: 0,
+        })
     }
 
-    /// Processes a stream of blocks, pipelined: the next block is written
-    /// while the current one is in flight, sustaining one block per
-    /// latency period (the paper's full-rate operation).
+    /// Processes a stream of blocks, pipelined, reporting failures instead
+    /// of aborting: the next block is written while the current one is in
+    /// flight, sustaining one block per latency period (the paper's
+    /// full-rate operation).
     ///
-    /// Returns the processed blocks in order.
+    /// # Errors
+    ///
+    /// Any [`StreamError`] surfaced by [`StreamSession::pump`].
+    pub fn try_process_stream(
+        &mut self,
+        blocks: &[[u8; 16]],
+        dir: Direction,
+    ) -> Result<Vec<[u8; 16]>, StreamError> {
+        let mut session = self.begin_stream(blocks, dir)?;
+        loop {
+            // Pump in bounded slices; the session's stall detector bounds
+            // the total number of iterations.
+            if session.pump(self, 4 * self.core.latency_cycles().max(1))?
+                == StreamProgress::Complete
+            {
+                return Ok(session.into_results());
+            }
+        }
+    }
+
+    /// Processes one block, blocking until `data_ok`, reporting failures
+    /// instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StreamError`] surfaced by [`StreamSession::pump`].
+    pub fn try_process_block(
+        &mut self,
+        block: &[u8; 16],
+        dir: Direction,
+    ) -> Result<[u8; 16], StreamError> {
+        let results = self.try_process_stream(core::slice::from_ref(block), dir)?;
+        Ok(results[0])
+    }
+
+    /// Processes one block and blocks until `data_ok`.
+    ///
+    /// Thin wrapper over [`IpDriver::try_process_block`], kept for callers
+    /// that treat bus faults as fatal.
     ///
     /// # Panics
     ///
-    /// Panics if the core wedges (no completion within 16× latency).
-    pub fn process_stream(&mut self, blocks: &[[u8; 16]], dir: Direction) -> Vec<[u8; 16]> {
-        let mut results = Vec::with_capacity(blocks.len());
-        let mut next_write = 0usize;
-        let mut last_results = self.core.results_count();
-        let budget = 16 * self.core.latency_cycles().max(1) * (blocks.len() as u64 + 1);
-        let mut spent = 0u64;
+    /// Panics on any [`StreamError`] (wedged core, unsupported direction,
+    /// busy core).
+    pub fn process_block(&mut self, block: &[u8; 16], dir: Direction) -> [u8; 16] {
+        self.try_process_block(block, dir)
+            .unwrap_or_else(|e| panic!("process_block: {e}"))
+    }
 
-        while results.len() < blocks.len() {
-            let inputs = if next_write < blocks.len() && !self.core.has_pending() {
-                let din = block_to_u128(&blocks[next_write]);
-                next_write += 1;
+    /// Processes a stream of blocks, pipelined, returning the processed
+    /// blocks in order.
+    ///
+    /// Thin wrapper over [`IpDriver::try_process_stream`], kept for
+    /// callers that treat bus faults as fatal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`StreamError`] (wedged core, unsupported direction,
+    /// busy core, key change mid-stream).
+    pub fn process_stream(&mut self, blocks: &[[u8; 16]], dir: Direction) -> Vec<[u8; 16]> {
+        self.try_process_stream(blocks, dir)
+            .unwrap_or_else(|e| panic!("process_stream: {e}"))
+    }
+}
+
+/// A resumable pipelined stream over one core.
+///
+/// Created by [`IpDriver::begin_stream`]; advanced by [`pump`] in bounded
+/// cycle slices so a scheduler can interleave several cores in virtual
+/// lockstep. The session owns its input blocks and accumulates results;
+/// budget exhaustion returns control to the caller instead of aborting.
+///
+/// [`pump`]: StreamSession::pump
+///
+/// # Examples
+///
+/// ```
+/// use aes_ip::bus::{IpDriver, StreamProgress};
+/// use aes_ip::core::{Direction, EncryptCore};
+///
+/// let mut drv = IpDriver::new(EncryptCore::new());
+/// drv.write_key(&[0u8; 16]);
+/// let blocks = [[0u8; 16]; 3];
+/// let mut session = drv.begin_stream(&blocks, Direction::Encrypt)?;
+/// while session.pump(&mut drv, 64)? == StreamProgress::InProgress {}
+/// assert_eq!(session.into_results().len(), 3);
+/// # Ok::<(), aes_ip::bus::StreamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamSession {
+    blocks: Vec<[u8; 16]>,
+    dir: Direction,
+    results: Vec<[u8; 16]>,
+    next_write: usize,
+    epoch: u64,
+    last_results: u64,
+    idle: u64,
+}
+
+impl StreamSession {
+    /// Number of input blocks in the session.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when the session holds no input blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Blocks completed so far.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.results.len()
+    }
+
+    /// `true` once every block has completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.results.len() == self.blocks.len()
+    }
+
+    /// The results accumulated so far, in input order.
+    #[must_use]
+    pub fn results(&self) -> &[[u8; 16]] {
+        &self.results
+    }
+
+    /// Consumes the session, returning the accumulated results.
+    #[must_use]
+    pub fn into_results(self) -> Vec<[u8; 16]> {
+        self.results
+    }
+
+    /// Advances the stream by at most `max_cycles` rising edges on `drv`,
+    /// writing the next block whenever the decoupled `Data_In` register is
+    /// free and collecting completions from the `Out` register.
+    ///
+    /// Returns [`StreamProgress::Complete`] once every block has a result,
+    /// or [`StreamProgress::InProgress`] when the allowance ran out first.
+    ///
+    /// # Errors
+    ///
+    /// * [`StreamError::KeyChangedMidStream`] when `write_key` ran on the
+    ///   driver since the session (or the previous pump) observed it;
+    /// * [`StreamError::Wedged`] when the core makes no progress for more
+    ///   than 16× its rated latency.
+    pub fn pump<C: CycleCore>(
+        &mut self,
+        drv: &mut IpDriver<C>,
+        max_cycles: u64,
+    ) -> Result<StreamProgress, StreamError> {
+        if drv.key_epoch() != self.epoch {
+            return Err(StreamError::KeyChangedMidStream {
+                completed: self.results.len(),
+            });
+        }
+        let stall_budget = 16 * drv.core().latency_cycles().max(1);
+        let mut remaining = max_cycles;
+        while !self.is_complete() {
+            if remaining == 0 {
+                return Ok(StreamProgress::InProgress);
+            }
+            remaining -= 1;
+
+            let wrote = self.next_write < self.blocks.len() && !drv.core().has_pending();
+            let inputs = if wrote {
+                let din = block_to_u128(&self.blocks[self.next_write]);
+                self.next_write += 1;
                 CoreInputs {
                     wr_data: true,
                     din,
-                    enc_dec: dir,
+                    enc_dec: self.dir,
                     ..Default::default()
                 }
             } else {
                 CoreInputs {
-                    enc_dec: dir,
+                    enc_dec: self.dir,
                     ..Default::default()
                 }
             };
-            let out = self.clock(&inputs);
-            let now = self.core.results_count();
-            if now > last_results {
-                // With a single Out register, completions arrive one at a
-                // time: each block takes ≥1 cycle past the previous one.
-                debug_assert_eq!(now, last_results + 1, "missed a completion");
-                results.push(u128_to_block(out.dout));
-                last_results = now;
+            let out = drv.clock(&inputs);
+
+            // With a single Out register, completions arrive one at a time.
+            let now = drv.core().results_count();
+            if now > self.last_results {
+                self.results.push(u128_to_block(out.dout));
+                self.last_results = now;
+                self.idle = 0;
+            } else if wrote {
+                self.idle = 0;
+            } else {
+                self.idle += 1;
+                if self.idle > stall_budget {
+                    return Err(StreamError::Wedged {
+                        completed: self.results.len(),
+                        idle_cycles: self.idle,
+                    });
+                }
             }
-            spent += 1;
-            assert!(spent <= budget, "stream wedged after {spent} cycles");
         }
-        results
+        Ok(StreamProgress::Complete)
     }
 }
 
@@ -224,14 +505,11 @@ impl<C: CycleCore> BlockCipher for HardwareAes<C> {
     /// Panics if the wrapped core cannot encrypt, or `block.len() != 16`.
     fn encrypt_in_place(&self, block: &mut [u8]) {
         let arr: [u8; 16] = block.try_into().expect("AES block is 16 bytes");
-        assert!(
-            self.driver.borrow().core().variant().supports_encrypt(),
-            "core variant cannot encrypt"
-        );
         let out = self
             .driver
             .borrow_mut()
-            .process_block(&arr, Direction::Encrypt);
+            .try_process_block(&arr, Direction::Encrypt)
+            .unwrap_or_else(|e| panic!("{e}"));
         block.copy_from_slice(&out);
     }
 
@@ -240,14 +518,11 @@ impl<C: CycleCore> BlockCipher for HardwareAes<C> {
     /// Panics if the wrapped core cannot decrypt, or `block.len() != 16`.
     fn decrypt_in_place(&self, block: &mut [u8]) {
         let arr: [u8; 16] = block.try_into().expect("AES block is 16 bytes");
-        assert!(
-            self.driver.borrow().core().variant().supports_decrypt(),
-            "core variant cannot decrypt"
-        );
         let out = self
             .driver
             .borrow_mut()
-            .process_block(&arr, Direction::Decrypt);
+            .try_process_block(&arr, Direction::Decrypt)
+            .unwrap_or_else(|e| panic!("{e}"));
         block.copy_from_slice(&out);
     }
 }
@@ -320,6 +595,40 @@ mod tests {
     }
 
     #[test]
+    fn stream_overlap_beats_independent_blocks() {
+        // The decoupled-bus claim, quantified: a pipelined stream of N
+        // blocks costs ≈ load + N·50 cycles, strictly less than N
+        // independent process_block calls (N·(1 + 50)).
+        const N: usize = 16;
+        let blocks: Vec<[u8; 16]> = (0..N as u8).map(|i| [i; 16]).collect();
+
+        let mut streamed = IpDriver::new(EncryptCore::new());
+        streamed.write_key(&[3u8; 16]);
+        let start = streamed.cycles();
+        let stream_out = streamed.process_stream(&blocks, Direction::Encrypt);
+        let stream_cycles = streamed.cycles() - start;
+
+        let mut blocking = IpDriver::new(EncryptCore::new());
+        blocking.write_key(&[3u8; 16]);
+        let start = blocking.cycles();
+        let block_out: Vec<[u8; 16]> = blocks
+            .iter()
+            .map(|b| blocking.process_block(b, Direction::Encrypt))
+            .collect();
+        let block_cycles = blocking.cycles() - start;
+
+        assert_eq!(stream_out, block_out);
+        // One load edge, then one block per latency period.
+        assert_eq!(stream_cycles, 1 + N as u64 * LATENCY_CYCLES);
+        // Each independent call pays its own load edge.
+        assert_eq!(block_cycles, N as u64 * (1 + LATENCY_CYCLES));
+        assert!(
+            stream_cycles < block_cycles,
+            "overlap must beat blocking: {stream_cycles} vs {block_cycles}"
+        );
+    }
+
+    #[test]
     fn stream_with_identical_blocks_keeps_count() {
         // All-same plaintexts produce all-same ciphertexts; the completion
         // counter must still see every block.
@@ -329,6 +638,134 @@ mod tests {
         let cts = drv.process_stream(&blocks, Direction::Encrypt);
         assert_eq!(cts.len(), 5);
         assert!(cts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn wedged_stream_reports_instead_of_aborting() {
+        // Write a key to the decrypt-only device WITHOUT the setup walk:
+        // the engine holds every data block until the walk finishes, so
+        // the stream stalls forever. The fallible API must report it.
+        let mut drv = IpDriver::new(DecryptCore::new());
+        drv.clock(&CoreInputs {
+            setup: true,
+            wr_key: true,
+            din: 7,
+            ..Default::default()
+        });
+        let blocks = [[0u8; 16]; 2];
+        let err = drv
+            .try_process_stream(&blocks, Direction::Decrypt)
+            .unwrap_err();
+        assert!(
+            matches!(err, StreamError::Wedged { completed: 0, .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("wedged"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "wedged")]
+    fn legacy_stream_wrapper_still_panics_on_wedge() {
+        let mut drv = IpDriver::new(DecryptCore::new());
+        drv.clock(&CoreInputs {
+            setup: true,
+            wr_key: true,
+            din: 7,
+            ..Default::default()
+        });
+        let _ = drv.process_stream(&[[0u8; 16]; 2], Direction::Decrypt);
+    }
+
+    #[test]
+    fn key_change_mid_stream_is_reported() {
+        let mut drv = IpDriver::new(EncryptCore::new());
+        drv.write_key(&[1u8; 16]);
+        let blocks: Vec<[u8; 16]> = (0..4u8).map(|i| [i; 16]).collect();
+        let mut session = drv.begin_stream(&blocks, Direction::Encrypt).unwrap();
+        // Run partway: first block completes, later ones still in flight.
+        assert_eq!(
+            session.pump(&mut drv, LATENCY_CYCLES + 5).unwrap(),
+            StreamProgress::InProgress
+        );
+        assert_eq!(session.completed(), 1);
+        // Rekey mid-stream: the in-flight work is invalidated.
+        drv.write_key(&[2u8; 16]);
+        let err = session.pump(&mut drv, 100).unwrap_err();
+        assert_eq!(err, StreamError::KeyChangedMidStream { completed: 1 });
+        assert!(err.to_string().contains("mid-stream"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_direction_is_reported_before_clocking() {
+        let mut drv = IpDriver::new(EncryptCore::new());
+        drv.write_key(&[0u8; 16]);
+        let before = drv.cycles();
+        let err = drv
+            .try_process_stream(&[[0u8; 16]], Direction::Decrypt)
+            .unwrap_err();
+        assert!(
+            matches!(err, StreamError::UnsupportedDirection { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("cannot decrypt"), "{err}");
+        assert_eq!(
+            drv.cycles(),
+            before,
+            "no edges issued for a rejected stream"
+        );
+    }
+
+    #[test]
+    fn busy_core_rejects_second_stream() {
+        let mut drv = IpDriver::new(EncryptCore::new());
+        drv.write_key(&[0u8; 16]);
+        let mut session = drv.begin_stream(&[[1u8; 16]], Direction::Encrypt).unwrap();
+        assert_eq!(
+            session.pump(&mut drv, 10).unwrap(),
+            StreamProgress::InProgress
+        );
+        // The first block is mid-flight: a second stream must not start.
+        assert_eq!(
+            drv.begin_stream(&[[2u8; 16]], Direction::Encrypt)
+                .unwrap_err(),
+            StreamError::CoreBusy
+        );
+        // Finishing the first session frees the core.
+        while session.pump(&mut drv, 50).unwrap() == StreamProgress::InProgress {}
+        assert!(drv.begin_stream(&[[2u8; 16]], Direction::Encrypt).is_ok());
+    }
+
+    #[test]
+    fn resumable_pump_matches_one_shot_stream() {
+        let blocks: Vec<[u8; 16]> = (0..6u8).map(|i| [i.wrapping_mul(31); 16]).collect();
+        let mut one_shot = IpDriver::new(EncryptCore::new());
+        one_shot.write_key(&[9u8; 16]);
+        let expect = one_shot.process_stream(&blocks, Direction::Encrypt);
+        let one_shot_cycles = one_shot.cycles();
+
+        let mut sliced = IpDriver::new(EncryptCore::new());
+        sliced.write_key(&[9u8; 16]);
+        let mut session = sliced.begin_stream(&blocks, Direction::Encrypt).unwrap();
+        // Pump in deliberately awkward 7-cycle slices.
+        while session.pump(&mut sliced, 7).unwrap() == StreamProgress::InProgress {}
+        assert!(session.is_complete());
+        assert_eq!(session.len(), 6);
+        assert!(!session.is_empty());
+        assert_eq!(session.results(), &expect[..]);
+        assert_eq!(session.into_results(), expect);
+        // Slicing must not change the cycle count: the schedule is
+        // identical, only control returns to the caller more often.
+        assert_eq!(sliced.cycles(), one_shot_cycles);
+    }
+
+    #[test]
+    fn empty_stream_completes_without_clocking() {
+        let mut drv = IpDriver::new(EncryptCore::new());
+        drv.write_key(&[0u8; 16]);
+        let before = drv.cycles();
+        let out = drv.try_process_stream(&[], Direction::Encrypt).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(drv.cycles(), before);
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Benches over the multi-core throughput engine: how fast the
+//! reproduction *simulates* farm workloads (virtual cycles are counted
+//! inside the models; this measures host wall time per scheduled byte).
+//!
+//! Set `TESTKIT_BENCH_SMOKE=1` to run a one-sample, minimum-duration
+//! sweep — CI uses this to keep the bench binary and its JSON output
+//! exercised without paying for stable numbers.
+
+use engine::{BackendSpec, Engine, Mode};
+use std::hint::black_box;
+use testkit::bench::Bench;
+
+fn smoke() -> bool {
+    std::env::var_os("TESTKIT_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn main() {
+    let mut bench = Bench::from_args("engine");
+    let key = [0x2Bu8; 16];
+    let blocks: usize = if smoke() { 4 } else { 64 };
+    let payload = vec![0xA5u8; blocks * 16];
+
+    {
+        let mut group = bench.group("ctr_farm");
+        group.throughput_bytes(payload.len() as u64);
+        if smoke() {
+            group.samples(1).warmup_ms(1).sample_ms(1);
+        }
+        for cores in [1usize, 4] {
+            let mut eng = Engine::with_farm(&key, &vec![BackendSpec::EncryptCore; cores], 2);
+            group.bench(&format!("ip_x{cores}"), || {
+                eng.try_submit(Mode::Ctr([0; 16]), black_box(payload.clone()))
+                    .unwrap();
+                eng.run()
+            });
+        }
+        let mut eng = Engine::with_farm(&key, &[BackendSpec::Ttable; 4], 2);
+        group.bench("ttable_x4", || {
+            eng.try_submit(Mode::Ctr([0; 16]), black_box(payload.clone()))
+                .unwrap();
+            eng.run()
+        });
+    }
+
+    {
+        let mut group = bench.group("chained_single_core");
+        group.throughput_bytes(payload.len() as u64);
+        if smoke() {
+            group.samples(1).warmup_ms(1).sample_ms(1);
+        }
+        let mut eng = Engine::with_farm(&key, &[BackendSpec::EncDecCore; 2], 2);
+        group.bench("cbc_encrypt", || {
+            eng.try_submit(Mode::CbcEncrypt([0; 16]), black_box(payload.clone()))
+                .unwrap();
+            eng.run()
+        });
+    }
+
+    bench.finish();
+}

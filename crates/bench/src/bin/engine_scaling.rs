@@ -1,0 +1,72 @@
+//! Table-2-style throughput report scaled by core count: what a farm of
+//! the paper's encrypt cores sustains on a CTR workload when the engine
+//! keeps every decoupled bus saturated.
+//!
+//! One core is the paper's published operating point (50 cycles/block —
+//! 250 Mbps at the 10 ns Cyclone clock of Table 2); the engine shards the
+//! counter stream so `k` cores approach `50 / k` wall cycles per block.
+//! The report prints virtual-cycle figures, per-core occupancy and the
+//! projected throughput at the Cyclone clock, and asserts the scaling is
+//! monotone so the binary doubles as a regression check.
+//!
+//! Pass `--smoke` for a tiny workload (CI keeps the binary exercised
+//! without burning time on a full sweep).
+
+use engine::{BackendSpec, Engine, Mode};
+
+/// Table 2 (Cyclone): 9.97 ns clock, rounded to the 10 ns the paper
+/// quotes in the text.
+const CYCLONE_CLOCK_NS: f64 = 10.0;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let blocks: usize = if smoke { 64 } else { 4096 };
+    let key = [0x2Bu8; 16];
+    let payload = vec![0x5Au8; blocks * 16];
+
+    println!("Engine scaling — CTR workload of {blocks} blocks across farms of encrypt cores");
+    println!("(virtual cycles from the cycle-accurate models; throughput at the paper's");
+    println!("{CYCLONE_CLOCK_NS} ns Cyclone clock, Table 2)\n");
+    println!(
+        "{:<6} {:>8} {:>12} {:>14} {:>12} {:>12}",
+        "cores", "blocks", "wall cycles", "cycles/block", "min occ", "throughput"
+    );
+    println!("{}", "-".repeat(70));
+
+    let mut last_cycles_per_block = f64::INFINITY;
+    for cores in 1..=4usize {
+        let mut eng = Engine::with_farm(&key, &vec![BackendSpec::EncryptCore; cores], 2);
+        eng.try_submit(Mode::Ctr([0; 16]), payload.clone())
+            .expect("queue has room");
+        let out = eng.run();
+        assert!(out[0].data.is_ok(), "CTR job failed: {:?}", out[0].data);
+
+        let m = eng.metrics();
+        let mbps = 128.0 / (m.cycles_per_block * CYCLONE_CLOCK_NS) * 1000.0;
+        println!(
+            "{:<6} {:>8} {:>12} {:>14.2} {:>11.1}% {:>7.0} Mbps",
+            cores,
+            m.total_blocks,
+            m.wall_cycles,
+            m.cycles_per_block,
+            m.min_occupancy_pct(),
+            mbps,
+        );
+
+        assert!(
+            m.cycles_per_block < last_cycles_per_block,
+            "{cores} cores must beat {} (got {:.2} vs {:.2} cycles/block)",
+            cores - 1,
+            m.cycles_per_block,
+            last_cycles_per_block,
+        );
+        assert!(
+            m.min_occupancy_pct() >= 90.0,
+            "cores must stay >= 90% occupied at saturation, got {:.1}%",
+            m.min_occupancy_pct(),
+        );
+        last_cycles_per_block = m.cycles_per_block;
+    }
+
+    println!("\nscaling is monotone and every core stayed >= 90% occupied");
+}

@@ -1,0 +1,406 @@
+//! The [`Backend`] abstraction: one uniform face over the paper's three
+//! hardware devices and the two software implementations.
+//!
+//! A backend is *stateful* (hardware models count clock cycles; every
+//! backend counts blocks) and *mutable* (the bus driver wiggles pins), so
+//! unlike [`rijndael::BlockCipher`] its methods take `&mut self` and are
+//! fallible: a wedged core or an unsupported direction is reported, never
+//! aborted on. Virtual time is the unifying cost model — hardware
+//! backends report real modeled clock cycles ([`LATENCY_CYCLES`] per
+//! block in steady state), software backends a nominal one cycle per
+//! block so scheduler arithmetic stays uniform.
+
+use core::fmt;
+
+use aes_ip::bus::{IpDriver, StreamError};
+use aes_ip::core::{CycleCore, DecryptCore, Direction, EncDecCore, EncryptCore, LATENCY_CYCLES};
+use rijndael::ttable::TtableAes;
+use rijndael::{Aes128, BlockCipher};
+
+/// Which backend a farm slot holds; the unit of farm configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendSpec {
+    /// Cycle-accurate encrypt-only IP core behind its bus driver.
+    EncryptCore,
+    /// Cycle-accurate decrypt-only IP core behind its bus driver.
+    DecryptCore,
+    /// Cycle-accurate combined encrypt/decrypt IP core.
+    EncDecCore,
+    /// The golden software reference ([`Aes128`]).
+    Software,
+    /// The era-typical 32-bit T-table software implementation.
+    Ttable,
+}
+
+impl BackendSpec {
+    /// Every spec, in a stable order (useful for exhaustive test sweeps).
+    pub const ALL: [BackendSpec; 5] = [
+        BackendSpec::EncryptCore,
+        BackendSpec::DecryptCore,
+        BackendSpec::EncDecCore,
+        BackendSpec::Software,
+        BackendSpec::Ttable,
+    ];
+
+    /// Builds the backend with `key` loaded and ready.
+    #[must_use]
+    pub fn build(self, key: &[u8; 16]) -> Box<dyn Backend> {
+        match self {
+            BackendSpec::EncryptCore => {
+                Box::new(IpCoreBackend::new(EncryptCore::new(), key, "ip-encrypt"))
+            }
+            BackendSpec::DecryptCore => {
+                Box::new(IpCoreBackend::new(DecryptCore::new(), key, "ip-decrypt"))
+            }
+            BackendSpec::EncDecCore => {
+                Box::new(IpCoreBackend::new(EncDecCore::new(), key, "ip-encdec"))
+            }
+            BackendSpec::Software => Box::new(SoftwareBackend::new(Aes128::new(key), "soft-ref")),
+            BackendSpec::Ttable => Box::new(SoftwareBackend::new(
+                TtableAes::new(key).expect("16-byte key is a valid AES key"),
+                "soft-ttable",
+            )),
+        }
+    }
+}
+
+impl fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BackendSpec::EncryptCore => "ip-encrypt",
+            BackendSpec::DecryptCore => "ip-decrypt",
+            BackendSpec::EncDecCore => "ip-encdec",
+            BackendSpec::Software => "soft-ref",
+            BackendSpec::Ttable => "soft-ttable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Failure of one backend operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendError {
+    /// The backend has no datapath for the requested direction.
+    Unsupported {
+        /// Name of the rejecting backend.
+        backend: &'static str,
+        /// The direction it cannot process.
+        dir: Direction,
+    },
+    /// The bus driver reported a streaming fault (wedge, mid-stream key
+    /// change, busy core).
+    Bus(StreamError),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Unsupported { backend, dir } => {
+                let verb = match dir {
+                    Direction::Encrypt => "encrypt",
+                    Direction::Decrypt => "decrypt",
+                };
+                write!(f, "backend {backend} cannot {verb}")
+            }
+            BackendError::Bus(e) => write!(f, "bus fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<StreamError> for BackendError {
+    fn from(e: StreamError) -> Self {
+        BackendError::Bus(e)
+    }
+}
+
+/// One farm member: a block processor with a virtual-time cost model.
+///
+/// The trait is object-safe; the scheduler holds `Box<dyn Backend>`.
+pub trait Backend {
+    /// Short stable name for metrics and reports.
+    fn name(&self) -> &'static str;
+
+    /// `true` when the backend can process blocks in `dir`.
+    fn supports(&self, dir: Direction) -> bool;
+
+    /// Processes one block in place, blocking until done (chained modes
+    /// feed blocks one at a time through this).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Unsupported`] for a direction the backend lacks;
+    /// [`BackendError::Bus`] for hardware streaming faults.
+    fn process_block(&mut self, block: &mut [u8; 16], dir: Direction) -> Result<(), BackendError>;
+
+    /// Processes a batch of independent blocks in place. Hardware
+    /// backends pipeline the batch through the decoupled `Data_In`/`Out`
+    /// bus so steady-state cost approaches [`LATENCY_CYCLES`] per block.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Backend::process_block`].
+    fn process_stream(
+        &mut self,
+        blocks: &mut [[u8; 16]],
+        dir: Direction,
+    ) -> Result<(), BackendError>;
+
+    /// Blocks processed so far.
+    fn blocks(&self) -> u64;
+
+    /// Total virtual clock cycles consumed, key setup included.
+    fn cycles(&self) -> u64;
+
+    /// Cycles spent on one-time key setup (excluded from occupancy).
+    fn setup_cycles(&self) -> u64;
+
+    /// Cycles the datapath spent computing blocks — the occupancy
+    /// numerator ([`LATENCY_CYCLES`] × blocks on hardware).
+    fn busy_cycles(&self) -> u64;
+}
+
+/// A cycle-accurate IP core behind its bus driver, exposed as a
+/// [`Backend`].
+#[derive(Debug, Clone)]
+pub struct IpCoreBackend<C> {
+    driver: IpDriver<C>,
+    name: &'static str,
+    setup_cycles: u64,
+    blocks: u64,
+}
+
+impl<C: CycleCore> IpCoreBackend<C> {
+    /// Wraps `core`, loads `key` (paying the real key-setup cycles), and
+    /// labels the backend `name` for reports.
+    #[must_use]
+    pub fn new(core: C, key: &[u8; 16], name: &'static str) -> Self {
+        let mut driver = IpDriver::new(core);
+        driver.write_key(key);
+        let setup_cycles = driver.cycles();
+        IpCoreBackend {
+            driver,
+            name,
+            setup_cycles,
+            blocks: 0,
+        }
+    }
+
+    /// The wrapped bus driver (cycle counter included).
+    #[must_use]
+    pub fn driver(&self) -> &IpDriver<C> {
+        &self.driver
+    }
+}
+
+impl<C: CycleCore> Backend for IpCoreBackend<C> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn supports(&self, dir: Direction) -> bool {
+        let v = self.driver.core().variant();
+        match dir {
+            Direction::Encrypt => v.supports_encrypt(),
+            Direction::Decrypt => v.supports_decrypt(),
+        }
+    }
+
+    fn process_block(&mut self, block: &mut [u8; 16], dir: Direction) -> Result<(), BackendError> {
+        *block = self.driver.try_process_block(block, dir)?;
+        self.blocks += 1;
+        Ok(())
+    }
+
+    fn process_stream(
+        &mut self,
+        blocks: &mut [[u8; 16]],
+        dir: Direction,
+    ) -> Result<(), BackendError> {
+        let results = self.driver.try_process_stream(blocks, dir)?;
+        for (b, r) in blocks.iter_mut().zip(results) {
+            *b = r;
+        }
+        self.blocks += blocks.len() as u64;
+        Ok(())
+    }
+
+    fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    fn cycles(&self) -> u64 {
+        self.driver.cycles()
+    }
+
+    fn setup_cycles(&self) -> u64 {
+        self.setup_cycles
+    }
+
+    fn busy_cycles(&self) -> u64 {
+        LATENCY_CYCLES * self.blocks
+    }
+}
+
+/// A software cipher as a [`Backend`]: no clock, so virtual time is a
+/// nominal one cycle per block (occupancy is by definition 100%).
+#[derive(Debug, Clone)]
+pub struct SoftwareBackend<B> {
+    cipher: B,
+    name: &'static str,
+    blocks: u64,
+}
+
+impl<B: BlockCipher> SoftwareBackend<B> {
+    /// Wraps a 16-byte-block cipher as a farm member labeled `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cipher's block length is not 16 bytes.
+    #[must_use]
+    pub fn new(cipher: B, name: &'static str) -> Self {
+        assert_eq!(cipher.block_len(), 16, "the engine schedules AES blocks");
+        SoftwareBackend {
+            cipher,
+            name,
+            blocks: 0,
+        }
+    }
+}
+
+impl<B: BlockCipher> Backend for SoftwareBackend<B> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn supports(&self, _dir: Direction) -> bool {
+        true
+    }
+
+    fn process_block(&mut self, block: &mut [u8; 16], dir: Direction) -> Result<(), BackendError> {
+        match dir {
+            Direction::Encrypt => self.cipher.encrypt_in_place(block),
+            Direction::Decrypt => self.cipher.decrypt_in_place(block),
+        }
+        self.blocks += 1;
+        Ok(())
+    }
+
+    fn process_stream(
+        &mut self,
+        blocks: &mut [[u8; 16]],
+        dir: Direction,
+    ) -> Result<(), BackendError> {
+        for block in blocks.iter_mut() {
+            match dir {
+                Direction::Encrypt => self.cipher.encrypt_in_place(block),
+                Direction::Decrypt => self.cipher.decrypt_in_place(block),
+            }
+        }
+        self.blocks += blocks.len() as u64;
+        Ok(())
+    }
+
+    fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    fn cycles(&self) -> u64 {
+        self.blocks
+    }
+
+    fn setup_cycles(&self) -> u64 {
+        0
+    }
+
+    fn busy_cycles(&self) -> u64 {
+        self.blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rijndael::vectors::FIPS197_C1;
+
+    fn fips_key() -> [u8; 16] {
+        let mut k = [0u8; 16];
+        k.copy_from_slice(FIPS197_C1.key);
+        k
+    }
+
+    #[test]
+    fn every_spec_builds_and_encrypts_or_declines() {
+        let key = fips_key();
+        for spec in BackendSpec::ALL {
+            let mut backend = spec.build(&key);
+            assert_eq!(backend.name(), spec.to_string());
+            if backend.supports(Direction::Encrypt) {
+                let mut block = FIPS197_C1.plaintext;
+                backend
+                    .process_block(&mut block, Direction::Encrypt)
+                    .unwrap();
+                assert_eq!(block, FIPS197_C1.ciphertext, "{spec}");
+                assert_eq!(backend.blocks(), 1);
+            } else {
+                let mut block = FIPS197_C1.plaintext;
+                let err = backend
+                    .process_block(&mut block, Direction::Encrypt)
+                    .unwrap_err();
+                assert!(err.to_string().contains("cannot encrypt"), "{spec}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_stream_costs_latency_per_block() {
+        let mut backend = IpCoreBackend::new(EncryptCore::new(), &fips_key(), "ip-encrypt");
+        let before = backend.cycles();
+        let mut blocks = [[0u8; 16]; 4];
+        backend
+            .process_stream(&mut blocks, Direction::Encrypt)
+            .unwrap();
+        let spent = backend.cycles() - before;
+        // One load edge then one block per latency period.
+        assert_eq!(spent, 1 + 4 * LATENCY_CYCLES);
+        assert_eq!(backend.busy_cycles(), 4 * LATENCY_CYCLES);
+        assert_eq!(backend.setup_cycles(), 1); // encrypt-only: key edge only
+    }
+
+    #[test]
+    fn decrypt_only_backend_reports_unsupported_encrypt() {
+        let mut backend = BackendSpec::DecryptCore.build(&fips_key());
+        assert!(!backend.supports(Direction::Encrypt));
+        let mut blocks = [[0u8; 16]; 2];
+        let err = backend
+            .process_stream(&mut blocks, Direction::Encrypt)
+            .unwrap_err();
+        assert!(matches!(err, BackendError::Bus(_)), "{err:?}");
+    }
+
+    #[test]
+    fn software_backends_agree_with_each_other() {
+        let key = fips_key();
+        let mut soft = BackendSpec::Software.build(&key);
+        let mut ttable = BackendSpec::Ttable.build(&key);
+        let mut a = [[7u8; 16]; 3];
+        let mut b = a;
+        soft.process_stream(&mut a, Direction::Encrypt).unwrap();
+        ttable.process_stream(&mut b, Direction::Encrypt).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(soft.cycles(), 3); // one nominal cycle per block
+        assert_eq!(soft.busy_cycles(), 3);
+    }
+
+    #[test]
+    fn backend_error_formats() {
+        let e = BackendError::Unsupported {
+            backend: "ip-decrypt",
+            dir: Direction::Encrypt,
+        };
+        assert!(e.to_string().contains("ip-decrypt cannot encrypt"));
+        let bus: BackendError = StreamError::CoreBusy.into();
+        assert!(bus.to_string().contains("busy"));
+    }
+}

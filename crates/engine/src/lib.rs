@@ -1,0 +1,53 @@
+//! Multi-core throughput engine for the low device occupation Rijndael IP.
+//!
+//! The DATE 2003 paper's pitch is that one AES-128 core is *small* — about
+//! a tenth of an EP20K300E — so a deployment that needs more than the
+//! single-core ~250 Mbps stamps down a farm of cores and scales linearly.
+//! This crate models that system level:
+//!
+//! * [`backend`] — the [`Backend`] trait putting the three hardware
+//!   devices (encrypt / decrypt / combined, behind their cycle-accurate
+//!   bus drivers) and two software implementations ([`rijndael::Aes128`],
+//!   the T-table variant) behind one fallible, cost-accounted face;
+//! * [`scheduler`] — the [`Engine`]: a bounded job queue with
+//!   backpressure ([`Engine::try_submit`] returns [`SubmitError::Busy`]),
+//!   sharding of parallel modes (ECB, CTR) across every capable core, and
+//!   single-core routing for chained modes (CBC, CFB, OFB);
+//! * [`metrics`] — per-core and farm-aggregate counters (blocks, cycles,
+//!   occupancy, cycles/block) for Table-2-style throughput reports.
+//!
+//! Hardware time is virtual: every core carries its own cycle counter,
+//! the cores clock concurrently, and farm wall time is the maximum over
+//! them. A saturated core sustains one block per
+//! [`LATENCY_CYCLES`](aes_ip::core::LATENCY_CYCLES) thanks to the
+//! decoupled `Data_In`/`Out` bus, so `k` cores approach `50 / k`
+//! wall cycles per block.
+//!
+//! # Examples
+//!
+//! ```
+//! use engine::{BackendSpec, Engine, Mode};
+//!
+//! let key = [0u8; 16];
+//! // Paper Table 2 scaled out: four combined cores.
+//! let mut farm = Engine::with_farm(&key, &[BackendSpec::EncDecCore; 4], 8);
+//! let id = farm.try_submit(Mode::Ctr([0; 16]), vec![0u8; 64 * 16]).unwrap();
+//! let outputs = farm.run();
+//! assert!(outputs[0].data.is_ok());
+//!
+//! let m = farm.metrics();
+//! assert_eq!(m.total_blocks, 64);
+//! // 16 blocks per core, pipelined: far below 50 cycles/block aggregate.
+//! assert!(m.cycles_per_block < 50.0 / 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod metrics;
+pub mod scheduler;
+
+pub use crate::backend::{Backend, BackendError, BackendSpec, IpCoreBackend, SoftwareBackend};
+pub use crate::metrics::{CoreMetrics, EngineMetrics};
+pub use crate::scheduler::{Engine, JobError, JobId, JobOutput, Mode, SubmitError};

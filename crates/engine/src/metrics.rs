@@ -1,0 +1,182 @@
+//! Per-core and farm-aggregate throughput accounting.
+//!
+//! The interesting figure for the paper's Table 2 is cycles/block: one IP
+//! core sustains ~[`LATENCY_CYCLES`](aes_ip::core::LATENCY_CYCLES) cycles
+//! per block once its decoupled bus is kept saturated, and a farm of `k`
+//! cores divides that by `k` in wall-clock terms because the cores clock
+//! concurrently. The engine models that concurrency in *virtual time*:
+//! each core carries its own cycle counter and the farm's wall clock is
+//! the maximum over them.
+
+use core::fmt;
+use std::fmt::Write as _;
+
+/// Snapshot of one farm member's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreMetrics {
+    /// Backend name (`ip-encrypt`, `soft-ref`, …).
+    pub name: &'static str,
+    /// Blocks the backend processed.
+    pub blocks: u64,
+    /// Total virtual cycles, key setup included.
+    pub cycles: u64,
+    /// Cycles spent processing blocks after key setup — the core's
+    /// contribution to the farm wall clock.
+    pub operation_cycles: u64,
+    /// Cycles the datapath was computing (occupancy numerator).
+    pub busy_cycles: u64,
+    /// Datapath occupancy in percent: `busy / operation × 100`
+    /// (100 for an idle core that was never asked to work).
+    pub occupancy_pct: f64,
+    /// Mean operation cycles per block (0 for an idle core).
+    pub cycles_per_block: f64,
+}
+
+/// Farm-aggregate snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineMetrics {
+    /// One entry per farm slot, in farm order.
+    pub per_core: Vec<CoreMetrics>,
+    /// Blocks processed across the farm.
+    pub total_blocks: u64,
+    /// Virtual wall-clock cycles: the cores clock concurrently, so this
+    /// is the *maximum* per-core operation time, not the sum.
+    pub wall_cycles: u64,
+    /// Aggregate throughput figure: `wall_cycles / total_blocks`.
+    pub cycles_per_block: f64,
+}
+
+impl EngineMetrics {
+    /// Builds the aggregate view from per-core snapshots.
+    #[must_use]
+    pub fn from_cores(per_core: Vec<CoreMetrics>) -> Self {
+        let total_blocks = per_core.iter().map(|c| c.blocks).sum();
+        let wall_cycles = per_core
+            .iter()
+            .map(|c| c.operation_cycles)
+            .max()
+            .unwrap_or(0);
+        let cycles_per_block = if total_blocks == 0 {
+            0.0
+        } else {
+            wall_cycles as f64 / total_blocks as f64
+        };
+        EngineMetrics {
+            per_core,
+            total_blocks,
+            wall_cycles,
+            cycles_per_block,
+        }
+    }
+
+    /// Minimum occupancy over the cores that did any work (100 when the
+    /// whole farm idled) — the saturation criterion for scaling reports.
+    #[must_use]
+    pub fn min_occupancy_pct(&self) -> f64 {
+        self.per_core
+            .iter()
+            .filter(|c| c.blocks > 0)
+            .map(|c| c.occupancy_pct)
+            .fold(f64::INFINITY, f64::min)
+            .min(100.0)
+    }
+
+    /// Renders a fixed-width text table in the style of the repo's other
+    /// report binaries.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>10} {:>10} {:>11} {:>12}",
+            "core", "blocks", "op cycles", "busy", "occupancy", "cycles/block"
+        );
+        for c in &self.per_core {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>8} {:>10} {:>10} {:>10.1}% {:>12.2}",
+                c.name,
+                c.blocks,
+                c.operation_cycles,
+                c.busy_cycles,
+                c.occupancy_pct,
+                c.cycles_per_block
+            );
+        }
+        let _ = writeln!(
+            out,
+            "farm: {} blocks in {} wall cycles = {:.2} cycles/block",
+            self.total_blocks, self.wall_cycles, self.cycles_per_block
+        );
+        out
+    }
+}
+
+impl fmt::Display for EngineMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(name: &'static str, blocks: u64, op: u64, busy: u64) -> CoreMetrics {
+        CoreMetrics {
+            name,
+            blocks,
+            cycles: op,
+            operation_cycles: op,
+            busy_cycles: busy,
+            occupancy_pct: if op == 0 {
+                100.0
+            } else {
+                100.0 * busy as f64 / op as f64
+            },
+            cycles_per_block: if blocks == 0 {
+                0.0
+            } else {
+                op as f64 / blocks as f64
+            },
+        }
+    }
+
+    #[test]
+    fn wall_clock_is_the_maximum_not_the_sum() {
+        let m = EngineMetrics::from_cores(vec![
+            core("a", 8, 401, 400),
+            core("b", 8, 401, 400),
+            core("c", 4, 201, 200),
+        ]);
+        assert_eq!(m.total_blocks, 20);
+        assert_eq!(m.wall_cycles, 401);
+        assert!((m.cycles_per_block - 401.0 / 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_occupancy_ignores_idle_cores() {
+        let m = EngineMetrics::from_cores(vec![core("a", 8, 401, 400), core("b", 0, 0, 0)]);
+        assert!((m.min_occupancy_pct() - 100.0 * 400.0 / 401.0).abs() < 1e-9);
+
+        let idle = EngineMetrics::from_cores(vec![core("b", 0, 0, 0)]);
+        assert_eq!(idle.min_occupancy_pct(), 100.0);
+    }
+
+    #[test]
+    fn empty_farm_divides_by_nothing() {
+        let m = EngineMetrics::from_cores(Vec::new());
+        assert_eq!(m.total_blocks, 0);
+        assert_eq!(m.wall_cycles, 0);
+        assert_eq!(m.cycles_per_block, 0.0);
+    }
+
+    #[test]
+    fn report_lists_every_core_and_the_farm_line() {
+        let m = EngineMetrics::from_cores(vec![core("ip-encrypt", 8, 401, 400)]);
+        let text = m.report();
+        assert!(text.contains("ip-encrypt"));
+        assert!(text.contains("farm: 8 blocks"));
+        assert_eq!(text, m.to_string());
+    }
+}

@@ -1,0 +1,801 @@
+//! Job scheduling across a farm of [`Backend`]s.
+//!
+//! The paper sells the IP on *area*, not speed: one core occupies ~10% of
+//! an EP20K300E, so a system integrator can stamp down several and scale
+//! throughput linearly. The [`Engine`] models that deployment. Jobs are
+//! whole mode operations (ECB/CBC/CTR/CFB/OFB over a byte buffer); the
+//! scheduler shards counter-mode and ECB work evenly across every capable
+//! core (each core pipelines its share through the decoupled bus at one
+//! block per latency period) and routes chained modes — where block `i+1`
+//! depends on block `i` — to the single least-loaded capable core.
+//!
+//! Submission is backpressured: the queue is bounded and
+//! [`Engine::try_submit`] returns [`SubmitError::Busy`] instead of
+//! growing without limit, mirroring the `data_ok` handshake one level up.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+
+use aes_ip::core::Direction;
+use rijndael::modes::{Cbc, Cfb, Ctr, Ofb};
+use rijndael::BlockCipher;
+
+use crate::backend::{Backend, BackendError, BackendSpec};
+use crate::metrics::{CoreMetrics, EngineMetrics};
+
+/// AES block size in bytes.
+const BLOCK: usize = 16;
+
+/// A complete cipher-mode operation over one byte buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// ECB encryption (parallel; requires whole blocks).
+    EcbEncrypt,
+    /// ECB decryption (parallel; requires whole blocks).
+    EcbDecrypt,
+    /// CBC encryption (chained; requires whole blocks).
+    CbcEncrypt(
+        /// Initialisation vector.
+        [u8; 16],
+    ),
+    /// CBC decryption (chained here; requires whole blocks).
+    CbcDecrypt(
+        /// Initialisation vector.
+        [u8; 16],
+    ),
+    /// CTR keystream application — encryption and decryption are the same
+    /// operation (parallel; any length).
+    Ctr(
+        /// Initial counter block (NIST SP 800-38A convention).
+        [u8; 16],
+    ),
+    /// CFB encryption (chained; any length).
+    CfbEncrypt(
+        /// Initialisation vector.
+        [u8; 16],
+    ),
+    /// CFB decryption (chained here; any length).
+    CfbDecrypt(
+        /// Initialisation vector.
+        [u8; 16],
+    ),
+    /// OFB keystream application — self-inverse (chained; any length).
+    Ofb(
+        /// Initialisation vector.
+        [u8; 16],
+    ),
+}
+
+impl Mode {
+    /// Which core datapath the mode exercises. Only CBC decryption and
+    /// ECB decryption need the inverse cipher; CTR, CFB and OFB run the
+    /// *forward* datapath in both directions, so they schedule onto
+    /// encrypt-only cores.
+    #[must_use]
+    pub fn direction(self) -> Direction {
+        match self {
+            Mode::EcbDecrypt | Mode::CbcDecrypt(_) => Direction::Decrypt,
+            _ => Direction::Encrypt,
+        }
+    }
+
+    /// `true` when blocks are independent and the job can be sharded
+    /// across several cores.
+    #[must_use]
+    pub fn is_parallel(self) -> bool {
+        matches!(self, Mode::EcbEncrypt | Mode::EcbDecrypt | Mode::Ctr(_))
+    }
+
+    /// `true` when the buffer must be a whole number of blocks.
+    #[must_use]
+    pub fn requires_full_blocks(self) -> bool {
+        matches!(
+            self,
+            Mode::EcbEncrypt | Mode::EcbDecrypt | Mode::CbcEncrypt(_) | Mode::CbcDecrypt(_)
+        )
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mode::EcbEncrypt => "ecb-encrypt",
+            Mode::EcbDecrypt => "ecb-decrypt",
+            Mode::CbcEncrypt(_) => "cbc-encrypt",
+            Mode::CbcDecrypt(_) => "cbc-decrypt",
+            Mode::Ctr(_) => "ctr",
+            Mode::CfbEncrypt(_) => "cfb-encrypt",
+            Mode::CfbDecrypt(_) => "cfb-decrypt",
+            Mode::Ofb(_) => "ofb",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Opaque handle identifying a submitted job in [`Engine::run`] output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Rejection at the submission boundary (the job never enters the queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — drain with [`Engine::run`] and retry.
+    Busy {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The mode requires whole 16-byte blocks but the buffer is ragged.
+    RaggedLength {
+        /// The offending buffer length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Busy { capacity } => {
+                write!(f, "engine queue full ({capacity} jobs); run() to drain")
+            }
+            SubmitError::RaggedLength { len } => {
+                write!(f, "mode requires whole 16-byte blocks, got {len} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Failure of one accepted job (other jobs in the batch still run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// No core in the farm has a datapath for the job's direction.
+    NoCapableCore {
+        /// The direction nobody supports.
+        dir: Direction,
+    },
+    /// A backend faulted mid-job.
+    Backend(BackendError),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::NoCapableCore { dir } => {
+                let verb = match dir {
+                    Direction::Encrypt => "encrypt",
+                    Direction::Decrypt => "decrypt",
+                };
+                write!(f, "no core in the farm can {verb}")
+            }
+            JobError::Backend(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<BackendError> for JobError {
+    fn from(e: BackendError) -> Self {
+        JobError::Backend(e)
+    }
+}
+
+/// One finished job from [`Engine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutput {
+    /// The handle [`Engine::try_submit`] returned for this job.
+    pub id: JobId,
+    /// The processed buffer, or why the job failed.
+    pub data: Result<Vec<u8>, JobError>,
+}
+
+struct QueuedJob {
+    id: JobId,
+    mode: Mode,
+    data: Vec<u8>,
+}
+
+/// Multi-core throughput engine: a farm of backends, a bounded job
+/// queue, and the shard/route scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use engine::{BackendSpec, Engine, Mode};
+///
+/// let key = [0x2B; 16];
+/// let mut engine = Engine::with_farm(&key, &[BackendSpec::EncDecCore; 2], 8);
+/// let id = engine.try_submit(Mode::Ctr([0; 16]), b"attack at dawn".to_vec()).unwrap();
+/// let out = engine.run();
+/// assert_eq!(out[0].id, id);
+/// let ciphertext = out[0].data.clone().unwrap();
+///
+/// // CTR is self-inverse: a second pass recovers the plaintext.
+/// engine.try_submit(Mode::Ctr([0; 16]), ciphertext).unwrap();
+/// assert_eq!(engine.run()[0].data.clone().unwrap(), b"attack at dawn");
+/// ```
+pub struct Engine {
+    workers: Vec<Box<dyn Backend>>,
+    queue: VecDeque<QueuedJob>,
+    capacity: usize,
+    next_id: u64,
+}
+
+impl Engine {
+    /// Builds an engine over an explicit set of already-keyed backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty farm or a zero-capacity queue — both would make
+    /// every submission unroutable.
+    #[must_use]
+    pub fn new(workers: Vec<Box<dyn Backend>>, capacity: usize) -> Self {
+        assert!(!workers.is_empty(), "an engine needs at least one backend");
+        assert!(capacity > 0, "a zero-capacity queue rejects every job");
+        Engine {
+            workers,
+            queue: VecDeque::new(),
+            capacity,
+            next_id: 0,
+        }
+    }
+
+    /// Builds a farm from `specs`, loading `key` into every member (IP
+    /// cores pay their real key-setup cycles here).
+    #[must_use]
+    pub fn with_farm(key: &[u8; 16], specs: &[BackendSpec], capacity: usize) -> Self {
+        Engine::new(specs.iter().map(|s| s.build(key)).collect(), capacity)
+    }
+
+    /// Number of farm slots.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs waiting in the queue.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The queue bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a mode operation over `data`, applying backpressure.
+    ///
+    /// # Errors
+    ///
+    /// * [`SubmitError::Busy`] when the queue is at capacity;
+    /// * [`SubmitError::RaggedLength`] when an ECB/CBC job is not a whole
+    ///   number of blocks (caught here, before the job holds a slot).
+    pub fn try_submit(&mut self, mode: Mode, data: Vec<u8>) -> Result<JobId, SubmitError> {
+        if self.queue.len() >= self.capacity {
+            return Err(SubmitError::Busy {
+                capacity: self.capacity,
+            });
+        }
+        if mode.requires_full_blocks() && !data.len().is_multiple_of(BLOCK) {
+            return Err(SubmitError::RaggedLength { len: data.len() });
+        }
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.queue.push_back(QueuedJob { id, mode, data });
+        Ok(id)
+    }
+
+    /// Drains the queue in submission order, returning one output per
+    /// job. A job that faults reports its [`JobError`]; the rest of the
+    /// batch still runs.
+    pub fn run(&mut self) -> Vec<JobOutput> {
+        let mut outputs = Vec::with_capacity(self.queue.len());
+        while let Some(job) = self.queue.pop_front() {
+            let QueuedJob { id, mode, mut data } = job;
+            let data = match self.dispatch(mode, &mut data) {
+                Ok(()) => Ok(data),
+                Err(e) => Err(e),
+            };
+            outputs.push(JobOutput { id, data });
+        }
+        outputs
+    }
+
+    /// Snapshots per-core counters and the farm aggregate.
+    #[must_use]
+    pub fn metrics(&self) -> EngineMetrics {
+        let per_core = self
+            .workers
+            .iter()
+            .map(|w| {
+                let operation_cycles = w.cycles().saturating_sub(w.setup_cycles());
+                let occupancy_pct = if operation_cycles == 0 {
+                    100.0
+                } else {
+                    100.0 * w.busy_cycles() as f64 / operation_cycles as f64
+                };
+                let cycles_per_block = if w.blocks() == 0 {
+                    0.0
+                } else {
+                    operation_cycles as f64 / w.blocks() as f64
+                };
+                CoreMetrics {
+                    name: w.name(),
+                    blocks: w.blocks(),
+                    cycles: w.cycles(),
+                    operation_cycles,
+                    busy_cycles: w.busy_cycles(),
+                    occupancy_pct,
+                    cycles_per_block,
+                }
+            })
+            .collect();
+        EngineMetrics::from_cores(per_core)
+    }
+
+    /// Indices of workers that can process `dir`.
+    fn eligible(&self, dir: Direction) -> Vec<usize> {
+        (0..self.workers.len())
+            .filter(|&i| self.workers[i].supports(dir))
+            .collect()
+    }
+
+    fn dispatch(&mut self, mode: Mode, data: &mut [u8]) -> Result<(), JobError> {
+        let dir = mode.direction();
+        let eligible = self.eligible(dir);
+        if eligible.is_empty() {
+            return Err(JobError::NoCapableCore { dir });
+        }
+        match mode {
+            Mode::EcbEncrypt | Mode::EcbDecrypt => self.run_ecb(&eligible, dir, data),
+            Mode::Ctr(nonce) => self.run_ctr(&eligible, &nonce, data),
+            Mode::CbcEncrypt(iv) => self.run_chained(&eligible, dir, data, |c, d| {
+                Cbc::encrypt(c, &iv, d).expect("length validated at submission");
+            }),
+            Mode::CbcDecrypt(iv) => self.run_chained(&eligible, dir, data, |c, d| {
+                Cbc::decrypt(c, &iv, d).expect("length validated at submission");
+            }),
+            Mode::CfbEncrypt(iv) => self.run_chained(&eligible, dir, data, |c, d| {
+                Cfb::encrypt(c, &iv, d);
+            }),
+            Mode::CfbDecrypt(iv) => self.run_chained(&eligible, dir, data, |c, d| {
+                Cfb::decrypt(c, &iv, d);
+            }),
+            Mode::Ofb(iv) => self.run_chained(&eligible, dir, data, |c, d| {
+                Ofb::apply(c, &iv, d);
+            }),
+        }
+    }
+
+    /// Evenly shards `n` items across `k` shares: the first `n % k`
+    /// shares get one extra item.
+    fn shares(n: usize, k: usize) -> Vec<usize> {
+        let base = n / k;
+        (0..k).map(|i| base + usize::from(i < n % k)).collect()
+    }
+
+    /// ECB: independent whole blocks, sharded across every eligible core
+    /// and pipelined through each core's bus.
+    fn run_ecb(
+        &mut self,
+        eligible: &[usize],
+        dir: Direction,
+        data: &mut [u8],
+    ) -> Result<(), JobError> {
+        let n = data.len() / BLOCK;
+        let mut offset = 0;
+        for (&w, share) in eligible.iter().zip(Self::shares(n, eligible.len())) {
+            if share == 0 {
+                continue;
+            }
+            let chunk = &mut data[offset * BLOCK..(offset + share) * BLOCK];
+            let mut blocks: Vec<[u8; 16]> = chunk
+                .chunks_exact(BLOCK)
+                .map(|c| c.try_into().expect("chunks_exact yields 16-byte chunks"))
+                .collect();
+            self.workers[w].process_stream(&mut blocks, dir)?;
+            for (dst, src) in chunk.chunks_exact_mut(BLOCK).zip(&blocks) {
+                dst.copy_from_slice(src);
+            }
+            offset += share;
+        }
+        Ok(())
+    }
+
+    /// CTR: each core generates the keystream for its contiguous span of
+    /// counter values (SP 800-38A increment, so spans are just offsets)
+    /// and XORs it into its span of the buffer.
+    fn run_ctr(
+        &mut self,
+        eligible: &[usize],
+        nonce: &[u8; 16],
+        data: &mut [u8],
+    ) -> Result<(), JobError> {
+        let n = data.len().div_ceil(BLOCK);
+        let mut first_block = 0usize;
+        for (&w, share) in eligible.iter().zip(Self::shares(n, eligible.len())) {
+            if share == 0 {
+                continue;
+            }
+            let mut counters: Vec<[u8; 16]> = (first_block..first_block + share)
+                .map(|i| {
+                    Ctr::counter_block(nonce, i as u128)
+                        .try_into()
+                        .expect("counter block of a 16-byte nonce is 16 bytes")
+                })
+                .collect();
+            self.workers[w].process_stream(&mut counters, Direction::Encrypt)?;
+            let end = data.len().min((first_block + share) * BLOCK);
+            let span = &mut data[first_block * BLOCK..end];
+            for (chunk, keystream) in span.chunks_mut(BLOCK).zip(&counters) {
+                for (byte, k) in chunk.iter_mut().zip(keystream) {
+                    *byte ^= k;
+                }
+            }
+            first_block += share;
+        }
+        Ok(())
+    }
+
+    /// Chained modes: block `i+1` depends on block `i`, so the whole
+    /// stream goes to the single least-loaded eligible core.
+    fn run_chained(
+        &mut self,
+        eligible: &[usize],
+        _dir: Direction,
+        data: &mut [u8],
+        op: impl FnOnce(&BackendCipher<'_>, &mut [u8]),
+    ) -> Result<(), JobError> {
+        let w = *eligible
+            .iter()
+            .min_by_key(|&&i| self.workers[i].cycles())
+            .expect("eligible is non-empty");
+        let adapter = BackendCipher::new(self.workers[w].as_mut());
+        op(&adapter, data);
+        match adapter.fault() {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("cores", &self.cores())
+            .field("queued", &self.queue.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+/// Adapts one `&mut dyn Backend` to the shared-reference [`BlockCipher`]
+/// trait the mode implementations expect. The modes are infallible, so a
+/// backend fault is latched here: the first error is recorded, later
+/// blocks are skipped, and the caller checks [`BackendCipher::fault`]
+/// after the mode pass.
+struct BackendCipher<'a> {
+    backend: RefCell<&'a mut dyn Backend>,
+    fault: Cell<Option<BackendError>>,
+}
+
+impl<'a> BackendCipher<'a> {
+    fn new(backend: &'a mut dyn Backend) -> Self {
+        BackendCipher {
+            backend: RefCell::new(backend),
+            fault: Cell::new(None),
+        }
+    }
+
+    fn fault(&self) -> Option<BackendError> {
+        self.fault.get()
+    }
+
+    fn process(&self, block: &mut [u8], dir: Direction) {
+        if self.fault.get().is_some() {
+            return;
+        }
+        let mut buf: [u8; 16] = block.try_into().expect("modes pass whole blocks");
+        match self.backend.borrow_mut().process_block(&mut buf, dir) {
+            Ok(()) => block.copy_from_slice(&buf),
+            Err(e) => self.fault.set(Some(e)),
+        }
+    }
+}
+
+impl BlockCipher for BackendCipher<'_> {
+    fn block_len(&self) -> usize {
+        BLOCK
+    }
+
+    fn encrypt_in_place(&self, block: &mut [u8]) {
+        self.process(block, Direction::Encrypt);
+    }
+
+    fn decrypt_in_place(&self, block: &mut [u8]) {
+        self.process(block, Direction::Decrypt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aes_ip::core::LATENCY_CYCLES;
+    use rijndael::modes::Ecb;
+    use rijndael::Aes128;
+
+    const KEY: [u8; 16] = [
+        0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+        0x3C,
+    ];
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 7 + 3) as u8).collect()
+    }
+
+    #[test]
+    fn shares_split_evenly() {
+        assert_eq!(Engine::shares(10, 3), vec![4, 3, 3]);
+        assert_eq!(Engine::shares(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(Engine::shares(0, 2), vec![0, 0]);
+        assert_eq!(Engine::shares(8, 1), vec![8]);
+    }
+
+    #[test]
+    fn ecb_sharded_across_cores_matches_reference() {
+        let mut engine = Engine::with_farm(&KEY, &[BackendSpec::EncryptCore; 3], 4);
+        let data = sample(7 * 16);
+        let id = engine.try_submit(Mode::EcbEncrypt, data.clone()).unwrap();
+        let out = engine.run();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, id);
+
+        let mut expected = data;
+        Ecb::encrypt(&Aes128::new(&KEY), &mut expected).unwrap();
+        assert_eq!(out[0].data.as_ref().unwrap(), &expected);
+
+        // All three cores took part: 3, 2 and 2 blocks.
+        let m = engine.metrics();
+        let mut blocks: Vec<u64> = m.per_core.iter().map(|c| c.blocks).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![2, 2, 3]);
+    }
+
+    #[test]
+    fn ctr_sharded_across_cores_matches_reference_including_partial_tail() {
+        let mut engine = Engine::with_farm(&KEY, &[BackendSpec::EncDecCore; 4], 4);
+        let nonce = [0xF0u8; 16];
+        let data = sample(10 * 16 + 5);
+        engine.try_submit(Mode::Ctr(nonce), data.clone()).unwrap();
+        let out = engine.run();
+
+        let mut expected = data;
+        Ctr::apply(&Aes128::new(&KEY), &nonce, &mut expected);
+        assert_eq!(out[0].data.as_ref().unwrap(), &expected);
+    }
+
+    #[test]
+    fn chained_modes_run_on_one_core_and_match_reference() {
+        let reference = Aes128::new(&KEY);
+        let iv = [0x11u8; 16];
+        for (mode, apply) in [
+            (
+                Mode::CbcEncrypt(iv),
+                Box::new(|d: &mut [u8]| Cbc::encrypt(&reference, &iv, d).unwrap())
+                    as Box<dyn Fn(&mut [u8])>,
+            ),
+            (
+                Mode::CbcDecrypt(iv),
+                Box::new(|d: &mut [u8]| Cbc::decrypt(&reference, &iv, d).unwrap()),
+            ),
+            (
+                Mode::CfbEncrypt(iv),
+                Box::new(|d: &mut [u8]| Cfb::encrypt(&reference, &iv, d)),
+            ),
+            (
+                Mode::CfbDecrypt(iv),
+                Box::new(|d: &mut [u8]| Cfb::decrypt(&reference, &iv, d)),
+            ),
+            (
+                Mode::Ofb(iv),
+                Box::new(|d: &mut [u8]| Ofb::apply(&reference, &iv, d)),
+            ),
+        ] {
+            let len = if mode.requires_full_blocks() {
+                5 * 16
+            } else {
+                77
+            };
+            let mut engine = Engine::with_farm(&KEY, &[BackendSpec::EncDecCore; 3], 2);
+            let data = sample(len);
+            engine.try_submit(mode, data.clone()).unwrap();
+            let out = engine.run();
+
+            let mut expected = data;
+            apply(&mut expected);
+            assert_eq!(out[0].data.as_ref().unwrap(), &expected, "{mode}");
+
+            // Exactly one core did all the work.
+            let active = engine
+                .metrics()
+                .per_core
+                .iter()
+                .filter(|c| c.blocks > 0)
+                .count();
+            assert_eq!(active, 1, "{mode} must stay on a single core");
+        }
+    }
+
+    #[test]
+    fn backpressure_rejects_submissions_past_capacity() {
+        let mut engine = Engine::with_farm(&KEY, &[BackendSpec::Software], 2);
+        engine.try_submit(Mode::EcbEncrypt, sample(16)).unwrap();
+        engine.try_submit(Mode::Ctr([0; 16]), sample(5)).unwrap();
+        let err = engine
+            .try_submit(Mode::Ctr([0; 16]), sample(5))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Busy { capacity: 2 });
+
+        // Draining frees the queue.
+        assert_eq!(engine.run().len(), 2);
+        assert!(engine.try_submit(Mode::Ctr([0; 16]), sample(5)).is_ok());
+    }
+
+    #[test]
+    fn ragged_ecb_is_rejected_at_submission() {
+        let mut engine = Engine::with_farm(&KEY, &[BackendSpec::Software], 2);
+        let err = engine.try_submit(Mode::EcbEncrypt, sample(17)).unwrap_err();
+        assert_eq!(err, SubmitError::RaggedLength { len: 17 });
+        assert_eq!(engine.queued(), 0, "rejected jobs hold no queue slot");
+        // CTR streams, so ragged lengths are fine.
+        assert!(engine.try_submit(Mode::Ctr([0; 16]), sample(17)).is_ok());
+    }
+
+    #[test]
+    fn decrypt_job_on_encrypt_only_farm_reports_instead_of_panicking() {
+        let mut engine = Engine::with_farm(&KEY, &[BackendSpec::EncryptCore; 2], 2);
+        engine.try_submit(Mode::EcbDecrypt, sample(32)).unwrap();
+        let out = engine.run();
+        assert_eq!(
+            out[0].data,
+            Err(JobError::NoCapableCore {
+                dir: Direction::Decrypt
+            })
+        );
+        // But CTR decryption runs fine on the forward datapath.
+        engine.try_submit(Mode::Ctr([3; 16]), sample(32)).unwrap();
+        assert!(engine.run()[0].data.is_ok());
+    }
+
+    #[test]
+    fn mixed_farm_routes_around_incapable_cores() {
+        // Decrypt-only core must be skipped for encrypt work and vice
+        // versa; output must still match the reference.
+        let specs = [
+            BackendSpec::EncryptCore,
+            BackendSpec::DecryptCore,
+            BackendSpec::Software,
+        ];
+        let mut engine = Engine::with_farm(&KEY, &specs, 4);
+        let data = sample(6 * 16);
+        engine.try_submit(Mode::EcbEncrypt, data.clone()).unwrap();
+        engine.try_submit(Mode::EcbDecrypt, data.clone()).unwrap();
+        let out = engine.run();
+
+        let reference = Aes128::new(&KEY);
+        let mut enc = data.clone();
+        Ecb::encrypt(&reference, &mut enc).unwrap();
+        let mut dec = data;
+        Ecb::decrypt(&reference, &mut dec).unwrap();
+        assert_eq!(out[0].data.as_ref().unwrap(), &enc);
+        assert_eq!(out[1].data.as_ref().unwrap(), &dec);
+
+        let m = engine.metrics();
+        // The encrypt job sharded over {ip-encrypt, soft-ref}; the decrypt
+        // job over {ip-decrypt, soft-ref}: every core saw exactly one job
+        // of 3 blocks, the software core both.
+        let by_name: Vec<(&str, u64)> = m.per_core.iter().map(|c| (c.name, c.blocks)).collect();
+        assert_eq!(
+            by_name,
+            vec![("ip-encrypt", 3), ("ip-decrypt", 3), ("soft-ref", 6)]
+        );
+    }
+
+    #[test]
+    fn ctr_wall_cycles_shrink_as_cores_are_added() {
+        let blocks = 64usize;
+        let mut last = u64::MAX;
+        for cores in 1..=4 {
+            let mut engine = Engine::with_farm(&KEY, &vec![BackendSpec::EncryptCore; cores], 2);
+            engine
+                .try_submit(Mode::Ctr([9; 16]), sample(blocks * 16))
+                .unwrap();
+            engine.run();
+            let m = engine.metrics();
+            assert_eq!(m.total_blocks, blocks as u64);
+            // Each core's share costs 1 load edge + 50/block.
+            let biggest_share = blocks.div_ceil(cores) as u64;
+            assert_eq!(m.wall_cycles, 1 + biggest_share * LATENCY_CYCLES);
+            assert!(
+                m.wall_cycles < last,
+                "{cores} cores must beat {}",
+                cores - 1
+            );
+            assert!(
+                m.min_occupancy_pct() >= 90.0,
+                "cores must stay saturated, got {:.1}%",
+                m.min_occupancy_pct()
+            );
+            last = m.wall_cycles;
+        }
+    }
+
+    #[test]
+    fn least_loaded_core_wins_chained_work() {
+        let mut engine = Engine::with_farm(&KEY, &[BackendSpec::EncDecCore; 2], 4);
+        // Load core 0 with a chained job, then submit another: it must
+        // land on core 1 (cheaper virtual clock).
+        engine
+            .try_submit(Mode::CbcEncrypt([0; 16]), sample(4 * 16))
+            .unwrap();
+        engine
+            .try_submit(Mode::CbcEncrypt([0; 16]), sample(4 * 16))
+            .unwrap();
+        engine.run();
+        let m = engine.metrics();
+        assert_eq!(m.per_core[0].blocks, 4);
+        assert_eq!(m.per_core[1].blocks, 4);
+    }
+
+    #[test]
+    fn empty_buffer_jobs_complete_without_work() {
+        let mut engine = Engine::with_farm(&KEY, &[BackendSpec::EncDecCore], 4);
+        for mode in [
+            Mode::EcbEncrypt,
+            Mode::Ctr([0; 16]),
+            Mode::CbcEncrypt([0; 16]),
+        ] {
+            engine.try_submit(mode, Vec::new()).unwrap();
+        }
+        for out in engine.run() {
+            assert_eq!(out.data.unwrap(), Vec::<u8>::new());
+        }
+        assert_eq!(engine.metrics().total_blocks, 0);
+    }
+
+    #[test]
+    fn job_ids_are_unique_and_ordered() {
+        let mut engine = Engine::with_farm(&KEY, &[BackendSpec::Software], 8);
+        let a = engine.try_submit(Mode::Ctr([0; 16]), sample(1)).unwrap();
+        let b = engine.try_submit(Mode::Ctr([0; 16]), sample(1)).unwrap();
+        assert!(a < b);
+        let out = engine.run();
+        assert_eq!(out[0].id, a);
+        assert_eq!(out[1].id, b);
+        assert_eq!(a.to_string(), "job#0");
+    }
+
+    #[test]
+    fn submit_errors_format() {
+        assert!(SubmitError::Busy { capacity: 2 }
+            .to_string()
+            .contains("full"));
+        assert!(SubmitError::RaggedLength { len: 17 }
+            .to_string()
+            .contains("17"));
+        let e = JobError::NoCapableCore {
+            dir: Direction::Decrypt,
+        };
+        assert_eq!(e.to_string(), "no core in the farm can decrypt");
+    }
+}

@@ -90,16 +90,32 @@ pub fn cmac<C: BlockCipher>(cipher: &C, message: &[u8]) -> [u8; 16] {
     x
 }
 
-/// Constant-shape tag verification (comparison over the full tag; this
-/// model is not a side-channel boundary, but the API mirrors real ones).
+/// Constant-time equality over two equal-length byte slices: the full
+/// length is always scanned and every byte pair contributes to one
+/// accumulated difference word, so the comparison never exits early on
+/// the first mismatch (the classic MAC-forgery timing oracle).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length — length is public information;
+/// only the *contents* are compared in constant time.
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    assert_eq!(a.len(), b.len(), "ct_eq compares equal-length slices");
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Constant-shape tag verification via [`ct_eq`] (this model is not a
+/// side-channel boundary, but the API mirrors real ones: no early exit on
+/// the first mismatching tag byte).
 #[must_use]
 pub fn verify<C: BlockCipher>(cipher: &C, message: &[u8], tag: &[u8; 16]) -> bool {
     let computed = cmac(cipher, message);
-    let mut diff = 0u8;
-    for (a, b) in computed.iter().zip(tag) {
-        diff |= a ^ b;
-    }
-    diff == 0
+    ct_eq(&computed, tag)
 }
 
 #[cfg(test)]
@@ -192,6 +208,41 @@ mod tests {
         bad[0] ^= 1;
         assert!(!verify(&cipher, msg, &bad));
         assert!(!verify(&cipher, b"transaction: 43 units", &tag));
+    }
+
+    #[test]
+    fn verify_rejects_every_single_bit_corruption() {
+        // Flip each of the 128 tag bits in turn: every corrupted tag must
+        // be rejected (and the pristine tag accepted), so no bit of the
+        // comparison is ignored.
+        let cipher = Aes128::new(&RFC_KEY);
+        let msg = b"settlement batch 0x2003";
+        let tag = cmac(&cipher, msg);
+        assert!(verify(&cipher, msg, &tag));
+        for byte in 0..16 {
+            for bit in 0..8 {
+                let mut bad = tag;
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    !verify(&cipher, msg, &bad),
+                    "accepted tag corrupted at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ct_eq_basic_contract() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(&[0x80], &[0x00]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn ct_eq_rejects_length_mismatch() {
+        let _ = ct_eq(b"ab", b"abc");
     }
 
     #[test]

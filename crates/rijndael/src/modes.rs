@@ -174,32 +174,84 @@ impl Cbc {
 
 /// Counter mode: a stream cipher built from block encryptions of a counter.
 ///
+/// Follows the NIST SP 800-38A convention: the nonce is the *initial
+/// counter block* and the standard incrementing function adds one to the
+/// whole block, big-endian, wrapping modulo 2^(8·block) — carries
+/// propagate past the low 32-bit word into the nonce bytes.
+///
 /// Works on any data length; decryption is the same operation as
-/// encryption.
+/// encryption. Keystream blocks are independent, so a stream can be
+/// produced in parallel chunks via [`Ctr::apply_at`] (the multi-core
+/// engine shards exactly this way).
 #[derive(Debug, Clone, Copy)]
 pub struct Ctr;
 
+/// Adds `inc` to a big-endian counter block in place, wrapping modulo
+/// 2^(8·len) — the standard incrementing function of SP 800-38A §B.1
+/// applied to the full block width.
+fn counter_add(block: &mut [u8], mut inc: u128) {
+    let mut carry = 0u16;
+    for b in block.iter_mut().rev() {
+        let sum = u16::from(*b) + ((inc & 0xFF) as u16) + carry;
+        *b = sum as u8;
+        carry = sum >> 8;
+        inc >>= 8;
+        if inc == 0 && carry == 0 {
+            break;
+        }
+    }
+}
+
 impl Ctr {
-    /// XORs the keystream for (`nonce`, starting counter 0) into `data`.
+    /// XORs the keystream for initial counter block `nonce` into `data`.
     ///
     /// # Panics
     ///
-    /// Panics if `nonce.len()` differs from the cipher's block length
-    /// (the final 4 bytes are replaced by the big-endian block counter).
+    /// Panics if `nonce.len()` differs from the cipher's block length.
     pub fn apply<C: BlockCipher + ?Sized>(cipher: &C, nonce: &[u8], data: &mut [u8]) {
+        Self::apply_at(cipher, nonce, 0, data);
+    }
+
+    /// XORs the keystream into `data`, starting `first_block` blocks into
+    /// the stream: block `i` of `data` is XORed with the encryption of
+    /// `nonce + first_block + i` (wrapping). `apply_at(c, n, 0, data)` is
+    /// [`Ctr::apply`]; splitting `data` at any block boundary and applying
+    /// each piece with the matching offset produces identical bytes, which
+    /// is what makes CTR shardable across cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nonce.len()` differs from the cipher's block length.
+    pub fn apply_at<C: BlockCipher + ?Sized>(
+        cipher: &C,
+        nonce: &[u8],
+        first_block: u128,
+        data: &mut [u8],
+    ) {
         let bl = cipher.block_len();
         assert_eq!(nonce.len(), bl, "nonce must be one block long");
         let mut counter_block = nonce.to_vec();
+        counter_add(&mut counter_block, first_block);
         let mut keystream = vec![0u8; bl];
-        for (i, chunk) in data.chunks_mut(bl).enumerate() {
-            let ctr = u32::try_from(i).expect("stream longer than 2^32 blocks");
-            counter_block[bl - 4..].copy_from_slice(&ctr.to_be_bytes());
+        for chunk in data.chunks_mut(bl) {
             keystream.copy_from_slice(&counter_block);
             cipher.encrypt_in_place(&mut keystream);
             for (b, k) in chunk.iter_mut().zip(&keystream) {
                 *b ^= k;
             }
+            counter_add(&mut counter_block, 1);
         }
+    }
+
+    /// The counter block `index` positions into the stream that starts at
+    /// `nonce`: `nonce + index` under the standard incrementing function.
+    /// Exposed so external schedulers (the multi-core engine) generate
+    /// byte-identical keystream blocks.
+    #[must_use]
+    pub fn counter_block(nonce: &[u8], index: u128) -> Vec<u8> {
+        let mut block = nonce.to_vec();
+        counter_add(&mut block, index);
+        block
     }
 }
 
@@ -365,6 +417,101 @@ mod tests {
     }
 
     #[test]
+    fn ctr_sp800_38a_f5_known_answer() {
+        // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt: key 2b7e...4f3c,
+        // initial counter block f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff. This
+        // vector only passes when the *whole* counter block increments —
+        // the old code replaced the low word with 0,1,2,3.
+        let key = [
+            0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF,
+            0x4F, 0x3C,
+        ];
+        let nonce: [u8; 16] = core::array::from_fn(|i| 0xF0 + i as u8);
+        let mut data = [
+            0x6B, 0xC1, 0xBE, 0xE2, 0x2E, 0x40, 0x9F, 0x96, 0xE9, 0x3D, 0x7E, 0x11, 0x73, 0x93,
+            0x17, 0x2A, 0xAE, 0x2D, 0x8A, 0x57, 0x1E, 0x03, 0xAC, 0x9C, 0x9E, 0xB7, 0x6F, 0xAC,
+            0x45, 0xAF, 0x8E, 0x51, 0x30, 0xC8, 0x1C, 0x46, 0xA3, 0x5C, 0xE4, 0x11, 0xE5, 0xFB,
+            0xC1, 0x19, 0x1A, 0x0A, 0x52, 0xEF, 0xF6, 0x9F, 0x24, 0x45, 0xDF, 0x4F, 0x9B, 0x17,
+            0xAD, 0x2B, 0x41, 0x7B, 0xE6, 0x6C, 0x37, 0x10,
+        ];
+        Ctr::apply(&Aes128::new(&key), &nonce, &mut data);
+        let expect = [
+            0x87, 0x4D, 0x61, 0x91, 0xB6, 0x20, 0xE3, 0x26, 0x1B, 0xEF, 0x68, 0x64, 0x99, 0x0D,
+            0xB6, 0xCE, 0x98, 0x06, 0xF6, 0x6B, 0x79, 0x70, 0xFD, 0xFF, 0x86, 0x17, 0x18, 0x7B,
+            0xB9, 0xFF, 0xFD, 0xFF, 0x5A, 0xE4, 0xDF, 0x3E, 0xDB, 0xD5, 0xD3, 0x5E, 0x5B, 0x4F,
+            0x09, 0x02, 0x0D, 0xB0, 0x3E, 0xAB, 0x1E, 0x03, 0x1D, 0xDA, 0x2F, 0xBE, 0x03, 0xD1,
+            0x79, 0x21, 0x70, 0xA0, 0xF3, 0x00, 0x9C, 0xEE,
+        ];
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn ctr_carry_crosses_the_32bit_word_boundary() {
+        // Initial counter ...FFFFFFFF: block 1 must carry into byte 11
+        // (the byte just above the low 32-bit word), per SP 800-38A.
+        let c = cipher();
+        let mut nonce = [0xAAu8; 16];
+        nonce[12..].fill(0xFF);
+        let mut data = vec![0u8; 32]; // zero plaintext ⇒ data = keystream
+        Ctr::apply(&c, &nonce, &mut data);
+
+        let mut ctr0 = nonce;
+        let mut ctr1 = [0xAAu8; 16];
+        ctr1[11] = 0xAB;
+        ctr1[12..].fill(0x00);
+        c.encrypt_in_place(&mut ctr0);
+        c.encrypt_in_place(&mut ctr1);
+        assert_eq!(&data[..16], &ctr0[..]);
+        assert_eq!(&data[16..], &ctr1[..], "carry must propagate past bit 32");
+    }
+
+    #[test]
+    fn ctr_wraps_at_the_full_128bit_boundary() {
+        // Initial counter all-FF: block 1 wraps to the all-zero block
+        // (increment is modulo 2^128).
+        let c = cipher();
+        let mut data = vec![0u8; 32];
+        Ctr::apply(&c, &[0xFFu8; 16], &mut data);
+
+        let mut top = [0xFFu8; 16];
+        let mut wrapped = [0x00u8; 16];
+        c.encrypt_in_place(&mut top);
+        c.encrypt_in_place(&mut wrapped);
+        assert_eq!(&data[..16], &top[..]);
+        assert_eq!(&data[16..], &wrapped[..], "counter must wrap mod 2^128");
+    }
+
+    #[test]
+    fn ctr_chunked_apply_at_matches_one_shot() {
+        // Splitting the stream at block boundaries and applying each chunk
+        // with its offset must reproduce the one-shot bytes exactly.
+        let c = cipher();
+        let nonce: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(91));
+        let pt = sample(100);
+        let mut one_shot = pt.clone();
+        Ctr::apply(&c, &nonce, &mut one_shot);
+
+        let mut chunked = pt;
+        let (head, rest) = chunked.split_at_mut(48); // 3 blocks
+        let (mid, tail) = rest.split_at_mut(32); // 2 blocks, tail partial
+        Ctr::apply_at(&c, &nonce, 0, head);
+        Ctr::apply_at(&c, &nonce, 3, mid);
+        Ctr::apply_at(&c, &nonce, 5, tail);
+        assert_eq!(chunked, one_shot);
+    }
+
+    #[test]
+    fn ctr_counter_block_helper_matches_increment() {
+        assert_eq!(Ctr::counter_block(&[0u8; 16], 5)[15], 5);
+        let wrapped = Ctr::counter_block(&[0xFFu8; 16], 1);
+        assert_eq!(wrapped, vec![0u8; 16]);
+        let mut big = Ctr::counter_block(&[0u8; 16], u128::MAX);
+        assert_eq!(big, vec![0xFFu8; 16]);
+        super::counter_add(&mut big, 2);
+        assert_eq!(big[15], 1, "wrapping add past u128::MAX");
+    }
+
+    #[test]
     fn ctr_roundtrip_any_length() {
         let c = cipher();
         for len in [0usize, 1, 15, 16, 17, 100] {
@@ -431,5 +578,27 @@ mod tests {
         let mut torn = vec![2u8; 16];
         torn[14] = 3; // inconsistent pad bytes
         assert_eq!(pkcs7_unpad(&torn, 16), None);
+    }
+
+    #[test]
+    fn pkcs7_unpad_edge_cases_return_none_without_panicking() {
+        // Degenerate block length: nothing can be validly padded to
+        // blocks of zero bytes — must report None, never divide by zero.
+        assert_eq!(pkcs7_unpad(&[1u8], 0), None);
+        assert_eq!(pkcs7_unpad(&[], 0), None);
+        // Ragged input (not a multiple of the block).
+        assert_eq!(pkcs7_unpad(&[1u8; 17], 16), None);
+        // Pad byte claims more bytes than the buffer holds.
+        let mut overlong = vec![0u8; 16];
+        overlong[15] = 32;
+        assert_eq!(pkcs7_unpad(&overlong, 16), None);
+        // A full block of pad (the empty-message encoding) is valid.
+        assert_eq!(pkcs7_unpad(&[16u8; 16], 16), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid block length")]
+    fn pkcs7_pad_rejects_zero_block() {
+        pkcs7_pad(&mut vec![1u8, 2], 0);
     }
 }

@@ -21,4 +21,19 @@ cargo build --release --locked --offline
 echo "==> cargo test"
 cargo test -q --workspace --locked --offline
 
+echo "==> engine subsystem tests"
+cargo test -q -p rijndael-engine --locked --offline
+cargo test -q --test engine_equivalence --locked --offline
+
+echo "==> engine scaling report (smoke)"
+cargo run -q --release --locked --offline -p rijndael-bench --bin engine_scaling -- --smoke
+
+echo "==> engine bench (smoke, JSON well-formedness)"
+bench_json="$(mktemp)"
+trap 'rm -f "$bench_json"' EXIT
+TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_JSON="$bench_json" \
+    cargo bench -q --locked --offline -p rijndael-bench --bench engine >/dev/null
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$bench_json" \
+    || { echo "engine bench JSON is malformed" >&2; exit 1; }
+
 echo "==> OK: hermetic verify passed"

@@ -14,7 +14,9 @@
 //! * [`fpga`] — Altera device models, the fitter and timing estimation;
 //! * [`aes_ip`] — the paper's contribution: the low-area AES-128 soft IP
 //!   (cycle-accurate cores, bus interface, netlist generators and the
-//!   alternative architectures used for comparison).
+//!   alternative architectures used for comparison);
+//! * [`engine`] — the multi-core throughput engine scheduling batched
+//!   block jobs across farms of IP cores and software backends.
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub use aes_ip;
+pub use engine;
 pub use fpga;
 pub use gf256;
 pub use netlist;

@@ -11,7 +11,7 @@ use rijndael_ip::aes_ip::bus::IpDriver;
 use rijndael_ip::aes_ip::core::{CoreInputs, CycleCore, Direction, EncDecCore, EncryptCore};
 use rijndael_ip::aes_ip::datapath;
 use rijndael_ip::gf256::{Gf256, GfPoly4};
-use rijndael_ip::rijndael::{Aes128, Rijndael};
+use rijndael_ip::rijndael::{modes, Aes128, Rijndael};
 use testkit::forall;
 use testkit::prop::{any, vec_of};
 
@@ -97,6 +97,35 @@ forall!(cases = 64, fn encdec_device_is_an_involution(key in any::<u128>(), pt i
     let ct = drv.process_block(&pt_bytes, Direction::Encrypt);
     let back = drv.process_block(&ct, Direction::Decrypt);
     assert_eq!(back, pt_bytes);
+});
+
+forall!(cases = 64, fn pkcs7_pad_unpad_roundtrip(
+    data in vec_of(any::<u8>(), 0..64),
+    block_log in 0usize..=5,
+) {
+    // Padding then unpadding recovers the original length for every
+    // block size a byte can express (1..=32 here).
+    let block_len = 1usize << block_log;
+    let mut padded = data.clone();
+    modes::pkcs7_pad(&mut padded, block_len);
+    assert!(padded.len() > data.len(), "padding always adds bytes");
+    assert!(padded.len().is_multiple_of(block_len));
+    assert_eq!(modes::pkcs7_unpad(&padded, block_len), Some(data.len()));
+    assert_eq!(&padded[..data.len()], &data[..]);
+});
+
+forall!(cases = 64, fn pkcs7_unpad_never_panics_on_garbage(
+    data in vec_of(any::<u8>(), 0..48),
+    block_log in 0usize..=5,
+) {
+    // Unpadding arbitrary bytes (any block size, zero included) must
+    // return None or a valid prefix length — never abort.
+    let block_len = (1usize << block_log) - usize::from(block_log == 0);
+    if let Some(n) = modes::pkcs7_unpad(&data, block_len) {
+        let pad = data.len() - n;
+        assert!(pad >= 1 && pad <= block_len);
+        assert!(data[n..].iter().all(|&b| b as usize == pad));
+    }
 });
 
 fn sub_all(state: u128) -> u128 {
