@@ -304,7 +304,9 @@ mod tests {
                 let mut drv = IpDriver::new(AltEncryptCore::new(arch));
                 drv.write_key(&key);
                 let start = drv.cycles();
-                let ct = drv.process_block(&v.plaintext, Direction::Encrypt);
+                let ct = drv
+                    .try_process_block(&v.plaintext, Direction::Encrypt)
+                    .unwrap();
                 assert_eq!(ct, v.ciphertext, "{arch}: {}", v.source);
                 // Load edge + the architecture's processing latency.
                 assert_eq!(
@@ -345,7 +347,7 @@ mod tests {
             let mut drv = IpDriver::new(AltEncryptCore::new(arch));
             drv.write_key(&[3u8; 16]);
             let start = drv.cycles();
-            let cts = drv.process_stream(&blocks, Direction::Encrypt);
+            let cts = drv.try_process_stream(&blocks, Direction::Encrypt).unwrap();
             for (b, ct) in blocks.iter().zip(&cts) {
                 assert_eq!(*ct, aes.encrypt_block(b), "{arch}");
             }

@@ -18,8 +18,8 @@
 //!   virtual lockstep (the multi-core `engine` crate drives it this way).
 //!
 //! The original panicking [`IpDriver::process_block`] and
-//! [`IpDriver::process_stream`] remain as thin wrappers over the fallible
-//! layer.
+//! [`IpDriver::process_stream`] remain as `#[deprecated]` shims over the
+//! fallible layer; new code should call the `try_*` APIs directly.
 //!
 //! [`HardwareAes`] adapts a driver to the [`rijndael::BlockCipher`] trait
 //! so the software block-mode implementations (CBC, CTR, ...) run
@@ -121,10 +121,11 @@ pub enum StreamProgress {
 ///
 /// let mut drv = IpDriver::new(EncryptCore::new());
 /// drv.write_key(&[0u8; 16]);
-/// let ct = drv.process_block(&[0u8; 16], Direction::Encrypt);
+/// let ct = drv.try_process_block(&[0u8; 16], Direction::Encrypt)?;
 /// assert_eq!(ct[0], 0x66); // AES-128 zero vector
 /// // 1 key edge + the load edge + the 50-cycle latency.
 /// assert_eq!(drv.cycles(), 1 + 1 + 50);
+/// # Ok::<(), aes_ip::bus::StreamError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct IpDriver<C> {
@@ -286,13 +287,17 @@ impl<C: CycleCore> IpDriver<C> {
 
     /// Processes one block and blocks until `data_ok`.
     ///
-    /// Thin wrapper over [`IpDriver::try_process_block`], kept for callers
-    /// that treat bus faults as fatal.
+    /// Thin wrapper over [`IpDriver::try_process_block`], kept only for
+    /// source compatibility with pre-`StreamError` callers.
     ///
     /// # Panics
     ///
     /// Panics on any [`StreamError`] (wedged core, unsupported direction,
     /// busy core).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_process_block` and handle the `StreamError` instead of aborting"
+    )]
     pub fn process_block(&mut self, block: &[u8; 16], dir: Direction) -> [u8; 16] {
         self.try_process_block(block, dir)
             .unwrap_or_else(|e| panic!("process_block: {e}"))
@@ -301,13 +306,17 @@ impl<C: CycleCore> IpDriver<C> {
     /// Processes a stream of blocks, pipelined, returning the processed
     /// blocks in order.
     ///
-    /// Thin wrapper over [`IpDriver::try_process_stream`], kept for
-    /// callers that treat bus faults as fatal.
+    /// Thin wrapper over [`IpDriver::try_process_stream`], kept only for
+    /// source compatibility with pre-`StreamError` callers.
     ///
     /// # Panics
     ///
     /// Panics on any [`StreamError`] (wedged core, unsupported direction,
     /// busy core, key change mid-stream).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_process_stream` and handle the `StreamError` instead of aborting"
+    )]
     pub fn process_stream(&mut self, blocks: &[[u8; 16]], dir: Direction) -> Vec<[u8; 16]> {
         self.try_process_stream(blocks, dir)
             .unwrap_or_else(|e| panic!("process_stream: {e}"))
@@ -552,7 +561,9 @@ mod tests {
         key.copy_from_slice(FIPS197_C1.key);
         drv.write_key(&key);
         assert_eq!(drv.cycles(), 1); // encrypt-only: no setup walk
-        let ct = drv.process_block(&FIPS197_C1.plaintext, Direction::Encrypt);
+        let ct = drv
+            .try_process_block(&FIPS197_C1.plaintext, Direction::Encrypt)
+            .unwrap();
         assert_eq!(ct, FIPS197_C1.ciphertext);
         // Key edge + load edge + 50 processing edges.
         assert_eq!(drv.cycles(), 1 + 1 + LATENCY_CYCLES);
@@ -565,7 +576,9 @@ mod tests {
         key.copy_from_slice(FIPS197_C1.key);
         drv.write_key(&key);
         assert_eq!(drv.cycles(), 1 + 10);
-        let pt = drv.process_block(&FIPS197_C1.ciphertext, Direction::Decrypt);
+        let pt = drv
+            .try_process_block(&FIPS197_C1.ciphertext, Direction::Decrypt)
+            .unwrap();
         assert_eq!(pt, FIPS197_C1.plaintext);
     }
 
@@ -575,7 +588,7 @@ mod tests {
         drv.write_key(&[0u8; 16]);
         let start = drv.cycles();
         let blocks: Vec<[u8; 16]> = (0..8u8).map(|i| [i; 16]).collect();
-        let cts = drv.process_stream(&blocks, Direction::Encrypt);
+        let cts = drv.try_process_stream(&blocks, Direction::Encrypt).unwrap();
         assert_eq!(cts.len(), 8);
         // Verify each against the reference cipher.
         let aes = rijndael::Aes128::new(&[0u8; 16]);
@@ -605,7 +618,9 @@ mod tests {
         let mut streamed = IpDriver::new(EncryptCore::new());
         streamed.write_key(&[3u8; 16]);
         let start = streamed.cycles();
-        let stream_out = streamed.process_stream(&blocks, Direction::Encrypt);
+        let stream_out = streamed
+            .try_process_stream(&blocks, Direction::Encrypt)
+            .unwrap();
         let stream_cycles = streamed.cycles() - start;
 
         let mut blocking = IpDriver::new(EncryptCore::new());
@@ -613,7 +628,7 @@ mod tests {
         let start = blocking.cycles();
         let block_out: Vec<[u8; 16]> = blocks
             .iter()
-            .map(|b| blocking.process_block(b, Direction::Encrypt))
+            .map(|b| blocking.try_process_block(b, Direction::Encrypt).unwrap())
             .collect();
         let block_cycles = blocking.cycles() - start;
 
@@ -635,7 +650,7 @@ mod tests {
         let mut drv = IpDriver::new(EncryptCore::new());
         drv.write_key(&[7u8; 16]);
         let blocks = vec![[0xABu8; 16]; 5];
-        let cts = drv.process_stream(&blocks, Direction::Encrypt);
+        let cts = drv.try_process_stream(&blocks, Direction::Encrypt).unwrap();
         assert_eq!(cts.len(), 5);
         assert!(cts.windows(2).all(|w| w[0] == w[1]));
     }
@@ -663,8 +678,11 @@ mod tests {
         assert!(err.to_string().contains("wedged"), "{err}");
     }
 
+    // The deprecated shims must keep forwarding to the fallible layer
+    // (and keep their documented panic contract) until they are removed.
     #[test]
     #[should_panic(expected = "wedged")]
+    #[allow(deprecated)]
     fn legacy_stream_wrapper_still_panics_on_wedge() {
         let mut drv = IpDriver::new(DecryptCore::new());
         drv.clock(&CoreInputs {
@@ -674,6 +692,19 @@ mod tests {
             ..Default::default()
         });
         let _ = drv.process_stream(&[[0u8; 16]; 2], Direction::Decrypt);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wrappers_forward_to_the_fallible_layer() {
+        let mut key = [0u8; 16];
+        key.copy_from_slice(FIPS197_C1.key);
+        let mut drv = IpDriver::new(EncryptCore::new());
+        drv.write_key(&key);
+        let ct = drv.process_block(&FIPS197_C1.plaintext, Direction::Encrypt);
+        assert_eq!(ct, FIPS197_C1.ciphertext);
+        let cts = drv.process_stream(&[FIPS197_C1.plaintext], Direction::Encrypt);
+        assert_eq!(cts, vec![FIPS197_C1.ciphertext]);
     }
 
     #[test]
@@ -740,7 +771,9 @@ mod tests {
         let blocks: Vec<[u8; 16]> = (0..6u8).map(|i| [i.wrapping_mul(31); 16]).collect();
         let mut one_shot = IpDriver::new(EncryptCore::new());
         one_shot.write_key(&[9u8; 16]);
-        let expect = one_shot.process_stream(&blocks, Direction::Encrypt);
+        let expect = one_shot
+            .try_process_stream(&blocks, Direction::Encrypt)
+            .unwrap();
         let one_shot_cycles = one_shot.cycles();
 
         let mut sliced = IpDriver::new(EncryptCore::new());

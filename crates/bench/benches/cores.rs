@@ -21,13 +21,15 @@ fn main() {
         let mut drv = IpDriver::new(EncryptCore::new());
         drv.write_key(&[0u8; 16]);
         group.bench("encrypt", || {
-            drv.process_block(black_box(&[7u8; 16]), Direction::Encrypt)
+            drv.try_process_block(black_box(&[7u8; 16]), Direction::Encrypt)
+                .unwrap()
         });
 
         let mut drv = IpDriver::new(EncDecCore::new());
         drv.write_key(&[0u8; 16]);
         group.bench("encdec_decrypt", || {
-            drv.process_block(black_box(&[7u8; 16]), Direction::Decrypt)
+            drv.try_process_block(black_box(&[7u8; 16]), Direction::Decrypt)
+                .unwrap()
         });
     }
 
@@ -41,7 +43,8 @@ fn main() {
             let mut drv = IpDriver::new(AltEncryptCore::new(arch));
             drv.write_key(&[0u8; 16]);
             group.bench(&arch.to_string(), || {
-                drv.process_block(black_box(&[7u8; 16]), Direction::Encrypt)
+                drv.try_process_block(black_box(&[7u8; 16]), Direction::Encrypt)
+                    .unwrap()
             });
         }
     }
@@ -52,7 +55,8 @@ fn main() {
         let mut drv = IpDriver::new(GateLevelCore::new(CoreVariant::Encrypt, RomStyle::Macro));
         drv.write_key(&[0u8; 16]);
         group.bench("encrypt_eab", || {
-            drv.process_block(black_box(&[7u8; 16]), Direction::Encrypt)
+            drv.try_process_block(black_box(&[7u8; 16]), Direction::Encrypt)
+                .unwrap()
         });
     }
 

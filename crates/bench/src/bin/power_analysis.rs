@@ -45,7 +45,8 @@ fn analyse(variant: CoreVariant, device: &Device) {
     } else {
         Direction::Encrypt
     };
-    drv.process_stream(&blocks, dir);
+    drv.try_process_stream(&blocks, dir)
+        .expect("power workload stream");
 
     let mut core = drv.into_inner();
     let trace = core.take_activity().expect("activity was enabled");

@@ -1,0 +1,121 @@
+//! Load generator for the framed TCP crypto service: concurrent
+//! loopback clients hammering CTR requests at servers whose per-session
+//! engine farms grow by core count, reporting real wall-clock
+//! throughput and request-latency percentiles.
+//!
+//! Unlike `engine_scaling` (virtual cycles from the cycle-accurate
+//! models), this measures the deployed system end to end: TCP framing,
+//! session dispatch, worker threads and the engine itself. Set
+//! `TESTKIT_BENCH_SMOKE=1` (or pass `--smoke`) for a tiny workload so
+//! CI keeps the binary exercised.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use engine::BackendSpec;
+use service::client::Client;
+use service::server::{Server, ServiceConfig};
+
+/// One client thread's share of the workload.
+struct ClientReport {
+    bytes: u64,
+    latencies: Vec<Duration>,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank]
+}
+
+fn run_load(
+    farm: &[BackendSpec],
+    clients: usize,
+    requests_per_client: usize,
+    payload_len: usize,
+) -> (Duration, u64, Vec<Duration>) {
+    let server = Server::new(ServiceConfig {
+        farm: farm.to_vec(),
+        queue_capacity: 32,
+        max_connections: clients + 2,
+        idle_timeout: Duration::from_secs(30),
+    })
+    .spawn("127.0.0.1:0")
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for worker in 0..clients {
+        workers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            client.set_key(&[worker as u8 + 1; 16]).expect("SET_KEY");
+            let payload = vec![worker as u8; payload_len];
+            let mut icb = [0u8; 16];
+            icb[0] = worker as u8;
+            let mut report = ClientReport {
+                bytes: 0,
+                latencies: Vec::with_capacity(requests_per_client),
+            };
+            for _ in 0..requests_per_client {
+                let t0 = Instant::now();
+                let out = client.ctr_apply(&icb, &payload).expect("CTR apply");
+                report.latencies.push(t0.elapsed());
+                report.bytes += out.len() as u64;
+            }
+            report
+        }));
+    }
+
+    let mut bytes = 0u64;
+    let mut latencies = Vec::new();
+    for worker in workers {
+        let report = worker.join().expect("client thread");
+        bytes += report.bytes;
+        latencies.extend(report.latencies);
+    }
+    let elapsed = started.elapsed();
+    server.shutdown();
+    latencies.sort_unstable();
+    (elapsed, bytes, latencies)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var_os("TESTKIT_BENCH_SMOKE").is_some_and(|v| v != "0");
+    let clients = 4usize;
+    let (requests, payload_len) = if smoke { (8, 1024) } else { (200, 16 * 1024) };
+
+    println!("Service load — {clients} loopback clients, {requests} CTR requests each,");
+    println!("{payload_len} B payloads, per-session farms of the paper's combined core\n");
+    println!(
+        "{:<6} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "cores", "requests", "throughput", "p50", "p90", "p99"
+    );
+    println!("{}", "-".repeat(64));
+
+    for cores in [1usize, 2, 4] {
+        let farm = vec![BackendSpec::EncDecCore; cores];
+        let (elapsed, bytes, latencies) = run_load(&farm, clients, requests, payload_len);
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let mibps = bytes as f64 / (1024.0 * 1024.0) / secs;
+        println!(
+            "{:<6} {:>10} {:>9.2} MiB/s {:>9.2?} {:>9.2?} {:>9.2?}",
+            cores,
+            latencies.len(),
+            mibps,
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.90),
+            percentile(&latencies, 0.99),
+        );
+        assert_eq!(
+            latencies.len(),
+            clients * requests,
+            "every request must complete"
+        );
+    }
+
+    println!("\n(real wall-clock figures: TCP + framing + session dispatch + engine)");
+}

@@ -118,7 +118,10 @@ impl From<StreamError> for BackendError {
 /// One farm member: a block processor with a virtual-time cost model.
 ///
 /// The trait is object-safe; the scheduler holds `Box<dyn Backend>`.
-pub trait Backend {
+/// `Send` is a supertrait so a whole [`Engine`](crate::Engine) can move
+/// into a worker thread — the TCP service crate builds one engine per
+/// connection handler this way.
+pub trait Backend: Send {
     /// Short stable name for metrics and reports.
     fn name(&self) -> &'static str;
 
@@ -164,7 +167,7 @@ pub trait Backend {
 /// A cycle-accurate IP core behind its bus driver, exposed as a
 /// [`Backend`].
 #[derive(Debug, Clone)]
-pub struct IpCoreBackend<C> {
+pub struct IpCoreBackend<C: CycleCore> {
     driver: IpDriver<C>,
     name: &'static str,
     setup_cycles: u64,
@@ -194,7 +197,16 @@ impl<C: CycleCore> IpCoreBackend<C> {
     }
 }
 
-impl<C: CycleCore> Backend for IpCoreBackend<C> {
+impl<C: CycleCore> Drop for IpCoreBackend<C> {
+    /// Best-effort key hygiene, mirroring the software ciphers' on-drop
+    /// wipe: reload an all-zero key so neither the modeled key register
+    /// nor the walked decrypt schedule still holds the session key.
+    fn drop(&mut self) {
+        self.driver.write_key(&[0u8; 16]);
+    }
+}
+
+impl<C: CycleCore + Send> Backend for IpCoreBackend<C> {
     fn name(&self) -> &'static str {
         self.name
     }
@@ -245,6 +257,10 @@ impl<C: CycleCore> Backend for IpCoreBackend<C> {
 
 /// A software cipher as a [`Backend`]: no clock, so virtual time is a
 /// nominal one cycle per block (occupancy is by definition 100%).
+///
+/// Key hygiene rides on the wrapped cipher: [`Aes128`] and [`TtableAes`]
+/// wipe their expanded schedules when the backend is dropped (see
+/// `rijndael::zeroize`).
 #[derive(Debug, Clone)]
 pub struct SoftwareBackend<B> {
     cipher: B,
@@ -269,7 +285,7 @@ impl<B: BlockCipher> SoftwareBackend<B> {
     }
 }
 
-impl<B: BlockCipher> Backend for SoftwareBackend<B> {
+impl<B: BlockCipher + Send> Backend for SoftwareBackend<B> {
     fn name(&self) -> &'static str {
         self.name
     }
@@ -391,6 +407,32 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(soft.cycles(), 3); // one nominal cycle per block
         assert_eq!(soft.busy_cycles(), 3);
+    }
+
+    #[test]
+    fn every_backend_rekeys_cleanly_after_drop() {
+        // The on-drop wipe (zero-key reload on hardware, schedule wipe in
+        // software) must leave nothing behind that corrupts a fresh
+        // backend built from the same key bytes.
+        let key = fips_key();
+        for spec in BackendSpec::ALL {
+            drop(spec.build(&key));
+            let mut fresh = spec.build(&key);
+            if !fresh.supports(Direction::Encrypt) {
+                continue;
+            }
+            let mut block = FIPS197_C1.plaintext;
+            fresh.process_block(&mut block, Direction::Encrypt).unwrap();
+            assert_eq!(block, FIPS197_C1.ciphertext, "{spec} after re-key");
+        }
+    }
+
+    #[test]
+    fn backends_are_send() {
+        fn assert_send<T: Send>(_: T) {}
+        for spec in BackendSpec::ALL {
+            assert_send(spec.build(&fips_key()));
+        }
     }
 
     #[test]

@@ -652,6 +652,54 @@ mod tests {
     }
 
     #[test]
+    fn engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Engine>();
+        assert_send::<JobOutput>();
+        assert_send::<SubmitError>();
+    }
+
+    #[test]
+    fn backpressure_with_mixed_modes_drains_and_resubmits_in_order() {
+        // Queue-full / drain / resubmit across a mix of parallel (ECB,
+        // CTR) and chained (CBC, OFB) jobs: the submission boundary must
+        // not care which scheduler path a queued job will take.
+        let mut engine = Engine::with_farm(&KEY, &[BackendSpec::EncDecCore; 2], 3);
+        let a = engine.try_submit(Mode::EcbEncrypt, sample(4 * 16)).unwrap();
+        let b = engine
+            .try_submit(Mode::CbcEncrypt([1; 16]), sample(2 * 16))
+            .unwrap();
+        let c = engine.try_submit(Mode::Ctr([2; 16]), sample(33)).unwrap();
+
+        // Full: both a parallel and a chained submission bounce.
+        assert_eq!(
+            engine.try_submit(Mode::Ctr([3; 16]), sample(5)),
+            Err(SubmitError::Busy { capacity: 3 })
+        );
+        assert_eq!(
+            engine.try_submit(Mode::Ofb([4; 16]), sample(5)),
+            Err(SubmitError::Busy { capacity: 3 })
+        );
+        // A rejected submission must not burn a job id.
+        assert_eq!(engine.queued(), 3);
+
+        // Drain: outputs come back in submission order, all successful.
+        let out = engine.run();
+        assert_eq!(out.iter().map(|o| o.id).collect::<Vec<_>>(), vec![a, b, c]);
+        assert!(out.iter().all(|o| o.data.is_ok()));
+        assert_eq!(engine.queued(), 0);
+
+        // Resubmit: ids keep ascending past the drained batch and a full
+        // second cycle (mixed modes again) drains in order too.
+        let d = engine.try_submit(Mode::Ofb([5; 16]), sample(7)).unwrap();
+        let e = engine.try_submit(Mode::EcbDecrypt, sample(16)).unwrap();
+        assert!(c < d && d < e);
+        let out = engine.run();
+        assert_eq!(out.iter().map(|o| o.id).collect::<Vec<_>>(), vec![d, e]);
+        assert!(out.iter().all(|o| o.data.is_ok()));
+    }
+
+    #[test]
     fn ragged_ecb_is_rejected_at_submission() {
         let mut engine = Engine::with_farm(&KEY, &[BackendSpec::Software], 2);
         let err = engine.try_submit(Mode::EcbEncrypt, sample(17)).unwrap_err();

@@ -189,6 +189,15 @@ impl KeySchedule {
     }
 }
 
+impl Drop for KeySchedule {
+    /// Wipes the expanded round keys (best effort; see
+    /// [`crate::zeroize`]). The raw cipher key is recoverable from the
+    /// first `NK` words, so the schedule is key material in full.
+    fn drop(&mut self) {
+        crate::zeroize::wipe_words(&mut self.words);
+    }
+}
+
 impl fmt::Debug for KeySchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

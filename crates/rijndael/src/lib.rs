@@ -52,6 +52,7 @@ pub mod trace;
 pub mod transform;
 pub mod ttable;
 pub mod vectors;
+pub mod zeroize;
 
 pub use aes::{Aes128, Aes192, Aes256};
 pub use cipher::{BlockCipher, Rijndael};

@@ -263,6 +263,14 @@ impl BlockCipher for TtableAes {
     }
 }
 
+impl Drop for TtableAes {
+    /// Wipes both round-key arrays (best effort; see [`crate::zeroize`]).
+    fn drop(&mut self) {
+        crate::zeroize::wipe_words(&mut self.enc_keys);
+        crate::zeroize::wipe_words(&mut self.dec_keys);
+    }
+}
+
 impl fmt::Debug for TtableAes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "TtableAes {{ rounds: {} }}", self.rounds)

@@ -1,0 +1,103 @@
+//! Best-effort clearing of key material.
+//!
+//! The paper's deployment scenarios (smart cards, banking backbones) key
+//! and re-key the IP constantly, so expanded schedules must not outlive
+//! the session that owned them. This crate forbids `unsafe`, so a true
+//! `write_volatile` wipe is unavailable; instead the buffer is zeroed and
+//! then routed through [`core::hint::black_box`], which tells the
+//! optimiser the zeroed bytes are observed and removes its licence to
+//! elide the stores as dead writes. That is a *best-effort* hygiene
+//! measure against accidental key reuse and heap-dump scraping, not a
+//! hard guarantee against a determined local attacker.
+//!
+//! [`KeySchedule`](crate::KeySchedule) and
+//! [`TtableAes`](crate::ttable::TtableAes) wipe themselves on drop using
+//! these helpers, which also makes every cipher built on them
+//! ([`Rijndael`](crate::Rijndael), [`Aes128`](crate::Aes128), ...)
+//! self-wiping.
+
+/// Zeroes a byte buffer and pins the stores with a `black_box` barrier.
+pub fn wipe_bytes(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+    core::hint::black_box(buf);
+}
+
+/// Zeroes a buffer of 32-bit words (round keys, expanded schedules) and
+/// pins the stores with a `black_box` barrier.
+pub fn wipe_words(buf: &mut [u32]) {
+    for w in buf.iter_mut() {
+        *w = 0;
+    }
+    core::hint::black_box(buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wipe_bytes_clears_everything() {
+        let mut buf = [0xA5u8; 32];
+        wipe_bytes(&mut buf);
+        assert_eq!(buf, [0u8; 32]);
+    }
+
+    #[test]
+    fn wipe_words_clears_everything() {
+        let mut buf = vec![0xDEAD_BEEFu32; 44];
+        wipe_words(&mut buf);
+        assert!(buf.iter().all(|&w| w == 0));
+    }
+
+    // FIPS-197 Appendix C.1.
+    const KEY: [u8; 16] = [
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E,
+        0x0F,
+    ];
+    const PT: [u8; 16] = [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE,
+        0xFF,
+    ];
+    const CT: [u8; 16] = [
+        0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5,
+        0x5A,
+    ];
+
+    #[test]
+    fn rekeying_after_drop_yields_a_fresh_correct_cipher() {
+        // The on-drop wipe must clear only the dropped schedule — never
+        // shared tables or anything a later expansion depends on.
+        let first = crate::Aes128::new(&KEY);
+        assert_eq!(first.encrypt_block(&PT), CT);
+        drop(first);
+        let second = crate::Aes128::new(&KEY);
+        assert_eq!(second.encrypt_block(&PT), CT);
+        assert_eq!(second.decrypt_block(&CT), PT);
+    }
+
+    #[test]
+    fn ttable_rekeying_after_drop_yields_a_fresh_correct_cipher() {
+        let first = crate::ttable::TtableAes::new(&KEY).unwrap();
+        let mut block = PT;
+        first.encrypt_block(&mut block);
+        assert_eq!(block, CT);
+        drop(first);
+        let second = crate::ttable::TtableAes::new(&KEY).unwrap();
+        let mut block = PT;
+        second.encrypt_block(&mut block);
+        assert_eq!(block, CT);
+        second.decrypt_block(&mut block);
+        assert_eq!(block, PT);
+    }
+
+    #[test]
+    fn dropping_a_clone_leaves_the_original_usable() {
+        // Drop runs per-instance: wiping a clone's buffers must not
+        // corrupt the original's independent allocation.
+        let original = crate::Aes128::new(&KEY);
+        drop(original.clone());
+        assert_eq!(original.encrypt_block(&PT), CT);
+    }
+}

@@ -1,0 +1,391 @@
+//! Blocking loopback client: one [`Client`] per connection, typed
+//! methods over the raw frame layer.
+//!
+//! The client tracks the sequence counter and the live session id, maps
+//! [`Status::Error`] replies into [`ClientError::Service`], and exposes
+//! the deferred-submission path ([`Client::try_submit`] /
+//! [`Client::flush`]) so callers can observe the server's typed `Busy`
+//! backpressure instead of unbounded queueing. The raw
+//! [`Client::send_raw`] / [`Client::recv_raw`] pair is for protocol
+//! tests that need to send deliberately malformed traffic.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{ErrorCode, Frame, Op, RecvError, Status, FLAG_DEFER};
+
+/// Failure of a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Broken framing in a reply.
+    Recv(RecvError),
+    /// The server answered with a typed error.
+    Service {
+        /// The typed failure code.
+        code: ErrorCode,
+        /// The code-specific detail value.
+        detail: u32,
+    },
+    /// The reply did not have the shape the call expected.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Recv(e) => write!(f, "framing error: {e}"),
+            ClientError::Service { code, detail } => {
+                write!(f, "service error: {code} (detail {detail})")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> Self {
+        match e {
+            RecvError::Io(io) => ClientError::Io(io),
+            other => ClientError::Recv(other),
+        }
+    }
+}
+
+/// Outcome of a deferred submission: queued, or bounced by
+/// backpressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The job entered the queue; its result arrives at the next
+    /// [`Client::flush`] tagged with this sequence number.
+    Accepted(u32),
+    /// The queue is full — flush and retry.
+    Busy {
+        /// The server-side queue capacity that was exhausted.
+        capacity: u32,
+    },
+}
+
+/// One result drained by [`Client::flush`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushedJob {
+    /// The sequence number of the submission that produced it.
+    pub seq: u32,
+    /// The processed bytes, or the typed per-job failure.
+    pub result: Result<Vec<u8>, (ErrorCode, u32)>,
+}
+
+/// A blocking connection to the service.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    seq: u32,
+    session: u32,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`) and starts sequence numbering
+    /// at 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/setsockopt failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            seq: 0,
+            session: 0,
+        })
+    }
+
+    /// The live session id (0 before the first [`Client::set_key`]).
+    #[must_use]
+    pub fn session(&self) -> u32 {
+        self.session
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+
+    /// Sends a frame verbatim (protocol-test escape hatch).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn send_raw(&mut self, frame: &Frame) -> io::Result<()> {
+        frame.write_to(&mut self.stream)
+    }
+
+    /// Reads the next reply frame verbatim (protocol-test escape
+    /// hatch).
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing errors.
+    pub fn recv_raw(&mut self) -> Result<Frame, RecvError> {
+        Frame::read_from(&mut self.stream)
+    }
+
+    /// Request/reply round trip; typed `Error` replies become
+    /// [`ClientError::Service`].
+    fn call(&mut self, op: Op, flags: u8, payload: Vec<u8>) -> Result<Frame, ClientError> {
+        let seq = self.next_seq();
+        let request = Frame::request(op, flags, seq, self.session, payload);
+        self.send_raw(&request)?;
+        let reply = self.recv_raw()?;
+        if let Some((code, detail)) = reply.error_body() {
+            return Err(ClientError::Service { code, detail });
+        }
+        if reply.seq != seq {
+            return Err(ClientError::Protocol(format!(
+                "reply seq {} for request seq {seq}",
+                reply.seq
+            )));
+        }
+        Ok(reply)
+    }
+
+    fn expect_ok(reply: &Frame) -> Result<(), ClientError> {
+        if reply.status() == Some(Status::Ok) {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "expected Ok, got kind {:#04x}",
+                reply.kind
+            )))
+        }
+    }
+
+    /// Loads a key, creating a fresh server-side session; returns the
+    /// new session id (used on every subsequent request automatically).
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors or transport failures.
+    pub fn set_key(&mut self, key: &[u8; 16]) -> Result<u32, ClientError> {
+        let reply = self.call(Op::SetKey, 0, key.to_vec())?;
+        Self::expect_ok(&reply)?;
+        self.session = reply.session;
+        Ok(reply.session)
+    }
+
+    /// Liveness probe; the server echoes `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors or transport failures.
+    pub fn ping(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let reply = self.call(Op::Ping, 0, payload.to_vec())?;
+        Self::expect_ok(&reply)?;
+        Ok(reply.payload)
+    }
+
+    fn engine_call(
+        &mut self,
+        op: Op,
+        iv: Option<&[u8; 16]>,
+        data: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        let mut payload = Vec::with_capacity(16 + data.len());
+        if let Some(iv) = iv {
+            payload.extend_from_slice(iv);
+        }
+        payload.extend_from_slice(data);
+        let reply = self.call(op, 0, payload)?;
+        Self::expect_ok(&reply)?;
+        Ok(reply.payload)
+    }
+
+    /// ECB-encrypts whole blocks under the session key.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors (`NoSession`, `RaggedLength`, `Busy`...) or
+    /// transport failures.
+    pub fn ecb_encrypt(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.engine_call(Op::EcbEncrypt, None, plaintext)
+    }
+
+    /// ECB-decrypts whole blocks under the session key.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::ecb_encrypt`].
+    pub fn ecb_decrypt(&mut self, ciphertext: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.engine_call(Op::EcbDecrypt, None, ciphertext)
+    }
+
+    /// CBC-encrypts whole blocks under the session key.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::ecb_encrypt`].
+    pub fn cbc_encrypt(&mut self, iv: &[u8; 16], plaintext: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.engine_call(Op::CbcEncrypt, Some(iv), plaintext)
+    }
+
+    /// CBC-decrypts whole blocks under the session key.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::ecb_encrypt`].
+    pub fn cbc_decrypt(
+        &mut self,
+        iv: &[u8; 16],
+        ciphertext: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        self.engine_call(Op::CbcDecrypt, Some(iv), ciphertext)
+    }
+
+    /// Applies the CTR keystream (encrypt = decrypt, any length).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::ecb_encrypt`].
+    pub fn ctr_apply(&mut self, counter: &[u8; 16], data: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.engine_call(Op::CtrApply, Some(counter), data)
+    }
+
+    /// Computes the AES-CMAC tag of `message` under the session key.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors or transport failures.
+    pub fn cmac_tag(&mut self, message: &[u8]) -> Result<[u8; 16], ClientError> {
+        let reply = self.call(Op::CmacTag, 0, message.to_vec())?;
+        Self::expect_ok(&reply)?;
+        reply
+            .payload
+            .as_slice()
+            .try_into()
+            .map_err(|_| ClientError::Protocol(format!("{}-byte CMAC tag", reply.payload.len())))
+    }
+
+    /// Verifies an AES-CMAC tag; `Ok(false)` on a well-formed mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors other than `BadTag`, or transport failures.
+    pub fn cmac_verify(&mut self, message: &[u8], tag: &[u8; 16]) -> Result<bool, ClientError> {
+        let mut payload = Vec::with_capacity(16 + message.len());
+        payload.extend_from_slice(tag);
+        payload.extend_from_slice(message);
+        match self.call(Op::CmacVerify, 0, payload) {
+            Ok(reply) => Self::expect_ok(&reply).map(|()| true),
+            Err(ClientError::Service {
+                code: ErrorCode::BadTag,
+                ..
+            }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Submits a deferred engine job; `Busy` comes back as a value, not
+    /// an error, because it is the expected backpressure signal.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors other than `Busy`, or transport failures.
+    pub fn try_submit(
+        &mut self,
+        op: Op,
+        iv: Option<&[u8; 16]>,
+        data: &[u8],
+    ) -> Result<SubmitOutcome, ClientError> {
+        let mut payload = Vec::with_capacity(16 + data.len());
+        if let Some(iv) = iv {
+            payload.extend_from_slice(iv);
+        }
+        payload.extend_from_slice(data);
+        match self.call(op, FLAG_DEFER, payload) {
+            Ok(reply) => {
+                if reply.status() == Some(Status::Accepted) {
+                    Ok(SubmitOutcome::Accepted(reply.seq))
+                } else {
+                    Err(ClientError::Protocol(format!(
+                        "expected Accepted, got kind {:#04x}",
+                        reply.kind
+                    )))
+                }
+            }
+            Err(ClientError::Service {
+                code: ErrorCode::Busy,
+                detail,
+            }) => Ok(SubmitOutcome::Busy { capacity: detail }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drains the session's deferred jobs: collects the `Data` replies
+    /// (tagged with their submission seq) until the `Flushed` marker.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors on the flush itself, a count mismatch, or
+    /// transport failures. Per-job failures come back inside
+    /// [`FlushedJob::result`] instead of failing the whole flush.
+    pub fn flush(&mut self) -> Result<Vec<FlushedJob>, ClientError> {
+        let flush_seq = self.next_seq();
+        let request = Frame::request(Op::Flush, 0, flush_seq, self.session, Vec::new());
+        self.send_raw(&request)?;
+        let mut jobs = Vec::new();
+        loop {
+            let reply = self.recv_raw()?;
+            match reply.status() {
+                Some(Status::Data) => jobs.push(FlushedJob {
+                    seq: reply.seq,
+                    result: Ok(reply.payload),
+                }),
+                Some(Status::Error) => {
+                    let (code, detail) = reply
+                        .error_body()
+                        .ok_or_else(|| ClientError::Protocol("undecodable error reply".into()))?;
+                    if reply.seq == flush_seq {
+                        // The flush itself failed (NoSession, ...).
+                        return Err(ClientError::Service { code, detail });
+                    }
+                    jobs.push(FlushedJob {
+                        seq: reply.seq,
+                        result: Err((code, detail)),
+                    });
+                }
+                Some(Status::Flushed) => {
+                    let count = reply
+                        .payload
+                        .as_slice()
+                        .try_into()
+                        .map(u32::from_be_bytes)
+                        .map_err(|_| ClientError::Protocol("short Flushed payload".into()))?;
+                    if count as usize != jobs.len() {
+                        return Err(ClientError::Protocol(format!(
+                            "Flushed count {count} but {} results arrived",
+                            jobs.len()
+                        )));
+                    }
+                    return Ok(jobs);
+                }
+                _ => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected kind {:#04x} during flush",
+                        reply.kind
+                    )))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Framed TCP crypto service in front of the multi-core engine.
+//!
+//! The paper's IP is a bus-mastered coprocessor; the natural system
+//! around a farm of them is a keyed service: clients connect, load a
+//! key, and stream mode operations at the engine. This crate is that
+//! service, std-only and hermetic like the rest of the workspace:
+//!
+//! * [`protocol`] — the version-1 length-prefixed wire format: request
+//!   framing (ECB/CBC/CTR, CMAC, key load, flush, ping), strict frame
+//!   size limits, and typed error replies instead of disconnects;
+//! * [`session`] — per-connection key management: `SET_KEY` builds a
+//!   fresh engine farm, key material is never echoed and wipes itself
+//!   on teardown or re-key;
+//! * [`server`] — the threaded accept/worker loop with a connection
+//!   admission cap, per-session backpressure mapped onto
+//!   `Engine::try_submit` (typed `Busy` replies), idle timeouts and a
+//!   graceful shutdown that drains in-flight deferred jobs;
+//! * [`client`] — a blocking loopback client used by the integration
+//!   tests and the `service_load` load generator.
+//!
+//! # Quick start
+//!
+//! ```
+//! use rijndael_service::client::Client;
+//! use rijndael_service::server::{Server, ServiceConfig};
+//!
+//! let handle = Server::new(ServiceConfig::default())
+//!     .spawn("127.0.0.1:0")
+//!     .expect("bind");
+//! let mut client = Client::connect(handle.local_addr()).expect("connect");
+//! client.set_key(&[0u8; 16]).expect("key load");
+//! let ct = client.ecb_encrypt(&[0u8; 16]).expect("encrypt");
+//! assert_eq!(ct[0], 0x66); // AES-128 zero vector
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientError, FlushedJob, SubmitOutcome};
+pub use protocol::{ErrorCode, Frame, Op, RecvError, Status};
+pub use server::{Server, ServiceConfig, ServiceHandle};
+pub use session::{Session, SessionSlot};

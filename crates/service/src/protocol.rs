@@ -1,0 +1,614 @@
+//! Version-1 wire format: length-prefixed binary frames.
+//!
+//! Every frame — request or reply — is one length-prefixed record:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     len      u32 BE; bytes after this field (11 ..= MAX_FRAME_LEN)
+//! 4       1     version  PROTOCOL_VERSION (1)
+//! 5       1     kind     request Op, or reply Status (high bit set)
+//! 6       1     flags    bit 0 = FLAG_DEFER on engine ops; reserved otherwise
+//! 7       4     seq      u32 BE; client-chosen, echoed in the matching replies
+//! 11      4     session  u32 BE; 0 before SET_KEY, server-assigned afterwards
+//! 15      ...   payload  op-specific body, at most MAX_PAYLOAD bytes
+//! ```
+//!
+//! Limits are enforced on both sides: a frame longer than
+//! [`MAX_FRAME_LEN`] is refused *before* it is buffered, and the server
+//! answers protocol violations with typed [`ErrorCode`] replies instead
+//! of dropping the connection wherever the stream is still in sync
+//! (the two exceptions — an oversized length prefix and a version
+//! mismatch — poison the framing itself, so the server sends the typed
+//! error and then closes).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use engine::Mode;
+
+/// Wire-format version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Bytes of header after the length prefix (version, kind, flags, seq,
+/// session).
+pub const HEADER_LEN: usize = 11;
+
+/// Hard cap on one frame's payload (IV included). Bigger requests must be
+/// split; the cap bounds per-connection buffering no matter what a peer
+/// sends.
+pub const MAX_PAYLOAD: usize = 256 * 1024;
+
+/// Hard cap on the post-prefix frame length.
+pub const MAX_FRAME_LEN: usize = HEADER_LEN + MAX_PAYLOAD;
+
+/// Request flag bit 0: enqueue the job into the session engine and reply
+/// [`Status::Accepted`] immediately; results are collected by
+/// [`Op::Flush`]. Only valid on engine ops (ECB/CBC/CTR).
+pub const FLAG_DEFER: u8 = 0x01;
+
+/// Request operation codes (`kind` with the high bit clear).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Op {
+    /// Load a 16-byte AES-128 key: creates a fresh session bound to the
+    /// server's engine farm and invalidates the previous one. Payload:
+    /// the key. Reply: [`Status::Ok`] with the new session id in the
+    /// header's `session` field.
+    SetKey = 0x01,
+    /// Drain the session engine: one [`Status::Data`] reply per deferred
+    /// job (carrying that job's original `seq`), then [`Status::Flushed`]
+    /// with a `u32` count. Payload: empty.
+    Flush = 0x02,
+    /// Liveness probe; the payload (bounded like any other) is echoed in
+    /// the [`Status::Ok`] reply.
+    Ping = 0x03,
+    /// ECB-encrypt whole blocks. Payload: plaintext.
+    EcbEncrypt = 0x10,
+    /// ECB-decrypt whole blocks. Payload: ciphertext.
+    EcbDecrypt = 0x11,
+    /// CBC-encrypt whole blocks. Payload: 16-byte IV ‖ plaintext.
+    CbcEncrypt = 0x12,
+    /// CBC-decrypt whole blocks. Payload: 16-byte IV ‖ ciphertext.
+    CbcDecrypt = 0x13,
+    /// Apply the CTR keystream (enc = dec). Payload: 16-byte initial
+    /// counter block ‖ data, any length.
+    CtrApply = 0x14,
+    /// Compute the AES-CMAC tag. Payload: message. Reply: 16-byte tag.
+    CmacTag = 0x15,
+    /// Verify an AES-CMAC tag in constant time. Payload: 16-byte tag ‖
+    /// message. Reply: empty [`Status::Ok`], or [`ErrorCode::BadTag`].
+    CmacVerify = 0x16,
+}
+
+impl Op {
+    /// Decodes a request `kind` byte.
+    #[must_use]
+    pub fn from_u8(kind: u8) -> Option<Op> {
+        Some(match kind {
+            0x01 => Op::SetKey,
+            0x02 => Op::Flush,
+            0x03 => Op::Ping,
+            0x10 => Op::EcbEncrypt,
+            0x11 => Op::EcbDecrypt,
+            0x12 => Op::CbcEncrypt,
+            0x13 => Op::CbcDecrypt,
+            0x14 => Op::CtrApply,
+            0x15 => Op::CmacTag,
+            0x16 => Op::CmacVerify,
+            _ => return None,
+        })
+    }
+
+    /// `true` for the ops routed through the engine scheduler (and thus
+    /// the only ops that accept [`FLAG_DEFER`]).
+    #[must_use]
+    pub fn is_engine_op(self) -> bool {
+        matches!(
+            self,
+            Op::EcbEncrypt | Op::EcbDecrypt | Op::CbcEncrypt | Op::CbcDecrypt | Op::CtrApply
+        )
+    }
+
+    /// `true` when the payload starts with a 16-byte IV / counter block.
+    #[must_use]
+    pub fn takes_iv(self) -> bool {
+        matches!(self, Op::CbcEncrypt | Op::CbcDecrypt | Op::CtrApply)
+    }
+
+    /// Maps an engine op (plus its IV, all-zero for the ECB ops) onto the
+    /// scheduler's [`Mode`]. `None` for non-engine ops.
+    #[must_use]
+    pub fn engine_mode(self, iv: [u8; 16]) -> Option<Mode> {
+        Some(match self {
+            Op::EcbEncrypt => Mode::EcbEncrypt,
+            Op::EcbDecrypt => Mode::EcbDecrypt,
+            Op::CbcEncrypt => Mode::CbcEncrypt(iv),
+            Op::CbcDecrypt => Mode::CbcDecrypt(iv),
+            Op::CtrApply => Mode::Ctr(iv),
+            _ => return None,
+        })
+    }
+}
+
+/// Reply status codes (`kind` with the high bit set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Status {
+    /// The request completed; payload is op-specific.
+    Ok = 0x80,
+    /// A deferred job entered the session engine's queue; results follow
+    /// the next [`Op::Flush`].
+    Accepted = 0x81,
+    /// One drained deferred job's output; `seq` is the *submission*'s
+    /// sequence number.
+    Data = 0x82,
+    /// The flush finished; payload is the `u32` BE count of jobs drained.
+    Flushed = 0x83,
+    /// The request failed; payload is `code: u8` ‖ `detail: u32 BE`
+    /// (see [`ErrorCode`]).
+    Error = 0xFF,
+}
+
+impl Status {
+    /// Decodes a reply `kind` byte.
+    #[must_use]
+    pub fn from_u8(kind: u8) -> Option<Status> {
+        Some(match kind {
+            0x80 => Status::Ok,
+            0x81 => Status::Accepted,
+            0x82 => Status::Data,
+            0x83 => Status::Flushed,
+            0xFF => Status::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed failure codes carried in [`Status::Error`] replies. `detail` is
+/// a per-code `u32` (a length, a capacity, a limit — documented below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Frame version ≠ [`PROTOCOL_VERSION`]. Detail: the received
+    /// version. The connection closes after this reply.
+    BadVersion = 1,
+    /// Unknown request op. Detail: the received `kind` byte.
+    BadOp = 2,
+    /// The payload does not parse for the op (short IV, wrong key
+    /// length, missing tag...). Detail: the received payload length.
+    Malformed = 3,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`]. Detail: the declared
+    /// length. The connection closes after this reply.
+    FrameTooLarge = 4,
+    /// A crypto op arrived before any `SET_KEY`. Detail: 0.
+    NoSession = 5,
+    /// The request's `session` field does not name the live session
+    /// (stale pipelined request after a re-key). Detail: the live id.
+    StaleSession = 6,
+    /// The session engine's bounded queue is full — flush and retry.
+    /// Detail: the queue capacity.
+    Busy = 7,
+    /// ECB/CBC payload is not a whole number of 16-byte blocks. Detail:
+    /// the offending data length.
+    RaggedLength = 8,
+    /// CMAC verification failed. Detail: 0.
+    BadTag = 9,
+    /// A backend fault while running the job. Detail: 0.
+    JobFailed = 10,
+    /// No complete request arrived within the idle budget; the
+    /// connection closes after this reply. Detail: the timeout in ms.
+    IdleTimeout = 11,
+    /// The server is draining for shutdown; in-flight deferred jobs were
+    /// flushed before this goodbye. Detail: 0.
+    ShuttingDown = 12,
+    /// [`FLAG_DEFER`] on an op that cannot be deferred. Detail: the op
+    /// byte.
+    DeferUnsupported = 13,
+    /// Connection admission refused: the server is at its connection
+    /// cap. Detail: the cap.
+    TooManyConnections = 14,
+}
+
+impl ErrorCode {
+    /// Decodes an error code byte.
+    #[must_use]
+    pub fn from_u8(code: u8) -> Option<ErrorCode> {
+        Some(match code {
+            1 => ErrorCode::BadVersion,
+            2 => ErrorCode::BadOp,
+            3 => ErrorCode::Malformed,
+            4 => ErrorCode::FrameTooLarge,
+            5 => ErrorCode::NoSession,
+            6 => ErrorCode::StaleSession,
+            7 => ErrorCode::Busy,
+            8 => ErrorCode::RaggedLength,
+            9 => ErrorCode::BadTag,
+            10 => ErrorCode::JobFailed,
+            11 => ErrorCode::IdleTimeout,
+            12 => ErrorCode::ShuttingDown,
+            13 => ErrorCode::DeferUnsupported,
+            14 => ErrorCode::TooManyConnections,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::BadVersion => "unsupported protocol version",
+            ErrorCode::BadOp => "unknown operation",
+            ErrorCode::Malformed => "malformed payload",
+            ErrorCode::FrameTooLarge => "frame exceeds the size limit",
+            ErrorCode::NoSession => "no session: SET_KEY first",
+            ErrorCode::StaleSession => "stale session id",
+            ErrorCode::Busy => "engine queue full: flush and retry",
+            ErrorCode::RaggedLength => "payload is not whole 16-byte blocks",
+            ErrorCode::BadTag => "CMAC verification failed",
+            ErrorCode::JobFailed => "backend fault while running the job",
+            ErrorCode::IdleTimeout => "connection idle too long",
+            ErrorCode::ShuttingDown => "server shutting down",
+            ErrorCode::DeferUnsupported => "operation cannot be deferred",
+            ErrorCode::TooManyConnections => "server connection cap reached",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One decoded frame (either direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Wire version ([`PROTOCOL_VERSION`] on everything this crate
+    /// builds; preserved verbatim on receive so version errors can echo
+    /// it).
+    pub version: u8,
+    /// Raw `kind` byte: an [`Op`] on requests, a [`Status`] on replies.
+    pub kind: u8,
+    /// Request flags ([`FLAG_DEFER`]); reserved (0) on replies.
+    pub flags: u8,
+    /// Request sequence number, echoed in the matching replies.
+    pub seq: u32,
+    /// Session id (0 = none yet).
+    pub session: u32,
+    /// Op-/status-specific body.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a request frame.
+    #[must_use]
+    pub fn request(op: Op, flags: u8, seq: u32, session: u32, payload: Vec<u8>) -> Frame {
+        Frame {
+            version: PROTOCOL_VERSION,
+            kind: op as u8,
+            flags,
+            seq,
+            session,
+            payload,
+        }
+    }
+
+    /// Builds a reply frame.
+    #[must_use]
+    pub fn reply(status: Status, seq: u32, session: u32, payload: Vec<u8>) -> Frame {
+        Frame {
+            version: PROTOCOL_VERSION,
+            kind: status as u8,
+            flags: 0,
+            seq,
+            session,
+            payload,
+        }
+    }
+
+    /// Builds a typed error reply.
+    #[must_use]
+    pub fn error(code: ErrorCode, detail: u32, seq: u32, session: u32) -> Frame {
+        let mut payload = Vec::with_capacity(5);
+        payload.push(code as u8);
+        payload.extend_from_slice(&detail.to_be_bytes());
+        Frame::reply(Status::Error, seq, session, payload)
+    }
+
+    /// The request op, when `kind` encodes one.
+    #[must_use]
+    pub fn op(&self) -> Option<Op> {
+        Op::from_u8(self.kind)
+    }
+
+    /// The reply status, when `kind` encodes one.
+    #[must_use]
+    pub fn status(&self) -> Option<Status> {
+        Status::from_u8(self.kind)
+    }
+
+    /// Decodes the `(code, detail)` body of a [`Status::Error`] reply.
+    #[must_use]
+    pub fn error_body(&self) -> Option<(ErrorCode, u32)> {
+        if self.status() != Some(Status::Error) || self.payload.len() < 5 {
+            return None;
+        }
+        let code = ErrorCode::from_u8(self.payload[0])?;
+        let detail = u32::from_be_bytes(self.payload[1..5].try_into().ok()?);
+        Some((code, detail))
+    }
+
+    /// Serialises the frame (length prefix included).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `w`; [`io::ErrorKind::InvalidInput`] when the
+    /// payload exceeds [`MAX_PAYLOAD`] (the frame is not sent).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        if self.payload.len() > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("payload of {} exceeds MAX_PAYLOAD", self.payload.len()),
+            ));
+        }
+        let len = (HEADER_LEN + self.payload.len()) as u32;
+        let mut buf = Vec::with_capacity(4 + HEADER_LEN + self.payload.len());
+        buf.extend_from_slice(&len.to_be_bytes());
+        buf.push(self.version);
+        buf.push(self.kind);
+        buf.push(self.flags);
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(&self.session.to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        w.write_all(&buf)
+    }
+
+    /// Incremental variant of [`Frame::read_from`] for non-blocking
+    /// readers: parses one complete frame off the front of `buf`,
+    /// draining its bytes, or returns `Ok(None)` when more bytes are
+    /// needed. The length prefix is validated as soon as it is visible,
+    /// so an oversized frame is refused before its body accumulates.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::TooLarge`] / [`RecvError::TooShort`] on a length
+    /// prefix outside the valid range; `buf` is left untouched so the
+    /// caller can report and close.
+    pub fn parse_buffered(buf: &mut Vec<u8>) -> Result<Option<Frame>, RecvError> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(buf[..4].try_into().expect("4-byte slice"));
+        if (len as usize) < HEADER_LEN {
+            return Err(RecvError::TooShort { len });
+        }
+        if (len as usize) > MAX_FRAME_LEN {
+            return Err(RecvError::TooLarge { len });
+        }
+        let total = 4 + len as usize;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::read_from(&mut &buf[..total]).expect("complete frame already validated");
+        buf.drain(..total);
+        Ok(Some(frame))
+    }
+
+    /// Reads one frame, enforcing [`MAX_FRAME_LEN`] before buffering the
+    /// body.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Io`] on transport errors (including a clean EOF
+    /// before the length prefix, surfaced as `UnexpectedEof`);
+    /// [`RecvError::TooLarge`] / [`RecvError::TooShort`] on a length
+    /// prefix outside the valid range — the stream can no longer be
+    /// trusted to be in sync, so the caller should close after its typed
+    /// goodbye.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, RecvError> {
+        let mut len_buf = [0u8; 4];
+        r.read_exact(&mut len_buf)?;
+        let len = u32::from_be_bytes(len_buf);
+        if (len as usize) < HEADER_LEN {
+            return Err(RecvError::TooShort { len });
+        }
+        if (len as usize) > MAX_FRAME_LEN {
+            return Err(RecvError::TooLarge { len });
+        }
+        let mut body = vec![0u8; len as usize];
+        r.read_exact(&mut body)?;
+        Ok(Frame {
+            version: body[0],
+            kind: body[1],
+            flags: body[2],
+            seq: u32::from_be_bytes(body[3..7].try_into().expect("4-byte slice")),
+            session: u32::from_be_bytes(body[7..11].try_into().expect("4-byte slice")),
+            payload: body[HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+/// Failure while receiving a frame.
+#[derive(Debug)]
+pub enum RecvError {
+    /// Transport error (EOF mid-frame is `UnexpectedEof`).
+    Io(io::Error),
+    /// Length prefix under [`HEADER_LEN`]: framing is corrupt.
+    TooShort {
+        /// The declared post-prefix length.
+        len: u32,
+    },
+    /// Length prefix over [`MAX_FRAME_LEN`]: refused before buffering.
+    TooLarge {
+        /// The declared post-prefix length.
+        len: u32,
+    },
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Io(e) => write!(f, "frame transport error: {e}"),
+            RecvError::TooShort { len } => {
+                write!(f, "frame length {len} under the {HEADER_LEN}-byte header")
+            }
+            RecvError::TooLarge { len } => {
+                write!(f, "frame length {len} over the {MAX_FRAME_LEN} limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl From<io::Error> for RecvError {
+    fn from(e: io::Error) -> Self {
+        RecvError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips_through_the_wire_format() {
+        let frame = Frame::request(Op::CbcEncrypt, FLAG_DEFER, 7, 0xDEAD_BEEF, vec![9u8; 48]);
+        let mut wire = Vec::new();
+        frame.write_to(&mut wire).unwrap();
+        assert_eq!(wire.len(), 4 + HEADER_LEN + 48);
+        let back = Frame::read_from(&mut wire.as_slice()).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.op(), Some(Op::CbcEncrypt));
+        assert_eq!(back.status(), None);
+    }
+
+    #[test]
+    fn error_reply_roundtrips_code_and_detail() {
+        let frame = Frame::error(ErrorCode::Busy, 32, 3, 1);
+        let mut wire = Vec::new();
+        frame.write_to(&mut wire).unwrap();
+        let back = Frame::read_from(&mut wire.as_slice()).unwrap();
+        assert_eq!(back.status(), Some(Status::Error));
+        assert_eq!(back.error_body(), Some((ErrorCode::Busy, 32)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_buffering() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        wire.extend_from_slice(&[0u8; 64]);
+        match Frame::read_from(&mut wire.as_slice()) {
+            Err(RecvError::TooLarge { len }) => assert_eq!(len as usize, MAX_FRAME_LEN + 1),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undersized_length_prefix_is_refused() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(HEADER_LEN as u32 - 1).to_be_bytes());
+        wire.extend_from_slice(&[0u8; HEADER_LEN]);
+        assert!(matches!(
+            Frame::read_from(&mut wire.as_slice()),
+            Err(RecvError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_at_send() {
+        let frame = Frame::request(Op::Ping, 0, 0, 0, vec![0u8; MAX_PAYLOAD + 1]);
+        let err = frame.write_to(&mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let frame = Frame::request(Op::Ping, 0, 1, 0, vec![1, 2, 3]);
+        let mut wire = Vec::new();
+        frame.write_to(&mut wire).unwrap();
+        wire.truncate(wire.len() - 2);
+        assert!(matches!(
+            Frame::read_from(&mut wire.as_slice()),
+            Err(RecvError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn parse_buffered_handles_trickled_and_back_to_back_frames() {
+        let a = Frame::request(Op::Ping, 0, 1, 0, vec![0xAA; 5]);
+        let b = Frame::request(Op::Flush, 0, 2, 9, Vec::new());
+        let mut wire = Vec::new();
+        a.write_to(&mut wire).unwrap();
+        b.write_to(&mut wire).unwrap();
+
+        let mut buf = Vec::new();
+        let mut parsed = Vec::new();
+        // Feed one byte at a time: partial frames must park, never error.
+        for byte in wire {
+            buf.push(byte);
+            while let Some(frame) = Frame::parse_buffered(&mut buf).unwrap() {
+                parsed.push(frame);
+            }
+        }
+        assert_eq!(parsed, vec![a, b]);
+        assert!(buf.is_empty());
+
+        // An oversized prefix is refused from the first four bytes on.
+        let mut poisoned = (MAX_FRAME_LEN as u32 + 1).to_be_bytes().to_vec();
+        assert!(matches!(
+            Frame::parse_buffered(&mut poisoned),
+            Err(RecvError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn every_op_code_roundtrips() {
+        for op in [
+            Op::SetKey,
+            Op::Flush,
+            Op::Ping,
+            Op::EcbEncrypt,
+            Op::EcbDecrypt,
+            Op::CbcEncrypt,
+            Op::CbcDecrypt,
+            Op::CtrApply,
+            Op::CmacTag,
+            Op::CmacVerify,
+        ] {
+            assert_eq!(Op::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(Op::from_u8(0x7E), None);
+    }
+
+    #[test]
+    fn every_status_and_error_code_roundtrips() {
+        for st in [
+            Status::Ok,
+            Status::Accepted,
+            Status::Data,
+            Status::Flushed,
+            Status::Error,
+        ] {
+            assert_eq!(Status::from_u8(st as u8), Some(st));
+        }
+        assert_eq!(Status::from_u8(0x90), None);
+        for code in 1..=14u8 {
+            let decoded = ErrorCode::from_u8(code).expect("codes 1..=14 are assigned");
+            assert_eq!(decoded as u8, code);
+            assert!(!decoded.to_string().is_empty());
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(15), None);
+    }
+
+    #[test]
+    fn engine_mode_mapping_covers_exactly_the_engine_ops() {
+        let iv = [7u8; 16];
+        assert_eq!(Op::EcbEncrypt.engine_mode(iv), Some(Mode::EcbEncrypt));
+        assert_eq!(Op::EcbDecrypt.engine_mode(iv), Some(Mode::EcbDecrypt));
+        assert_eq!(Op::CbcEncrypt.engine_mode(iv), Some(Mode::CbcEncrypt(iv)));
+        assert_eq!(Op::CbcDecrypt.engine_mode(iv), Some(Mode::CbcDecrypt(iv)));
+        assert_eq!(Op::CtrApply.engine_mode(iv), Some(Mode::Ctr(iv)));
+        for op in [Op::SetKey, Op::Flush, Op::Ping, Op::CmacTag, Op::CmacVerify] {
+            assert!(!op.is_engine_op());
+            assert_eq!(op.engine_mode(iv), None);
+        }
+        assert!(Op::CtrApply.takes_iv() && !Op::EcbEncrypt.takes_iv());
+    }
+}

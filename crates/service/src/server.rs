@@ -1,0 +1,603 @@
+//! The threaded server loop: bounded accept, per-connection workers,
+//! typed-error dispatch, idle timeouts and graceful drain-on-shutdown.
+//!
+//! Every connection gets one worker thread and one [`SessionSlot`]; the
+//! acceptor thread admits connections up to
+//! [`ServiceConfig::max_connections`] and refuses the rest with a typed
+//! [`ErrorCode::TooManyConnections`] goodbye instead of a silent drop.
+//! Workers poll their socket with a short read timeout so they can
+//! observe the shutdown flag and the idle budget without a dedicated
+//! timer thread; frames are reassembled incrementally
+//! ([`Frame::parse_buffered`]) so a slow peer that trickles bytes never
+//! desynchronises the stream.
+//!
+//! Shutdown is graceful: the acceptor stops admitting, every worker
+//! flushes its session's deferred jobs (delivering their
+//! [`Status::Data`] replies), sends an [`ErrorCode::ShuttingDown`]
+//! goodbye, and exits; [`ServiceHandle::shutdown`] joins the acceptor,
+//! which joins every worker — no threads outlive the handle.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use engine::{BackendSpec, SubmitError};
+
+use crate::protocol::{ErrorCode, Frame, Op, RecvError, Status, FLAG_DEFER, PROTOCOL_VERSION};
+use crate::session::{ExecError, SessionSlot};
+
+/// How often idle workers wake to check the shutdown flag and idle
+/// budget.
+const POLL: Duration = Duration::from_millis(10);
+
+/// How often the acceptor wakes when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Engine farm built for every session (each connection keys its
+    /// own copy, so farms are not shared across clients).
+    pub farm: Vec<BackendSpec>,
+    /// Bound on each session's deferred-job queue; exceeding it earns a
+    /// typed [`ErrorCode::Busy`] reply.
+    pub queue_capacity: usize,
+    /// Connection admission cap.
+    pub max_connections: usize,
+    /// How long a connection may sit without a complete request before
+    /// the server sends [`ErrorCode::IdleTimeout`] and closes.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            farm: vec![BackendSpec::Software; 4],
+            queue_capacity: 32,
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counters and flags shared by the acceptor, the workers and the
+/// handle.
+struct Shared {
+    config: ServiceConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    served: AtomicU64,
+}
+
+/// The service entry point: configure, then [`Server::spawn`].
+#[derive(Debug, Default)]
+pub struct Server {
+    config: ServiceConfig,
+}
+
+impl Server {
+    /// A server with the given tuning knobs.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Server {
+        Server { config }
+    }
+
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor thread. The returned handle owns every thread the
+    /// server will ever start.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn<A: ToSocketAddrs>(self, addr: A) -> io::Result<ServiceHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            config: self.config,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("service-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(ServiceHandle {
+            addr: local,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+/// Owning handle for a running server; dropping it shuts the server
+/// down and joins every thread.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound address (with the resolved ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    #[must_use]
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Connections admitted since the server started.
+    #[must_use]
+    pub fn connections_served(&self) -> u64 {
+        self.shared.served.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, drains every connection's in-flight deferred
+    /// jobs, sends each peer a typed goodbye, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("addr", &self.addr)
+            .field("active", &self.active_connections())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                reap_finished(&mut workers);
+                if shared.active.load(Ordering::Acquire) >= shared.config.max_connections {
+                    refuse_connection(&stream, shared.config.max_connections);
+                    continue;
+                }
+                shared.active.fetch_add(1, Ordering::AcqRel);
+                shared.served.fetch_add(1, Ordering::AcqRel);
+                let worker_shared = Arc::clone(shared);
+                let spawned =
+                    thread::Builder::new()
+                        .name("service-worker".into())
+                        .spawn(move || {
+                            let _ = serve_connection(&stream, &worker_shared);
+                            worker_shared.active.fetch_sub(1, Ordering::AcqRel);
+                        });
+                match spawned {
+                    Ok(handle) => workers.push(handle),
+                    // The thread never started, so it cannot decrement.
+                    Err(_) => {
+                        shared.active.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                reap_finished(&mut workers);
+                thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// Joins workers whose connections already ended, bounding the handle
+/// list on long-lived servers.
+fn reap_finished(workers: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < workers.len() {
+        if workers[i].is_finished() {
+            let _ = workers.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Best-effort typed refusal for connections over the admission cap.
+fn refuse_connection(mut stream: &TcpStream, cap: usize) {
+    let goodbye = Frame::error(ErrorCode::TooManyConnections, cap as u32, 0, 0);
+    let _ = goodbye.write_to(&mut stream);
+}
+
+/// Whether the connection survives the request that was just answered.
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn serve_connection(mut stream: &TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL))?;
+    let mut slot = SessionSlot::new();
+    let mut inbuf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 4096];
+    let mut idle = Duration::ZERO;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return drain_and_say_goodbye(stream, &mut slot);
+        }
+        // Answer every complete frame already reassembled.
+        loop {
+            match Frame::parse_buffered(&mut inbuf) {
+                Ok(Some(frame)) => {
+                    idle = Duration::ZERO;
+                    match dispatch(stream, frame, &mut slot, shared)? {
+                        Flow::Continue => {}
+                        Flow::Close => return Ok(()),
+                    }
+                }
+                Ok(None) => break,
+                Err(RecvError::TooLarge { len }) => {
+                    let sid = live_session(&mut slot);
+                    Frame::error(ErrorCode::FrameTooLarge, len, 0, sid).write_to(&mut stream)?;
+                    return Ok(());
+                }
+                Err(RecvError::TooShort { len }) => {
+                    let sid = live_session(&mut slot);
+                    Frame::error(ErrorCode::Malformed, len, 0, sid).write_to(&mut stream)?;
+                    return Ok(());
+                }
+                Err(RecvError::Io(e)) => return Err(e),
+            }
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return Ok(()), // peer closed cleanly
+            Ok(n) => inbuf.extend_from_slice(&scratch[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                idle += POLL;
+                if idle >= shared.config.idle_timeout {
+                    let detail = shared.config.idle_timeout.as_millis() as u32;
+                    let sid = live_session(&mut slot);
+                    Frame::error(ErrorCode::IdleTimeout, detail, 0, sid).write_to(&mut stream)?;
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn live_session(slot: &mut SessionSlot) -> u32 {
+    slot.session_mut().map_or(0, |s| s.id())
+}
+
+/// Flushes outstanding deferred jobs (their [`Status::Data`] replies
+/// still carry the submitting request's `seq`) and sends the
+/// shutting-down goodbye.
+fn drain_and_say_goodbye(mut stream: &TcpStream, slot: &mut SessionSlot) -> io::Result<()> {
+    if let Some(session) = slot.session_mut() {
+        let sid = session.id();
+        for (seq, result) in session.flush() {
+            job_reply(stream, seq, sid, result)?;
+        }
+    }
+    let sid = live_session(slot);
+    Frame::error(ErrorCode::ShuttingDown, 0, 0, sid).write_to(&mut stream)
+}
+
+/// One drained job → one reply frame.
+fn job_reply(
+    mut stream: &TcpStream,
+    seq: u32,
+    sid: u32,
+    result: Result<Vec<u8>, engine::JobError>,
+) -> io::Result<()> {
+    match result {
+        Ok(data) => Frame::reply(Status::Data, seq, sid, data).write_to(&mut stream),
+        Err(_) => Frame::error(ErrorCode::JobFailed, 0, seq, sid).write_to(&mut stream),
+    }
+}
+
+fn dispatch(
+    mut stream: &TcpStream,
+    frame: Frame,
+    slot: &mut SessionSlot,
+    shared: &Shared,
+) -> io::Result<Flow> {
+    let seq = frame.seq;
+    if frame.version != PROTOCOL_VERSION {
+        let sid = live_session(slot);
+        Frame::error(ErrorCode::BadVersion, u32::from(frame.version), seq, sid)
+            .write_to(&mut stream)?;
+        return Ok(Flow::Close); // framing may differ across versions
+    }
+    let Some(op) = frame.op() else {
+        let sid = live_session(slot);
+        Frame::error(ErrorCode::BadOp, u32::from(frame.kind), seq, sid).write_to(&mut stream)?;
+        return Ok(Flow::Continue);
+    };
+    if frame.flags & FLAG_DEFER != 0 && !op.is_engine_op() {
+        let sid = live_session(slot);
+        Frame::error(ErrorCode::DeferUnsupported, u32::from(op as u8), seq, sid)
+            .write_to(&mut stream)?;
+        return Ok(Flow::Continue);
+    }
+
+    match op {
+        Op::Ping => {
+            let sid = live_session(slot);
+            Frame::reply(Status::Ok, seq, sid, frame.payload).write_to(&mut stream)?;
+        }
+        Op::SetKey => {
+            if frame.payload.len() != 16 {
+                let sid = live_session(slot);
+                Frame::error(ErrorCode::Malformed, frame.payload.len() as u32, seq, sid)
+                    .write_to(&mut stream)?;
+                return Ok(Flow::Continue);
+            }
+            let mut key = [0u8; 16];
+            key.copy_from_slice(&frame.payload);
+            let sid = slot.rekey(&key, &shared.config.farm, shared.config.queue_capacity);
+            rijndael::zeroize::wipe_bytes(&mut key);
+            // The reply carries the new id in the header only — key
+            // material never appears in any reply payload.
+            Frame::reply(Status::Ok, seq, sid, Vec::new()).write_to(&mut stream)?;
+        }
+        Op::Flush => {
+            let Some(session) = checked_session(stream, slot, &frame)? else {
+                return Ok(Flow::Continue);
+            };
+            let sid = session.id();
+            let results = session.flush();
+            let count = results.len() as u32;
+            for (job_seq, result) in results {
+                job_reply(stream, job_seq, sid, result)?;
+            }
+            Frame::reply(Status::Flushed, seq, sid, count.to_be_bytes().to_vec())
+                .write_to(&mut stream)?;
+        }
+        Op::CmacTag => {
+            let Some(session) = checked_session(stream, slot, &frame)? else {
+                return Ok(Flow::Continue);
+            };
+            let tag = session.cmac_tag(&frame.payload);
+            Frame::reply(Status::Ok, seq, session.id(), tag.to_vec()).write_to(&mut stream)?;
+        }
+        Op::CmacVerify => {
+            let Some(session) = checked_session(stream, slot, &frame)? else {
+                return Ok(Flow::Continue);
+            };
+            let sid = session.id();
+            if frame.payload.len() < 16 {
+                Frame::error(ErrorCode::Malformed, frame.payload.len() as u32, seq, sid)
+                    .write_to(&mut stream)?;
+                return Ok(Flow::Continue);
+            }
+            let tag: [u8; 16] = frame.payload[..16].try_into().expect("16-byte slice");
+            if session.cmac_verify(&frame.payload[16..], &tag) {
+                Frame::reply(Status::Ok, seq, sid, Vec::new()).write_to(&mut stream)?;
+            } else {
+                Frame::error(ErrorCode::BadTag, 0, seq, sid).write_to(&mut stream)?;
+            }
+        }
+        _ => return engine_op(stream, frame, op, slot),
+    }
+    Ok(Flow::Continue)
+}
+
+/// The five engine ops: IV split, mode mapping, immediate vs deferred.
+fn engine_op(
+    mut stream: &TcpStream,
+    frame: Frame,
+    op: Op,
+    slot: &mut SessionSlot,
+) -> io::Result<Flow> {
+    let seq = frame.seq;
+    let Some(session) = checked_session(stream, slot, &frame)? else {
+        return Ok(Flow::Continue);
+    };
+    let sid = session.id();
+    let (iv, data) = if op.takes_iv() {
+        if frame.payload.len() < 16 {
+            Frame::error(ErrorCode::Malformed, frame.payload.len() as u32, seq, sid)
+                .write_to(&mut stream)?;
+            return Ok(Flow::Continue);
+        }
+        let iv: [u8; 16] = frame.payload[..16].try_into().expect("16-byte slice");
+        (iv, frame.payload[16..].to_vec())
+    } else {
+        ([0u8; 16], frame.payload)
+    };
+    let mode = op
+        .engine_mode(iv)
+        .expect("dispatch routes only engine ops here");
+
+    if frame.flags & FLAG_DEFER != 0 {
+        match session.defer(seq, mode, data) {
+            Ok(_) => Frame::reply(Status::Accepted, seq, sid, Vec::new()).write_to(&mut stream)?,
+            Err(e) => submit_error_reply(stream, e, seq, sid)?,
+        }
+    } else {
+        match session.execute(mode, data) {
+            Ok(out) => Frame::reply(Status::Ok, seq, sid, out).write_to(&mut stream)?,
+            Err(ExecError::Submit(e)) => submit_error_reply(stream, e, seq, sid)?,
+            Err(ExecError::Job(_)) => {
+                Frame::error(ErrorCode::JobFailed, 0, seq, sid).write_to(&mut stream)?;
+            }
+        }
+    }
+    Ok(Flow::Continue)
+}
+
+fn submit_error_reply(
+    mut stream: &TcpStream,
+    e: SubmitError,
+    seq: u32,
+    sid: u32,
+) -> io::Result<()> {
+    let frame = match e {
+        SubmitError::Busy { capacity } => Frame::error(ErrorCode::Busy, capacity as u32, seq, sid),
+        SubmitError::RaggedLength { len } => {
+            Frame::error(ErrorCode::RaggedLength, len as u32, seq, sid)
+        }
+    };
+    frame.write_to(&mut stream)
+}
+
+/// Session gate for ops that need one: answers `NoSession` /
+/// `StaleSession` itself and returns `None` so the caller just
+/// continues.
+fn checked_session<'a>(
+    mut stream: &TcpStream,
+    slot: &'a mut SessionSlot,
+    frame: &Frame,
+) -> io::Result<Option<&'a mut crate::session::Session>> {
+    let live = live_session(slot);
+    if live == 0 {
+        Frame::error(ErrorCode::NoSession, 0, frame.seq, 0).write_to(&mut stream)?;
+        return Ok(None);
+    }
+    if frame.session != live {
+        Frame::error(ErrorCode::StaleSession, live, frame.seq, live).write_to(&mut stream)?;
+        return Ok(None);
+    }
+    Ok(slot.session_mut())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::MAX_FRAME_LEN;
+    use std::io::Write;
+
+    fn tiny_server() -> ServiceHandle {
+        Server::new(ServiceConfig {
+            farm: vec![BackendSpec::Software],
+            queue_capacity: 2,
+            max_connections: 2,
+            idle_timeout: Duration::from_millis(200),
+        })
+        .spawn("127.0.0.1:0")
+        .expect("bind ephemeral port")
+    }
+
+    fn call(stream: &TcpStream, frame: &Frame) -> Frame {
+        let mut w = stream;
+        frame.write_to(&mut w).unwrap();
+        let mut r = stream;
+        Frame::read_from(&mut r).unwrap()
+    }
+
+    #[test]
+    fn ping_echoes_and_shutdown_joins_cleanly() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = call(&stream, &Frame::request(Op::Ping, 0, 41, 0, vec![1, 2, 3]));
+        assert_eq!(reply.status(), Some(Status::Ok));
+        assert_eq!(reply.seq, 41);
+        assert_eq!(reply.payload, vec![1, 2, 3]);
+        server.shutdown();
+        // After shutdown the port no longer accepts (the goodbye may or
+        // may not arrive first depending on scheduling, so only the
+        // join mattered here).
+    }
+
+    #[test]
+    fn crypto_before_set_key_is_a_typed_no_session_error() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = call(
+            &stream,
+            &Frame::request(Op::EcbEncrypt, 0, 7, 0, vec![0u8; 16]),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::NoSession, 0)));
+        // The connection survives a typed error: ping still answers.
+        let reply = call(&stream, &Frame::request(Op::Ping, 0, 8, 0, Vec::new()));
+        assert_eq!(reply.status(), Some(Status::Ok));
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_version_gets_a_typed_reply_then_close() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut evil = Frame::request(Op::Ping, 0, 1, 0, Vec::new());
+        evil.version = 9;
+        let reply = call(&stream, &evil);
+        assert_eq!(reply.error_body(), Some((ErrorCode::BadVersion, 9)));
+        // The server closed: the next read sees EOF.
+        let mut r = &stream;
+        assert!(Frame::read_from(&mut r).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_with_a_typed_goodbye() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut w = &stream;
+        w.write_all(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes())
+            .unwrap();
+        let mut r = &stream;
+        let reply = Frame::read_from(&mut r).unwrap();
+        let (code, detail) = reply.error_body().unwrap();
+        assert_eq!(code, ErrorCode::FrameTooLarge);
+        assert_eq!(detail as usize, MAX_FRAME_LEN + 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_cap_refuses_excess_connections_typed() {
+        let server = tiny_server();
+        let a = TcpStream::connect(server.local_addr()).unwrap();
+        let b = TcpStream::connect(server.local_addr()).unwrap();
+        // Make sure both are admitted before the third knocks.
+        call(&a, &Frame::request(Op::Ping, 0, 1, 0, Vec::new()));
+        call(&b, &Frame::request(Op::Ping, 0, 1, 0, Vec::new()));
+        let c = TcpStream::connect(server.local_addr()).unwrap();
+        let mut r = &c;
+        let reply = Frame::read_from(&mut r).unwrap();
+        assert_eq!(reply.error_body(), Some((ErrorCode::TooManyConnections, 2)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_get_a_typed_timeout() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut r = &stream;
+        let reply = Frame::read_from(&mut r).unwrap();
+        let (code, detail) = reply.error_body().unwrap();
+        assert_eq!(code, ErrorCode::IdleTimeout);
+        assert_eq!(detail, 200);
+        server.shutdown();
+    }
+}

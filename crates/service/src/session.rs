@@ -1,0 +1,344 @@
+//! Per-connection sessions: key management over an engine farm.
+//!
+//! A `SET_KEY` request creates a [`Session`]: a fresh [`Engine`] farm
+//! keyed with the submitted key (every backend pays its real key-setup
+//! cycles) plus a software [`Aes128`] for the CMAC ops. The key itself is
+//! never stored beyond construction and never echoed on the wire; when
+//! the session is dropped — connection teardown, idle expiry, or a
+//! re-key replacing it — the expanded schedules wipe themselves
+//! (`rijndael::zeroize`) and the hardware backends reload an all-zero
+//! key.
+//!
+//! Deferred jobs ride the engine's bounded queue: [`Session::defer`]
+//! surfaces [`SubmitError::Busy`] untranslated so the server can answer
+//! `Busy` instead of queueing without limit, and [`Session::flush`]
+//! drains results tagged with the sequence numbers of the requests that
+//! submitted them.
+
+use engine::{BackendSpec, Engine, JobError, JobId, Mode, SubmitError};
+use rijndael::{cmac, Aes128};
+
+/// One keyed session: an engine farm, a CMAC cipher, and the bookkeeping
+/// for deferred jobs.
+pub struct Session {
+    id: u32,
+    engine: Engine,
+    mac: Aes128,
+    /// Deferred jobs still in the engine queue: `(job, request seq)`.
+    pending: Vec<(JobId, u32)>,
+    /// Deferred jobs that were drained early because an immediate request
+    /// forced a queue drain; delivered at the next flush.
+    completed: Vec<(u32, Result<Vec<u8>, JobError>)>,
+}
+
+/// Failure of an immediate (non-deferred) engine operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Rejected at the submission boundary (queue full / ragged length).
+    Submit(SubmitError),
+    /// Accepted but failed while running.
+    Job(JobError),
+}
+
+impl Session {
+    /// Keys a new session: builds the engine farm and the CMAC cipher
+    /// from `key`. The caller owns (and should wipe) its copy of the key
+    /// bytes; this type keeps only expanded material, which self-wipes on
+    /// drop.
+    #[must_use]
+    pub fn new(id: u32, key: &[u8; 16], farm: &[BackendSpec], queue_capacity: usize) -> Session {
+        Session {
+            id,
+            engine: Engine::with_farm(key, farm, queue_capacity),
+            mac: Aes128::new(key),
+            pending: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The server-assigned session id carried in every frame.
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Deferred jobs not yet delivered (queued plus drained-early).
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.pending.len() + self.completed.len()
+    }
+
+    /// The engine's queue bound (the `Busy` detail value).
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.engine.capacity()
+    }
+
+    /// Runs one operation to completion and returns its output.
+    ///
+    /// Draining the engine may also complete deferred jobs that share the
+    /// queue; their outputs are stashed for the next [`Session::flush`],
+    /// so interleaving immediate and deferred traffic loses nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Submit`] when the queue is full (flush first) or the
+    /// buffer is ragged; [`ExecError::Job`] when a backend faults.
+    pub fn execute(&mut self, mode: Mode, data: Vec<u8>) -> Result<Vec<u8>, ExecError> {
+        let id = self
+            .engine
+            .try_submit(mode, data)
+            .map_err(ExecError::Submit)?;
+        let mut result = None;
+        for out in self.engine.run() {
+            if out.id == id {
+                result = Some(out.data);
+            } else {
+                self.stash(out.id, out.data);
+            }
+        }
+        result
+            .expect("run() drains every queued job, including the one just submitted")
+            .map_err(ExecError::Job)
+    }
+
+    /// Enqueues a deferred job tagged with the request's `seq`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SubmitError`] verbatim — `Busy` here is the
+    /// backpressure signal the server forwards to the client.
+    pub fn defer(&mut self, seq: u32, mode: Mode, data: Vec<u8>) -> Result<JobId, SubmitError> {
+        let id = self.engine.try_submit(mode, data)?;
+        self.pending.push((id, seq));
+        Ok(id)
+    }
+
+    /// Drains the engine and returns every undelivered deferred result in
+    /// completion order, tagged with its submission `seq`.
+    pub fn flush(&mut self) -> Vec<(u32, Result<Vec<u8>, JobError>)> {
+        let drained = self.engine.run();
+        for out in drained {
+            self.stash(out.id, out.data);
+        }
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Computes the AES-CMAC tag of `message` under the session key.
+    #[must_use]
+    pub fn cmac_tag(&self, message: &[u8]) -> [u8; 16] {
+        cmac::cmac(&self.mac, message)
+    }
+
+    /// Constant-time verification of an AES-CMAC tag.
+    #[must_use]
+    pub fn cmac_verify(&self, message: &[u8], tag: &[u8; 16]) -> bool {
+        cmac::verify(&self.mac, message, tag)
+    }
+
+    fn stash(&mut self, id: JobId, data: Result<Vec<u8>, JobError>) {
+        if let Some(pos) = self.pending.iter().position(|&(jid, _)| jid == id) {
+            let (_, seq) = self.pending.remove(pos);
+            self.completed.push((seq, data));
+        }
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("outstanding", &self.outstanding())
+            .finish()
+    }
+}
+
+/// The one-session-per-connection slot: allocates session ids and
+/// guarantees a re-key drops (and thereby wipes) the previous session
+/// before the new one answers traffic.
+#[derive(Debug, Default)]
+pub struct SessionSlot {
+    current: Option<Session>,
+    next_id: u32,
+}
+
+impl SessionSlot {
+    /// An empty slot; crypto ops fail with `NoSession` until a re-key.
+    #[must_use]
+    pub fn new() -> SessionSlot {
+        SessionSlot {
+            current: None,
+            next_id: 1,
+        }
+    }
+
+    /// Replaces the session with a freshly keyed one and returns the new
+    /// id (never 0, which the protocol reserves for "no session").
+    pub fn rekey(&mut self, key: &[u8; 16], farm: &[BackendSpec], queue_capacity: usize) -> u32 {
+        let id = self.next_id.max(1);
+        self.next_id = id.wrapping_add(1);
+        // Assigning drops the previous session first-class: its engine
+        // backends and cipher schedules wipe their key material on drop.
+        self.current = Some(Session::new(id, key, farm, queue_capacity));
+        id
+    }
+
+    /// The live session, if any.
+    #[must_use]
+    pub fn session_mut(&mut self) -> Option<&mut Session> {
+        self.current.as_mut()
+    }
+
+    /// Drops the live session (wiping its key material).
+    pub fn clear(&mut self) {
+        self.current = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rijndael::modes::{Cbc, Ctr, Ecb};
+    use rijndael::BlockCipher;
+
+    const KEY: [u8; 16] = [
+        0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+        0x3C,
+    ];
+
+    fn farm() -> Vec<BackendSpec> {
+        vec![BackendSpec::EncDecCore, BackendSpec::Software]
+    }
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 13 + 1) as u8).collect()
+    }
+
+    #[test]
+    fn execute_matches_the_software_reference() {
+        let mut s = Session::new(1, &KEY, &farm(), 8);
+        let reference = Aes128::new(&KEY);
+
+        let data = sample(4 * 16);
+        let ct = s.execute(Mode::EcbEncrypt, data.clone()).unwrap();
+        let mut expect = data.clone();
+        Ecb::encrypt(&reference, &mut expect).unwrap();
+        assert_eq!(ct, expect);
+
+        let iv = [9u8; 16];
+        let ct = s.execute(Mode::CbcEncrypt(iv), data.clone()).unwrap();
+        let mut expect = data.clone();
+        Cbc::encrypt(&reference, &iv, &mut expect).unwrap();
+        assert_eq!(ct, expect);
+
+        let ct = s.execute(Mode::Ctr(iv), sample(37)).unwrap();
+        let mut expect = sample(37);
+        Ctr::apply(&reference, &iv, &mut expect);
+        assert_eq!(ct, expect);
+    }
+
+    #[test]
+    fn defer_then_flush_returns_results_tagged_by_seq() {
+        let mut s = Session::new(1, &KEY, &farm(), 8);
+        s.defer(100, Mode::EcbEncrypt, sample(32)).unwrap();
+        s.defer(200, Mode::Ctr([1; 16]), sample(5)).unwrap();
+        assert_eq!(s.outstanding(), 2);
+
+        let results = s.flush();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0, 100);
+        assert_eq!(results[1].0, 200);
+        assert!(results.iter().all(|(_, r)| r.is_ok()));
+        assert_eq!(s.outstanding(), 0);
+        assert!(s.flush().is_empty(), "flush is idempotent once drained");
+    }
+
+    #[test]
+    fn busy_surfaces_at_the_defer_boundary() {
+        let mut s = Session::new(1, &KEY, &farm(), 2);
+        s.defer(1, Mode::Ctr([0; 16]), sample(4)).unwrap();
+        s.defer(2, Mode::CbcEncrypt([0; 16]), sample(16)).unwrap();
+        assert_eq!(
+            s.defer(3, Mode::EcbEncrypt, sample(16)),
+            Err(SubmitError::Busy { capacity: 2 })
+        );
+        assert_eq!(s.queue_capacity(), 2);
+        // Flushing frees the queue again.
+        assert_eq!(s.flush().len(), 2);
+        assert!(s.defer(3, Mode::EcbEncrypt, sample(16)).is_ok());
+    }
+
+    #[test]
+    fn immediate_execute_with_pending_jobs_stashes_their_results() {
+        let mut s = Session::new(1, &KEY, &farm(), 8);
+        s.defer(7, Mode::EcbEncrypt, sample(16)).unwrap();
+        // The immediate op forces a drain; the deferred result must not
+        // be lost, only delayed until the flush.
+        let _ = s.execute(Mode::Ctr([3; 16]), sample(10)).unwrap();
+        assert_eq!(s.outstanding(), 1);
+        let results = s.flush();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, 7);
+
+        let reference = Aes128::new(&KEY);
+        let mut expect = sample(16);
+        Ecb::encrypt(&reference, &mut expect).unwrap();
+        assert_eq!(results[0].1.as_ref().unwrap(), &expect);
+    }
+
+    #[test]
+    fn ragged_blocks_are_rejected_without_holding_a_slot() {
+        let mut s = Session::new(1, &KEY, &farm(), 2);
+        assert_eq!(
+            s.execute(Mode::EcbEncrypt, sample(17)),
+            Err(ExecError::Submit(SubmitError::RaggedLength { len: 17 }))
+        );
+        assert_eq!(s.outstanding(), 0);
+    }
+
+    #[test]
+    fn cmac_tag_and_verify_use_the_session_key() {
+        let s = Session::new(1, &KEY, &farm(), 2);
+        // RFC 4493 example 1: empty message.
+        let tag = s.cmac_tag(b"");
+        assert_eq!(tag[..4], [0xBB, 0x1D, 0x69, 0x29]);
+        assert!(s.cmac_verify(b"", &tag));
+        let mut bad = tag;
+        bad[15] ^= 1;
+        assert!(!s.cmac_verify(b"", &bad));
+    }
+
+    #[test]
+    fn rekey_replaces_the_session_and_advances_the_id() {
+        let mut slot = SessionSlot::new();
+        assert!(slot.session_mut().is_none());
+        let a = slot.rekey(&KEY, &farm(), 4);
+        slot.session_mut()
+            .unwrap()
+            .defer(1, Mode::EcbEncrypt, sample(16))
+            .unwrap();
+        let b = slot.rekey(&[5u8; 16], &farm(), 4);
+        assert_ne!(a, b);
+        assert_ne!(b, 0);
+        // The pending job died with the old session.
+        assert_eq!(slot.session_mut().unwrap().outstanding(), 0);
+        // And the new session really uses the new key.
+        let ct = slot
+            .session_mut()
+            .unwrap()
+            .execute(Mode::EcbEncrypt, vec![0u8; 16])
+            .unwrap();
+        let mut expect = vec![0u8; 16];
+        Aes128::new(&[5u8; 16]).encrypt_in_place(&mut expect);
+        assert_eq!(ct, expect);
+        slot.clear();
+        assert!(slot.session_mut().is_none());
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
+        assert_send::<SessionSlot>();
+    }
+}

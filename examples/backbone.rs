@@ -24,7 +24,9 @@ fn main() {
         .collect();
 
     let start = link.cycles();
-    let ciphertexts = link.process_stream(&burst, Direction::Encrypt);
+    let ciphertexts = link
+        .try_process_stream(&burst, Direction::Encrypt)
+        .expect("keyed encrypt core streams the burst");
     let cycles = link.cycles() - start;
 
     // Verify the whole burst against software.

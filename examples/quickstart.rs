@@ -21,7 +21,9 @@ fn main() {
     );
 
     let before = ip.cycles();
-    let ciphertext = ip.process_block(&plaintext, Direction::Encrypt);
+    let ciphertext = ip
+        .try_process_block(&plaintext, Direction::Encrypt)
+        .expect("fresh keyed core accepts a block");
     println!(
         "encrypted one block in {} cycles (50-cycle latency + the load edge)",
         ip.cycles() - before
@@ -34,7 +36,9 @@ fn main() {
     println!("matches the FIPS-197 software reference");
 
     // Same device, other direction.
-    let recovered = ip.process_block(&ciphertext, Direction::Decrypt);
+    let recovered = ip
+        .try_process_block(&ciphertext, Direction::Decrypt)
+        .expect("combined device also decrypts");
     assert_eq!(recovered, plaintext);
     println!("decryption on the same device restores the plaintext");
 

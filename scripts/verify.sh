@@ -25,6 +25,14 @@ echo "==> engine subsystem tests"
 cargo test -q -p rijndael-engine --locked --offline
 cargo test -q --test engine_equivalence --locked --offline
 
+echo "==> service subsystem tests"
+cargo test -q -p rijndael-service --locked --offline
+cargo test -q --test service_roundtrip --locked --offline
+
+echo "==> service load generator (smoke)"
+TESTKIT_BENCH_SMOKE=1 \
+    cargo run -q --release --locked --offline -p rijndael-bench --bin service_load
+
 echo "==> engine scaling report (smoke)"
 cargo run -q --release --locked --offline -p rijndael-bench --bin engine_scaling -- --smoke
 

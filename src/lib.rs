@@ -16,7 +16,9 @@
 //!   (cycle-accurate cores, bus interface, netlist generators and the
 //!   alternative architectures used for comparison);
 //! * [`engine`] — the multi-core throughput engine scheduling batched
-//!   block jobs across farms of IP cores and software backends.
+//!   block jobs across farms of IP cores and software backends;
+//! * [`service`] — the framed TCP crypto service in front of the engine
+//!   (length-prefixed wire protocol, sessions, threaded server, client).
 //!
 //! # Examples
 //!
@@ -38,3 +40,4 @@ pub use gf256;
 pub use netlist;
 pub use rijndael;
 pub use rtl;
+pub use service;

@@ -30,7 +30,7 @@ fn four_implementations_agree_on_random_blocks() {
         let mut cyc = IpDriver::new(EncryptCore::new());
         cyc.write_key(&key);
         assert_eq!(
-            cyc.process_block(&pt, Direction::Encrypt),
+            cyc.try_process_block(&pt, Direction::Encrypt).unwrap(),
             spec,
             "cycle-accurate IP diverged (trial {trial})"
         );
@@ -38,7 +38,7 @@ fn four_implementations_agree_on_random_blocks() {
         let mut gate = IpDriver::new(GateLevelCore::new(CoreVariant::Encrypt, RomStyle::Macro));
         gate.write_key(&key);
         assert_eq!(
-            gate.process_block(&pt, Direction::Encrypt),
+            gate.try_process_block(&pt, Direction::Encrypt).unwrap(),
             spec,
             "gate-level netlist diverged (trial {trial})"
         );
@@ -54,11 +54,11 @@ fn decrypt_cores_invert_encrypt_cores() {
 
         let mut enc = IpDriver::new(EncryptCore::new());
         enc.write_key(&key);
-        let ct = enc.process_block(&pt, Direction::Encrypt);
+        let ct = enc.try_process_block(&pt, Direction::Encrypt).unwrap();
 
         let mut dec = IpDriver::new(DecryptCore::new());
         dec.write_key(&key);
-        assert_eq!(dec.process_block(&ct, Direction::Decrypt), pt);
+        assert_eq!(dec.try_process_block(&ct, Direction::Decrypt).unwrap(), pt);
     }
 }
 
@@ -76,8 +76,8 @@ fn lut_rom_gate_level_matches_eab_gate_level() {
     eab.write_key(&key);
     lut.write_key(&key);
     assert_eq!(
-        eab.process_block(&pt, Direction::Encrypt),
-        lut.process_block(&pt, Direction::Encrypt)
+        eab.try_process_block(&pt, Direction::Encrypt).unwrap(),
+        lut.try_process_block(&pt, Direction::Encrypt).unwrap()
     );
 }
 
@@ -126,11 +126,11 @@ fn key_agility_reload_mid_stream() {
     let pt = [0u8; 16];
 
     drv.write_key(&k1);
-    let c1 = drv.process_block(&pt, Direction::Encrypt);
+    let c1 = drv.try_process_block(&pt, Direction::Encrypt).unwrap();
     drv.write_key(&k2);
-    let c2 = drv.process_block(&pt, Direction::Encrypt);
+    let c2 = drv.try_process_block(&pt, Direction::Encrypt).unwrap();
     drv.write_key(&k1);
-    let c1_again = drv.process_block(&pt, Direction::Encrypt);
+    let c1_again = drv.try_process_block(&pt, Direction::Encrypt).unwrap();
 
     assert_ne!(c1, c2);
     assert_eq!(c1, c1_again);
@@ -138,7 +138,9 @@ fn key_agility_reload_mid_stream() {
     assert_eq!(c2, Aes128::new(&k2).encrypt_block(&pt));
 
     // Decryption under the reloaded key still works.
-    let back = drv.process_block(&c1_again, Direction::Decrypt);
+    let back = drv
+        .try_process_block(&c1_again, Direction::Decrypt)
+        .unwrap();
     assert_eq!(back, pt);
 }
 
@@ -150,12 +152,17 @@ fn pipelined_stream_equals_blockwise_processing() {
 
     let mut streamed = IpDriver::new(EncryptCore::new());
     streamed.write_key(&key);
-    let stream_out = streamed.process_stream(&blocks, Direction::Encrypt);
+    let stream_out = streamed
+        .try_process_stream(&blocks, Direction::Encrypt)
+        .unwrap();
 
     let mut blockwise = IpDriver::new(EncryptCore::new());
     blockwise.write_key(&key);
     for (pt, expect) in blocks.iter().zip(&stream_out) {
-        assert_eq!(blockwise.process_block(pt, Direction::Encrypt), *expect);
+        assert_eq!(
+            blockwise.try_process_block(pt, Direction::Encrypt).unwrap(),
+            *expect
+        );
     }
 }
 

@@ -1,0 +1,225 @@
+//! End-to-end exercise of the framed TCP service: concurrent clients
+//! against published KATs, typed `Busy` backpressure, session
+//! lifecycle, and graceful shutdown with the deferred queue drained.
+
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use rijndael_ip::engine::BackendSpec;
+use rijndael_ip::service::client::{Client, SubmitOutcome};
+use rijndael_ip::service::protocol::{ErrorCode, Frame, Op, Status};
+use rijndael_ip::service::server::{Server, ServiceConfig};
+
+fn hex(s: &str) -> Vec<u8> {
+    let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+        .collect()
+}
+
+fn hex16(s: &str) -> [u8; 16] {
+    hex(s).try_into().expect("16 bytes")
+}
+
+// SP 800-38A, AES-128 (Appendix F): one key, four-block test stream.
+const SP800_KEY: &str = "2b7e151628aed2a6abf7158809cf4f3c";
+const SP800_PT: &str = "6bc1bee22e409f96e93d7e117393172a\
+                        ae2d8a571e03ac9c9eb76fac45af8e51\
+                        30c81c46a35ce411e5fbc1191a0a52ef\
+                        f69f2445df4f9b17ad2b417be66c3710";
+const SP800_ECB_CT: &str = "3ad77bb40d7a3660a89ecaf32466ef97\
+                            f5d3d58503b9699de785895a96fdbaaf\
+                            43b1cd7f598ece23881b00e3ed030688\
+                            7b0c785e27e8ad3f8223207104725dd4";
+const SP800_CBC_IV: &str = "000102030405060708090a0b0c0d0e0f";
+const SP800_CBC_CT: &str = "7649abac8119b246cee98e9b12e9197d\
+                            5086cb9b507219ee95db113a917678b2\
+                            73bed6b8e3c1743b7116e69e22229516\
+                            3ff1caa1681fac09120eca307586e1a7";
+const SP800_CTR_ICB: &str = "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff";
+const SP800_CTR_CT: &str = "874d6191b620e3261bef6864990db6ce\
+                            9806f66b7970fdff8617187bb9fffdff\
+                            5ae4df3edbd5d35e5b4f09020db03eab\
+                            1e031dda2fbe03d1792170a0f3009cee";
+// RFC 4493 example 2 (same key, first SP 800-38A block).
+const CMAC_TAG_1BLOCK: &str = "070a16b46b4d4144f79bdd9dd04a287c";
+
+// FIPS-197 Appendix C.1.
+const FIPS_KEY: &str = "000102030405060708090a0b0c0d0e0f";
+const FIPS_PT: &str = "00112233445566778899aabbccddeeff";
+const FIPS_CT: &str = "69c4e0d86a7b0430d8cdb78070b4c55a";
+
+fn spawn_server(farm: Vec<BackendSpec>, queue: usize) -> rijndael_ip::service::ServiceHandle {
+    Server::new(ServiceConfig {
+        farm,
+        queue_capacity: queue,
+        max_connections: 16,
+        idle_timeout: Duration::from_secs(10),
+    })
+    .spawn("127.0.0.1:0")
+    .expect("bind ephemeral port")
+}
+
+/// One client's full KAT conversation (SP 800-38A + RFC 4493).
+fn sp800_conversation(mut client: Client) {
+    let session = client.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
+    assert_ne!(session, 0);
+
+    let pt = hex(SP800_PT);
+    let ct = client.ecb_encrypt(&pt).expect("ECB encrypt");
+    assert_eq!(ct, hex(SP800_ECB_CT), "SP 800-38A F.1.1");
+    assert_eq!(client.ecb_decrypt(&ct).expect("ECB decrypt"), pt);
+
+    let iv = hex16(SP800_CBC_IV);
+    let ct = client.cbc_encrypt(&iv, &pt).expect("CBC encrypt");
+    assert_eq!(ct, hex(SP800_CBC_CT), "SP 800-38A F.2.1");
+    assert_eq!(client.cbc_decrypt(&iv, &ct).expect("CBC decrypt"), pt);
+
+    let icb = hex16(SP800_CTR_ICB);
+    let ct = client.ctr_apply(&icb, &pt).expect("CTR apply");
+    assert_eq!(ct, hex(SP800_CTR_CT), "SP 800-38A F.5.1");
+    assert_eq!(client.ctr_apply(&icb, &ct).expect("CTR re-apply"), pt);
+
+    let tag = client.cmac_tag(&pt[..16]).expect("CMAC tag");
+    assert_eq!(tag.to_vec(), hex(CMAC_TAG_1BLOCK), "RFC 4493 example 2");
+    assert!(client.cmac_verify(&pt[..16], &tag).expect("CMAC verify"));
+    let mut bad = tag;
+    bad[0] ^= 1;
+    assert!(!client.cmac_verify(&pt[..16], &bad).expect("CMAC verify"));
+}
+
+#[test]
+fn four_concurrent_clients_roundtrip_published_kats() {
+    // A deliberately heterogeneous farm: every session shards its jobs
+    // over cycle-accurate hardware models and both software paths.
+    let server = spawn_server(
+        vec![
+            BackendSpec::EncDecCore,
+            BackendSpec::Software,
+            BackendSpec::Ttable,
+            BackendSpec::EncDecCore,
+        ],
+        8,
+    );
+    let addr = server.local_addr();
+
+    let mut clients = Vec::new();
+    for i in 0..4 {
+        clients.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            if i == 0 {
+                // One client runs the FIPS-197 vector instead, proving
+                // sessions are keyed independently.
+                client.set_key(&hex16(FIPS_KEY)).expect("SET_KEY");
+                let ct = client.ecb_encrypt(&hex(FIPS_PT)).expect("encrypt");
+                assert_eq!(ct, hex(FIPS_CT), "FIPS-197 C.1");
+                assert_eq!(client.ecb_decrypt(&ct).expect("decrypt"), hex(FIPS_PT));
+            } else {
+                sp800_conversation(client);
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    assert_eq!(server.connections_served(), 4);
+    server.shutdown();
+}
+
+#[test]
+fn busy_backpressure_surfaces_and_flush_recovers() {
+    let server = spawn_server(vec![BackendSpec::Software], 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
+
+    let pt = hex(SP800_PT);
+    let a = match client.try_submit(Op::EcbEncrypt, None, &pt).unwrap() {
+        SubmitOutcome::Accepted(seq) => seq,
+        other => panic!("first submission bounced: {other:?}"),
+    };
+    let icb = hex16(SP800_CTR_ICB);
+    let b = match client.try_submit(Op::CtrApply, Some(&icb), &pt).unwrap() {
+        SubmitOutcome::Accepted(seq) => seq,
+        other => panic!("second submission bounced: {other:?}"),
+    };
+
+    // The queue (capacity 2) is full: the reply is a typed Busy carrying
+    // the capacity, not a disconnect and not an unbounded queue.
+    assert_eq!(
+        client.try_submit(Op::EcbEncrypt, None, &pt).unwrap(),
+        SubmitOutcome::Busy { capacity: 2 }
+    );
+    // And the connection is fully usable afterwards.
+    assert_eq!(client.ping(b"still here").unwrap(), b"still here");
+
+    let jobs = client.flush().expect("flush");
+    assert_eq!(jobs.len(), 2);
+    assert_eq!(jobs[0].seq, a);
+    assert_eq!(jobs[0].result.as_ref().unwrap(), &hex(SP800_ECB_CT));
+    assert_eq!(jobs[1].seq, b);
+    assert_eq!(jobs[1].result.as_ref().unwrap(), &hex(SP800_CTR_CT));
+
+    // The drain freed the queue: the bounced job now goes through.
+    assert!(matches!(
+        client.try_submit(Op::EcbEncrypt, None, &pt).unwrap(),
+        SubmitOutcome::Accepted(_)
+    ));
+    let jobs = client.flush().expect("flush");
+    assert_eq!(jobs.len(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn stale_sessions_are_rejected_after_rekey() {
+    let server = spawn_server(vec![BackendSpec::Software], 4);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let first = client.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
+    let second = client.set_key(&hex16(FIPS_KEY)).expect("re-key");
+    assert_ne!(first, second);
+
+    // A pipelined request still naming the dead session gets the typed
+    // StaleSession error with the live id as detail.
+    client
+        .send_raw(&Frame::request(Op::EcbEncrypt, 0, 99, first, vec![0; 16]))
+        .unwrap();
+    let reply = client.recv_raw().unwrap();
+    assert_eq!(reply.error_body(), Some((ErrorCode::StaleSession, second)));
+
+    // The live session answers with the new key.
+    let ct = client.ecb_encrypt(&hex(FIPS_PT)).expect("encrypt");
+    assert_eq!(ct, hex(FIPS_CT));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_deferred_jobs_and_says_goodbye() {
+    let server = spawn_server(vec![BackendSpec::Software], 4);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
+
+    let pt = hex(SP800_PT);
+    let seq = match client.try_submit(Op::EcbEncrypt, None, &pt).unwrap() {
+        SubmitOutcome::Accepted(seq) => seq,
+        other => panic!("submission bounced: {other:?}"),
+    };
+
+    // Shutdown with the job still queued: the worker must flush it and
+    // deliver its Data reply before the goodbye. shutdown() returning
+    // proves every server thread joined — no leaks, no panics.
+    server.shutdown();
+
+    let data = client.recv_raw().expect("drained job reply");
+    assert_eq!(data.status(), Some(Status::Data));
+    assert_eq!(data.seq, seq);
+    assert_eq!(data.payload, hex(SP800_ECB_CT));
+
+    let goodbye = client.recv_raw().expect("goodbye frame");
+    assert_eq!(goodbye.error_body(), Some((ErrorCode::ShuttingDown, 0)));
+
+    // The listener is gone with the threads: new connections fail.
+    assert!(TcpStream::connect(addr).is_err());
+}
