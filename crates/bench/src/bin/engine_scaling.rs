@@ -11,8 +11,16 @@
 //!
 //! Pass `--smoke` for a tiny workload (CI keeps the binary exercised
 //! without burning time on a full sweep).
+//!
+//! After the virtual-cycle sweep the binary races the three software
+//! backends (specification, T-table, bitsliced) over the same randomized
+//! ECB workload on the host clock, asserts they produce byte-identical
+//! ciphertext, and writes the measurements to `BENCH_bitslice.json`
+//! (path overridable via `BENCH_BITSLICE_JSON`) so future changes can
+//! track the trajectory.
 
 use engine::{BackendSpec, Engine, Mode};
+use std::time::Instant;
 
 /// Table 2 (Cyclone): 9.97 ns clock, rounded to the 10 ns the paper
 /// quotes in the text.
@@ -69,4 +77,97 @@ fn main() {
     }
 
     println!("\nscaling is monotone and every core stayed >= 90% occupied");
+
+    software_backend_race(&key, smoke);
+}
+
+/// Races the software backends over one randomized ECB workload on the
+/// host clock, proves they agree byte-for-byte, and emits the JSON
+/// trajectory file.
+fn software_backend_race(key: &[u8; 16], smoke: bool) {
+    let n: usize = if smoke { 512 } else { 10_000 };
+    let payload = random_blocks(n);
+
+    println!("\nSoftware backends — {n} randomized ECB blocks on the host clock\n");
+    println!("{:<16} {:>14} {:>12}", "backend", "ns/block", "speedup");
+    println!("{}", "-".repeat(44));
+
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    let mut outputs: Vec<Vec<u8>> = Vec::new();
+    for spec in [
+        BackendSpec::Software,
+        BackendSpec::Ttable,
+        BackendSpec::Bitsliced,
+    ] {
+        let mut eng = Engine::with_farm(key, &[spec], 2);
+        let job = payload.clone();
+        let start = Instant::now();
+        eng.try_submit(Mode::EcbEncrypt, job)
+            .expect("queue has room");
+        let out = eng.run();
+        let elapsed = start.elapsed();
+        let data = out
+            .into_iter()
+            .next()
+            .expect("one job submitted")
+            .data
+            .expect("ECB job succeeded");
+        let ns_per_block = elapsed.as_nanos() as f64 / n as f64;
+        results.push((spec_name(spec), ns_per_block));
+        outputs.push(data);
+    }
+
+    let baseline = results[0].1;
+    for (name, ns) in &results {
+        println!("{name:<16} {ns:>14.1} {:>11.2}x", baseline / ns);
+    }
+
+    assert!(
+        outputs.windows(2).all(|w| w[0] == w[1]),
+        "software backends disagree on the randomized ECB workload"
+    );
+    println!("\nall three software backends agree on {n} randomized blocks");
+
+    let speedup = results[1].1 / results[2].1;
+    println!("bitsliced vs t-table: {speedup:.2}x");
+
+    let backends_json = results
+        .iter()
+        .map(|(name, ns)| format!("{{\"name\":\"{name}\",\"ns_per_block\":{ns:.1}}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let doc = format!(
+        "{{\"suite\":\"engine_scaling\",\"smoke\":{smoke},\"blocks\":{n},\
+         \"backends\":[{backends_json}],\
+         \"speedup_bitsliced_vs_ttable\":{speedup:.3},\"agree\":true}}"
+    );
+    let path =
+        std::env::var("BENCH_BITSLICE_JSON").unwrap_or_else(|_| "BENCH_bitslice.json".to_string());
+    match std::fs::write(&path, &doc) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+fn spec_name(spec: BackendSpec) -> &'static str {
+    match spec {
+        BackendSpec::Software => "soft-ref",
+        BackendSpec::Ttable => "soft-ttable",
+        BackendSpec::Bitsliced => "soft-bitsliced",
+        _ => "ip-core",
+    }
+}
+
+/// Deterministic xorshift-filled blocks: randomized content without an
+/// RNG dependency, reproducible across runs.
+fn random_blocks(n: usize) -> Vec<u8> {
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut out = Vec::with_capacity(n * 16);
+    while out.len() < n * 16 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out
 }

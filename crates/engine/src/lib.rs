@@ -48,6 +48,8 @@ pub mod backend;
 pub mod metrics;
 pub mod scheduler;
 
-pub use crate::backend::{Backend, BackendError, BackendSpec, IpCoreBackend, SoftwareBackend};
+pub use crate::backend::{
+    Backend, BackendError, BackendSpec, BitslicedBackend, IpCoreBackend, SoftwareBackend,
+};
 pub use crate::metrics::{CoreMetrics, EngineMetrics};
 pub use crate::scheduler::{Engine, JobError, JobId, JobOutput, Mode, SubmitError};

@@ -384,29 +384,50 @@ impl Engine {
         (0..k).map(|i| base + usize::from(i < n % k)).collect()
     }
 
+    /// Shards `n` blocks across `k` shares in multiples of the bitsliced
+    /// 8-block granule: whole granules are distributed evenly, then the
+    /// last non-empty share gives back the padding so the total is
+    /// exactly `n`. Every share but possibly the last is a multiple of 8,
+    /// which keeps the bitsliced backend's passes full; only one core
+    /// ever sees a ragged (padded) granule.
+    fn shares_batched(n: usize, k: usize) -> Vec<usize> {
+        const GRANULE: usize = 8;
+        let mut out: Vec<usize> = Self::shares(n.div_ceil(GRANULE), k)
+            .into_iter()
+            .map(|g| g * GRANULE)
+            .collect();
+        let mut excess = out.iter().sum::<usize>() - n;
+        for share in out.iter_mut().rev() {
+            if *share > 0 {
+                *share -= excess;
+                excess = 0;
+                break;
+            }
+        }
+        debug_assert_eq!(excess, 0);
+        out
+    }
+
     /// ECB: independent whole blocks, sharded across every eligible core
-    /// and pipelined through each core's bus.
+    /// in granule multiples and submitted through each core's widest
+    /// batch path — in place, no staging copies.
     fn run_ecb(
         &mut self,
         eligible: &[usize],
         dir: Direction,
         data: &mut [u8],
     ) -> Result<(), JobError> {
-        let n = data.len() / BLOCK;
+        let (blocks, rest) = data.as_chunks_mut::<BLOCK>();
+        debug_assert!(rest.is_empty(), "length validated at submission");
         let mut offset = 0;
-        for (&w, share) in eligible.iter().zip(Self::shares(n, eligible.len())) {
+        for (&w, share) in eligible
+            .iter()
+            .zip(Self::shares_batched(blocks.len(), eligible.len()))
+        {
             if share == 0 {
                 continue;
             }
-            let chunk = &mut data[offset * BLOCK..(offset + share) * BLOCK];
-            let mut blocks: Vec<[u8; 16]> = chunk
-                .chunks_exact(BLOCK)
-                .map(|c| c.try_into().expect("chunks_exact yields 16-byte chunks"))
-                .collect();
-            self.workers[w].process_stream(&mut blocks, dir)?;
-            for (dst, src) in chunk.chunks_exact_mut(BLOCK).zip(&blocks) {
-                dst.copy_from_slice(src);
-            }
+            self.workers[w].process_batch(&mut blocks[offset..offset + share], dir)?;
             offset += share;
         }
         Ok(())
@@ -414,7 +435,9 @@ impl Engine {
 
     /// CTR: each core generates the keystream for its contiguous span of
     /// counter values (SP 800-38A increment, so spans are just offsets)
-    /// and XORs it into its span of the buffer.
+    /// and XORs it into its span of the buffer. Counter blocks are
+    /// precomputed per shard with [`Ctr::fill_counter_blocks`] — one
+    /// scratch buffer for the whole job, no per-block allocation.
     fn run_ctr(
         &mut self,
         eligible: &[usize],
@@ -422,22 +445,19 @@ impl Engine {
         data: &mut [u8],
     ) -> Result<(), JobError> {
         let n = data.len().div_ceil(BLOCK);
+        let shares = Self::shares_batched(n, eligible.len());
+        let mut counters = vec![[0u8; 16]; shares.iter().copied().max().unwrap_or(0)];
         let mut first_block = 0usize;
-        for (&w, share) in eligible.iter().zip(Self::shares(n, eligible.len())) {
+        for (&w, share) in eligible.iter().zip(shares) {
             if share == 0 {
                 continue;
             }
-            let mut counters: Vec<[u8; 16]> = (first_block..first_block + share)
-                .map(|i| {
-                    Ctr::counter_block(nonce, i as u128)
-                        .try_into()
-                        .expect("counter block of a 16-byte nonce is 16 bytes")
-                })
-                .collect();
-            self.workers[w].process_stream(&mut counters, Direction::Encrypt)?;
+            let batch = &mut counters[..share];
+            Ctr::fill_counter_blocks(nonce, first_block as u128, batch);
+            self.workers[w].process_batch(batch, Direction::Encrypt)?;
             let end = data.len().min((first_block + share) * BLOCK);
             let span = &mut data[first_block * BLOCK..end];
-            for (chunk, keystream) in span.chunks_mut(BLOCK).zip(&counters) {
+            for (chunk, keystream) in span.chunks_mut(BLOCK).zip(batch.iter()) {
                 for (byte, k) in chunk.iter_mut().zip(keystream) {
                     *byte ^= k;
                 }
@@ -552,9 +572,28 @@ mod tests {
     }
 
     #[test]
+    fn shares_batched_deals_whole_granules_and_trims_the_tail() {
+        // Whole granules spread evenly, exact total preserved.
+        assert_eq!(Engine::shares_batched(24, 3), vec![8, 8, 8]);
+        assert_eq!(Engine::shares_batched(64, 3), vec![24, 24, 16]);
+        // Padding comes back out of the last non-empty share.
+        assert_eq!(Engine::shares_batched(7, 3), vec![7, 0, 0]);
+        assert_eq!(Engine::shares_batched(11, 4), vec![8, 3, 0, 0]);
+        assert_eq!(Engine::shares_batched(65, 2), vec![40, 25]);
+        assert_eq!(Engine::shares_batched(0, 2), vec![0, 0]);
+        // Every share except the trimmed one is a granule multiple.
+        for (n, k) in [(123, 5), (8, 4), (100, 3)] {
+            let shares = Engine::shares_batched(n, k);
+            assert_eq!(shares.iter().sum::<usize>(), n, "shares_batched({n},{k})");
+            let ragged = shares.iter().filter(|s| *s % 8 != 0).count();
+            assert!(ragged <= 1, "shares_batched({n},{k}) = {shares:?}");
+        }
+    }
+
+    #[test]
     fn ecb_sharded_across_cores_matches_reference() {
         let mut engine = Engine::with_farm(&KEY, &[BackendSpec::EncryptCore; 3], 4);
-        let data = sample(7 * 16);
+        let data = sample(24 * 16);
         let id = engine.try_submit(Mode::EcbEncrypt, data.clone()).unwrap();
         let out = engine.run();
         assert_eq!(out.len(), 1);
@@ -564,11 +603,10 @@ mod tests {
         Ecb::encrypt(&Aes128::new(&KEY), &mut expected).unwrap();
         assert_eq!(out[0].data.as_ref().unwrap(), &expected);
 
-        // All three cores took part: 3, 2 and 2 blocks.
+        // All three cores took part: one full 8-block granule each.
         let m = engine.metrics();
-        let mut blocks: Vec<u64> = m.per_core.iter().map(|c| c.blocks).collect();
-        blocks.sort_unstable();
-        assert_eq!(blocks, vec![2, 2, 3]);
+        let blocks: Vec<u64> = m.per_core.iter().map(|c| c.blocks).collect();
+        assert_eq!(blocks, vec![8, 8, 8]);
     }
 
     #[test]
@@ -749,13 +787,14 @@ mod tests {
         assert_eq!(out[1].data.as_ref().unwrap(), &dec);
 
         let m = engine.metrics();
-        // The encrypt job sharded over {ip-encrypt, soft-ref}; the decrypt
-        // job over {ip-decrypt, soft-ref}: every core saw exactly one job
-        // of 3 blocks, the software core both.
+        // The encrypt job shards over {ip-encrypt, soft-ref}, the decrypt
+        // job over {ip-decrypt, soft-ref}. Six blocks fit inside a single
+        // 8-block granule, so the granule planner hands the whole job to
+        // the first eligible core and the software core stays idle.
         let by_name: Vec<(&str, u64)> = m.per_core.iter().map(|c| (c.name, c.blocks)).collect();
         assert_eq!(
             by_name,
-            vec![("ip-encrypt", 3), ("ip-decrypt", 3), ("soft-ref", 6)]
+            vec![("ip-encrypt", 6), ("ip-decrypt", 6), ("soft-ref", 0)]
         );
     }
 
@@ -771,8 +810,9 @@ mod tests {
             engine.run();
             let m = engine.metrics();
             assert_eq!(m.total_blocks, blocks as u64);
-            // Each core's share costs 1 load edge + 50/block.
-            let biggest_share = blocks.div_ceil(cores) as u64;
+            // Each core's share costs 1 load edge + 50/block; shares are
+            // dealt in 8-block granules (64 blocks = 8 granules).
+            let biggest_share = (blocks.div_ceil(8).div_ceil(cores) * 8) as u64;
             assert_eq!(m.wall_cycles, 1 + biggest_share * LATENCY_CYCLES);
             assert!(
                 m.wall_cycles < last,

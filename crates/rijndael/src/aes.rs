@@ -4,7 +4,7 @@
 
 use core::fmt;
 
-use crate::cipher::{BlockCipher, Rijndael};
+use crate::cipher::{BatchCipher, BlockCipher, Rijndael};
 
 macro_rules! aes_variant {
     ($(#[$doc:meta])* $name:ident, $key_bytes:literal, $rounds:literal) => {
@@ -66,6 +66,10 @@ macro_rules! aes_variant {
                 self.inner.decrypt(block);
             }
         }
+
+        // Default batch implementation: one block per call. Still useful
+        // as the baseline the bitsliced backend is compared against.
+        impl BatchCipher for $name {}
 
         impl fmt::Debug for $name {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -31,6 +31,51 @@ pub trait BlockCipher {
     fn decrypt_in_place(&self, block: &mut [u8]);
 }
 
+/// Batch extension of [`BlockCipher`] for 16-byte-block ciphers.
+///
+/// The provided methods fall back to one [`BlockCipher`] call per block,
+/// so any AES-128-shaped cipher can opt in with an empty `impl`; ciphers
+/// with a genuine multi-block pass
+/// ([`Bitsliced8`](crate::bitslice::Bitsliced8)) override them. The modes
+/// of operation ([`crate::modes`]) and the engine's batch submission path
+/// route bulk work through this trait, so the override is what turns a
+/// big ECB/CTR payload into full bitsliced passes.
+pub trait BatchCipher: BlockCipher {
+    /// Encrypts every block in place.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `self.block_len() != 16`.
+    fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        assert_eq!(self.block_len(), 16, "batch API is fixed to AES blocks");
+        for block in blocks {
+            self.encrypt_in_place(block);
+        }
+    }
+
+    /// Decrypts every block in place.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `self.block_len() != 16`.
+    fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        assert_eq!(self.block_len(), 16, "batch API is fixed to AES blocks");
+        for block in blocks {
+            self.decrypt_in_place(block);
+        }
+    }
+}
+
+impl BatchCipher for crate::bitslice::Bitsliced8 {
+    fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        Self::encrypt_blocks(self, blocks);
+    }
+
+    fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        Self::decrypt_blocks(self, blocks);
+    }
+}
+
 /// The Rijndael cipher with a block of `NB` 32-bit columns.
 ///
 /// The key size is chosen at runtime (16–32 bytes in 4-byte steps); the

@@ -8,7 +8,17 @@
 
 use core::fmt;
 
-use crate::cipher::BlockCipher;
+use crate::cipher::{BatchCipher, BlockCipher};
+
+/// Largest block this crate's ciphers produce (`Rijndael<8>`: 32 bytes).
+/// The chained modes keep their chaining state in fixed stack buffers of
+/// this size instead of heap scratch, so their per-call cost is zero
+/// allocations no matter how much data streams through.
+const MAX_BLOCK: usize = 32;
+
+/// Keystream blocks prepared per batched CTR step: one wide bitsliced
+/// pass ([`crate::bitslice::WIDE`]), a multiple of the 8-block granule.
+const CTR_BATCH: usize = crate::bitslice::WIDE;
 
 /// Error for buffers whose length does not fit the requested mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +104,50 @@ impl Ecb {
         }
         Ok(())
     }
+
+    /// Encrypts `data` in place through the cipher's batch path: the
+    /// whole payload is handed to [`BatchCipher::encrypt_blocks`] at
+    /// once, so a bitsliced cipher runs full multi-block passes instead
+    /// of one [`BlockCipher`] call per block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LengthError`] unless `data.len()` is a multiple of 16.
+    pub fn encrypt_batched<C: BatchCipher + ?Sized>(
+        cipher: &C,
+        data: &mut [u8],
+    ) -> Result<(), LengthError> {
+        let (blocks, rest) = data.as_chunks_mut::<16>();
+        if !rest.is_empty() {
+            return Err(LengthError {
+                len: blocks.len() * 16 + rest.len(),
+                block: 16,
+            });
+        }
+        cipher.encrypt_blocks(blocks);
+        Ok(())
+    }
+
+    /// Decrypts `data` in place through the cipher's batch path (see
+    /// [`Ecb::encrypt_batched`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LengthError`] unless `data.len()` is a multiple of 16.
+    pub fn decrypt_batched<C: BatchCipher + ?Sized>(
+        cipher: &C,
+        data: &mut [u8],
+    ) -> Result<(), LengthError> {
+        let (blocks, rest) = data.as_chunks_mut::<16>();
+        if !rest.is_empty() {
+            return Err(LengthError {
+                len: blocks.len() * 16 + rest.len(),
+                block: 16,
+            });
+        }
+        cipher.decrypt_blocks(blocks);
+        Ok(())
+    }
 }
 
 /// Cipher block chaining with an explicit IV.
@@ -110,7 +164,8 @@ impl Cbc {
     ///
     /// # Panics
     ///
-    /// Panics if `iv.len()` differs from the cipher's block length.
+    /// Panics if `iv.len()` differs from the cipher's block length, or if
+    /// that length exceeds [`MAX_BLOCK`] bytes.
     pub fn encrypt<C: BlockCipher + ?Sized>(
         cipher: &C,
         iv: &[u8],
@@ -118,19 +173,21 @@ impl Cbc {
     ) -> Result<(), LengthError> {
         let bl = cipher.block_len();
         assert_eq!(iv.len(), bl, "IV must be one block long");
+        assert!(bl <= MAX_BLOCK, "block length exceeds chaining scratch");
         if !data.len().is_multiple_of(bl) {
             return Err(LengthError {
                 len: data.len(),
                 block: bl,
             });
         }
-        let mut chain = iv.to_vec();
+        let mut chain = [0u8; MAX_BLOCK];
+        chain[..bl].copy_from_slice(iv);
         for block in data.chunks_exact_mut(bl) {
             for (b, c) in block.iter_mut().zip(&chain) {
                 *b ^= c;
             }
             cipher.encrypt_in_place(block);
-            chain.copy_from_slice(block);
+            chain[..bl].copy_from_slice(block);
         }
         Ok(())
     }
@@ -144,7 +201,8 @@ impl Cbc {
     ///
     /// # Panics
     ///
-    /// Panics if `iv.len()` differs from the cipher's block length.
+    /// Panics if `iv.len()` differs from the cipher's block length, or if
+    /// that length exceeds [`MAX_BLOCK`] bytes.
     pub fn decrypt<C: BlockCipher + ?Sized>(
         cipher: &C,
         iv: &[u8],
@@ -152,16 +210,18 @@ impl Cbc {
     ) -> Result<(), LengthError> {
         let bl = cipher.block_len();
         assert_eq!(iv.len(), bl, "IV must be one block long");
+        assert!(bl <= MAX_BLOCK, "block length exceeds chaining scratch");
         if !data.len().is_multiple_of(bl) {
             return Err(LengthError {
                 len: data.len(),
                 block: bl,
             });
         }
-        let mut chain = iv.to_vec();
-        let mut next_chain = vec![0u8; bl];
+        let mut chain = [0u8; MAX_BLOCK];
+        chain[..bl].copy_from_slice(iv);
+        let mut next_chain = [0u8; MAX_BLOCK];
         for block in data.chunks_exact_mut(bl) {
-            next_chain.copy_from_slice(block);
+            next_chain[..bl].copy_from_slice(block);
             cipher.decrypt_in_place(block);
             for (b, c) in block.iter_mut().zip(&chain) {
                 *b ^= c;
@@ -221,7 +281,8 @@ impl Ctr {
     ///
     /// # Panics
     ///
-    /// Panics if `nonce.len()` differs from the cipher's block length.
+    /// Panics if `nonce.len()` differs from the cipher's block length, or
+    /// if that length exceeds [`MAX_BLOCK`] bytes.
     pub fn apply_at<C: BlockCipher + ?Sized>(
         cipher: &C,
         nonce: &[u8],
@@ -230,16 +291,62 @@ impl Ctr {
     ) {
         let bl = cipher.block_len();
         assert_eq!(nonce.len(), bl, "nonce must be one block long");
-        let mut counter_block = nonce.to_vec();
-        counter_add(&mut counter_block, first_block);
-        let mut keystream = vec![0u8; bl];
+        assert!(bl <= MAX_BLOCK, "block length exceeds counter scratch");
+        let mut counter_block = [0u8; MAX_BLOCK];
+        counter_block[..bl].copy_from_slice(nonce);
+        counter_add(&mut counter_block[..bl], first_block);
+        let mut keystream = [0u8; MAX_BLOCK];
         for chunk in data.chunks_mut(bl) {
-            keystream.copy_from_slice(&counter_block);
-            cipher.encrypt_in_place(&mut keystream);
+            keystream[..bl].copy_from_slice(&counter_block[..bl]);
+            cipher.encrypt_in_place(&mut keystream[..bl]);
             for (b, k) in chunk.iter_mut().zip(&keystream) {
                 *b ^= k;
             }
-            counter_add(&mut counter_block, 1);
+            counter_add(&mut counter_block[..bl], 1);
+        }
+    }
+
+    /// XORs the keystream into `data` through the cipher's batch path:
+    /// counter blocks are precomputed [`CTR_BATCH`] at a time (via the
+    /// same incrementing function as [`Ctr::apply_at`]) and encrypted in
+    /// one [`BatchCipher::encrypt_blocks`] call, so a bitsliced cipher
+    /// fills whole passes. Byte-identical to
+    /// `apply_at(cipher, nonce, first_block, data)` on any data length.
+    pub fn apply_batched<C: BatchCipher + ?Sized>(
+        cipher: &C,
+        nonce: &[u8; 16],
+        first_block: u128,
+        data: &mut [u8],
+    ) {
+        let mut keystream = [[0u8; 16]; CTR_BATCH];
+        let mut index = first_block;
+        for chunk in data.chunks_mut(CTR_BATCH * 16) {
+            let nblocks = chunk.len().div_ceil(16);
+            let batch = &mut keystream[..nblocks];
+            Self::fill_counter_blocks(nonce, index, batch);
+            cipher.encrypt_blocks(batch);
+            for (b, k) in chunk.iter_mut().zip(batch.as_flattened()) {
+                *b ^= k;
+            }
+            index = index.wrapping_add(nblocks as u128);
+        }
+    }
+
+    /// Fills `out[i]` with counter block `nonce + first_block + i` under
+    /// the standard incrementing function (wrapping modulo 2^128) — the
+    /// counter precompute feeding [`Ctr::apply_batched`], shared with the
+    /// multi-core engine's CTR sharding.
+    pub fn fill_counter_blocks(nonce: &[u8; 16], first_block: u128, out: &mut [[u8; 16]]) {
+        let mut blocks = out.iter_mut();
+        let Some(first) = blocks.next() else {
+            return;
+        };
+        first.copy_from_slice(nonce);
+        counter_add(first, first_block);
+        let mut prev = *first;
+        for block in blocks {
+            counter_add(&mut prev, 1);
+            block.copy_from_slice(&prev);
         }
     }
 
@@ -264,13 +371,16 @@ impl Cfb {
     ///
     /// # Panics
     ///
-    /// Panics if `iv.len()` differs from the cipher's block length.
+    /// Panics if `iv.len()` differs from the cipher's block length, or if
+    /// that length exceeds [`MAX_BLOCK`] bytes.
     pub fn encrypt<C: BlockCipher + ?Sized>(cipher: &C, iv: &[u8], data: &mut [u8]) {
         let bl = cipher.block_len();
         assert_eq!(iv.len(), bl, "IV must be one block long");
-        let mut feedback = iv.to_vec();
+        assert!(bl <= MAX_BLOCK, "block length exceeds feedback scratch");
+        let mut feedback = [0u8; MAX_BLOCK];
+        feedback[..bl].copy_from_slice(iv);
         for chunk in data.chunks_mut(bl) {
-            cipher.encrypt_in_place(&mut feedback);
+            cipher.encrypt_in_place(&mut feedback[..bl]);
             for (b, k) in chunk.iter_mut().zip(&feedback) {
                 *b ^= k;
             }
@@ -282,15 +392,18 @@ impl Cfb {
     ///
     /// # Panics
     ///
-    /// Panics if `iv.len()` differs from the cipher's block length.
+    /// Panics if `iv.len()` differs from the cipher's block length, or if
+    /// that length exceeds [`MAX_BLOCK`] bytes.
     pub fn decrypt<C: BlockCipher + ?Sized>(cipher: &C, iv: &[u8], data: &mut [u8]) {
         let bl = cipher.block_len();
         assert_eq!(iv.len(), bl, "IV must be one block long");
-        let mut feedback = iv.to_vec();
-        let mut ct = vec![0u8; bl];
+        assert!(bl <= MAX_BLOCK, "block length exceeds feedback scratch");
+        let mut feedback = [0u8; MAX_BLOCK];
+        feedback[..bl].copy_from_slice(iv);
+        let mut ct = [0u8; MAX_BLOCK];
         for chunk in data.chunks_mut(bl) {
             ct[..chunk.len()].copy_from_slice(chunk);
-            cipher.encrypt_in_place(&mut feedback);
+            cipher.encrypt_in_place(&mut feedback[..bl]);
             for (b, k) in chunk.iter_mut().zip(&feedback) {
                 *b ^= k;
             }
@@ -309,13 +422,16 @@ impl Ofb {
     ///
     /// # Panics
     ///
-    /// Panics if `iv.len()` differs from the cipher's block length.
+    /// Panics if `iv.len()` differs from the cipher's block length, or if
+    /// that length exceeds [`MAX_BLOCK`] bytes.
     pub fn apply<C: BlockCipher + ?Sized>(cipher: &C, iv: &[u8], data: &mut [u8]) {
         let bl = cipher.block_len();
         assert_eq!(iv.len(), bl, "IV must be one block long");
-        let mut feedback = iv.to_vec();
+        assert!(bl <= MAX_BLOCK, "block length exceeds feedback scratch");
+        let mut feedback = [0u8; MAX_BLOCK];
+        feedback[..bl].copy_from_slice(iv);
         for chunk in data.chunks_mut(bl) {
-            cipher.encrypt_in_place(&mut feedback);
+            cipher.encrypt_in_place(&mut feedback[..bl]);
             for (b, k) in chunk.iter_mut().zip(&feedback) {
                 *b ^= k;
             }
@@ -509,6 +625,102 @@ mod tests {
         assert_eq!(big, vec![0xFFu8; 16]);
         super::counter_add(&mut big, 2);
         assert_eq!(big[15], 1, "wrapping add past u128::MAX");
+    }
+
+    #[test]
+    fn ecb_batched_matches_per_block_for_every_cipher() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let reference = Aes128::new(&key);
+        let sliced = crate::bitslice::Bitsliced8::new(&key);
+        for blocks in [1usize, 7, 8, 9, 64, 65, 100] {
+            let pt = sample(blocks * 16);
+            let mut expect = pt.clone();
+            Ecb::encrypt(&reference, &mut expect).unwrap();
+
+            let mut via_ref = pt.clone();
+            Ecb::encrypt_batched(&reference, &mut via_ref).unwrap();
+            assert_eq!(via_ref, expect, "default batch path, {blocks} blocks");
+
+            let mut via_sliced = pt.clone();
+            Ecb::encrypt_batched(&sliced, &mut via_sliced).unwrap();
+            assert_eq!(via_sliced, expect, "bitsliced batch path, {blocks} blocks");
+
+            Ecb::decrypt_batched(&sliced, &mut via_sliced).unwrap();
+            assert_eq!(via_sliced, pt, "bitsliced batch decrypt, {blocks} blocks");
+        }
+    }
+
+    #[test]
+    fn ecb_batched_rejects_ragged_lengths() {
+        let c = cipher();
+        let mut data = vec![0u8; 40];
+        let err = Ecb::encrypt_batched(&c, &mut data).unwrap_err();
+        assert_eq!((err.len, err.block), (40, 16));
+        assert!(Ecb::decrypt_batched(&c, &mut data).is_err());
+    }
+
+    #[test]
+    fn ctr_apply_batched_matches_apply_at_any_length_and_offset() {
+        let key: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(29) ^ 0x42);
+        let reference = Aes128::new(&key);
+        let sliced = crate::bitslice::Bitsliced8::new(&key);
+        let nonce: [u8; 16] = core::array::from_fn(|i| 0xD0 ^ (i as u8));
+        for (len, offset) in [
+            (1usize, 0u128),
+            (15, 7),
+            (16, 1),
+            (100, 3),
+            (64 * 16, 0),
+            (64 * 16 + 40, 9),
+            (3 * 64 * 16 + 1, 1 << 80),
+        ] {
+            let pt = sample(len);
+            let mut expect = pt.clone();
+            Ctr::apply_at(&reference, &nonce, offset, &mut expect);
+            let mut got = pt.clone();
+            Ctr::apply_batched(&sliced, &nonce, offset, &mut got);
+            assert_eq!(got, expect, "len {len} offset {offset}");
+        }
+    }
+
+    #[test]
+    fn ctr_counter_wrap_across_a_batch_boundary_known_answer() {
+        // Start the counter 3 blocks below 2^128: the wrap to the all-zero
+        // block happens *inside* the first precomputed batch, so the
+        // batched path must carry SP 800-38A's modulo-2^128 semantics into
+        // the 8-wide precompute, not just the scalar loop.
+        let c = cipher();
+        let sliced = crate::bitslice::Bitsliced8::new(&core::array::from_fn(|i| i as u8));
+        let mut nonce = [0xFFu8; 16];
+        nonce[15] = 0xFD; // nonce = 2^128 - 3
+        let blocks = 20usize;
+
+        let mut expect = vec![0u8; blocks * 16];
+        Ctr::apply(&c, &nonce, &mut expect);
+        let mut got = vec![0u8; blocks * 16];
+        Ctr::apply_batched(&sliced, &nonce, 0, &mut got);
+        assert_eq!(got, expect);
+
+        // Keystream block 3 is the encryption of the wrapped (all-zero)
+        // counter — pin it as a direct known answer too.
+        let mut zero_ctr = [0u8; 16];
+        c.encrypt_in_place(&mut zero_ctr);
+        assert_eq!(&got[48..64], &zero_ctr[..], "wrap lands at block 3");
+    }
+
+    #[test]
+    fn fill_counter_blocks_shares_increment_semantics_with_apply_at() {
+        let nonce: [u8; 16] = core::array::from_fn(|i| 0xF0 + i as u8);
+        let mut out = [[0u8; 16]; 5];
+        Ctr::fill_counter_blocks(&nonce, 2, &mut out);
+        for (i, block) in out.iter().enumerate() {
+            assert_eq!(
+                block.to_vec(),
+                Ctr::counter_block(&nonce, 2 + i as u128),
+                "block {i}"
+            );
+        }
+        Ctr::fill_counter_blocks(&nonce, 0, &mut []); // empty batch is a no-op
     }
 
     #[test]

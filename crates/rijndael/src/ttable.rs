@@ -263,6 +263,9 @@ impl BlockCipher for TtableAes {
     }
 }
 
+// Default batch implementation: the T-table path has no multi-block pass.
+impl crate::cipher::BatchCipher for TtableAes {}
+
 impl Drop for TtableAes {
     /// Wipes both round-key arrays (best effort; see [`crate::zeroize`]).
     fn drop(&mut self) {

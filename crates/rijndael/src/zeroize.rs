@@ -2,7 +2,8 @@
 //!
 //! The paper's deployment scenarios (smart cards, banking backbones) key
 //! and re-key the IP constantly, so expanded schedules must not outlive
-//! the session that owned them. This crate forbids `unsafe`, so a true
+//! the session that owned them. This crate denies `unsafe` (the only
+//! exception is the audited SIMD kernel in [`crate::bitslice`]), so a true
 //! `write_volatile` wipe is unavailable; instead the buffer is zeroed and
 //! then routed through [`core::hint::black_box`], which tells the
 //! optimiser the zeroed bytes are observed and removes its licence to
@@ -33,6 +34,15 @@ pub fn wipe_words(buf: &mut [u32]) {
     core::hint::black_box(buf);
 }
 
+/// Zeroes a buffer of 64-bit words (the bitsliced backend's broadcast
+/// round-key masks) and pins the stores with a `black_box` barrier.
+pub fn wipe_words64(buf: &mut [u64]) {
+    for w in buf.iter_mut() {
+        *w = 0;
+    }
+    core::hint::black_box(buf);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,6 +58,13 @@ mod tests {
     fn wipe_words_clears_everything() {
         let mut buf = vec![0xDEAD_BEEFu32; 44];
         wipe_words(&mut buf);
+        assert!(buf.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn wipe_words64_clears_everything() {
+        let mut buf = vec![0xDEAD_BEEF_CAFE_F00Du64; 19];
+        wipe_words64(&mut buf);
         assert!(buf.iter().all(|&w| w == 0));
     }
 

@@ -16,14 +16,24 @@
 //! submitted them.
 
 use engine::{BackendSpec, Engine, JobError, JobId, Mode, SubmitError};
-use rijndael::{cmac, Aes128};
+use rijndael::modes::{Ctr, Ecb};
+use rijndael::{cmac, Aes128, Bitsliced8};
 
-/// One keyed session: an engine farm, a CMAC cipher, and the bookkeeping
-/// for deferred jobs.
+/// Payload size (eight 16-byte blocks) from which immediate ECB/CTR
+/// requests bypass the engine queue and run on the session's bitsliced
+/// bulk lane instead.
+pub const BULK_THRESHOLD: usize = 8 * 16;
+
+/// One keyed session: an engine farm, a CMAC cipher, a bitsliced bulk
+/// lane, and the bookkeeping for deferred jobs.
 pub struct Session {
     id: u32,
     engine: Engine,
     mac: Aes128,
+    /// Bitsliced cipher for the bulk fast path: immediate ECB/CTR
+    /// payloads of [`BULK_THRESHOLD`] bytes or more skip the engine
+    /// queue and run here, eight blocks per pass.
+    bulk: Bitsliced8,
     /// Deferred jobs still in the engine queue: `(job, request seq)`.
     pending: Vec<(JobId, u32)>,
     /// Deferred jobs that were drained early because an immediate request
@@ -51,6 +61,7 @@ impl Session {
             id,
             engine: Engine::with_farm(key, farm, queue_capacity),
             mac: Aes128::new(key),
+            bulk: Bitsliced8::new(key),
             pending: Vec::new(),
             completed: Vec::new(),
         }
@@ -76,6 +87,12 @@ impl Session {
 
     /// Runs one operation to completion and returns its output.
     ///
+    /// ECB and CTR payloads of [`BULK_THRESHOLD`] bytes or more take the
+    /// bulk lane: the session's bitsliced cipher processes them inline,
+    /// eight blocks per pass, without touching the engine queue (deferred
+    /// jobs keep their slots and their ordering). Everything else — small
+    /// payloads and the chained modes — runs through the engine farm.
+    ///
     /// Draining the engine may also complete deferred jobs that share the
     /// queue; their outputs are stashed for the next [`Session::flush`],
     /// so interleaving immediate and deferred traffic loses nothing.
@@ -84,7 +101,26 @@ impl Session {
     ///
     /// [`ExecError::Submit`] when the queue is full (flush first) or the
     /// buffer is ragged; [`ExecError::Job`] when a backend faults.
-    pub fn execute(&mut self, mode: Mode, data: Vec<u8>) -> Result<Vec<u8>, ExecError> {
+    pub fn execute(&mut self, mode: Mode, mut data: Vec<u8>) -> Result<Vec<u8>, ExecError> {
+        if data.len() >= BULK_THRESHOLD {
+            match mode {
+                Mode::EcbEncrypt => {
+                    Ecb::encrypt_batched(&self.bulk, &mut data)
+                        .map_err(|e| ExecError::Submit(SubmitError::RaggedLength { len: e.len }))?;
+                    return Ok(data);
+                }
+                Mode::EcbDecrypt => {
+                    Ecb::decrypt_batched(&self.bulk, &mut data)
+                        .map_err(|e| ExecError::Submit(SubmitError::RaggedLength { len: e.len }))?;
+                    return Ok(data);
+                }
+                Mode::Ctr(nonce) => {
+                    Ctr::apply_batched(&self.bulk, &nonce, 0, &mut data);
+                    return Ok(data);
+                }
+                _ => {}
+            }
+        }
         let id = self
             .engine
             .try_submit(mode, data)
@@ -235,6 +271,49 @@ mod tests {
         let mut expect = sample(37);
         Ctr::apply(&reference, &iv, &mut expect);
         assert_eq!(ct, expect);
+    }
+
+    #[test]
+    fn bulk_lane_matches_the_software_reference() {
+        let mut s = Session::new(1, &KEY, &farm(), 8);
+        let reference = Aes128::new(&KEY);
+
+        // 24 blocks: well past the threshold, with a ragged granule tail.
+        let data = sample(24 * 16);
+        let ct = s.execute(Mode::EcbEncrypt, data.clone()).unwrap();
+        let mut expect = data.clone();
+        Ecb::encrypt(&reference, &mut expect).unwrap();
+        assert_eq!(ct, expect);
+        let pt = s.execute(Mode::EcbDecrypt, ct).unwrap();
+        assert_eq!(pt, data);
+
+        // CTR keeps its any-length contract on the bulk lane too.
+        let nonce = [0xA5u8; 16];
+        let data = sample(BULK_THRESHOLD + 5);
+        let ct = s.execute(Mode::Ctr(nonce), data.clone()).unwrap();
+        let mut expect = data;
+        Ctr::apply(&reference, &nonce, &mut expect);
+        assert_eq!(ct, expect);
+    }
+
+    #[test]
+    fn bulk_lane_rejects_ragged_ecb_and_skips_the_engine_queue() {
+        let mut s = Session::new(1, &KEY, &farm(), 2);
+        assert_eq!(
+            s.execute(Mode::EcbEncrypt, sample(BULK_THRESHOLD + 1)),
+            Err(ExecError::Submit(SubmitError::RaggedLength {
+                len: BULK_THRESHOLD + 1
+            }))
+        );
+
+        // A deferred job keeps its queue slot and its pending status
+        // while bulk traffic streams past it.
+        s.defer(9, Mode::CbcEncrypt([0; 16]), sample(16)).unwrap();
+        let _ = s.execute(Mode::EcbEncrypt, sample(BULK_THRESHOLD)).unwrap();
+        assert_eq!(s.outstanding(), 1);
+        let results = s.flush();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, 9);
     }
 
     #[test]

@@ -25,6 +25,9 @@ echo "==> engine subsystem tests"
 cargo test -q -p rijndael-engine --locked --offline
 cargo test -q --test engine_equivalence --locked --offline
 
+echo "==> bitsliced backend cross-check"
+cargo test -q --test bitslice_equivalence --locked --offline
+
 echo "==> service subsystem tests"
 cargo test -q -p rijndael-service --locked --offline
 cargo test -q --test service_roundtrip --locked --offline
@@ -33,15 +36,25 @@ echo "==> service load generator (smoke)"
 TESTKIT_BENCH_SMOKE=1 \
     cargo run -q --release --locked --offline -p rijndael-bench --bin service_load
 
-echo "==> engine scaling report (smoke)"
-cargo run -q --release --locked --offline -p rijndael-bench --bin engine_scaling -- --smoke
+echo "==> engine scaling report (smoke, backend race JSON)"
+bench_json="$(mktemp)"
+race_json="$(mktemp)"
+trap 'rm -f "$bench_json" "$race_json"' EXIT
+BENCH_BITSLICE_JSON="$race_json" \
+    cargo run -q --release --locked --offline -p rijndael-bench --bin engine_scaling -- --smoke
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$race_json" \
+    || { echo "engine_scaling backend-race JSON is malformed" >&2; exit 1; }
 
 echo "==> engine bench (smoke, JSON well-formedness)"
-bench_json="$(mktemp)"
-trap 'rm -f "$bench_json"' EXIT
 TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_JSON="$bench_json" \
     cargo bench -q --locked --offline -p rijndael-bench --bench engine >/dev/null
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$bench_json" \
     || { echo "engine bench JSON is malformed" >&2; exit 1; }
+
+echo "==> bitslice bench (smoke: no-alloc hot loops + JSON well-formedness)"
+TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_JSON="$bench_json" \
+    cargo bench -q --locked --offline -p rijndael-bench --bench bitslice >/dev/null
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$bench_json" \
+    || { echo "bitslice bench JSON is malformed" >&2; exit 1; }
 
 echo "==> OK: hermetic verify passed"

@@ -20,12 +20,14 @@ const FARMS: &[&[BackendSpec]] = &[
     &[BackendSpec::EncDecCore; 4],
     &[BackendSpec::Software],
     &[BackendSpec::Ttable; 2],
+    &[BackendSpec::Bitsliced; 2],
     &[
         BackendSpec::EncryptCore,
         BackendSpec::DecryptCore,
         BackendSpec::EncDecCore,
         BackendSpec::Software,
         BackendSpec::Ttable,
+        BackendSpec::Bitsliced,
     ],
 ];
 
@@ -151,13 +153,15 @@ fn ctr_scaling_improves_monotonically_with_saturated_cores() {
 fn software_and_hardware_farm_members_interleave_cleanly() {
     // A mixed farm shards one ECB job across hardware and software
     // members; the reassembled buffer must still match the reference.
+    // 26 blocks = four 8-block granules less a ragged tail, so the
+    // granule planner still hands every member a share (16/8/2).
     let key = [0x55u8; 16];
     let specs = [
         BackendSpec::EncryptCore,
         BackendSpec::Software,
         BackendSpec::Ttable,
     ];
-    let data: Vec<u8> = (0..11 * 16).map(|i| (i * 13 + 1) as u8).collect();
+    let data: Vec<u8> = (0..26 * 16).map(|i| (i * 13 + 1) as u8).collect();
     let mut eng = Engine::with_farm(&key, &specs, 1);
     eng.try_submit(Mode::EcbEncrypt, data.clone()).unwrap();
     let out = eng.run();
