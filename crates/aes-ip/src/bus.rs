@@ -17,10 +17,6 @@
 //!   bounded cycle slices, so a scheduler can interleave many cores in
 //!   virtual lockstep (the multi-core `engine` crate drives it this way).
 //!
-//! The original panicking [`IpDriver::process_block`] and
-//! [`IpDriver::process_stream`] remain as `#[deprecated]` shims over the
-//! fallible layer; new code should call the `try_*` APIs directly.
-//!
 //! [`HardwareAes`] adapts a driver to the [`rijndael::BlockCipher`] trait
 //! so the software block-mode implementations (CBC, CTR, ...) run
 //! unmodified over the hardware model.
@@ -36,8 +32,7 @@ use crate::datapath::{block_to_u128, u128_to_block};
 /// Failures of the fallible bus streaming APIs.
 ///
 /// Every condition that used to abort the process via `assert!` is reported
-/// through this type instead; the legacy wrappers translate it back into a
-/// panic for callers that opted into the old contract.
+/// through this type instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamError {
     /// The core variant has no datapath for the requested direction
@@ -283,43 +278,6 @@ impl<C: CycleCore> IpDriver<C> {
     ) -> Result<[u8; 16], StreamError> {
         let results = self.try_process_stream(core::slice::from_ref(block), dir)?;
         Ok(results[0])
-    }
-
-    /// Processes one block and blocks until `data_ok`.
-    ///
-    /// Thin wrapper over [`IpDriver::try_process_block`], kept only for
-    /// source compatibility with pre-`StreamError` callers.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any [`StreamError`] (wedged core, unsupported direction,
-    /// busy core).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_process_block` and handle the `StreamError` instead of aborting"
-    )]
-    pub fn process_block(&mut self, block: &[u8; 16], dir: Direction) -> [u8; 16] {
-        self.try_process_block(block, dir)
-            .unwrap_or_else(|e| panic!("process_block: {e}"))
-    }
-
-    /// Processes a stream of blocks, pipelined, returning the processed
-    /// blocks in order.
-    ///
-    /// Thin wrapper over [`IpDriver::try_process_stream`], kept only for
-    /// source compatibility with pre-`StreamError` callers.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any [`StreamError`] (wedged core, unsupported direction,
-    /// busy core, key change mid-stream).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_process_stream` and handle the `StreamError` instead of aborting"
-    )]
-    pub fn process_stream(&mut self, blocks: &[[u8; 16]], dir: Direction) -> Vec<[u8; 16]> {
-        self.try_process_stream(blocks, dir)
-            .unwrap_or_else(|e| panic!("process_stream: {e}"))
     }
 }
 
@@ -676,35 +634,6 @@ mod tests {
             "{err:?}"
         );
         assert!(err.to_string().contains("wedged"), "{err}");
-    }
-
-    // The deprecated shims must keep forwarding to the fallible layer
-    // (and keep their documented panic contract) until they are removed.
-    #[test]
-    #[should_panic(expected = "wedged")]
-    #[allow(deprecated)]
-    fn legacy_stream_wrapper_still_panics_on_wedge() {
-        let mut drv = IpDriver::new(DecryptCore::new());
-        drv.clock(&CoreInputs {
-            setup: true,
-            wr_key: true,
-            din: 7,
-            ..Default::default()
-        });
-        let _ = drv.process_stream(&[[0u8; 16]; 2], Direction::Decrypt);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_wrappers_forward_to_the_fallible_layer() {
-        let mut key = [0u8; 16];
-        key.copy_from_slice(FIPS197_C1.key);
-        let mut drv = IpDriver::new(EncryptCore::new());
-        drv.write_key(&key);
-        let ct = drv.process_block(&FIPS197_C1.plaintext, Direction::Encrypt);
-        assert_eq!(ct, FIPS197_C1.ciphertext);
-        let cts = drv.process_stream(&[FIPS197_C1.plaintext], Direction::Encrypt);
-        assert_eq!(cts, vec![FIPS197_C1.ciphertext]);
     }
 
     #[test]

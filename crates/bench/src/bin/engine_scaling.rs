@@ -7,7 +7,10 @@
 //! counter stream so `k` cores approach `50 / k` wall cycles per block.
 //! The report prints virtual-cycle figures, per-core occupancy and the
 //! projected throughput at the Cyclone clock, and asserts the scaling is
-//! monotone so the binary doubles as a regression check.
+//! monotone so the binary doubles as a regression check. Every figure is
+//! derived from the engine's telemetry snapshot
+//! (`engine::FarmStats::from_snapshot`) — the same counters the service's
+//! `GET_STATS` endpoint serves, with no private metrics path.
 //!
 //! Pass `--smoke` for a tiny workload (CI keeps the binary exercised
 //! without burning time on a full sweep).
@@ -15,12 +18,13 @@
 //! After the virtual-cycle sweep the binary races the three software
 //! backends (specification, T-table, bitsliced) over the same randomized
 //! ECB workload on the host clock, asserts they produce byte-identical
-//! ciphertext, and writes the measurements to `BENCH_bitslice.json`
-//! (path overridable via `BENCH_BITSLICE_JSON`) so future changes can
-//! track the trajectory.
+//! ciphertext, and writes the measurements as a `telemetry/1` JSON
+//! snapshot to `BENCH_bitslice.json` (path overridable via
+//! `BENCH_BITSLICE_JSON`) so future changes can track the trajectory.
 
-use engine::{BackendSpec, Engine, Mode};
+use engine::{BackendSpec, Engine, FarmStats, Mode};
 use std::time::Instant;
+use telemetry::Registry;
 
 /// Table 2 (Cyclone): 9.97 ns clock, rounded to the 10 ns the paper
 /// quotes in the text.
@@ -49,31 +53,32 @@ fn main() {
         let out = eng.run();
         assert!(out[0].data.is_ok(), "CTR job failed: {:?}", out[0].data);
 
-        let m = eng.metrics();
-        let mbps = 128.0 / (m.cycles_per_block * CYCLONE_CLOCK_NS) * 1000.0;
+        // The same snapshot the service's GET_STATS endpoint would serve.
+        let s = FarmStats::from_snapshot(&eng.snapshot());
+        let mbps = 128.0 / (s.cycles_per_block() * CYCLONE_CLOCK_NS) * 1000.0;
         println!(
             "{:<6} {:>8} {:>12} {:>14.2} {:>11.1}% {:>7.0} Mbps",
             cores,
-            m.total_blocks,
-            m.wall_cycles,
-            m.cycles_per_block,
-            m.min_occupancy_pct(),
+            s.total_blocks(),
+            s.wall_cycles(),
+            s.cycles_per_block(),
+            s.min_occupancy_pct(),
             mbps,
         );
 
         assert!(
-            m.cycles_per_block < last_cycles_per_block,
+            s.cycles_per_block() < last_cycles_per_block,
             "{cores} cores must beat {} (got {:.2} vs {:.2} cycles/block)",
             cores - 1,
-            m.cycles_per_block,
+            s.cycles_per_block(),
             last_cycles_per_block,
         );
         assert!(
-            m.min_occupancy_pct() >= 90.0,
+            s.min_occupancy_pct() >= 90.0,
             "cores must stay >= 90% occupied at saturation, got {:.1}%",
-            m.min_occupancy_pct(),
+            s.min_occupancy_pct(),
         );
-        last_cycles_per_block = m.cycles_per_block;
+        last_cycles_per_block = s.cycles_per_block();
     }
 
     println!("\nscaling is monotone and every core stayed >= 90% occupied");
@@ -83,7 +88,7 @@ fn main() {
 
 /// Races the software backends over one randomized ECB workload on the
 /// host clock, proves they agree byte-for-byte, and emits the JSON
-/// trajectory file.
+/// trajectory file in the `telemetry/1` snapshot schema.
 fn software_backend_race(key: &[u8; 16], smoke: bool) {
     let n: usize = if smoke { 512 } else { 10_000 };
     let payload = random_blocks(n);
@@ -92,6 +97,11 @@ fn software_backend_race(key: &[u8; 16], smoke: bool) {
     println!("{:<16} {:>14} {:>12}", "backend", "ns/block", "speedup");
     println!("{}", "-".repeat(44));
 
+    // The trajectory file is a telemetry snapshot like every other stats
+    // surface in the workspace: the engines publish their block counters
+    // into this registry, and the host-clock measurements ride along as
+    // bench.* instruments.
+    let race = Registry::new();
     let mut results: Vec<(&str, f64)> = Vec::new();
     let mut outputs: Vec<Vec<u8>> = Vec::new();
     for spec in [
@@ -99,7 +109,11 @@ fn software_backend_race(key: &[u8; 16], smoke: bool) {
         BackendSpec::Ttable,
         BackendSpec::Bitsliced,
     ] {
-        let mut eng = Engine::with_farm(key, &[spec], 2);
+        let mut eng = engine::EngineBuilder::new()
+            .core(spec)
+            .capacity(2)
+            .registry(race.clone())
+            .build(key);
         let job = payload.clone();
         let start = Instant::now();
         eng.try_submit(Mode::EcbEncrypt, job)
@@ -113,7 +127,10 @@ fn software_backend_race(key: &[u8; 16], smoke: bool) {
             .data
             .expect("ECB job succeeded");
         let ns_per_block = elapsed.as_nanos() as f64 / n as f64;
-        results.push((spec_name(spec), ns_per_block));
+        let name = spec_name(spec);
+        race.counter(&format!("bench.race.{name}.ns_per_block"))
+            .add(ns_per_block.round() as u64);
+        results.push((name, ns_per_block));
         outputs.push(data);
     }
 
@@ -131,16 +148,13 @@ fn software_backend_race(key: &[u8; 16], smoke: bool) {
     let speedup = results[1].1 / results[2].1;
     println!("bitsliced vs t-table: {speedup:.2}x");
 
-    let backends_json = results
-        .iter()
-        .map(|(name, ns)| format!("{{\"name\":\"{name}\",\"ns_per_block\":{ns:.1}}}"))
-        .collect::<Vec<_>>()
-        .join(",");
-    let doc = format!(
-        "{{\"suite\":\"engine_scaling\",\"smoke\":{smoke},\"blocks\":{n},\
-         \"backends\":[{backends_json}],\
-         \"speedup_bitsliced_vs_ttable\":{speedup:.3},\"agree\":true}}"
-    );
+    race.counter("bench.race.blocks").add(n as u64);
+    race.gauge("bench.race.smoke").set(i64::from(smoke));
+    race.gauge("bench.race.agree").set(1);
+    race.counter("bench.race.speedup_bitsliced_vs_ttable_x1000")
+        .add((speedup * 1000.0).round() as u64);
+
+    let doc = race.snapshot().to_json();
     let path =
         std::env::var("BENCH_BITSLICE_JSON").unwrap_or_else(|_| "BENCH_bitslice.json".to_string());
     match std::fs::write(&path, &doc) {

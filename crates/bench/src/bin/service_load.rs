@@ -5,7 +5,10 @@
 //!
 //! Unlike `engine_scaling` (virtual cycles from the cycle-accurate
 //! models), this measures the deployed system end to end: TCP framing,
-//! session dispatch, worker threads and the engine itself. Set
+//! session dispatch, worker threads and the engine itself. After each
+//! run it audits the server over the wire: `GET_STATS` must report
+//! exactly the per-opcode request counts the run generated, and the
+//! JSON must match the in-process registry snapshot. Set
 //! `TESTKIT_BENCH_SMOKE=1` (or pass `--smoke`) for a tiny workload so
 //! CI keeps the binary exercised.
 
@@ -77,6 +80,33 @@ fn run_load(
         latencies.extend(report.latencies);
     }
     let elapsed = started.elapsed();
+
+    // Cross-check the server's own books over the wire: GET_STATS must
+    // report exactly the requests this run just made, and the JSON it
+    // returns is the same snapshot the in-process registry yields — one
+    // counter path end to end.
+    let mut auditor = Client::connect(addr).expect("connect for stats");
+    let stats_json = auditor.stats().expect("GET_STATS");
+    let expected = (clients * requests_per_client) as u64;
+    let snap = server.registry().snapshot();
+    assert_eq!(
+        snap.counter("service.op.ctr_apply.requests"),
+        Some(expected),
+        "server must count every CTR request"
+    );
+    assert_eq!(
+        snap.counter("service.op.set_key.requests"),
+        Some(clients as u64)
+    );
+    let needle = format!(
+        "{{\"name\":\"service.op.ctr_apply.requests\",\"type\":\"counter\",\"value\":{expected}}}"
+    );
+    assert!(
+        stats_json.contains(&needle),
+        "GET_STATS JSON must carry the same tally: missing {needle}"
+    );
+    drop(auditor);
+
     server.shutdown();
     latencies.sort_unstable();
     (elapsed, bytes, latencies)

@@ -9,12 +9,23 @@
 //!   devices (encrypt / decrypt / combined, behind their cycle-accurate
 //!   bus drivers) and two software implementations ([`rijndael::Aes128`],
 //!   the T-table variant) behind one fallible, cost-accounted face;
-//! * [`scheduler`] — the [`Engine`]: a bounded job queue with
-//!   backpressure ([`Engine::try_submit`] returns [`SubmitError::Busy`]),
-//!   sharding of parallel modes (ECB, CTR) across every capable core, and
-//!   single-core routing for chained modes (CBC, CFB, OFB);
-//! * [`metrics`] — per-core and farm-aggregate counters (blocks, cycles,
-//!   occupancy, cycles/block) for Table-2-style throughput reports.
+//! * [`scheduler`] — the [`Engine`], assembled by [`EngineBuilder`]: a
+//!   bounded job queue with backpressure ([`Engine::try_submit`] returns
+//!   [`SubmitError::Busy`]), sharding of parallel modes (ECB, CTR) across
+//!   every capable core, and single-core routing for chained modes (CBC,
+//!   CFB, OFB) through the object-safe [`rijndael::Mode`] trait;
+//! * [`stats`] — [`FarmStats`]: Table-2-style per-core and farm-aggregate
+//!   figures (blocks, cycles, occupancy, cycles/block) derived from the
+//!   telemetry snapshot rather than a private counter path;
+//! * [`error`] — the unified [`Error`] hierarchy folding submission
+//!   rejections and job faults into one `std::error::Error` type.
+//!
+//! Every engine publishes its activity into a [`telemetry::Registry`]
+//! (its own, or a shared one passed to [`EngineBuilder::registry`]):
+//! per-core counters under `engine.core.<index>.<backend>.<field>`,
+//! submit/completion counters, queue-depth gauges, and latency/occupancy
+//! histograms. Benches and the service's `GET_STATS` endpoint read the
+//! same snapshots.
 //!
 //! Hardware time is virtual: every core carries its own cycle counter,
 //! the cores clock concurrently, and farm wall time is the maximum over
@@ -35,21 +46,23 @@
 //! let outputs = farm.run();
 //! assert!(outputs[0].data.is_ok());
 //!
-//! let m = farm.metrics();
-//! assert_eq!(m.total_blocks, 64);
+//! let s = farm.stats();
+//! assert_eq!(s.total_blocks(), 64);
 //! // 16 blocks per core, pipelined: far below 50 cycles/block aggregate.
-//! assert!(m.cycles_per_block < 50.0 / 3.0);
+//! assert!(s.cycles_per_block() < 50.0 / 3.0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;
-pub mod metrics;
+pub mod error;
 pub mod scheduler;
+pub mod stats;
 
 pub use crate::backend::{
     Backend, BackendError, BackendSpec, BitslicedBackend, IpCoreBackend, SoftwareBackend,
 };
-pub use crate::metrics::{CoreMetrics, EngineMetrics};
-pub use crate::scheduler::{Engine, JobError, JobId, JobOutput, Mode, SubmitError};
+pub use crate::error::Error;
+pub use crate::scheduler::{Engine, EngineBuilder, JobError, JobId, JobOutput, Mode, SubmitError};
+pub use crate::stats::{CoreStats, FarmStats};

@@ -8,24 +8,47 @@
 //! core (each core pipelines its share through the decoupled bus at one
 //! block per latency period) and routes chained modes — where block `i+1`
 //! depends on block `i` — to the single least-loaded capable core.
+//! Chained streams run through the object-safe [`rijndael::Mode`] trait,
+//! the same dynamic surface the service uses, over a per-job adapter that
+//! presents the chosen backend as a [`BlockCipher`].
 //!
 //! Submission is backpressured: the queue is bounded and
 //! [`Engine::try_submit`] returns [`SubmitError::Busy`] instead of
 //! growing without limit, mirroring the `data_ok` handshake one level up.
+//!
+//! Engines are built with [`EngineBuilder`] and publish their activity
+//! into a [`telemetry::Registry`] — their own private one by default, or
+//! a shared one via [`EngineBuilder::registry`] so several engines (e.g.
+//! one per service session) aggregate into a single snapshot. Per-core
+//! counters live under `engine.core.<index>.<backend>.<field>` and are
+//! pushed as *deltas* from the backends' own cycle counters, so shared
+//! instruments sum coherently; [`FarmStats::from_snapshot`] turns any
+//! snapshot back into Table-2 figures.
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 
 use aes_ip::core::Direction;
-use rijndael::modes::{Cbc, Cfb, Ctr, Ofb};
+use rijndael::modes::{Cbc, Cfb, Ctr, Iv, Ofb};
 use rijndael::BlockCipher;
+use telemetry::{Counter, Gauge, Histogram, Registry, Snapshot};
 
 use crate::backend::{Backend, BackendError, BackendSpec};
-use crate::metrics::{CoreMetrics, EngineMetrics};
+use crate::stats::FarmStats;
 
 /// AES block size in bytes.
 const BLOCK: usize = 16;
+
+/// Bucket bounds for the `engine.job.latency_cycles` histogram:
+/// geometric steps from about one block period up past 2500 blocks.
+const LATENCY_BOUNDS: [u64; 12] = [
+    64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072,
+];
+
+/// Bucket bounds for the `engine.core.occupancy_bp` histogram: datapath
+/// occupancy in basis points (10000 = fully saturated), deciles.
+const OCCUPANCY_BOUNDS: [u64; 10] = [1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000];
 
 /// A complete cipher-mode operation over one byte buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +159,13 @@ pub enum SubmitError {
         /// The offending buffer length.
         len: usize,
     },
+    /// The IV does not match the cipher's 16-byte block width. Engine
+    /// [`Mode`] carries fixed-width IVs, so this arises only when lifting
+    /// a [`rijndael::Error`] from the dynamic mode surface upstream.
+    BadIv {
+        /// The offending IV length.
+        len: usize,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -146,6 +176,9 @@ impl fmt::Display for SubmitError {
             }
             SubmitError::RaggedLength { len } => {
                 write!(f, "mode requires whole 16-byte blocks, got {len} bytes")
+            }
+            SubmitError::BadIv { len } => {
+                write!(f, "IV must be 16 bytes, got {len}")
             }
         }
     }
@@ -203,6 +236,156 @@ struct QueuedJob {
     data: Vec<u8>,
 }
 
+/// Telemetry handles for one farm slot, plus the last values already
+/// pushed into the registry. The backends own the authoritative counters;
+/// the engine publishes *deltas* so several engines can share one
+/// registry (per-session engines under one service) and the shared
+/// instruments still sum coherently.
+struct CoreTelemetry {
+    blocks: Counter,
+    cycles: Counter,
+    setup_cycles: Counter,
+    busy_cycles: Counter,
+    pushed: Cell<(u64, u64, u64, u64)>,
+}
+
+/// Configures and builds an [`Engine`].
+///
+/// Replaces the old `Engine::new(Vec<Box<dyn Backend>>, capacity)`
+/// constructor: the builder owns farm composition (specs keyed at build
+/// time, or pre-keyed boxed backends), the queue capacity, and the
+/// telemetry [`Registry`] the engine publishes into.
+///
+/// # Examples
+///
+/// ```
+/// use engine::{BackendSpec, EngineBuilder, Mode};
+///
+/// let reg = telemetry::Registry::new();
+/// let mut engine = EngineBuilder::new()
+///     .cores(&[BackendSpec::EncDecCore; 2])
+///     .capacity(4)
+///     .registry(reg.clone())
+///     .build(&[0x2B; 16]);
+/// engine.try_submit(Mode::EcbEncrypt, vec![0; 64]).unwrap();
+/// engine.run();
+/// assert_eq!(reg.snapshot().counter("engine.jobs.completed"), Some(1));
+/// ```
+#[derive(Default)]
+pub struct EngineBuilder {
+    specs: Vec<BackendSpec>,
+    extra: Vec<Box<dyn Backend>>,
+    capacity: Option<usize>,
+    registry: Option<Registry>,
+}
+
+impl EngineBuilder {
+    /// Starts an empty builder (no cores, default capacity 8, private
+    /// registry).
+    #[must_use]
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Adds one farm slot built from `spec` (keyed at [`build`] time; IP
+    /// cores pay their real key-setup cycles there).
+    ///
+    /// [`build`]: EngineBuilder::build
+    #[must_use]
+    pub fn core(mut self, spec: BackendSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Adds one farm slot per spec, in order.
+    #[must_use]
+    pub fn cores(mut self, specs: &[BackendSpec]) -> Self {
+        self.specs.extend_from_slice(specs);
+        self
+    }
+
+    /// Adds an already-keyed backend after the spec-built slots.
+    #[must_use]
+    pub fn backend(mut self, worker: Box<dyn Backend>) -> Self {
+        self.extra.push(worker);
+        self
+    }
+
+    /// Sets the bounded queue capacity (default 8).
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Publishes the engine's instruments into `registry` instead of a
+    /// fresh private one. Engines sharing a registry (and farm layout)
+    /// share instruments; their delta-pushed counters aggregate.
+    #[must_use]
+    pub fn registry(mut self, registry: Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Keys every spec-built slot with `key` and assembles the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty farm or a zero-capacity queue — both would make
+    /// every submission unroutable.
+    #[must_use]
+    pub fn build(self, key: &[u8; 16]) -> Engine {
+        let mut workers: Vec<Box<dyn Backend>> = self.specs.iter().map(|s| s.build(key)).collect();
+        workers.extend(self.extra);
+        assert!(!workers.is_empty(), "an engine needs at least one backend");
+        let capacity = self.capacity.unwrap_or(8);
+        assert!(capacity > 0, "a zero-capacity queue rejects every job");
+        let registry = self.registry.unwrap_or_default();
+        let cores_tel = workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let prefix = format!("engine.core.{i}.{}", w.name());
+                CoreTelemetry {
+                    blocks: registry.counter(&format!("{prefix}.blocks")),
+                    cycles: registry.counter(&format!("{prefix}.cycles")),
+                    setup_cycles: registry.counter(&format!("{prefix}.setup_cycles")),
+                    busy_cycles: registry.counter(&format!("{prefix}.busy_cycles")),
+                    pushed: Cell::new((0, 0, 0, 0)),
+                }
+            })
+            .collect();
+        registry.gauge("engine.queue.capacity").set(capacity as i64);
+        Engine {
+            queue: VecDeque::new(),
+            capacity,
+            next_id: 0,
+            cores_tel,
+            submit_accepted: registry.counter("engine.submit.accepted"),
+            submit_busy: registry.counter("engine.submit.busy"),
+            submit_ragged: registry.counter("engine.submit.ragged"),
+            jobs_completed: registry.counter("engine.jobs.completed"),
+            jobs_failed: registry.counter("engine.jobs.failed"),
+            queue_depth: registry.gauge("engine.queue.depth"),
+            job_latency: registry.histogram("engine.job.latency_cycles", &LATENCY_BOUNDS),
+            occupancy_bp: registry.histogram("engine.core.occupancy_bp", &OCCUPANCY_BOUNDS),
+            registry,
+            workers,
+        }
+    }
+}
+
+impl fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("specs", &self.specs)
+            .field("extra", &self.extra.len())
+            .field("capacity", &self.capacity)
+            .field("shared_registry", &self.registry.is_some())
+            .finish()
+    }
+}
+
 /// Multi-core throughput engine: a farm of backends, a bounded job
 /// queue, and the shard/route scheduler.
 ///
@@ -227,32 +410,28 @@ pub struct Engine {
     queue: VecDeque<QueuedJob>,
     capacity: usize,
     next_id: u64,
+    registry: Registry,
+    cores_tel: Vec<CoreTelemetry>,
+    submit_accepted: Counter,
+    submit_busy: Counter,
+    submit_ragged: Counter,
+    jobs_completed: Counter,
+    jobs_failed: Counter,
+    queue_depth: Gauge,
+    job_latency: Histogram,
+    occupancy_bp: Histogram,
 }
 
 impl Engine {
-    /// Builds an engine over an explicit set of already-keyed backends.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty farm or a zero-capacity queue — both would make
-    /// every submission unroutable.
-    #[must_use]
-    pub fn new(workers: Vec<Box<dyn Backend>>, capacity: usize) -> Self {
-        assert!(!workers.is_empty(), "an engine needs at least one backend");
-        assert!(capacity > 0, "a zero-capacity queue rejects every job");
-        Engine {
-            workers,
-            queue: VecDeque::new(),
-            capacity,
-            next_id: 0,
-        }
-    }
-
-    /// Builds a farm from `specs`, loading `key` into every member (IP
-    /// cores pay their real key-setup cycles here).
+    /// Builds a farm from `specs` with a private registry, loading `key`
+    /// into every member (IP cores pay their real key-setup cycles here).
+    /// Shorthand for the common [`EngineBuilder`] case.
     #[must_use]
     pub fn with_farm(key: &[u8; 16], specs: &[BackendSpec], capacity: usize) -> Self {
-        Engine::new(specs.iter().map(|s| s.build(key)).collect(), capacity)
+        EngineBuilder::new()
+            .cores(specs)
+            .capacity(capacity)
+            .build(key)
     }
 
     /// Number of farm slots.
@@ -273,6 +452,12 @@ impl Engine {
         self.capacity
     }
 
+    /// The registry this engine publishes into.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// Enqueues a mode operation over `data`, applying backpressure.
     ///
     /// # Errors
@@ -282,13 +467,17 @@ impl Engine {
     ///   number of blocks (caught here, before the job holds a slot).
     pub fn try_submit(&mut self, mode: Mode, data: Vec<u8>) -> Result<JobId, SubmitError> {
         if self.queue.len() >= self.capacity {
+            self.submit_busy.incr();
             return Err(SubmitError::Busy {
                 capacity: self.capacity,
             });
         }
         if mode.requires_full_blocks() && !data.len().is_multiple_of(BLOCK) {
+            self.submit_ragged.incr();
             return Err(SubmitError::RaggedLength { len: data.len() });
         }
+        self.submit_accepted.incr();
+        self.queue_depth.add(1);
         let id = JobId(self.next_id);
         self.next_id += 1;
         self.queue.push_back(QueuedJob { id, mode, data });
@@ -300,47 +489,69 @@ impl Engine {
     /// batch still runs.
     pub fn run(&mut self) -> Vec<JobOutput> {
         let mut outputs = Vec::with_capacity(self.queue.len());
+        let mut before = vec![0u64; self.workers.len()];
         while let Some(job) = self.queue.pop_front() {
+            self.queue_depth.sub(1);
+            for (b, w) in before.iter_mut().zip(&self.workers) {
+                *b = w.cycles();
+            }
             let QueuedJob { id, mode, mut data } = job;
-            let data = match self.dispatch(mode, &mut data) {
-                Ok(()) => Ok(data),
-                Err(e) => Err(e),
+            let result = self.dispatch(mode, &mut data);
+            // Submit-to-complete latency in virtual time: the cores clock
+            // concurrently, so the job takes as long as its slowest share.
+            let latency = self
+                .workers
+                .iter()
+                .zip(&before)
+                .map(|(w, b)| w.cycles().saturating_sub(*b))
+                .max()
+                .unwrap_or(0);
+            self.job_latency.record(latency);
+            let data = match result {
+                Ok(()) => {
+                    self.jobs_completed.incr();
+                    Ok(data)
+                }
+                Err(e) => {
+                    self.jobs_failed.incr();
+                    Err(e)
+                }
             };
             outputs.push(JobOutput { id, data });
         }
+        self.sync_telemetry();
         outputs
     }
 
-    /// Snapshots per-core counters and the farm aggregate.
+    /// Pushes each backend's counter growth since the last sync into the
+    /// registry, and samples per-core occupancy over that growth.
+    fn sync_telemetry(&self) {
+        for (w, t) in self.workers.iter().zip(&self.cores_tel) {
+            let now = (w.blocks(), w.cycles(), w.setup_cycles(), w.busy_cycles());
+            let last = t.pushed.replace(now);
+            t.blocks.add(now.0.saturating_sub(last.0));
+            t.cycles.add(now.1.saturating_sub(last.1));
+            t.setup_cycles.add(now.2.saturating_sub(last.2));
+            t.busy_cycles.add(now.3.saturating_sub(last.3));
+            let op_delta = now.1.saturating_sub(last.1) - now.2.saturating_sub(last.2);
+            let busy_delta = now.3.saturating_sub(last.3);
+            if let Some(bp) = busy_delta.saturating_mul(10_000).checked_div(op_delta) {
+                self.occupancy_bp.record(bp);
+            }
+        }
+    }
+
+    /// Captures the registry after syncing this engine's core counters.
     #[must_use]
-    pub fn metrics(&self) -> EngineMetrics {
-        let per_core = self
-            .workers
-            .iter()
-            .map(|w| {
-                let operation_cycles = w.cycles().saturating_sub(w.setup_cycles());
-                let occupancy_pct = if operation_cycles == 0 {
-                    100.0
-                } else {
-                    100.0 * w.busy_cycles() as f64 / operation_cycles as f64
-                };
-                let cycles_per_block = if w.blocks() == 0 {
-                    0.0
-                } else {
-                    operation_cycles as f64 / w.blocks() as f64
-                };
-                CoreMetrics {
-                    name: w.name(),
-                    blocks: w.blocks(),
-                    cycles: w.cycles(),
-                    operation_cycles,
-                    busy_cycles: w.busy_cycles(),
-                    occupancy_pct,
-                    cycles_per_block,
-                }
-            })
-            .collect();
-        EngineMetrics::from_cores(per_core)
+    pub fn snapshot(&self) -> Snapshot {
+        self.sync_telemetry();
+        self.registry.snapshot()
+    }
+
+    /// Table-2-style farm figures derived from [`Engine::snapshot`].
+    #[must_use]
+    pub fn stats(&self) -> FarmStats {
+        FarmStats::from_snapshot(&self.snapshot())
     }
 
     /// Indices of workers that can process `dir`.
@@ -359,21 +570,11 @@ impl Engine {
         match mode {
             Mode::EcbEncrypt | Mode::EcbDecrypt => self.run_ecb(&eligible, dir, data),
             Mode::Ctr(nonce) => self.run_ctr(&eligible, &nonce, data),
-            Mode::CbcEncrypt(iv) => self.run_chained(&eligible, dir, data, |c, d| {
-                Cbc::encrypt(c, &iv, d).expect("length validated at submission");
-            }),
-            Mode::CbcDecrypt(iv) => self.run_chained(&eligible, dir, data, |c, d| {
-                Cbc::decrypt(c, &iv, d).expect("length validated at submission");
-            }),
-            Mode::CfbEncrypt(iv) => self.run_chained(&eligible, dir, data, |c, d| {
-                Cfb::encrypt(c, &iv, d);
-            }),
-            Mode::CfbDecrypt(iv) => self.run_chained(&eligible, dir, data, |c, d| {
-                Cfb::decrypt(c, &iv, d);
-            }),
-            Mode::Ofb(iv) => self.run_chained(&eligible, dir, data, |c, d| {
-                Ofb::apply(c, &iv, d);
-            }),
+            Mode::CbcEncrypt(iv) => self.run_chained(&eligible, &Cbc, &Iv::from(iv), true, data),
+            Mode::CbcDecrypt(iv) => self.run_chained(&eligible, &Cbc, &Iv::from(iv), false, data),
+            Mode::CfbEncrypt(iv) => self.run_chained(&eligible, &Cfb, &Iv::from(iv), true, data),
+            Mode::CfbDecrypt(iv) => self.run_chained(&eligible, &Cfb, &Iv::from(iv), false, data),
+            Mode::Ofb(iv) => self.run_chained(&eligible, &Ofb, &Iv::from(iv), true, data),
         }
     }
 
@@ -468,24 +669,33 @@ impl Engine {
     }
 
     /// Chained modes: block `i+1` depends on block `i`, so the whole
-    /// stream goes to the single least-loaded eligible core.
+    /// stream goes to the single least-loaded eligible core, driven
+    /// through the object-safe [`rijndael::Mode`] trait.
     fn run_chained(
         &mut self,
         eligible: &[usize],
-        _dir: Direction,
+        mode: &dyn rijndael::Mode,
+        iv: &Iv,
+        encrypt: bool,
         data: &mut [u8],
-        op: impl FnOnce(&BackendCipher<'_>, &mut [u8]),
     ) -> Result<(), JobError> {
         let w = *eligible
             .iter()
             .min_by_key(|&&i| self.workers[i].cycles())
             .expect("eligible is non-empty");
         let adapter = BackendCipher::new(self.workers[w].as_mut());
-        op(&adapter, data);
-        match adapter.fault() {
-            Some(e) => Err(e.into()),
-            None => Ok(()),
+        let result = if encrypt {
+            mode.encrypt_in_place(&adapter, iv, data)
+        } else {
+            mode.decrypt_in_place(&adapter, iv, data)
+        };
+        // A backend fault trumps the mode result: the mode layer saw
+        // stale bytes after the latched fault, not an input problem.
+        if let Some(e) = adapter.fault() {
+            return Err(e.into());
         }
+        result.expect("mode inputs validated at submission");
+        Ok(())
     }
 }
 
@@ -499,9 +709,21 @@ impl fmt::Debug for Engine {
     }
 }
 
+impl Drop for Engine {
+    /// Returns queued-but-never-run jobs to the depth gauge and pushes
+    /// the final counter deltas, so a shared registry stays coherent
+    /// after per-session engines come and go.
+    fn drop(&mut self) {
+        if !self.queue.is_empty() {
+            self.queue_depth.sub(self.queue.len() as i64);
+        }
+        self.sync_telemetry();
+    }
+}
+
 /// Adapts one `&mut dyn Backend` to the shared-reference [`BlockCipher`]
-/// trait the mode implementations expect. The modes are infallible, so a
-/// backend fault is latched here: the first error is recorded, later
+/// trait the mode implementations expect. The modes never see errors, so
+/// a backend fault is latched here: the first error is recorded, later
 /// blocks are skipped, and the caller checks [`BackendCipher::fault`]
 /// after the mode pass.
 struct BackendCipher<'a> {
@@ -604,8 +826,8 @@ mod tests {
         assert_eq!(out[0].data.as_ref().unwrap(), &expected);
 
         // All three cores took part: one full 8-block granule each.
-        let m = engine.metrics();
-        let blocks: Vec<u64> = m.per_core.iter().map(|c| c.blocks).collect();
+        let s = engine.stats();
+        let blocks: Vec<u64> = s.per_core.iter().map(|c| c.blocks).collect();
         assert_eq!(blocks, vec![8, 8, 8]);
     }
 
@@ -665,7 +887,7 @@ mod tests {
 
             // Exactly one core did all the work.
             let active = engine
-                .metrics()
+                .stats()
                 .per_core
                 .iter()
                 .filter(|c| c.blocks > 0)
@@ -786,12 +1008,16 @@ mod tests {
         assert_eq!(out[0].data.as_ref().unwrap(), &enc);
         assert_eq!(out[1].data.as_ref().unwrap(), &dec);
 
-        let m = engine.metrics();
+        let s = engine.stats();
         // The encrypt job shards over {ip-encrypt, soft-ref}, the decrypt
         // job over {ip-decrypt, soft-ref}. Six blocks fit inside a single
         // 8-block granule, so the granule planner hands the whole job to
         // the first eligible core and the software core stays idle.
-        let by_name: Vec<(&str, u64)> = m.per_core.iter().map(|c| (c.name, c.blocks)).collect();
+        let by_name: Vec<(&str, u64)> = s
+            .per_core
+            .iter()
+            .map(|c| (c.name.as_str(), c.blocks))
+            .collect();
         assert_eq!(
             by_name,
             vec![("ip-encrypt", 6), ("ip-decrypt", 6), ("soft-ref", 0)]
@@ -808,23 +1034,23 @@ mod tests {
                 .try_submit(Mode::Ctr([9; 16]), sample(blocks * 16))
                 .unwrap();
             engine.run();
-            let m = engine.metrics();
-            assert_eq!(m.total_blocks, blocks as u64);
+            let s = engine.stats();
+            assert_eq!(s.total_blocks(), blocks as u64);
             // Each core's share costs 1 load edge + 50/block; shares are
             // dealt in 8-block granules (64 blocks = 8 granules).
             let biggest_share = (blocks.div_ceil(8).div_ceil(cores) * 8) as u64;
-            assert_eq!(m.wall_cycles, 1 + biggest_share * LATENCY_CYCLES);
+            assert_eq!(s.wall_cycles(), 1 + biggest_share * LATENCY_CYCLES);
             assert!(
-                m.wall_cycles < last,
+                s.wall_cycles() < last,
                 "{cores} cores must beat {}",
                 cores - 1
             );
             assert!(
-                m.min_occupancy_pct() >= 90.0,
+                s.min_occupancy_pct() >= 90.0,
                 "cores must stay saturated, got {:.1}%",
-                m.min_occupancy_pct()
+                s.min_occupancy_pct()
             );
-            last = m.wall_cycles;
+            last = s.wall_cycles();
         }
     }
 
@@ -840,9 +1066,9 @@ mod tests {
             .try_submit(Mode::CbcEncrypt([0; 16]), sample(4 * 16))
             .unwrap();
         engine.run();
-        let m = engine.metrics();
-        assert_eq!(m.per_core[0].blocks, 4);
-        assert_eq!(m.per_core[1].blocks, 4);
+        let s = engine.stats();
+        assert_eq!(s.per_core[0].blocks, 4);
+        assert_eq!(s.per_core[1].blocks, 4);
     }
 
     #[test]
@@ -858,7 +1084,7 @@ mod tests {
         for out in engine.run() {
             assert_eq!(out.data.unwrap(), Vec::<u8>::new());
         }
-        assert_eq!(engine.metrics().total_blocks, 0);
+        assert_eq!(engine.stats().total_blocks(), 0);
     }
 
     #[test]
@@ -881,9 +1107,150 @@ mod tests {
         assert!(SubmitError::RaggedLength { len: 17 }
             .to_string()
             .contains("17"));
+        assert!(SubmitError::BadIv { len: 4 }.to_string().contains("4"));
         let e = JobError::NoCapableCore {
             dir: Direction::Decrypt,
         };
         assert_eq!(e.to_string(), "no core in the farm can decrypt");
+    }
+
+    #[test]
+    fn builder_publishes_every_instrument_into_a_shared_registry() {
+        let reg = Registry::new();
+        let mut engine = EngineBuilder::new()
+            .cores(&[BackendSpec::EncryptCore; 2])
+            .capacity(1)
+            .registry(reg.clone())
+            .build(&KEY);
+        engine.try_submit(Mode::EcbEncrypt, sample(8 * 16)).unwrap();
+        // Queue full: the rejection is counted, and the accepted job is
+        // visible on the depth gauge before run() drains it.
+        assert_eq!(
+            engine.try_submit(Mode::EcbEncrypt, sample(16)),
+            Err(SubmitError::Busy { capacity: 1 })
+        );
+        assert_eq!(
+            engine.try_submit(Mode::EcbEncrypt, sample(17)),
+            Err(SubmitError::Busy { capacity: 1 })
+        );
+        assert_eq!(reg.snapshot().gauge("engine.queue.depth"), Some(1));
+        engine.run();
+
+        let snap = engine.snapshot();
+        assert_eq!(snap.counter("engine.submit.accepted"), Some(1));
+        assert_eq!(snap.counter("engine.submit.busy"), Some(2));
+        assert_eq!(snap.counter("engine.submit.ragged"), Some(0));
+        assert_eq!(snap.counter("engine.jobs.completed"), Some(1));
+        assert_eq!(snap.counter("engine.jobs.failed"), Some(0));
+        assert_eq!(snap.gauge("engine.queue.depth"), Some(0));
+        assert_eq!(snap.gauge("engine.queue.capacity"), Some(1));
+
+        // Latency: 8 blocks on one core = 1 load edge + 8 × 50 cycles.
+        let lat = snap.histogram("engine.job.latency_cycles").unwrap();
+        assert_eq!((lat.count, lat.sum), (1, 1 + 8 * LATENCY_CYCLES));
+        // One occupancy sample per core that moved cycles this sync.
+        assert!(snap.histogram("engine.core.occupancy_bp").unwrap().count >= 1);
+
+        // Per-core counters reassemble into the same farm stats, via the
+        // engine accessor and via the shared registry alike.
+        let stats = FarmStats::from_snapshot(&snap);
+        assert_eq!(stats.total_blocks(), 8);
+        assert_eq!(stats.per_core.len(), 2);
+        assert_eq!(engine.registry().snapshot().counter_sum("engine.core."), {
+            snap.counter_sum("engine.core.")
+        });
+    }
+
+    #[test]
+    fn ragged_submissions_are_counted() {
+        let mut engine = Engine::with_farm(&KEY, &[BackendSpec::Software], 2);
+        let _ = engine.try_submit(Mode::EcbEncrypt, sample(17));
+        assert_eq!(engine.snapshot().counter("engine.submit.ragged"), Some(1));
+    }
+
+    #[test]
+    fn failed_jobs_count_separately_from_completed_ones() {
+        let mut engine = Engine::with_farm(&KEY, &[BackendSpec::EncryptCore], 4);
+        engine.try_submit(Mode::EcbDecrypt, sample(16)).unwrap();
+        engine.try_submit(Mode::EcbEncrypt, sample(16)).unwrap();
+        engine.run();
+        let snap = engine.snapshot();
+        assert_eq!(snap.counter("engine.jobs.failed"), Some(1));
+        assert_eq!(snap.counter("engine.jobs.completed"), Some(1));
+    }
+
+    #[test]
+    fn engines_sharing_a_registry_aggregate_core_counters() {
+        let reg = Registry::new();
+        for _ in 0..2 {
+            let mut e = EngineBuilder::new()
+                .core(BackendSpec::Software)
+                .capacity(2)
+                .registry(reg.clone())
+                .build(&KEY);
+            e.try_submit(Mode::EcbEncrypt, sample(4 * 16)).unwrap();
+            e.run();
+        }
+        // Same farm layout, same instrument names: the two engines'
+        // delta-pushed counters sum instead of clobbering each other.
+        let stats = FarmStats::from_snapshot(&reg.snapshot());
+        assert_eq!(stats.total_blocks(), 8);
+        assert_eq!(reg.snapshot().counter("engine.jobs.completed"), Some(2));
+    }
+
+    #[test]
+    fn dropping_an_engine_with_queued_jobs_restores_the_depth_gauge() {
+        let reg = Registry::new();
+        {
+            let mut engine = EngineBuilder::new()
+                .core(BackendSpec::Software)
+                .capacity(4)
+                .registry(reg.clone())
+                .build(&KEY);
+            engine.try_submit(Mode::Ctr([0; 16]), sample(5)).unwrap();
+            engine.try_submit(Mode::Ctr([0; 16]), sample(5)).unwrap();
+            assert_eq!(reg.snapshot().gauge("engine.queue.depth"), Some(2));
+        }
+        assert_eq!(reg.snapshot().gauge("engine.queue.depth"), Some(0));
+    }
+
+    #[test]
+    fn prekeyed_backends_join_after_spec_built_slots() {
+        let soft = BackendSpec::Software.build(&KEY);
+        let mut engine = EngineBuilder::new()
+            .core(BackendSpec::EncryptCore)
+            .backend(soft)
+            .capacity(2)
+            .build(&KEY);
+        assert_eq!(engine.cores(), 2);
+        engine
+            .try_submit(Mode::EcbEncrypt, sample(16 * 16))
+            .unwrap();
+        assert!(engine.run()[0].data.is_ok());
+        let names: Vec<String> = engine
+            .stats()
+            .per_core
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["ip-encrypt".to_string(), "soft-ref".to_string()]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn builder_panics_on_an_empty_farm() {
+        let _ = EngineBuilder::new().build(&KEY);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn builder_panics_on_a_zero_capacity_queue() {
+        let _ = EngineBuilder::new()
+            .core(BackendSpec::Software)
+            .capacity(0)
+            .build(&KEY);
     }
 }

@@ -651,6 +651,7 @@ impl Bitsliced8 {
     }
 
     fn process(&self, blocks: &mut [[u8; 16]], decrypt: bool) {
+        lane_stats().record(blocks.len());
         let run = |chunk: &mut [[u8; 16]]| {
             if decrypt {
                 decrypt_pass::<Wide>(&self.rk, chunk);
@@ -680,6 +681,52 @@ impl Bitsliced8 {
             tail.copy_from_slice(&padded[..tail.len()]);
         }
     }
+}
+
+/// Which implementation backs the wide lane on this build: AVX2 when the
+/// target statically enables it, the portable `[u64; 4]` quad otherwise.
+pub const WIDE_LANE: &str = if cfg!(all(target_arch = "x86_64", target_feature = "avx2")) {
+    "avx2"
+} else {
+    "quad"
+};
+
+/// Global-registry counters for the lane split of [`Bitsliced8::process`]:
+/// `rijndael.bitslice.lane.wide.blocks` counts blocks that rode a full
+/// [`WIDE`] pass (the `avx2`/`quad` plane — see
+/// `rijndael.bitslice.lane.wide.kind`), `...lane.narrow.blocks` counts
+/// blocks handled by the 8-block `u32` granule path (padded tails count
+/// the real blocks only).
+struct LaneStats {
+    wide: telemetry::Counter,
+    narrow: telemetry::Counter,
+}
+
+impl LaneStats {
+    fn record(&self, blocks: usize) {
+        let wide = blocks - blocks % WIDE;
+        if wide > 0 {
+            self.wide.add(wide as u64);
+        }
+        if blocks > wide {
+            self.narrow.add((blocks - wide) as u64);
+        }
+    }
+}
+
+fn lane_stats() -> &'static LaneStats {
+    static STATS: std::sync::OnceLock<LaneStats> = std::sync::OnceLock::new();
+    STATS.get_or_init(|| {
+        let reg = telemetry::Registry::global();
+        // A gauge has no natural string value, so the lane kind is encoded
+        // in a counter name holding 1 — stable to scrape, zero overhead.
+        reg.counter(&format!("rijndael.bitslice.lane.wide.kind.{WIDE_LANE}"))
+            .incr();
+        LaneStats {
+            wide: reg.counter("rijndael.bitslice.lane.wide.blocks"),
+            narrow: reg.counter("rijndael.bitslice.lane.narrow.blocks"),
+        }
+    })
 }
 
 impl Clone for Bitsliced8 {

@@ -1,0 +1,76 @@
+//! Crate-level error type unifying the mode-layer failure cases.
+//!
+//! The mode implementations historically reported ragged buffers through
+//! [`modes::LengthError`](crate::modes::LengthError) and IV mismatches by
+//! panicking. The object-safe [`Mode`](crate::modes::Mode) surface (used
+//! by the multi-core engine and the TCP service, where inputs arrive from
+//! the wire) reports both through this one enum so callers match a single
+//! type; [`From`] conversions lift the legacy error into it.
+
+use core::fmt;
+
+use crate::modes::LengthError;
+
+/// Unified error for the mode layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The data buffer is not a whole number of cipher blocks (modes that
+    /// require full blocks: ECB, CBC).
+    RaggedLength {
+        /// Offending buffer length.
+        len: usize,
+        /// Required granularity in bytes.
+        block: usize,
+    },
+    /// The IV/nonce length does not match the cipher's block length.
+    BadIv {
+        /// Offending IV length.
+        len: usize,
+        /// Required length in bytes.
+        block: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RaggedLength { len, block } => write!(
+                f,
+                "buffer length {len} is not a multiple of the {block}-byte block"
+            ),
+            Error::BadIv { len, block } => {
+                write!(f, "IV length {len} does not match the {block}-byte block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<LengthError> for Error {
+    fn from(e: LengthError) -> Self {
+        Error::RaggedLength {
+            len: e.len,
+            block: e.block,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion_from_length_error() {
+        let legacy = LengthError { len: 17, block: 16 };
+        let lifted: Error = legacy.into();
+        assert_eq!(lifted, Error::RaggedLength { len: 17, block: 16 });
+        assert_eq!(lifted.to_string(), legacy.to_string());
+        assert!(Error::BadIv { len: 3, block: 16 }
+            .to_string()
+            .contains("IV length 3"));
+        // The std trait object works (source-less leaf error).
+        let boxed: Box<dyn std::error::Error> = Box::new(lifted);
+        assert!(boxed.source().is_none());
+    }
+}

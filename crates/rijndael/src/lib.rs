@@ -19,7 +19,11 @@
 //! * [`bitslice`] — a constant-time bitsliced AES-128 that encrypts many
 //!   blocks per pass through bit-plane arithmetic (no secret-indexed
 //!   loads), the bulk-throughput software backend;
-//! * [`modes`] — block-cipher modes of operation (ECB, CBC, CTR, CFB, OFB);
+//! * [`modes`] — block-cipher modes of operation (ECB, CBC, CTR, CFB, OFB),
+//!   with both monomorphized inherent functions and the object-safe
+//!   [`modes::Mode`] trait the engine and service route through;
+//! * [`error`] — the crate-level [`Error`] the dynamic mode surface
+//!   reports instead of panicking;
 //! * [`trace`] — round-by-round execution traces (used to reproduce the
 //!   paper's Figure 2 and to debug the hardware model);
 //! * [`vectors`] — published known-answer vectors.
@@ -53,6 +57,7 @@ pub mod bitslice;
 pub mod cipher;
 pub mod cmac;
 pub mod diffusion;
+pub mod error;
 pub mod key_schedule;
 pub mod mct;
 pub mod modes;
@@ -66,5 +71,7 @@ pub mod zeroize;
 pub use aes::{Aes128, Aes192, Aes256};
 pub use bitslice::Bitsliced8;
 pub use cipher::{BatchCipher, BlockCipher, Rijndael};
+pub use error::Error;
 pub use key_schedule::KeySchedule;
+pub use modes::{Iv, Mode};
 pub use state::State;

@@ -5,10 +5,26 @@
 //! in a mode. ECB, CBC, CTR, CFB and OFB are provided, generic over the
 //! cipher so the same workload code drives the software reference, the
 //! T-table baseline and the cycle-accurate hardware model.
+//!
+//! Two call surfaces exist:
+//!
+//! * the **generic inherent functions** (`Ecb::encrypt`, `Cbc::decrypt`,
+//!   ...) — monomorphized hot paths, IV mismatches panic;
+//! * the object-safe [`Mode`] **trait** (`&dyn Mode` + [`Iv`]) — the
+//!   dynamic surface the multi-core engine and the TCP service route
+//!   through, where IV and length problems arrive from the wire and are
+//!   reported as [`Error`] values. The trait impls are thin forwarders
+//!   onto the inherent functions, so both surfaces are byte-identical.
+//!
+//! Every mode call also feeds the process-wide telemetry registry
+//! ([`telemetry::Registry::global`]): counters
+//! `rijndael.mode.<name>.blocks` and `rijndael.mode.<name>.bytes` tally
+//! work per mode, one relaxed atomic add per call.
 
 use core::fmt;
 
 use crate::cipher::{BatchCipher, BlockCipher};
+use crate::error::Error;
 
 /// Largest block this crate's ciphers produce (`Rijndael<8>`: 32 bytes).
 /// The chained modes keep their chaining state in fixed stack buffers of
@@ -40,6 +56,352 @@ impl fmt::Display for LengthError {
 }
 
 impl std::error::Error for LengthError {}
+
+/// Global-registry instrumentation for the mode layer: one counter pair
+/// (blocks, bytes) per mode, resolved once per process and cached so the
+/// per-call cost is a relaxed atomic add.
+mod stats {
+    use std::sync::OnceLock;
+    use telemetry::{Counter, Registry};
+
+    pub(super) struct ModeStats {
+        blocks: Counter,
+        bytes: Counter,
+    }
+
+    impl ModeStats {
+        fn new(mode: &str) -> Self {
+            let reg = Registry::global();
+            ModeStats {
+                blocks: reg.counter(&format!("rijndael.mode.{mode}.blocks")),
+                bytes: reg.counter(&format!("rijndael.mode.{mode}.bytes")),
+            }
+        }
+
+        /// Records one mode call over `bytes` bytes of `block`-byte
+        /// blocks (partial final blocks count as one block).
+        #[inline]
+        pub(super) fn record(&self, bytes: usize, block: usize) {
+            self.blocks.add(bytes.div_ceil(block.max(1)) as u64);
+            self.bytes.add(bytes as u64);
+        }
+    }
+
+    macro_rules! mode_stats {
+        ($fn_name:ident, $name:literal) => {
+            pub(super) fn $fn_name() -> &'static ModeStats {
+                static STATS: OnceLock<ModeStats> = OnceLock::new();
+                STATS.get_or_init(|| ModeStats::new($name))
+            }
+        };
+    }
+    mode_stats!(ecb, "ecb");
+    mode_stats!(cbc, "cbc");
+    mode_stats!(ctr, "ctr");
+    mode_stats!(cfb, "cfb");
+    mode_stats!(ofb, "ofb");
+}
+
+/// An IV or nonce handed to the object-safe [`Mode`] surface.
+///
+/// Holds up to 32 bytes inline (the largest block this crate's ciphers
+/// produce), so passing one never allocates. ECB takes [`Iv::empty`];
+/// the chained and counter modes take one cipher block.
+///
+/// # Examples
+///
+/// ```
+/// use rijndael::modes::Iv;
+///
+/// let iv = Iv::from([7u8; 16]);
+/// assert_eq!(iv.as_bytes(), &[7u8; 16]);
+/// assert!(Iv::empty().is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Iv {
+    bytes: [u8; MAX_BLOCK],
+    len: usize,
+}
+
+impl Iv {
+    /// Wraps `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than 32 bytes.
+    #[must_use]
+    pub fn new(bytes: &[u8]) -> Self {
+        assert!(
+            bytes.len() <= MAX_BLOCK,
+            "IV of {} bytes exceeds the {MAX_BLOCK}-byte maximum block",
+            bytes.len()
+        );
+        let mut iv = Iv::default();
+        iv.bytes[..bytes.len()].copy_from_slice(bytes);
+        iv.len = bytes.len();
+        iv
+    }
+
+    /// The zero-length IV (what ECB takes).
+    #[must_use]
+    pub fn empty() -> Self {
+        Iv::default()
+    }
+
+    /// The wrapped bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len]
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bytes are wrapped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl From<[u8; 16]> for Iv {
+    fn from(bytes: [u8; 16]) -> Self {
+        Iv::new(&bytes)
+    }
+}
+
+impl From<&[u8; 16]> for Iv {
+    fn from(bytes: &[u8; 16]) -> Self {
+        Iv::new(bytes)
+    }
+}
+
+/// Validates that `iv` is exactly one cipher block.
+fn check_iv(iv: &Iv, block: usize) -> Result<(), Error> {
+    if iv.len() == block {
+        Ok(())
+    } else {
+        Err(Error::BadIv {
+            len: iv.len(),
+            block,
+        })
+    }
+}
+
+/// Object-safe mode-of-operation surface.
+///
+/// Where the inherent functions are generic (and panic on a bad IV, a
+/// programmer error), the trait works over `&dyn BlockCipher` and reports
+/// every input problem as a [`Error`] value — the right contract for the
+/// engine scheduler and the TCP service, whose IVs and buffers arrive
+/// from the wire. Stream modes (CTR, CFB, OFB) accept any data length;
+/// block modes (ECB, CBC) require whole blocks.
+///
+/// # Examples
+///
+/// ```
+/// use rijndael::Aes128;
+/// use rijndael::modes::{Cbc, Iv, Mode};
+///
+/// let aes = Aes128::new(&[0u8; 16]);
+/// let mode: &dyn Mode = &Cbc;
+/// let iv = Iv::from([9u8; 16]);
+/// let mut data = vec![0u8; 32];
+/// mode.encrypt_in_place(&aes, &iv, &mut data)?;
+/// mode.decrypt_in_place(&aes, &iv, &mut data)?;
+/// assert_eq!(data, vec![0u8; 32]);
+/// # Ok::<(), rijndael::Error>(())
+/// ```
+pub trait Mode {
+    /// Stable lowercase mode name (`"ecb"`, `"cbc"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// `true` when data must be a whole number of cipher blocks.
+    fn requires_full_blocks(&self) -> bool;
+
+    /// Encrypts `data` in place under `iv`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadIv`] when `iv` is not one cipher block (for modes that
+    /// take one); [`Error::RaggedLength`] when a block mode receives a
+    /// ragged buffer.
+    fn encrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error>;
+
+    /// Decrypts `data` in place under `iv`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mode::encrypt_in_place`].
+    fn decrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error>;
+}
+
+impl Mode for Ecb {
+    fn name(&self) -> &'static str {
+        "ecb"
+    }
+
+    fn requires_full_blocks(&self) -> bool {
+        true
+    }
+
+    /// ECB takes no IV; `iv` is ignored.
+    fn encrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        _iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error> {
+        Ecb::encrypt(cipher, data).map_err(Error::from)
+    }
+
+    /// ECB takes no IV; `iv` is ignored.
+    fn decrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        _iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error> {
+        Ecb::decrypt(cipher, data).map_err(Error::from)
+    }
+}
+
+impl Mode for Cbc {
+    fn name(&self) -> &'static str {
+        "cbc"
+    }
+
+    fn requires_full_blocks(&self) -> bool {
+        true
+    }
+
+    fn encrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error> {
+        check_iv(iv, cipher.block_len())?;
+        Cbc::encrypt(cipher, iv.as_bytes(), data).map_err(Error::from)
+    }
+
+    fn decrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error> {
+        check_iv(iv, cipher.block_len())?;
+        Cbc::decrypt(cipher, iv.as_bytes(), data).map_err(Error::from)
+    }
+}
+
+impl Mode for Ctr {
+    fn name(&self) -> &'static str {
+        "ctr"
+    }
+
+    fn requires_full_blocks(&self) -> bool {
+        false
+    }
+
+    fn encrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error> {
+        check_iv(iv, cipher.block_len())?;
+        Ctr::apply(cipher, iv.as_bytes(), data);
+        Ok(())
+    }
+
+    /// CTR decryption is the same keystream XOR as encryption.
+    fn decrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error> {
+        self.encrypt_in_place(cipher, iv, data)
+    }
+}
+
+impl Mode for Cfb {
+    fn name(&self) -> &'static str {
+        "cfb"
+    }
+
+    fn requires_full_blocks(&self) -> bool {
+        false
+    }
+
+    fn encrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error> {
+        check_iv(iv, cipher.block_len())?;
+        Cfb::encrypt(cipher, iv.as_bytes(), data);
+        Ok(())
+    }
+
+    fn decrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error> {
+        check_iv(iv, cipher.block_len())?;
+        Cfb::decrypt(cipher, iv.as_bytes(), data);
+        Ok(())
+    }
+}
+
+impl Mode for Ofb {
+    fn name(&self) -> &'static str {
+        "ofb"
+    }
+
+    fn requires_full_blocks(&self) -> bool {
+        false
+    }
+
+    fn encrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error> {
+        check_iv(iv, cipher.block_len())?;
+        Ofb::apply(cipher, iv.as_bytes(), data);
+        Ok(())
+    }
+
+    /// OFB is involutive: decryption is the same keystream XOR.
+    fn decrypt_in_place(
+        &self,
+        cipher: &dyn BlockCipher,
+        iv: &Iv,
+        data: &mut [u8],
+    ) -> Result<(), Error> {
+        self.encrypt_in_place(cipher, iv, data)
+    }
+}
 
 /// Electronic codebook: each block enciphered independently.
 ///
@@ -79,6 +441,7 @@ impl Ecb {
         for block in data.chunks_exact_mut(bl) {
             cipher.encrypt_in_place(block);
         }
+        stats::ecb().record(data.len(), bl);
         Ok(())
     }
 
@@ -102,6 +465,7 @@ impl Ecb {
         for block in data.chunks_exact_mut(bl) {
             cipher.decrypt_in_place(block);
         }
+        stats::ecb().record(data.len(), bl);
         Ok(())
     }
 
@@ -125,6 +489,7 @@ impl Ecb {
             });
         }
         cipher.encrypt_blocks(blocks);
+        stats::ecb().record(blocks.len() * 16, 16);
         Ok(())
     }
 
@@ -146,6 +511,7 @@ impl Ecb {
             });
         }
         cipher.decrypt_blocks(blocks);
+        stats::ecb().record(blocks.len() * 16, 16);
         Ok(())
     }
 }
@@ -189,6 +555,7 @@ impl Cbc {
             cipher.encrypt_in_place(block);
             chain[..bl].copy_from_slice(block);
         }
+        stats::cbc().record(data.len(), bl);
         Ok(())
     }
 
@@ -228,6 +595,7 @@ impl Cbc {
             }
             core::mem::swap(&mut chain, &mut next_chain);
         }
+        stats::cbc().record(data.len(), bl);
         Ok(())
     }
 }
@@ -304,6 +672,7 @@ impl Ctr {
             }
             counter_add(&mut counter_block[..bl], 1);
         }
+        stats::ctr().record(data.len(), bl);
     }
 
     /// XORs the keystream into `data` through the cipher's batch path:
@@ -330,6 +699,7 @@ impl Ctr {
             }
             index = index.wrapping_add(nblocks as u128);
         }
+        stats::ctr().record(data.len(), 16);
     }
 
     /// Fills `out[i]` with counter block `nonce + first_block + i` under
@@ -353,10 +723,11 @@ impl Ctr {
     /// The counter block `index` positions into the stream that starts at
     /// `nonce`: `nonce + index` under the standard incrementing function.
     /// Exposed so external schedulers (the multi-core engine) generate
-    /// byte-identical keystream blocks.
+    /// byte-identical keystream blocks. Returns the block by value on the
+    /// stack — this sits next to the sharding hot path, so no allocation.
     #[must_use]
-    pub fn counter_block(nonce: &[u8], index: u128) -> Vec<u8> {
-        let mut block = nonce.to_vec();
+    pub fn counter_block(nonce: &[u8; 16], index: u128) -> [u8; 16] {
+        let mut block = *nonce;
         counter_add(&mut block, index);
         block
     }
@@ -386,6 +757,7 @@ impl Cfb {
             }
             feedback[..chunk.len()].copy_from_slice(chunk);
         }
+        stats::cfb().record(data.len(), bl);
     }
 
     /// Decrypts `data` in place under `iv`.
@@ -409,6 +781,7 @@ impl Cfb {
             }
             feedback[..chunk.len()].copy_from_slice(&ct[..chunk.len()]);
         }
+        stats::cfb().record(data.len(), bl);
     }
 }
 
@@ -436,6 +809,7 @@ impl Ofb {
                 *b ^= k;
             }
         }
+        stats::ofb().record(data.len(), bl);
     }
 }
 
@@ -620,9 +994,9 @@ mod tests {
     fn ctr_counter_block_helper_matches_increment() {
         assert_eq!(Ctr::counter_block(&[0u8; 16], 5)[15], 5);
         let wrapped = Ctr::counter_block(&[0xFFu8; 16], 1);
-        assert_eq!(wrapped, vec![0u8; 16]);
+        assert_eq!(wrapped, [0u8; 16]);
         let mut big = Ctr::counter_block(&[0u8; 16], u128::MAX);
-        assert_eq!(big, vec![0xFFu8; 16]);
+        assert_eq!(big, [0xFFu8; 16]);
         super::counter_add(&mut big, 2);
         assert_eq!(big[15], 1, "wrapping add past u128::MAX");
     }
@@ -715,7 +1089,7 @@ mod tests {
         Ctr::fill_counter_blocks(&nonce, 2, &mut out);
         for (i, block) in out.iter().enumerate() {
             assert_eq!(
-                block.to_vec(),
+                *block,
                 Ctr::counter_block(&nonce, 2 + i as u128),
                 "block {i}"
             );
@@ -812,5 +1186,105 @@ mod tests {
     #[should_panic(expected = "invalid block length")]
     fn pkcs7_pad_rejects_zero_block() {
         pkcs7_pad(&mut vec![1u8, 2], 0);
+    }
+
+    #[test]
+    fn iv_wraps_bytes_without_allocating() {
+        let iv = Iv::new(&[5u8; 16]);
+        assert_eq!(iv.as_bytes(), &[5u8; 16]);
+        assert_eq!(iv.len(), 16);
+        assert!(!iv.is_empty());
+        assert_eq!(Iv::from([7u8; 16]), Iv::from(&[7u8; 16]));
+        assert!(Iv::empty().as_bytes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 32-byte maximum block")]
+    fn iv_rejects_oversized_bytes() {
+        let _ = Iv::new(&[0u8; 33]);
+    }
+
+    #[test]
+    fn mode_trait_matches_the_inherent_functions() {
+        let c = cipher();
+        let iv_bytes = [0x5Au8; 16];
+        let iv = Iv::from(iv_bytes);
+        let modes: [(&dyn Mode, bool); 5] = [
+            (&Ecb, true),
+            (&Cbc, true),
+            (&Ctr, false),
+            (&Cfb, false),
+            (&Ofb, false),
+        ];
+        for (mode, full_blocks) in modes {
+            assert_eq!(mode.requires_full_blocks(), full_blocks, "{}", mode.name());
+            let len = if full_blocks { 48 } else { 50 };
+            let pt = sample(len);
+
+            let mut expect = pt.clone();
+            match mode.name() {
+                "ecb" => Ecb::encrypt(&c, &mut expect).unwrap(),
+                "cbc" => Cbc::encrypt(&c, &iv_bytes, &mut expect).unwrap(),
+                "ctr" => Ctr::apply(&c, &iv_bytes, &mut expect),
+                "cfb" => Cfb::encrypt(&c, &iv_bytes, &mut expect),
+                "ofb" => Ofb::apply(&c, &iv_bytes, &mut expect),
+                other => panic!("unexpected mode {other}"),
+            }
+
+            let mut via_trait = pt.clone();
+            mode.encrypt_in_place(&c, &iv, &mut via_trait).unwrap();
+            assert_eq!(via_trait, expect, "{} trait encrypt", mode.name());
+            mode.decrypt_in_place(&c, &iv, &mut via_trait).unwrap();
+            assert_eq!(via_trait, pt, "{} trait roundtrip", mode.name());
+        }
+    }
+
+    #[test]
+    fn mode_trait_reports_bad_ivs_and_ragged_lengths_as_errors() {
+        let c = cipher();
+        let short_iv = Iv::new(&[0u8; 4]);
+        let mut data = vec![0u8; 32];
+        for mode in [&Cbc as &dyn Mode, &Ctr, &Cfb, &Ofb] {
+            assert_eq!(
+                mode.encrypt_in_place(&c, &short_iv, &mut data),
+                Err(Error::BadIv { len: 4, block: 16 }),
+                "{} must reject a short IV",
+                mode.name()
+            );
+            assert_eq!(
+                mode.decrypt_in_place(&c, &short_iv, &mut data),
+                Err(Error::BadIv { len: 4, block: 16 }),
+                "{} must reject a short IV on decrypt",
+                mode.name()
+            );
+        }
+        let mut ragged = vec![0u8; 17];
+        let iv = Iv::from([0u8; 16]);
+        assert_eq!(
+            Mode::encrypt_in_place(&Ecb, &c, &Iv::empty(), &mut ragged),
+            Err(Error::RaggedLength { len: 17, block: 16 })
+        );
+        assert_eq!(
+            Mode::decrypt_in_place(&Cbc, &c, &iv, &mut ragged),
+            Err(Error::RaggedLength { len: 17, block: 16 })
+        );
+    }
+
+    #[test]
+    fn mode_calls_feed_the_global_registry() {
+        let c = cipher();
+        let reg = telemetry::Registry::global();
+        let before = reg.snapshot();
+        let mut data = sample(64);
+        Ecb::encrypt(&c, &mut data).unwrap();
+        Ctr::apply(&c, &[1u8; 16], &mut data[..50]);
+        let after = reg.snapshot();
+        // Other tests share the process-wide registry, so assert on the
+        // delta being at least this test's contribution.
+        let d = after.delta(&before);
+        assert!(d.counter("rijndael.mode.ecb.blocks").unwrap() >= 4);
+        assert!(d.counter("rijndael.mode.ecb.bytes").unwrap() >= 64);
+        assert!(d.counter("rijndael.mode.ctr.blocks").unwrap() >= 4);
+        assert!(d.counter("rijndael.mode.ctr.bytes").unwrap() >= 50);
     }
 }

@@ -261,6 +261,22 @@ impl Client {
         self.engine_call(Op::CtrApply, Some(counter), data)
     }
 
+    /// Fetches the server's telemetry snapshot: the `telemetry/1` JSON
+    /// document with per-opcode request counts, error tallies,
+    /// connection gauges and every session engine's `engine.*`
+    /// instruments. Works without a session.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors or transport failures;
+    /// [`ClientError::Protocol`] if the payload is not UTF-8.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let reply = self.call(Op::GetStats, 0, Vec::new())?;
+        Self::expect_ok(&reply)?;
+        String::from_utf8(reply.payload)
+            .map_err(|_| ClientError::Protocol("non-UTF-8 stats payload".into()))
+    }
+
     /// Computes the AES-CMAC tag of `message` under the session key.
     ///
     /// # Errors

@@ -6,8 +6,8 @@
 //! service, std-only and hermetic like the rest of the workspace:
 //!
 //! * [`protocol`] — the version-1 length-prefixed wire format: request
-//!   framing (ECB/CBC/CTR, CMAC, key load, flush, ping), strict frame
-//!   size limits, and typed error replies instead of disconnects;
+//!   framing (ECB/CBC/CTR, CMAC, key load, flush, ping, stats), strict
+//!   frame size limits, and typed error replies instead of disconnects;
 //! * [`session`] — per-connection key management: `SET_KEY` builds a
 //!   fresh engine farm, key material is never echoed and wipes itself
 //!   on teardown or re-key;
@@ -17,6 +17,12 @@
 //!   graceful shutdown that drains in-flight deferred jobs;
 //! * [`client`] — a blocking loopback client used by the integration
 //!   tests and the `service_load` load generator.
+//!
+//! Every server owns a [`telemetry::Registry`] that its session engines
+//! publish into; `GET_STATS` ([`Client::stats`]) returns one snapshot of
+//! it as the stable `telemetry/1` JSON document, and engine failures map
+//! onto wire [`ErrorCode`]s through a single `engine::Error` match in
+//! the server.
 //!
 //! # Quick start
 //!

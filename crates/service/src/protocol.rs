@@ -62,6 +62,12 @@ pub enum Op {
     /// Liveness probe; the payload (bounded like any other) is echoed in
     /// the [`Status::Ok`] reply.
     Ping = 0x03,
+    /// Fetch the server's telemetry snapshot. Payload: empty (anything
+    /// else is [`ErrorCode::Malformed`]). Reply: [`Status::Ok`] whose
+    /// payload is the `telemetry/1` JSON document (UTF-8) — per-opcode
+    /// request counts, error tallies, connection gauges, and every
+    /// session engine's `engine.*` instruments. Needs no session.
+    GetStats = 0x04,
     /// ECB-encrypt whole blocks. Payload: plaintext.
     EcbEncrypt = 0x10,
     /// ECB-decrypt whole blocks. Payload: ciphertext.
@@ -88,6 +94,7 @@ impl Op {
             0x01 => Op::SetKey,
             0x02 => Op::Flush,
             0x03 => Op::Ping,
+            0x04 => Op::GetStats,
             0x10 => Op::EcbEncrypt,
             0x11 => Op::EcbDecrypt,
             0x12 => Op::CbcEncrypt,
@@ -97,6 +104,25 @@ impl Op {
             0x16 => Op::CmacVerify,
             _ => return None,
         })
+    }
+
+    /// Stable lowercase name used in telemetry instrument names
+    /// (`service.op.<name>.requests`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::SetKey => "set_key",
+            Op::Flush => "flush",
+            Op::Ping => "ping",
+            Op::GetStats => "get_stats",
+            Op::EcbEncrypt => "ecb_encrypt",
+            Op::EcbDecrypt => "ecb_decrypt",
+            Op::CbcEncrypt => "cbc_encrypt",
+            Op::CbcDecrypt => "cbc_decrypt",
+            Op::CtrApply => "ctr_apply",
+            Op::CmacTag => "cmac_tag",
+            Op::CmacVerify => "cmac_verify",
+        }
     }
 
     /// `true` for the ops routed through the engine scheduler (and thus
@@ -230,6 +256,28 @@ impl ErrorCode {
             14 => ErrorCode::TooManyConnections,
             _ => return None,
         })
+    }
+
+    /// Stable lowercase name used in telemetry instrument names
+    /// (`service.error.<name>`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadVersion => "bad_version",
+            ErrorCode::BadOp => "bad_op",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::FrameTooLarge => "frame_too_large",
+            ErrorCode::NoSession => "no_session",
+            ErrorCode::StaleSession => "stale_session",
+            ErrorCode::Busy => "busy",
+            ErrorCode::RaggedLength => "ragged_length",
+            ErrorCode::BadTag => "bad_tag",
+            ErrorCode::JobFailed => "job_failed",
+            ErrorCode::IdleTimeout => "idle_timeout",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::DeferUnsupported => "defer_unsupported",
+            ErrorCode::TooManyConnections => "too_many_connections",
+        }
     }
 }
 
@@ -563,6 +611,7 @@ mod tests {
             Op::SetKey,
             Op::Flush,
             Op::Ping,
+            Op::GetStats,
             Op::EcbEncrypt,
             Op::EcbDecrypt,
             Op::CbcEncrypt,
@@ -572,6 +621,10 @@ mod tests {
             Op::CmacVerify,
         ] {
             assert_eq!(Op::from_u8(op as u8), Some(op));
+            assert!(op
+                .name()
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b == b'_'));
         }
         assert_eq!(Op::from_u8(0x7E), None);
     }
@@ -592,6 +645,7 @@ mod tests {
             let decoded = ErrorCode::from_u8(code).expect("codes 1..=14 are assigned");
             assert_eq!(decoded as u8, code);
             assert!(!decoded.to_string().is_empty());
+            assert!(!decoded.name().is_empty());
         }
         assert_eq!(ErrorCode::from_u8(0), None);
         assert_eq!(ErrorCode::from_u8(15), None);
@@ -605,7 +659,14 @@ mod tests {
         assert_eq!(Op::CbcEncrypt.engine_mode(iv), Some(Mode::CbcEncrypt(iv)));
         assert_eq!(Op::CbcDecrypt.engine_mode(iv), Some(Mode::CbcDecrypt(iv)));
         assert_eq!(Op::CtrApply.engine_mode(iv), Some(Mode::Ctr(iv)));
-        for op in [Op::SetKey, Op::Flush, Op::Ping, Op::CmacTag, Op::CmacVerify] {
+        for op in [
+            Op::SetKey,
+            Op::Flush,
+            Op::Ping,
+            Op::GetStats,
+            Op::CmacTag,
+            Op::CmacVerify,
+        ] {
             assert!(!op.is_engine_op());
             assert_eq!(op.engine_mode(iv), None);
         }

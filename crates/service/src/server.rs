@@ -11,6 +11,16 @@
 //! ([`Frame::parse_buffered`]) so a slow peer that trickles bytes never
 //! desynchronises the stream.
 //!
+//! Every server owns a [`telemetry::Registry`]: per-opcode request
+//! counters (`service.op.<op>.requests`), error-code tallies
+//! (`service.error.<code>`), connection gauges, a request frame-size
+//! histogram, admission refusals, and — because each session's engine is
+//! built against the same registry — the full `engine.*` instrument set.
+//! `GET_STATS` serialises one snapshot of that registry as the
+//! `telemetry/1` JSON document; [`ServiceHandle::registry`] exposes the
+//! same registry in-process for tests and load generators, so there is
+//! exactly one counter path.
+//!
 //! Shutdown is graceful: the acceptor stops admitting, every worker
 //! flushes its session's deferred jobs (delivering their
 //! [`Status::Data`] replies), sends an [`ErrorCode::ShuttingDown`]
@@ -19,15 +29,18 @@
 
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use engine::{BackendSpec, SubmitError};
+use engine::{BackendSpec, Error, SubmitError};
+use telemetry::{Counter, Gauge, Registry};
 
-use crate::protocol::{ErrorCode, Frame, Op, RecvError, Status, FLAG_DEFER, PROTOCOL_VERSION};
-use crate::session::{ExecError, SessionSlot};
+use crate::protocol::{
+    ErrorCode, Frame, Op, RecvError, Status, FLAG_DEFER, HEADER_LEN, PROTOCOL_VERSION,
+};
+use crate::session::SessionSlot;
 
 /// How often idle workers wake to check the shutdown flag and idle
 /// budget.
@@ -35,6 +48,11 @@ const POLL: Duration = Duration::from_millis(10);
 
 /// How often the acceptor wakes when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Bucket upper bounds for the `service.frame.request_bytes` histogram
+/// (whole frames, header included; the overflow bucket catches anything
+/// up to `MAX_FRAME_LEN`).
+const FRAME_SIZE_BOUNDS: [u64; 8] = [16, 64, 256, 1024, 4096, 16384, 65536, 262_144];
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -67,9 +85,23 @@ impl Default for ServiceConfig {
 /// handle.
 struct Shared {
     config: ServiceConfig,
+    registry: Registry,
     shutdown: AtomicBool,
-    active: AtomicUsize,
-    served: AtomicU64,
+    /// `service.connections.active` — connections currently served.
+    active: Gauge,
+    /// `service.connections.served` — connections admitted since start.
+    served: Counter,
+    /// `service.admission.refused` — connections bounced at the cap.
+    refused: Counter,
+}
+
+impl Shared {
+    /// Tallies `service.error.<code>` for a typed error reply.
+    fn count_error(&self, code: ErrorCode) {
+        self.registry
+            .counter(&format!("service.error.{}", code.name()))
+            .incr();
+    }
 }
 
 /// The service entry point: configure, then [`Server::spawn`].
@@ -96,11 +128,14 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let registry = Registry::new();
         let shared = Arc::new(Shared {
-            config: self.config,
             shutdown: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
-            served: AtomicU64::new(0),
+            active: registry.gauge("service.connections.active"),
+            served: registry.counter("service.connections.served"),
+            refused: registry.counter("service.admission.refused"),
+            config: self.config,
+            registry,
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -131,16 +166,23 @@ impl ServiceHandle {
         self.addr
     }
 
+    /// The server's telemetry registry — the same one `GET_STATS`
+    /// snapshots, and the one every session engine publishes into.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
     /// Connections currently being served.
     #[must_use]
     pub fn active_connections(&self) -> usize {
-        self.shared.active.load(Ordering::Acquire)
+        self.shared.active.get().max(0) as usize
     }
 
     /// Connections admitted since the server started.
     #[must_use]
     pub fn connections_served(&self) -> u64 {
-        self.shared.served.load(Ordering::Acquire)
+        self.shared.served.get()
     }
 
     /// Stops accepting, drains every connection's in-flight deferred
@@ -178,25 +220,25 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         match listener.accept() {
             Ok((stream, _)) => {
                 reap_finished(&mut workers);
-                if shared.active.load(Ordering::Acquire) >= shared.config.max_connections {
-                    refuse_connection(&stream, shared.config.max_connections);
+                if shared.active.get() >= shared.config.max_connections as i64 {
+                    refuse_connection(&stream, shared);
                     continue;
                 }
-                shared.active.fetch_add(1, Ordering::AcqRel);
-                shared.served.fetch_add(1, Ordering::AcqRel);
+                shared.active.add(1);
+                shared.served.incr();
                 let worker_shared = Arc::clone(shared);
                 let spawned =
                     thread::Builder::new()
                         .name("service-worker".into())
                         .spawn(move || {
                             let _ = serve_connection(&stream, &worker_shared);
-                            worker_shared.active.fetch_sub(1, Ordering::AcqRel);
+                            worker_shared.active.sub(1);
                         });
                 match spawned {
                     Ok(handle) => workers.push(handle),
                     // The thread never started, so it cannot decrement.
                     Err(_) => {
-                        shared.active.fetch_sub(1, Ordering::AcqRel);
+                        shared.active.sub(1);
                     }
                 }
             }
@@ -226,8 +268,11 @@ fn reap_finished(workers: &mut Vec<JoinHandle<()>>) {
 }
 
 /// Best-effort typed refusal for connections over the admission cap.
-fn refuse_connection(mut stream: &TcpStream, cap: usize) {
-    let goodbye = Frame::error(ErrorCode::TooManyConnections, cap as u32, 0, 0);
+fn refuse_connection(mut stream: &TcpStream, shared: &Shared) {
+    shared.refused.incr();
+    shared.count_error(ErrorCode::TooManyConnections);
+    let cap = shared.config.max_connections as u32;
+    let goodbye = Frame::error(ErrorCode::TooManyConnections, cap, 0, 0);
     let _ = goodbye.write_to(&mut stream);
 }
 
@@ -235,6 +280,41 @@ fn refuse_connection(mut stream: &TcpStream, cap: usize) {
 enum Flow {
     Continue,
     Close,
+}
+
+/// Tallies and sends one typed error reply — every in-band error frame
+/// leaves through here so `service.error.*` counts them all.
+fn error_reply(
+    mut stream: &TcpStream,
+    shared: &Shared,
+    code: ErrorCode,
+    detail: u32,
+    seq: u32,
+    sid: u32,
+) -> io::Result<()> {
+    shared.count_error(code);
+    Frame::error(code, detail, seq, sid).write_to(&mut stream)
+}
+
+/// The one place engine failures become wire error codes: submission
+/// rejections keep their typed identity (`Busy` carries the capacity,
+/// `RaggedLength` the offending length, a bad IV is a malformed
+/// payload), and anything that failed *after* admission is a
+/// [`ErrorCode::JobFailed`].
+fn engine_error_reply(
+    stream: &TcpStream,
+    shared: &Shared,
+    e: Error,
+    seq: u32,
+    sid: u32,
+) -> io::Result<()> {
+    let (code, detail) = match e {
+        Error::Submit(SubmitError::Busy { capacity }) => (ErrorCode::Busy, capacity as u32),
+        Error::Submit(SubmitError::RaggedLength { len }) => (ErrorCode::RaggedLength, len as u32),
+        Error::Submit(SubmitError::BadIv { len }) => (ErrorCode::Malformed, len as u32),
+        Error::Job(_) => (ErrorCode::JobFailed, 0),
+    };
+    error_reply(stream, shared, code, detail, seq, sid)
 }
 
 fn serve_connection(mut stream: &TcpStream, shared: &Shared) -> io::Result<()> {
@@ -246,7 +326,7 @@ fn serve_connection(mut stream: &TcpStream, shared: &Shared) -> io::Result<()> {
     let mut idle = Duration::ZERO;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
-            return drain_and_say_goodbye(stream, &mut slot);
+            return drain_and_say_goodbye(stream, &mut slot, shared);
         }
         // Answer every complete frame already reassembled.
         loop {
@@ -261,12 +341,12 @@ fn serve_connection(mut stream: &TcpStream, shared: &Shared) -> io::Result<()> {
                 Ok(None) => break,
                 Err(RecvError::TooLarge { len }) => {
                     let sid = live_session(&mut slot);
-                    Frame::error(ErrorCode::FrameTooLarge, len, 0, sid).write_to(&mut stream)?;
+                    error_reply(stream, shared, ErrorCode::FrameTooLarge, len, 0, sid)?;
                     return Ok(());
                 }
                 Err(RecvError::TooShort { len }) => {
                     let sid = live_session(&mut slot);
-                    Frame::error(ErrorCode::Malformed, len, 0, sid).write_to(&mut stream)?;
+                    error_reply(stream, shared, ErrorCode::Malformed, len, 0, sid)?;
                     return Ok(());
                 }
                 Err(RecvError::Io(e)) => return Err(e),
@@ -285,7 +365,7 @@ fn serve_connection(mut stream: &TcpStream, shared: &Shared) -> io::Result<()> {
                 if idle >= shared.config.idle_timeout {
                     let detail = shared.config.idle_timeout.as_millis() as u32;
                     let sid = live_session(&mut slot);
-                    Frame::error(ErrorCode::IdleTimeout, detail, 0, sid).write_to(&mut stream)?;
+                    error_reply(stream, shared, ErrorCode::IdleTimeout, detail, 0, sid)?;
                     return Ok(());
                 }
             }
@@ -302,27 +382,32 @@ fn live_session(slot: &mut SessionSlot) -> u32 {
 /// Flushes outstanding deferred jobs (their [`Status::Data`] replies
 /// still carry the submitting request's `seq`) and sends the
 /// shutting-down goodbye.
-fn drain_and_say_goodbye(mut stream: &TcpStream, slot: &mut SessionSlot) -> io::Result<()> {
+fn drain_and_say_goodbye(
+    stream: &TcpStream,
+    slot: &mut SessionSlot,
+    shared: &Shared,
+) -> io::Result<()> {
     if let Some(session) = slot.session_mut() {
         let sid = session.id();
         for (seq, result) in session.flush() {
-            job_reply(stream, seq, sid, result)?;
+            job_reply(stream, shared, seq, sid, result)?;
         }
     }
     let sid = live_session(slot);
-    Frame::error(ErrorCode::ShuttingDown, 0, 0, sid).write_to(&mut stream)
+    error_reply(stream, shared, ErrorCode::ShuttingDown, 0, 0, sid)
 }
 
 /// One drained job → one reply frame.
 fn job_reply(
     mut stream: &TcpStream,
+    shared: &Shared,
     seq: u32,
     sid: u32,
     result: Result<Vec<u8>, engine::JobError>,
 ) -> io::Result<()> {
     match result {
         Ok(data) => Frame::reply(Status::Data, seq, sid, data).write_to(&mut stream),
-        Err(_) => Frame::error(ErrorCode::JobFailed, 0, seq, sid).write_to(&mut stream),
+        Err(e) => engine_error_reply(stream, shared, Error::from(e), seq, sid),
     }
 }
 
@@ -333,21 +418,48 @@ fn dispatch(
     shared: &Shared,
 ) -> io::Result<Flow> {
     let seq = frame.seq;
+    shared
+        .registry
+        .histogram("service.frame.request_bytes", &FRAME_SIZE_BOUNDS)
+        .record((HEADER_LEN + frame.payload.len()) as u64);
     if frame.version != PROTOCOL_VERSION {
         let sid = live_session(slot);
-        Frame::error(ErrorCode::BadVersion, u32::from(frame.version), seq, sid)
-            .write_to(&mut stream)?;
+        error_reply(
+            stream,
+            shared,
+            ErrorCode::BadVersion,
+            u32::from(frame.version),
+            seq,
+            sid,
+        )?;
         return Ok(Flow::Close); // framing may differ across versions
     }
     let Some(op) = frame.op() else {
         let sid = live_session(slot);
-        Frame::error(ErrorCode::BadOp, u32::from(frame.kind), seq, sid).write_to(&mut stream)?;
+        error_reply(
+            stream,
+            shared,
+            ErrorCode::BadOp,
+            u32::from(frame.kind),
+            seq,
+            sid,
+        )?;
         return Ok(Flow::Continue);
     };
+    shared
+        .registry
+        .counter(&format!("service.op.{}.requests", op.name()))
+        .incr();
     if frame.flags & FLAG_DEFER != 0 && !op.is_engine_op() {
         let sid = live_session(slot);
-        Frame::error(ErrorCode::DeferUnsupported, u32::from(op as u8), seq, sid)
-            .write_to(&mut stream)?;
+        error_reply(
+            stream,
+            shared,
+            ErrorCode::DeferUnsupported,
+            u32::from(op as u8),
+            seq,
+            sid,
+        )?;
         return Ok(Flow::Continue);
     }
 
@@ -356,59 +468,93 @@ fn dispatch(
             let sid = live_session(slot);
             Frame::reply(Status::Ok, seq, sid, frame.payload).write_to(&mut stream)?;
         }
+        Op::GetStats => {
+            if !frame.payload.is_empty() {
+                let sid = live_session(slot);
+                error_reply(
+                    stream,
+                    shared,
+                    ErrorCode::Malformed,
+                    frame.payload.len() as u32,
+                    seq,
+                    sid,
+                )?;
+                return Ok(Flow::Continue);
+            }
+            let sid = live_session(slot);
+            let json = shared.registry.snapshot().to_json();
+            Frame::reply(Status::Ok, seq, sid, json.into_bytes()).write_to(&mut stream)?;
+        }
         Op::SetKey => {
             if frame.payload.len() != 16 {
                 let sid = live_session(slot);
-                Frame::error(ErrorCode::Malformed, frame.payload.len() as u32, seq, sid)
-                    .write_to(&mut stream)?;
+                error_reply(
+                    stream,
+                    shared,
+                    ErrorCode::Malformed,
+                    frame.payload.len() as u32,
+                    seq,
+                    sid,
+                )?;
                 return Ok(Flow::Continue);
             }
             let mut key = [0u8; 16];
             key.copy_from_slice(&frame.payload);
-            let sid = slot.rekey(&key, &shared.config.farm, shared.config.queue_capacity);
+            let sid = slot.rekey(
+                &key,
+                &shared.config.farm,
+                shared.config.queue_capacity,
+                &shared.registry,
+            );
             rijndael::zeroize::wipe_bytes(&mut key);
             // The reply carries the new id in the header only — key
             // material never appears in any reply payload.
             Frame::reply(Status::Ok, seq, sid, Vec::new()).write_to(&mut stream)?;
         }
         Op::Flush => {
-            let Some(session) = checked_session(stream, slot, &frame)? else {
+            let Some(session) = checked_session(stream, slot, &frame, shared)? else {
                 return Ok(Flow::Continue);
             };
             let sid = session.id();
             let results = session.flush();
             let count = results.len() as u32;
             for (job_seq, result) in results {
-                job_reply(stream, job_seq, sid, result)?;
+                job_reply(stream, shared, job_seq, sid, result)?;
             }
             Frame::reply(Status::Flushed, seq, sid, count.to_be_bytes().to_vec())
                 .write_to(&mut stream)?;
         }
         Op::CmacTag => {
-            let Some(session) = checked_session(stream, slot, &frame)? else {
+            let Some(session) = checked_session(stream, slot, &frame, shared)? else {
                 return Ok(Flow::Continue);
             };
             let tag = session.cmac_tag(&frame.payload);
             Frame::reply(Status::Ok, seq, session.id(), tag.to_vec()).write_to(&mut stream)?;
         }
         Op::CmacVerify => {
-            let Some(session) = checked_session(stream, slot, &frame)? else {
+            let Some(session) = checked_session(stream, slot, &frame, shared)? else {
                 return Ok(Flow::Continue);
             };
             let sid = session.id();
             if frame.payload.len() < 16 {
-                Frame::error(ErrorCode::Malformed, frame.payload.len() as u32, seq, sid)
-                    .write_to(&mut stream)?;
+                error_reply(
+                    stream,
+                    shared,
+                    ErrorCode::Malformed,
+                    frame.payload.len() as u32,
+                    seq,
+                    sid,
+                )?;
                 return Ok(Flow::Continue);
             }
             let tag: [u8; 16] = frame.payload[..16].try_into().expect("16-byte slice");
             if session.cmac_verify(&frame.payload[16..], &tag) {
                 Frame::reply(Status::Ok, seq, sid, Vec::new()).write_to(&mut stream)?;
             } else {
-                Frame::error(ErrorCode::BadTag, 0, seq, sid).write_to(&mut stream)?;
+                error_reply(stream, shared, ErrorCode::BadTag, 0, seq, sid)?;
             }
         }
-        _ => return engine_op(stream, frame, op, slot),
+        _ => return engine_op(stream, frame, op, slot, shared),
     }
     Ok(Flow::Continue)
 }
@@ -419,16 +565,23 @@ fn engine_op(
     frame: Frame,
     op: Op,
     slot: &mut SessionSlot,
+    shared: &Shared,
 ) -> io::Result<Flow> {
     let seq = frame.seq;
-    let Some(session) = checked_session(stream, slot, &frame)? else {
+    let Some(session) = checked_session(stream, slot, &frame, shared)? else {
         return Ok(Flow::Continue);
     };
     let sid = session.id();
     let (iv, data) = if op.takes_iv() {
         if frame.payload.len() < 16 {
-            Frame::error(ErrorCode::Malformed, frame.payload.len() as u32, seq, sid)
-                .write_to(&mut stream)?;
+            error_reply(
+                stream,
+                shared,
+                ErrorCode::Malformed,
+                frame.payload.len() as u32,
+                seq,
+                sid,
+            )?;
             return Ok(Flow::Continue);
         }
         let iv: [u8; 16] = frame.payload[..16].try_into().expect("16-byte slice");
@@ -443,50 +596,40 @@ fn engine_op(
     if frame.flags & FLAG_DEFER != 0 {
         match session.defer(seq, mode, data) {
             Ok(_) => Frame::reply(Status::Accepted, seq, sid, Vec::new()).write_to(&mut stream)?,
-            Err(e) => submit_error_reply(stream, e, seq, sid)?,
+            Err(e) => engine_error_reply(stream, shared, Error::from(e), seq, sid)?,
         }
     } else {
         match session.execute(mode, data) {
             Ok(out) => Frame::reply(Status::Ok, seq, sid, out).write_to(&mut stream)?,
-            Err(ExecError::Submit(e)) => submit_error_reply(stream, e, seq, sid)?,
-            Err(ExecError::Job(_)) => {
-                Frame::error(ErrorCode::JobFailed, 0, seq, sid).write_to(&mut stream)?;
-            }
+            Err(e) => engine_error_reply(stream, shared, e, seq, sid)?,
         }
     }
     Ok(Flow::Continue)
-}
-
-fn submit_error_reply(
-    mut stream: &TcpStream,
-    e: SubmitError,
-    seq: u32,
-    sid: u32,
-) -> io::Result<()> {
-    let frame = match e {
-        SubmitError::Busy { capacity } => Frame::error(ErrorCode::Busy, capacity as u32, seq, sid),
-        SubmitError::RaggedLength { len } => {
-            Frame::error(ErrorCode::RaggedLength, len as u32, seq, sid)
-        }
-    };
-    frame.write_to(&mut stream)
 }
 
 /// Session gate for ops that need one: answers `NoSession` /
 /// `StaleSession` itself and returns `None` so the caller just
 /// continues.
 fn checked_session<'a>(
-    mut stream: &TcpStream,
+    stream: &TcpStream,
     slot: &'a mut SessionSlot,
     frame: &Frame,
+    shared: &Shared,
 ) -> io::Result<Option<&'a mut crate::session::Session>> {
     let live = live_session(slot);
     if live == 0 {
-        Frame::error(ErrorCode::NoSession, 0, frame.seq, 0).write_to(&mut stream)?;
+        error_reply(stream, shared, ErrorCode::NoSession, 0, frame.seq, 0)?;
         return Ok(None);
     }
     if frame.session != live {
-        Frame::error(ErrorCode::StaleSession, live, frame.seq, live).write_to(&mut stream)?;
+        error_reply(
+            stream,
+            shared,
+            ErrorCode::StaleSession,
+            live,
+            frame.seq,
+            live,
+        )?;
         return Ok(None);
     }
     Ok(slot.session_mut())
@@ -542,6 +685,11 @@ mod tests {
         // The connection survives a typed error: ping still answers.
         let reply = call(&stream, &Frame::request(Op::Ping, 0, 8, 0, Vec::new()));
         assert_eq!(reply.status(), Some(Status::Ok));
+        // Both requests and the error all landed in the registry.
+        let snap = server.registry().snapshot();
+        assert_eq!(snap.counter("service.op.ping.requests"), Some(1));
+        assert_eq!(snap.counter("service.op.ecb_encrypt.requests"), Some(1));
+        assert_eq!(snap.counter("service.error.no_session"), Some(1));
         server.shutdown();
     }
 
@@ -586,6 +734,9 @@ mod tests {
         let mut r = &c;
         let reply = Frame::read_from(&mut r).unwrap();
         assert_eq!(reply.error_body(), Some((ErrorCode::TooManyConnections, 2)));
+        let snap = server.registry().snapshot();
+        assert_eq!(snap.counter("service.admission.refused"), Some(1));
+        assert_eq!(snap.counter("service.connections.served"), Some(2));
         server.shutdown();
     }
 
@@ -598,6 +749,21 @@ mod tests {
         let (code, detail) = reply.error_body().unwrap();
         assert_eq!(code, ErrorCode::IdleTimeout);
         assert_eq!(detail, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn get_stats_needs_no_session_and_rejects_a_payload() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = call(&stream, &Frame::request(Op::GetStats, 0, 1, 0, Vec::new()));
+        assert_eq!(reply.status(), Some(Status::Ok));
+        let json = String::from_utf8(reply.payload).unwrap();
+        assert!(json.contains("\"schema\":\"telemetry/1\""));
+        assert!(json.contains("service.op.get_stats.requests"));
+
+        let reply = call(&stream, &Frame::request(Op::GetStats, 0, 2, 0, vec![1]));
+        assert_eq!(reply.error_body(), Some((ErrorCode::Malformed, 1)));
         server.shutdown();
     }
 }

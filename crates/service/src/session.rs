@@ -9,15 +9,21 @@
 //! (`rijndael::zeroize`) and the hardware backends reload an all-zero
 //! key.
 //!
+//! Every session engine publishes into the registry handed to
+//! [`Session::new`] — the server passes its service-wide
+//! [`telemetry::Registry`], so the `engine.core.*` counters a `GET_STATS`
+//! reply carries aggregate over every session the server ever keyed.
+//!
 //! Deferred jobs ride the engine's bounded queue: [`Session::defer`]
 //! surfaces [`SubmitError::Busy`] untranslated so the server can answer
 //! `Busy` instead of queueing without limit, and [`Session::flush`]
 //! drains results tagged with the sequence numbers of the requests that
 //! submitted them.
 
-use engine::{BackendSpec, Engine, JobError, JobId, Mode, SubmitError};
+use engine::{BackendSpec, Engine, EngineBuilder, Error, JobError, JobId, Mode, SubmitError};
 use rijndael::modes::{Ctr, Ecb};
 use rijndael::{cmac, Aes128, Bitsliced8};
+use telemetry::Registry;
 
 /// Payload size (eight 16-byte blocks) from which immediate ECB/CTR
 /// requests bypass the engine queue and run on the session's bitsliced
@@ -41,25 +47,26 @@ pub struct Session {
     completed: Vec<(u32, Result<Vec<u8>, JobError>)>,
 }
 
-/// Failure of an immediate (non-deferred) engine operation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ExecError {
-    /// Rejected at the submission boundary (queue full / ragged length).
-    Submit(SubmitError),
-    /// Accepted but failed while running.
-    Job(JobError),
-}
-
 impl Session {
     /// Keys a new session: builds the engine farm and the CMAC cipher
-    /// from `key`. The caller owns (and should wipe) its copy of the key
-    /// bytes; this type keeps only expanded material, which self-wipes on
-    /// drop.
+    /// from `key`, wiring the engine's telemetry into `registry`. The
+    /// caller owns (and should wipe) its copy of the key bytes; this type
+    /// keeps only expanded material, which self-wipes on drop.
     #[must_use]
-    pub fn new(id: u32, key: &[u8; 16], farm: &[BackendSpec], queue_capacity: usize) -> Session {
+    pub fn new(
+        id: u32,
+        key: &[u8; 16],
+        farm: &[BackendSpec],
+        queue_capacity: usize,
+        registry: &Registry,
+    ) -> Session {
         Session {
             id,
-            engine: Engine::with_farm(key, farm, queue_capacity),
+            engine: EngineBuilder::new()
+                .cores(farm)
+                .capacity(queue_capacity)
+                .registry(registry.clone())
+                .build(key),
             mac: Aes128::new(key),
             bulk: Bitsliced8::new(key),
             pending: Vec::new(),
@@ -99,19 +106,17 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// [`ExecError::Submit`] when the queue is full (flush first) or the
-    /// buffer is ragged; [`ExecError::Job`] when a backend faults.
-    pub fn execute(&mut self, mode: Mode, mut data: Vec<u8>) -> Result<Vec<u8>, ExecError> {
+    /// [`Error::Submit`] when the queue is full (flush first) or the
+    /// buffer is ragged; [`Error::Job`] when a backend faults.
+    pub fn execute(&mut self, mode: Mode, mut data: Vec<u8>) -> Result<Vec<u8>, Error> {
         if data.len() >= BULK_THRESHOLD {
             match mode {
                 Mode::EcbEncrypt => {
-                    Ecb::encrypt_batched(&self.bulk, &mut data)
-                        .map_err(|e| ExecError::Submit(SubmitError::RaggedLength { len: e.len }))?;
+                    Ecb::encrypt_batched(&self.bulk, &mut data)?;
                     return Ok(data);
                 }
                 Mode::EcbDecrypt => {
-                    Ecb::decrypt_batched(&self.bulk, &mut data)
-                        .map_err(|e| ExecError::Submit(SubmitError::RaggedLength { len: e.len }))?;
+                    Ecb::decrypt_batched(&self.bulk, &mut data)?;
                     return Ok(data);
                 }
                 Mode::Ctr(nonce) => {
@@ -121,10 +126,7 @@ impl Session {
                 _ => {}
             }
         }
-        let id = self
-            .engine
-            .try_submit(mode, data)
-            .map_err(ExecError::Submit)?;
+        let id = self.engine.try_submit(mode, data)?;
         let mut result = None;
         for out in self.engine.run() {
             if out.id == id {
@@ -135,7 +137,7 @@ impl Session {
         }
         result
             .expect("run() drains every queued job, including the one just submitted")
-            .map_err(ExecError::Job)
+            .map_err(Error::from)
     }
 
     /// Enqueues a deferred job tagged with the request's `seq`.
@@ -210,12 +212,18 @@ impl SessionSlot {
 
     /// Replaces the session with a freshly keyed one and returns the new
     /// id (never 0, which the protocol reserves for "no session").
-    pub fn rekey(&mut self, key: &[u8; 16], farm: &[BackendSpec], queue_capacity: usize) -> u32 {
+    pub fn rekey(
+        &mut self,
+        key: &[u8; 16],
+        farm: &[BackendSpec],
+        queue_capacity: usize,
+        registry: &Registry,
+    ) -> u32 {
         let id = self.next_id.max(1);
         self.next_id = id.wrapping_add(1);
         // Assigning drops the previous session first-class: its engine
         // backends and cipher schedules wipe their key material on drop.
-        self.current = Some(Session::new(id, key, farm, queue_capacity));
+        self.current = Some(Session::new(id, key, farm, queue_capacity, registry));
         id
     }
 
@@ -246,13 +254,17 @@ mod tests {
         vec![BackendSpec::EncDecCore, BackendSpec::Software]
     }
 
+    fn session(queue: usize) -> Session {
+        Session::new(1, &KEY, &farm(), queue, &Registry::new())
+    }
+
     fn sample(len: usize) -> Vec<u8> {
         (0..len).map(|i| (i * 13 + 1) as u8).collect()
     }
 
     #[test]
     fn execute_matches_the_software_reference() {
-        let mut s = Session::new(1, &KEY, &farm(), 8);
+        let mut s = session(8);
         let reference = Aes128::new(&KEY);
 
         let data = sample(4 * 16);
@@ -275,7 +287,7 @@ mod tests {
 
     #[test]
     fn bulk_lane_matches_the_software_reference() {
-        let mut s = Session::new(1, &KEY, &farm(), 8);
+        let mut s = session(8);
         let reference = Aes128::new(&KEY);
 
         // 24 blocks: well past the threshold, with a ragged granule tail.
@@ -298,10 +310,10 @@ mod tests {
 
     #[test]
     fn bulk_lane_rejects_ragged_ecb_and_skips_the_engine_queue() {
-        let mut s = Session::new(1, &KEY, &farm(), 2);
+        let mut s = session(2);
         assert_eq!(
             s.execute(Mode::EcbEncrypt, sample(BULK_THRESHOLD + 1)),
-            Err(ExecError::Submit(SubmitError::RaggedLength {
+            Err(Error::Submit(SubmitError::RaggedLength {
                 len: BULK_THRESHOLD + 1
             }))
         );
@@ -318,7 +330,7 @@ mod tests {
 
     #[test]
     fn defer_then_flush_returns_results_tagged_by_seq() {
-        let mut s = Session::new(1, &KEY, &farm(), 8);
+        let mut s = session(8);
         s.defer(100, Mode::EcbEncrypt, sample(32)).unwrap();
         s.defer(200, Mode::Ctr([1; 16]), sample(5)).unwrap();
         assert_eq!(s.outstanding(), 2);
@@ -334,7 +346,7 @@ mod tests {
 
     #[test]
     fn busy_surfaces_at_the_defer_boundary() {
-        let mut s = Session::new(1, &KEY, &farm(), 2);
+        let mut s = session(2);
         s.defer(1, Mode::Ctr([0; 16]), sample(4)).unwrap();
         s.defer(2, Mode::CbcEncrypt([0; 16]), sample(16)).unwrap();
         assert_eq!(
@@ -349,7 +361,7 @@ mod tests {
 
     #[test]
     fn immediate_execute_with_pending_jobs_stashes_their_results() {
-        let mut s = Session::new(1, &KEY, &farm(), 8);
+        let mut s = session(8);
         s.defer(7, Mode::EcbEncrypt, sample(16)).unwrap();
         // The immediate op forces a drain; the deferred result must not
         // be lost, only delayed until the flush.
@@ -367,17 +379,30 @@ mod tests {
 
     #[test]
     fn ragged_blocks_are_rejected_without_holding_a_slot() {
-        let mut s = Session::new(1, &KEY, &farm(), 2);
+        let mut s = session(2);
         assert_eq!(
             s.execute(Mode::EcbEncrypt, sample(17)),
-            Err(ExecError::Submit(SubmitError::RaggedLength { len: 17 }))
+            Err(Error::Submit(SubmitError::RaggedLength { len: 17 }))
         );
         assert_eq!(s.outstanding(), 0);
     }
 
     #[test]
+    fn sessions_sharing_a_registry_aggregate_their_engine_counters() {
+        let reg = Registry::new();
+        let mut a = Session::new(1, &KEY, &farm(), 8, &reg);
+        let mut b = Session::new(2, &KEY, &farm(), 8, &reg);
+        let _ = a.execute(Mode::EcbEncrypt, sample(4 * 16)).unwrap();
+        let _ = b.execute(Mode::EcbEncrypt, sample(2 * 16)).unwrap();
+        let snap = reg.snapshot();
+        let stats = engine::FarmStats::from_snapshot(&snap);
+        assert_eq!(stats.total_blocks(), 6);
+        assert_eq!(snap.counter("engine.jobs.completed"), Some(2));
+    }
+
+    #[test]
     fn cmac_tag_and_verify_use_the_session_key() {
-        let s = Session::new(1, &KEY, &farm(), 2);
+        let s = session(2);
         // RFC 4493 example 1: empty message.
         let tag = s.cmac_tag(b"");
         assert_eq!(tag[..4], [0xBB, 0x1D, 0x69, 0x29]);
@@ -389,14 +414,15 @@ mod tests {
 
     #[test]
     fn rekey_replaces_the_session_and_advances_the_id() {
+        let reg = Registry::new();
         let mut slot = SessionSlot::new();
         assert!(slot.session_mut().is_none());
-        let a = slot.rekey(&KEY, &farm(), 4);
+        let a = slot.rekey(&KEY, &farm(), 4, &reg);
         slot.session_mut()
             .unwrap()
             .defer(1, Mode::EcbEncrypt, sample(16))
             .unwrap();
-        let b = slot.rekey(&[5u8; 16], &farm(), 4);
+        let b = slot.rekey(&[5u8; 16], &farm(), 4, &reg);
         assert_ne!(a, b);
         assert_ne!(b, 0);
         // The pending job died with the old session.

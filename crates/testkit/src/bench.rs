@@ -20,6 +20,8 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use crate::json::{json_f64, json_string};
+
 /// Timing statistics for one benchmark, in nanoseconds per iteration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
@@ -68,29 +70,6 @@ impl Record {
             }
         }
         format!("{{{}}}", fields.join(","))
-    }
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.3}")
-    } else {
-        "null".to_string()
     }
 }
 

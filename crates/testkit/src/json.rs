@@ -1,0 +1,59 @@
+//! A tiny JSON writer shared by the bench harness and the telemetry
+//! snapshots.
+//!
+//! The workspace builds hermetically (no `serde`), so every JSON document
+//! it emits — bench results, `BENCH_*.json` trajectories, live telemetry
+//! snapshots served over the wire — is assembled by hand. These helpers
+//! keep the escaping and number formatting rules in one place so the
+//! documents cannot drift apart: strings are escaped per RFC 8259
+//! (quotes, backslashes, control characters), floats print with three
+//! decimals, and non-finite floats become `null` (JSON has no NaN).
+
+/// Quotes and escapes `s` as a JSON string literal (including the
+/// surrounding double quotes).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats `v` as a JSON number with three decimals, or `null` when the
+/// value is not finite (JSON cannot represent NaN or infinities).
+#[must_use]
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_quotes_backslashes_and_controls() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\u0009here\"");
+        assert_eq!(json_string(""), "\"\"");
+    }
+
+    #[test]
+    fn floats_are_fixed_precision_or_null() {
+        assert_eq!(json_f64(1.5), "1.500");
+        assert_eq!(json_f64(0.0), "0.000");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

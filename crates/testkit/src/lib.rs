@@ -11,7 +11,9 @@
 //!   deterministic cases with seed reporting and bisection shrinking,
 //!   replacing `proptest`;
 //! * [`bench`] — a warmup + median-of-K micro-benchmark harness with
-//!   JSON output, replacing `criterion`.
+//!   JSON output, replacing `criterion`;
+//! * [`json`] — the hand-rolled JSON string/number writer the bench
+//!   harness and the telemetry snapshots share (no `serde`).
 //!
 //! Determinism is the point: every random workload in the repository is
 //! reproducible bit-for-bit from a printed seed, which is what the
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bench;
+pub mod json;
 pub mod prop;
 pub mod rng;
 

@@ -21,6 +21,9 @@ cargo build --release --locked --offline
 echo "==> cargo test"
 cargo test -q --workspace --locked --offline
 
+echo "==> telemetry spine tests"
+cargo test -q -p rijndael-telemetry --locked --offline
+
 echo "==> engine subsystem tests"
 cargo test -q -p rijndael-engine --locked --offline
 cargo test -q --test engine_equivalence --locked --offline
@@ -28,11 +31,14 @@ cargo test -q --test engine_equivalence --locked --offline
 echo "==> bitsliced backend cross-check"
 cargo test -q --test bitslice_equivalence --locked --offline
 
-echo "==> service subsystem tests"
+echo "==> mode-trait equivalence tests"
+cargo test -q --test mode_trait --locked --offline
+
+echo "==> service subsystem tests (incl. GET_STATS round trip)"
 cargo test -q -p rijndael-service --locked --offline
 cargo test -q --test service_roundtrip --locked --offline
 
-echo "==> service load generator (smoke)"
+echo "==> service load generator (smoke; audits GET_STATS over the wire)"
 TESTKIT_BENCH_SMOKE=1 \
     cargo run -q --release --locked --offline -p rijndael-bench --bin service_load
 

@@ -18,7 +18,10 @@
 //! * [`engine`] — the multi-core throughput engine scheduling batched
 //!   block jobs across farms of IP cores and software backends;
 //! * [`service`] — the framed TCP crypto service in front of the engine
-//!   (length-prefixed wire protocol, sessions, threaded server, client).
+//!   (length-prefixed wire protocol, sessions, threaded server, client);
+//! * [`telemetry`] — the std-only metrics spine (counters, gauges,
+//!   histograms behind a registry with snapshot/delta/JSON rendering)
+//!   every layer above publishes into.
 //!
 //! # Examples
 //!
@@ -41,3 +44,4 @@ pub use netlist;
 pub use rijndael;
 pub use rtl;
 pub use service;
+pub use telemetry;

@@ -128,19 +128,19 @@ fn ctr_scaling_improves_monotonically_with_saturated_cores() {
         eng.try_submit(Mode::Ctr([0x10; 16]), payload.clone())
             .unwrap();
         assert!(eng.run()[0].data.is_ok());
-        let m = eng.metrics();
-        assert_eq!(m.total_blocks, 256);
+        let s = eng.stats();
+        assert_eq!(s.total_blocks(), 256);
         assert!(
-            m.cycles_per_block < last,
+            s.cycles_per_block() < last,
             "{cores} cores: {:.2} cycles/block did not beat {last:.2}",
-            m.cycles_per_block,
+            s.cycles_per_block(),
         );
         assert!(
-            m.min_occupancy_pct() >= 90.0,
+            s.min_occupancy_pct() >= 90.0,
             "{cores} cores: occupancy fell to {:.1}%",
-            m.min_occupancy_pct(),
+            s.min_occupancy_pct(),
         );
-        last = m.cycles_per_block;
+        last = s.cycles_per_block();
     }
     // Four saturated cores approach 50/4 cycles per block.
     assert!(
@@ -170,9 +170,9 @@ fn software_and_hardware_farm_members_interleave_cleanly() {
     Ecb::encrypt(&Aes128::new(&key), &mut expected).unwrap();
     assert_eq!(out[0].data.as_ref().unwrap(), &expected);
 
-    let m = eng.metrics();
+    let s = eng.stats();
     assert!(
-        m.per_core.iter().all(|c| c.blocks > 0),
-        "all members took a share: {m}"
+        s.per_core.iter().all(|c| c.blocks > 0),
+        "all members took a share: {s}"
     );
 }

@@ -1,0 +1,90 @@
+//! Object-safe mode dispatch must be a pure repackaging: for every key,
+//! IV and buffer, driving a mode through `&dyn rijndael::Mode` produces
+//! byte-identical output to the inherent free functions, and the two
+//! directions invert each other. Bad inputs come back as typed
+//! `rijndael::Error` values instead of panics.
+
+use rijndael_ip::rijndael::modes::{Cbc, Cfb, Ctr, Ecb, Iv, Mode, Ofb};
+use rijndael_ip::rijndael::{Aes128, Error};
+use testkit::forall;
+use testkit::prop::{any, vec_of};
+
+/// The five mode implementations as trait objects, with their free-fn
+/// counterparts applied to a scratch buffer.
+fn reference(mode: &dyn Mode, aes: &Aes128, iv: &[u8; 16], data: &mut [u8]) {
+    match mode.name() {
+        "ecb" => Ecb::encrypt(aes, data).unwrap(),
+        "cbc" => Cbc::encrypt(aes, iv, data).unwrap(),
+        "ctr" => Ctr::apply(aes, iv, data),
+        "cfb" => Cfb::encrypt(aes, iv, data),
+        "ofb" => Ofb::apply(aes, iv, data),
+        other => panic!("unknown mode {other}"),
+    }
+}
+
+forall!(cases = 32, fn trait_dispatch_matches_the_free_functions(
+    key in any::<[u8; 16]>(),
+    iv in any::<[u8; 16]>(),
+    data in vec_of(any::<u8>(), 0..96),
+) {
+    let aes = Aes128::new(&key);
+    let iv_obj = Iv::from(iv);
+    let mut whole = data.clone();
+    whole.truncate(data.len() / 16 * 16);
+
+    let modes: [&dyn Mode; 5] = [&Ecb, &Cbc, &Ctr, &Cfb, &Ofb];
+    for mode in modes {
+        // Block modes get the truncated buffer; stream modes take any
+        // length — exactly the contract requires_full_blocks() states.
+        let input: &[u8] = if mode.requires_full_blocks() {
+            &whole
+        } else {
+            &data
+        };
+
+        let mut via_trait = input.to_vec();
+        mode.encrypt_in_place(&aes, &iv_obj, &mut via_trait)
+            .unwrap_or_else(|e| panic!("{} encrypt failed: {e}", mode.name()));
+
+        let mut via_free = input.to_vec();
+        reference(mode, &aes, &iv, &mut via_free);
+        assert_eq!(via_trait, via_free, "{} diverged from the free fn", mode.name());
+
+        // And the trait's decrypt inverts its encrypt.
+        mode.decrypt_in_place(&aes, &iv_obj, &mut via_trait)
+            .unwrap_or_else(|e| panic!("{} decrypt failed: {e}", mode.name()));
+        assert_eq!(via_trait, input, "{} round trip diverged", mode.name());
+    }
+});
+
+#[test]
+fn bad_inputs_come_back_as_typed_errors_not_panics() {
+    let aes = Aes128::new(&[0u8; 16]);
+    let good_iv = Iv::from([0u8; 16]);
+    let short_iv = Iv::new(&[1u8; 5]);
+    let mut ragged = vec![0u8; 17];
+
+    for mode in [&Ecb as &dyn Mode, &Cbc] {
+        assert!(mode.requires_full_blocks());
+        assert_eq!(
+            mode.encrypt_in_place(&aes, &good_iv, &mut ragged),
+            Err(Error::RaggedLength { len: 17, block: 16 }),
+            "{}",
+            mode.name()
+        );
+    }
+    // Modes that consume an IV reject a wrong-length one; ECB ignores it.
+    for mode in [&Cbc as &dyn Mode, &Ctr, &Cfb, &Ofb] {
+        let mut data = vec![0u8; 16];
+        assert_eq!(
+            mode.decrypt_in_place(&aes, &short_iv, &mut data),
+            Err(Error::BadIv { len: 5, block: 16 }),
+            "{}",
+            mode.name()
+        );
+    }
+    let mut data = vec![0u8; 16];
+    assert!((&Ecb as &dyn Mode)
+        .encrypt_in_place(&aes, &short_iv, &mut data)
+        .is_ok());
+}

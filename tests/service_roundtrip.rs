@@ -7,9 +7,19 @@ use std::thread;
 use std::time::Duration;
 
 use rijndael_ip::engine::BackendSpec;
-use rijndael_ip::service::client::{Client, SubmitOutcome};
+use rijndael_ip::service::client::{Client, ClientError, SubmitOutcome};
 use rijndael_ip::service::protocol::{ErrorCode, Frame, Op, Status};
 use rijndael_ip::service::server::{Server, ServiceConfig};
+
+/// Pulls one counter's value out of a `telemetry/1` JSON document with
+/// plain string surgery — the point is to audit the wire bytes without
+/// trusting any of the service's own accessors.
+fn json_counter(json: &str, name: &str) -> Option<u64> {
+    let needle = format!("{{\"name\":\"{name}\",\"type\":\"counter\",\"value\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    rest[..rest.find('}')?].parse().ok()
+}
 
 fn hex(s: &str) -> Vec<u8> {
     let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
@@ -169,6 +179,79 @@ fn busy_backpressure_surfaces_and_flush_recovers() {
     ));
     let jobs = client.flush().expect("flush");
     assert_eq!(jobs.len(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn get_stats_matches_an_independently_computed_tally() {
+    let server = spawn_server(vec![BackendSpec::Software; 2], 8);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Generate a workload whose books we keep by hand.
+    client.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
+    let pt = hex(SP800_PT); // four blocks: small enough to ride the engine
+    let mut blocks = 0u64;
+    for _ in 0..5 {
+        client.ecb_encrypt(&pt).expect("encrypt");
+        blocks += (pt.len() / 16) as u64;
+    }
+    for _ in 0..3 {
+        client.ping(b"x").expect("ping");
+    }
+    assert!(matches!(
+        client.ecb_encrypt(&pt[..15]),
+        Err(ClientError::Service {
+            code: ErrorCode::RaggedLength,
+            detail: 15
+        })
+    ));
+
+    let json = client.stats().expect("GET_STATS");
+
+    // Per-opcode counts match the tally (the ragged attempt still counts
+    // as an ecb_encrypt request, and lands in the error tallies too).
+    assert_eq!(json_counter(&json, "service.op.set_key.requests"), Some(1));
+    assert_eq!(
+        json_counter(&json, "service.op.ecb_encrypt.requests"),
+        Some(6)
+    );
+    assert_eq!(json_counter(&json, "service.op.ping.requests"), Some(3));
+    assert_eq!(json_counter(&json, "service.error.ragged_length"), Some(1));
+
+    // Engine counters: both cores are software models (one block per
+    // cycle, no key-setup cycles), so the blocks they report must sum to
+    // the tally and every core's datapath occupancy is exactly 100%.
+    let mut total = 0u64;
+    for i in 0..2 {
+        let prefix = format!("engine.core.{i}.soft-ref");
+        let b = json_counter(&json, &format!("{prefix}.blocks")).expect("blocks counter");
+        let cycles = json_counter(&json, &format!("{prefix}.cycles")).expect("cycles counter");
+        let setup = json_counter(&json, &format!("{prefix}.setup_cycles")).expect("setup counter");
+        let busy = json_counter(&json, &format!("{prefix}.busy_cycles")).expect("busy counter");
+        assert_eq!(setup, 0, "software backends pay no setup cycles");
+        assert_eq!(busy, cycles, "software cores stay 100% occupied");
+        assert_eq!(cycles, b, "software cores run one block per cycle");
+        total += b;
+    }
+    assert_eq!(total, blocks, "engine books must match the client's");
+
+    // The wire document and the in-process registry agree entry for
+    // entry — there is exactly one counter path.
+    let snap = server.registry().snapshot();
+    assert_eq!(snap.counter("service.op.ecb_encrypt.requests"), Some(6));
+    assert_eq!(
+        json_counter(&json, "service.connections.served"),
+        snap.counter("service.connections.served")
+    );
+
+    // GET_STATS with a payload is malformed — and survivable.
+    client
+        .send_raw(&Frame::request(Op::GetStats, 0, 777, 0, vec![1, 2]))
+        .unwrap();
+    let reply = client.recv_raw().unwrap();
+    assert_eq!(reply.error_body(), Some((ErrorCode::Malformed, 2)));
+    assert_eq!(client.ping(b"alive").unwrap(), b"alive");
+
     server.shutdown();
 }
 
