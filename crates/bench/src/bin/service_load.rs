@@ -1,28 +1,47 @@
-//! Load generator for the framed TCP crypto service: concurrent
-//! loopback clients hammering CTR requests at servers whose per-session
-//! engine farms grow by core count, reporting real wall-clock
-//! throughput and request-latency percentiles.
+//! Load generator for the framed TCP crypto service, in two acts:
+//!
+//! 1. **Pipelined throughput** — loopback clients streaming depth-16
+//!    CTR bursts at servers whose per-session engine farms grow by
+//!    core count, reporting real wall-clock throughput and per-burst
+//!    latency percentiles, then auditing the server over the wire:
+//!    `GET_STATS` must report exactly the per-opcode request counts
+//!    the run generated.
+//! 2. **Connection scale** — a helper child process (re-invoking this
+//!    binary with `--hold`) parks 10 000 idle connections on the
+//!    server while short-lived clients churn through bursty pipelined
+//!    traffic. The run asserts the server holds ≥ 10 000 concurrent
+//!    connections end to end and that the event loop's own
+//!    `service.loop.*` histograms report finite p50/p99 under that
+//!    load. The child exists because holding both halves of 10 000
+//!    loopback sockets in one process needs twice the fd budget.
 //!
 //! Unlike `engine_scaling` (virtual cycles from the cycle-accurate
 //! models), this measures the deployed system end to end: TCP framing,
-//! session dispatch, worker threads and the engine itself. After each
-//! run it audits the server over the wire: `GET_STATS` must report
-//! exactly the per-opcode request counts the run generated, and the
-//! JSON must match the in-process registry snapshot. Set
-//! `TESTKIT_BENCH_SMOKE=1` (or pass `--smoke`) for a tiny workload so
-//! CI keeps the binary exercised.
+//! readiness polling, session dispatch and the engine itself. Set
+//! `TESTKIT_BENCH_SMOKE=1` (or pass `--smoke`) for a tiny traffic
+//! workload so CI keeps the binary exercised — the 10 000-connection
+//! hold runs in smoke mode too; it is the point of the bench.
 
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use engine::BackendSpec;
 use service::client::Client;
+use service::protocol::Op;
 use service::server::{Server, ServiceConfig};
+
+/// Frames in flight per connection during a pipelined burst.
+const DEPTH: usize = 16;
+/// Idle connections the `--hold` child parks on the server.
+const HELD: usize = 10_000;
 
 /// One client thread's share of the workload.
 struct ClientReport {
     bytes: u64,
-    latencies: Vec<Duration>,
+    burst_latencies: Vec<Duration>,
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -33,17 +52,39 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[rank]
 }
 
+/// Child mode: connect `n` sockets and hold them idle until the parent
+/// writes a line on stdin. Prints `HELD <n>` once every connection is
+/// up so the parent knows the server's books should show them.
+fn hold_connections(n: usize, addr: &str) {
+    let _ = service::net::raise_nofile_limit();
+    let mut held = Vec::with_capacity(n);
+    for i in 0..n {
+        match TcpStream::connect(addr) {
+            Ok(stream) => held.push(stream),
+            Err(e) => panic!("holder connect {i}/{n} failed: {e}"),
+        }
+    }
+    println!("HELD {}", held.len());
+    std::io::stdout().flush().expect("flush handshake");
+    let mut release = String::new();
+    std::io::stdin()
+        .read_line(&mut release)
+        .expect("wait for release");
+    drop(held);
+}
+
 fn run_load(
     farm: &[BackendSpec],
     clients: usize,
-    requests_per_client: usize,
+    bursts_per_client: usize,
     payload_len: usize,
 ) -> (Duration, u64, Vec<Duration>) {
     let server = Server::new(ServiceConfig {
         farm: farm.to_vec(),
-        queue_capacity: 32,
+        queue_capacity: 64,
         max_connections: clients + 2,
         idle_timeout: Duration::from_secs(30),
+        event_threads: 2,
     })
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port");
@@ -60,13 +101,21 @@ fn run_load(
             icb[0] = worker as u8;
             let mut report = ClientReport {
                 bytes: 0,
-                latencies: Vec::with_capacity(requests_per_client),
+                burst_latencies: Vec::with_capacity(bursts_per_client),
             };
-            for _ in 0..requests_per_client {
+            for _ in 0..bursts_per_client {
                 let t0 = Instant::now();
-                let out = client.ctr_apply(&icb, &payload).expect("CTR apply");
-                report.latencies.push(t0.elapsed());
-                report.bytes += out.len() as u64;
+                for _ in 0..DEPTH {
+                    client
+                        .pipeline(Op::CtrApply, Some(&icb), &payload)
+                        .expect("pipeline CTR");
+                }
+                let jobs = client.collect_all().expect("collect burst");
+                report.burst_latencies.push(t0.elapsed());
+                assert_eq!(jobs.len(), DEPTH, "every frame in the burst must answer");
+                for job in jobs {
+                    report.bytes += job.result.expect("CTR apply").len() as u64;
+                }
             }
             report
         }));
@@ -77,7 +126,7 @@ fn run_load(
     for worker in workers {
         let report = worker.join().expect("client thread");
         bytes += report.bytes;
-        latencies.extend(report.latencies);
+        latencies.extend(report.burst_latencies);
     }
     let elapsed = started.elapsed();
 
@@ -87,7 +136,7 @@ fn run_load(
     // counter path end to end.
     let mut auditor = Client::connect(addr).expect("connect for stats");
     let stats_json = auditor.stats().expect("GET_STATS");
-    let expected = (clients * requests_per_client) as u64;
+    let expected = (clients * bursts_per_client * DEPTH) as u64;
     let snap = server.registry().snapshot();
     assert_eq!(
         snap.counter("service.op.ctr_apply.requests"),
@@ -112,29 +161,177 @@ fn run_load(
     (elapsed, bytes, latencies)
 }
 
+/// The 10 000-connection act: park [`HELD`] idle connections via the
+/// child, churn short-lived pipelined clients through the same server,
+/// and make the server prove it — connection gauge at or above the
+/// floor the whole time, pipeline gauge drained to zero, and finite
+/// p50/p99 out of the event loop's own histograms.
+fn massive_connection_hold(smoke: bool) {
+    let server = Server::new(ServiceConfig {
+        farm: vec![BackendSpec::EncDecCore, BackendSpec::Software],
+        queue_capacity: 64,
+        max_connections: HELD + 64,
+        idle_timeout: Duration::from_secs(300),
+        event_threads: 2,
+    })
+    .spawn("127.0.0.1:0")
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let exe = std::env::current_exe().expect("own path for the holder child");
+    let mut child = Command::new(exe)
+        .arg("--hold")
+        .arg(HELD.to_string())
+        .arg(addr.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn holder child");
+    let mut child_out = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut handshake = String::new();
+    child_out
+        .read_line(&mut handshake)
+        .expect("holder handshake");
+    assert_eq!(
+        handshake.trim(),
+        format!("HELD {HELD}"),
+        "holder must park every connection"
+    );
+
+    // The child counts connects; wait for the server's gauge to agree.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.active_connections() < HELD {
+        assert!(
+            Instant::now() < deadline,
+            "server admitted only {} of {HELD} held connections",
+            server.active_connections()
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+    println!(
+        "holding {} concurrent connections ({} served so far)",
+        server.active_connections(),
+        server.connections_served()
+    );
+
+    // Bursty churn on top: every burst is a fresh connection that
+    // pipelines DEPTH single-block jobs through the engine queue and
+    // disconnects — connection setup, admission and teardown all stay
+    // on the hot path while the 10k idle sockets sit in the poll sets.
+    let workers = 4usize;
+    let bursts_per_worker = if smoke { 4 } else { 32 };
+    let mut handles = Vec::new();
+    for worker in 0..workers {
+        handles.push(thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(bursts_per_worker);
+            for _ in 0..bursts_per_worker {
+                let mut client = Client::connect(addr).expect("churn connect");
+                client.set_key(&[worker as u8 + 1; 16]).expect("SET_KEY");
+                let t0 = Instant::now();
+                for _ in 0..DEPTH {
+                    client
+                        .pipeline(Op::EcbEncrypt, None, &[worker as u8; 16])
+                        .expect("pipeline");
+                }
+                let jobs = client.collect_all().expect("collect");
+                latencies.push(t0.elapsed());
+                assert_eq!(jobs.len(), DEPTH);
+                for job in jobs {
+                    assert_eq!(job.result.expect("block ok").len(), 16);
+                }
+            }
+            latencies
+        }));
+    }
+    let mut latencies: Vec<Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("churn thread"))
+        .collect();
+    latencies.sort_unstable();
+
+    assert!(
+        server.active_connections() >= HELD,
+        "idle connections must survive the churn ({} left)",
+        server.active_connections()
+    );
+
+    // The server's own event-loop histograms must yield finite
+    // percentiles — the regression this guards is `quantile` reading
+    // as "no data" the moment load pushed a bucket into overflow.
+    let snap = server.registry().snapshot();
+    assert_eq!(
+        snap.gauge("service.pipeline.inflight"),
+        Some(0),
+        "every pipelined job must be drained"
+    );
+    let dispatch = snap
+        .histogram("service.loop.dispatch_micros")
+        .expect("dispatch histogram");
+    let d50 = dispatch.quantile(0.50).expect("dispatch p50");
+    let d99 = dispatch.quantile(0.99).expect("dispatch p99");
+    assert!(
+        !d50.is_overflow(),
+        "median dispatch must land in a finite bucket"
+    );
+    let events = snap
+        .histogram("service.loop.events_per_poll")
+        .expect("events histogram");
+    let e99 = events.quantile(0.99).expect("events p99");
+
+    println!(
+        "churn: {} bursts of {DEPTH} pipelined frames, burst p50 {:>8.2?} p99 {:>8.2?}",
+        latencies.len(),
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+    );
+    println!(
+        "event loop: dispatch p50 {d50} us, p99 {d99} us ({} polls)",
+        dispatch.count
+    );
+    println!("event loop: events/poll p99 {e99}");
+
+    // Release the holder and confirm it exits cleanly.
+    child
+        .stdin
+        .take()
+        .expect("child stdin")
+        .write_all(b"done\n")
+        .expect("release holder");
+    let status = child.wait().expect("holder exit");
+    assert!(status.success(), "holder child failed: {status}");
+    server.shutdown();
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 4 && args[1] == "--hold" {
+        let n: usize = args[2].parse().expect("--hold count");
+        hold_connections(n, &args[3]);
+        return;
+    }
+
+    let smoke = args.iter().any(|a| a == "--smoke")
         || std::env::var_os("TESTKIT_BENCH_SMOKE").is_some_and(|v| v != "0");
     let clients = 4usize;
-    let (requests, payload_len) = if smoke { (8, 1024) } else { (200, 16 * 1024) };
+    let (bursts, payload_len) = if smoke { (2, 1024) } else { (12, 16 * 1024) };
 
-    println!("Service load — {clients} loopback clients, {requests} CTR requests each,");
-    println!("{payload_len} B payloads, per-session farms of the paper's combined core\n");
+    println!("Service load — {clients} loopback clients, {bursts} bursts of {DEPTH} pipelined CTR");
+    println!("requests each, {payload_len} B payloads, per-session farms of the paper's core\n");
     println!(
         "{:<6} {:>10} {:>12} {:>10} {:>10} {:>10}",
-        "cores", "requests", "throughput", "p50", "p90", "p99"
+        "cores", "requests", "throughput", "b.p50", "b.p90", "b.p99"
     );
     println!("{}", "-".repeat(64));
 
     for cores in [1usize, 2, 4] {
         let farm = vec![BackendSpec::EncDecCore; cores];
-        let (elapsed, bytes, latencies) = run_load(&farm, clients, requests, payload_len);
+        let (elapsed, bytes, latencies) = run_load(&farm, clients, bursts, payload_len);
         let secs = elapsed.as_secs_f64().max(1e-9);
         let mibps = bytes as f64 / (1024.0 * 1024.0) / secs;
         println!(
             "{:<6} {:>10} {:>9.2} MiB/s {:>9.2?} {:>9.2?} {:>9.2?}",
             cores,
-            latencies.len(),
+            latencies.len() * DEPTH,
             mibps,
             percentile(&latencies, 0.50),
             percentile(&latencies, 0.90),
@@ -142,10 +339,13 @@ fn main() {
         );
         assert_eq!(
             latencies.len(),
-            clients * requests,
-            "every request must complete"
+            clients * bursts,
+            "every burst must complete"
         );
     }
 
-    println!("\n(real wall-clock figures: TCP + framing + session dispatch + engine)");
+    println!();
+    massive_connection_hold(smoke);
+
+    println!("\n(real wall-clock figures: TCP + framing + readiness loop + engine)");
 }

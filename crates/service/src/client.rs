@@ -1,19 +1,39 @@
-//! Blocking loopback client: one [`Client`] per connection, typed
-//! methods over the raw frame layer.
+//! Blocking loopback client with a pipelined submit/collect API: one
+//! [`Client`] per connection, typed methods over the raw frame layer.
 //!
 //! The client tracks the sequence counter and the live session id, maps
-//! [`Status::Error`] replies into [`ClientError::Service`], and exposes
-//! the deferred-submission path ([`Client::try_submit`] /
-//! [`Client::flush`]) so callers can observe the server's typed `Busy`
-//! backpressure instead of unbounded queueing. The raw
+//! [`Status::Error`] replies into [`ClientError::Service`], and matches
+//! every reply to its request by **correlation id** — never by arrival
+//! order. That makes it safe against the v2 server's out-of-order
+//! completions: a reply for a different outstanding request is stashed
+//! and delivered when its own call asks for it, and only a reply that
+//! matches *nothing* outstanding is an error
+//! ([`ClientError::StrayReply`] — the old client failed hard on any
+//! sequence mismatch, with no way to resynchronise).
+//!
+//! Three request disciplines are exposed:
+//!
+//! * **blocking** — [`Client::ping`], [`Client::ecb_encrypt`], ... :
+//!   send one request, wait for its reply;
+//! * **pipelined** — [`Client::pipeline`] sends without waiting
+//!   (depth-N in flight per connection), [`Client::collect_next`] /
+//!   [`Client::collect_all`] receive completions in whatever order the
+//!   engine finished them;
+//! * **deferred** — [`Client::try_submit`] / [`Client::flush`], the
+//!   explicit queue-and-drain path with typed `Busy` backpressure.
+//!
+//! [`Client::connect`] speaks protocol v2; [`Client::connect_v1`]
+//! pins the connection to the version-1 layout for compatibility
+//! testing against the in-order v1 contract. The raw
 //! [`Client::send_raw`] / [`Client::recv_raw`] pair is for protocol
 //! tests that need to send deliberately malformed traffic.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{ErrorCode, Frame, Op, RecvError, Status, FLAG_DEFER};
+use crate::protocol::{ErrorCode, Frame, Op, RecvError, Status, FLAG_DEFER, PROTOCOL_V1};
 
 /// Failure of a client call.
 #[derive(Debug)]
@@ -29,6 +49,12 @@ pub enum ClientError {
         /// The code-specific detail value.
         detail: u32,
     },
+    /// A reply whose correlation id matches no outstanding request —
+    /// a duplicate, or an answer to something this client never sent.
+    StrayReply {
+        /// The unmatched correlation id.
+        corr: u32,
+    },
     /// The reply did not have the shape the call expected.
     Protocol(String),
 }
@@ -40,6 +66,9 @@ impl fmt::Display for ClientError {
             ClientError::Recv(e) => write!(f, "framing error: {e}"),
             ClientError::Service { code, detail } => {
                 write!(f, "service error: {code} (detail {detail})")
+            }
+            ClientError::StrayReply { corr } => {
+                write!(f, "stray reply: correlation id {corr} matches no request")
             }
             ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
@@ -68,7 +97,7 @@ impl From<RecvError> for ClientError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitOutcome {
     /// The job entered the queue; its result arrives at the next
-    /// [`Client::flush`] tagged with this sequence number.
+    /// [`Client::flush`] tagged with this correlation id.
     Accepted(u32),
     /// The queue is full — flush and retry.
     Busy {
@@ -80,9 +109,22 @@ pub enum SubmitOutcome {
 /// One result drained by [`Client::flush`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlushedJob {
-    /// The sequence number of the submission that produced it.
+    /// The correlation id of the submission that produced it (equal to
+    /// that request's sequence number unless overridden).
     pub seq: u32,
     /// The processed bytes, or the typed per-job failure.
+    pub result: Result<Vec<u8>, (ErrorCode, u32)>,
+}
+
+/// One pipelined completion, delivered by [`Client::collect_next`] in
+/// engine completion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelinedJob {
+    /// The correlation id [`Client::pipeline`] returned for the
+    /// request.
+    pub corr: u32,
+    /// The processed bytes, or the typed per-job failure (`Busy`,
+    /// `RaggedLength`, ...).
     pub result: Result<Vec<u8>, (ErrorCode, u32)>,
 }
 
@@ -92,22 +134,46 @@ pub struct Client {
     stream: TcpStream,
     seq: u32,
     session: u32,
+    version: u8,
+    /// Correlation ids of pipelined requests still awaiting replies.
+    pending: HashSet<u32>,
+    /// Out-of-order pipelined replies received while waiting for
+    /// something else, in arrival order.
+    stash: Vec<Frame>,
 }
 
 impl Client {
-    /// Connects (with `TCP_NODELAY`) and starts sequence numbering
-    /// at 1.
+    /// Connects (with `TCP_NODELAY`) speaking protocol v2, sequence
+    /// numbering starting at 1.
     ///
     /// # Errors
     ///
     /// Propagates connect/setsockopt failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Self::connect_version(addr, crate::protocol::PROTOCOL_V2)
+    }
+
+    /// Connects pinned to the version-1 wire format (11-byte header,
+    /// strictly in-order replies) — the compatibility path for peers
+    /// that predate pipelining.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/setsockopt failures.
+    pub fn connect_v1<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Self::connect_version(addr, PROTOCOL_V1)
+    }
+
+    fn connect_version<A: ToSocketAddrs>(addr: A, version: u8) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
             stream,
             seq: 0,
             session: 0,
+            version,
+            pending: HashSet::new(),
+            stash: Vec::new(),
         })
     }
 
@@ -117,9 +183,29 @@ impl Client {
         self.session
     }
 
+    /// The wire-format version this connection speaks.
+    #[must_use]
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Pipelined requests sent and not yet collected.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.pending.len() + self.stash.len()
+    }
+
     fn next_seq(&mut self) -> u32 {
         self.seq = self.seq.wrapping_add(1);
         self.seq
+    }
+
+    fn request(&self, op: Op, flags: u8, seq: u32, payload: Vec<u8>) -> Frame {
+        if self.version >= crate::protocol::PROTOCOL_V2 {
+            Frame::request(op, flags, seq, self.session, payload)
+        } else {
+            Frame::request_v1(op, flags, seq, self.session, payload)
+        }
     }
 
     /// Sends a frame verbatim (protocol-test escape hatch).
@@ -132,7 +218,8 @@ impl Client {
     }
 
     /// Reads the next reply frame verbatim (protocol-test escape
-    /// hatch).
+    /// hatch). Bypasses correlation matching — mixing this with
+    /// outstanding pipelined requests will misroute replies.
     ///
     /// # Errors
     ///
@@ -141,21 +228,39 @@ impl Client {
         Frame::read_from(&mut self.stream)
     }
 
+    /// Reads until the reply correlated `want` arrives; pipelined
+    /// replies that arrive in between are stashed for their own
+    /// collection calls.
+    fn recv_matched(&mut self, want: u32) -> Result<Frame, ClientError> {
+        loop {
+            let reply = self.recv_raw()?;
+            if reply.corr == want {
+                return Ok(reply);
+            }
+            if self.pending.contains(&reply.corr) {
+                self.stash.push(reply);
+                continue;
+            }
+            // An unsolicited goodbye (idle timeout, shutdown) carries
+            // corr 0 and outranks whatever we were waiting for.
+            if reply.corr == 0 {
+                if let Some((code, detail)) = reply.error_body() {
+                    return Err(ClientError::Service { code, detail });
+                }
+            }
+            return Err(ClientError::StrayReply { corr: reply.corr });
+        }
+    }
+
     /// Request/reply round trip; typed `Error` replies become
     /// [`ClientError::Service`].
     fn call(&mut self, op: Op, flags: u8, payload: Vec<u8>) -> Result<Frame, ClientError> {
         let seq = self.next_seq();
-        let request = Frame::request(op, flags, seq, self.session, payload);
+        let request = self.request(op, flags, seq, payload);
         self.send_raw(&request)?;
-        let reply = self.recv_raw()?;
+        let reply = self.recv_matched(seq)?;
         if let Some((code, detail)) = reply.error_body() {
             return Err(ClientError::Service { code, detail });
-        }
-        if reply.seq != seq {
-            return Err(ClientError::Protocol(format!(
-                "reply seq {} for request seq {seq}",
-                reply.seq
-            )));
         }
         Ok(reply)
     }
@@ -195,18 +300,22 @@ impl Client {
         Ok(reply.payload)
     }
 
+    fn engine_payload(iv: Option<&[u8; 16]>, data: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(16 + data.len());
+        if let Some(iv) = iv {
+            payload.extend_from_slice(iv);
+        }
+        payload.extend_from_slice(data);
+        payload
+    }
+
     fn engine_call(
         &mut self,
         op: Op,
         iv: Option<&[u8; 16]>,
         data: &[u8],
     ) -> Result<Vec<u8>, ClientError> {
-        let mut payload = Vec::with_capacity(16 + data.len());
-        if let Some(iv) = iv {
-            payload.extend_from_slice(iv);
-        }
-        payload.extend_from_slice(data);
-        let reply = self.call(op, 0, payload)?;
+        let reply = self.call(op, 0, Self::engine_payload(iv, data))?;
         Self::expect_ok(&reply)?;
         Ok(reply.payload)
     }
@@ -311,6 +420,83 @@ impl Client {
         }
     }
 
+    /// Sends an engine op **without waiting for the reply** and returns
+    /// its correlation id. Any number of pipelined requests may be in
+    /// flight; collect them with [`Client::collect_next`] /
+    /// [`Client::collect_all`] — completions arrive in engine order,
+    /// not submission order.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures on the send. Server-side failures (`Busy`,
+    /// `RaggedLength`, stale session, ...) come back as the job's
+    /// [`PipelinedJob::result`] at collection time.
+    pub fn pipeline(
+        &mut self,
+        op: Op,
+        iv: Option<&[u8; 16]>,
+        data: &[u8],
+    ) -> Result<u32, ClientError> {
+        let corr = self.next_seq();
+        let request = self.request(op, 0, corr, Self::engine_payload(iv, data));
+        self.send_raw(&request)?;
+        self.pending.insert(corr);
+        Ok(corr)
+    }
+
+    /// Receives the next pipelined completion (stashed replies first,
+    /// then the wire), blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] when nothing is in flight;
+    /// [`ClientError::StrayReply`] on a duplicate or unknown
+    /// correlation id; unsolicited goodbyes surface as
+    /// [`ClientError::Service`]; transport failures.
+    pub fn collect_next(&mut self) -> Result<PipelinedJob, ClientError> {
+        if self.pending.is_empty() && self.stash.is_empty() {
+            return Err(ClientError::Protocol(
+                "collect_next with no pipelined request in flight".into(),
+            ));
+        }
+        let reply = if self.stash.is_empty() {
+            self.recv_raw()?
+        } else {
+            self.stash.remove(0)
+        };
+        if !self.pending.remove(&reply.corr) {
+            if reply.corr == 0 {
+                if let Some((code, detail)) = reply.error_body() {
+                    return Err(ClientError::Service { code, detail });
+                }
+            }
+            return Err(ClientError::StrayReply { corr: reply.corr });
+        }
+        let result = match reply.error_body() {
+            Some((code, detail)) => Err((code, detail)),
+            None => Ok(reply.payload),
+        };
+        Ok(PipelinedJob {
+            corr: reply.corr,
+            result,
+        })
+    }
+
+    /// Collects every outstanding pipelined completion, in arrival
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::collect_next`]; already-collected jobs are not
+    /// re-delivered after an error.
+    pub fn collect_all(&mut self) -> Result<Vec<PipelinedJob>, ClientError> {
+        let mut jobs = Vec::with_capacity(self.in_flight());
+        while self.in_flight() > 0 {
+            jobs.push(self.collect_next()?);
+        }
+        Ok(jobs)
+    }
+
     /// Submits a deferred engine job; `Busy` comes back as a value, not
     /// an error, because it is the expected backpressure signal.
     ///
@@ -323,15 +509,10 @@ impl Client {
         iv: Option<&[u8; 16]>,
         data: &[u8],
     ) -> Result<SubmitOutcome, ClientError> {
-        let mut payload = Vec::with_capacity(16 + data.len());
-        if let Some(iv) = iv {
-            payload.extend_from_slice(iv);
-        }
-        payload.extend_from_slice(data);
-        match self.call(op, FLAG_DEFER, payload) {
+        match self.call(op, FLAG_DEFER, Self::engine_payload(iv, data)) {
             Ok(reply) => {
                 if reply.status() == Some(Status::Accepted) {
-                    Ok(SubmitOutcome::Accepted(reply.seq))
+                    Ok(SubmitOutcome::Accepted(reply.corr))
                 } else {
                     Err(ClientError::Protocol(format!(
                         "expected Accepted, got kind {:#04x}",
@@ -348,7 +529,9 @@ impl Client {
     }
 
     /// Drains the session's deferred jobs: collects the `Data` replies
-    /// (tagged with their submission seq) until the `Flushed` marker.
+    /// (tagged with their submission's correlation id) until the
+    /// `Flushed` marker. Pipelined completions arriving in between are
+    /// stashed, not lost.
     ///
     /// # Errors
     ///
@@ -357,26 +540,30 @@ impl Client {
     /// [`FlushedJob::result`] instead of failing the whole flush.
     pub fn flush(&mut self) -> Result<Vec<FlushedJob>, ClientError> {
         let flush_seq = self.next_seq();
-        let request = Frame::request(Op::Flush, 0, flush_seq, self.session, Vec::new());
+        let request = self.request(Op::Flush, 0, flush_seq, Vec::new());
         self.send_raw(&request)?;
         let mut jobs = Vec::new();
         loop {
             let reply = self.recv_raw()?;
+            if self.pending.contains(&reply.corr) {
+                self.stash.push(reply);
+                continue;
+            }
             match reply.status() {
                 Some(Status::Data) => jobs.push(FlushedJob {
-                    seq: reply.seq,
+                    seq: reply.corr,
                     result: Ok(reply.payload),
                 }),
                 Some(Status::Error) => {
                     let (code, detail) = reply
                         .error_body()
                         .ok_or_else(|| ClientError::Protocol("undecodable error reply".into()))?;
-                    if reply.seq == flush_seq {
+                    if reply.corr == flush_seq {
                         // The flush itself failed (NoSession, ...).
                         return Err(ClientError::Service { code, detail });
                     }
                     jobs.push(FlushedJob {
-                        seq: reply.seq,
+                        seq: reply.corr,
                         result: Err((code, detail)),
                     });
                 }
@@ -403,5 +590,143 @@ impl Client {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// A scripted peer: accepts one connection, reads `expect` frames,
+    /// then plays back `replies` verbatim. Lets the tests hand the
+    /// client deliberately reordered or duplicated replies.
+    fn scripted_server(
+        expect: usize,
+        replies: Vec<Frame>,
+    ) -> (std::net::SocketAddr, thread::JoinHandle<Vec<Frame>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut seen = Vec::with_capacity(expect);
+            for _ in 0..expect {
+                seen.push(Frame::read_from(&mut stream).unwrap());
+            }
+            for reply in &replies {
+                reply.write_to(&mut stream).unwrap();
+            }
+            seen
+        });
+        (addr, handle)
+    }
+
+    fn ok_reply(corr: u32, payload: Vec<u8>) -> Frame {
+        Frame::reply(Status::Ok, corr, 1, payload).with_corr(corr)
+    }
+
+    #[test]
+    fn reordered_replies_match_by_correlation_id() {
+        // Replies come back in reverse submission order; every job must
+        // still land on its own correlation id.
+        let (addr, server) = scripted_server(
+            3,
+            vec![
+                ok_reply(3, vec![0x33]),
+                ok_reply(1, vec![0x11]),
+                ok_reply(2, vec![0x22]),
+            ],
+        );
+        let mut client = Client::connect(addr).unwrap();
+        let a = client.pipeline(Op::EcbEncrypt, None, &[0u8; 16]).unwrap();
+        let b = client.pipeline(Op::EcbEncrypt, None, &[0u8; 16]).unwrap();
+        let c = client.pipeline(Op::EcbEncrypt, None, &[0u8; 16]).unwrap();
+        assert_eq!((a, b, c), (1, 2, 3));
+        assert_eq!(client.in_flight(), 3);
+
+        let jobs = client.collect_all().unwrap();
+        assert_eq!(client.in_flight(), 0);
+        let by_corr: std::collections::HashMap<u32, Vec<u8>> = jobs
+            .into_iter()
+            .map(|j| (j.corr, j.result.unwrap()))
+            .collect();
+        assert_eq!(by_corr[&1], vec![0x11]);
+        assert_eq!(by_corr[&2], vec![0x22]);
+        assert_eq!(by_corr[&3], vec![0x33]);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_replies_are_typed_stray_errors() {
+        let (addr, server) =
+            scripted_server(1, vec![ok_reply(1, vec![0xAA]), ok_reply(1, vec![0xAA])]);
+        let mut client = Client::connect(addr).unwrap();
+        client.pipeline(Op::EcbEncrypt, None, &[0u8; 16]).unwrap();
+        // Force a second receive after the pipeline drains by sending
+        // another request; the duplicate arrives first and matches
+        // nothing.
+        let first = client.collect_next().unwrap();
+        assert_eq!(first.corr, 1);
+        let request = client.request(Op::Ping, 0, 99, Vec::new());
+        client.send_raw(&request).unwrap();
+        match client.recv_matched(99) {
+            Err(ClientError::StrayReply { corr: 1 }) => {}
+            other => panic!("expected StrayReply {{ corr: 1 }}, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn blocking_calls_stash_interleaved_pipelined_replies() {
+        // The server answers the pipelined job FIRST, then the ping.
+        // The blocking ping must stash the pipelined completion and
+        // deliver it at collect_next — zero socket reads by then.
+        let (addr, server) = scripted_server(
+            2,
+            vec![ok_reply(1, vec![0xEE]), ok_reply(2, b"pong".to_vec())],
+        );
+        let mut client = Client::connect(addr).unwrap();
+        let corr = client.pipeline(Op::EcbEncrypt, None, &[0u8; 16]).unwrap();
+        let pong = client.ping(b"pong").unwrap();
+        assert_eq!(pong, b"pong");
+        let job = client.collect_next().unwrap();
+        assert_eq!(job.corr, corr);
+        assert_eq!(job.result.unwrap(), vec![0xEE]);
+        let seen = server.join().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].op(), Some(Op::EcbEncrypt));
+        assert_eq!(seen[1].op(), Some(Op::Ping));
+    }
+
+    #[test]
+    fn v1_client_emits_v1_frames() {
+        let (addr, server) = scripted_server(
+            1,
+            vec![Frame::reply(Status::Ok, 1, 0, b"hi".to_vec()).with_version(PROTOCOL_V1)],
+        );
+        let mut client = Client::connect_v1(addr).unwrap();
+        assert_eq!(client.version(), PROTOCOL_V1);
+        let echoed = client.ping(b"hi").unwrap();
+        assert_eq!(echoed, b"hi");
+        let seen = server.join().unwrap();
+        assert_eq!(seen[0].version, PROTOCOL_V1);
+        assert_eq!(seen[0].corr, seen[0].seq, "v1 decode mirrors seq");
+    }
+
+    #[test]
+    fn unsolicited_goodbyes_surface_as_service_errors() {
+        let (addr, server) =
+            scripted_server(1, vec![Frame::error(ErrorCode::ShuttingDown, 0, 0, 0)]);
+        let mut client = Client::connect(addr).unwrap();
+        client.pipeline(Op::EcbEncrypt, None, &[0u8; 16]).unwrap();
+        match client.collect_next() {
+            Err(ClientError::Service {
+                code: ErrorCode::ShuttingDown,
+                ..
+            }) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+        server.join().unwrap();
     }
 }

@@ -5,18 +5,27 @@
 //! key, and stream mode operations at the engine. This crate is that
 //! service, std-only and hermetic like the rest of the workspace:
 //!
-//! * [`protocol`] — the version-1 length-prefixed wire format: request
-//!   framing (ECB/CBC/CTR, CMAC, key load, flush, ping, stats), strict
-//!   frame size limits, and typed error replies instead of disconnects;
+//! * [`protocol`] — the length-prefixed wire format, versions 1 and 2:
+//!   request framing (ECB/CBC/CTR, CMAC, key load, flush, ping, stats),
+//!   strict frame size limits, typed error replies instead of
+//!   disconnects, and — in v2 — a correlation id that makes request
+//!   pipelining with out-of-order replies well-defined;
 //! * [`session`] — per-connection key management: `SET_KEY` builds a
 //!   fresh engine farm, key material is never echoed and wipes itself
-//!   on teardown or re-key;
-//! * [`server`] — the threaded accept/worker loop with a connection
-//!   admission cap, per-session backpressure mapped onto
-//!   `Engine::try_submit` (typed `Busy` replies), idle timeouts and a
-//!   graceful shutdown that drains in-flight deferred jobs;
-//! * [`client`] — a blocking loopback client used by the integration
-//!   tests and the `service_load` load generator.
+//!   on teardown or re-key; deferred and pipelined jobs ride the same
+//!   bounded queue through separate lanes;
+//! * [`net`] — the std-only readiness shim (`poll(2)` by direct FFI)
+//!   that lets the server watch thousands of nonblocking sockets
+//!   without external crates;
+//! * [`server`] — the event-driven front end: an acceptor with a typed
+//!   admission cap feeding per-connection state machines spread across
+//!   a few shard event loops, with request pipelining, per-session
+//!   backpressure mapped onto `Engine::try_submit` (typed `Busy`
+//!   replies), write-backpressure, idle timeouts and a graceful
+//!   shutdown that drains in-flight pipelined and deferred jobs;
+//! * [`client`] — a blocking loopback client with a pipelined
+//!   submit/collect API, used by the integration tests and the
+//!   `service_load` load generator.
 //!
 //! Every server owns a [`telemetry::Registry`] that its session engines
 //! publish into; `GET_STATS` ([`Client::stats`]) returns one snapshot of
@@ -40,15 +49,18 @@
 //! handle.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafety is confined to the two audited FFI call sites in [`net`]
+// (`poll(2)` and the rlimit pair); everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod net;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, ClientError, FlushedJob, SubmitOutcome};
-pub use protocol::{ErrorCode, Frame, Op, RecvError, Status};
+pub use client::{Client, ClientError, FlushedJob, PipelinedJob, SubmitOutcome};
+pub use protocol::{ErrorCode, Frame, Op, RecvBuffer, RecvError, Status};
 pub use server::{Server, ServiceConfig, ServiceHandle};
 pub use session::{Session, SessionSlot};

@@ -1,17 +1,42 @@
-//! Version-1 wire format: length-prefixed binary frames.
+//! Versioned wire format: length-prefixed binary frames, v1 and v2.
 //!
-//! Every frame — request or reply — is one length-prefixed record:
+//! Every frame — request or reply — is one length-prefixed record. The
+//! version-1 layout (the PR 3 format, still accepted everywhere):
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     len      u32 BE; bytes after this field (11 ..= MAX_FRAME_LEN)
-//! 4       1     version  PROTOCOL_VERSION (1)
+//! 4       1     version  1
 //! 5       1     kind     request Op, or reply Status (high bit set)
 //! 6       1     flags    bit 0 = FLAG_DEFER on engine ops; reserved otherwise
 //! 7       4     seq      u32 BE; client-chosen, echoed in the matching replies
 //! 11      4     session  u32 BE; 0 before SET_KEY, server-assigned afterwards
 //! 15      ...   payload  op-specific body, at most MAX_PAYLOAD bytes
 //! ```
+//!
+//! Version 2 appends a **correlation id** after the session field:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     len      u32 BE; bytes after this field (15 ..= MAX_FRAME_LEN)
+//! 4       1     version  2
+//! 5       1     kind     as v1
+//! 6       1     flags    as v1
+//! 7       4     seq      u32 BE; monotone per connection (diagnostics)
+//! 11      4     session  u32 BE; as v1
+//! 15      4     corr     u32 BE; client-chosen, echoed in the matching reply
+//! 19      ...   payload  op-specific body, at most MAX_PAYLOAD bytes
+//! ```
+//!
+//! The correlation id is what makes **pipelining** well-defined: a v2
+//! client may have any number of requests in flight on one connection,
+//! and the server may answer them in *any order* (engine jobs complete
+//! out of order across a farm); each reply names the request it answers
+//! through `corr`. On v1 frames there is no `corr` field — the decoder
+//! mirrors `seq` into [`Frame::corr`] so both versions correlate
+//! uniformly in code — and the server guarantees v1 replies arrive in
+//! request order, which is exactly the PR 3 contract a v1 client
+//! assumes.
 //!
 //! Limits are enforced on both sides: a frame longer than
 //! [`MAX_FRAME_LEN`] is refused *before* it is buffered, and the server
@@ -20,26 +45,46 @@
 //! (the two exceptions — an oversized length prefix and a version
 //! mismatch — poison the framing itself, so the server sends the typed
 //! error and then closes).
+//!
+//! Incremental reassembly goes through [`RecvBuffer`], a
+//! consumed-offset cursor over the connection's receive bytes. The old
+//! `parse_buffered` drained the front of a `Vec<u8>` per frame — an
+//! O(n²) memmove exactly when a pipelining burst parks many frames in
+//! one buffer. `RecvBuffer` advances a cursor instead and compacts
+//! amortised-O(1), so parsing `k` buffered frames moves each byte a
+//! bounded number of times no matter how large `k` gets.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
 use engine::Mode;
 
-/// Wire-format version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// The original wire-format version (11-byte header, in-order replies).
+pub const PROTOCOL_V1: u8 = 1;
 
-/// Bytes of header after the length prefix (version, kind, flags, seq,
-/// session).
+/// The pipelined wire-format version (15-byte header with a correlation
+/// id; replies may arrive out of order).
+pub const PROTOCOL_V2: u8 = 2;
+
+/// The current wire-format version new clients speak.
+pub const PROTOCOL_VERSION: u8 = PROTOCOL_V2;
+
+/// Bytes of v1 header after the length prefix (version, kind, flags,
+/// seq, session).
 pub const HEADER_LEN: usize = 11;
+
+/// Bytes of v2 header after the length prefix (v1 fields plus the
+/// correlation id).
+pub const HEADER_LEN_V2: usize = 15;
 
 /// Hard cap on one frame's payload (IV included). Bigger requests must be
 /// split; the cap bounds per-connection buffering no matter what a peer
 /// sends.
 pub const MAX_PAYLOAD: usize = 256 * 1024;
 
-/// Hard cap on the post-prefix frame length.
-pub const MAX_FRAME_LEN: usize = HEADER_LEN + MAX_PAYLOAD;
+/// Hard cap on the post-prefix frame length (a maximal-payload v2
+/// frame; v1 frames top out four bytes below it).
+pub const MAX_FRAME_LEN: usize = HEADER_LEN_V2 + MAX_PAYLOAD;
 
 /// Request flag bit 0: enqueue the job into the session engine and reply
 /// [`Status::Accepted`] immediately; results are collected by
@@ -56,8 +101,8 @@ pub enum Op {
     /// header's `session` field.
     SetKey = 0x01,
     /// Drain the session engine: one [`Status::Data`] reply per deferred
-    /// job (carrying that job's original `seq`), then [`Status::Flushed`]
-    /// with a `u32` count. Payload: empty.
+    /// job (carrying that job's original `seq`/`corr`), then
+    /// [`Status::Flushed`] with a `u32` count. Payload: empty.
     Flush = 0x02,
     /// Liveness probe; the payload (bounded like any other) is echoed in
     /// the [`Status::Ok`] reply.
@@ -165,8 +210,8 @@ pub enum Status {
     /// A deferred job entered the session engine's queue; results follow
     /// the next [`Op::Flush`].
     Accepted = 0x81,
-    /// One drained deferred job's output; `seq` is the *submission*'s
-    /// sequence number.
+    /// One drained deferred job's output; `seq`/`corr` are the
+    /// *submission*'s.
     Data = 0x82,
     /// The flush finished; payload is the `u32` BE count of jobs drained.
     Flushed = 0x83,
@@ -195,24 +240,26 @@ impl Status {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum ErrorCode {
-    /// Frame version ≠ [`PROTOCOL_VERSION`]. Detail: the received
-    /// version. The connection closes after this reply.
+    /// Frame version is neither [`PROTOCOL_V1`] nor [`PROTOCOL_V2`].
+    /// Detail: the received version. The connection closes after this
+    /// reply.
     BadVersion = 1,
     /// Unknown request op. Detail: the received `kind` byte.
     BadOp = 2,
     /// The payload does not parse for the op (short IV, wrong key
     /// length, missing tag...). Detail: the received payload length.
     Malformed = 3,
-    /// The length prefix exceeds [`MAX_FRAME_LEN`]. Detail: the declared
-    /// length. The connection closes after this reply.
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or the payload
+    /// exceeds [`MAX_PAYLOAD`] for the frame's version). Detail: the
+    /// declared length. The connection closes after this reply.
     FrameTooLarge = 4,
     /// A crypto op arrived before any `SET_KEY`. Detail: 0.
     NoSession = 5,
     /// The request's `session` field does not name the live session
     /// (stale pipelined request after a re-key). Detail: the live id.
     StaleSession = 6,
-    /// The session engine's bounded queue is full — flush and retry.
-    /// Detail: the queue capacity.
+    /// The session engine's bounded queue is full — collect or flush
+    /// outstanding replies and retry. Detail: the queue capacity.
     Busy = 7,
     /// ECB/CBC payload is not a whole number of 16-byte blocks. Detail:
     /// the offending data length.
@@ -222,10 +269,11 @@ pub enum ErrorCode {
     /// A backend fault while running the job. Detail: 0.
     JobFailed = 10,
     /// No complete request arrived within the idle budget; the
-    /// connection closes after this reply. Detail: the timeout in ms.
+    /// connection closes after this reply. Detail: the timeout in ms,
+    /// saturating at `u32::MAX` for longer budgets.
     IdleTimeout = 11,
-    /// The server is draining for shutdown; in-flight deferred jobs were
-    /// flushed before this goodbye. Detail: 0.
+    /// The server is draining for shutdown; in-flight pipelined and
+    /// deferred jobs were answered before this goodbye. Detail: 0.
     ShuttingDown = 12,
     /// [`FLAG_DEFER`] on an op that cannot be deferred. Detail: the op
     /// byte.
@@ -290,7 +338,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::FrameTooLarge => "frame exceeds the size limit",
             ErrorCode::NoSession => "no session: SET_KEY first",
             ErrorCode::StaleSession => "stale session id",
-            ErrorCode::Busy => "engine queue full: flush and retry",
+            ErrorCode::Busy => "engine queue full: collect replies and retry",
             ErrorCode::RaggedLength => "payload is not whole 16-byte blocks",
             ErrorCode::BadTag => "CMAC verification failed",
             ErrorCode::JobFailed => "backend fault while running the job",
@@ -306,9 +354,9 @@ impl fmt::Display for ErrorCode {
 /// One decoded frame (either direction).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
-    /// Wire version ([`PROTOCOL_VERSION`] on everything this crate
-    /// builds; preserved verbatim on receive so version errors can echo
-    /// it).
+    /// Wire version ([`PROTOCOL_V1`] or [`PROTOCOL_V2`] on everything
+    /// this crate builds; preserved verbatim on receive so version
+    /// errors can echo it).
     pub version: u8,
     /// Raw `kind` byte: an [`Op`] on requests, a [`Status`] on replies.
     pub kind: u8,
@@ -318,44 +366,98 @@ pub struct Frame {
     pub seq: u32,
     /// Session id (0 = none yet).
     pub session: u32,
+    /// Correlation id: the pipelining handle that ties a reply to its
+    /// request. Serialized only on v2 frames; on v1 frames the decoder
+    /// mirrors `seq` here so both versions correlate uniformly.
+    pub corr: u32,
     /// Op-/status-specific body.
     pub payload: Vec<u8>,
 }
 
 impl Frame {
-    /// Builds a request frame.
+    /// Builds a v2 request frame with `corr` mirroring `seq` (override
+    /// with [`Frame::with_corr`] for pipelined traffic).
     #[must_use]
     pub fn request(op: Op, flags: u8, seq: u32, session: u32, payload: Vec<u8>) -> Frame {
         Frame {
-            version: PROTOCOL_VERSION,
+            version: PROTOCOL_V2,
             kind: op as u8,
             flags,
             seq,
             session,
+            corr: seq,
             payload,
         }
     }
 
-    /// Builds a reply frame.
+    /// Builds a v1 request frame (11-byte header, correlated by `seq`).
+    #[must_use]
+    pub fn request_v1(op: Op, flags: u8, seq: u32, session: u32, payload: Vec<u8>) -> Frame {
+        Frame {
+            version: PROTOCOL_V1,
+            ..Frame::request(op, flags, seq, session, payload)
+        }
+    }
+
+    /// Overrides the correlation id (builder-style).
+    #[must_use]
+    pub fn with_corr(mut self, corr: u32) -> Frame {
+        self.corr = corr;
+        self
+    }
+
+    /// Overrides the version byte (builder-style; protocol tests).
+    #[must_use]
+    pub fn with_version(mut self, version: u8) -> Frame {
+        self.version = version;
+        self
+    }
+
+    /// Builds a v2 reply frame with `corr` mirroring `seq`.
     #[must_use]
     pub fn reply(status: Status, seq: u32, session: u32, payload: Vec<u8>) -> Frame {
         Frame {
-            version: PROTOCOL_VERSION,
+            version: PROTOCOL_V2,
             kind: status as u8,
             flags: 0,
             seq,
             session,
+            corr: seq,
             payload,
         }
     }
 
-    /// Builds a typed error reply.
+    /// Builds the reply to `request`: the version (normalised to the
+    /// nearest layout this side emits — v2 for any version ≥ 2), `seq`,
+    /// `corr` and `session` all echo the request.
+    #[must_use]
+    pub fn reply_to(request: &Frame, status: Status, payload: Vec<u8>) -> Frame {
+        Frame {
+            version: if request.version >= PROTOCOL_V2 {
+                PROTOCOL_V2
+            } else {
+                PROTOCOL_V1
+            },
+            kind: status as u8,
+            flags: 0,
+            seq: request.seq,
+            session: request.session,
+            corr: request.corr,
+            payload,
+        }
+    }
+
+    /// Builds a typed v2 error reply.
     #[must_use]
     pub fn error(code: ErrorCode, detail: u32, seq: u32, session: u32) -> Frame {
-        let mut payload = Vec::with_capacity(5);
-        payload.push(code as u8);
-        payload.extend_from_slice(&detail.to_be_bytes());
-        Frame::reply(Status::Error, seq, session, payload)
+        Frame::reply(Status::Error, seq, session, error_payload(code, detail))
+    }
+
+    /// Builds the typed error reply to `request` (version, `seq`,
+    /// `corr` and `session` echo the request).
+    #[must_use]
+    pub fn error_to(request: &Frame, code: ErrorCode, detail: u32) -> Frame {
+        Frame::reply_to(request, Status::Error, error_payload(code, detail))
     }
 
     /// The request op, when `kind` encodes one.
@@ -381,7 +483,18 @@ impl Frame {
         Some((code, detail))
     }
 
-    /// Serialises the frame (length prefix included).
+    /// The post-prefix header length for this frame's version.
+    #[must_use]
+    pub fn header_len(&self) -> usize {
+        if self.version >= PROTOCOL_V2 {
+            HEADER_LEN_V2
+        } else {
+            HEADER_LEN
+        }
+    }
+
+    /// Serialises the frame (length prefix included) in its version's
+    /// layout: v1 frames omit the correlation id.
     ///
     /// # Errors
     ///
@@ -394,51 +507,60 @@ impl Frame {
                 format!("payload of {} exceeds MAX_PAYLOAD", self.payload.len()),
             ));
         }
-        let len = (HEADER_LEN + self.payload.len()) as u32;
-        let mut buf = Vec::with_capacity(4 + HEADER_LEN + self.payload.len());
+        let header = self.header_len();
+        let len = (header + self.payload.len()) as u32;
+        let mut buf = Vec::with_capacity(4 + header + self.payload.len());
         buf.extend_from_slice(&len.to_be_bytes());
         buf.push(self.version);
         buf.push(self.kind);
         buf.push(self.flags);
         buf.extend_from_slice(&self.seq.to_be_bytes());
         buf.extend_from_slice(&self.session.to_be_bytes());
+        if self.version >= PROTOCOL_V2 {
+            buf.extend_from_slice(&self.corr.to_be_bytes());
+        }
         buf.extend_from_slice(&self.payload);
         w.write_all(&buf)
     }
 
-    /// Incremental variant of [`Frame::read_from`] for non-blocking
-    /// readers: parses one complete frame off the front of `buf`,
-    /// draining its bytes, or returns `Ok(None)` when more bytes are
-    /// needed. The length prefix is validated as soon as it is visible,
-    /// so an oversized frame is refused before its body accumulates.
-    ///
-    /// # Errors
-    ///
-    /// [`RecvError::TooLarge`] / [`RecvError::TooShort`] on a length
-    /// prefix outside the valid range; `buf` is left untouched so the
-    /// caller can report and close.
-    pub fn parse_buffered(buf: &mut Vec<u8>) -> Result<Option<Frame>, RecvError> {
-        if buf.len() < 4 {
-            return Ok(None);
+    /// Decodes one complete post-prefix frame body (length prefix
+    /// already stripped and validated against the global bounds).
+    fn decode_body(body: &[u8]) -> Result<Frame, RecvError> {
+        let version = body[0];
+        let header = if version >= PROTOCOL_V2 {
+            HEADER_LEN_V2
+        } else {
+            HEADER_LEN
+        };
+        if body.len() < header {
+            return Err(RecvError::TooShort {
+                len: body.len() as u32,
+            });
         }
-        let len = u32::from_be_bytes(buf[..4].try_into().expect("4-byte slice"));
-        if (len as usize) < HEADER_LEN {
-            return Err(RecvError::TooShort { len });
+        if body.len() - header > MAX_PAYLOAD {
+            return Err(RecvError::TooLarge {
+                len: body.len() as u32,
+            });
         }
-        if (len as usize) > MAX_FRAME_LEN {
-            return Err(RecvError::TooLarge { len });
-        }
-        let total = 4 + len as usize;
-        if buf.len() < total {
-            return Ok(None);
-        }
-        let frame = Frame::read_from(&mut &buf[..total]).expect("complete frame already validated");
-        buf.drain(..total);
-        Ok(Some(frame))
+        let seq = u32::from_be_bytes(body[3..7].try_into().expect("4-byte slice"));
+        let corr = if version >= PROTOCOL_V2 {
+            u32::from_be_bytes(body[11..15].try_into().expect("4-byte slice"))
+        } else {
+            seq
+        };
+        Ok(Frame {
+            version,
+            kind: body[1],
+            flags: body[2],
+            seq,
+            session: u32::from_be_bytes(body[7..11].try_into().expect("4-byte slice")),
+            corr,
+            payload: body[header..].to_vec(),
+        })
     }
 
     /// Reads one frame, enforcing [`MAX_FRAME_LEN`] before buffering the
-    /// body.
+    /// body. Accepts both wire versions.
     ///
     /// # Errors
     ///
@@ -460,14 +582,121 @@ impl Frame {
         }
         let mut body = vec![0u8; len as usize];
         r.read_exact(&mut body)?;
-        Ok(Frame {
-            version: body[0],
-            kind: body[1],
-            flags: body[2],
-            seq: u32::from_be_bytes(body[3..7].try_into().expect("4-byte slice")),
-            session: u32::from_be_bytes(body[7..11].try_into().expect("4-byte slice")),
-            payload: body[HEADER_LEN..].to_vec(),
-        })
+        Frame::decode_body(&body)
+    }
+}
+
+fn error_payload(code: ErrorCode, detail: u32) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(5);
+    payload.push(code as u8);
+    payload.extend_from_slice(&detail.to_be_bytes());
+    payload
+}
+
+/// Incremental frame reassembly for non-blocking readers: a
+/// consumed-offset cursor over the connection's receive bytes.
+///
+/// Append raw socket bytes with [`RecvBuffer::extend_from_slice`], then
+/// pull complete frames with [`RecvBuffer::next_frame`] until it parks
+/// (`Ok(None)`). Consumed bytes advance a cursor instead of draining the
+/// vector's front, so a pipelining burst that parks thousands of frames
+/// in one buffer parses in O(total bytes) — the old per-frame
+/// `Vec::drain` cost O(frames × buffered bytes) in memmoves, which is
+/// quadratic exactly when clients pipeline. The buffer compacts only
+/// when the dead prefix dominates the live bytes, keeping the memmove
+/// amortised O(1) per byte ([`RecvBuffer::compacted_bytes`] counts the
+/// bytes actually moved so tests can pin the bound).
+#[derive(Debug, Default)]
+pub struct RecvBuffer {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by parsed frames.
+    start: usize,
+    /// Total bytes ever memmoved by compaction (regression metric).
+    compacted: u64,
+}
+
+/// Compact only once the dead prefix is at least this large *and* at
+/// least as large as the live remainder — both conditions together make
+/// the copy cost amortised O(1) per received byte.
+const COMPACT_THRESHOLD: usize = 4096;
+
+impl RecvBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> RecvBuffer {
+        RecvBuffer::default()
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            // Everything already parsed: reset for free.
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= COMPACT_THRESHOLD && self.start * 2 >= self.buf.len() {
+            self.compact();
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// `true` when no unconsumed bytes remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes memmoved by compaction since construction — the
+    /// regression metric proving parsing is not quadratic: it stays 0
+    /// for any burst parsed from one contiguous buffer, and is bounded
+    /// by a small multiple of the bytes received otherwise.
+    #[must_use]
+    pub fn compacted_bytes(&self) -> u64 {
+        self.compacted
+    }
+
+    fn compact(&mut self) {
+        let live = self.buf.len() - self.start;
+        self.buf.copy_within(self.start.., 0);
+        self.buf.truncate(live);
+        self.compacted += live as u64;
+        self.start = 0;
+    }
+
+    /// Parses one complete frame off the cursor, or returns `Ok(None)`
+    /// when more bytes are needed. The length prefix is validated as
+    /// soon as it is visible, so an oversized frame is refused before
+    /// its body accumulates.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::TooLarge`] / [`RecvError::TooShort`] on a length
+    /// prefix outside the valid range; the buffer is left untouched so
+    /// the caller can report and close.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, RecvError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(avail[..4].try_into().expect("4-byte slice"));
+        if (len as usize) < HEADER_LEN {
+            return Err(RecvError::TooShort { len });
+        }
+        if (len as usize) > MAX_FRAME_LEN {
+            return Err(RecvError::TooLarge { len });
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::decode_body(&avail[4..total])?;
+        self.start += total;
+        Ok(Some(frame))
     }
 }
 
@@ -476,12 +705,14 @@ impl Frame {
 pub enum RecvError {
     /// Transport error (EOF mid-frame is `UnexpectedEof`).
     Io(io::Error),
-    /// Length prefix under [`HEADER_LEN`]: framing is corrupt.
+    /// Length prefix under [`HEADER_LEN`] (or under the header length
+    /// the frame's version requires): framing is corrupt.
     TooShort {
         /// The declared post-prefix length.
         len: u32,
     },
-    /// Length prefix over [`MAX_FRAME_LEN`]: refused before buffering.
+    /// Length prefix over [`MAX_FRAME_LEN`] (or payload over
+    /// [`MAX_PAYLOAD`]): refused before buffering.
     TooLarge {
         /// The declared post-prefix length.
         len: u32,
@@ -493,7 +724,7 @@ impl fmt::Display for RecvError {
         match self {
             RecvError::Io(e) => write!(f, "frame transport error: {e}"),
             RecvError::TooShort { len } => {
-                write!(f, "frame length {len} under the {HEADER_LEN}-byte header")
+                write!(f, "frame length {len} under the version's header length")
             }
             RecvError::TooLarge { len } => {
                 write!(f, "frame length {len} over the {MAX_FRAME_LEN} limit")
@@ -515,15 +746,52 @@ mod tests {
     use super::*;
 
     #[test]
-    fn frame_roundtrips_through_the_wire_format() {
-        let frame = Frame::request(Op::CbcEncrypt, FLAG_DEFER, 7, 0xDEAD_BEEF, vec![9u8; 48]);
+    fn v2_frame_roundtrips_through_the_wire_format() {
+        let frame = Frame::request(Op::CbcEncrypt, FLAG_DEFER, 7, 0xDEAD_BEEF, vec![9u8; 48])
+            .with_corr(0x1234_5678);
         let mut wire = Vec::new();
         frame.write_to(&mut wire).unwrap();
-        assert_eq!(wire.len(), 4 + HEADER_LEN + 48);
+        assert_eq!(wire.len(), 4 + HEADER_LEN_V2 + 48);
         let back = Frame::read_from(&mut wire.as_slice()).unwrap();
         assert_eq!(back, frame);
+        assert_eq!(back.corr, 0x1234_5678);
         assert_eq!(back.op(), Some(Op::CbcEncrypt));
         assert_eq!(back.status(), None);
+    }
+
+    #[test]
+    fn v1_frame_roundtrips_and_mirrors_seq_into_corr() {
+        let frame = Frame::request_v1(Op::Ping, 0, 42, 3, vec![1, 2]);
+        let mut wire = Vec::new();
+        frame.write_to(&mut wire).unwrap();
+        // v1 keeps the 11-byte header: no correlation id on the wire.
+        assert_eq!(wire.len(), 4 + HEADER_LEN + 2);
+        let back = Frame::read_from(&mut wire.as_slice()).unwrap();
+        assert_eq!(back.version, PROTOCOL_V1);
+        assert_eq!(back.seq, 42);
+        assert_eq!(back.corr, 42, "v1 correlates by seq");
+        assert_eq!(back.payload, vec![1, 2]);
+    }
+
+    #[test]
+    fn replies_echo_version_seq_corr_and_session() {
+        let v2 = Frame::request(Op::Ping, 0, 5, 9, Vec::new()).with_corr(77);
+        let reply = Frame::reply_to(&v2, Status::Ok, vec![1]);
+        assert_eq!(
+            (reply.version, reply.seq, reply.corr, reply.session),
+            (PROTOCOL_V2, 5, 77, 9)
+        );
+        let v1 = Frame::request_v1(Op::Ping, 0, 5, 9, Vec::new());
+        let reply = Frame::error_to(&v1, ErrorCode::Busy, 32);
+        assert_eq!(reply.version, PROTOCOL_V1);
+        assert_eq!(reply.error_body(), Some((ErrorCode::Busy, 32)));
+        // Unknown future versions (parsed with the v2 layout) get v2
+        // replies — the newest layout this side knows how to emit.
+        let odd = Frame::request(Op::Ping, 0, 1, 0, Vec::new()).with_version(9);
+        assert_eq!(
+            Frame::reply_to(&odd, Status::Ok, Vec::new()).version,
+            PROTOCOL_V2
+        );
     }
 
     #[test]
@@ -559,6 +827,36 @@ mod tests {
     }
 
     #[test]
+    fn v2_frame_shorter_than_its_header_is_too_short() {
+        // len = 12 is valid for v1 but the version byte says v2, whose
+        // header needs 15 bytes.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&12u32.to_be_bytes());
+        wire.push(PROTOCOL_V2);
+        wire.extend_from_slice(&[0u8; 11]);
+        assert!(matches!(
+            Frame::read_from(&mut wire.as_slice()),
+            Err(RecvError::TooShort { len: 12 })
+        ));
+    }
+
+    #[test]
+    fn v1_frame_cannot_smuggle_an_oversized_payload() {
+        // A v1 frame whose length implies payload > MAX_PAYLOAD (legal
+        // under the global MAX_FRAME_LEN, which is v2-sized) is refused.
+        let len = (HEADER_LEN + MAX_PAYLOAD + 2) as u32;
+        assert!(len as usize <= MAX_FRAME_LEN);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&len.to_be_bytes());
+        wire.push(PROTOCOL_V1);
+        wire.extend_from_slice(&vec![0u8; len as usize - 1]);
+        assert!(matches!(
+            Frame::read_from(&mut wire.as_slice()),
+            Err(RecvError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
     fn oversized_payload_is_refused_at_send() {
         let frame = Frame::request(Op::Ping, 0, 0, 0, vec![0u8; MAX_PAYLOAD + 1]);
         let err = frame.write_to(&mut Vec::new()).unwrap_err();
@@ -578,19 +876,19 @@ mod tests {
     }
 
     #[test]
-    fn parse_buffered_handles_trickled_and_back_to_back_frames() {
+    fn recv_buffer_handles_trickled_and_back_to_back_frames() {
         let a = Frame::request(Op::Ping, 0, 1, 0, vec![0xAA; 5]);
-        let b = Frame::request(Op::Flush, 0, 2, 9, Vec::new());
+        let b = Frame::request_v1(Op::Flush, 0, 2, 9, Vec::new());
         let mut wire = Vec::new();
         a.write_to(&mut wire).unwrap();
         b.write_to(&mut wire).unwrap();
 
-        let mut buf = Vec::new();
+        let mut buf = RecvBuffer::new();
         let mut parsed = Vec::new();
         // Feed one byte at a time: partial frames must park, never error.
         for byte in wire {
-            buf.push(byte);
-            while let Some(frame) = Frame::parse_buffered(&mut buf).unwrap() {
+            buf.extend_from_slice(&[byte]);
+            while let Some(frame) = buf.next_frame().unwrap() {
                 parsed.push(frame);
             }
         }
@@ -598,11 +896,64 @@ mod tests {
         assert!(buf.is_empty());
 
         // An oversized prefix is refused from the first four bytes on.
-        let mut poisoned = (MAX_FRAME_LEN as u32 + 1).to_be_bytes().to_vec();
+        let mut poisoned = RecvBuffer::new();
+        poisoned.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
         assert!(matches!(
-            Frame::parse_buffered(&mut poisoned),
+            poisoned.next_frame(),
             Err(RecvError::TooLarge { .. })
         ));
+        // The buffer is untouched: the caller can still report length.
+        assert_eq!(poisoned.len(), 4);
+    }
+
+    #[test]
+    fn thousands_of_buffered_frames_parse_without_quadratic_memmove() {
+        // The pipelined-burst regression: many complete frames sitting
+        // in one receive buffer. The old drain-per-frame parser moved
+        // the whole remaining buffer once per frame (O(n²) memmove);
+        // the cursor moves nothing for a contiguous burst.
+        const FRAMES: usize = 5000;
+        let mut wire = Vec::new();
+        for i in 0..FRAMES {
+            Frame::request(Op::Ping, 0, i as u32, 0, vec![i as u8; 32])
+                .with_corr(!(i as u32))
+                .write_to(&mut wire)
+                .unwrap();
+        }
+        let mut buf = RecvBuffer::new();
+        buf.extend_from_slice(&wire);
+        let mut n = 0usize;
+        while let Some(frame) = buf.next_frame().unwrap() {
+            assert_eq!(frame.seq, n as u32);
+            assert_eq!(frame.corr, !(n as u32));
+            assert_eq!(frame.payload, vec![n as u8; 32]);
+            n += 1;
+        }
+        assert_eq!(n, FRAMES);
+        assert!(buf.is_empty());
+        assert_eq!(
+            buf.compacted_bytes(),
+            0,
+            "a contiguous burst must parse with zero memmove"
+        );
+
+        // Chunked arrival (a torn frame on every boundary) stays linear:
+        // the bytes compaction moves are bounded by the bytes received.
+        let mut buf = RecvBuffer::new();
+        let mut n = 0usize;
+        for chunk in wire.chunks(8192) {
+            buf.extend_from_slice(chunk);
+            while let Some(_frame) = buf.next_frame().unwrap() {
+                n += 1;
+            }
+        }
+        assert_eq!(n, FRAMES);
+        assert!(
+            buf.compacted_bytes() <= wire.len() as u64,
+            "compaction moved {} bytes for a {}-byte stream",
+            buf.compacted_bytes(),
+            wire.len()
+        );
     }
 
     #[test]

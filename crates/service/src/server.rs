@@ -1,58 +1,110 @@
-//! The threaded server loop: bounded accept, per-connection workers,
-//! typed-error dispatch, idle timeouts and graceful drain-on-shutdown.
+//! The event-driven server: a readiness loop over nonblocking sockets,
+//! per-connection state machines, request pipelining, typed-error
+//! dispatch, idle timeouts and graceful drain-on-shutdown.
 //!
-//! Every connection gets one worker thread and one [`SessionSlot`]; the
-//! acceptor thread admits connections up to
-//! [`ServiceConfig::max_connections`] and refuses the rest with a typed
-//! [`ErrorCode::TooManyConnections`] goodbye instead of a silent drop.
-//! Workers poll their socket with a short read timeout so they can
-//! observe the shutdown flag and the idle budget without a dedicated
-//! timer thread; frames are reassembled incrementally
-//! ([`Frame::parse_buffered`]) so a slow peer that trickles bytes never
-//! desynchronises the stream.
+//! # Topology
+//!
+//! One **acceptor** thread polls the listener, admits connections up to
+//! [`ServiceConfig::max_connections`] (refusing the rest with a typed
+//! [`ErrorCode::TooManyConnections`] goodbye instead of a silent drop),
+//! and hands admitted sockets round-robin to
+//! [`ServiceConfig::event_threads`] **shard** threads. Each shard runs a
+//! readiness loop ([`crate::net::PollSet`], the std-only `poll(2)`
+//! shim) over its connections: there are no per-connection threads, so
+//! the connection budget is bounded by descriptors, not stacks — tens
+//! of thousands of mostly-idle connections cost two file descriptors
+//! and a [`Conn`] struct each.
+//!
+//! # Per-connection state machine
+//!
+//! Each connection owns a [`crate::protocol::RecvBuffer`] (incremental
+//! reassembly: a slow peer that trickles bytes never desynchronises the
+//! stream), an outgoing byte queue, and a [`SessionSlot`]. Readable →
+//! drain the socket, parse every complete frame, dispatch; writable →
+//! flush the outgoing queue. Replies are serialised into the queue and
+//! written opportunistically; when a peer stops reading, the queue
+//! grows until the write-backpressure cap, at which point the server
+//! stops *reading* from that peer until the queue drains — slow
+//! consumers throttle themselves without unbounded buffering.
+//!
+//! # Pipelining
+//!
+//! Protocol-v2 engine ops are **submitted, not awaited**: the request's
+//! correlation id rides into the session's pipelined lane
+//! ([`crate::session::Session::submit`]) and the reply is emitted when
+//! the engine completes the job — in completion order, which across a
+//! multi-core farm is not submission order. A v2 client may therefore
+//! keep an arbitrary pipeline depth per connection. Bulk-eligible
+//! payloads (ECB/CTR at or past the session's bitsliced threshold)
+//! still run inline on the bulk lane. Version-1 frames keep the PR 3
+//! contract to the letter: executed synchronously, replies in request
+//! order, one layout on the wire.
+//!
+//! # Telemetry
 //!
 //! Every server owns a [`telemetry::Registry`]: per-opcode request
 //! counters (`service.op.<op>.requests`), error-code tallies
-//! (`service.error.<code>`), connection gauges, a request frame-size
-//! histogram, admission refusals, and — because each session's engine is
-//! built against the same registry — the full `engine.*` instrument set.
-//! `GET_STATS` serialises one snapshot of that registry as the
-//! `telemetry/1` JSON document; [`ServiceHandle::registry`] exposes the
-//! same registry in-process for tests and load generators, so there is
-//! exactly one counter path.
+//! (`service.error.<code>`), connection gauges, the pipelined in-flight
+//! gauge (`service.pipeline.inflight`), readiness-loop histograms
+//! (`service.loop.events_per_poll`, `service.loop.dispatch_micros`), a
+//! request frame-size histogram, admission refusals, and — because each
+//! session's engine is built against the same registry — the full
+//! `engine.*` instrument set. `GET_STATS` serialises one snapshot of
+//! that registry as the `telemetry/1` JSON document;
+//! [`ServiceHandle::registry`] exposes the same registry in-process, so
+//! there is exactly one counter path.
 //!
-//! Shutdown is graceful: the acceptor stops admitting, every worker
-//! flushes its session's deferred jobs (delivering their
-//! [`Status::Data`] replies), sends an [`ErrorCode::ShuttingDown`]
-//! goodbye, and exits; [`ServiceHandle::shutdown`] joins the acceptor,
-//! which joins every worker — no threads outlive the handle.
+//! Shutdown is graceful: the acceptor stops admitting, every shard
+//! answers each connection's in-flight pipelined jobs, flushes its
+//! deferred jobs (delivering their [`Status::Data`] replies), sends an
+//! [`ErrorCode::ShuttingDown`] goodbye, and exits;
+//! [`ServiceHandle::shutdown`] joins the acceptor, which joins every
+//! shard — no threads outlive the handle.
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use engine::{BackendSpec, Error, SubmitError};
 use telemetry::{Counter, Gauge, Registry};
 
+use crate::net::{self, PollSet};
 use crate::protocol::{
-    ErrorCode, Frame, Op, RecvError, Status, FLAG_DEFER, HEADER_LEN, PROTOCOL_VERSION,
+    ErrorCode, Frame, Op, RecvBuffer, RecvError, Status, FLAG_DEFER, PROTOCOL_V1, PROTOCOL_V2,
 };
-use crate::session::SessionSlot;
+use crate::session::{SessionSlot, BULK_THRESHOLD};
 
-/// How often idle workers wake to check the shutdown flag and idle
-/// budget.
+/// Readiness-poll timeout: how often an idle shard (or the acceptor)
+/// wakes to check the shutdown flag, the inbox and the idle budgets.
 const POLL: Duration = Duration::from_millis(10);
 
-/// How often the acceptor wakes when no connection is pending.
+/// How long the acceptor waits in its listener poll.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Write-backpressure cap: once a connection's outgoing queue holds
+/// this many bytes the server stops reading from that peer until the
+/// queue drains below it again.
+const OUTBUF_SOFT_CAP: usize = 1 << 20;
+
+/// Reads drained from one socket per readiness event before yielding to
+/// the other connections (each read is one scratch buffer).
+const READ_BURST: usize = 64;
 
 /// Bucket upper bounds for the `service.frame.request_bytes` histogram
 /// (whole frames, header included; the overflow bucket catches anything
 /// up to `MAX_FRAME_LEN`).
 const FRAME_SIZE_BOUNDS: [u64; 8] = [16, 64, 256, 1024, 4096, 16384, 65536, 262_144];
+
+/// Bucket upper bounds for `service.loop.events_per_poll` (ready
+/// sockets per poll wakeup).
+const EVENTS_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Bucket upper bounds for `service.loop.dispatch_micros` (time spent
+/// servicing one poll wakeup's events, µs).
+const DISPATCH_BOUNDS: [u64; 8] = [10, 50, 100, 500, 1_000, 5_000, 10_000, 100_000];
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -60,14 +112,17 @@ pub struct ServiceConfig {
     /// Engine farm built for every session (each connection keys its
     /// own copy, so farms are not shared across clients).
     pub farm: Vec<BackendSpec>,
-    /// Bound on each session's deferred-job queue; exceeding it earns a
-    /// typed [`ErrorCode::Busy`] reply.
+    /// Bound on each session's engine queue (deferred plus pipelined
+    /// jobs); exceeding it earns a typed [`ErrorCode::Busy`] reply.
     pub queue_capacity: usize,
     /// Connection admission cap.
     pub max_connections: usize,
     /// How long a connection may sit without a complete request before
     /// the server sends [`ErrorCode::IdleTimeout`] and closes.
     pub idle_timeout: Duration,
+    /// Shard event-loop threads the connections are spread across
+    /// (clamped to at least 1).
+    pub event_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -77,11 +132,19 @@ impl Default for ServiceConfig {
             queue_capacity: 32,
             max_connections: 64,
             idle_timeout: Duration::from_secs(30),
+            event_threads: 2,
         }
     }
 }
 
-/// Counters and flags shared by the acceptor, the workers and the
+/// The typed-timeout reply detail: the idle budget in milliseconds,
+/// **saturating** at `u32::MAX` — a budget of 50 days or more used to
+/// wrap silently in the `as u32` cast and report a bogus number.
+fn idle_timeout_detail(idle_timeout: Duration) -> u32 {
+    u32::try_from(idle_timeout.as_millis()).unwrap_or(u32::MAX)
+}
+
+/// Counters and flags shared by the acceptor, the shards and the
 /// handle.
 struct Shared {
     config: ServiceConfig,
@@ -93,6 +156,9 @@ struct Shared {
     served: Counter,
     /// `service.admission.refused` — connections bounced at the cap.
     refused: Counter,
+    /// `service.pipeline.inflight` — pipelined jobs submitted and not
+    /// yet answered, across every connection.
+    inflight: Gauge,
 }
 
 impl Shared {
@@ -118,13 +184,17 @@ impl Server {
     }
 
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor thread. The returned handle owns every thread the
-    /// server will ever start.
+    /// acceptor and shard threads. The returned handle owns every
+    /// thread the server will ever start.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure or a thread-spawn failure.
     pub fn spawn<A: ToSocketAddrs>(self, addr: A) -> io::Result<ServiceHandle> {
+        // One descriptor per connection: ask for the hard limit up
+        // front (best-effort; a refusal just lowers effective
+        // admission).
+        let _ = net::raise_nofile_limit();
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -134,14 +204,29 @@ impl Server {
             active: registry.gauge("service.connections.active"),
             served: registry.counter("service.connections.served"),
             refused: registry.counter("service.admission.refused"),
+            inflight: registry.gauge("service.pipeline.inflight"),
             config: self.config,
             registry,
         });
+        let shard_count = shared.config.event_threads.max(1);
+        let mut inboxes = Vec::with_capacity(shard_count);
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let inbox: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+            let shard_shared = Arc::clone(&shared);
+            let shard_inbox = Arc::clone(&inbox);
+            shards.push(
+                thread::Builder::new()
+                    .name(format!("service-shard-{i}"))
+                    .spawn(move || shard_loop(&shard_shared, &shard_inbox))?,
+            );
+            inboxes.push(inbox);
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
                 .name("service-acceptor".into())
-                .spawn(move || accept_loop(&listener, &shared))?
+                .spawn(move || accept_loop(&listener, &shared, &inboxes, shards))?
         };
         Ok(ServiceHandle {
             addr: local,
@@ -185,8 +270,9 @@ impl ServiceHandle {
         self.shared.served.get()
     }
 
-    /// Stops accepting, drains every connection's in-flight deferred
-    /// jobs, sends each peer a typed goodbye, and joins all threads.
+    /// Stops accepting, answers every connection's in-flight pipelined
+    /// and deferred jobs, sends each peer a typed goodbye, and joins
+    /// all threads.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -214,56 +300,48 @@ impl std::fmt::Debug for ServiceHandle {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut workers: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                reap_finished(&mut workers);
-                if shared.active.get() >= shared.config.max_connections as i64 {
-                    refuse_connection(&stream, shared);
-                    continue;
-                }
-                shared.active.add(1);
-                shared.served.incr();
-                let worker_shared = Arc::clone(shared);
-                let spawned =
-                    thread::Builder::new()
-                        .name("service-worker".into())
-                        .spawn(move || {
-                            let _ = serve_connection(&stream, &worker_shared);
-                            worker_shared.active.sub(1);
-                        });
-                match spawned {
-                    Ok(handle) => workers.push(handle),
-                    // The thread never started, so it cannot decrement.
-                    Err(_) => {
-                        shared.active.sub(1);
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                reap_finished(&mut workers);
-                thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => thread::sleep(ACCEPT_POLL),
-        }
-    }
-    for worker in workers {
-        let _ = worker.join();
-    }
-}
+// ---------------------------------------------------------------------
+// Acceptor
+// ---------------------------------------------------------------------
 
-/// Joins workers whose connections already ended, bounding the handle
-/// list on long-lived servers.
-fn reap_finished(workers: &mut Vec<JoinHandle<()>>) {
-    let mut i = 0;
-    while i < workers.len() {
-        if workers[i].is_finished() {
-            let _ = workers.swap_remove(i).join();
-        } else {
-            i += 1;
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    inboxes: &[Arc<Mutex<Vec<TcpStream>>>],
+    shards: Vec<JoinHandle<()>>,
+) {
+    let mut poll = PollSet::new();
+    let mut next_shard = 0usize;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        // Burst-accept everything pending; a sequential connect storm
+        // must drain faster than the kernel backlog fills.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if shared.active.get() >= shared.config.max_connections as i64 {
+                        refuse_connection(&stream, shared);
+                        continue;
+                    }
+                    shared.active.add(1);
+                    shared.served.incr();
+                    inboxes[next_shard].lock().expect("inbox lock").push(stream);
+                    next_shard = (next_shard + 1) % inboxes.len();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    thread::sleep(ACCEPT_POLL);
+                    break;
+                }
+            }
         }
+        // Sleep until the next pending connection (or the poll tick).
+        poll.clear();
+        poll.register(net::socket_fd(listener), 0, true, false);
+        let _ = poll.poll(ACCEPT_POLL);
+    }
+    for shard in shards {
+        let _ = shard.join();
     }
 }
 
@@ -272,231 +350,505 @@ fn refuse_connection(mut stream: &TcpStream, shared: &Shared) {
     shared.refused.incr();
     shared.count_error(ErrorCode::TooManyConnections);
     let cap = shared.config.max_connections as u32;
-    let goodbye = Frame::error(ErrorCode::TooManyConnections, cap, 0, 0);
+    let goodbye = Frame::error(ErrorCode::TooManyConnections, cap, 0, 0).with_version(PROTOCOL_V1);
     let _ = goodbye.write_to(&mut stream);
+}
+
+// ---------------------------------------------------------------------
+// Connection state machine
+// ---------------------------------------------------------------------
+
+/// The outgoing byte queue: serialised reply frames waiting for the
+/// socket's send buffer, consumed through an offset cursor like the
+/// receive side.
+#[derive(Debug, Default)]
+struct OutBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl OutBuf {
+    fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialises `frame` onto the queue. `false` only when the frame
+    /// itself is unsendable (payload over the wire limit) — the caller
+    /// treats that as a fatal connection error.
+    fn push(&mut self, frame: &Frame) -> bool {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        frame.write_to(&mut self.buf).is_ok()
+    }
+
+    /// Writes as much of the queue as the socket accepts right now.
+    /// `Ok(())` leaves any unwritten remainder queued for the next
+    /// writable event.
+    fn flush(&mut self, stream: &mut &TcpStream) -> io::Result<()> {
+        while self.start < self.buf.len() {
+            match stream.write(&self.buf[self.start..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.start += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.start = 0;
+        Ok(())
+    }
 }
 
 /// Whether the connection survives the request that was just answered.
 enum Flow {
     Continue,
+    /// Stop reading; flush the outgoing queue, then close.
     Close,
 }
 
-/// Tallies and sends one typed error reply — every in-band error frame
-/// leaves through here so `service.error.*` counts them all.
-fn error_reply(
-    mut stream: &TcpStream,
-    shared: &Shared,
-    code: ErrorCode,
-    detail: u32,
-    seq: u32,
-    sid: u32,
-) -> io::Result<()> {
-    shared.count_error(code);
-    Frame::error(code, detail, seq, sid).write_to(&mut stream)
+/// One connection's entire state: socket, reassembly buffer, outgoing
+/// queue, session slot and liveness bookkeeping.
+struct Conn {
+    stream: TcpStream,
+    inbuf: RecvBuffer,
+    out: OutBuf,
+    slot: SessionSlot,
+    /// When the last *complete frame* arrived (the idle budget counts
+    /// frames, not bytes, so a byte-trickling peer cannot stay alive
+    /// for free).
+    last_frame: Instant,
+    /// The version of the peer's most recent frame — the layout used
+    /// for unsolicited goodbyes (idle timeout, shutdown, framing
+    /// errors). Starts at v1, the conservative layout every client
+    /// parses.
+    peer_version: u8,
+    /// Set by [`Flow::Close`]: no more reads; drop once `out` drains.
+    closing: bool,
 }
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            inbuf: RecvBuffer::new(),
+            out: OutBuf::default(),
+            slot: SessionSlot::new(),
+            last_frame: Instant::now(),
+            peer_version: PROTOCOL_V1,
+            closing: false,
+        })
+    }
+
+    fn live_session(&mut self) -> u32 {
+        self.slot.session_mut().map_or(0, |s| s.id())
+    }
+
+    /// Queues an unsolicited goodbye in the peer's layout.
+    fn push_goodbye(&mut self, shared: &Shared, code: ErrorCode, detail: u32) {
+        shared.count_error(code);
+        let sid = self.live_session();
+        let frame = Frame::error(code, detail, 0, sid).with_version(self.peer_version);
+        let _ = self.out.push(&frame);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard event loop
+// ---------------------------------------------------------------------
+
+fn shard_loop(shared: &Arc<Shared>, inbox: &Arc<Mutex<Vec<TcpStream>>>) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut poll = PollSet::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let events_hist = shared
+        .registry
+        .histogram("service.loop.events_per_poll", &EVENTS_BOUNDS);
+    let dispatch_hist = shared
+        .registry
+        .histogram("service.loop.dispatch_micros", &DISPATCH_BOUNDS);
+
+    loop {
+        // Admit handed-off sockets into free slots.
+        for stream in inbox.lock().expect("inbox lock").drain(..) {
+            match Conn::new(stream) {
+                Ok(conn) => {
+                    if let Some(slot) = conns.iter_mut().find(|c| c.is_none()) {
+                        *slot = Some(conn);
+                    } else {
+                        conns.push(Some(conn));
+                    }
+                }
+                Err(_) => {
+                    shared.active.sub(1);
+                }
+            }
+        }
+
+        if shared.shutdown.load(Ordering::Acquire) {
+            for conn in conns.iter_mut().filter_map(Option::take) {
+                drain_and_say_goodbye(conn, shared);
+                shared.active.sub(1);
+            }
+            return;
+        }
+
+        // Interest set: read unless backpressured or closing, write
+        // when bytes are queued.
+        poll.clear();
+        for (token, conn) in conns.iter().enumerate() {
+            let Some(conn) = conn else { continue };
+            let read = !conn.closing && conn.out.len() < OUTBUF_SOFT_CAP;
+            let write = !conn.out.is_empty();
+            poll.register(net::socket_fd(&conn.stream), token, read, write);
+        }
+        if poll.is_empty() {
+            thread::sleep(POLL);
+            continue;
+        }
+        let ready = match poll.poll(POLL) {
+            Ok(ready) => ready,
+            Err(_) => {
+                thread::sleep(POLL);
+                continue;
+            }
+        };
+        if !ready.is_empty() {
+            events_hist.record(ready.len() as u64);
+        }
+
+        let started = Instant::now();
+        for r in ready {
+            let Some(conn) = conns.get_mut(r.token).and_then(Option::as_mut) else {
+                continue;
+            };
+            let mut alive = true;
+            if r.writable && !conn.out.is_empty() {
+                alive = conn.out.flush(&mut &conn.stream).is_ok();
+            }
+            if alive && (r.readable || r.error) && !conn.closing {
+                alive = service_readable(conn, shared, &mut scratch);
+            } else if alive && r.error && conn.closing {
+                // Peer vanished while we were flushing its goodbye.
+                alive = false;
+            }
+            if alive {
+                // Push replies at the socket now instead of waiting
+                // for the next writable event.
+                alive = conn.out.flush(&mut &conn.stream).is_ok();
+            }
+            if !alive {
+                conns[r.token] = None;
+                shared.active.sub(1);
+            }
+        }
+        if !ready.is_empty() {
+            dispatch_hist.record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+
+        // Idle sweep and closing-drain cleanup.
+        let now = Instant::now();
+        for slot in &mut conns {
+            let Some(conn) = slot.as_mut() else { continue };
+            if conn.closing {
+                if conn.out.is_empty() {
+                    *slot = None;
+                    shared.active.sub(1);
+                }
+                continue;
+            }
+            if now.duration_since(conn.last_frame) >= shared.config.idle_timeout {
+                conn.push_goodbye(
+                    shared,
+                    ErrorCode::IdleTimeout,
+                    idle_timeout_detail(shared.config.idle_timeout),
+                );
+                let _ = conn.out.flush(&mut &conn.stream);
+                conn.closing = true;
+                if conn.out.is_empty() {
+                    *slot = None;
+                    shared.active.sub(1);
+                }
+            }
+        }
+        // Trim trailing empty slots so long-gone bursts don't pin the
+        // table size forever.
+        while matches!(conns.last(), Some(None)) {
+            conns.pop();
+        }
+    }
+}
+
+/// Drains the socket, parses every complete frame, dispatches, and
+/// collects pipelined completions. Returns `false` when the connection
+/// must be dropped.
+fn service_readable(conn: &mut Conn, shared: &Shared, scratch: &mut [u8]) -> bool {
+    let mut eof = false;
+    for _ in 0..READ_BURST {
+        match (&conn.stream).read(scratch) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&scratch[..n]);
+                if n < scratch.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+
+    loop {
+        match conn.inbuf.next_frame() {
+            Ok(Some(frame)) => {
+                conn.last_frame = Instant::now();
+                conn.peer_version = if frame.version >= PROTOCOL_V2 {
+                    PROTOCOL_V2
+                } else {
+                    PROTOCOL_V1
+                };
+                match dispatch(frame, conn, shared) {
+                    Flow::Continue => {}
+                    Flow::Close => {
+                        conn.closing = true;
+                        break;
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(RecvError::TooLarge { len }) => {
+                conn.push_goodbye(shared, ErrorCode::FrameTooLarge, len);
+                conn.closing = true;
+                break;
+            }
+            Err(RecvError::TooShort { len }) => {
+                conn.push_goodbye(shared, ErrorCode::Malformed, len);
+                conn.closing = true;
+                break;
+            }
+            Err(RecvError::Io(_)) => return false,
+        }
+    }
+
+    collect_pipelined(conn, shared);
+
+    if eof && !conn.closing {
+        // Peer half: answered whatever was parsed; nothing more will
+        // arrive, so flush and drop.
+        conn.closing = true;
+    }
+    true
+}
+
+/// Emits a reply for every pipelined job the engine has finished, in
+/// completion order.
+fn collect_pipelined(conn: &mut Conn, shared: &Shared) {
+    let Some(session) = conn.slot.session_mut() else {
+        return;
+    };
+    collect_session(session, &mut conn.out, shared);
+}
+
+/// The session-level half of [`collect_pipelined`], callable from
+/// dispatch (where the connection is already split into its fields).
+fn collect_session(session: &mut crate::session::Session, out: &mut OutBuf, shared: &Shared) {
+    if session.in_flight() == 0 {
+        return;
+    }
+    let sid = session.id();
+    let results = session.collect();
+    for (corr, result) in results {
+        shared.inflight.sub(1);
+        let frame = match result {
+            // Pipelined replies mirror `corr` into `seq`: correlation
+            // is the contract, `seq` is diagnostics.
+            Ok(data) => pipelined_frame(Status::Ok, corr, sid, data),
+            Err(e) => {
+                let (code, detail) = engine_error_code(Error::from(e));
+                shared.count_error(code);
+                pipelined_frame(Status::Error, corr, sid, error_body_bytes(code, detail))
+            }
+        };
+        let _ = out.push(&frame);
+    }
+}
+
+fn pipelined_frame(status: Status, corr: u32, sid: u32, payload: Vec<u8>) -> Frame {
+    Frame::reply(status, corr, sid, payload).with_corr(corr)
+}
+
+fn error_body_bytes(code: ErrorCode, detail: u32) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(5);
+    payload.push(code as u8);
+    payload.extend_from_slice(&detail.to_be_bytes());
+    payload
+}
+
+/// Answers every outstanding job, then says goodbye — the shutdown
+/// path. Uses blocking writes: the loop is exiting, so backpressure no
+/// longer matters, only delivery.
+fn drain_and_say_goodbye(mut conn: Conn, shared: &Shared) {
+    collect_pipelined(&mut conn, shared);
+    if let Some(session) = conn.slot.session_mut() {
+        let sid = session.id();
+        let peer_version = conn.peer_version;
+        for (tag, result) in session.flush() {
+            let frame = match result {
+                Ok(data) => Frame::reply(Status::Data, tag, sid, data).with_corr(tag),
+                Err(e) => {
+                    let (code, detail) = engine_error_code(Error::from(e));
+                    shared.count_error(code);
+                    pipelined_frame(Status::Error, tag, sid, error_body_bytes(code, detail))
+                }
+            };
+            let _ = conn.out.push(&frame.with_version(peer_version));
+        }
+    }
+    conn.push_goodbye(shared, ErrorCode::ShuttingDown, 0);
+    let _ = conn.stream.set_nonblocking(false);
+    let _ = (&conn.stream).write_all(&conn.out.buf[conn.out.start..]);
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
 
 /// The one place engine failures become wire error codes: submission
 /// rejections keep their typed identity (`Busy` carries the capacity,
 /// `RaggedLength` the offending length, a bad IV is a malformed
 /// payload), and anything that failed *after* admission is a
 /// [`ErrorCode::JobFailed`].
-fn engine_error_reply(
-    stream: &TcpStream,
-    shared: &Shared,
-    e: Error,
-    seq: u32,
-    sid: u32,
-) -> io::Result<()> {
-    let (code, detail) = match e {
+fn engine_error_code(e: Error) -> (ErrorCode, u32) {
+    match e {
         Error::Submit(SubmitError::Busy { capacity }) => (ErrorCode::Busy, capacity as u32),
         Error::Submit(SubmitError::RaggedLength { len }) => (ErrorCode::RaggedLength, len as u32),
         Error::Submit(SubmitError::BadIv { len }) => (ErrorCode::Malformed, len as u32),
         Error::Job(_) => (ErrorCode::JobFailed, 0),
-    };
-    error_reply(stream, shared, code, detail, seq, sid)
-}
-
-fn serve_connection(mut stream: &TcpStream, shared: &Shared) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(POLL))?;
-    let mut slot = SessionSlot::new();
-    let mut inbuf: Vec<u8> = Vec::new();
-    let mut scratch = [0u8; 4096];
-    let mut idle = Duration::ZERO;
-    loop {
-        if shared.shutdown.load(Ordering::Acquire) {
-            return drain_and_say_goodbye(stream, &mut slot, shared);
-        }
-        // Answer every complete frame already reassembled.
-        loop {
-            match Frame::parse_buffered(&mut inbuf) {
-                Ok(Some(frame)) => {
-                    idle = Duration::ZERO;
-                    match dispatch(stream, frame, &mut slot, shared)? {
-                        Flow::Continue => {}
-                        Flow::Close => return Ok(()),
-                    }
-                }
-                Ok(None) => break,
-                Err(RecvError::TooLarge { len }) => {
-                    let sid = live_session(&mut slot);
-                    error_reply(stream, shared, ErrorCode::FrameTooLarge, len, 0, sid)?;
-                    return Ok(());
-                }
-                Err(RecvError::TooShort { len }) => {
-                    let sid = live_session(&mut slot);
-                    error_reply(stream, shared, ErrorCode::Malformed, len, 0, sid)?;
-                    return Ok(());
-                }
-                Err(RecvError::Io(e)) => return Err(e),
-            }
-        }
-        match stream.read(&mut scratch) {
-            Ok(0) => return Ok(()), // peer closed cleanly
-            Ok(n) => inbuf.extend_from_slice(&scratch[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                idle += POLL;
-                if idle >= shared.config.idle_timeout {
-                    let detail = shared.config.idle_timeout.as_millis() as u32;
-                    let sid = live_session(&mut slot);
-                    error_reply(stream, shared, ErrorCode::IdleTimeout, detail, 0, sid)?;
-                    return Ok(());
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
     }
 }
 
-fn live_session(slot: &mut SessionSlot) -> u32 {
-    slot.session_mut().map_or(0, |s| s.id())
+/// Queues a reply that echoes `req`'s version/seq/corr, carrying
+/// session id `sid`.
+fn push_reply(conn_out: &mut OutBuf, req: &Frame, status: Status, sid: u32, payload: Vec<u8>) {
+    let mut frame = Frame::reply_to(req, status, payload);
+    frame.session = sid;
+    let _ = conn_out.push(&frame);
 }
 
-/// Flushes outstanding deferred jobs (their [`Status::Data`] replies
-/// still carry the submitting request's `seq`) and sends the
-/// shutting-down goodbye.
-fn drain_and_say_goodbye(
-    stream: &TcpStream,
-    slot: &mut SessionSlot,
+/// Tallies and queues one typed error reply — every in-band error frame
+/// leaves through here so `service.error.*` counts them all.
+fn push_error(
+    conn_out: &mut OutBuf,
     shared: &Shared,
-) -> io::Result<()> {
-    if let Some(session) = slot.session_mut() {
-        let sid = session.id();
-        for (seq, result) in session.flush() {
-            job_reply(stream, shared, seq, sid, result)?;
-        }
-    }
-    let sid = live_session(slot);
-    error_reply(stream, shared, ErrorCode::ShuttingDown, 0, 0, sid)
-}
-
-/// One drained job → one reply frame.
-fn job_reply(
-    mut stream: &TcpStream,
-    shared: &Shared,
-    seq: u32,
+    req: &Frame,
+    code: ErrorCode,
+    detail: u32,
     sid: u32,
-    result: Result<Vec<u8>, engine::JobError>,
-) -> io::Result<()> {
-    match result {
-        Ok(data) => Frame::reply(Status::Data, seq, sid, data).write_to(&mut stream),
-        Err(e) => engine_error_reply(stream, shared, Error::from(e), seq, sid),
-    }
+) {
+    shared.count_error(code);
+    push_reply(
+        conn_out,
+        req,
+        Status::Error,
+        sid,
+        error_body_bytes(code, detail),
+    );
 }
 
-fn dispatch(
-    mut stream: &TcpStream,
-    frame: Frame,
-    slot: &mut SessionSlot,
-    shared: &Shared,
-) -> io::Result<Flow> {
-    let seq = frame.seq;
+fn push_engine_error(conn_out: &mut OutBuf, shared: &Shared, req: &Frame, e: Error, sid: u32) {
+    let (code, detail) = engine_error_code(e);
+    push_error(conn_out, shared, req, code, detail, sid);
+}
+
+fn dispatch(frame: Frame, conn: &mut Conn, shared: &Shared) -> Flow {
     shared
         .registry
         .histogram("service.frame.request_bytes", &FRAME_SIZE_BOUNDS)
-        .record((HEADER_LEN + frame.payload.len()) as u64);
-    if frame.version != PROTOCOL_VERSION {
-        let sid = live_session(slot);
-        error_reply(
-            stream,
+        .record((frame.header_len() + frame.payload.len()) as u64);
+    let slot = &mut conn.slot;
+    let out = &mut conn.out;
+    let live = slot.session_mut().map_or(0, |s| s.id());
+    if frame.version != PROTOCOL_V1 && frame.version != PROTOCOL_V2 {
+        push_error(
+            out,
             shared,
+            &frame,
             ErrorCode::BadVersion,
             u32::from(frame.version),
-            seq,
-            sid,
-        )?;
-        return Ok(Flow::Close); // framing may differ across versions
+            live,
+        );
+        return Flow::Close; // framing may differ across versions
     }
     let Some(op) = frame.op() else {
-        let sid = live_session(slot);
-        error_reply(
-            stream,
+        push_error(
+            out,
             shared,
+            &frame,
             ErrorCode::BadOp,
             u32::from(frame.kind),
-            seq,
-            sid,
-        )?;
-        return Ok(Flow::Continue);
+            live,
+        );
+        return Flow::Continue;
     };
     shared
         .registry
         .counter(&format!("service.op.{}.requests", op.name()))
         .incr();
     if frame.flags & FLAG_DEFER != 0 && !op.is_engine_op() {
-        let sid = live_session(slot);
-        error_reply(
-            stream,
+        push_error(
+            out,
             shared,
+            &frame,
             ErrorCode::DeferUnsupported,
             u32::from(op as u8),
-            seq,
-            sid,
-        )?;
-        return Ok(Flow::Continue);
+            live,
+        );
+        return Flow::Continue;
     }
 
     match op {
         Op::Ping => {
-            let sid = live_session(slot);
-            Frame::reply(Status::Ok, seq, sid, frame.payload).write_to(&mut stream)?;
+            let payload = frame.payload.clone();
+            push_reply(out, &frame, Status::Ok, live, payload);
         }
         Op::GetStats => {
             if !frame.payload.is_empty() {
-                let sid = live_session(slot);
-                error_reply(
-                    stream,
+                push_error(
+                    out,
                     shared,
+                    &frame,
                     ErrorCode::Malformed,
                     frame.payload.len() as u32,
-                    seq,
-                    sid,
-                )?;
-                return Ok(Flow::Continue);
+                    live,
+                );
+                return Flow::Continue;
             }
-            let sid = live_session(slot);
             let json = shared.registry.snapshot().to_json();
-            Frame::reply(Status::Ok, seq, sid, json.into_bytes()).write_to(&mut stream)?;
+            push_reply(out, &frame, Status::Ok, live, json.into_bytes());
         }
         Op::SetKey => {
             if frame.payload.len() != 16 {
-                let sid = live_session(slot);
-                error_reply(
-                    stream,
+                push_error(
+                    out,
                     shared,
+                    &frame,
                     ErrorCode::Malformed,
                     frame.payload.len() as u32,
-                    seq,
-                    sid,
-                )?;
-                return Ok(Flow::Continue);
+                    live,
+                );
+                return Flow::Continue;
             }
             let mut key = [0u8; 16];
             key.copy_from_slice(&frame.payload);
@@ -509,147 +861,179 @@ fn dispatch(
             rijndael::zeroize::wipe_bytes(&mut key);
             // The reply carries the new id in the header only — key
             // material never appears in any reply payload.
-            Frame::reply(Status::Ok, seq, sid, Vec::new()).write_to(&mut stream)?;
+            push_reply(out, &frame, Status::Ok, sid, Vec::new());
         }
         Op::Flush => {
-            let Some(session) = checked_session(stream, slot, &frame, shared)? else {
-                return Ok(Flow::Continue);
-            };
-            let sid = session.id();
+            if !session_ok(out, shared, &frame, live) {
+                return Flow::Continue;
+            }
+            let session = slot.session_mut().expect("checked live");
             let results = session.flush();
             let count = results.len() as u32;
-            for (job_seq, result) in results {
-                job_reply(stream, shared, job_seq, sid, result)?;
+            for (tag, result) in results {
+                let reply = match result {
+                    Ok(data) => Frame::reply(Status::Data, tag, live, data).with_corr(tag),
+                    Err(e) => {
+                        let (code, detail) = engine_error_code(Error::from(e));
+                        shared.count_error(code);
+                        pipelined_frame(Status::Error, tag, live, error_body_bytes(code, detail))
+                    }
+                };
+                let _ = out.push(&reply.with_version(frame.version));
             }
-            Frame::reply(Status::Flushed, seq, sid, count.to_be_bytes().to_vec())
-                .write_to(&mut stream)?;
+            push_reply(
+                out,
+                &frame,
+                Status::Flushed,
+                live,
+                count.to_be_bytes().to_vec(),
+            );
         }
         Op::CmacTag => {
-            let Some(session) = checked_session(stream, slot, &frame, shared)? else {
-                return Ok(Flow::Continue);
-            };
+            if !session_ok(out, shared, &frame, live) {
+                return Flow::Continue;
+            }
+            let session = slot.session_mut().expect("checked live");
             let tag = session.cmac_tag(&frame.payload);
-            Frame::reply(Status::Ok, seq, session.id(), tag.to_vec()).write_to(&mut stream)?;
+            push_reply(out, &frame, Status::Ok, live, tag.to_vec());
         }
         Op::CmacVerify => {
-            let Some(session) = checked_session(stream, slot, &frame, shared)? else {
-                return Ok(Flow::Continue);
-            };
-            let sid = session.id();
+            if !session_ok(out, shared, &frame, live) {
+                return Flow::Continue;
+            }
             if frame.payload.len() < 16 {
-                error_reply(
-                    stream,
+                push_error(
+                    out,
                     shared,
+                    &frame,
                     ErrorCode::Malformed,
                     frame.payload.len() as u32,
-                    seq,
-                    sid,
-                )?;
-                return Ok(Flow::Continue);
+                    live,
+                );
+                return Flow::Continue;
             }
+            let session = slot.session_mut().expect("checked live");
             let tag: [u8; 16] = frame.payload[..16].try_into().expect("16-byte slice");
             if session.cmac_verify(&frame.payload[16..], &tag) {
-                Frame::reply(Status::Ok, seq, sid, Vec::new()).write_to(&mut stream)?;
+                push_reply(out, &frame, Status::Ok, live, Vec::new());
             } else {
-                error_reply(stream, shared, ErrorCode::BadTag, 0, seq, sid)?;
+                push_error(out, shared, &frame, ErrorCode::BadTag, 0, live);
             }
         }
-        _ => return engine_op(stream, frame, op, slot, shared),
+        _ => return engine_op(frame, op, slot, out, shared, live),
     }
-    Ok(Flow::Continue)
+    Flow::Continue
 }
 
-/// The five engine ops: IV split, mode mapping, immediate vs deferred.
+/// The five engine ops: IV split, mode mapping, and the three service
+/// disciplines — immediate (v1 and bulk), pipelined (v2), deferred.
 fn engine_op(
-    mut stream: &TcpStream,
-    frame: Frame,
+    mut frame: Frame,
     op: Op,
     slot: &mut SessionSlot,
+    out: &mut OutBuf,
     shared: &Shared,
-) -> io::Result<Flow> {
-    let seq = frame.seq;
-    let Some(session) = checked_session(stream, slot, &frame, shared)? else {
-        return Ok(Flow::Continue);
-    };
-    let sid = session.id();
+    live: u32,
+) -> Flow {
+    if !session_ok(out, shared, &frame, live) {
+        return Flow::Continue;
+    }
+    let payload = std::mem::take(&mut frame.payload);
     let (iv, data) = if op.takes_iv() {
-        if frame.payload.len() < 16 {
-            error_reply(
-                stream,
+        if payload.len() < 16 {
+            push_error(
+                out,
                 shared,
+                &frame,
                 ErrorCode::Malformed,
-                frame.payload.len() as u32,
-                seq,
-                sid,
-            )?;
-            return Ok(Flow::Continue);
+                payload.len() as u32,
+                live,
+            );
+            return Flow::Continue;
         }
-        let iv: [u8; 16] = frame.payload[..16].try_into().expect("16-byte slice");
-        (iv, frame.payload[16..].to_vec())
+        let iv: [u8; 16] = payload[..16].try_into().expect("16-byte slice");
+        (iv, payload[16..].to_vec())
     } else {
-        ([0u8; 16], frame.payload)
+        ([0u8; 16], payload)
     };
     let mode = op
         .engine_mode(iv)
         .expect("dispatch routes only engine ops here");
+    let session = slot.session_mut().expect("checked live");
 
     if frame.flags & FLAG_DEFER != 0 {
-        match session.defer(seq, mode, data) {
-            Ok(_) => Frame::reply(Status::Accepted, seq, sid, Vec::new()).write_to(&mut stream)?,
-            Err(e) => engine_error_reply(stream, shared, Error::from(e), seq, sid)?,
+        match session.defer(frame.corr, mode, data) {
+            Ok(_) => push_reply(out, &frame, Status::Accepted, live, Vec::new()),
+            Err(e) => push_engine_error(out, shared, &frame, Error::from(e), live),
         }
-    } else {
-        match session.execute(mode, data) {
-            Ok(out) => Frame::reply(Status::Ok, seq, sid, out).write_to(&mut stream)?,
-            Err(e) => engine_error_reply(stream, shared, e, seq, sid)?,
-        }
+        return Flow::Continue;
     }
-    Ok(Flow::Continue)
+
+    // Bulk-eligible payloads run inline on the session's bitsliced
+    // lane either way; v1 immediates must also run inline to keep
+    // their in-order reply contract.
+    let bulk = data.len() >= BULK_THRESHOLD
+        && matches!(op, Op::EcbEncrypt | Op::EcbDecrypt | Op::CtrApply);
+    if frame.version < PROTOCOL_V2 || bulk {
+        match session.execute(mode, data) {
+            Ok(result) => push_reply(out, &frame, Status::Ok, live, result),
+            Err(e) => push_engine_error(out, shared, &frame, e, live),
+        }
+        return Flow::Continue;
+    }
+
+    // v2 pipelined: submit now, reply at completion (collect_pipelined
+    // runs after the dispatch batch). A full queue is not Busy yet —
+    // draining completions frees slots, so the client only sees Busy
+    // when the queue is full of genuinely *unfinished* work (deferred
+    // jobs it has not flushed).
+    if session.in_flight() + session.outstanding() >= session.queue_capacity() {
+        collect_session(session, out, shared);
+    }
+    match session.submit(frame.corr, mode, data) {
+        Ok(_) => {
+            shared.inflight.add(1);
+        }
+        Err(e) => push_engine_error(out, shared, &frame, Error::from(e), live),
+    }
+    Flow::Continue
 }
 
-/// Session gate for ops that need one: answers `NoSession` /
-/// `StaleSession` itself and returns `None` so the caller just
-/// continues.
-fn checked_session<'a>(
-    stream: &TcpStream,
-    slot: &'a mut SessionSlot,
-    frame: &Frame,
-    shared: &Shared,
-) -> io::Result<Option<&'a mut crate::session::Session>> {
-    let live = live_session(slot);
+/// Session gate for ops that need one: queues `NoSession` /
+/// `StaleSession` itself and returns `false` so the caller just
+/// continues. (Matches the PR 3 semantics: the error's `session` field
+/// carries the *live* id so the client can resynchronise.)
+fn session_ok(out: &mut OutBuf, shared: &Shared, frame: &Frame, live: u32) -> bool {
     if live == 0 {
-        error_reply(stream, shared, ErrorCode::NoSession, 0, frame.seq, 0)?;
-        return Ok(None);
+        push_error(out, shared, frame, ErrorCode::NoSession, 0, 0);
+        return false;
     }
     if frame.session != live {
-        error_reply(
-            stream,
-            shared,
-            ErrorCode::StaleSession,
-            live,
-            frame.seq,
-            live,
-        )?;
-        return Ok(None);
+        push_error(out, shared, frame, ErrorCode::StaleSession, live, live);
+        return false;
     }
-    Ok(slot.session_mut())
+    true
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::MAX_FRAME_LEN;
-    use std::io::Write;
 
-    fn tiny_server() -> ServiceHandle {
-        Server::new(ServiceConfig {
+    fn tiny_config() -> ServiceConfig {
+        ServiceConfig {
             farm: vec![BackendSpec::Software],
             queue_capacity: 2,
             max_connections: 2,
             idle_timeout: Duration::from_millis(200),
-        })
-        .spawn("127.0.0.1:0")
-        .expect("bind ephemeral port")
+            event_threads: 1,
+        }
+    }
+
+    fn tiny_server() -> ServiceHandle {
+        Server::new(tiny_config())
+            .spawn("127.0.0.1:0")
+            .expect("bind ephemeral port")
     }
 
     fn call(stream: &TcpStream, frame: &Frame) -> Frame {
@@ -660,17 +1044,49 @@ mod tests {
     }
 
     #[test]
+    fn idle_timeout_detail_saturates_instead_of_wrapping() {
+        assert_eq!(idle_timeout_detail(Duration::from_millis(200)), 200);
+        assert_eq!(
+            idle_timeout_detail(Duration::from_millis(u64::from(u32::MAX))),
+            u32::MAX
+        );
+        // One past the boundary used to wrap to 0; now it pins.
+        assert_eq!(
+            idle_timeout_detail(Duration::from_millis(u64::from(u32::MAX) + 1)),
+            u32::MAX
+        );
+        assert_eq!(
+            idle_timeout_detail(Duration::from_secs(100 * 24 * 3600)),
+            u32::MAX
+        );
+    }
+
+    #[test]
     fn ping_echoes_and_shutdown_joins_cleanly() {
         let server = tiny_server();
         let stream = TcpStream::connect(server.local_addr()).unwrap();
         let reply = call(&stream, &Frame::request(Op::Ping, 0, 41, 0, vec![1, 2, 3]));
         assert_eq!(reply.status(), Some(Status::Ok));
         assert_eq!(reply.seq, 41);
+        assert_eq!(reply.corr, 41);
+        assert_eq!(reply.version, PROTOCOL_V2);
         assert_eq!(reply.payload, vec![1, 2, 3]);
         server.shutdown();
         // After shutdown the port no longer accepts (the goodbye may or
         // may not arrive first depending on scheduling, so only the
         // join mattered here).
+    }
+
+    #[test]
+    fn v1_clients_get_v1_replies() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = call(&stream, &Frame::request_v1(Op::Ping, 0, 9, 0, vec![7]));
+        assert_eq!(reply.version, PROTOCOL_V1);
+        assert_eq!(reply.status(), Some(Status::Ok));
+        assert_eq!(reply.seq, 9);
+        assert_eq!(reply.payload, vec![7]);
+        server.shutdown();
     }
 
     #[test]
@@ -697,8 +1113,7 @@ mod tests {
     fn bad_version_gets_a_typed_reply_then_close() {
         let server = tiny_server();
         let stream = TcpStream::connect(server.local_addr()).unwrap();
-        let mut evil = Frame::request(Op::Ping, 0, 1, 0, Vec::new());
-        evil.version = 9;
+        let evil = Frame::request(Op::Ping, 0, 1, 0, Vec::new()).with_version(9);
         let reply = call(&stream, &evil);
         assert_eq!(reply.error_body(), Some((ErrorCode::BadVersion, 9)));
         // The server closed: the next read sees EOF.
@@ -764,6 +1179,43 @@ mod tests {
 
         let reply = call(&stream, &Frame::request(Op::GetStats, 0, 2, 0, vec![1]));
         assert_eq!(reply.error_body(), Some((ErrorCode::Malformed, 1)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_complete_and_correlate() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let key_reply = call(&stream, &Frame::request(Op::SetKey, 0, 1, 0, vec![0u8; 16]));
+        assert_eq!(key_reply.status(), Some(Status::Ok));
+        let sid = key_reply.session;
+
+        // Submit a burst without reading a single reply.
+        let depth = 24u32;
+        let mut w = &stream;
+        for i in 0..depth {
+            Frame::request(Op::EcbEncrypt, 0, 100 + i, sid, vec![0u8; 16])
+                .with_corr(1000 + i)
+                .write_to(&mut w)
+                .unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut r = &stream;
+        for _ in 0..depth {
+            let reply = Frame::read_from(&mut r).unwrap();
+            assert_eq!(reply.status(), Some(Status::Ok), "{:?}", reply.error_body());
+            // AES-128 all-zero KAT first byte.
+            assert_eq!(reply.payload[0], 0x66);
+            assert!(
+                (1000..1000 + depth).contains(&reply.corr),
+                "stray corr {}",
+                reply.corr
+            );
+            assert!(seen.insert(reply.corr), "duplicate corr {}", reply.corr);
+        }
+        let snap = server.registry().snapshot();
+        assert_eq!(snap.gauge("service.pipeline.inflight"), Some(0));
+        assert!(snap.counter("service.op.ecb_encrypt.requests") >= Some(u64::from(depth)));
         server.shutdown();
     }
 }

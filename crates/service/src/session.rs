@@ -19,6 +19,16 @@
 //! `Busy` instead of queueing without limit, and [`Session::flush`]
 //! drains results tagged with the sequence numbers of the requests that
 //! submitted them.
+//!
+//! Pipelined (protocol v2) jobs ride the *same* bounded queue through a
+//! separate lane: [`Session::submit`] tags a job with the request's
+//! correlation id, and [`Session::collect`] drains the engine and
+//! returns every finished pipelined result in **completion order** —
+//! which across a multi-core farm is not submission order; that is the
+//! out-of-order property the v2 wire format exists to carry. The two
+//! lanes never mix: a drain triggered by either side stashes the other
+//! side's finished jobs for its own collection call, so interleaving
+//! pipelined, deferred and immediate traffic loses nothing.
 
 use engine::{BackendSpec, Engine, EngineBuilder, Error, JobError, JobId, Mode, SubmitError};
 use rijndael::modes::{Ctr, Ecb};
@@ -45,6 +55,11 @@ pub struct Session {
     /// Deferred jobs that were drained early because an immediate request
     /// forced a queue drain; delivered at the next flush.
     completed: Vec<(u32, Result<Vec<u8>, JobError>)>,
+    /// Pipelined jobs still in the engine queue: `(job, correlation id)`.
+    piped: Vec<(JobId, u32)>,
+    /// Pipelined jobs finished by an earlier drain, in completion order,
+    /// awaiting the next [`Session::collect`].
+    piped_done: Vec<(u32, Result<Vec<u8>, JobError>)>,
 }
 
 impl Session {
@@ -71,6 +86,8 @@ impl Session {
             bulk: Bitsliced8::new(key),
             pending: Vec::new(),
             completed: Vec::new(),
+            piped: Vec::new(),
+            piped_done: Vec::new(),
         }
     }
 
@@ -84,6 +101,13 @@ impl Session {
     #[must_use]
     pub fn outstanding(&self) -> usize {
         self.pending.len() + self.completed.len()
+    }
+
+    /// Pipelined jobs not yet delivered (queued plus drained-early) —
+    /// the per-session contribution to the server's in-flight gauge.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.piped.len() + self.piped_done.len()
     }
 
     /// The engine's queue bound (the `Busy` detail value).
@@ -162,6 +186,32 @@ impl Session {
         std::mem::take(&mut self.completed)
     }
 
+    /// Enqueues a pipelined job tagged with the request's correlation
+    /// id; its result surfaces from a later [`Session::collect`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SubmitError`] verbatim — `Busy` is the per-session
+    /// backpressure signal the server forwards as a typed reply.
+    pub fn submit(&mut self, corr: u32, mode: Mode, data: Vec<u8>) -> Result<JobId, SubmitError> {
+        let id = self.engine.try_submit(mode, data)?;
+        self.piped.push((id, corr));
+        Ok(id)
+    }
+
+    /// Drains the engine and returns every finished pipelined result in
+    /// completion order, tagged with its correlation id. Deferred jobs
+    /// completed by the same drain are stashed for the next flush.
+    pub fn collect(&mut self) -> Vec<(u32, Result<Vec<u8>, JobError>)> {
+        if !self.piped.is_empty() {
+            let drained = self.engine.run();
+            for out in drained {
+                self.stash(out.id, out.data);
+            }
+        }
+        std::mem::take(&mut self.piped_done)
+    }
+
     /// Computes the AES-CMAC tag of `message` under the session key.
     #[must_use]
     pub fn cmac_tag(&self, message: &[u8]) -> [u8; 16] {
@@ -178,6 +228,9 @@ impl Session {
         if let Some(pos) = self.pending.iter().position(|&(jid, _)| jid == id) {
             let (_, seq) = self.pending.remove(pos);
             self.completed.push((seq, data));
+        } else if let Some(pos) = self.piped.iter().position(|&(jid, _)| jid == id) {
+            let (_, corr) = self.piped.remove(pos);
+            self.piped_done.push((corr, data));
         }
     }
 }
@@ -342,6 +395,75 @@ mod tests {
         assert!(results.iter().all(|(_, r)| r.is_ok()));
         assert_eq!(s.outstanding(), 0);
         assert!(s.flush().is_empty(), "flush is idempotent once drained");
+    }
+
+    #[test]
+    fn submit_then_collect_returns_results_tagged_by_corr() {
+        let mut s = session(8);
+        let reference = Aes128::new(&KEY);
+        s.submit(0xA1, Mode::EcbEncrypt, sample(32)).unwrap();
+        s.submit(0xB2, Mode::Ctr([1; 16]), sample(5)).unwrap();
+        assert_eq!(s.in_flight(), 2);
+        assert_eq!(s.outstanding(), 0, "pipelined jobs are not deferred");
+
+        let results = s.collect();
+        assert_eq!(s.in_flight(), 0);
+        let tags: Vec<u32> = results.iter().map(|&(c, _)| c).collect();
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0xA1, 0xB2]);
+        for (corr, data) in results {
+            let data = data.unwrap();
+            if corr == 0xA1 {
+                let mut expect = sample(32);
+                Ecb::encrypt(&reference, &mut expect).unwrap();
+                assert_eq!(data, expect);
+            } else {
+                let mut expect = sample(5);
+                Ctr::apply(&reference, &[1; 16], &mut expect);
+                assert_eq!(data, expect);
+            }
+        }
+        assert!(s.collect().is_empty(), "collect is idempotent once drained");
+    }
+
+    #[test]
+    fn pipelined_and_deferred_lanes_never_mix() {
+        let mut s = session(8);
+        s.defer(100, Mode::EcbEncrypt, sample(16)).unwrap();
+        s.submit(7, Mode::EcbEncrypt, sample(16)).unwrap();
+        // Collect drains the whole engine, but the deferred result must
+        // wait for its flush, and vice versa.
+        let piped = s.collect();
+        assert_eq!(piped.len(), 1);
+        assert_eq!(piped[0].0, 7);
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.outstanding(), 1);
+        let deferred = s.flush();
+        assert_eq!(deferred.len(), 1);
+        assert_eq!(deferred[0].0, 100);
+
+        // And a flush-triggered drain stashes pipelined completions.
+        s.submit(8, Mode::Ctr([0; 16]), sample(3)).unwrap();
+        s.defer(200, Mode::EcbDecrypt, sample(16)).unwrap();
+        assert_eq!(s.flush().len(), 1);
+        assert_eq!(s.in_flight(), 1, "finished but uncollected");
+        let piped = s.collect();
+        assert_eq!(piped.len(), 1);
+        assert_eq!(piped[0].0, 8);
+    }
+
+    #[test]
+    fn busy_surfaces_at_the_submit_boundary() {
+        let mut s = session(2);
+        s.submit(1, Mode::Ctr([0; 16]), sample(4)).unwrap();
+        s.submit(2, Mode::EcbEncrypt, sample(16)).unwrap();
+        assert_eq!(
+            s.submit(3, Mode::EcbEncrypt, sample(16)),
+            Err(SubmitError::Busy { capacity: 2 })
+        );
+        assert_eq!(s.collect().len(), 2);
+        assert!(s.submit(3, Mode::EcbEncrypt, sample(16)).is_ok());
     }
 
     #[test]

@@ -318,6 +318,52 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
+/// A bucketed quantile estimate from [`HistogramSnapshot::quantile`].
+///
+/// Fixed-bucket histograms cannot name an exact quantile, only the
+/// bucket it fell in. A quantile that lands in a finite bucket is
+/// *at most* that bucket's bound; one that lands in the overflow
+/// bucket is *at least* the last finite bound — still a real number a
+/// dashboard can print, where the old `None` read as "no data" exactly
+/// when the tail was hottest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantileEstimate {
+    /// The quantile is at or below this finite bucket bound.
+    AtMost(u64),
+    /// The quantile landed in the overflow bucket: it is at least this
+    /// value (the last finite bound, or 0 for a histogram with no
+    /// finite buckets). Treat it as a lower bound, not an estimate.
+    Overflow(u64),
+}
+
+impl QuantileEstimate {
+    /// The bucket bound either way: an upper bound for
+    /// [`QuantileEstimate::AtMost`], a lower bound for
+    /// [`QuantileEstimate::Overflow`].
+    #[must_use]
+    pub fn bound(self) -> u64 {
+        match self {
+            QuantileEstimate::AtMost(b) | QuantileEstimate::Overflow(b) => b,
+        }
+    }
+
+    /// `true` when the quantile fell in the overflow bucket and
+    /// [`QuantileEstimate::bound`] is only a lower bound.
+    #[must_use]
+    pub fn is_overflow(self) -> bool {
+        matches!(self, QuantileEstimate::Overflow(_))
+    }
+}
+
+impl fmt::Display for QuantileEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantileEstimate::AtMost(b) => write!(f, "{b}"),
+            QuantileEstimate::Overflow(b) => write!(f, ">{b}"),
+        }
+    }
+}
+
 impl HistogramSnapshot {
     /// Mean observation, or 0.0 when empty.
     #[must_use]
@@ -329,12 +375,15 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper-bound estimate of the `q` quantile (`0.0 ..= 1.0`): the
-    /// smallest bucket bound at which the cumulative count reaches
-    /// `q * count`. Returns `None` when the histogram is empty or the
-    /// quantile falls in the overflow bucket (no finite bound).
+    /// Bucketed estimate of the `q` quantile (`0.0 ..= 1.0`): the
+    /// smallest bucket at which the cumulative count reaches
+    /// `q * count`. Returns `None` only when the histogram is empty; a
+    /// quantile that lands in the overflow bucket comes back as
+    /// [`QuantileEstimate::Overflow`] carrying the last finite bound as
+    /// a lower bound, so a hot p99 is still a number instead of
+    /// reading as "no data".
     #[must_use]
-    pub fn quantile(&self, q: f64) -> Option<u64> {
+    pub fn quantile(&self, q: f64) -> Option<QuantileEstimate> {
         if self.count == 0 {
             return None;
         }
@@ -343,10 +392,17 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             cumulative += c;
             if cumulative >= target {
-                return self.bounds.get(i).copied();
+                return Some(match self.bounds.get(i) {
+                    Some(&b) => QuantileEstimate::AtMost(b),
+                    None => QuantileEstimate::Overflow(self.bounds.last().copied().unwrap_or(0)),
+                });
             }
         }
-        None
+        // Unreachable in practice (count equals the bucket sum), but a
+        // racing snapshot could observe count ahead of the buckets.
+        Some(QuantileEstimate::Overflow(
+            self.bounds.last().copied().unwrap_or(0),
+        ))
     }
 }
 
@@ -498,6 +554,11 @@ impl Snapshot {
                         h.sum,
                         h.mean()
                     ));
+                    // Quantiles render even when they land in the
+                    // overflow bucket (as ">last-finite-bound").
+                    if let (Some(p50), Some(p99)) = (h.quantile(0.50), h.quantile(0.99)) {
+                        out.push_str(&format!(" p50={p50} p99={p99}"));
+                    }
                     for (i, c) in h.buckets.iter().enumerate() {
                         match h.bounds.get(i) {
                             Some(b) => out.push_str(&format!(" le{b}:{c}")),
@@ -602,9 +663,56 @@ mod tests {
         assert_eq!(snap.gauge("g"), Some(-1));
         let hs = snap.histogram("h").unwrap();
         assert_eq!(hs.buckets, vec![1, 1, 1]);
-        assert_eq!(hs.quantile(0.5), Some(100));
-        assert_eq!(hs.quantile(1.0), None); // overflow bucket
+        assert_eq!(hs.quantile(0.5), Some(QuantileEstimate::AtMost(100)));
+        // The top quantile lands in the overflow bucket: still a number
+        // (the last finite bound, as a lower bound), never "no data".
+        assert_eq!(hs.quantile(1.0), Some(QuantileEstimate::Overflow(100)));
         assert!((hs.mean() - 1685.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_survive_the_overflow_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram("hot", &[10, 20]);
+        // Every observation overflows: p50 and p99 must still report.
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        let hs = reg.snapshot().histogram("hot").unwrap().clone();
+        let p50 = hs.quantile(0.50).expect("p50 reports");
+        let p99 = hs.quantile(0.99).expect("p99 reports");
+        assert_eq!(p50, QuantileEstimate::Overflow(20));
+        assert!(p99.is_overflow() && p99.bound() == 20);
+        assert_eq!(p99.to_string(), ">20");
+        // A mixed distribution: p50 finite, p99 overflowed.
+        let h = reg.histogram("mixed", &[10, 20]);
+        for _ in 0..95 {
+            h.record(5);
+        }
+        for _ in 0..5 {
+            h.record(99);
+        }
+        let hs = reg.snapshot().histogram("mixed").unwrap().clone();
+        assert_eq!(hs.quantile(0.50), Some(QuantileEstimate::AtMost(10)));
+        assert_eq!(hs.quantile(0.99), Some(QuantileEstimate::Overflow(20)));
+        // Empty histograms are the only "no data" case.
+        let empty = reg.histogram("empty", &[1]);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(
+            reg.snapshot().histogram("empty").unwrap().quantile(0.99),
+            None
+        );
+        // Degenerate: no finite buckets at all still reports a bound.
+        let bare = reg.histogram("bare", &[]);
+        bare.record(7);
+        assert_eq!(
+            reg.snapshot().histogram("bare").unwrap().quantile(0.5),
+            Some(QuantileEstimate::Overflow(0))
+        );
+        // render_text carries the quantile columns, overflow marked.
+        let text = reg.snapshot().render_text();
+        assert!(text.contains("p50=>20 p99=>20"), "got: {text}");
+        assert!(text.contains("p50=10 p99=>20"), "got: {text}");
     }
 
     #[test]

@@ -38,9 +38,21 @@ echo "==> service subsystem tests (incl. GET_STATS round trip)"
 cargo test -q -p rijndael-service --locked --offline
 cargo test -q --test service_roundtrip --locked --offline
 
-echo "==> service load generator (smoke; audits GET_STATS over the wire)"
+echo "==> service pipelining tests (v2 out-of-order + v1 compat)"
+cargo test -q --test service_pipeline --locked --offline
+
+echo "==> service load generator (smoke; 10k-connection hold + GET_STATS audit)"
+load_out="$(mktemp)"
 TESTKIT_BENCH_SMOKE=1 \
-    cargo run -q --release --locked --offline -p rijndael-bench --bin service_load
+    cargo run -q --release --locked --offline -p rijndael-bench --bin service_load \
+    | tee "$load_out"
+grep -q "holding 10000 concurrent connections" "$load_out" \
+    || { echo "service_load did not hold 10k connections" >&2; exit 1; }
+grep -E -q "burst p50 +[0-9.]+.{0,2}s p99 +[0-9.]+.{0,2}s" "$load_out" \
+    || { echo "service_load did not report burst p50/p99" >&2; exit 1; }
+grep -E -q "dispatch p50 [0-9]+ us, p99 >?[0-9]+ us" "$load_out" \
+    || { echo "service_load did not report event-loop p50/p99" >&2; exit 1; }
+rm -f "$load_out"
 
 echo "==> engine scaling report (smoke, backend race JSON)"
 bench_json="$(mktemp)"

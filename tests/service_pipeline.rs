@@ -1,0 +1,272 @@
+//! Pipelined end-to-end exercise of the v2 framed service: many frames
+//! in flight per connection completing out of order across a mixed
+//! multi-core farm, verified block-by-block against SP 800-38A KATs;
+//! per-job typed failures that do not poison the connection; deferred
+//! and pipelined lanes coexisting on one socket; and a version-1
+//! single-in-flight client speaking to the same v2 server.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use rijndael_ip::engine::BackendSpec;
+use rijndael_ip::service::client::{Client, SubmitOutcome};
+use rijndael_ip::service::protocol::{ErrorCode, Op, PROTOCOL_V1};
+use rijndael_ip::service::server::{Server, ServiceConfig};
+
+fn hex(s: &str) -> Vec<u8> {
+    let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+        .collect()
+}
+
+fn hex16(s: &str) -> [u8; 16] {
+    hex(s).try_into().expect("16 bytes")
+}
+
+// SP 800-38A, AES-128 (Appendix F): one key, four-block test stream.
+const SP800_KEY: &str = "2b7e151628aed2a6abf7158809cf4f3c";
+const SP800_PT: &str = "6bc1bee22e409f96e93d7e117393172a\
+                        ae2d8a571e03ac9c9eb76fac45af8e51\
+                        30c81c46a35ce411e5fbc1191a0a52ef\
+                        f69f2445df4f9b17ad2b417be66c3710";
+const SP800_ECB_CT: &str = "3ad77bb40d7a3660a89ecaf32466ef97\
+                            f5d3d58503b9699de785895a96fdbaaf\
+                            43b1cd7f598ece23881b00e3ed030688\
+                            7b0c785e27e8ad3f8223207104725dd4";
+const SP800_CBC_IV: &str = "000102030405060708090a0b0c0d0e0f";
+const SP800_CBC_CT: &str = "7649abac8119b246cee98e9b12e9197d\
+                            5086cb9b507219ee95db113a917678b2\
+                            73bed6b8e3c1743b7116e69e22229516\
+                            3ff1caa1681fac09120eca307586e1a7";
+const SP800_CTR_ICB: &str = "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff";
+const SP800_CTR_CT: &str = "874d6191b620e3261bef6864990db6ce\
+                            9806f66b7970fdff8617187bb9fffdff\
+                            5ae4df3edbd5d35e5b4f09020db03eab\
+                            1e031dda2fbe03d1792170a0f3009cee";
+// RFC 4493 example 2 (same key, first SP 800-38A block).
+const CMAC_TAG_1BLOCK: &str = "070a16b46b4d4144f79bdd9dd04a287c";
+
+fn spawn_server(farm: Vec<BackendSpec>, queue: usize) -> rijndael_ip::service::ServiceHandle {
+    Server::new(ServiceConfig {
+        farm,
+        queue_capacity: queue,
+        max_connections: 16,
+        idle_timeout: Duration::from_secs(10),
+        event_threads: 2,
+    })
+    .spawn("127.0.0.1:0")
+    .expect("bind ephemeral port")
+}
+
+/// Thirty-two single-block ECB jobs in flight on one connection —
+/// depth 32, well past the acceptance floor of 16 — across a mixed
+/// farm whose cores finish at different speeds, so completion order is
+/// the engine's, not the submission's. Every completion must land on
+/// its own correlation id and match the published ciphertext block.
+#[test]
+fn depth_32_pipelined_blocks_correlate_against_kats() {
+    let server = spawn_server(
+        vec![
+            BackendSpec::EncDecCore,
+            BackendSpec::Software,
+            BackendSpec::Ttable,
+            BackendSpec::EncDecCore,
+        ],
+        64,
+    );
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
+
+    let pt = hex(SP800_PT);
+    let ct = hex(SP800_ECB_CT);
+    let mut expected: HashMap<u32, &[u8]> = HashMap::new();
+    for round in 0..8 {
+        for block in 0..4 {
+            let corr = client
+                .pipeline(Op::EcbEncrypt, None, &pt[block * 16..block * 16 + 16])
+                .expect("pipeline");
+            expected.insert(corr, &ct[block * 16..block * 16 + 16]);
+            let _ = round;
+        }
+    }
+    assert_eq!(client.in_flight(), 32, "all 32 frames in flight at once");
+
+    let jobs = client.collect_all().expect("collect");
+    assert_eq!(jobs.len(), 32);
+    for job in jobs {
+        let want = expected.remove(&job.corr).expect("known correlation id");
+        assert_eq!(
+            job.result.expect("job ok"),
+            want,
+            "corr {} must carry its own block's ciphertext",
+            job.corr
+        );
+    }
+    assert!(
+        expected.is_empty(),
+        "every submission answered exactly once"
+    );
+    server.shutdown();
+}
+
+/// A malformed job in the middle of a pipelined burst fails alone: the
+/// ragged frame gets a typed per-job error, its neighbours complete,
+/// and the connection stays good for blocking calls afterwards.
+#[test]
+fn pipelined_failures_are_per_job_not_connection_fatal() {
+    let server = spawn_server(vec![BackendSpec::Software; 2], 16);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
+
+    let pt = hex(SP800_PT);
+    let good_a = client.pipeline(Op::EcbEncrypt, None, &pt[..16]).expect("a");
+    let ragged = client
+        .pipeline(Op::EcbEncrypt, None, &pt[..17])
+        .expect("ragged send");
+    let good_b = client.pipeline(Op::EcbEncrypt, None, &pt[..16]).expect("b");
+
+    let jobs = client.collect_all().expect("collect");
+    assert_eq!(jobs.len(), 3);
+    for job in jobs {
+        if job.corr == ragged {
+            assert_eq!(job.result, Err((ErrorCode::RaggedLength, 17)));
+        } else {
+            assert!(job.corr == good_a || job.corr == good_b);
+            assert_eq!(job.result.expect("good job"), hex(SP800_ECB_CT)[..16]);
+        }
+    }
+    // The connection survived the bad job.
+    assert_eq!(client.ping(b"still here").expect("ping"), b"still here");
+    server.shutdown();
+}
+
+/// The deferred (submit/flush) and pipelined (pipeline/collect) lanes
+/// share one connection and one engine queue without crosstalk: each
+/// lane's results come back on its own path, tagged with its own ids.
+#[test]
+fn deferred_and_pipelined_lanes_coexist_on_one_connection() {
+    let server = spawn_server(vec![BackendSpec::Software; 2], 16);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
+
+    let pt = hex(SP800_PT);
+    let ct = hex(SP800_ECB_CT);
+
+    let deferred = match client
+        .try_submit(Op::EcbEncrypt, None, &pt[16..32])
+        .expect("defer")
+    {
+        SubmitOutcome::Accepted(tag) => tag,
+        SubmitOutcome::Busy { .. } => panic!("empty queue refused a job"),
+    };
+    let piped = client
+        .pipeline(Op::EcbEncrypt, None, &pt[..16])
+        .expect("pipe");
+
+    let jobs = client.collect_all().expect("collect pipelined");
+    assert_eq!(jobs.len(), 1, "only the pipelined job on this lane");
+    assert_eq!(jobs[0].corr, piped);
+    assert_eq!(jobs[0].result.as_deref().expect("piped ok"), &ct[..16]);
+
+    let flushed = client.flush().expect("flush deferred");
+    assert_eq!(flushed.len(), 1, "only the deferred job on this lane");
+    assert_eq!(flushed[0].seq, deferred);
+    assert_eq!(
+        flushed[0].result.as_deref().expect("deferred ok"),
+        &ct[16..32]
+    );
+    server.shutdown();
+}
+
+/// A version-1 client — 11-byte headers, one request in flight,
+/// replies strictly in order — runs its entire KAT conversation
+/// against the v2 server unchanged, and every reply it sees is in the
+/// v1 layout.
+#[test]
+fn v1_client_roundtrips_kats_against_the_v2_server() {
+    let server = spawn_server(vec![BackendSpec::EncDecCore, BackendSpec::Software], 8);
+    let mut client = Client::connect_v1(server.local_addr()).expect("connect v1");
+    assert_eq!(client.version(), PROTOCOL_V1);
+
+    let session = client.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
+    assert_ne!(session, 0);
+
+    let pt = hex(SP800_PT);
+    let ct = client.ecb_encrypt(&pt).expect("ECB encrypt");
+    assert_eq!(ct, hex(SP800_ECB_CT), "SP 800-38A F.1.1");
+    assert_eq!(client.ecb_decrypt(&ct).expect("ECB decrypt"), pt);
+
+    let cbc = client
+        .cbc_encrypt(&hex16(SP800_CBC_IV), &pt)
+        .expect("CBC encrypt");
+    assert_eq!(cbc, hex(SP800_CBC_CT), "SP 800-38A F.2.1");
+
+    let ctr = client
+        .ctr_apply(&hex16(SP800_CTR_ICB), &pt)
+        .expect("CTR apply");
+    assert_eq!(ctr, hex(SP800_CTR_CT), "SP 800-38A F.5.1");
+
+    let tag = client.cmac_tag(&pt[..16]).expect("CMAC tag");
+    assert_eq!(tag.to_vec(), hex(CMAC_TAG_1BLOCK), "RFC 4493 example 2");
+    assert!(client.cmac_verify(&pt[..16], &tag).expect("CMAC verify"));
+
+    // The deferred lane works over v1 framing too.
+    match client
+        .try_submit(Op::EcbEncrypt, None, &pt[..16])
+        .expect("defer")
+    {
+        SubmitOutcome::Accepted(_) => {}
+        SubmitOutcome::Busy { .. } => panic!("empty queue refused a job"),
+    }
+    let flushed = client.flush().expect("flush");
+    assert_eq!(flushed.len(), 1);
+    assert_eq!(
+        flushed[0].result.as_deref().expect("deferred ok"),
+        &hex(SP800_ECB_CT)[..16]
+    );
+    server.shutdown();
+}
+
+/// Two connections pipelining concurrently: a v2 client with a deep
+/// burst and a v1 client doing blocking calls share the server without
+/// interfering — sessions, correlation ids, and replies stay per-
+/// connection.
+#[test]
+fn mixed_version_clients_share_the_server() {
+    let server = spawn_server(vec![BackendSpec::Software; 2], 32);
+    let addr = server.local_addr();
+
+    let v2 = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect v2");
+        client.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
+        let pt = hex(SP800_PT);
+        let ct = hex(SP800_ECB_CT);
+        for _ in 0..4 {
+            let mut expected = HashMap::new();
+            for block in 0..4 {
+                let corr = client
+                    .pipeline(Op::EcbEncrypt, None, &pt[block * 16..block * 16 + 16])
+                    .expect("pipeline");
+                expected.insert(corr, ct[block * 16..block * 16 + 16].to_vec());
+            }
+            for job in client.collect_all().expect("collect") {
+                assert_eq!(job.result.expect("ok"), expected.remove(&job.corr).unwrap());
+            }
+        }
+    });
+
+    let mut v1 = Client::connect_v1(addr).expect("connect v1");
+    v1.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
+    let pt = hex(SP800_PT);
+    for _ in 0..8 {
+        assert_eq!(
+            v1.ecb_encrypt(&pt[..16]).expect("ECB"),
+            hex(SP800_ECB_CT)[..16]
+        );
+    }
+
+    v2.join().expect("v2 client thread");
+    server.shutdown();
+}
