@@ -1,7 +1,10 @@
-//! The bitsliced backend against the T-table baseline: raw multi-block
-//! passes and bulk ECB/CTR through the batch submission paths. This is
-//! the acceptance bench for the bitsliced backend — on an AVX2 host the
-//! bulk paths land well above 2× the T-table throughput at batch ≥ 64.
+//! The dispatched software backends against the T-table baseline: raw
+//! multi-block passes and bulk ECB/CTR through the batch submission
+//! paths. This is the acceptance bench for the bitsliced backend *and*
+//! for runtime dispatch — on an AVX2 host the bitsliced bulk paths land
+//! well above 2× the T-table throughput at batch ≥ 64, and on an AES-NI
+//! host the hardware rows must clear the bitsliced 2.2× baseline by at
+//! least another 2×.
 //!
 //! Two extra checks ride along:
 //!
@@ -10,15 +13,17 @@
 //!   chained modes, whose per-block scratch used to come off the heap)
 //!   and the bench aborts if any of them allocate. This runs in smoke
 //!   mode too, so CI keeps the property pinned.
-//! * **Throughput ratio report.** The suite ends with a
-//!   `bitsliced / t-table` speedup line per bulk group; outside smoke
-//!   mode the best bulk ratio must clear 2×.
+//! * **Throughput ratio report.** The suite ends with `bitsliced /
+//!   t-table` and `aesni / t-table` speedup lines per bulk group;
+//!   outside smoke mode the best bitsliced bulk ratio must clear 2×,
+//!   and where AES-NI raced it must double the bitsliced figure.
 //!
 //! Set `TESTKIT_BENCH_SMOKE=1` for a one-sample, minimum-duration run.
 
+use rijndael::dispatch::{AutoCipher, Kind};
 use rijndael::modes::{Cbc, Cfb, Ctr, Ecb, Ofb};
 use rijndael::ttable::TtableAes;
-use rijndael::Bitsliced8;
+use rijndael::{BatchCipher, Bitsliced8};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -101,8 +106,28 @@ fn main() {
     let mut bench = Bench::from_args("bitslice");
     let sliced = Bitsliced8::new(&KEY);
     let ttable = TtableAes::new(&KEY).expect("valid key");
+    // Hardware AES rows run only where the runtime probe finds the
+    // instructions (AES-NI on x86_64, the ARMv8 extension on aarch64).
+    let hw_kind = [Kind::AesNi, Kind::Neon]
+        .into_iter()
+        .find(|k| k.available());
+    let hw = hw_kind.map(|k| AutoCipher::for_kind(k, &KEY).expect("probed available"));
 
     assert_hot_loops_do_not_allocate(&sliced, &ttable);
+    if let Some(hw) = &hw {
+        let mut blocks = vec![[0x5Au8; 16]; 64];
+        let mut buf = vec![0xA5u8; 64 * 16];
+        let nonce = [7u8; 16];
+        assert_no_alloc("aesni encrypt_blocks", &mut || {
+            hw.encrypt_blocks(black_box(&mut blocks));
+        });
+        assert_no_alloc("aesni ecb batched", &mut || {
+            Ecb::encrypt_batched(hw, black_box(&mut buf)).expect("aligned");
+        });
+        assert_no_alloc("aesni ctr batched", &mut || {
+            Ctr::apply_batched(hw, &nonce, 0, black_box(&mut buf));
+        });
+    }
 
     let blocks: usize = if smoke() { 64 } else { 256 };
     let bytes = (blocks * 16) as u64;
@@ -127,6 +152,16 @@ fn main() {
                 ttable.encrypt_block(black_box(&mut block));
             }
         });
+        if let Some(hw) = &hw {
+            let mut batch = vec![[0x5Au8; 16]; blocks];
+            group.bench("aesni_encrypt", || {
+                hw.encrypt_blocks(black_box(&mut batch));
+            });
+            let mut batch = vec![[0x5Au8; 16]; blocks];
+            group.bench("aesni_decrypt", || {
+                hw.decrypt_blocks(black_box(&mut batch));
+            });
+        }
     }
 
     {
@@ -143,6 +178,12 @@ fn main() {
         group.bench("ttable", || {
             Ecb::encrypt(&ttable, black_box(&mut buf)).expect("aligned");
         });
+        if let Some(hw) = &hw {
+            let mut buf = vec![0xA5u8; blocks * 16];
+            group.bench("aesni", || {
+                Ecb::encrypt_batched(hw, black_box(&mut buf)).expect("aligned");
+            });
+        }
     }
 
     {
@@ -160,6 +201,12 @@ fn main() {
         group.bench("ttable", || {
             Ctr::apply(&ttable, &nonce, black_box(&mut buf));
         });
+        if let Some(hw) = &hw {
+            let mut buf = vec![0xA5u8; blocks * 16];
+            group.bench("aesni", || {
+                Ctr::apply_batched(hw, &nonce, 0, black_box(&mut buf));
+            });
+        }
     }
 
     let records = bench.finish();
@@ -173,6 +220,7 @@ fn main() {
             .map(|r| r.min_ns)
     };
     let mut ratios = Vec::new();
+    let mut hw_ratios = Vec::new();
     for group in ["ecb_bulk", "ctr_bulk"] {
         // A CLI filter may have excluded either side of a pair.
         let (Some(ttable), Some(sliced)) = (min_ns(group, "ttable"), min_ns(group, "bitsliced"))
@@ -182,6 +230,15 @@ fn main() {
         let ratio = ttable / sliced;
         ratios.push(ratio);
         println!("speedup {group}: bitsliced is {ratio:.2}x the t-table baseline");
+        if let Some(hw_ns) = min_ns(group, "aesni") {
+            let hw_ratio = ttable / hw_ns;
+            hw_ratios.push((hw_ratio, sliced / hw_ns));
+            println!(
+                "speedup {group}: aesni is {hw_ratio:.2}x the t-table baseline \
+                 ({:.2}x the bitsliced path)",
+                sliced / hw_ns
+            );
+        }
     }
     // The acceptance bar — ≥2× on bulk ECB or CTR — applies to a full,
     // unfiltered, non-smoke run; the best of the two groups rides above
@@ -191,6 +248,17 @@ fn main() {
         assert!(
             best >= 2.0,
             "expected >=2x bulk speedup over the t-table baseline, best was {best:.2}x"
+        );
+    }
+    // Dispatch acceptance: where the hardware AES rows raced, they must
+    // clear the bitsliced baseline by another integer multiple — the
+    // point of runtime dispatch is that capable hosts get this for free.
+    if hw_ratios.len() == 2 && !smoke() {
+        let best_vs_bitsliced = hw_ratios.iter().fold(0.0f64, |b, (_, r)| b.max(*r));
+        assert!(
+            best_vs_bitsliced >= 2.0,
+            "expected hardware AES to at least double the bitsliced bulk path, \
+             best was {best_vs_bitsliced:.2}x"
         );
     }
 }

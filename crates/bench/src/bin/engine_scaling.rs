@@ -15,8 +15,9 @@
 //! Pass `--smoke` for a tiny workload (CI keeps the binary exercised
 //! without burning time on a full sweep).
 //!
-//! After the virtual-cycle sweep the binary races the three software
-//! backends (specification, T-table, bitsliced) over the same randomized
+//! After the virtual-cycle sweep the binary races the software backends
+//! (specification, T-table, bitsliced, hardware AES where the CPU has
+//! it, and the runtime-dispatched `auto` slot) over the same randomized
 //! ECB workload on the host clock, asserts they produce byte-identical
 //! ciphertext, and writes the measurements as a `telemetry/1` JSON
 //! snapshot to `BENCH_bitslice.json` (path overridable via
@@ -104,11 +105,18 @@ fn software_backend_race(key: &[u8; 16], smoke: bool) {
     let race = Registry::new();
     let mut results: Vec<(&str, f64)> = Vec::new();
     let mut outputs: Vec<Vec<u8>> = Vec::new();
-    for spec in [
+    // Hardware AES joins the race where the runtime probe finds it, and
+    // the Auto slot shows what a default deployment actually lands on.
+    let mut specs = vec![
         BackendSpec::Software,
         BackendSpec::Ttable,
         BackendSpec::Bitsliced,
-    ] {
+    ];
+    if BackendSpec::AesNi.available() {
+        specs.push(BackendSpec::AesNi);
+    }
+    specs.push(BackendSpec::Auto);
+    for spec in specs {
         let mut eng = engine::EngineBuilder::new()
             .core(spec)
             .capacity(2)
@@ -143,16 +151,27 @@ fn software_backend_race(key: &[u8; 16], smoke: bool) {
         outputs.windows(2).all(|w| w[0] == w[1]),
         "software backends disagree on the randomized ECB workload"
     );
-    println!("\nall three software backends agree on {n} randomized blocks");
+    println!(
+        "\nall {} software backends agree on {n} randomized blocks",
+        results.len()
+    );
 
     let speedup = results[1].1 / results[2].1;
     println!("bitsliced vs t-table: {speedup:.2}x");
+    let auto_ns = results.last().expect("auto raced").1;
+    let auto_speedup = results[1].1 / auto_ns;
+    println!(
+        "dispatched ({}) vs t-table: {auto_speedup:.2}x",
+        rijndael::dispatch::selection().bulk.backend_name()
+    );
 
     race.counter("bench.race.blocks").add(n as u64);
     race.gauge("bench.race.smoke").set(i64::from(smoke));
     race.gauge("bench.race.agree").set(1);
     race.counter("bench.race.speedup_bitsliced_vs_ttable_x1000")
         .add((speedup * 1000.0).round() as u64);
+    race.counter("bench.race.speedup_auto_vs_ttable_x1000")
+        .add((auto_speedup * 1000.0).round() as u64);
 
     let doc = race.snapshot().to_json();
     let path =
@@ -168,6 +187,8 @@ fn spec_name(spec: BackendSpec) -> &'static str {
         BackendSpec::Software => "soft-ref",
         BackendSpec::Ttable => "soft-ttable",
         BackendSpec::Bitsliced => "soft-bitsliced",
+        BackendSpec::AesNi => "soft-aesni",
+        BackendSpec::Auto => "auto",
         _ => "ip-core",
     }
 }

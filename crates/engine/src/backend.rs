@@ -14,6 +14,7 @@ use core::fmt;
 
 use aes_ip::bus::{IpDriver, StreamError};
 use aes_ip::core::{CycleCore, DecryptCore, Direction, EncDecCore, EncryptCore, LATENCY_CYCLES};
+use rijndael::dispatch::{self, AutoCipher, Kind};
 use rijndael::ttable::TtableAes;
 use rijndael::{Aes128, Bitsliced8, BlockCipher};
 
@@ -33,10 +34,24 @@ pub enum BackendSpec {
     /// The constant-time bitsliced software implementation with a real
     /// multi-block batch path ([`Bitsliced8`]).
     Bitsliced,
+    /// The hardware AES instructions (AES-NI on x86_64, the ARMv8
+    /// Cryptography Extension on aarch64). Only buildable when the
+    /// runtime probe finds them — see [`BackendSpec::available`].
+    AesNi,
+    /// Runtime dispatch: whatever backend the process-wide
+    /// [`rijndael::dispatch::selection`] micro-race picked (or
+    /// `RIJNDAEL_FORCE_BACKEND` pinned). The built backend reports the
+    /// *resolved* name (`soft-aesni`, `soft-bitsliced-wide`, ...) so the
+    /// decision is visible in telemetry and `GET_STATS`.
+    Auto,
 }
 
 impl BackendSpec {
-    /// Every spec, in a stable order (useful for exhaustive test sweeps).
+    /// Every unconditionally-available spec, in a stable order (useful
+    /// for exhaustive test sweeps). [`BackendSpec::AesNi`] and
+    /// [`BackendSpec::Auto`] are deliberately absent: the former only
+    /// exists on CPUs that pass the probe, the latter resolves *to* one
+    /// of the others — see [`BackendSpec::detected`].
     pub const ALL: [BackendSpec; 6] = [
         BackendSpec::EncryptCore,
         BackendSpec::DecryptCore,
@@ -46,7 +61,36 @@ impl BackendSpec {
         BackendSpec::Bitsliced,
     ];
 
+    /// `true` when this spec can be built on this host — everything in
+    /// [`BackendSpec::ALL`] always, [`BackendSpec::AesNi`] only after the
+    /// runtime CPU probe succeeds, [`BackendSpec::Auto`] always (it
+    /// resolves to an available backend by construction).
+    #[must_use]
+    pub fn available(self) -> bool {
+        match self {
+            BackendSpec::AesNi => Kind::AesNi.available() || Kind::Neon.available(),
+            _ => true,
+        }
+    }
+
+    /// Every spec buildable on this host: [`BackendSpec::ALL`] plus
+    /// [`BackendSpec::AesNi`] when the hardware has it.
+    #[must_use]
+    pub fn detected() -> Vec<BackendSpec> {
+        let mut specs = BackendSpec::ALL.to_vec();
+        if BackendSpec::AesNi.available() {
+            specs.push(BackendSpec::AesNi);
+        }
+        specs
+    }
+
     /// Builds the backend with `key` loaded and ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not [`BackendSpec::available`] on this host:
+    /// configuring a backend the hardware cannot run must fail loudly,
+    /// never silently substitute another implementation.
     #[must_use]
     pub fn build(self, key: &[u8; 16]) -> Box<dyn Backend> {
         match self {
@@ -65,6 +109,27 @@ impl BackendSpec {
                 "soft-ttable",
             )),
             BackendSpec::Bitsliced => Box::new(BitslicedBackend::new(key)),
+            BackendSpec::AesNi => {
+                let kind = if Kind::AesNi.available() {
+                    Kind::AesNi
+                } else {
+                    Kind::Neon
+                };
+                // `for_kind` asserts availability, satisfying the
+                // fail-loudly contract when neither instruction set is
+                // present.
+                Box::new(DispatchBackend::new(
+                    AutoCipher::for_kind(kind, key).expect("hardware AES kinds build a cipher"),
+                ))
+            }
+            BackendSpec::Auto => match dispatch::selection().bulk {
+                // A forced ip-core selection has no software cipher; the
+                // combined-core hardware model fills the slot.
+                Kind::IpCore => Box::new(IpCoreBackend::new(EncDecCore::new(), key, "ip-encdec")),
+                kind => Box::new(DispatchBackend::new(
+                    AutoCipher::for_kind(kind, key).expect("non-ip-core selections build a cipher"),
+                )),
+            },
         }
     }
 }
@@ -78,6 +143,8 @@ impl fmt::Display for BackendSpec {
             BackendSpec::Software => "soft-ref",
             BackendSpec::Ttable => "soft-ttable",
             BackendSpec::Bitsliced => "soft-bitsliced",
+            BackendSpec::AesNi => "soft-aesni",
+            BackendSpec::Auto => "auto",
         };
         f.write_str(s)
     }
@@ -453,6 +520,92 @@ impl Backend for BitslicedBackend {
     }
 }
 
+/// The runtime-dispatched cipher ([`AutoCipher`]) as a [`Backend`].
+///
+/// This is what a [`BackendSpec::Auto`] farm slot holds: the micro-race
+/// (or `RIJNDAEL_FORCE_BACKEND`) decides the implementation once per
+/// process, and [`Backend::name`] reports the *resolved* backend
+/// (`soft-aesni`, `soft-bitsliced-wide`, ...) so `GET_STATS` and the
+/// `engine.core.<i>.<backend>.*` telemetry show which path actually ran.
+/// Cost model matches the other software backends: a nominal cycle per
+/// block.
+#[derive(Debug, Clone)]
+pub struct DispatchBackend {
+    cipher: AutoCipher,
+    blocks: u64,
+}
+
+impl DispatchBackend {
+    /// Wraps an already-dispatched cipher as a farm member.
+    #[must_use]
+    pub fn new(cipher: AutoCipher) -> Self {
+        DispatchBackend { cipher, blocks: 0 }
+    }
+
+    /// Which dispatch [`Kind`] the wrapped cipher runs.
+    #[must_use]
+    pub fn kind(&self) -> Kind {
+        self.cipher.kind()
+    }
+}
+
+impl Backend for DispatchBackend {
+    fn name(&self) -> &'static str {
+        self.cipher.backend_name()
+    }
+
+    fn supports(&self, _dir: Direction) -> bool {
+        true
+    }
+
+    fn process_block(&mut self, block: &mut [u8; 16], dir: Direction) -> Result<(), BackendError> {
+        match dir {
+            Direction::Encrypt => self.cipher.encrypt_in_place(block),
+            Direction::Decrypt => self.cipher.decrypt_in_place(block),
+        }
+        self.blocks += 1;
+        Ok(())
+    }
+
+    fn process_stream(
+        &mut self,
+        blocks: &mut [[u8; 16]],
+        dir: Direction,
+    ) -> Result<(), BackendError> {
+        self.process_batch(blocks, dir)
+    }
+
+    fn process_batch(
+        &mut self,
+        blocks: &mut [[u8; 16]],
+        dir: Direction,
+    ) -> Result<(), BackendError> {
+        use rijndael::BatchCipher;
+        match dir {
+            Direction::Encrypt => self.cipher.encrypt_blocks(blocks),
+            Direction::Decrypt => self.cipher.decrypt_blocks(blocks),
+        }
+        self.blocks += blocks.len() as u64;
+        Ok(())
+    }
+
+    fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    fn cycles(&self) -> u64 {
+        self.blocks
+    }
+
+    fn setup_cycles(&self) -> u64 {
+        0
+    }
+
+    fn busy_cycles(&self) -> u64 {
+        self.blocks
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,6 +745,58 @@ mod tests {
         for spec in BackendSpec::ALL {
             assert_send(spec.build(&fips_key()));
         }
+    }
+
+    #[test]
+    fn detected_specs_build_and_match_the_reference() {
+        let key = fips_key();
+        let blocks: Vec<[u8; 16]> = (0..23u8).map(|i| [i.wrapping_mul(7) ^ 0x55; 16]).collect();
+        let mut expected = blocks.clone();
+        BackendSpec::Software
+            .build(&key)
+            .process_batch(&mut expected, Direction::Encrypt)
+            .unwrap();
+        for spec in BackendSpec::detected() {
+            assert!(spec.available(), "{spec}");
+            let mut backend = spec.build(&key);
+            if !backend.supports(Direction::Encrypt) {
+                continue;
+            }
+            let mut got = blocks.clone();
+            backend.process_batch(&mut got, Direction::Encrypt).unwrap();
+            assert_eq!(got, expected, "{spec}");
+        }
+    }
+
+    #[test]
+    fn auto_backend_reports_the_resolved_name_and_encrypts() {
+        let key = fips_key();
+        let mut auto = BackendSpec::Auto.build(&key);
+        // Auto never reports the placeholder "auto": the name is the
+        // resolved selection, visible downstream in GET_STATS.
+        assert_ne!(auto.name(), "auto");
+        let resolved = rijndael::dispatch::selection().bulk;
+        assert_eq!(auto.name(), resolved.backend_name());
+        let mut block = FIPS197_C1.plaintext;
+        auto.process_block(&mut block, Direction::Encrypt).unwrap();
+        assert_eq!(block, FIPS197_C1.ciphertext);
+        assert_eq!(auto.cycles(), 1);
+    }
+
+    #[test]
+    fn hardware_aes_spec_is_gated_by_the_probe() {
+        if !BackendSpec::AesNi.available() {
+            assert!(!BackendSpec::detected().contains(&BackendSpec::AesNi));
+            return;
+        }
+        let key = fips_key();
+        let mut hw = BackendSpec::AesNi.build(&key);
+        let mut block = FIPS197_C1.plaintext;
+        hw.process_block(&mut block, Direction::Encrypt).unwrap();
+        assert_eq!(block, FIPS197_C1.ciphertext);
+        hw.process_block(&mut block, Direction::Decrypt).unwrap();
+        assert_eq!(block, FIPS197_C1.plaintext);
+        assert!(hw.name().starts_with("soft-"), "{}", hw.name());
     }
 
     #[test]

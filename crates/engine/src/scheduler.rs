@@ -533,7 +533,15 @@ impl Engine {
             t.cycles.add(now.1.saturating_sub(last.1));
             t.setup_cycles.add(now.2.saturating_sub(last.2));
             t.busy_cycles.add(now.3.saturating_sub(last.3));
-            let op_delta = now.1.saturating_sub(last.1) - now.2.saturating_sub(last.2);
+            // Fully saturating: a racing snapshot can legitimately show a
+            // setup-cycle delta larger than the total-cycle delta (a
+            // re-key landing between the two reads), and an underflow
+            // here would panic in debug or fabricate an absurd occupancy
+            // basis in release.
+            let op_delta = now
+                .1
+                .saturating_sub(last.1)
+                .saturating_sub(now.2.saturating_sub(last.2));
             let busy_delta = now.3.saturating_sub(last.3);
             if let Some(bp) = busy_delta.saturating_mul(10_000).checked_div(op_delta) {
                 self.occupancy_bp.record(bp);
@@ -1252,5 +1260,97 @@ mod tests {
             .core(BackendSpec::Software)
             .capacity(0)
             .build(&KEY);
+    }
+
+    /// A mock whose setup-cycle counter outruns its total-cycle counter
+    /// between telemetry syncs — the adversarial snapshot shape that used
+    /// to underflow the occupancy basis in [`Engine::sync_telemetry`]
+    /// (`setup_delta > cycle_delta` ⇒ `op_delta` wrapped).
+    struct AdversarialCounters {
+        blocks: u64,
+        cycles: u64,
+        setup: u64,
+    }
+
+    impl Backend for AdversarialCounters {
+        fn name(&self) -> &'static str {
+            "mock-adversarial"
+        }
+
+        fn supports(&self, _dir: Direction) -> bool {
+            true
+        }
+
+        fn process_block(
+            &mut self,
+            _block: &mut [u8; 16],
+            _dir: Direction,
+        ) -> Result<(), BackendError> {
+            // Each block grows setup cycles 10x faster than total cycles,
+            // so every sync observes setup_delta > cycle_delta.
+            self.blocks += 1;
+            self.cycles += 2;
+            self.setup += 20;
+            Ok(())
+        }
+
+        fn process_stream(
+            &mut self,
+            blocks: &mut [[u8; 16]],
+            dir: Direction,
+        ) -> Result<(), BackendError> {
+            for block in blocks.iter_mut() {
+                self.process_block(block, dir)?;
+            }
+            Ok(())
+        }
+
+        fn blocks(&self) -> u64 {
+            self.blocks
+        }
+
+        fn cycles(&self) -> u64 {
+            self.cycles
+        }
+
+        fn setup_cycles(&self) -> u64 {
+            self.setup
+        }
+
+        fn busy_cycles(&self) -> u64 {
+            self.blocks
+        }
+    }
+
+    #[test]
+    fn occupancy_survives_setup_delta_exceeding_cycle_delta() {
+        let reg = telemetry::Registry::new();
+        let mut engine = EngineBuilder::new()
+            .backend(Box::new(AdversarialCounters {
+                blocks: 0,
+                cycles: 0,
+                setup: 0,
+            }))
+            .registry(reg.clone())
+            .build(&KEY);
+        // Two jobs, two syncs: each sync sees cycle_delta=2·n while
+        // setup_delta=20·n. Before the fix this underflowed (debug panic,
+        // or an absurd occupancy basis in release).
+        for _ in 0..2 {
+            engine.try_submit(Mode::EcbEncrypt, sample(16)).unwrap();
+            let out = engine.run();
+            assert!(out[0].data.is_ok());
+        }
+        let snap = engine.snapshot();
+        assert_eq!(
+            snap.counter("engine.core.0.mock-adversarial.setup_cycles"),
+            Some(40)
+        );
+        // op_delta saturates to zero, so no occupancy sample is recorded
+        // (rather than a wrapped-u64 basis-point figure).
+        let occupancy = snap
+            .histogram("engine.core.occupancy_bp")
+            .expect("histogram registered");
+        assert_eq!(occupancy.count, 0);
     }
 }

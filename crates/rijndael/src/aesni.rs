@@ -1,0 +1,378 @@
+//! AES-128 on the x86 AES-NI instruction set.
+//!
+//! One `AESENC` retires a whole round (`ByteSub ∘ ShiftRow ∘ MixColumn ∘
+//! AddKey`) in hardware, so this backend encrypts a block in ten
+//! instructions and, with eight blocks interleaved per loop iteration to
+//! cover the instruction latency, sustains several blocks per cycle of
+//! throughput — the fastest software-visible path this crate has.
+//! Decryption uses the equivalent inverse cipher: the decryption round
+//! keys are the encryption schedule reversed with `AESIMC`
+//! (`InvMixColumn`) applied to the interior rounds, exactly the
+//! transformation [`crate::ttable`] performs in arithmetic.
+//!
+//! # Availability
+//!
+//! The module only compiles on `x86_64`, and an [`AesNi`] instance can
+//! only be constructed after [`available`] — a cached
+//! `is_x86_feature_detected!("aes")` probe — returns `true` **at
+//! runtime**. Nothing here relies on compile-time `target_feature`
+//! flags: the binary stays a portable baseline-x86_64 artifact and the
+//! [`crate::dispatch`] micro-race decides per host whether this backend
+//! runs. Like the hardware AES round itself, execution is constant-time:
+//! no table lookups, no secret-dependent branches.
+//!
+//! # Safety
+//!
+//! This is one of the two `unsafe`-bearing modules of the crate (the
+//! other is the AVX2 kernel in [`crate::bitslice`]). Every intrinsic
+//! sits inside a `#[target_feature(enable = "aes")]` function, and every
+//! path into those functions is fenced by the runtime probe: [`AesNi`]
+//! cannot exist on a CPU without the extension, so the feature
+//! precondition holds whenever they execute. The only pointer operations
+//! are unaligned 16-byte loads/stores of caller-provided `[u8; 16]`
+//! buffers.
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m128i, _mm_aesdec_si128, _mm_aesdeclast_si128, _mm_aesenc_si128, _mm_aesenclast_si128,
+    _mm_aesimc_si128, _mm_loadu_si128, _mm_storeu_si128, _mm_xor_si128,
+};
+
+use crate::cipher::{BatchCipher, BlockCipher};
+use crate::key_schedule::KeySchedule;
+
+/// Round keys for AES-128: the initial whitening key plus ten rounds.
+const ROUND_KEYS: usize = 11;
+
+/// Blocks interleaved per batch loop iteration. `AESENC` has a multi-cycle
+/// latency but single-cycle throughput on every AES-NI-capable
+/// microarchitecture, so running eight independent blocks through the
+/// round chain keeps the unit saturated.
+const STRIDE: usize = 8;
+
+/// `true` when this CPU executes the AES-NI extension (cached probe).
+#[must_use]
+pub fn available() -> bool {
+    std::arch::is_x86_feature_detected!("aes")
+}
+
+/// Unaligned 16-byte load. Safe: the reference guarantees a readable
+/// 16-byte buffer and `loadu` has no alignment requirement (SSE2 is
+/// baseline on `x86_64`).
+#[inline(always)]
+fn loadu(block: &[u8; 16]) -> __m128i {
+    // SAFETY: `block` is a valid 16-byte read; no alignment needed.
+    unsafe { _mm_loadu_si128(block.as_ptr().cast()) }
+}
+
+/// Unaligned 16-byte store (same argument as [`loadu`]).
+#[inline(always)]
+fn storeu(block: &mut [u8; 16], v: __m128i) {
+    // SAFETY: `block` is a valid 16-byte write; no alignment needed.
+    unsafe { _mm_storeu_si128(block.as_mut_ptr().cast(), v) }
+}
+
+/// Derives the equivalent-inverse-cipher round keys from the encryption
+/// schedule: reverse the order and pass the interior keys through
+/// `AESIMC`.
+///
+/// # Safety
+///
+/// The CPU must support AES-NI (checked by the caller via [`available`]).
+#[target_feature(enable = "aes")]
+unsafe fn invert_keys(enc: &[[u8; 16]; ROUND_KEYS]) -> [[u8; 16]; ROUND_KEYS] {
+    let mut dec = [[0u8; 16]; ROUND_KEYS];
+    dec[0] = enc[10];
+    for i in 1..10 {
+        storeu(&mut dec[i], _mm_aesimc_si128(loadu(&enc[10 - i])));
+    }
+    dec[10] = enc[0];
+    dec
+}
+
+/// Encrypts every block in place, [`STRIDE`] interleaved blocks at a time.
+///
+/// # Safety
+///
+/// The CPU must support AES-NI (checked by the caller via [`available`]).
+#[target_feature(enable = "aes")]
+unsafe fn encrypt_batch(enc: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
+    let rk: [__m128i; ROUND_KEYS] = core::array::from_fn(|i| loadu(&enc[i]));
+    let (groups, tail) = blocks.as_chunks_mut::<STRIDE>();
+    for group in groups {
+        let mut s: [__m128i; STRIDE] = core::array::from_fn(|i| loadu(&group[i]));
+        for x in &mut s {
+            *x = _mm_xor_si128(*x, rk[0]);
+        }
+        for key in &rk[1..10] {
+            for x in &mut s {
+                *x = _mm_aesenc_si128(*x, *key);
+            }
+        }
+        for (dst, x) in group.iter_mut().zip(s) {
+            storeu(dst, _mm_aesenclast_si128(x, rk[10]));
+        }
+    }
+    for block in tail {
+        let mut x = _mm_xor_si128(loadu(block), rk[0]);
+        for key in &rk[1..10] {
+            x = _mm_aesenc_si128(x, *key);
+        }
+        storeu(block, _mm_aesenclast_si128(x, rk[10]));
+    }
+}
+
+/// Decrypts every block in place (equivalent inverse cipher; same
+/// interleave as [`encrypt_batch`]).
+///
+/// # Safety
+///
+/// The CPU must support AES-NI (checked by the caller via [`available`]).
+#[target_feature(enable = "aes")]
+unsafe fn decrypt_batch(dec: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
+    let rk: [__m128i; ROUND_KEYS] = core::array::from_fn(|i| loadu(&dec[i]));
+    let (groups, tail) = blocks.as_chunks_mut::<STRIDE>();
+    for group in groups {
+        let mut s: [__m128i; STRIDE] = core::array::from_fn(|i| loadu(&group[i]));
+        for x in &mut s {
+            *x = _mm_xor_si128(*x, rk[0]);
+        }
+        for key in &rk[1..10] {
+            for x in &mut s {
+                *x = _mm_aesdec_si128(*x, *key);
+            }
+        }
+        for (dst, x) in group.iter_mut().zip(s) {
+            storeu(dst, _mm_aesdeclast_si128(x, rk[10]));
+        }
+    }
+    for block in tail {
+        let mut x = _mm_xor_si128(loadu(block), rk[0]);
+        for key in &rk[1..10] {
+            x = _mm_aesdec_si128(x, *key);
+        }
+        storeu(block, _mm_aesdeclast_si128(x, rk[10]));
+    }
+}
+
+/// AES-128 through the x86 AES-NI instructions.
+///
+/// Construction is fallible precisely because dispatch is a runtime
+/// decision: [`AesNi::new`] returns `None` on CPUs without the extension,
+/// and the instance itself is the proof of availability every kernel call
+/// relies on.
+///
+/// # Examples
+///
+/// ```
+/// use rijndael::{Aes128, BatchCipher};
+///
+/// let key = [0x2Bu8; 16];
+/// if let Some(fast) = rijndael::aesni::AesNi::new(&key) {
+///     let reference = Aes128::new(&key);
+///     let mut blocks = [[0x5Au8; 16]; 3];
+///     fast.encrypt_blocks(&mut blocks);
+///     assert_eq!(blocks[1], reference.encrypt_block(&[0x5Au8; 16]));
+/// }
+/// ```
+pub struct AesNi {
+    enc: [[u8; 16]; ROUND_KEYS],
+    dec: [[u8; 16]; ROUND_KEYS],
+}
+
+impl AesNi {
+    /// Expands `key` and derives both round-key schedules, or returns
+    /// `None` when the CPU lacks AES-NI.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Option<Self> {
+        if !available() {
+            return None;
+        }
+        let schedule = KeySchedule::expand(key, 4).expect("16-byte key is always valid");
+        let mut enc = [[0u8; 16]; ROUND_KEYS];
+        for (round, rk) in enc.iter_mut().enumerate() {
+            for (c, word) in schedule.round_key(round).iter().enumerate() {
+                rk[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
+            }
+        }
+        // SAFETY: `available()` returned true above, so the `aes` target
+        // feature is present on this CPU.
+        let dec = unsafe { invert_keys(&enc) };
+        Some(AesNi { enc, dec })
+    }
+
+    /// Encrypts any number of blocks in place.
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        // SAFETY: this instance exists, so `AesNi::new` saw the runtime
+        // probe succeed on this CPU.
+        unsafe { encrypt_batch(&self.enc, blocks) }
+    }
+
+    /// Decrypts any number of blocks in place.
+    pub fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        // SAFETY: as in [`Self::encrypt_blocks`].
+        unsafe { decrypt_batch(&self.dec, blocks) }
+    }
+}
+
+impl BlockCipher for AesNi {
+    fn block_len(&self) -> usize {
+        16
+    }
+
+    fn encrypt_in_place(&self, block: &mut [u8]) {
+        assert_eq!(block.len(), 16, "AesNi encrypts 16-byte blocks");
+        let mut b = [0u8; 16];
+        b.copy_from_slice(block);
+        self.encrypt_blocks(core::slice::from_mut(&mut b));
+        block.copy_from_slice(&b);
+    }
+
+    fn decrypt_in_place(&self, block: &mut [u8]) {
+        assert_eq!(block.len(), 16, "AesNi decrypts 16-byte blocks");
+        let mut b = [0u8; 16];
+        b.copy_from_slice(block);
+        self.decrypt_blocks(core::slice::from_mut(&mut b));
+        block.copy_from_slice(&b);
+    }
+}
+
+impl BatchCipher for AesNi {
+    fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        Self::encrypt_blocks(self, blocks);
+    }
+
+    fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        Self::decrypt_blocks(self, blocks);
+    }
+}
+
+impl Clone for AesNi {
+    fn clone(&self) -> Self {
+        AesNi {
+            enc: self.enc,
+            dec: self.dec,
+        }
+    }
+}
+
+impl core::fmt::Debug for AesNi {
+    /// Never prints key material.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("AesNi { rounds: 10 }")
+    }
+}
+
+impl Drop for AesNi {
+    /// Wipes both round-key schedules (see [`crate::zeroize`]).
+    fn drop(&mut self) {
+        crate::zeroize::wipe_bytes(self.enc.as_flattened_mut());
+        crate::zeroize::wipe_bytes(self.dec.as_flattened_mut());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aes128;
+
+    // FIPS-197 Appendix C.1.
+    const KEY: [u8; 16] = [
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E,
+        0x0F,
+    ];
+    const PT: [u8; 16] = [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE,
+        0xFF,
+    ];
+    const CT: [u8; 16] = [
+        0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5,
+        0x5A,
+    ];
+
+    fn cipher() -> Option<AesNi> {
+        let c = AesNi::new(&KEY);
+        assert_eq!(c.is_some(), available());
+        c
+    }
+
+    fn random_blocks(n: usize, seed: u64) -> Vec<[u8; 16]> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                core::array::from_fn(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    (s >> 32) as u8
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fips197_c1_known_answer_and_inverse() {
+        let Some(cipher) = cipher() else { return };
+        let mut blocks = vec![PT; 19];
+        cipher.encrypt_blocks(&mut blocks);
+        assert!(blocks.iter().all(|b| *b == CT), "interleaved + tail KAT");
+        cipher.decrypt_blocks(&mut blocks);
+        assert!(blocks.iter().all(|b| *b == PT), "inverse");
+    }
+
+    #[test]
+    fn agrees_with_the_reference_on_random_batches() {
+        let Some(cipher) = cipher() else { return };
+        let reference = Aes128::new(&KEY);
+        for n in [1usize, 7, 8, 9, 64, 100] {
+            let original = random_blocks(n, 0xAE5_1D00 + n as u64);
+            let mut got = original.clone();
+            cipher.encrypt_blocks(&mut got);
+            for (i, (g, pt)) in got.iter().zip(&original).enumerate() {
+                assert_eq!(*g, reference.encrypt_block(pt), "n={n} block {i}");
+            }
+            cipher.decrypt_blocks(&mut got);
+            assert_eq!(got, original, "n={n} roundtrip");
+        }
+    }
+
+    #[test]
+    fn block_cipher_impl_matches_the_batch_path() {
+        let Some(cipher) = cipher() else { return };
+        let mut block = PT;
+        cipher.encrypt_in_place(&mut block);
+        assert_eq!(block, CT);
+        cipher.decrypt_in_place(&mut block);
+        assert_eq!(block, PT);
+    }
+
+    #[test]
+    fn rekeying_after_drop_yields_a_fresh_correct_cipher() {
+        let Some(first) = cipher() else { return };
+        let mut b = [PT];
+        first.encrypt_blocks(&mut b);
+        assert_eq!(b[0], CT);
+        drop(first);
+        let second = AesNi::new(&KEY).unwrap();
+        let mut b = [PT];
+        second.encrypt_blocks(&mut b);
+        assert_eq!(b[0], CT);
+    }
+
+    #[test]
+    fn dropping_a_clone_leaves_the_original_usable() {
+        let Some(original) = cipher() else { return };
+        drop(original.clone());
+        let mut b = [PT];
+        original.encrypt_blocks(&mut b);
+        assert_eq!(b[0], CT);
+    }
+
+    #[test]
+    fn debug_never_leaks_key_material() {
+        let Some(cipher) = cipher() else { return };
+        let s = format!("{cipher:?}");
+        assert!(!s.contains("00"), "{s}");
+    }
+}

@@ -21,10 +21,17 @@
 //!   granule and ragged-tail fallback;
 //! * `[u64; 4]` — 64-bit lanes, 64 blocks per pass: portable wide path;
 //! * `__m256i` — the same 64-block pass in four AVX2 registers per plane,
-//!   compiled when the target statically enables `avx2` (see
-//!   `.cargo/config.toml`). `ShiftRow` is one lane permute per row and
-//!   `MixColumn`'s row rotations are free index renames, which is what
-//!   makes the wide pass beat the T-table baseline by >2×.
+//!   selected **at runtime** when [`crate::dispatch`] detects AVX2 (the
+//!   binary itself stays portable baseline-x86_64). `ShiftRow` is one
+//!   lane permute per row and `MixColumn`'s row rotations are free index
+//!   renames, which is what makes the wide pass beat the T-table
+//!   baseline by >2×.
+//!
+//! Which width drives the wide lane of a given cipher instance is a
+//! [`WideLane`] value fixed at construction: [`Bitsliced8::new`] takes
+//! the dispatch decision ([`WideLane::detect`]), and
+//! [`Bitsliced8::with_lane`] pins one explicitly (the forced-backend
+//! test sweeps use this).
 //!
 //! `ByteSub` evaluates the Boyar–Peralta 113-gate AES S-box circuit over
 //! the eight planes of each row word; its inverse needs no second circuit
@@ -78,27 +85,34 @@ trait PlaneWord: Copy {
 
 impl PlaneWord for u32 {
     const GROUPS: usize = 1;
+    #[inline(always)]
     fn zero() -> Self {
         0
     }
+    #[inline(always)]
     fn xor(self, other: Self) -> Self {
         self ^ other
     }
+    #[inline(always)]
     fn and(self, other: Self) -> Self {
         self & other
     }
+    #[inline(always)]
     fn not(self) -> Self {
         !self
     }
+    #[inline(always)]
     fn rot_lanes<const K: u32>(self) -> Self {
         self.rotate_right(8 * K)
     }
+    #[inline(always)]
     fn from_lanes(lanes: [u64; 4]) -> Self {
         (lanes[0] & 0xFF) as u32
             | (((lanes[1] & 0xFF) as u32) << 8)
             | (((lanes[2] & 0xFF) as u32) << 16)
             | (((lanes[3] & 0xFF) as u32) << 24)
     }
+    #[inline(always)]
     fn to_lanes(self) -> [u64; 4] {
         [
             u64::from(self & 0xFF),
@@ -109,52 +123,71 @@ impl PlaneWord for u32 {
     }
 }
 
-/// Portable 64-block plane word: one `u64` per lane. On AVX2 builds the
-/// wide path uses [`simd::Avx2`] instead, but this stays compiled (and
-/// cross-checked in tests) so non-test builds just carry it unused.
-#[cfg_attr(all(target_arch = "x86_64", target_feature = "avx2"), allow(dead_code))]
+/// Portable 64-block plane word: one `u64` per lane. When runtime
+/// detection finds AVX2 the wide path uses [`simd::Avx2`] instead, but
+/// this stays compiled everywhere as the [`WideLane::Portable`] plane —
+/// the constant-time fallback on hosts without AVX2.
 #[derive(Clone, Copy)]
 struct Quad([u64; 4]);
 
 impl PlaneWord for Quad {
     const GROUPS: usize = 8;
+    // Every method is `#[inline(always)]` and closure-free so the whole
+    // plane algebra flattens into the pass functions — see `xtimes`.
+    #[inline(always)]
     fn zero() -> Self {
         Quad([0; 4])
     }
+    #[inline(always)]
     fn xor(self, other: Self) -> Self {
-        Quad(core::array::from_fn(|c| self.0[c] ^ other.0[c]))
+        let (a, b) = (self.0, other.0);
+        Quad([a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]])
     }
+    #[inline(always)]
     fn and(self, other: Self) -> Self {
-        Quad(core::array::from_fn(|c| self.0[c] & other.0[c]))
+        let (a, b) = (self.0, other.0);
+        Quad([a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]])
     }
+    #[inline(always)]
     fn not(self) -> Self {
-        Quad(self.0.map(|l| !l))
+        let a = self.0;
+        Quad([!a[0], !a[1], !a[2], !a[3]])
     }
+    #[inline(always)]
     fn rot_lanes<const K: u32>(self) -> Self {
-        Quad(core::array::from_fn(|c| self.0[(c + K as usize) % 4]))
+        let a = self.0;
+        let k = K as usize;
+        Quad([a[k % 4], a[(1 + k) % 4], a[(2 + k) % 4], a[(3 + k) % 4]])
     }
+    #[inline(always)]
     fn from_lanes(lanes: [u64; 4]) -> Self {
         Quad(lanes)
     }
+    #[inline(always)]
     fn to_lanes(self) -> [u64; 4] {
         self.0
     }
 }
 
-/// The one `unsafe`-bearing module of the crate: value-only AVX2
-/// intrinsics behind a static feature gate.
+/// One of the two `unsafe`-bearing modules of the crate (the other is
+/// [`crate::aesni`]): value-only AVX2 intrinsics behind a **runtime**
+/// feature gate.
 ///
-/// Soundness argument: the module only compiles when
-/// `target_feature = "avx2"` is enabled at build time, so every
-/// `#[target_feature(enable = "avx2")]` intrinsic precondition holds on
-/// any CPU this binary can legally run on. All intrinsics used are pure
-/// value operations (`xor`/`and`/`permute`/`set`/`extract`) — no raw
-/// pointers, no aliasing, no transmutes — so no other safety obligations
-/// exist.
-#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+/// Soundness argument: the only entry point is [`simd::run_wide`], which
+/// asserts `is_x86_feature_detected!("avx2")` before entering the
+/// `#[target_feature(enable = "avx2")]` pass functions, so every
+/// intrinsic precondition holds on any CPU that reaches them — no
+/// compile-time `target_feature` flags are involved, and the binary
+/// stays a portable baseline-x86_64 artifact. All intrinsics used are
+/// pure value operations (`xor`/`and`/`permute`/`set`/`extract`) — no
+/// raw pointers, no aliasing, no transmutes — so no other safety
+/// obligations exist. The round core is `#[inline(always)]` end to end,
+/// so the whole generic pass monomorphizes *inside* the gated functions
+/// and is compiled with AVX2 codegen.
+#[cfg(target_arch = "x86_64")]
 #[allow(unsafe_code)]
 mod simd {
-    use super::PlaneWord;
+    use super::{PlaneWord, RkLanes};
     use core::arch::x86_64::{
         __m256i, _mm256_and_si256, _mm256_extract_epi64, _mm256_permute4x64_epi64,
         _mm256_set1_epi64x, _mm256_set_epi64x, _mm256_setzero_si256, _mm256_xor_si256,
@@ -166,22 +199,28 @@ mod simd {
 
     impl PlaneWord for Avx2 {
         const GROUPS: usize = 8;
+        #[inline(always)]
         fn zero() -> Self {
-            // SAFETY: value-only intrinsic; `avx2` is statically enabled.
+            // SAFETY: value-only intrinsic; reached only through
+            // `run_wide`, which verified AVX2 at runtime.
             Avx2(unsafe { _mm256_setzero_si256() })
         }
+        #[inline(always)]
         fn xor(self, other: Self) -> Self {
             // SAFETY: as above.
             Avx2(unsafe { _mm256_xor_si256(self.0, other.0) })
         }
+        #[inline(always)]
         fn and(self, other: Self) -> Self {
             // SAFETY: as above.
             Avx2(unsafe { _mm256_and_si256(self.0, other.0) })
         }
+        #[inline(always)]
         fn not(self) -> Self {
             // SAFETY: as above.
             Avx2(unsafe { _mm256_xor_si256(self.0, _mm256_set1_epi64x(-1)) })
         }
+        #[inline(always)]
         fn rot_lanes<const K: u32>(self) -> Self {
             // SAFETY: as above; the immediate selects lane (c + K) % 4.
             Avx2(unsafe {
@@ -193,6 +232,7 @@ mod simd {
                 }
             })
         }
+        #[inline(always)]
         fn from_lanes(lanes: [u64; 4]) -> Self {
             // SAFETY: as above.
             Avx2(unsafe {
@@ -204,6 +244,7 @@ mod simd {
                 )
             })
         }
+        #[inline(always)]
         fn to_lanes(self) -> [u64; 4] {
             // SAFETY: as above.
             unsafe {
@@ -216,14 +257,113 @@ mod simd {
             }
         }
     }
+
+    /// The AVX2 instantiation of the encrypt pass, compiled with the
+    /// feature enabled so the `#[inline(always)]` round core vectorises.
+    /// Takes *all* the 64-block chunks of a batch so the chunk loop
+    /// itself lives inside the gated region — one feature-gate crossing
+    /// (and one `vzeroupper`) per batch instead of per chunk, and the
+    /// round-key plane loads optimise across chunks.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (checked by [`run_wide`]).
+    #[target_feature(enable = "avx2")]
+    unsafe fn encrypt_wide_avx2(rk: &RkLanes, chunks: &mut [[[u8; 16]; super::WIDE]]) {
+        for chunk in chunks {
+            super::encrypt_pass::<Avx2>(rk, chunk);
+        }
+    }
+
+    /// The AVX2 instantiation of the decrypt pass (see
+    /// [`encrypt_wide_avx2`]).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (checked by [`run_wide`]).
+    #[target_feature(enable = "avx2")]
+    unsafe fn decrypt_wide_avx2(rk: &RkLanes, chunks: &mut [[[u8; 16]; super::WIDE]]) {
+        for chunk in chunks {
+            super::decrypt_pass::<Avx2>(rk, chunk);
+        }
+    }
+
+    /// Runs every 64-block AVX2 pass of a batch. Safe because it
+    /// re-checks the cached runtime probe before entering the gated
+    /// functions — constructing an AVX2-lane [`super::Bitsliced8`]
+    /// already verified it, so the assert never fires in practice.
+    pub(super) fn run_wide(rk: &RkLanes, chunks: &mut [[[u8; 16]; super::WIDE]], decrypt: bool) {
+        assert!(
+            std::arch::is_x86_feature_detected!("avx2"),
+            "AVX2 lane invoked on a CPU without AVX2"
+        );
+        // SAFETY: the runtime probe above confirmed AVX2 on this CPU.
+        unsafe {
+            if decrypt {
+                decrypt_wide_avx2(rk, chunks);
+            } else {
+                encrypt_wide_avx2(rk, chunks);
+            }
+        }
+    }
 }
 
-/// The plane word driving the 64-block wide pass on this target.
-#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-type Wide = simd::Avx2;
-/// The plane word driving the 64-block wide pass on this target.
-#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
-type Wide = Quad;
+/// Which plane implementation drives the 64-block wide lane of a
+/// [`Bitsliced8`] instance — a **runtime** decision, not a compile-time
+/// one (see [`crate::dispatch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WideLane {
+    /// Four AVX2 registers per plane ([`simd::Avx2`]); requires the
+    /// runtime probe to find AVX2.
+    Avx2,
+    /// The portable `[u64; 4]` plane; available everywhere.
+    Portable,
+    /// No wide pass at all: every batch runs 8-block `u32` granules.
+    /// Exists for forced sweeps and as a measurement baseline.
+    Narrow,
+}
+
+impl WideLane {
+    /// The stable lane name reported in telemetry
+    /// (`rijndael.bitslice.lane.wide.kind.<name>`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WideLane::Avx2 => "avx2",
+            WideLane::Portable => "quad",
+            WideLane::Narrow => "narrow",
+        }
+    }
+
+    /// `true` when this CPU can run the lane.
+    #[must_use]
+    pub fn available(self) -> bool {
+        match self {
+            WideLane::Avx2 => cfg!(target_arch = "x86_64") && crate::dispatch::cpu().avx2,
+            WideLane::Portable | WideLane::Narrow => true,
+        }
+    }
+
+    /// The dispatch decision for this process: a bitsliced
+    /// [`crate::dispatch::forced`] override wins, otherwise AVX2 when the
+    /// runtime probe finds it, otherwise the portable plane.
+    #[must_use]
+    pub fn detect() -> WideLane {
+        use crate::dispatch::Kind;
+        match crate::dispatch::forced() {
+            Some(Kind::BitslicedWide) => WideLane::Avx2,
+            Some(Kind::BitslicedPortable) => WideLane::Portable,
+            Some(Kind::BitslicedNarrow) => WideLane::Narrow,
+            _ => {
+                if WideLane::Avx2.available() {
+                    WideLane::Avx2
+                } else {
+                    WideLane::Portable
+                }
+            }
+        }
+    }
+}
 
 /// 8×8 bit-matrix transpose: byte `b` of the result collects bit `b` of
 /// each input byte (Hacker's Delight §7-3, three exchange rounds).
@@ -239,6 +379,7 @@ fn transpose8(mut x: u64) -> u64 {
 }
 
 /// Transposes `8 * T::GROUPS` blocks into bit-plane state.
+#[inline(always)]
 fn pack<T: PlaneWord>(blocks: &[[u8; 16]], st: &mut [[T; 4]; 8]) {
     debug_assert_eq!(blocks.len(), 8 * T::GROUPS);
     let mut planes = [[0u64; 16]; 8];
@@ -267,6 +408,7 @@ fn pack<T: PlaneWord>(blocks: &[[u8; 16]], st: &mut [[T; 4]; 8]) {
 }
 
 /// Inverse of [`pack`].
+#[inline(always)]
 fn unpack<T: PlaneWord>(st: &[[T; 4]; 8], blocks: &mut [[u8; 16]]) {
     debug_assert_eq!(blocks.len(), 8 * T::GROUPS);
     let mut planes = [[0u64; 16]; 8];
@@ -426,13 +568,17 @@ fn bp_sbox<T: PlaneWord>(v: [T; 8]) -> [T; 8] {
 /// in_{i+5} ⊕ in_{i+7}` (indices mod 8), then complement planes 0 and 2.
 #[inline(always)]
 fn inv_affine<T: PlaneWord>(v: [T; 8]) -> [T; 8] {
-    let mut out: [T; 8] =
-        core::array::from_fn(|i| v[(i + 2) % 8].xor(v[(i + 5) % 8]).xor(v[(i + 7) % 8]));
+    // Loop instead of `core::array::from_fn` — see `xtimes` for why.
+    let mut out = [T::zero(); 8];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = v[(i + 2) % 8].xor(v[(i + 5) % 8]).xor(v[(i + 7) % 8]);
+    }
     out[0] = out[0].not();
     out[2] = out[2].not();
     out
 }
 
+#[inline(always)]
 fn sub_bytes<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
     for r in 0..4 {
         let v = bp_sbox([
@@ -444,6 +590,7 @@ fn sub_bytes<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
     }
 }
 
+#[inline(always)]
 fn inv_sub_bytes<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
     for r in 0..4 {
         let v = inv_affine(bp_sbox(inv_affine([
@@ -455,6 +602,7 @@ fn inv_sub_bytes<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
     }
 }
 
+#[inline(always)]
 fn shift_rows<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
     for planes in st.iter_mut() {
         planes[1] = planes[1].rot_lanes::<1>();
@@ -463,6 +611,7 @@ fn shift_rows<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
     }
 }
 
+#[inline(always)]
 fn inv_shift_rows<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
     for planes in st.iter_mut() {
         planes[1] = planes[1].rot_lanes::<3>();
@@ -473,25 +622,32 @@ fn inv_shift_rows<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
 
 /// GF(2⁸) multiply-by-x of every state byte, as a plane permutation plus
 /// three XORs with the modulus plane (x⁸ ≡ x⁴ + x³ + x + 1).
+///
+/// Plain loops, no `core::array::from_fn`: the closure thunks inside
+/// `from_fn` monomorphize outside the `#[target_feature(enable =
+/// "avx2")]` wrappers and are not reliably inlined back in, which left
+/// non-vectorized calls in the middle of the hottest per-round function
+/// (measured ~30% off the whole wide pass).
 #[inline(always)]
 fn xtimes<T: PlaneWord>(p: &[[T; 4]; 8]) -> [[T; 4]; 8] {
-    core::array::from_fn(|b| {
-        core::array::from_fn(|r| match b {
-            0 => p[7][r],
-            1 => p[0][r].xor(p[7][r]),
-            2 => p[1][r],
-            3 => p[2][r].xor(p[7][r]),
-            4 => p[3][r].xor(p[7][r]),
-            5 => p[4][r],
-            6 => p[5][r],
-            _ => p[6][r],
-        })
-    })
+    let mut out = [[T::zero(); 4]; 8];
+    for r in 0..4 {
+        out[0][r] = p[7][r];
+        out[1][r] = p[0][r].xor(p[7][r]);
+        out[2][r] = p[1][r];
+        out[3][r] = p[2][r].xor(p[7][r]);
+        out[4][r] = p[3][r].xor(p[7][r]);
+        out[5][r] = p[4][r];
+        out[6][r] = p[5][r];
+        out[7][r] = p[6][r];
+    }
+    out
 }
 
 /// `MixColumn`: with the column bytes renamed `a_r`, the output row is
 /// `b_r = xtimes(a_r ⊕ a_{r+1}) ⊕ a_{r+1} ⊕ a_{r+2} ⊕ a_{r+3}` — the row
 /// rotations are free index renames in this layout.
+#[inline(always)]
 fn mix_columns<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
     let mut t = [[T::zero(); 4]; 8];
     let mut u = [[T::zero(); 4]; 8];
@@ -513,6 +669,7 @@ fn mix_columns<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
 /// `IMixColumn` via the standard decomposition `InvMix = Mix ∘ (I ⊕ x²·E)`
 /// with `E` pairing rows two apart: add `xtimes²(a_r ⊕ a_{r+2})`, then run
 /// the forward `MixColumn`.
+#[inline(always)]
 fn inv_mix_columns<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
     let mut d = [[T::zero(); 4]; 8];
     for b in 0..8 {
@@ -529,6 +686,7 @@ fn inv_mix_columns<T: PlaneWord>(st: &mut [[T; 4]; 8]) {
     mix_columns(st);
 }
 
+#[inline(always)]
 fn add_round_key<T: PlaneWord>(st: &mut [[T; 4]; 8], rk: &[[[u64; 4]; 4]; 8]) {
     for b in 0..8 {
         for r in 0..4 {
@@ -538,11 +696,12 @@ fn add_round_key<T: PlaneWord>(st: &mut [[T; 4]; 8], rk: &[[[u64; 4]; 4]; 8]) {
 }
 
 /// Encrypts `8 * T::GROUPS` blocks through one bitsliced pass.
+#[inline(always)]
 fn encrypt_pass<T: PlaneWord>(rk: &RkLanes, blocks: &mut [[u8; 16]]) {
     let mut st = [[T::zero(); 4]; 8];
     pack(blocks, &mut st);
     add_round_key(&mut st, &rk[0]);
-    for round in rk.iter().take(10).skip(1) {
+    for round in &rk[1..10] {
         sub_bytes(&mut st);
         shift_rows(&mut st);
         mix_columns(&mut st);
@@ -555,6 +714,7 @@ fn encrypt_pass<T: PlaneWord>(rk: &RkLanes, blocks: &mut [[u8; 16]]) {
 }
 
 /// Decrypts `8 * T::GROUPS` blocks through one bitsliced pass.
+#[inline(always)]
 fn decrypt_pass<T: PlaneWord>(rk: &RkLanes, blocks: &mut [[u8; 16]]) {
     let mut st = [[T::zero(); 4]; 8];
     pack(blocks, &mut st);
@@ -616,16 +776,43 @@ fn broadcast_keys(schedule: &KeySchedule) -> Box<RkLanes> {
 /// ```
 pub struct Bitsliced8 {
     rk: Box<RkLanes>,
+    lane: WideLane,
 }
 
 impl Bitsliced8 {
-    /// Expands `key` and broadcasts the schedule into bit-plane masks.
+    /// Expands `key` and broadcasts the schedule into bit-plane masks,
+    /// with the wide lane chosen by the runtime dispatch decision
+    /// ([`WideLane::detect`]).
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
+        Self::with_lane(key, WideLane::detect())
+    }
+
+    /// Like [`Self::new`] but pins the wide lane explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is not [`WideLane::available`] on this CPU —
+    /// pinning a lane the hardware cannot run must fail loudly, never
+    /// silently substitute another plane.
+    #[must_use]
+    pub fn with_lane(key: &[u8; 16], lane: WideLane) -> Self {
+        assert!(
+            lane.available(),
+            "bitsliced {} lane is not available on this CPU",
+            lane.name()
+        );
         let schedule = KeySchedule::expand(key, 4).expect("16-byte key is always valid");
         Bitsliced8 {
             rk: broadcast_keys(&schedule),
+            lane,
         }
+    }
+
+    /// The wide lane this instance was constructed with.
+    #[must_use]
+    pub fn lane(&self) -> WideLane {
+        self.lane
     }
 
     /// Encrypts 8 blocks in one constant-time pass.
@@ -651,14 +838,7 @@ impl Bitsliced8 {
     }
 
     fn process(&self, blocks: &mut [[u8; 16]], decrypt: bool) {
-        lane_stats().record(blocks.len());
-        let run = |chunk: &mut [[u8; 16]]| {
-            if decrypt {
-                decrypt_pass::<Wide>(&self.rk, chunk);
-            } else {
-                encrypt_pass::<Wide>(&self.rk, chunk);
-            }
-        };
+        lane_stats().record(blocks.len(), self.lane);
         let run8 = |chunk: &mut [[u8; 16]]| {
             if decrypt {
                 decrypt_pass::<u32>(&self.rk, chunk);
@@ -666,10 +846,31 @@ impl Bitsliced8 {
                 encrypt_pass::<u32>(&self.rk, chunk);
             }
         };
-        let (wide, rest) = blocks.as_chunks_mut::<WIDE>();
-        for chunk in wide {
-            run(chunk);
-        }
+        let rest: &mut [[u8; 16]] = match self.lane {
+            // The narrow lane skips the wide split entirely.
+            WideLane::Narrow => blocks,
+            lane => {
+                let (wide, rest) = blocks.as_chunks_mut::<WIDE>();
+                match lane {
+                    #[cfg(target_arch = "x86_64")]
+                    WideLane::Avx2 => simd::run_wide(&self.rk, wide, decrypt),
+                    #[cfg(not(target_arch = "x86_64"))]
+                    WideLane::Avx2 => {
+                        unreachable!("the AVX2 lane cannot be constructed off x86_64")
+                    }
+                    _ => {
+                        for chunk in wide {
+                            if decrypt {
+                                decrypt_pass::<Quad>(&self.rk, chunk);
+                            } else {
+                                encrypt_pass::<Quad>(&self.rk, chunk);
+                            }
+                        }
+                    }
+                }
+                rest
+            }
+        };
         let (granules, tail) = rest.as_chunks_mut::<GRANULE>();
         for chunk in granules {
             run8(chunk);
@@ -683,28 +884,33 @@ impl Bitsliced8 {
     }
 }
 
-/// Which implementation backs the wide lane on this build: AVX2 when the
-/// target statically enables it, the portable `[u64; 4]` quad otherwise.
-pub const WIDE_LANE: &str = if cfg!(all(target_arch = "x86_64", target_feature = "avx2")) {
-    "avx2"
-} else {
-    "quad"
-};
+/// Which implementation backs the wide lane of a default-constructed
+/// [`Bitsliced8`] on this host: the **runtime** dispatch decision
+/// ([`WideLane::detect`]), not a compile-time `cfg!` answer.
+#[must_use]
+pub fn wide_lane() -> &'static str {
+    WideLane::detect().name()
+}
 
 /// Global-registry counters for the lane split of [`Bitsliced8::process`]:
 /// `rijndael.bitslice.lane.wide.blocks` counts blocks that rode a full
 /// [`WIDE`] pass (the `avx2`/`quad` plane — see
-/// `rijndael.bitslice.lane.wide.kind`), `...lane.narrow.blocks` counts
-/// blocks handled by the 8-block `u32` granule path (padded tails count
-/// the real blocks only).
+/// `rijndael.bitslice.lane.wide.kind`, which names the *detected* lane of
+/// this process), `...lane.narrow.blocks` counts blocks handled by the
+/// 8-block `u32` granule path (padded tails count the real blocks only;
+/// on a [`WideLane::Narrow`] instance every block counts as narrow).
 struct LaneStats {
     wide: telemetry::Counter,
     narrow: telemetry::Counter,
 }
 
 impl LaneStats {
-    fn record(&self, blocks: usize) {
-        let wide = blocks - blocks % WIDE;
+    fn record(&self, blocks: usize, lane: WideLane) {
+        let wide = if lane == WideLane::Narrow {
+            0
+        } else {
+            blocks - blocks % WIDE
+        };
         if wide > 0 {
             self.wide.add(wide as u64);
         }
@@ -720,7 +926,7 @@ fn lane_stats() -> &'static LaneStats {
         let reg = telemetry::Registry::global();
         // A gauge has no natural string value, so the lane kind is encoded
         // in a counter name holding 1 — stable to scrape, zero overhead.
-        reg.counter(&format!("rijndael.bitslice.lane.wide.kind.{WIDE_LANE}"))
+        reg.counter(&format!("rijndael.bitslice.lane.wide.kind.{}", wide_lane()))
             .incr();
         LaneStats {
             wide: reg.counter("rijndael.bitslice.lane.wide.blocks"),
@@ -733,6 +939,7 @@ impl Clone for Bitsliced8 {
     fn clone(&self) -> Self {
         Bitsliced8 {
             rk: self.rk.clone(),
+            lane: self.lane,
         }
     }
 }
@@ -870,8 +1077,9 @@ mod tests {
 
     #[test]
     fn portable_quad_core_agrees_with_the_dispatched_wide_core() {
-        // On AVX2 builds `Wide = Avx2` and the portable core sits idle in
-        // production; keep it honest by cross-checking both directions.
+        // On AVX2 hosts the detected lane is `Avx2` and the portable core
+        // sits idle in production; keep it honest by cross-checking both
+        // directions.
         let cipher = Bitsliced8::new(&KEY);
         let original = random_blocks(WIDE, 0x0DD5EED);
         let mut via_dispatch = original.clone();
@@ -881,6 +1089,37 @@ mod tests {
         assert_eq!(via_quad, via_dispatch);
         decrypt_pass::<Quad>(&cipher.rk, &mut via_quad);
         assert_eq!(via_quad, original);
+    }
+
+    #[test]
+    fn every_available_lane_agrees_on_ragged_batches() {
+        let expected = {
+            let reference = Aes128::new(&KEY);
+            random_blocks(WIDE + GRANULE + 3, 0x1A_4E5)
+                .iter()
+                .map(|b| reference.encrypt_block(b))
+                .collect::<Vec<_>>()
+        };
+        let original = random_blocks(WIDE + GRANULE + 3, 0x1A_4E5);
+        for lane in [WideLane::Avx2, WideLane::Portable, WideLane::Narrow] {
+            if !lane.available() {
+                continue;
+            }
+            let cipher = Bitsliced8::with_lane(&KEY, lane);
+            assert_eq!(cipher.lane(), lane);
+            let mut got = original.clone();
+            cipher.encrypt_blocks(&mut got);
+            assert_eq!(got, expected, "lane {}", lane.name());
+            cipher.decrypt_blocks(&mut got);
+            assert_eq!(got, original, "lane {} inverse", lane.name());
+        }
+    }
+
+    #[test]
+    #[cfg(not(target_arch = "x86_64"))]
+    fn pinning_the_avx2_lane_off_x86_panics() {
+        let caught = std::panic::catch_unwind(|| Bitsliced8::with_lane(&KEY, WideLane::Avx2));
+        assert!(caught.is_err());
     }
 
     #[test]

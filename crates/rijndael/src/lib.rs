@@ -18,7 +18,14 @@
 //!   era-typical software used, kept as a software performance baseline;
 //! * [`bitslice`] — a constant-time bitsliced AES-128 that encrypts many
 //!   blocks per pass through bit-plane arithmetic (no secret-indexed
-//!   loads), the bulk-throughput software backend;
+//!   loads), the constant-time bulk fallback on hosts without AES
+//!   hardware;
+//! * `aesni` *(x86_64)* / `neon` *(aarch64)* — hardware AES backends on
+//!   the native AES instructions, constructible only after a runtime CPU
+//!   probe succeeds;
+//! * [`dispatch`] — the runtime CPU-feature probe, the
+//!   `RIJNDAEL_FORCE_BACKEND` override, and the startup micro-race that
+//!   picks the fastest available backend per mode ([`AutoCipher`]);
 //! * [`modes`] — block-cipher modes of operation (ECB, CBC, CTR, CFB, OFB),
 //!   with both monomorphized inherent functions and the object-safe
 //!   [`modes::Mode`] trait the engine and service route through;
@@ -44,23 +51,30 @@
 //! );
 //! ```
 
-// `unsafe` is denied rather than forbidden: the single exception is the
-// AVX2 kernel inside [`bitslice`], a module-scoped `#[allow(unsafe_code)]`
-// that wraps value-only SIMD intrinsics (no pointers, no transmutes) and is
-// compiled only when the target statically guarantees the `avx2` feature.
-// Everything else in the crate remains `unsafe`-free.
+// `unsafe` is denied rather than forbidden: the exceptions are the SIMD
+// kernels — the AVX2 plane inside [`bitslice`] and the hardware-AES
+// backends in `aesni`/`neon` — each a module-scoped `#[allow(unsafe_code)]`
+// whose intrinsics are reachable only after a *runtime* CPU-feature probe
+// succeeds (see [`dispatch`]); the only pointer operations are unaligned
+// 16-byte loads/stores of caller-provided buffers. Everything else in the
+// crate remains `unsafe`-free.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
+#[cfg(target_arch = "x86_64")]
+pub mod aesni;
 pub mod bitslice;
 pub mod cipher;
 pub mod cmac;
 pub mod diffusion;
+pub mod dispatch;
 pub mod error;
 pub mod key_schedule;
 pub mod mct;
 pub mod modes;
+#[cfg(target_arch = "aarch64")]
+pub mod neon;
 pub mod state;
 pub mod trace;
 pub mod transform;
@@ -71,6 +85,7 @@ pub mod zeroize;
 pub use aes::{Aes128, Aes192, Aes256};
 pub use bitslice::Bitsliced8;
 pub use cipher::{BatchCipher, BlockCipher, Rijndael};
+pub use dispatch::AutoCipher;
 pub use error::Error;
 pub use key_schedule::KeySchedule;
 pub use modes::{Iv, Mode};

@@ -1,0 +1,264 @@
+//! AES-128 on the ARMv8 Cryptography Extension (NEON `AESE`/`AESD`).
+//!
+//! The aarch64 counterpart of [`crate::aesni`], behind the same
+//! [`BlockCipher`]/[`BatchCipher`] traits and the same runtime-probe
+//! contract: the module only compiles on `aarch64`, and a [`NeonAes`]
+//! instance can only be constructed after [`available`] — a cached
+//! `is_aarch64_feature_detected!("aes")` probe — returns `true`. The
+//! [`crate::dispatch`] micro-race decides per host whether it runs.
+//!
+//! Unlike x86, `AESE` folds `AddRoundKey` *before* `SubBytes ∘
+//! ShiftRows`, so the round loop XORs each key ahead of the S-box pass
+//! and the final round key is applied with a plain `EOR`. Decryption uses
+//! the equivalent inverse cipher with `AESIMC`-transformed interior keys,
+//! mirroring [`crate::aesni`]'s `invert_keys`.
+//!
+//! # Safety
+//!
+//! Every intrinsic sits inside a `#[target_feature(enable = "aes")]`
+//! function reachable only through a constructed [`NeonAes`], which is
+//! itself the proof that the runtime probe succeeded on this CPU. The
+//! only pointer operations are unaligned 16-byte loads/stores of
+//! caller-provided `[u8; 16]` buffers.
+
+#![allow(unsafe_code)]
+
+use core::arch::aarch64::{
+    uint8x16_t, vaesdq_u8, vaeseq_u8, vaesimcq_u8, vaesmcq_u8, veorq_u8, vld1q_u8, vst1q_u8,
+};
+
+use crate::cipher::{BatchCipher, BlockCipher};
+use crate::key_schedule::KeySchedule;
+
+/// Round keys for AES-128: the initial whitening key plus ten rounds.
+const ROUND_KEYS: usize = 11;
+
+/// `true` when this CPU executes the ARMv8 AES instructions (cached
+/// probe).
+#[must_use]
+pub fn available() -> bool {
+    std::arch::is_aarch64_feature_detected!("aes")
+}
+
+/// Unaligned 16-byte load (`vld1q` has no alignment requirement).
+#[inline(always)]
+fn loadu(block: &[u8; 16]) -> uint8x16_t {
+    // SAFETY: `block` is a valid 16-byte read; NEON is baseline aarch64.
+    unsafe { vld1q_u8(block.as_ptr()) }
+}
+
+/// Unaligned 16-byte store (same argument as [`loadu`]).
+#[inline(always)]
+fn storeu(block: &mut [u8; 16], v: uint8x16_t) {
+    // SAFETY: `block` is a valid 16-byte write; NEON is baseline aarch64.
+    unsafe { vst1q_u8(block.as_mut_ptr(), v) }
+}
+
+/// Derives the equivalent-inverse-cipher round keys: reverse the order
+/// and pass the interior keys through `AESIMC`.
+///
+/// # Safety
+///
+/// The CPU must support the ARMv8 AES extension (checked by the caller
+/// via [`available`]).
+#[target_feature(enable = "aes")]
+unsafe fn invert_keys(enc: &[[u8; 16]; ROUND_KEYS]) -> [[u8; 16]; ROUND_KEYS] {
+    let mut dec = [[0u8; 16]; ROUND_KEYS];
+    dec[0] = enc[10];
+    for i in 1..10 {
+        storeu(&mut dec[i], vaesimcq_u8(loadu(&enc[10 - i])));
+    }
+    dec[10] = enc[0];
+    dec
+}
+
+/// Encrypts every block in place.
+///
+/// # Safety
+///
+/// The CPU must support the ARMv8 AES extension (checked by the caller
+/// via [`available`]).
+#[target_feature(enable = "aes")]
+unsafe fn encrypt_batch(enc: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
+    let rk: [uint8x16_t; ROUND_KEYS] = core::array::from_fn(|i| loadu(&enc[i]));
+    for block in blocks {
+        let mut x = loadu(block);
+        for key in &rk[..9] {
+            // AESE = AddRoundKey + SubBytes + ShiftRows; AESMC completes
+            // the full round.
+            x = vaesmcq_u8(vaeseq_u8(x, *key));
+        }
+        // Final round: no MixColumns; the last key is a plain XOR.
+        storeu(block, veorq_u8(vaeseq_u8(x, rk[9]), rk[10]));
+    }
+}
+
+/// Decrypts every block in place (equivalent inverse cipher).
+///
+/// # Safety
+///
+/// The CPU must support the ARMv8 AES extension (checked by the caller
+/// via [`available`]).
+#[target_feature(enable = "aes")]
+unsafe fn decrypt_batch(dec: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
+    let rk: [uint8x16_t; ROUND_KEYS] = core::array::from_fn(|i| loadu(&dec[i]));
+    for block in blocks {
+        let mut x = loadu(block);
+        for key in &rk[..9] {
+            // AESD = AddRoundKey + InvShiftRows + InvSubBytes; AESIMC
+            // completes the inverse round against IMC-transformed keys.
+            x = vaesimcq_u8(vaesdq_u8(x, *key));
+        }
+        storeu(block, veorq_u8(vaesdq_u8(x, rk[9]), rk[10]));
+    }
+}
+
+/// AES-128 through the ARMv8 Cryptography Extension.
+///
+/// Construction is fallible precisely because dispatch is a runtime
+/// decision: [`NeonAes::new`] returns `None` on CPUs without the
+/// extension, and the instance itself is the proof of availability every
+/// kernel call relies on.
+pub struct NeonAes {
+    enc: [[u8; 16]; ROUND_KEYS],
+    dec: [[u8; 16]; ROUND_KEYS],
+}
+
+impl NeonAes {
+    /// Expands `key` and derives both round-key schedules, or returns
+    /// `None` when the CPU lacks the AES extension.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Option<Self> {
+        if !available() {
+            return None;
+        }
+        let schedule = KeySchedule::expand(key, 4).expect("16-byte key is always valid");
+        let mut enc = [[0u8; 16]; ROUND_KEYS];
+        for (round, rk) in enc.iter_mut().enumerate() {
+            for (c, word) in schedule.round_key(round).iter().enumerate() {
+                rk[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
+            }
+        }
+        // SAFETY: `available()` returned true above, so the `aes` target
+        // feature is present on this CPU.
+        let dec = unsafe { invert_keys(&enc) };
+        Some(NeonAes { enc, dec })
+    }
+
+    /// Encrypts any number of blocks in place.
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        // SAFETY: this instance exists, so `NeonAes::new` saw the runtime
+        // probe succeed on this CPU.
+        unsafe { encrypt_batch(&self.enc, blocks) }
+    }
+
+    /// Decrypts any number of blocks in place.
+    pub fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        // SAFETY: as in [`Self::encrypt_blocks`].
+        unsafe { decrypt_batch(&self.dec, blocks) }
+    }
+}
+
+impl BlockCipher for NeonAes {
+    fn block_len(&self) -> usize {
+        16
+    }
+
+    fn encrypt_in_place(&self, block: &mut [u8]) {
+        assert_eq!(block.len(), 16, "NeonAes encrypts 16-byte blocks");
+        let mut b = [0u8; 16];
+        b.copy_from_slice(block);
+        self.encrypt_blocks(core::slice::from_mut(&mut b));
+        block.copy_from_slice(&b);
+    }
+
+    fn decrypt_in_place(&self, block: &mut [u8]) {
+        assert_eq!(block.len(), 16, "NeonAes decrypts 16-byte blocks");
+        let mut b = [0u8; 16];
+        b.copy_from_slice(block);
+        self.decrypt_blocks(core::slice::from_mut(&mut b));
+        block.copy_from_slice(&b);
+    }
+}
+
+impl BatchCipher for NeonAes {
+    fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        Self::encrypt_blocks(self, blocks);
+    }
+
+    fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        Self::decrypt_blocks(self, blocks);
+    }
+}
+
+impl Clone for NeonAes {
+    fn clone(&self) -> Self {
+        NeonAes {
+            enc: self.enc,
+            dec: self.dec,
+        }
+    }
+}
+
+impl core::fmt::Debug for NeonAes {
+    /// Never prints key material.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("NeonAes { rounds: 10 }")
+    }
+}
+
+impl Drop for NeonAes {
+    /// Wipes both round-key schedules (see [`crate::zeroize`]).
+    fn drop(&mut self) {
+        crate::zeroize::wipe_bytes(self.enc.as_flattened_mut());
+        crate::zeroize::wipe_bytes(self.dec.as_flattened_mut());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aes128;
+
+    // FIPS-197 Appendix C.1.
+    const KEY: [u8; 16] = [
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E,
+        0x0F,
+    ];
+    const PT: [u8; 16] = [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE,
+        0xFF,
+    ];
+    const CT: [u8; 16] = [
+        0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5,
+        0x5A,
+    ];
+
+    #[test]
+    fn fips197_c1_known_answer_and_inverse() {
+        let Some(cipher) = NeonAes::new(&KEY) else {
+            return;
+        };
+        let mut blocks = vec![PT; 19];
+        cipher.encrypt_blocks(&mut blocks);
+        assert!(blocks.iter().all(|b| *b == CT), "KAT");
+        cipher.decrypt_blocks(&mut blocks);
+        assert!(blocks.iter().all(|b| *b == PT), "inverse");
+    }
+
+    #[test]
+    fn agrees_with_the_reference_on_a_batch() {
+        let Some(cipher) = NeonAes::new(&KEY) else {
+            return;
+        };
+        let reference = Aes128::new(&KEY);
+        let original: Vec<[u8; 16]> = (0..23u8).map(|i| [i.wrapping_mul(11) ^ 0x3C; 16]).collect();
+        let mut got = original.clone();
+        cipher.encrypt_blocks(&mut got);
+        for (g, pt) in got.iter().zip(&original) {
+            assert_eq!(*g, reference.encrypt_block(pt));
+        }
+        cipher.decrypt_blocks(&mut got);
+        assert_eq!(got, original);
+    }
+}

@@ -110,7 +110,10 @@ const DISPATCH_BOUNDS: [u64; 8] = [10, 50, 100, 500, 1_000, 5_000, 10_000, 100_0
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Engine farm built for every session (each connection keys its
-    /// own copy, so farms are not shared across clients).
+    /// own copy, so farms are not shared across clients). The default is
+    /// [`BackendSpec::Auto`] slots: the runtime dispatch decision, so a
+    /// portable binary still lands on AES-NI/AVX2 where the serving CPU
+    /// has them.
     pub farm: Vec<BackendSpec>,
     /// Bound on each session's engine queue (deferred plus pipelined
     /// jobs); exceeding it earns a typed [`ErrorCode::Busy`] reply.
@@ -128,7 +131,7 @@ pub struct ServiceConfig {
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
-            farm: vec![BackendSpec::Software; 4],
+            farm: vec![BackendSpec::Auto; 4],
             queue_capacity: 32,
             max_connections: 64,
             idle_timeout: Duration::from_secs(30),
@@ -199,6 +202,19 @@ impl Server {
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let registry = Registry::new();
+        // Mirror the process-wide dispatch decision (published into the
+        // global registry at probe time) so GET_STATS shows which
+        // implementation serves bulk traffic without a second scrape.
+        let dispatch = rijndael::dispatch::selection();
+        registry
+            .counter(&format!(
+                "rijndael.dispatch.backend.{}",
+                dispatch.bulk.token()
+            ))
+            .incr();
+        registry
+            .gauge("rijndael.dispatch.forced")
+            .set(i64::from(dispatch.forced));
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             active: registry.gauge("service.connections.active"),

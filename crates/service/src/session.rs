@@ -32,24 +32,28 @@
 
 use engine::{BackendSpec, Engine, EngineBuilder, Error, JobError, JobId, Mode, SubmitError};
 use rijndael::modes::{Ctr, Ecb};
-use rijndael::{cmac, Aes128, Bitsliced8};
+use rijndael::{cmac, Aes128, AutoCipher};
 use telemetry::Registry;
 
 /// Payload size (eight 16-byte blocks) from which immediate ECB/CTR
-/// requests bypass the engine queue and run on the session's bitsliced
+/// requests bypass the engine queue and run on the session's dispatched
 /// bulk lane instead.
 pub const BULK_THRESHOLD: usize = 8 * 16;
 
-/// One keyed session: an engine farm, a CMAC cipher, a bitsliced bulk
-/// lane, and the bookkeeping for deferred jobs.
+/// One keyed session: an engine farm, a CMAC cipher, a runtime-dispatched
+/// bulk lane, and the bookkeeping for deferred jobs.
 pub struct Session {
     id: u32,
     engine: Engine,
     mac: Aes128,
-    /// Bitsliced cipher for the bulk fast path: immediate ECB/CTR
+    /// Dispatched cipher for the bulk fast path: immediate ECB/CTR
     /// payloads of [`BULK_THRESHOLD`] bytes or more skip the engine
-    /// queue and run here, eight blocks per pass.
-    bulk: Bitsliced8,
+    /// queue and run here on whatever backend the startup micro-race
+    /// picked (AES-NI where the CPU has it, the bitsliced planes
+    /// otherwise). `None` when `RIJNDAEL_FORCE_BACKEND=ip-core` pins the
+    /// whole deployment to the hardware model — bulk traffic then rides
+    /// the engine farm like everything else.
+    bulk: Option<AutoCipher>,
     /// Deferred jobs still in the engine queue: `(job, request seq)`.
     pending: Vec<(JobId, u32)>,
     /// Deferred jobs that were drained early because an immediate request
@@ -83,7 +87,7 @@ impl Session {
                 .registry(registry.clone())
                 .build(key),
             mac: Aes128::new(key),
-            bulk: Bitsliced8::new(key),
+            bulk: AutoCipher::new(key),
             pending: Vec::new(),
             completed: Vec::new(),
             piped: Vec::new(),
@@ -119,10 +123,11 @@ impl Session {
     /// Runs one operation to completion and returns its output.
     ///
     /// ECB and CTR payloads of [`BULK_THRESHOLD`] bytes or more take the
-    /// bulk lane: the session's bitsliced cipher processes them inline,
-    /// eight blocks per pass, without touching the engine queue (deferred
-    /// jobs keep their slots and their ordering). Everything else — small
-    /// payloads and the chained modes — runs through the engine farm.
+    /// bulk lane: the session's dispatched cipher processes them inline
+    /// through its widest batch path, without touching the engine queue
+    /// (deferred jobs keep their slots and their ordering). Everything
+    /// else — small payloads, the chained modes, and every mode when the
+    /// deployment is pinned to `ip-core` — runs through the engine farm.
     ///
     /// Draining the engine may also complete deferred jobs that share the
     /// queue; their outputs are stashed for the next [`Session::flush`],
@@ -134,20 +139,22 @@ impl Session {
     /// buffer is ragged; [`Error::Job`] when a backend faults.
     pub fn execute(&mut self, mode: Mode, mut data: Vec<u8>) -> Result<Vec<u8>, Error> {
         if data.len() >= BULK_THRESHOLD {
-            match mode {
-                Mode::EcbEncrypt => {
-                    Ecb::encrypt_batched(&self.bulk, &mut data)?;
-                    return Ok(data);
+            if let Some(bulk) = &self.bulk {
+                match mode {
+                    Mode::EcbEncrypt => {
+                        Ecb::encrypt_batched(bulk, &mut data)?;
+                        return Ok(data);
+                    }
+                    Mode::EcbDecrypt => {
+                        Ecb::decrypt_batched(bulk, &mut data)?;
+                        return Ok(data);
+                    }
+                    Mode::Ctr(nonce) => {
+                        Ctr::apply_batched(bulk, &nonce, 0, &mut data);
+                        return Ok(data);
+                    }
+                    _ => {}
                 }
-                Mode::EcbDecrypt => {
-                    Ecb::decrypt_batched(&self.bulk, &mut data)?;
-                    return Ok(data);
-                }
-                Mode::Ctr(nonce) => {
-                    Ctr::apply_batched(&self.bulk, &nonce, 0, &mut data);
-                    return Ok(data);
-                }
-                _ => {}
             }
         }
         let id = self.engine.try_submit(mode, data)?;

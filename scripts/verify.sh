@@ -31,6 +31,32 @@ cargo test -q --test engine_equivalence --locked --offline
 echo "==> bitsliced backend cross-check"
 cargo test -q --test bitslice_equivalence --locked --offline
 
+echo "==> runtime dispatch gate (forced-backend sweep)"
+# The force override is read once per process, so each backend gets a
+# fresh process: the full equivalence sweep under the pin, then a live
+# server round trip asserting GET_STATS reports the pinned name. Only
+# targeted test binaries run here — the whole suite includes tests that
+# legitimately assume an unpinned dispatch.
+cargo build -q --release --locked --offline -p rijndael-bench --bin dispatch_probe
+backends="$(target/release/dispatch_probe --list)"
+[ -n "$backends" ] || { echo "dispatch_probe --list printed no backends" >&2; exit 1; }
+for backend in $backends; do
+    echo "    --> RIJNDAEL_FORCE_BACKEND=$backend"
+    RIJNDAEL_FORCE_BACKEND="$backend" \
+        cargo test -q --test bitslice_equivalence --locked --offline
+    RIJNDAEL_FORCE_BACKEND="$backend" \
+        target/release/dispatch_probe --check
+done
+echo "    --> unknown tokens must fail loudly"
+if RIJNDAEL_FORCE_BACKEND=not-a-real-backend target/release/dispatch_probe --check \
+    >/dev/null 2>&1; then
+    echo "an unknown RIJNDAEL_FORCE_BACKEND token was silently accepted" >&2
+    exit 1
+fi
+
+echo "==> dispatch force-override end-to-end test"
+cargo test -q --test dispatch_force --locked --offline
+
 echo "==> mode-trait equivalence tests"
 cargo test -q --test mode_trait --locked --offline
 

@@ -1,17 +1,32 @@
-//! System-level equivalence for the bitsliced AES backend: the three
-//! software implementations (specification cipher, T-table cipher,
-//! bitsliced cipher) must agree block-for-block on randomized inputs,
-//! the FIPS-197 vectors must hold through the bitsliced core, ragged
-//! batch sizes must survive the engine's batch submission path, and
-//! batched CTR must wrap its counter exactly like the per-block path.
+//! System-level equivalence for the software AES backends: every
+//! implementation the runtime dispatcher can pick (AES-NI where the CPU
+//! has it, the three bitsliced lanes, the T-table cipher, the golden
+//! reference) plus the cycle-accurate IP core must agree block-for-block
+//! on the FIPS-197 vectors and on randomized inputs, ragged batch sizes
+//! must survive the engine's batch submission path, and batched CTR must
+//! wrap its counter exactly like the per-block path.
+//!
+//! `scripts/verify.sh` runs this file once per `RIJNDAEL_FORCE_BACKEND`
+//! token: the sweep always covers every backend the CPU can run, and the
+//! forced token additionally pins what `AutoCipher::new` (the production
+//! entry point) resolves to.
 
 use rijndael_ip::aes_ip::core::Direction;
 use rijndael_ip::engine::BackendSpec;
+use rijndael_ip::rijndael::dispatch::{AutoCipher, Kind};
 use rijndael_ip::rijndael::modes::Ctr;
 use rijndael_ip::rijndael::ttable::TtableAes;
-use rijndael_ip::rijndael::{Aes128, Bitsliced8, BlockCipher};
+use rijndael_ip::rijndael::{Aes128, BatchCipher, Bitsliced8, BlockCipher};
 use testkit::forall;
 use testkit::prop::{any, vec_of};
+
+/// Every software dispatch kind buildable on this host.
+fn software_kinds() -> Vec<Kind> {
+    Kind::ALL
+        .into_iter()
+        .filter(|k| *k != Kind::IpCore && k.available())
+        .collect()
+}
 
 forall!(cases = 32, fn three_software_backends_agree(
     key in any::<[u8; 16]>(),
@@ -36,14 +51,13 @@ forall!(cases = 32, fn three_software_backends_agree(
     assert_eq!(batch, data);
 });
 
-/// The acceptance sweep: 10 000 randomized blocks, one key, all three
-/// software implementations byte-identical.
+/// The acceptance sweep: 10 000 randomized blocks, one key, every
+/// software backend the runtime dispatcher can build on this host
+/// byte-identical with the golden reference, in both directions.
 #[test]
 fn backends_agree_on_ten_thousand_randomized_blocks() {
     let key: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(37).wrapping_add(11));
     let spec = Aes128::new(&key);
-    let ttable = TtableAes::new(&key).expect("valid key");
-    let sliced = Bitsliced8::new(&key);
 
     let mut state = 0x9E37_79B9_7F4A_7C15u64;
     let mut blocks = vec![[0u8; 16]; 10_000];
@@ -55,17 +69,70 @@ fn backends_agree_on_ten_thousand_randomized_blocks() {
             half.copy_from_slice(&state.to_le_bytes());
         }
     }
+    let expected: Vec<[u8; 16]> = blocks.iter().map(|b| spec.encrypt_block(b)).collect();
 
-    let mut batch = blocks.clone();
-    sliced.encrypt_blocks(&mut batch);
-    for (pt, ct) in blocks.iter().zip(&batch) {
-        assert_eq!(*ct, spec.encrypt_block(pt));
-        let mut t = *pt;
-        ttable.encrypt_block(&mut t);
-        assert_eq!(*ct, t);
+    for kind in software_kinds() {
+        let cipher = AutoCipher::for_kind(kind, &key).expect("software kinds build a cipher");
+        let mut batch = blocks.clone();
+        cipher.encrypt_blocks(&mut batch);
+        assert_eq!(batch, expected, "{} encrypt", kind.token());
+        cipher.decrypt_blocks(&mut batch);
+        assert_eq!(batch, blocks, "{} decrypt", kind.token());
     }
-    sliced.decrypt_blocks(&mut batch);
-    assert_eq!(batch, blocks);
+}
+
+/// Every detected backend — hardware AES included where the CPU has it —
+/// reproduces the FIPS-197 C.1 vector through both the single-block
+/// trait path and the batch path.
+#[test]
+fn every_detected_backend_passes_the_fips197_kat() {
+    let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+    let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+    let ct = [
+        0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5,
+        0x5A,
+    ];
+
+    let mut covered = Vec::new();
+    for kind in software_kinds() {
+        covered.push(kind.token());
+        let cipher = AutoCipher::for_kind(kind, &key).expect("software kinds build a cipher");
+        let mut one = pt;
+        cipher.encrypt_in_place(&mut one);
+        assert_eq!(one, ct, "{} single-block KAT", kind.token());
+        cipher.decrypt_in_place(&mut one);
+        assert_eq!(one, pt, "{} single-block inverse", kind.token());
+
+        let mut batch = vec![pt; 19];
+        cipher.encrypt_blocks(&mut batch);
+        assert!(batch.iter().all(|b| *b == ct), "{} batch KAT", kind.token());
+        cipher.decrypt_blocks(&mut batch);
+        assert!(
+            batch.iter().all(|b| *b == pt),
+            "{} batch inverse",
+            kind.token()
+        );
+    }
+    // The IP core rides the engine backend path (it has no software
+    // cipher object).
+    let mut core = BackendSpec::EncDecCore.build(&key);
+    let mut block = pt;
+    core.process_block(&mut block, Direction::Encrypt).unwrap();
+    assert_eq!(block, ct, "ip-core KAT");
+    core.process_block(&mut block, Direction::Decrypt).unwrap();
+    assert_eq!(block, pt, "ip-core inverse");
+    covered.push(Kind::IpCore.token());
+
+    // The sweep must genuinely cover every backend this host can run.
+    for kind in Kind::detected() {
+        assert!(
+            covered.contains(&kind.token()),
+            "{} not swept",
+            kind.token()
+        );
+    }
+    // And the portable constant-time fallback is always among them.
+    assert!(covered.contains(&"bitsliced-portable"));
 }
 
 #[test]
@@ -90,7 +157,8 @@ fn fips197_c1_holds_through_the_bitsliced_core() {
 }
 
 /// Every ragged batch size from one block up to past two granules must
-/// come through the engine's `process_batch` submission path unchanged.
+/// come through the engine's `process_batch` submission path unchanged —
+/// on every spec this host can build, hardware AES included.
 #[test]
 fn ragged_batches_survive_every_backend_process_batch() {
     let key = [0x3Cu8; 16];
@@ -100,7 +168,7 @@ fn ragged_batches_survive_every_backend_process_batch() {
             .map(|i| core::array::from_fn(|j| (i * 31 + j * 7) as u8))
             .collect();
         let expected: Vec<[u8; 16]> = blocks.iter().map(|b| spec.encrypt_block(b)).collect();
-        for build in BackendSpec::ALL {
+        for build in BackendSpec::detected() {
             let mut backend = build.build(&key);
             if !backend.supports(Direction::Encrypt) {
                 continue;
@@ -110,6 +178,14 @@ fn ragged_batches_survive_every_backend_process_batch() {
                 .process_batch(&mut batch, Direction::Encrypt)
                 .expect("encrypt-capable backend");
             assert_eq!(batch, expected, "{build} disagrees at n={n}");
+        }
+        // The dispatched software kinds see the same ragged sizes
+        // directly, off the engine path.
+        for kind in software_kinds() {
+            let cipher = AutoCipher::for_kind(kind, &key).expect("software kinds build a cipher");
+            let mut batch = blocks.clone();
+            cipher.encrypt_blocks(&mut batch);
+            assert_eq!(batch, expected, "{} disagrees at n={n}", kind.token());
         }
     }
 }
