@@ -1,0 +1,167 @@
+//! AEAD throughput report: what authentication costs on top of raw
+//! keystream, and what the `PCLMULQDQ` GHASH core buys over the portable
+//! table walk.
+//!
+//! Three measurements, all on the dispatch-selected bulk cipher (the
+//! same lane `Gcm` batches its keystream through):
+//!
+//! 1. raw batched CTR over the workload — the no-authentication floor;
+//! 2. GCM seal over the same bytes — CTR plus GHASH plus the tag;
+//! 3. GHASH alone, once per available multiplier core.
+//!
+//! The GCM:CTR ratio is asserted against a regression gate so the
+//! authentication overhead cannot quietly balloon, and the measurements
+//! are written as a `telemetry/1` JSON snapshot to `BENCH_gcm.json`
+//! (path overridable via `BENCH_GCM_JSON`), the same trajectory-file
+//! scheme as `BENCH_bitslice.json`.
+//!
+//! Pass `--smoke` (or set `TESTKIT_BENCH_SMOKE=1`) for a small workload;
+//! the gate still applies, so CI exercises the regression check.
+
+use rijndael::dispatch::{self, Kind};
+use rijndael::ghash::{Ghash, GhashImpl};
+use rijndael::modes::Ctr;
+use rijndael::{Aead, AutoCipher, BlockCipher, Gcm};
+use std::time::Instant;
+use telemetry::Registry;
+
+/// The regression gate on sealed-vs-raw throughput. GHASH rides along
+/// with the keystream, so authenticating a stream must stay within this
+/// factor of just encrypting it.
+const GCM_OVERHEAD_GATE: f64 = 1.35;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var_os("TESTKIT_BENCH_SMOKE").is_some_and(|v| v != "0");
+    // Even the smoke workload stays large enough to amortize the fixed
+    // per-seal costs (J0, output allocation, tag) the gate is not about.
+    let blocks: usize = if smoke { 16_384 } else { 65_536 };
+    let reps: usize = if smoke { 5 } else { 7 };
+    let payload = random_bytes(blocks * 16);
+
+    let key = [0x5Au8; 32];
+    let cipher = AutoCipher::new(&key).unwrap_or_else(|| {
+        // Dispatch pinned to the IP core: no software bulk lane there,
+        // so the bench races the T-table core instead.
+        AutoCipher::for_kind(Kind::Ttable, &key).expect("the T-table kind is always available")
+    });
+    let bulk = dispatch::selection().bulk.backend_name();
+    println!(
+        "AEAD throughput — {} KiB workload on the `{bulk}` bulk lane, GHASH via {}\n",
+        payload.len() / 1024,
+        GhashImpl::detect().name(),
+    );
+
+    // 1. The floor: raw batched CTR keystream, no authentication.
+    let nonce = [0x24u8; 16];
+    let ctr_ns = best_of(reps, || {
+        let mut buf = payload.clone();
+        Ctr::apply_batched(&cipher, &nonce, 0, &mut buf);
+        buf
+    }) / payload.len() as f64;
+
+    // 2. GCM seal over the same bytes (keystream + GHASH + tag).
+    let h = subkey(&cipher);
+    let gcm = Gcm::new(cipher);
+    let gcm_nonce = [0x24u8; 12];
+    let gcm_ns = best_of(reps, || gcm.seal(&gcm_nonce, b"", &payload)) / payload.len() as f64;
+    let ratio = gcm_ns / ctr_ns;
+
+    println!("{:<22} {:>12} {:>14}", "operation", "ns/byte", "vs raw CTR");
+    println!("{}", "-".repeat(50));
+    println!(
+        "{:<22} {ctr_ns:>12.3} {:>13.2}x",
+        "ctr (raw keystream)", 1.0
+    );
+    println!("{:<22} {gcm_ns:>12.3} {ratio:>13.2}x", "gcm seal");
+
+    // 3. GHASH alone, once per multiplier core this CPU can run.
+    println!();
+    println!("{:<22} {:>12} {:>14}", "ghash core", "ns/byte", "vs table4");
+    println!("{}", "-".repeat(50));
+    let mut ghash_ns = Vec::new();
+    for which in [GhashImpl::Portable, GhashImpl::Pclmul] {
+        if !which.available() {
+            println!("{:<22} {:>12} {:>14}", which.name(), "-", "absent");
+            continue;
+        }
+        let ns = best_of(reps, || {
+            let mut acc = Ghash::with_impl(&h, which);
+            acc.update_padded(&payload);
+            acc.finalize()
+        }) / payload.len() as f64;
+        ghash_ns.push((which, ns));
+        let baseline = ghash_ns[0].1;
+        println!("{:<22} {ns:>12.3} {:>13.2}x", which.name(), baseline / ns);
+    }
+
+    // Trajectory file: bench.* instruments in the workspace snapshot
+    // schema, next to BENCH_bitslice.json.
+    let reg = Registry::new();
+    reg.counter("bench.gcm.bytes").add(payload.len() as u64);
+    reg.gauge("bench.gcm.smoke").set(i64::from(smoke));
+    reg.counter("bench.gcm.ctr_ns_per_kib")
+        .add((ctr_ns * 1024.0).round() as u64);
+    reg.counter("bench.gcm.seal_ns_per_kib")
+        .add((gcm_ns * 1024.0).round() as u64);
+    reg.counter("bench.gcm.overhead_vs_ctr_x1000")
+        .add((ratio * 1000.0).round() as u64);
+    for (which, ns) in &ghash_ns {
+        reg.counter(&format!("bench.gcm.ghash.{}.ns_per_kib", which.name()))
+            .add((ns * 1024.0).round() as u64);
+    }
+    if let [(_, table4), (_, pclmul)] = ghash_ns[..] {
+        let speedup = table4 / pclmul;
+        println!("\npclmul vs table4 GHASH: {speedup:.2}x");
+        reg.counter("bench.gcm.ghash.speedup_pclmul_x1000")
+            .add((speedup * 1000.0).round() as u64);
+    }
+
+    let path = std::env::var("BENCH_GCM_JSON").unwrap_or_else(|_| "BENCH_gcm.json".to_string());
+    match std::fs::write(&path, reg.snapshot().to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+
+    assert!(
+        ratio <= GCM_OVERHEAD_GATE,
+        "GCM overhead regressed: {ratio:.2}x over raw CTR (gate {GCM_OVERHEAD_GATE}x)"
+    );
+    println!("GCM overhead {ratio:.2}x is within the {GCM_OVERHEAD_GATE}x gate");
+}
+
+/// The GHASH subkey `H = E_K(0)` of `cipher`.
+fn subkey<C: BlockCipher>(cipher: &C) -> [u8; 16] {
+    let mut h = [0u8; 16];
+    cipher.encrypt_in_place(&mut h);
+    h
+}
+
+/// Runs `f` `reps` times and returns the fastest wall time in
+/// nanoseconds, sinking the result so the work cannot be elided.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed().as_nanos() as f64;
+        std::hint::black_box(out);
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// Deterministic xorshift-filled payload: randomized content without an
+/// RNG dependency, reproducible across runs.
+fn random_bytes(len: usize) -> Vec<u8> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut out = Vec::with_capacity(len + 8);
+    while out.len() < len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}

@@ -16,7 +16,7 @@ use aes_ip::bus::{IpDriver, StreamError};
 use aes_ip::core::{CycleCore, DecryptCore, Direction, EncDecCore, EncryptCore, LATENCY_CYCLES};
 use rijndael::dispatch::{self, AutoCipher, Kind};
 use rijndael::ttable::TtableAes;
-use rijndael::{Aes128, Bitsliced8, BlockCipher};
+use rijndael::{Bitsliced8, BlockCipher, Rijndael};
 
 /// Which backend a farm slot holds; the unit of farm configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,7 +27,8 @@ pub enum BackendSpec {
     DecryptCore,
     /// Cycle-accurate combined encrypt/decrypt IP core.
     EncDecCore,
-    /// The golden software reference ([`Aes128`]).
+    /// The golden software reference ([`Rijndael<4>`], any AES key
+    /// size).
     Software,
     /// The era-typical 32-bit T-table software implementation.
     Ttable,
@@ -84,28 +85,49 @@ impl BackendSpec {
         specs
     }
 
-    /// Builds the backend with `key` loaded and ready.
+    /// Builds the backend with `key` (16, 24, or 32 bytes) loaded and
+    /// ready.
+    ///
+    /// The paper's IP cores are AES-128-only hardware: when an ip-core
+    /// spec is asked for a 24/32-byte key, the slot falls back to the
+    /// software reference under the name `soft-fallback` — visibly, in
+    /// telemetry and `GET_STATS`, rather than by truncating the key or
+    /// wedging the farm. Every software spec serves all three sizes.
     ///
     /// # Panics
     ///
-    /// Panics when `self` is not [`BackendSpec::available`] on this host:
-    /// configuring a backend the hardware cannot run must fail loudly,
-    /// never silently substitute another implementation.
+    /// Panics when `self` is not [`BackendSpec::available`] on this host
+    /// (configuring a backend the hardware cannot run must fail loudly,
+    /// never silently substitute another implementation), and on an
+    /// invalid key length.
     #[must_use]
-    pub fn build(self, key: &[u8; 16]) -> Box<dyn Backend> {
+    pub fn build(self, key: &[u8]) -> Box<dyn Backend> {
         match self {
-            BackendSpec::EncryptCore => {
-                Box::new(IpCoreBackend::new(EncryptCore::new(), key, "ip-encrypt"))
+            BackendSpec::EncryptCore | BackendSpec::DecryptCore | BackendSpec::EncDecCore => {
+                // The AES-128-only hardware model; longer keys divert to
+                // the clearly-labeled software stand-in.
+                let Ok(k16) = <&[u8; 16]>::try_from(key) else {
+                    return Box::new(SoftwareBackend::new(
+                        Rijndael::<4>::new(key).expect("key must be 16, 24, or 32 bytes"),
+                        "soft-fallback",
+                    ));
+                };
+                match self {
+                    BackendSpec::EncryptCore => {
+                        Box::new(IpCoreBackend::new(EncryptCore::new(), k16, "ip-encrypt"))
+                    }
+                    BackendSpec::DecryptCore => {
+                        Box::new(IpCoreBackend::new(DecryptCore::new(), k16, "ip-decrypt"))
+                    }
+                    _ => Box::new(IpCoreBackend::new(EncDecCore::new(), k16, "ip-encdec")),
+                }
             }
-            BackendSpec::DecryptCore => {
-                Box::new(IpCoreBackend::new(DecryptCore::new(), key, "ip-decrypt"))
-            }
-            BackendSpec::EncDecCore => {
-                Box::new(IpCoreBackend::new(EncDecCore::new(), key, "ip-encdec"))
-            }
-            BackendSpec::Software => Box::new(SoftwareBackend::new(Aes128::new(key), "soft-ref")),
+            BackendSpec::Software => Box::new(SoftwareBackend::new(
+                Rijndael::<4>::new(key).expect("key must be 16, 24, or 32 bytes"),
+                "soft-ref",
+            )),
             BackendSpec::Ttable => Box::new(SoftwareBackend::new(
-                TtableAes::new(key).expect("16-byte key is a valid AES key"),
+                TtableAes::new(key).expect("key must be 16, 24, or 32 bytes"),
                 "soft-ttable",
             )),
             BackendSpec::Bitsliced => Box::new(BitslicedBackend::new(key)),
@@ -124,8 +146,16 @@ impl BackendSpec {
             }
             BackendSpec::Auto => match dispatch::selection().bulk {
                 // A forced ip-core selection has no software cipher; the
-                // combined-core hardware model fills the slot.
-                Kind::IpCore => Box::new(IpCoreBackend::new(EncDecCore::new(), key, "ip-encdec")),
+                // combined-core hardware model fills the slot. The model
+                // is AES-128-only, so longer keys take the same software
+                // diversion as the explicit ip-core specs.
+                Kind::IpCore => match <&[u8; 16]>::try_from(key) {
+                    Ok(k16) => Box::new(IpCoreBackend::new(EncDecCore::new(), k16, "ip-encdec")),
+                    Err(_) => Box::new(SoftwareBackend::new(
+                        Rijndael::<4>::new(key).expect("key must be 16, 24, or 32 bytes"),
+                        "soft-fallback",
+                    )),
+                },
                 kind => Box::new(DispatchBackend::new(
                     AutoCipher::for_kind(kind, key).expect("non-ip-core selections build a cipher"),
                 )),
@@ -455,8 +485,12 @@ pub struct BitslicedBackend {
 
 impl BitslicedBackend {
     /// Builds the backend with `key` expanded and broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` is not 16, 24 or 32 bytes.
     #[must_use]
-    pub fn new(key: &[u8; 16]) -> Self {
+    pub fn new(key: &[u8]) -> Self {
         BitslicedBackend {
             cipher: Bitsliced8::new(key),
             blocks: 0,
@@ -636,6 +670,30 @@ mod tests {
                     .process_block(&mut block, Direction::Encrypt)
                     .unwrap_err();
                 assert!(err.to_string().contains("cannot encrypt"), "{spec}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_keys_divert_ip_cores_to_the_software_fallback() {
+        use rijndael::vectors::FIPS197_C3;
+        for spec in BackendSpec::ALL {
+            let mut backend = spec.build(FIPS197_C3.key);
+            let hardware = matches!(
+                spec,
+                BackendSpec::EncryptCore | BackendSpec::DecryptCore | BackendSpec::EncDecCore
+            );
+            if hardware {
+                // The modeled IP core is AES-128-only; the diversion must
+                // be visible in the backend name, not silent.
+                assert_eq!(backend.name(), "soft-fallback", "{spec}");
+            }
+            if backend.supports(Direction::Encrypt) {
+                let mut block = FIPS197_C3.plaintext;
+                backend
+                    .process_block(&mut block, Direction::Encrypt)
+                    .unwrap();
+                assert_eq!(block, FIPS197_C3.ciphertext, "{spec}");
             }
         }
     }

@@ -332,9 +332,10 @@ impl EngineBuilder {
     /// # Panics
     ///
     /// Panics on an empty farm or a zero-capacity queue — both would make
-    /// every submission unroutable.
+    /// every submission unroutable — and if `key.len()` is not 16, 24 or
+    /// 32 bytes.
     #[must_use]
-    pub fn build(self, key: &[u8; 16]) -> Engine {
+    pub fn build(self, key: &[u8]) -> Engine {
         let mut workers: Vec<Box<dyn Backend>> = self.specs.iter().map(|s| s.build(key)).collect();
         workers.extend(self.extra);
         assert!(!workers.is_empty(), "an engine needs at least one backend");
@@ -424,10 +425,11 @@ pub struct Engine {
 
 impl Engine {
     /// Builds a farm from `specs` with a private registry, loading `key`
-    /// into every member (IP cores pay their real key-setup cycles here).
+    /// into every member (IP cores pay their real key-setup cycles here;
+    /// 24/32-byte keys divert IP-core specs to the software fallback).
     /// Shorthand for the common [`EngineBuilder`] case.
     #[must_use]
-    pub fn with_farm(key: &[u8; 16], specs: &[BackendSpec], capacity: usize) -> Self {
+    pub fn with_farm(key: &[u8], specs: &[BackendSpec], capacity: usize) -> Self {
         EngineBuilder::new()
             .cores(specs)
             .capacity(capacity)

@@ -1,10 +1,13 @@
-//! AES-128 on the x86 AES-NI instruction set.
+//! AES-128/192/256 on the x86 AES-NI instruction set.
 //!
 //! One `AESENC` retires a whole round (`ByteSub ∘ ShiftRow ∘ MixColumn ∘
-//! AddKey`) in hardware, so this backend encrypts a block in ten
-//! instructions and, with eight blocks interleaved per loop iteration to
-//! cover the instruction latency, sustains several blocks per cycle of
-//! throughput — the fastest software-visible path this crate has.
+//! AddKey`) in hardware, so this backend encrypts a block in one
+//! instruction per round and, with eight blocks interleaved per loop
+//! iteration to cover the instruction latency, sustains several blocks
+//! per cycle of throughput — the fastest software-visible path this
+//! crate has. The round instruction is key-size-agnostic: AES-192 and
+//! AES-256 are the same chain run for 12 or 14 rounds, so one kernel
+//! serves every `NK` (the round count rides in the schedule length).
 //! Decryption uses the equivalent inverse cipher: the decryption round
 //! keys are the encryption schedule reversed with `AESIMC`
 //! (`InvMixColumn`) applied to the interior rounds, exactly the
@@ -36,14 +39,15 @@
 
 use core::arch::x86_64::{
     __m128i, _mm_aesdec_si128, _mm_aesdeclast_si128, _mm_aesenc_si128, _mm_aesenclast_si128,
-    _mm_aesimc_si128, _mm_loadu_si128, _mm_storeu_si128, _mm_xor_si128,
+    _mm_aesimc_si128, _mm_loadu_si128, _mm_setzero_si128, _mm_storeu_si128, _mm_xor_si128,
 };
 
 use crate::cipher::{BatchCipher, BlockCipher};
 use crate::key_schedule::KeySchedule;
 
-/// Round keys for AES-128: the initial whitening key plus ten rounds.
-const ROUND_KEYS: usize = 11;
+/// Round keys for the largest variant (AES-256: the initial whitening
+/// key plus fourteen rounds). Smaller keys use a prefix.
+const MAX_ROUND_KEYS: usize = 15;
 
 /// Blocks interleaved per batch loop iteration. `AESENC` has a multi-cycle
 /// latency but single-cycle throughput on every AES-NI-capable
@@ -74,52 +78,69 @@ fn storeu(block: &mut [u8; 16], v: __m128i) {
 }
 
 /// Derives the equivalent-inverse-cipher round keys from the encryption
-/// schedule: reverse the order and pass the interior keys through
-/// `AESIMC`.
+/// schedule (`enc.len() - 1` rounds): reverse the order and pass the
+/// interior keys through `AESIMC`.
 ///
 /// # Safety
 ///
 /// The CPU must support AES-NI (checked by the caller via [`available`]).
 #[target_feature(enable = "aes")]
-unsafe fn invert_keys(enc: &[[u8; 16]; ROUND_KEYS]) -> [[u8; 16]; ROUND_KEYS] {
-    let mut dec = [[0u8; 16]; ROUND_KEYS];
-    dec[0] = enc[10];
-    for i in 1..10 {
-        storeu(&mut dec[i], _mm_aesimc_si128(loadu(&enc[10 - i])));
+unsafe fn invert_keys(enc: &[[u8; 16]]) -> [[u8; 16]; MAX_ROUND_KEYS] {
+    let rounds = enc.len() - 1;
+    let mut dec = [[0u8; 16]; MAX_ROUND_KEYS];
+    dec[0] = enc[rounds];
+    for i in 1..rounds {
+        storeu(&mut dec[i], _mm_aesimc_si128(loadu(&enc[rounds - i])));
     }
-    dec[10] = enc[0];
+    dec[rounds] = enc[0];
     dec
 }
 
-/// Encrypts every block in place, [`STRIDE`] interleaved blocks at a time.
+/// Loads a schedule into registers, returning the register file and the
+/// index of the last round key.
 ///
 /// # Safety
 ///
 /// The CPU must support AES-NI (checked by the caller via [`available`]).
 #[target_feature(enable = "aes")]
-unsafe fn encrypt_batch(enc: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
-    let rk: [__m128i; ROUND_KEYS] = core::array::from_fn(|i| loadu(&enc[i]));
+unsafe fn load_keys(schedule: &[[u8; 16]]) -> ([__m128i; MAX_ROUND_KEYS], usize) {
+    let mut rk = [_mm_setzero_si128(); MAX_ROUND_KEYS];
+    for (slot, key) in rk.iter_mut().zip(schedule) {
+        *slot = loadu(key);
+    }
+    (rk, schedule.len() - 1)
+}
+
+/// Encrypts every block in place, [`STRIDE`] interleaved blocks at a time.
+/// `enc` holds the whitening key plus one key per round.
+///
+/// # Safety
+///
+/// The CPU must support AES-NI (checked by the caller via [`available`]).
+#[target_feature(enable = "aes")]
+unsafe fn encrypt_batch(enc: &[[u8; 16]], blocks: &mut [[u8; 16]]) {
+    let (rk, last) = load_keys(enc);
     let (groups, tail) = blocks.as_chunks_mut::<STRIDE>();
     for group in groups {
         let mut s: [__m128i; STRIDE] = core::array::from_fn(|i| loadu(&group[i]));
         for x in &mut s {
             *x = _mm_xor_si128(*x, rk[0]);
         }
-        for key in &rk[1..10] {
+        for key in &rk[1..last] {
             for x in &mut s {
                 *x = _mm_aesenc_si128(*x, *key);
             }
         }
         for (dst, x) in group.iter_mut().zip(s) {
-            storeu(dst, _mm_aesenclast_si128(x, rk[10]));
+            storeu(dst, _mm_aesenclast_si128(x, rk[last]));
         }
     }
     for block in tail {
         let mut x = _mm_xor_si128(loadu(block), rk[0]);
-        for key in &rk[1..10] {
+        for key in &rk[1..last] {
             x = _mm_aesenc_si128(x, *key);
         }
-        storeu(block, _mm_aesenclast_si128(x, rk[10]));
+        storeu(block, _mm_aesenclast_si128(x, rk[last]));
     }
 }
 
@@ -130,33 +151,33 @@ unsafe fn encrypt_batch(enc: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
 ///
 /// The CPU must support AES-NI (checked by the caller via [`available`]).
 #[target_feature(enable = "aes")]
-unsafe fn decrypt_batch(dec: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
-    let rk: [__m128i; ROUND_KEYS] = core::array::from_fn(|i| loadu(&dec[i]));
+unsafe fn decrypt_batch(dec: &[[u8; 16]], blocks: &mut [[u8; 16]]) {
+    let (rk, last) = load_keys(dec);
     let (groups, tail) = blocks.as_chunks_mut::<STRIDE>();
     for group in groups {
         let mut s: [__m128i; STRIDE] = core::array::from_fn(|i| loadu(&group[i]));
         for x in &mut s {
             *x = _mm_xor_si128(*x, rk[0]);
         }
-        for key in &rk[1..10] {
+        for key in &rk[1..last] {
             for x in &mut s {
                 *x = _mm_aesdec_si128(*x, *key);
             }
         }
         for (dst, x) in group.iter_mut().zip(s) {
-            storeu(dst, _mm_aesdeclast_si128(x, rk[10]));
+            storeu(dst, _mm_aesdeclast_si128(x, rk[last]));
         }
     }
     for block in tail {
         let mut x = _mm_xor_si128(loadu(block), rk[0]);
-        for key in &rk[1..10] {
+        for key in &rk[1..last] {
             x = _mm_aesdec_si128(x, *key);
         }
-        storeu(block, _mm_aesdeclast_si128(x, rk[10]));
+        storeu(block, _mm_aesdeclast_si128(x, rk[last]));
     }
 }
 
-/// AES-128 through the x86 AES-NI instructions.
+/// AES-128/192/256 through the x86 AES-NI instructions.
 ///
 /// Construction is fallible precisely because dispatch is a runtime
 /// decision: [`AesNi::new`] returns `None` on CPUs without the extension,
@@ -166,53 +187,66 @@ unsafe fn decrypt_batch(dec: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
 /// # Examples
 ///
 /// ```
-/// use rijndael::{Aes128, BatchCipher};
+/// use rijndael::{Aes256, BatchCipher};
 ///
-/// let key = [0x2Bu8; 16];
+/// let key = [0x2Bu8; 32];
 /// if let Some(fast) = rijndael::aesni::AesNi::new(&key) {
-///     let reference = Aes128::new(&key);
+///     let reference = Aes256::new(&key);
 ///     let mut blocks = [[0x5Au8; 16]; 3];
 ///     fast.encrypt_blocks(&mut blocks);
 ///     assert_eq!(blocks[1], reference.encrypt_block(&[0x5Au8; 16]));
 /// }
 /// ```
 pub struct AesNi {
-    enc: [[u8; 16]; ROUND_KEYS],
-    dec: [[u8; 16]; ROUND_KEYS],
+    enc: [[u8; 16]; MAX_ROUND_KEYS],
+    dec: [[u8; 16]; MAX_ROUND_KEYS],
+    rounds: usize,
 }
 
 impl AesNi {
-    /// Expands `key` and derives both round-key schedules, or returns
-    /// `None` when the CPU lacks AES-NI.
+    /// Expands `key` (16, 24, or 32 bytes) and derives both round-key
+    /// schedules, or returns `None` when the CPU lacks AES-NI.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid key length — lengths are validated at the
+    /// service boundary before any backend is keyed.
     #[must_use]
-    pub fn new(key: &[u8; 16]) -> Option<Self> {
+    pub fn new(key: &[u8]) -> Option<Self> {
         if !available() {
             return None;
         }
-        let schedule = KeySchedule::expand(key, 4).expect("16-byte key is always valid");
-        let mut enc = [[0u8; 16]; ROUND_KEYS];
-        for (round, rk) in enc.iter_mut().enumerate() {
+        let schedule = KeySchedule::expand(key, 4).expect("key must be 16, 24, or 32 bytes");
+        let rounds = schedule.rounds();
+        let mut enc = [[0u8; 16]; MAX_ROUND_KEYS];
+        for (round, rk) in enc[..=rounds].iter_mut().enumerate() {
             for (c, word) in schedule.round_key(round).iter().enumerate() {
                 rk[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
             }
         }
         // SAFETY: `available()` returned true above, so the `aes` target
         // feature is present on this CPU.
-        let dec = unsafe { invert_keys(&enc) };
-        Some(AesNi { enc, dec })
+        let dec = unsafe { invert_keys(&enc[..=rounds]) };
+        Some(AesNi { enc, dec, rounds })
+    }
+
+    /// Number of cipher rounds (10, 12, or 14).
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds
     }
 
     /// Encrypts any number of blocks in place.
     pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
         // SAFETY: this instance exists, so `AesNi::new` saw the runtime
         // probe succeed on this CPU.
-        unsafe { encrypt_batch(&self.enc, blocks) }
+        unsafe { encrypt_batch(&self.enc[..=self.rounds], blocks) }
     }
 
     /// Decrypts any number of blocks in place.
     pub fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
         // SAFETY: as in [`Self::encrypt_blocks`].
-        unsafe { decrypt_batch(&self.dec, blocks) }
+        unsafe { decrypt_batch(&self.dec[..=self.rounds], blocks) }
     }
 }
 
@@ -253,6 +287,7 @@ impl Clone for AesNi {
         AesNi {
             enc: self.enc,
             dec: self.dec,
+            rounds: self.rounds,
         }
     }
 }
@@ -260,7 +295,7 @@ impl Clone for AesNi {
 impl core::fmt::Debug for AesNi {
     /// Never prints key material.
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str("AesNi { rounds: 10 }")
+        write!(f, "AesNi {{ rounds: {} }}", self.rounds)
     }
 }
 
@@ -275,7 +310,7 @@ impl Drop for AesNi {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Aes128;
+    use crate::{Aes128, Aes192, Aes256};
 
     // FIPS-197 Appendix C.1.
     const KEY: [u8; 16] = [
@@ -290,6 +325,20 @@ mod tests {
         0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5,
         0x5A,
     ];
+    // FIPS-197 Appendix C.2 (AES-192) and C.3 (AES-256) ciphertexts for
+    // the same plaintext under the 24- and 32-byte extensions of KEY.
+    const CT_192: [u8; 16] = [
+        0xDD, 0xA9, 0x7C, 0xA4, 0x86, 0x4C, 0xDF, 0xE0, 0x6E, 0xAF, 0x70, 0xA0, 0xEC, 0x0D, 0x71,
+        0x91,
+    ];
+    const CT_256: [u8; 16] = [
+        0x8E, 0xA2, 0xB7, 0xCA, 0x51, 0x67, 0x45, 0xBF, 0xEA, 0xFC, 0x49, 0x90, 0x4B, 0x49, 0x60,
+        0x89,
+    ];
+
+    fn long_key(len: usize) -> Vec<u8> {
+        (0..len as u8).collect()
+    }
 
     fn cipher() -> Option<AesNi> {
         let c = AesNi::new(&KEY);
@@ -314,11 +363,32 @@ mod tests {
     #[test]
     fn fips197_c1_known_answer_and_inverse() {
         let Some(cipher) = cipher() else { return };
+        assert_eq!(cipher.rounds(), 10);
         let mut blocks = vec![PT; 19];
         cipher.encrypt_blocks(&mut blocks);
         assert!(blocks.iter().all(|b| *b == CT), "interleaved + tail KAT");
         cipher.decrypt_blocks(&mut blocks);
         assert!(blocks.iter().all(|b| *b == PT), "inverse");
+    }
+
+    #[test]
+    fn fips197_c2_and_c3_known_answers_for_the_long_keys() {
+        if !available() {
+            return;
+        }
+        for (len, rounds, expect) in [(24usize, 12usize, CT_192), (32, 14, CT_256)] {
+            let cipher = AesNi::new(&long_key(len)).unwrap();
+            assert_eq!(cipher.rounds(), rounds, "AES-{}", len * 8);
+            let mut blocks = vec![PT; 19];
+            cipher.encrypt_blocks(&mut blocks);
+            assert!(
+                blocks.iter().all(|b| *b == expect),
+                "AES-{} interleaved + tail KAT",
+                len * 8
+            );
+            cipher.decrypt_blocks(&mut blocks);
+            assert!(blocks.iter().all(|b| *b == PT), "AES-{} inverse", len * 8);
+        }
     }
 
     #[test]
@@ -334,6 +404,37 @@ mod tests {
             }
             cipher.decrypt_blocks(&mut got);
             assert_eq!(got, original, "n={n} roundtrip");
+        }
+    }
+
+    #[test]
+    fn agrees_with_the_reference_for_every_key_size() {
+        if !available() {
+            return;
+        }
+        let original = random_blocks(13, 0xA11_4E75);
+        for len in [16usize, 24, 32] {
+            let key = long_key(len);
+            let fast = AesNi::new(&key).unwrap();
+            let mut got = original.clone();
+            fast.encrypt_blocks(&mut got);
+            let expect: Vec<[u8; 16]> = match len {
+                16 => {
+                    let r = Aes128::new(&key.try_into().unwrap());
+                    original.iter().map(|b| r.encrypt_block(b)).collect()
+                }
+                24 => {
+                    let r = Aes192::new(&key.try_into().unwrap());
+                    original.iter().map(|b| r.encrypt_block(b)).collect()
+                }
+                _ => {
+                    let r = Aes256::new(&key.try_into().unwrap());
+                    original.iter().map(|b| r.encrypt_block(b)).collect()
+                }
+            };
+            assert_eq!(got, expect, "AES-{}", len * 8);
+            fast.decrypt_blocks(&mut got);
+            assert_eq!(got, original, "AES-{} roundtrip", len * 8);
         }
     }
 

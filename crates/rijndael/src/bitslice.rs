@@ -1,4 +1,5 @@
-//! Constant-time bitsliced AES-128 processing many blocks per pass.
+//! Constant-time bitsliced AES-128/192/256 processing many blocks per
+//! pass.
 //!
 //! The table-driven implementations in this crate ([`crate::aes`],
 //! [`crate::ttable`]) index lookup tables with secret bytes, which leaks
@@ -62,9 +63,11 @@ pub const GRANULE: usize = 8;
 /// Blocks per wide pass (AVX2 or portable `[u64; 4]`).
 pub const WIDE: usize = 64;
 
-/// Round keys broadcast to bit-plane masks: `rk[round][bit][row][lane]`
-/// is all-ones when that key bit is set, all-zeroes otherwise.
-type RkLanes = [[[[u64; 4]; 4]; 8]; 11];
+/// One round's key broadcast to bit-plane masks: `rk[bit][row][lane]` is
+/// all-ones when that key bit is set, all-zeroes otherwise. A schedule is
+/// a slice of `rounds + 1` of these (11/13/15 for AES-128/192/256) — the
+/// pass functions read the round count from the slice length.
+type RkRound = [[[u64; 4]; 4]; 8];
 
 /// One plane word: 4 lanes of `8 × GROUPS` block bits each. The round
 /// core is written once against this trait; each width supplies only the
@@ -187,7 +190,7 @@ impl PlaneWord for Quad {
 #[cfg(target_arch = "x86_64")]
 #[allow(unsafe_code)]
 mod simd {
-    use super::{PlaneWord, RkLanes};
+    use super::{PlaneWord, RkRound};
     use core::arch::x86_64::{
         __m256i, _mm256_and_si256, _mm256_extract_epi64, _mm256_permute4x64_epi64,
         _mm256_set1_epi64x, _mm256_set_epi64x, _mm256_setzero_si256, _mm256_xor_si256,
@@ -269,7 +272,7 @@ mod simd {
     ///
     /// The CPU must support AVX2 (checked by [`run_wide`]).
     #[target_feature(enable = "avx2")]
-    unsafe fn encrypt_wide_avx2(rk: &RkLanes, chunks: &mut [[[u8; 16]; super::WIDE]]) {
+    unsafe fn encrypt_wide_avx2(rk: &[RkRound], chunks: &mut [[[u8; 16]; super::WIDE]]) {
         for chunk in chunks {
             super::encrypt_pass::<Avx2>(rk, chunk);
         }
@@ -282,7 +285,7 @@ mod simd {
     ///
     /// The CPU must support AVX2 (checked by [`run_wide`]).
     #[target_feature(enable = "avx2")]
-    unsafe fn decrypt_wide_avx2(rk: &RkLanes, chunks: &mut [[[u8; 16]; super::WIDE]]) {
+    unsafe fn decrypt_wide_avx2(rk: &[RkRound], chunks: &mut [[[u8; 16]; super::WIDE]]) {
         for chunk in chunks {
             super::decrypt_pass::<Avx2>(rk, chunk);
         }
@@ -292,7 +295,7 @@ mod simd {
     /// re-checks the cached runtime probe before entering the gated
     /// functions — constructing an AVX2-lane [`super::Bitsliced8`]
     /// already verified it, so the assert never fires in practice.
-    pub(super) fn run_wide(rk: &RkLanes, chunks: &mut [[[u8; 16]; super::WIDE]], decrypt: bool) {
+    pub(super) fn run_wide(rk: &[RkRound], chunks: &mut [[[u8; 16]; super::WIDE]], decrypt: bool) {
         assert!(
             std::arch::is_x86_feature_detected!("avx2"),
             "AVX2 lane invoked on a CPU without AVX2"
@@ -695,13 +698,15 @@ fn add_round_key<T: PlaneWord>(st: &mut [[T; 4]; 8], rk: &[[[u64; 4]; 4]; 8]) {
     }
 }
 
-/// Encrypts `8 * T::GROUPS` blocks through one bitsliced pass.
+/// Encrypts `8 * T::GROUPS` blocks through one bitsliced pass of
+/// `rk.len() - 1` rounds.
 #[inline(always)]
-fn encrypt_pass<T: PlaneWord>(rk: &RkLanes, blocks: &mut [[u8; 16]]) {
+fn encrypt_pass<T: PlaneWord>(rk: &[RkRound], blocks: &mut [[u8; 16]]) {
+    let last = rk.len() - 1;
     let mut st = [[T::zero(); 4]; 8];
     pack(blocks, &mut st);
     add_round_key(&mut st, &rk[0]);
-    for round in &rk[1..10] {
+    for round in &rk[1..last] {
         sub_bytes(&mut st);
         shift_rows(&mut st);
         mix_columns(&mut st);
@@ -709,20 +714,22 @@ fn encrypt_pass<T: PlaneWord>(rk: &RkLanes, blocks: &mut [[u8; 16]]) {
     }
     sub_bytes(&mut st);
     shift_rows(&mut st);
-    add_round_key(&mut st, &rk[10]);
+    add_round_key(&mut st, &rk[last]);
     unpack(&st, blocks);
 }
 
-/// Decrypts `8 * T::GROUPS` blocks through one bitsliced pass.
+/// Decrypts `8 * T::GROUPS` blocks through one bitsliced pass of
+/// `rk.len() - 1` rounds.
 #[inline(always)]
-fn decrypt_pass<T: PlaneWord>(rk: &RkLanes, blocks: &mut [[u8; 16]]) {
+fn decrypt_pass<T: PlaneWord>(rk: &[RkRound], blocks: &mut [[u8; 16]]) {
+    let last = rk.len() - 1;
     let mut st = [[T::zero(); 4]; 8];
     pack(blocks, &mut st);
-    add_round_key(&mut st, &rk[10]);
+    add_round_key(&mut st, &rk[last]);
     inv_shift_rows(&mut st);
     inv_sub_bytes(&mut st);
-    for round in (1..10).rev() {
-        add_round_key(&mut st, &rk[round]);
+    for round in rk[1..last].iter().rev() {
+        add_round_key(&mut st, round);
         inv_mix_columns(&mut st);
         inv_shift_rows(&mut st);
         inv_sub_bytes(&mut st);
@@ -731,9 +738,11 @@ fn decrypt_pass<T: PlaneWord>(rk: &RkLanes, blocks: &mut [[u8; 16]]) {
     unpack(&st, blocks);
 }
 
-/// Broadcasts byte-wise round keys into all-ones/all-zeroes lane masks.
-fn broadcast_keys(schedule: &KeySchedule) -> Box<RkLanes> {
-    let mut out: Box<RkLanes> = Box::new([[[[0u64; 4]; 4]; 8]; 11]);
+/// Broadcasts byte-wise round keys into all-ones/all-zeroes lane masks,
+/// one [`RkRound`] per round key (`rounds + 1` in total).
+fn broadcast_keys(schedule: &KeySchedule) -> Box<[RkRound]> {
+    let mut out: Box<[RkRound]> =
+        vec![[[[0u64; 4]; 4]; 8]; schedule.rounds() + 1].into_boxed_slice();
     for (round, masks) in out.iter_mut().enumerate() {
         let mut bytes = [0u8; 16];
         for (c, word) in schedule.round_key(round).iter().enumerate() {
@@ -749,7 +758,8 @@ fn broadcast_keys(schedule: &KeySchedule) -> Box<RkLanes> {
     out
 }
 
-/// Constant-time bitsliced AES-128 over batches of blocks.
+/// Constant-time bitsliced AES-128/192/256 over batches of blocks (the
+/// key length picks the round count; the round core is shared).
 ///
 /// The natural granule is [`GRANULE`] (8) blocks — [`Self::encrypt8`] /
 /// [`Self::decrypt8`] — and the bulk entry points [`Self::encrypt_blocks`]
@@ -775,16 +785,21 @@ fn broadcast_keys(schedule: &KeySchedule) -> Box<RkLanes> {
 /// assert_eq!(blocks[3], reference.encrypt_block(&[0x5Au8; 16]));
 /// ```
 pub struct Bitsliced8 {
-    rk: Box<RkLanes>,
+    rk: Box<[RkRound]>,
     lane: WideLane,
 }
 
 impl Bitsliced8 {
-    /// Expands `key` and broadcasts the schedule into bit-plane masks,
-    /// with the wide lane chosen by the runtime dispatch decision
-    /// ([`WideLane::detect`]).
+    /// Expands `key` (16, 24, or 32 bytes) and broadcasts the schedule
+    /// into bit-plane masks, with the wide lane chosen by the runtime
+    /// dispatch decision ([`WideLane::detect`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid key length — lengths are validated at the
+    /// service boundary before any backend is keyed.
     #[must_use]
-    pub fn new(key: &[u8; 16]) -> Self {
+    pub fn new(key: &[u8]) -> Self {
         Self::with_lane(key, WideLane::detect())
     }
 
@@ -794,15 +809,16 @@ impl Bitsliced8 {
     ///
     /// Panics when `lane` is not [`WideLane::available`] on this CPU —
     /// pinning a lane the hardware cannot run must fail loudly, never
-    /// silently substitute another plane.
+    /// silently substitute another plane. Also panics on an invalid key
+    /// length, as in [`Self::new`].
     #[must_use]
-    pub fn with_lane(key: &[u8; 16], lane: WideLane) -> Self {
+    pub fn with_lane(key: &[u8], lane: WideLane) -> Self {
         assert!(
             lane.available(),
             "bitsliced {} lane is not available on this CPU",
             lane.name()
         );
-        let schedule = KeySchedule::expand(key, 4).expect("16-byte key is always valid");
+        let schedule = KeySchedule::expand(key, 4).expect("key must be 16, 24, or 32 bytes");
         Bitsliced8 {
             rk: broadcast_keys(&schedule),
             lane,
@@ -813,6 +829,12 @@ impl Bitsliced8 {
     #[must_use]
     pub fn lane(&self) -> WideLane {
         self.lane
+    }
+
+    /// Number of cipher rounds (10, 12, or 14).
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rk.len() - 1
     }
 
     /// Encrypts 8 blocks in one constant-time pass.
@@ -947,7 +969,7 @@ impl Clone for Bitsliced8 {
 impl core::fmt::Debug for Bitsliced8 {
     /// Never prints key material.
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str("Bitsliced8 { rounds: 10, wide: 64 }")
+        write!(f, "Bitsliced8 {{ rounds: {}, wide: 64 }}", self.rounds())
     }
 }
 
@@ -1120,6 +1142,82 @@ mod tests {
     fn pinning_the_avx2_lane_off_x86_panics() {
         let caught = std::panic::catch_unwind(|| Bitsliced8::with_lane(&KEY, WideLane::Avx2));
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn fips197_long_key_known_answers_on_every_available_lane() {
+        // FIPS-197 C.2 (AES-192) and C.3 (AES-256) for the sequential
+        // key bytes, swept across every lane and both split paths.
+        let cases: [(usize, usize, [u8; 16]); 2] = [
+            (
+                24,
+                12,
+                [
+                    0xDD, 0xA9, 0x7C, 0xA4, 0x86, 0x4C, 0xDF, 0xE0, 0x6E, 0xAF, 0x70, 0xA0, 0xEC,
+                    0x0D, 0x71, 0x91,
+                ],
+            ),
+            (
+                32,
+                14,
+                [
+                    0x8E, 0xA2, 0xB7, 0xCA, 0x51, 0x67, 0x45, 0xBF, 0xEA, 0xFC, 0x49, 0x90, 0x4B,
+                    0x49, 0x60, 0x89,
+                ],
+            ),
+        ];
+        for (len, rounds, expect) in cases {
+            let key: Vec<u8> = (0..len as u8).collect();
+            for lane in [WideLane::Avx2, WideLane::Portable, WideLane::Narrow] {
+                if !lane.available() {
+                    continue;
+                }
+                let cipher = Bitsliced8::with_lane(&key, lane);
+                assert_eq!(cipher.rounds(), rounds);
+                let mut blocks = vec![PT; WIDE + 3];
+                cipher.encrypt_blocks(&mut blocks);
+                assert!(
+                    blocks.iter().all(|b| *b == expect),
+                    "AES-{} lane {} KAT",
+                    len * 8,
+                    lane.name()
+                );
+                cipher.decrypt_blocks(&mut blocks);
+                assert!(
+                    blocks.iter().all(|b| *b == PT),
+                    "AES-{} lane {} inverse",
+                    len * 8,
+                    lane.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_keys_agree_with_the_reference_on_random_batches() {
+        let key192: Vec<u8> = (0..24u8).map(|i| i.wrapping_mul(7) ^ 0x1D).collect();
+        let key256: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(5) ^ 0xB2).collect();
+        let original = random_blocks(WIDE + 5, 0x256_192);
+
+        let cipher = Bitsliced8::new(&key192);
+        let reference = crate::Aes192::new(&key192.clone().try_into().unwrap());
+        let mut got = original.clone();
+        cipher.encrypt_blocks(&mut got);
+        for (i, (g, pt)) in got.iter().zip(&original).enumerate() {
+            assert_eq!(*g, reference.encrypt_block(pt), "aes-192 block {i}");
+        }
+        cipher.decrypt_blocks(&mut got);
+        assert_eq!(got, original, "aes-192 roundtrip");
+
+        let cipher = Bitsliced8::new(&key256);
+        let reference = crate::Aes256::new(&key256.clone().try_into().unwrap());
+        let mut got = original.clone();
+        cipher.encrypt_blocks(&mut got);
+        for (i, (g, pt)) in got.iter().zip(&original).enumerate() {
+            assert_eq!(*g, reference.encrypt_block(pt), "aes-256 block {i}");
+        }
+        cipher.decrypt_blocks(&mut got);
+        assert_eq!(got, original, "aes-256 roundtrip");
     }
 
     #[test]

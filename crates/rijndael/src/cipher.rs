@@ -76,6 +76,11 @@ impl BatchCipher for crate::bitslice::Bitsliced8 {
     }
 }
 
+// `Rijndael<4>` is the 16-byte-block subset (AES-128/192/256 by key
+// length), so the default block-at-a-time batch loop applies. Wider
+// blocks stay off the batch API, whose layout is fixed to AES blocks.
+impl BatchCipher for Rijndael<4> {}
+
 /// The Rijndael cipher with a block of `NB` 32-bit columns.
 ///
 /// The key size is chosen at runtime (16–32 bytes in 4-byte steps); the

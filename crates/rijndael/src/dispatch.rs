@@ -36,9 +36,8 @@
 
 use std::sync::OnceLock;
 
-use crate::aes::Aes128;
 use crate::bitslice::{Bitsliced8, WideLane};
-use crate::cipher::{BatchCipher, BlockCipher};
+use crate::cipher::{BatchCipher, BlockCipher, Rijndael};
 use crate::ttable::TtableAes;
 
 /// Environment variable that pins the dispatch decision to one [`Kind`]
@@ -62,6 +61,9 @@ pub struct CpuFeatures {
     pub avx2: bool,
     /// ARMv8 Cryptography Extension AES instructions.
     pub neon_aes: bool,
+    /// x86 `PCLMULQDQ` carry-less multiply (drives the GHASH fast path
+    /// in [`crate::gf128`]).
+    pub pclmul: bool,
 }
 
 /// The cached result of the one-time CPU probe.
@@ -76,6 +78,7 @@ fn probe() -> CpuFeatures {
         aesni: std::arch::is_x86_feature_detected!("aes"),
         avx2: std::arch::is_x86_feature_detected!("avx2"),
         neon_aes: false,
+        pclmul: std::arch::is_x86_feature_detected!("pclmulqdq"),
     }
 }
 
@@ -85,6 +88,7 @@ fn probe() -> CpuFeatures {
         aesni: false,
         avx2: false,
         neon_aes: std::arch::is_aarch64_feature_detected!("aes"),
+        pclmul: false,
     }
 }
 
@@ -93,7 +97,9 @@ fn probe() -> CpuFeatures {
     CpuFeatures::default()
 }
 
-/// Every dispatchable implementation of AES-128 in the workspace.
+/// Every dispatchable AES implementation in the workspace. All software
+/// kinds key with 16, 24, or 32 bytes; only [`Kind::IpCore`] (the
+/// paper's AES-128-only hardware model) is fixed to 16.
 ///
 /// `Kind` is the currency of the dispatch layer: the force override names
 /// one by [`Kind::token`], the engine maps one to a farm slot, and
@@ -385,24 +391,30 @@ pub struct AutoCipher {
 
 #[derive(Clone)]
 enum Inner {
-    // Boxed: the two 11-entry round-key schedules are ~352 bytes inline,
-    // dwarfing every other variant.
+    // Boxed: the two max-15-entry round-key schedules are ~480 bytes
+    // inline, dwarfing every other variant.
     #[cfg(target_arch = "x86_64")]
     AesNi(Box<crate::aesni::AesNi>),
     #[cfg(target_arch = "aarch64")]
     Neon(Box<crate::neon::NeonAes>),
     Bitsliced(Bitsliced8),
     Ttable(TtableAes),
-    Reference(Aes128),
+    Reference(Rijndael<4>),
 }
 
 impl AutoCipher {
     /// Builds the cipher the process-wide [`selection`] picked for the
     /// bulk lane, or `None` when the selection (necessarily forced) is
     /// [`Kind::IpCore`], which has no in-crate cipher — callers then
-    /// route everything through an engine farm instead.
+    /// route everything through an engine farm instead. `key` is 16, 24,
+    /// or 32 bytes (AES-128/192/256).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid key length — lengths are validated at the
+    /// service boundary before any backend is keyed.
     #[must_use]
-    pub fn new(key: &[u8; 16]) -> Option<Self> {
+    pub fn new(key: &[u8]) -> Option<Self> {
         Self::for_kind(selection().bulk, key)
     }
 
@@ -411,9 +423,10 @@ impl AutoCipher {
     /// # Panics
     ///
     /// Panics when `kind` is not [`Kind::available`] — forcing an absent
-    /// backend must fail loudly, never silently substitute.
+    /// backend must fail loudly, never silently substitute — and on an
+    /// invalid key length, as in [`Self::new`].
     #[must_use]
-    pub fn for_kind(kind: Kind, key: &[u8; 16]) -> Option<Self> {
+    pub fn for_kind(kind: Kind, key: &[u8]) -> Option<Self> {
         assert!(
             kind.available(),
             "backend {} is not available on this CPU (detected: {:?})",
@@ -439,8 +452,12 @@ impl AutoCipher {
                 Inner::Bitsliced(Bitsliced8::with_lane(key, WideLane::Portable))
             }
             Kind::BitslicedNarrow => Inner::Bitsliced(Bitsliced8::with_lane(key, WideLane::Narrow)),
-            Kind::Ttable => Inner::Ttable(TtableAes::new(key).expect("16-byte key is valid")),
-            Kind::Reference => Inner::Reference(Aes128::new(key)),
+            Kind::Ttable => {
+                Inner::Ttable(TtableAes::new(key).expect("key must be 16, 24, or 32 bytes"))
+            }
+            Kind::Reference => {
+                Inner::Reference(Rijndael::new(key).expect("key must be 16, 24, or 32 bytes"))
+            }
         };
         Some(AutoCipher { kind, inner })
     }
@@ -596,6 +613,43 @@ mod tests {
             let mut one = PT;
             cipher.encrypt_in_place(&mut one);
             assert_eq!(one, CT, "{} single block", kind.token());
+        }
+    }
+
+    #[test]
+    fn every_available_cipher_kind_passes_the_long_key_kats() {
+        // FIPS-197 C.2/C.3: sequential key bytes, same plaintext.
+        let ct192: [u8; 16] = [
+            0xDD, 0xA9, 0x7C, 0xA4, 0x86, 0x4C, 0xDF, 0xE0, 0x6E, 0xAF, 0x70, 0xA0, 0xEC, 0x0D,
+            0x71, 0x91,
+        ];
+        let ct256: [u8; 16] = [
+            0x8E, 0xA2, 0xB7, 0xCA, 0x51, 0x67, 0x45, 0xBF, 0xEA, 0xFC, 0x49, 0x90, 0x4B, 0x49,
+            0x60, 0x89,
+        ];
+        for (len, expect) in [(24usize, ct192), (32, ct256)] {
+            let key: Vec<u8> = (0..len as u8).collect();
+            for kind in Kind::detected() {
+                let Some(cipher) = AutoCipher::for_kind(kind, &key) else {
+                    assert_eq!(kind, Kind::IpCore);
+                    continue;
+                };
+                let mut blocks = vec![PT; 11];
+                cipher.encrypt_blocks(&mut blocks);
+                assert!(
+                    blocks.iter().all(|b| *b == expect),
+                    "AES-{} {}",
+                    len * 8,
+                    kind.token()
+                );
+                cipher.decrypt_blocks(&mut blocks);
+                assert!(
+                    blocks.iter().all(|b| *b == PT),
+                    "AES-{} {} inverse",
+                    len * 8,
+                    kind.token()
+                );
+            }
         }
     }
 

@@ -1,0 +1,309 @@
+//! GHASH — the universal hash of GCM (NIST SP 800-38D §6.4).
+//!
+//! `GHASH_H(X)` folds 128-bit blocks into an accumulator with one
+//! GF(2^128) multiplication by the hash subkey `H = E_K(0^128)` per
+//! block: `Y_i = (Y_{i-1} ⊕ X_i) · H`. The multiplier core is a runtime
+//! decision in the style of [`crate::dispatch`]: `PCLMULQDQ` when the
+//! CPU probe finds it, otherwise the portable 4-bit table
+//! ([`crate::gf128::GfTable`]). Both cores are kept compiled and
+//! cross-checked; benches pin one with [`Ghash::with_impl`].
+//!
+//! The subkey (and its derived table) is key material: it is wiped on
+//! drop via [`crate::zeroize`], and [`core::fmt::Debug`] never prints
+//! it.
+
+use crate::gf128::{pclmul, GfTable};
+
+/// Which GF(2^128) multiplier core a [`Ghash`] instance runs — a
+/// runtime decision like [`crate::bitslice::WideLane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GhashImpl {
+    /// The x86 `PCLMULQDQ` carry-less multiplier.
+    Pclmul,
+    /// The portable Shoup 4-bit table walk.
+    Portable,
+}
+
+impl GhashImpl {
+    /// The stable name reported in telemetry and bench output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GhashImpl::Pclmul => "pclmul",
+            GhashImpl::Portable => "table4",
+        }
+    }
+
+    /// `true` when this CPU can run the core.
+    #[must_use]
+    pub fn available(self) -> bool {
+        match self {
+            GhashImpl::Pclmul => pclmul::available(),
+            GhashImpl::Portable => true,
+        }
+    }
+
+    /// The dispatch decision for this process: `PCLMULQDQ` when the
+    /// probe finds it, the table walk otherwise.
+    #[must_use]
+    pub fn detect() -> GhashImpl {
+        if crate::dispatch::cpu().pclmul {
+            GhashImpl::Pclmul
+        } else {
+            GhashImpl::Portable
+        }
+    }
+}
+
+/// Streaming GHASH accumulator keyed by the hash subkey `H`.
+///
+/// # Examples
+///
+/// ```
+/// use rijndael::ghash::Ghash;
+///
+/// // H from the GCM validation suite (E_K(0) of the zero AES-128 key).
+/// let h = [
+///     0x66, 0xE9, 0x4B, 0xD4, 0xEF, 0x8A, 0x2C, 0x3B,
+///     0x88, 0x4C, 0xFA, 0x59, 0xCA, 0x34, 0x2B, 0x2E,
+/// ];
+/// let mut ghash = Ghash::new(&h);
+/// ghash.update(&[
+///     0x03, 0x88, 0xDA, 0xCE, 0x60, 0xB6, 0xA3, 0x92,
+///     0xF3, 0x28, 0xC2, 0xB9, 0x71, 0xB2, 0xFE, 0x78,
+/// ]);
+/// assert_eq!(ghash.clone().finalize()[..2], [0x5E, 0x2E]);
+/// ```
+#[derive(Clone)]
+pub struct Ghash {
+    /// Table core state; also holds the multiples for the pclmul path's
+    /// subkey (entry 8 is `H` itself).
+    table: GfTable,
+    /// The raw subkey for the `PCLMULQDQ` core.
+    h: u128,
+    /// Descending subkey powers `H^FOLD_WIDTH … H^1`, feeding the
+    /// aggregated-reduction fast path of [`Self::update_padded`].
+    hpow: [u128; pclmul::FOLD_WIDTH],
+    y: u128,
+    which: GhashImpl,
+}
+
+impl Ghash {
+    /// Keys the accumulator with subkey `h`, multiplier core chosen by
+    /// [`GhashImpl::detect`].
+    #[must_use]
+    pub fn new(h: &[u8; 16]) -> Self {
+        Self::with_impl(h, GhashImpl::detect())
+    }
+
+    /// Like [`Self::new`] but pins the multiplier core.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `which` is not [`GhashImpl::available`] on this CPU —
+    /// pinning an absent core must fail loudly, never silently
+    /// substitute (the same contract as
+    /// [`crate::bitslice::Bitsliced8::with_lane`]).
+    #[must_use]
+    pub fn with_impl(h: &[u8; 16], which: GhashImpl) -> Self {
+        assert!(
+            which.available(),
+            "GHASH {} core is not available on this CPU",
+            which.name()
+        );
+        let table = GfTable::new(h);
+        let hv = u128::from_be_bytes(*h);
+        // hpow[i] = H^(FOLD_WIDTH - i): ascending powers via the table
+        // (table.mul multiplies by H), stored descending so a span of n
+        // blocks uses the tail `hpow[FOLD_WIDTH - n..]`.
+        let mut hpow = [0u128; pclmul::FOLD_WIDTH];
+        let mut power = hv;
+        for slot in hpow.iter_mut().rev() {
+            *slot = power;
+            power = table.mul(power);
+        }
+        Ghash {
+            table,
+            h: hv,
+            hpow,
+            y: 0,
+            which,
+        }
+    }
+
+    /// The multiplier core this instance runs.
+    #[must_use]
+    pub fn implementation(&self) -> GhashImpl {
+        self.which
+    }
+
+    #[inline]
+    fn mul_h(&self, v: u128) -> u128 {
+        match self.which {
+            GhashImpl::Pclmul => pclmul::mul(v, self.h),
+            GhashImpl::Portable => self.table.mul(v),
+        }
+    }
+
+    /// Folds one complete block into the accumulator.
+    #[inline]
+    pub fn update(&mut self, block: &[u8; 16]) {
+        self.y = self.mul_h(self.y ^ u128::from_be_bytes(*block));
+    }
+
+    /// Folds a byte string, zero-padding the final partial block to a
+    /// full one (the SP 800-38D padding for both AAD and ciphertext).
+    ///
+    /// On the `PCLMULQDQ` core, full blocks advance through the
+    /// aggregated fold ([`crate::gf128::pclmul::fold`]) — one reduction
+    /// per [`crate::gf128::pclmul::FOLD_WIDTH`]-block span — so the hash
+    /// keeps pace with pipelined hardware keystream.
+    pub fn update_padded(&mut self, data: &[u8]) {
+        let (blocks, tail) = data.as_chunks::<16>();
+        match self.which {
+            GhashImpl::Pclmul => {
+                const W: usize = pclmul::FOLD_WIDTH;
+                let mut xs = [0u128; W];
+                for span in blocks.chunks(W) {
+                    for (slot, block) in xs.iter_mut().zip(span) {
+                        *slot = u128::from_be_bytes(*block);
+                    }
+                    self.y = pclmul::fold(self.y, &xs[..span.len()], &self.hpow[W - span.len()..]);
+                }
+            }
+            GhashImpl::Portable => {
+                for block in blocks {
+                    self.update(block);
+                }
+            }
+        }
+        if !tail.is_empty() {
+            let mut last = [0u8; 16];
+            last[..tail.len()].copy_from_slice(tail);
+            self.update(&last);
+        }
+    }
+
+    /// Returns the accumulator as a block, consuming the instance.
+    #[must_use]
+    pub fn finalize(self) -> [u8; 16] {
+        self.y.to_be_bytes()
+    }
+}
+
+impl core::fmt::Debug for Ghash {
+    /// Never prints the subkey or the running accumulator.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Ghash {{ impl: {} }}", self.which.name())
+    }
+}
+
+impl Drop for Ghash {
+    /// Wipes the raw subkey and accumulator; the derived table wipes
+    /// itself ([`GfTable`]'s own `Drop`).
+    fn drop(&mut self) {
+        let mut words = [self.h as u64, (self.h >> 64) as u64];
+        crate::zeroize::wipe_words64(&mut words);
+        crate::zeroize::wipe_u128(&mut self.hpow);
+        self.h = core::hint::black_box(0);
+        self.y = core::hint::black_box(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf128::mul_bitwise;
+
+    const H: [u8; 16] = [
+        0x66, 0xE9, 0x4B, 0xD4, 0xEF, 0x8A, 0x2C, 0x3B, 0x88, 0x4C, 0xFA, 0x59, 0xCA, 0x34, 0x2B,
+        0x2E,
+    ];
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut s = seed | 1;
+        (0..n).map(|_| (xorshift(&mut s) >> 24) as u8).collect()
+    }
+
+    /// Blockwise reference: Y_i = (Y_{i-1} ⊕ X_i) · H via the bitwise
+    /// multiplier.
+    fn reference_ghash(h: &[u8; 16], data: &[u8]) -> [u8; 16] {
+        let hv = u128::from_be_bytes(*h);
+        let mut y = 0u128;
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            y = mul_bitwise(y ^ u128::from_be_bytes(block), hv);
+        }
+        y.to_be_bytes()
+    }
+
+    #[test]
+    fn both_cores_match_the_bitwise_reference() {
+        // Lengths straddle every aggregation boundary of the pclmul
+        // fold (8 blocks = 128 bytes): partial spans, exact spans,
+        // multi-span runs and ragged tails.
+        for len in [
+            0usize, 1, 15, 16, 17, 32, 47, 64, 112, 127, 128, 129, 143, 144, 256, 257, 400,
+        ] {
+            let data = random_bytes(len, 0xAB1E + len as u64);
+            let expect = reference_ghash(&H, &data);
+            for which in [GhashImpl::Pclmul, GhashImpl::Portable] {
+                if !which.available() {
+                    continue;
+                }
+                let mut g = Ghash::with_impl(&H, which);
+                g.update_padded(&data);
+                assert_eq!(g.finalize(), expect, "len {len} impl {}", which.name());
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_updates_equal_one_shot() {
+        let data = random_bytes(80, 0x5EED);
+        let mut one_shot = Ghash::new(&H);
+        one_shot.update_padded(&data);
+        let mut chunked = Ghash::new(&H);
+        chunked.update_padded(&data[..32]);
+        chunked.update_padded(&data[32..]);
+        assert_eq!(one_shot.finalize(), chunked.finalize());
+    }
+
+    #[test]
+    fn detect_prefers_pclmul_when_present() {
+        let detected = GhashImpl::detect();
+        assert!(detected.available());
+        if crate::dispatch::cpu().pclmul {
+            assert_eq!(detected, GhashImpl::Pclmul);
+        } else {
+            assert_eq!(detected, GhashImpl::Portable);
+        }
+    }
+
+    #[test]
+    fn rekeying_after_drop_yields_a_fresh_correct_accumulator() {
+        let data = random_bytes(48, 0xD00D);
+        let expect = reference_ghash(&H, &data);
+        let mut first = Ghash::new(&H);
+        first.update_padded(&data);
+        assert_eq!(first.finalize(), expect);
+        let mut second = Ghash::new(&H);
+        second.update_padded(&data);
+        assert_eq!(second.finalize(), expect);
+    }
+
+    #[test]
+    fn debug_never_leaks_the_subkey() {
+        let g = Ghash::new(&H);
+        let s = format!("{g:?}");
+        assert!(!s.to_lowercase().contains("66e9"), "{s}");
+    }
+}

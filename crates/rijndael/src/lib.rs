@@ -29,6 +29,10 @@
 //! * [`modes`] — block-cipher modes of operation (ECB, CBC, CTR, CFB, OFB),
 //!   with both monomorphized inherent functions and the object-safe
 //!   [`modes::Mode`] trait the engine and service route through;
+//! * [`gf128`] / [`ghash`] / [`aead`] — the authenticated layer:
+//!   GF(2^128) carry-less multiplication (portable 4-bit table plus a
+//!   `PCLMULQDQ` fast path), the GHASH universal hash, and AES-GCM /
+//!   XTS-AES / RFC 3394 key wrap built on the batched backends;
 //! * [`error`] — the crate-level [`Error`] the dynamic mode surface
 //!   reports instead of panicking;
 //! * [`trace`] — round-by-round execution traces (used to reproduce the
@@ -61,6 +65,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aead;
 pub mod aes;
 #[cfg(target_arch = "x86_64")]
 pub mod aesni;
@@ -70,6 +75,8 @@ pub mod cmac;
 pub mod diffusion;
 pub mod dispatch;
 pub mod error;
+pub mod gf128;
+pub mod ghash;
 pub mod key_schedule;
 pub mod mct;
 pub mod modes;
@@ -82,11 +89,13 @@ pub mod ttable;
 pub mod vectors;
 pub mod zeroize;
 
+pub use aead::{Aead, Gcm, Xts};
 pub use aes::{Aes128, Aes192, Aes256};
 pub use bitslice::Bitsliced8;
 pub use cipher::{BatchCipher, BlockCipher, Rijndael};
 pub use dispatch::AutoCipher;
 pub use error::Error;
+pub use ghash::Ghash;
 pub use key_schedule::KeySchedule;
 pub use modes::{Iv, Mode};
 pub use state::State;

@@ -59,12 +59,14 @@ impl std::error::Error for LengthError {}
 
 /// Global-registry instrumentation for the mode layer: one counter pair
 /// (blocks, bytes) per mode, resolved once per process and cached so the
-/// per-call cost is a relaxed atomic add.
-mod stats {
+/// per-call cost is a relaxed atomic add. `pub(crate)` so the AEAD layer
+/// ([`crate::aead`]) records its modes (gcm/xts/kw) through the same
+/// naming scheme.
+pub(crate) mod stats {
     use std::sync::OnceLock;
     use telemetry::{Counter, Registry};
 
-    pub(super) struct ModeStats {
+    pub(crate) struct ModeStats {
         blocks: Counter,
         bytes: Counter,
     }
@@ -81,7 +83,7 @@ mod stats {
         /// Records one mode call over `bytes` bytes of `block`-byte
         /// blocks (partial final blocks count as one block).
         #[inline]
-        pub(super) fn record(&self, bytes: usize, block: usize) {
+        pub(crate) fn record(&self, bytes: usize, block: usize) {
             self.blocks.add(bytes.div_ceil(block.max(1)) as u64);
             self.bytes.add(bytes as u64);
         }
@@ -89,7 +91,7 @@ mod stats {
 
     macro_rules! mode_stats {
         ($fn_name:ident, $name:literal) => {
-            pub(super) fn $fn_name() -> &'static ModeStats {
+            pub(crate) fn $fn_name() -> &'static ModeStats {
                 static STATS: OnceLock<ModeStats> = OnceLock::new();
                 STATS.get_or_init(|| ModeStats::new($name))
             }
@@ -100,6 +102,9 @@ mod stats {
     mode_stats!(ctr, "ctr");
     mode_stats!(cfb, "cfb");
     mode_stats!(ofb, "ofb");
+    mode_stats!(gcm, "gcm");
+    mode_stats!(xts, "xts");
+    mode_stats!(kw, "kw");
 }
 
 /// An IV or nonce handed to the object-safe [`Mode`] surface.
@@ -1064,7 +1069,8 @@ mod tests {
         // batched path must carry SP 800-38A's modulo-2^128 semantics into
         // the 8-wide precompute, not just the scalar loop.
         let c = cipher();
-        let sliced = crate::bitslice::Bitsliced8::new(&core::array::from_fn(|i| i as u8));
+        let sliced =
+            crate::bitslice::Bitsliced8::new(&core::array::from_fn::<u8, 16, _>(|i| i as u8));
         let mut nonce = [0xFFu8; 16];
         nonce[15] = 0xFD; // nonce = 2^128 - 3
         let blocks = 20usize;

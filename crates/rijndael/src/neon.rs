@@ -1,11 +1,14 @@
-//! AES-128 on the ARMv8 Cryptography Extension (NEON `AESE`/`AESD`).
+//! AES-128/192/256 on the ARMv8 Cryptography Extension (NEON
+//! `AESE`/`AESD`).
 //!
 //! The aarch64 counterpart of [`crate::aesni`], behind the same
 //! [`BlockCipher`]/[`BatchCipher`] traits and the same runtime-probe
 //! contract: the module only compiles on `aarch64`, and a [`NeonAes`]
 //! instance can only be constructed after [`available`] — a cached
 //! `is_aarch64_feature_detected!("aes")` probe — returns `true`. The
-//! [`crate::dispatch`] micro-race decides per host whether it runs.
+//! [`crate::dispatch`] micro-race decides per host whether it runs. As
+//! on x86, the round instruction is key-size-agnostic, so AES-192/256
+//! are the same chain run for 12 or 14 rounds.
 //!
 //! Unlike x86, `AESE` folds `AddRoundKey` *before* `SubBytes ∘
 //! ShiftRows`, so the round loop XORs each key ahead of the S-box pass
@@ -24,14 +27,16 @@
 #![allow(unsafe_code)]
 
 use core::arch::aarch64::{
-    uint8x16_t, vaesdq_u8, vaeseq_u8, vaesimcq_u8, vaesmcq_u8, veorq_u8, vld1q_u8, vst1q_u8,
+    uint8x16_t, vaesdq_u8, vaeseq_u8, vaesimcq_u8, vaesmcq_u8, vdupq_n_u8, veorq_u8, vld1q_u8,
+    vst1q_u8,
 };
 
 use crate::cipher::{BatchCipher, BlockCipher};
 use crate::key_schedule::KeySchedule;
 
-/// Round keys for AES-128: the initial whitening key plus ten rounds.
-const ROUND_KEYS: usize = 11;
+/// Round keys for the largest variant (AES-256: the initial whitening
+/// key plus fourteen rounds). Smaller keys use a prefix.
+const MAX_ROUND_KEYS: usize = 15;
 
 /// `true` when this CPU executes the ARMv8 AES instructions (cached
 /// probe).
@@ -54,42 +59,61 @@ fn storeu(block: &mut [u8; 16], v: uint8x16_t) {
     unsafe { vst1q_u8(block.as_mut_ptr(), v) }
 }
 
-/// Derives the equivalent-inverse-cipher round keys: reverse the order
-/// and pass the interior keys through `AESIMC`.
+/// Derives the equivalent-inverse-cipher round keys (`enc.len() - 1`
+/// rounds): reverse the order and pass the interior keys through
+/// `AESIMC`.
 ///
 /// # Safety
 ///
 /// The CPU must support the ARMv8 AES extension (checked by the caller
 /// via [`available`]).
 #[target_feature(enable = "aes")]
-unsafe fn invert_keys(enc: &[[u8; 16]; ROUND_KEYS]) -> [[u8; 16]; ROUND_KEYS] {
-    let mut dec = [[0u8; 16]; ROUND_KEYS];
-    dec[0] = enc[10];
-    for i in 1..10 {
-        storeu(&mut dec[i], vaesimcq_u8(loadu(&enc[10 - i])));
+unsafe fn invert_keys(enc: &[[u8; 16]]) -> [[u8; 16]; MAX_ROUND_KEYS] {
+    let rounds = enc.len() - 1;
+    let mut dec = [[0u8; 16]; MAX_ROUND_KEYS];
+    dec[0] = enc[rounds];
+    for i in 1..rounds {
+        storeu(&mut dec[i], vaesimcq_u8(loadu(&enc[rounds - i])));
     }
-    dec[10] = enc[0];
+    dec[rounds] = enc[0];
     dec
 }
 
-/// Encrypts every block in place.
+/// Loads a schedule into registers, returning the register file and the
+/// index of the last round key.
 ///
 /// # Safety
 ///
 /// The CPU must support the ARMv8 AES extension (checked by the caller
 /// via [`available`]).
 #[target_feature(enable = "aes")]
-unsafe fn encrypt_batch(enc: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
-    let rk: [uint8x16_t; ROUND_KEYS] = core::array::from_fn(|i| loadu(&enc[i]));
+unsafe fn load_keys(schedule: &[[u8; 16]]) -> ([uint8x16_t; MAX_ROUND_KEYS], usize) {
+    let mut rk = [vdupq_n_u8(0); MAX_ROUND_KEYS];
+    for (slot, key) in rk.iter_mut().zip(schedule) {
+        *slot = loadu(key);
+    }
+    (rk, schedule.len() - 1)
+}
+
+/// Encrypts every block in place. `enc` holds the whitening key plus one
+/// key per round.
+///
+/// # Safety
+///
+/// The CPU must support the ARMv8 AES extension (checked by the caller
+/// via [`available`]).
+#[target_feature(enable = "aes")]
+unsafe fn encrypt_batch(enc: &[[u8; 16]], blocks: &mut [[u8; 16]]) {
+    let (rk, last) = load_keys(enc);
     for block in blocks {
         let mut x = loadu(block);
-        for key in &rk[..9] {
+        for key in &rk[..last - 1] {
             // AESE = AddRoundKey + SubBytes + ShiftRows; AESMC completes
             // the full round.
             x = vaesmcq_u8(vaeseq_u8(x, *key));
         }
         // Final round: no MixColumns; the last key is a plain XOR.
-        storeu(block, veorq_u8(vaeseq_u8(x, rk[9]), rk[10]));
+        storeu(block, veorq_u8(vaeseq_u8(x, rk[last - 1]), rk[last]));
     }
 }
 
@@ -100,62 +124,76 @@ unsafe fn encrypt_batch(enc: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
 /// The CPU must support the ARMv8 AES extension (checked by the caller
 /// via [`available`]).
 #[target_feature(enable = "aes")]
-unsafe fn decrypt_batch(dec: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
-    let rk: [uint8x16_t; ROUND_KEYS] = core::array::from_fn(|i| loadu(&dec[i]));
+unsafe fn decrypt_batch(dec: &[[u8; 16]], blocks: &mut [[u8; 16]]) {
+    let (rk, last) = load_keys(dec);
     for block in blocks {
         let mut x = loadu(block);
-        for key in &rk[..9] {
+        for key in &rk[..last - 1] {
             // AESD = AddRoundKey + InvShiftRows + InvSubBytes; AESIMC
             // completes the inverse round against IMC-transformed keys.
             x = vaesimcq_u8(vaesdq_u8(x, *key));
         }
-        storeu(block, veorq_u8(vaesdq_u8(x, rk[9]), rk[10]));
+        storeu(block, veorq_u8(vaesdq_u8(x, rk[last - 1]), rk[last]));
     }
 }
 
-/// AES-128 through the ARMv8 Cryptography Extension.
+/// AES-128/192/256 through the ARMv8 Cryptography Extension.
 ///
 /// Construction is fallible precisely because dispatch is a runtime
 /// decision: [`NeonAes::new`] returns `None` on CPUs without the
 /// extension, and the instance itself is the proof of availability every
 /// kernel call relies on.
 pub struct NeonAes {
-    enc: [[u8; 16]; ROUND_KEYS],
-    dec: [[u8; 16]; ROUND_KEYS],
+    enc: [[u8; 16]; MAX_ROUND_KEYS],
+    dec: [[u8; 16]; MAX_ROUND_KEYS],
+    rounds: usize,
 }
 
 impl NeonAes {
-    /// Expands `key` and derives both round-key schedules, or returns
-    /// `None` when the CPU lacks the AES extension.
+    /// Expands `key` (16, 24, or 32 bytes) and derives both round-key
+    /// schedules, or returns `None` when the CPU lacks the AES
+    /// extension.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid key length — lengths are validated at the
+    /// service boundary before any backend is keyed.
     #[must_use]
-    pub fn new(key: &[u8; 16]) -> Option<Self> {
+    pub fn new(key: &[u8]) -> Option<Self> {
         if !available() {
             return None;
         }
-        let schedule = KeySchedule::expand(key, 4).expect("16-byte key is always valid");
-        let mut enc = [[0u8; 16]; ROUND_KEYS];
-        for (round, rk) in enc.iter_mut().enumerate() {
+        let schedule = KeySchedule::expand(key, 4).expect("key must be 16, 24, or 32 bytes");
+        let rounds = schedule.rounds();
+        let mut enc = [[0u8; 16]; MAX_ROUND_KEYS];
+        for (round, rk) in enc[..=rounds].iter_mut().enumerate() {
             for (c, word) in schedule.round_key(round).iter().enumerate() {
                 rk[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
             }
         }
         // SAFETY: `available()` returned true above, so the `aes` target
         // feature is present on this CPU.
-        let dec = unsafe { invert_keys(&enc) };
-        Some(NeonAes { enc, dec })
+        let dec = unsafe { invert_keys(&enc[..=rounds]) };
+        Some(NeonAes { enc, dec, rounds })
+    }
+
+    /// Number of cipher rounds (10, 12, or 14).
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds
     }
 
     /// Encrypts any number of blocks in place.
     pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
         // SAFETY: this instance exists, so `NeonAes::new` saw the runtime
         // probe succeed on this CPU.
-        unsafe { encrypt_batch(&self.enc, blocks) }
+        unsafe { encrypt_batch(&self.enc[..=self.rounds], blocks) }
     }
 
     /// Decrypts any number of blocks in place.
     pub fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
         // SAFETY: as in [`Self::encrypt_blocks`].
-        unsafe { decrypt_batch(&self.dec, blocks) }
+        unsafe { decrypt_batch(&self.dec[..=self.rounds], blocks) }
     }
 }
 
@@ -196,6 +234,7 @@ impl Clone for NeonAes {
         NeonAes {
             enc: self.enc,
             dec: self.dec,
+            rounds: self.rounds,
         }
     }
 }
@@ -203,7 +242,7 @@ impl Clone for NeonAes {
 impl core::fmt::Debug for NeonAes {
     /// Never prints key material.
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str("NeonAes { rounds: 10 }")
+        write!(f, "NeonAes {{ rounds: {} }}", self.rounds)
     }
 }
 
@@ -218,7 +257,7 @@ impl Drop for NeonAes {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Aes128;
+    use crate::{Aes128, Aes192, Aes256};
 
     // FIPS-197 Appendix C.1.
     const KEY: [u8; 16] = [
@@ -233,17 +272,44 @@ mod tests {
         0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5,
         0x5A,
     ];
+    // FIPS-197 Appendix C.2 (AES-192) and C.3 (AES-256).
+    const CT_192: [u8; 16] = [
+        0xDD, 0xA9, 0x7C, 0xA4, 0x86, 0x4C, 0xDF, 0xE0, 0x6E, 0xAF, 0x70, 0xA0, 0xEC, 0x0D, 0x71,
+        0x91,
+    ];
+    const CT_256: [u8; 16] = [
+        0x8E, 0xA2, 0xB7, 0xCA, 0x51, 0x67, 0x45, 0xBF, 0xEA, 0xFC, 0x49, 0x90, 0x4B, 0x49, 0x60,
+        0x89,
+    ];
 
     #[test]
     fn fips197_c1_known_answer_and_inverse() {
         let Some(cipher) = NeonAes::new(&KEY) else {
             return;
         };
+        assert_eq!(cipher.rounds(), 10);
         let mut blocks = vec![PT; 19];
         cipher.encrypt_blocks(&mut blocks);
         assert!(blocks.iter().all(|b| *b == CT), "KAT");
         cipher.decrypt_blocks(&mut blocks);
         assert!(blocks.iter().all(|b| *b == PT), "inverse");
+    }
+
+    #[test]
+    fn fips197_c2_and_c3_known_answers_for_the_long_keys() {
+        if !available() {
+            return;
+        }
+        for (len, rounds, expect) in [(24usize, 12usize, CT_192), (32, 14, CT_256)] {
+            let key: Vec<u8> = (0..len as u8).collect();
+            let cipher = NeonAes::new(&key).unwrap();
+            assert_eq!(cipher.rounds(), rounds, "AES-{}", len * 8);
+            let mut blocks = vec![PT; 19];
+            cipher.encrypt_blocks(&mut blocks);
+            assert!(blocks.iter().all(|b| *b == expect), "AES-{} KAT", len * 8);
+            cipher.decrypt_blocks(&mut blocks);
+            assert!(blocks.iter().all(|b| *b == PT), "AES-{} inverse", len * 8);
+        }
     }
 
     #[test]
@@ -260,5 +326,36 @@ mod tests {
         }
         cipher.decrypt_blocks(&mut got);
         assert_eq!(got, original);
+    }
+
+    #[test]
+    fn agrees_with_the_reference_for_every_key_size() {
+        if !available() {
+            return;
+        }
+        let original: Vec<[u8; 16]> = (0..13u8).map(|i| [i.wrapping_mul(17) ^ 0xC3; 16]).collect();
+        for len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..len as u8).collect();
+            let fast = NeonAes::new(&key).unwrap();
+            let mut got = original.clone();
+            fast.encrypt_blocks(&mut got);
+            let expect: Vec<[u8; 16]> = match len {
+                16 => {
+                    let r = Aes128::new(&key.try_into().unwrap());
+                    original.iter().map(|b| r.encrypt_block(b)).collect()
+                }
+                24 => {
+                    let r = Aes192::new(&key.try_into().unwrap());
+                    original.iter().map(|b| r.encrypt_block(b)).collect()
+                }
+                _ => {
+                    let r = Aes256::new(&key.try_into().unwrap());
+                    original.iter().map(|b| r.encrypt_block(b)).collect()
+                }
+            };
+            assert_eq!(got, expect, "AES-{}", len * 8);
+            fast.decrypt_blocks(&mut got);
+            assert_eq!(got, original, "AES-{} roundtrip", len * 8);
+        }
     }
 }

@@ -43,6 +43,15 @@ pub fn wipe_words64(buf: &mut [u64]) {
     core::hint::black_box(buf);
 }
 
+/// Zeroes a buffer of 128-bit words (the GHASH subkey table in
+/// [`crate::gf128`]) and pins the stores with a `black_box` barrier.
+pub fn wipe_u128(buf: &mut [u128]) {
+    for w in buf.iter_mut() {
+        *w = 0;
+    }
+    core::hint::black_box(buf);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +74,13 @@ mod tests {
     fn wipe_words64_clears_everything() {
         let mut buf = vec![0xDEAD_BEEF_CAFE_F00Du64; 19];
         wipe_words64(&mut buf);
+        assert!(buf.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn wipe_u128_clears_everything() {
+        let mut buf = vec![0xDEAD_BEEF_CAFE_F00D_0123_4567_89AB_CDEFu128; 16];
+        wipe_u128(&mut buf);
         assert!(buf.iter().all(|&w| w == 0));
     }
 

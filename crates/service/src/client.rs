@@ -276,13 +276,15 @@ impl Client {
         }
     }
 
-    /// Loads a key, creating a fresh server-side session; returns the
-    /// new session id (used on every subsequent request automatically).
+    /// Loads an AES key (16, 24 or 32 bytes), creating a fresh
+    /// server-side session; returns the new session id (used on every
+    /// subsequent request automatically).
     ///
     /// # Errors
     ///
-    /// Typed service errors or transport failures.
-    pub fn set_key(&mut self, key: &[u8; 16]) -> Result<u32, ClientError> {
+    /// Typed service errors (`BadKeyLength` for any other length) or
+    /// transport failures.
+    pub fn set_key(&mut self, key: &[u8]) -> Result<u32, ClientError> {
         let reply = self.call(Op::SetKey, 0, key.to_vec())?;
         Self::expect_ok(&reply)?;
         self.session = reply.session;
@@ -416,6 +418,88 @@ impl Client {
                 code: ErrorCode::BadTag,
                 ..
             }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn aead_payload(nonce: &[u8; 12], aad: &[u8], body: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(16 + aad.len() + body.len());
+        payload.extend_from_slice(nonce);
+        payload.extend_from_slice(&(aad.len() as u32).to_be_bytes());
+        payload.extend_from_slice(aad);
+        payload.extend_from_slice(body);
+        payload
+    }
+
+    /// AES-GCM seal under the session key: returns ciphertext ‖ 16-byte
+    /// tag. The nonce must be unique per (key, message) — reuse forfeits
+    /// both confidentiality and authenticity.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors or transport failures.
+    pub fn seal(
+        &mut self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        let reply = self.call(Op::Seal, 0, Self::aead_payload(nonce, aad, plaintext))?;
+        Self::expect_ok(&reply)?;
+        Ok(reply.payload)
+    }
+
+    /// AES-GCM open; `Ok(None)` on a well-formed authentication failure
+    /// (a tampered ciphertext, AAD, nonce or tag), mirroring
+    /// [`Client::cmac_verify`]'s verdict-not-error shape.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors other than `TagMismatch`, or transport
+    /// failures.
+    pub fn open(
+        &mut self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Option<Vec<u8>>, ClientError> {
+        match self.call(Op::Open, 0, Self::aead_payload(nonce, aad, sealed)) {
+            Ok(reply) => Self::expect_ok(&reply).map(|()| Some(reply.payload)),
+            Err(ClientError::Service {
+                code: ErrorCode::TagMismatch,
+                ..
+            }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Wraps `key_data` (RFC 3394) under the session key; the result is
+    /// 8 bytes longer than the input.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors (`Malformed` unless `key_data` is ≥ 16
+    /// bytes and a multiple of 8) or transport failures.
+    pub fn wrap_key(&mut self, key_data: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let reply = self.call(Op::WrapKey, 0, key_data.to_vec())?;
+        Self::expect_ok(&reply)?;
+        Ok(reply.payload)
+    }
+
+    /// Unwraps an RFC 3394 blob; `Ok(None)` when the integrity check
+    /// fails.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors other than `TagMismatch`, or transport
+    /// failures.
+    pub fn unwrap_key(&mut self, wrapped: &[u8]) -> Result<Option<Vec<u8>>, ClientError> {
+        match self.call(Op::UnwrapKey, 0, wrapped.to_vec()) {
+            Ok(reply) => Self::expect_ok(&reply).map(|()| Some(reply.payload)),
+            Err(ClientError::Service {
+                code: ErrorCode::TagMismatch,
+                ..
+            }) => Ok(None),
             Err(e) => Err(e),
         }
     }

@@ -95,10 +95,11 @@ pub const FLAG_DEFER: u8 = 0x01;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Op {
-    /// Load a 16-byte AES-128 key: creates a fresh session bound to the
-    /// server's engine farm and invalidates the previous one. Payload:
-    /// the key. Reply: [`Status::Ok`] with the new session id in the
-    /// header's `session` field.
+    /// Load an AES key (16, 24 or 32 bytes — AES-128/192/256): creates a
+    /// fresh session bound to the server's engine farm and invalidates
+    /// the previous one. Payload: the key (any other length is
+    /// [`ErrorCode::BadKeyLength`]). Reply: [`Status::Ok`] with the new
+    /// session id in the header's `session` field.
     SetKey = 0x01,
     /// Drain the session engine: one [`Status::Data`] reply per deferred
     /// job (carrying that job's original `seq`/`corr`), then
@@ -129,6 +130,23 @@ pub enum Op {
     /// Verify an AES-CMAC tag in constant time. Payload: 16-byte tag ‖
     /// message. Reply: empty [`Status::Ok`], or [`ErrorCode::BadTag`].
     CmacVerify = 0x16,
+    /// AES-GCM authenticated encryption. Payload: 12-byte nonce ‖
+    /// `aad_len: u32 BE` ‖ AAD ‖ plaintext. Reply: ciphertext ‖ 16-byte
+    /// tag.
+    Seal = 0x20,
+    /// AES-GCM authenticated decryption. Payload: 12-byte nonce ‖
+    /// `aad_len: u32 BE` ‖ AAD ‖ ciphertext ‖ 16-byte tag. Reply: the
+    /// plaintext, or [`ErrorCode::TagMismatch`] (nothing is released on
+    /// failure).
+    Open = 0x21,
+    /// SP 800-38F / RFC 3394 key wrap under the session key. Payload:
+    /// the key data (≥ 16 bytes, a multiple of 8). Reply: the 8-byte-
+    /// longer wrapped blob.
+    WrapKey = 0x22,
+    /// RFC 3394 key unwrap. Payload: the wrapped blob (≥ 24 bytes, a
+    /// multiple of 8). Reply: the recovered key data, or
+    /// [`ErrorCode::TagMismatch`] when the integrity check fails.
+    UnwrapKey = 0x23,
 }
 
 impl Op {
@@ -147,6 +165,10 @@ impl Op {
             0x14 => Op::CtrApply,
             0x15 => Op::CmacTag,
             0x16 => Op::CmacVerify,
+            0x20 => Op::Seal,
+            0x21 => Op::Open,
+            0x22 => Op::WrapKey,
+            0x23 => Op::UnwrapKey,
             _ => return None,
         })
     }
@@ -167,6 +189,10 @@ impl Op {
             Op::CtrApply => "ctr_apply",
             Op::CmacTag => "cmac_tag",
             Op::CmacVerify => "cmac_verify",
+            Op::Seal => "seal",
+            Op::Open => "open",
+            Op::WrapKey => "wrap_key",
+            Op::UnwrapKey => "unwrap_key",
         }
     }
 
@@ -281,6 +307,12 @@ pub enum ErrorCode {
     /// Connection admission refused: the server is at its connection
     /// cap. Detail: the cap.
     TooManyConnections = 14,
+    /// GCM or key-unwrap authentication failed; nothing was released.
+    /// Detail: 0.
+    TagMismatch = 15,
+    /// `SET_KEY` payload is not a valid AES key length (16, 24 or 32
+    /// bytes). Detail: the received length.
+    BadKeyLength = 16,
 }
 
 impl ErrorCode {
@@ -302,6 +334,8 @@ impl ErrorCode {
             12 => ErrorCode::ShuttingDown,
             13 => ErrorCode::DeferUnsupported,
             14 => ErrorCode::TooManyConnections,
+            15 => ErrorCode::TagMismatch,
+            16 => ErrorCode::BadKeyLength,
             _ => return None,
         })
     }
@@ -325,6 +359,8 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::DeferUnsupported => "defer_unsupported",
             ErrorCode::TooManyConnections => "too_many_connections",
+            ErrorCode::TagMismatch => "tag_mismatch",
+            ErrorCode::BadKeyLength => "bad_key_length",
         }
     }
 }
@@ -346,6 +382,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::ShuttingDown => "server shutting down",
             ErrorCode::DeferUnsupported => "operation cannot be deferred",
             ErrorCode::TooManyConnections => "server connection cap reached",
+            ErrorCode::TagMismatch => "authentication tag mismatch",
+            ErrorCode::BadKeyLength => "key must be 16, 24 or 32 bytes",
         };
         f.write_str(s)
     }
@@ -970,6 +1008,10 @@ mod tests {
             Op::CtrApply,
             Op::CmacTag,
             Op::CmacVerify,
+            Op::Seal,
+            Op::Open,
+            Op::WrapKey,
+            Op::UnwrapKey,
         ] {
             assert_eq!(Op::from_u8(op as u8), Some(op));
             assert!(op
@@ -992,14 +1034,14 @@ mod tests {
             assert_eq!(Status::from_u8(st as u8), Some(st));
         }
         assert_eq!(Status::from_u8(0x90), None);
-        for code in 1..=14u8 {
-            let decoded = ErrorCode::from_u8(code).expect("codes 1..=14 are assigned");
+        for code in 1..=16u8 {
+            let decoded = ErrorCode::from_u8(code).expect("codes 1..=16 are assigned");
             assert_eq!(decoded as u8, code);
             assert!(!decoded.to_string().is_empty());
             assert!(!decoded.name().is_empty());
         }
         assert_eq!(ErrorCode::from_u8(0), None);
-        assert_eq!(ErrorCode::from_u8(15), None);
+        assert_eq!(ErrorCode::from_u8(17), None);
     }
 
     #[test]
@@ -1017,6 +1059,10 @@ mod tests {
             Op::GetStats,
             Op::CmacTag,
             Op::CmacVerify,
+            Op::Seal,
+            Op::Open,
+            Op::WrapKey,
+            Op::UnwrapKey,
         ] {
             assert!(!op.is_engine_op());
             assert_eq!(op.engine_mode(iv), None);

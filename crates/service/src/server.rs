@@ -69,6 +69,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use engine::{BackendSpec, Error, SubmitError};
+use rijndael::aead;
 use telemetry::{Counter, Gauge, Registry};
 
 use crate::net::{self, PollSet};
@@ -855,21 +856,22 @@ fn dispatch(frame: Frame, conn: &mut Conn, shared: &Shared) -> Flow {
             push_reply(out, &frame, Status::Ok, live, json.into_bytes());
         }
         Op::SetKey => {
-            if frame.payload.len() != 16 {
+            if !matches!(frame.payload.len(), 16 | 24 | 32) {
                 push_error(
                     out,
                     shared,
                     &frame,
-                    ErrorCode::Malformed,
+                    ErrorCode::BadKeyLength,
                     frame.payload.len() as u32,
                     live,
                 );
                 return Flow::Continue;
             }
-            let mut key = [0u8; 16];
-            key.copy_from_slice(&frame.payload);
+            let mut key = [0u8; 32];
+            let len = frame.payload.len();
+            key[..len].copy_from_slice(&frame.payload);
             let sid = slot.rekey(
-                &key,
+                &key[..len],
                 &shared.config.farm,
                 shared.config.queue_capacity,
                 &shared.registry,
@@ -936,9 +938,91 @@ fn dispatch(frame: Frame, conn: &mut Conn, shared: &Shared) -> Flow {
                 push_error(out, shared, &frame, ErrorCode::BadTag, 0, live);
             }
         }
+        Op::Seal | Op::Open => {
+            if !session_ok(out, shared, &frame, live) {
+                return Flow::Continue;
+            }
+            let Some((nonce, aad, body)) = split_aead_payload(&frame.payload) else {
+                push_error(
+                    out,
+                    shared,
+                    &frame,
+                    ErrorCode::Malformed,
+                    frame.payload.len() as u32,
+                    live,
+                );
+                return Flow::Continue;
+            };
+            let session = slot.session_mut().expect("checked live");
+            if op == Op::Seal {
+                let sealed = session.seal(&nonce, aad, body);
+                push_reply(out, &frame, Status::Ok, live, sealed);
+            } else {
+                match session.open(&nonce, aad, body) {
+                    Ok(plaintext) => push_reply(out, &frame, Status::Ok, live, plaintext),
+                    Err(aead::Error::TagMismatch) => {
+                        push_error(out, shared, &frame, ErrorCode::TagMismatch, 0, live);
+                    }
+                    Err(_) => {
+                        push_error(
+                            out,
+                            shared,
+                            &frame,
+                            ErrorCode::Malformed,
+                            frame.payload.len() as u32,
+                            live,
+                        );
+                    }
+                }
+            }
+        }
+        Op::WrapKey | Op::UnwrapKey => {
+            if !session_ok(out, shared, &frame, live) {
+                return Flow::Continue;
+            }
+            let session = slot.session_mut().expect("checked live");
+            let result = if op == Op::WrapKey {
+                session.wrap_key(&frame.payload)
+            } else {
+                session.unwrap_key(&frame.payload)
+            };
+            match result {
+                Ok(data) => push_reply(out, &frame, Status::Ok, live, data),
+                Err(aead::Error::TagMismatch) => {
+                    push_error(out, shared, &frame, ErrorCode::TagMismatch, 0, live);
+                }
+                Err(_) => {
+                    push_error(
+                        out,
+                        shared,
+                        &frame,
+                        ErrorCode::Malformed,
+                        frame.payload.len() as u32,
+                        live,
+                    );
+                }
+            }
+        }
         _ => return engine_op(frame, op, slot, out, shared, live),
     }
     Flow::Continue
+}
+
+/// Splits a SEAL/OPEN payload — 12-byte nonce ‖ `aad_len: u32 BE` ‖ AAD
+/// ‖ body — returning `None` when the lengths cannot be honoured.
+fn split_aead_payload(payload: &[u8]) -> Option<([u8; aead::NONCE_LEN], &[u8], &[u8])> {
+    let rest = payload.get(aead::NONCE_LEN + 4..)?;
+    let nonce: [u8; aead::NONCE_LEN] = payload[..aead::NONCE_LEN].try_into().ok()?;
+    let aad_len = u32::from_be_bytes(
+        payload[aead::NONCE_LEN..aead::NONCE_LEN + 4]
+            .try_into()
+            .ok()?,
+    ) as usize;
+    if aad_len > rest.len() {
+        return None;
+    }
+    let (aad, body) = rest.split_at(aad_len);
+    Some((nonce, aad, body))
 }
 
 /// The five engine ops: IV split, mode mapping, and the three service
@@ -1195,6 +1279,159 @@ mod tests {
 
         let reply = call(&stream, &Frame::request(Op::GetStats, 0, 2, 0, vec![1]));
         assert_eq!(reply.error_body(), Some((ErrorCode::Malformed, 1)));
+        server.shutdown();
+    }
+
+    /// Builds a SEAL/OPEN payload: nonce ‖ aad_len ‖ aad ‖ body.
+    fn aead_payload(nonce: &[u8; 12], aad: &[u8], body: &[u8]) -> Vec<u8> {
+        let mut p = Vec::with_capacity(16 + aad.len() + body.len());
+        p.extend_from_slice(nonce);
+        p.extend_from_slice(&(aad.len() as u32).to_be_bytes());
+        p.extend_from_slice(aad);
+        p.extend_from_slice(body);
+        p
+    }
+
+    #[test]
+    fn set_key_rejects_bad_lengths_with_a_typed_error() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        for len in [0usize, 15, 17, 23, 31, 33] {
+            let reply = call(
+                &stream,
+                &Frame::request(Op::SetKey, 0, 1, 0, vec![0u8; len]),
+            );
+            assert_eq!(
+                reply.error_body(),
+                Some((ErrorCode::BadKeyLength, len as u32)),
+                "len {len}"
+            );
+        }
+        // All three AES key sizes key a session.
+        for len in [16usize, 24, 32] {
+            let reply = call(
+                &stream,
+                &Frame::request(Op::SetKey, 0, 2, 0, vec![7u8; len]),
+            );
+            assert_eq!(reply.status(), Some(Status::Ok), "len {len}");
+            assert_ne!(reply.session, 0);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn seal_open_wrap_unwrap_over_the_wire_with_a_256_bit_key() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let key: Vec<u8> = (0..32u8).collect();
+        let reply = call(&stream, &Frame::request(Op::SetKey, 0, 1, 0, key));
+        assert_eq!(reply.status(), Some(Status::Ok));
+        let sid = reply.session;
+
+        // SEAL with AAD, then OPEN the result back.
+        let nonce = [3u8; 12];
+        let sealed = call(
+            &stream,
+            &Frame::request(
+                Op::Seal,
+                0,
+                2,
+                sid,
+                aead_payload(&nonce, b"header", b"secret payload"),
+            ),
+        );
+        assert_eq!(sealed.status(), Some(Status::Ok));
+        assert_eq!(sealed.payload.len(), 14 + 16);
+        let opened = call(
+            &stream,
+            &Frame::request(
+                Op::Open,
+                0,
+                3,
+                sid,
+                aead_payload(&nonce, b"header", &sealed.payload),
+            ),
+        );
+        assert_eq!(opened.status(), Some(Status::Ok));
+        assert_eq!(opened.payload, b"secret payload");
+
+        // A flipped ciphertext bit is a typed TagMismatch.
+        let mut tampered = sealed.payload.clone();
+        tampered[0] ^= 0x01;
+        let reply = call(
+            &stream,
+            &Frame::request(
+                Op::Open,
+                0,
+                4,
+                sid,
+                aead_payload(&nonce, b"header", &tampered),
+            ),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::TagMismatch, 0)));
+
+        // WRAP a session key and UNWRAP it back.
+        let secret = vec![0xC4u8; 16];
+        let wrapped = call(
+            &stream,
+            &Frame::request(Op::WrapKey, 0, 5, sid, secret.clone()),
+        );
+        assert_eq!(wrapped.status(), Some(Status::Ok));
+        assert_eq!(wrapped.payload.len(), 24);
+        let unwrapped = call(
+            &stream,
+            &Frame::request(Op::UnwrapKey, 0, 6, sid, wrapped.payload.clone()),
+        );
+        assert_eq!(unwrapped.status(), Some(Status::Ok));
+        assert_eq!(unwrapped.payload, secret);
+        let mut bad = wrapped.payload;
+        bad[1] ^= 0x80;
+        let reply = call(&stream, &Frame::request(Op::UnwrapKey, 0, 7, sid, bad));
+        assert_eq!(reply.error_body(), Some((ErrorCode::TagMismatch, 0)));
+
+        let snap = server.registry().snapshot();
+        assert_eq!(snap.counter("service.op.seal.requests"), Some(1));
+        assert_eq!(snap.counter("service.op.open.requests"), Some(2));
+        assert_eq!(snap.counter("service.error.tag_mismatch"), Some(2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_payloads_on_the_aead_ops_are_typed_errors() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = call(&stream, &Frame::request(Op::SetKey, 0, 1, 0, vec![0u8; 16]));
+        let sid = reply.session;
+
+        // SEAL: shorter than nonce + aad_len header.
+        let reply = call(&stream, &Frame::request(Op::Seal, 0, 2, sid, vec![0u8; 15]));
+        assert_eq!(reply.error_body(), Some((ErrorCode::Malformed, 15)));
+        // SEAL: declared AAD length overruns the payload.
+        let mut overrun = aead_payload(&[0u8; 12], b"", b"x");
+        overrun[12..16].copy_from_slice(&100u32.to_be_bytes());
+        let len = overrun.len() as u32;
+        let reply = call(&stream, &Frame::request(Op::Seal, 0, 3, sid, overrun));
+        assert_eq!(reply.error_body(), Some((ErrorCode::Malformed, len)));
+        // OPEN: body shorter than one tag.
+        let short = aead_payload(&[0u8; 12], b"", &[0u8; 15]);
+        let len = short.len() as u32;
+        let reply = call(&stream, &Frame::request(Op::Open, 0, 4, sid, short));
+        assert_eq!(reply.error_body(), Some((ErrorCode::Malformed, len)));
+        // WRAP: under two semiblocks / not a multiple of 8.
+        let reply = call(
+            &stream,
+            &Frame::request(Op::WrapKey, 0, 5, sid, vec![0; 12]),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::Malformed, 12)));
+        // UNWRAP: an impossible blob length.
+        let reply = call(
+            &stream,
+            &Frame::request(Op::UnwrapKey, 0, 6, sid, vec![0; 16]),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::Malformed, 16)));
+        // The connection survives all of it.
+        let reply = call(&stream, &Frame::request(Op::Ping, 0, 7, 0, Vec::new()));
+        assert_eq!(reply.status(), Some(Status::Ok));
         server.shutdown();
     }
 

@@ -2,12 +2,15 @@
 //!
 //! A `SET_KEY` request creates a [`Session`]: a fresh [`Engine`] farm
 //! keyed with the submitted key (every backend pays its real key-setup
-//! cycles) plus a software [`Aes128`] for the CMAC ops. The key itself is
-//! never stored beyond construction and never echoed on the wire; when
-//! the session is dropped — connection teardown, idle expiry, or a
-//! re-key replacing it — the expanded schedules wipe themselves
-//! (`rijndael::zeroize`) and the hardware backends reload an all-zero
-//! key.
+//! cycles) plus a software [`TtableAes`] for the CMAC and key-wrap ops
+//! and a dispatched [`Gcm`] lane for the authenticated-encryption ops.
+//! Keys may be 16, 24 or 32 bytes (AES-128/192/256); the modeled IP
+//! cores are AES-128-only, so longer keys divert their farm slots to
+//! the software fallback backend. The key itself is never stored beyond
+//! construction and never echoed on the wire; when the session is
+//! dropped — connection teardown, idle expiry, or a re-key replacing it
+//! — the expanded schedules wipe themselves (`rijndael::zeroize`) and
+//! the hardware backends reload an all-zero key.
 //!
 //! Every session engine publishes into the registry handed to
 //! [`Session::new`] — the server passes its service-wide
@@ -31,8 +34,11 @@
 //! pipelined, deferred and immediate traffic loses nothing.
 
 use engine::{BackendSpec, Engine, EngineBuilder, Error, JobError, JobId, Mode, SubmitError};
+use rijndael::aead::{self, Aead, Gcm, NONCE_LEN};
+use rijndael::dispatch::Kind;
 use rijndael::modes::{Ctr, Ecb};
-use rijndael::{cmac, Aes128, AutoCipher};
+use rijndael::ttable::TtableAes;
+use rijndael::{cmac, AutoCipher};
 use telemetry::Registry;
 
 /// Payload size (eight 16-byte blocks) from which immediate ECB/CTR
@@ -45,7 +51,11 @@ pub const BULK_THRESHOLD: usize = 8 * 16;
 pub struct Session {
     id: u32,
     engine: Engine,
-    mac: Aes128,
+    mac: TtableAes,
+    /// GCM lane for the SEAL/OPEN ops, keyed with the session key over
+    /// the dispatch-selected cipher (the `Ttable` kind when the
+    /// deployment is pinned to the batch-less `ip-core`).
+    aead: Gcm<AutoCipher>,
     /// Dispatched cipher for the bulk fast path: immediate ECB/CTR
     /// payloads of [`BULK_THRESHOLD`] bytes or more skip the engine
     /// queue and run here on whatever backend the startup micro-race
@@ -67,18 +77,31 @@ pub struct Session {
 }
 
 impl Session {
-    /// Keys a new session: builds the engine farm and the CMAC cipher
-    /// from `key`, wiring the engine's telemetry into `registry`. The
-    /// caller owns (and should wipe) its copy of the key bytes; this type
-    /// keeps only expanded material, which self-wipes on drop.
+    /// Keys a new session: builds the engine farm, the CMAC/key-wrap
+    /// cipher and the GCM lane from `key`, wiring the engine's telemetry
+    /// into `registry`. The caller owns (and should wipe) its copy of
+    /// the key bytes; this type keeps only expanded material, which
+    /// self-wipes on drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` is not 16, 24 or 32 bytes — the server
+    /// validates lengths at the protocol boundary
+    /// (`ErrorCode::BadKeyLength`) before constructing a session.
     #[must_use]
     pub fn new(
         id: u32,
-        key: &[u8; 16],
+        key: &[u8],
         farm: &[BackendSpec],
         queue_capacity: usize,
         registry: &Registry,
     ) -> Session {
+        // The AEAD lane always needs a batch-capable software cipher:
+        // when the deployment is pinned to ip-core the dispatcher has no
+        // bulk selection, so GCM falls back to the T-table kind.
+        let aead_cipher = AutoCipher::new(key).unwrap_or_else(|| {
+            AutoCipher::for_kind(Kind::Ttable, key).expect("the T-table kind is always available")
+        });
         Session {
             id,
             engine: EngineBuilder::new()
@@ -86,7 +109,8 @@ impl Session {
                 .capacity(queue_capacity)
                 .registry(registry.clone())
                 .build(key),
-            mac: Aes128::new(key),
+            mac: TtableAes::new(key).expect("key length validated by the caller"),
+            aead: Gcm::new(aead_cipher),
             bulk: AutoCipher::new(key),
             pending: Vec::new(),
             completed: Vec::new(),
@@ -231,6 +255,48 @@ impl Session {
         cmac::verify(&self.mac, message, tag)
     }
 
+    /// AES-GCM seal under the session key: returns ciphertext ‖ tag.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        self.aead.seal(nonce, aad, plaintext)
+    }
+
+    /// AES-GCM open under the session key: verifies the tag in constant
+    /// time before releasing any plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`aead::Error::TagMismatch`] on authentication failure;
+    /// [`aead::Error::Truncated`] when `sealed` is shorter than a tag.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, aead::Error> {
+        self.aead.open(nonce, aad, sealed)
+    }
+
+    /// SP 800-38F / RFC 3394 key wrap with the session key as the KEK.
+    ///
+    /// # Errors
+    ///
+    /// [`aead::Error::BadWrapLength`] unless `key_data` is at least 16
+    /// bytes and a multiple of 8.
+    pub fn wrap_key(&self, key_data: &[u8]) -> Result<Vec<u8>, aead::Error> {
+        aead::wrap(&self.mac, key_data)
+    }
+
+    /// RFC 3394 key unwrap with the session key as the KEK.
+    ///
+    /// # Errors
+    ///
+    /// [`aead::Error::TagMismatch`] when the integrity check fails;
+    /// [`aead::Error::BadWrapLength`] on an impossible blob length.
+    pub fn unwrap_key(&self, wrapped: &[u8]) -> Result<Vec<u8>, aead::Error> {
+        aead::unwrap(&self.mac, wrapped)
+    }
+
     fn stash(&mut self, id: JobId, data: Result<Vec<u8>, JobError>) {
         if let Some(pos) = self.pending.iter().position(|&(jid, _)| jid == id) {
             let (_, seq) = self.pending.remove(pos);
@@ -272,9 +338,14 @@ impl SessionSlot {
 
     /// Replaces the session with a freshly keyed one and returns the new
     /// id (never 0, which the protocol reserves for "no session").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` is not 16, 24 or 32 bytes (validated at the
+    /// protocol boundary).
     pub fn rekey(
         &mut self,
-        key: &[u8; 16],
+        key: &[u8],
         farm: &[BackendSpec],
         queue_capacity: usize,
         registry: &Registry,
@@ -303,7 +374,7 @@ impl SessionSlot {
 mod tests {
     use super::*;
     use rijndael::modes::{Cbc, Ctr, Ecb};
-    use rijndael::BlockCipher;
+    use rijndael::{Aes128, Aes256, BlockCipher};
 
     const KEY: [u8; 16] = [
         0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
@@ -539,6 +610,76 @@ mod tests {
         let mut bad = tag;
         bad[15] ^= 1;
         assert!(!s.cmac_verify(b"", &bad));
+    }
+
+    #[test]
+    fn seal_and_open_roundtrip_for_every_key_size() {
+        for key_len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..key_len as u8).collect();
+            let s = Session::new(1, &key, &farm(), 8, &Registry::new());
+            let nonce = [7u8; NONCE_LEN];
+            let sealed = s.seal(&nonce, b"header", b"the plaintext");
+            assert_eq!(sealed.len(), 13 + 16);
+            assert_eq!(
+                s.open(&nonce, b"header", &sealed).unwrap(),
+                b"the plaintext"
+            );
+            let mut tampered = sealed;
+            tampered[0] ^= 1;
+            assert_eq!(
+                s.open(&nonce, b"header", &tampered),
+                Err(aead::Error::TagMismatch)
+            );
+        }
+    }
+
+    #[test]
+    fn seal_matches_the_direct_gcm_construction() {
+        let key = [0x42u8; 32];
+        let s = Session::new(1, &key, &farm(), 8, &Registry::new());
+        let direct = Gcm::new(Aes256::new(&key));
+        let nonce = [9u8; NONCE_LEN];
+        assert_eq!(
+            s.seal(&nonce, b"aad", b"payload"),
+            direct.seal(&nonce, b"aad", b"payload")
+        );
+    }
+
+    #[test]
+    fn key_wrap_roundtrips_and_authenticates() {
+        let s = session(2);
+        let secret = [0x55u8; 24];
+        let wrapped = s.wrap_key(&secret).unwrap();
+        assert_eq!(wrapped.len(), secret.len() + 8);
+        assert_eq!(s.unwrap_key(&wrapped).unwrap(), secret);
+        let mut bad = wrapped;
+        bad[3] ^= 0x80;
+        assert_eq!(s.unwrap_key(&bad), Err(aead::Error::TagMismatch));
+        assert_eq!(
+            s.wrap_key(&[0u8; 7]),
+            Err(aead::Error::BadWrapLength { len: 7 })
+        );
+    }
+
+    #[test]
+    fn long_keys_drive_the_engine_and_bulk_lanes() {
+        let key: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(9) ^ 0x6C).collect();
+        let mut s = Session::new(1, &key, &farm(), 8, &Registry::new());
+        let reference = Aes256::new(key.as_slice().try_into().unwrap());
+
+        // Small payload: engine farm (ip-core slots divert to software).
+        let data = sample(2 * 16);
+        let ct = s.execute(Mode::EcbEncrypt, data.clone()).unwrap();
+        let mut expect = data.clone();
+        Ecb::encrypt(&reference, &mut expect).unwrap();
+        assert_eq!(ct, expect);
+
+        // Bulk payload: the dispatched lane.
+        let data = sample(24 * 16);
+        let ct = s.execute(Mode::EcbEncrypt, data.clone()).unwrap();
+        let mut expect = data;
+        Ecb::encrypt(&reference, &mut expect).unwrap();
+        assert_eq!(ct, expect);
     }
 
     #[test]

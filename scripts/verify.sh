@@ -45,6 +45,8 @@ for backend in $backends; do
     RIJNDAEL_FORCE_BACKEND="$backend" \
         cargo test -q --test bitslice_equivalence --locked --offline
     RIJNDAEL_FORCE_BACKEND="$backend" \
+        cargo test -q --test aead_kats --locked --offline
+    RIJNDAEL_FORCE_BACKEND="$backend" \
         target/release/dispatch_probe --check
 done
 echo "    --> unknown tokens must fail loudly"
@@ -67,6 +69,9 @@ cargo test -q --test service_roundtrip --locked --offline
 echo "==> service pipelining tests (v2 out-of-order + v1 compat)"
 cargo test -q --test service_pipeline --locked --offline
 
+echo "==> AEAD subsystem gate (NIST GCM / RFC 3394 / IEEE XTS KATs + service flow)"
+cargo test -q --test aead_kats --locked --offline
+
 echo "==> service load generator (smoke; 10k-connection hold + GET_STATS audit)"
 load_out="$(mktemp)"
 TESTKIT_BENCH_SMOKE=1 \
@@ -88,6 +93,14 @@ BENCH_BITSLICE_JSON="$race_json" \
     cargo run -q --release --locked --offline -p rijndael-bench --bin engine_scaling -- --smoke
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$race_json" \
     || { echo "engine_scaling backend-race JSON is malformed" >&2; exit 1; }
+
+echo "==> AEAD throughput report (smoke: GCM-vs-CTR overhead gate + GHASH race)"
+gcm_json="$(mktemp)"
+trap 'rm -f "$bench_json" "$race_json" "$gcm_json"' EXIT
+TESTKIT_BENCH_SMOKE=1 BENCH_GCM_JSON="$gcm_json" \
+    cargo run -q --release --locked --offline -p rijndael-bench --bin aead_throughput
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$gcm_json" \
+    || { echo "aead_throughput JSON is malformed" >&2; exit 1; }
 
 echo "==> engine bench (smoke, JSON well-formedness)"
 TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_JSON="$bench_json" \
