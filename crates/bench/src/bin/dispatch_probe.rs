@@ -103,6 +103,7 @@ fn check() {
         max_connections: 4,
         idle_timeout: Duration::from_secs(10),
         event_threads: 1,
+        elastic: None,
     })
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port");

@@ -1,4 +1,4 @@
-//! Load generator for the framed TCP crypto service, in two acts:
+//! Load generator for the framed TCP crypto service, in three acts:
 //!
 //! 1. **Pipelined throughput** — loopback clients streaming depth-16
 //!    CTR bursts at servers whose per-session engine farms grow by
@@ -6,7 +6,14 @@
 //!    latency percentiles, then auditing the server over the wire:
 //!    `GET_STATS` must report exactly the per-opcode request counts
 //!    the run generated.
-//! 2. **Connection scale** — a helper child process (re-invoking this
+//! 2. **Noisy neighbor** — a client streaming 256 KiB bulk jobs shares
+//!    one shard with a client timing small CTR bursts. The bulk work
+//!    rides the session worker pool, so the run asserts the small
+//!    p99 stays far below one bulk job's modeled crypto time — the
+//!    regression this guards is bulk crypto ever moving back onto the
+//!    event-loop thread. The elastic supervisor must also grow the
+//!    bulk session's farm under the queue pressure.
+//! 3. **Connection scale** — a helper child process (re-invoking this
 //!    binary with `--hold`) parks 10 000 idle connections on the
 //!    server while short-lived clients churn through bursty pipelined
 //!    traffic. The run asserts the server holds ≥ 10 000 concurrent
@@ -85,6 +92,7 @@ fn run_load(
         max_connections: clients + 2,
         idle_timeout: Duration::from_secs(30),
         event_threads: 2,
+        elastic: None,
     })
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port");
@@ -161,6 +169,134 @@ fn run_load(
     (elapsed, bytes, latencies)
 }
 
+/// The noisy-neighbor act: one shard, one client streaming 256 KiB
+/// bulk ECB jobs, one client timing depth-[`DEPTH`] bursts of small
+/// CTR requests beside it. The farm is a paced core
+/// ([`BackendSpec::Paced`]) so each bulk job models ~33 ms of crypto:
+/// if bulk ran inline on the event loop (the pre-pool design), every
+/// small burst sharing the shard would eat that stall and the small
+/// p99 would sit at tens of milliseconds. With the worker-pool lane
+/// the shard only routes completions, so the run asserts the small
+/// p99 stays under half of one modeled bulk job. The elastic policy
+/// rides along: bulk queue depth must make the supervisor grow the
+/// session's farm, visible in the same snapshot `GET_STATS` serves.
+fn mixed_traffic(smoke: bool) {
+    const BLOCK_NS: u32 = 2_000;
+    let bulk_len = 256 * 1024; // MAX_PAYLOAD: 16 384 blocks ≈ 33 ms paced
+                               // Even the smoke quota holds the queue busy past the supervisor's
+                               // first 100 ms tick, so the grow assertion below is never racy.
+    let bulk_jobs = if smoke { 6 } else { 10 };
+    let bulk_depth = 4usize;
+    let modeled_job = Duration::from_nanos(u64::from(BLOCK_NS)) * (bulk_len as u32 / 16);
+
+    let server = Server::new(ServiceConfig {
+        farm: vec![BackendSpec::Paced { block_ns: BLOCK_NS }],
+        queue_capacity: 64,
+        max_connections: 4,
+        idle_timeout: Duration::from_secs(30),
+        event_threads: 1, // both clients share one shard: the neighbor effect is real
+        elastic: Some(engine::ResizePolicy {
+            min_workers: 1,
+            max_workers: 4,
+            grow_depth: 2,
+            shrink_after_ticks: 4,
+            busy_occupancy_bp: 8_000,
+            spec: BackendSpec::Paced { block_ns: BLOCK_NS },
+        }),
+    })
+    .spawn("127.0.0.1:0")
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    // Bulk neighbor: keep `bulk_depth` jobs of modeled ~33 ms in
+    // flight until its quota is done.
+    let bulk_thread = {
+        let done = std::sync::Arc::clone(&done);
+        thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("bulk connect");
+            client.set_key(&[0xB1; 16]).expect("SET_KEY");
+            let payload = vec![0x42u8; bulk_len];
+            let mut submitted = 0usize;
+            let mut collected = 0usize;
+            while collected < bulk_jobs {
+                while submitted < bulk_jobs && submitted - collected < bulk_depth {
+                    client
+                        .pipeline(Op::EcbEncrypt, None, &payload)
+                        .expect("pipeline bulk");
+                    submitted += 1;
+                }
+                let job = client.collect_next().expect("collect bulk");
+                assert_eq!(job.result.expect("bulk ok").len(), bulk_len);
+                collected += 1;
+            }
+            done.store(true, std::sync::atomic::Ordering::Release);
+        })
+    };
+
+    // Small lane: depth-DEPTH bursts of 64 B CTR requests, timed,
+    // until the bulk neighbor finishes (minimum 20 bursts so the p99
+    // means something even if bulk wins the race).
+    let small_thread = {
+        let done = std::sync::Arc::clone(&done);
+        thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("small connect");
+            client.set_key(&[0x51; 16]).expect("SET_KEY");
+            let payload = vec![0x07u8; 64];
+            let icb = [0x11u8; 16];
+            let mut latencies = Vec::new();
+            while latencies.len() < 20 || !done.load(std::sync::atomic::Ordering::Acquire) {
+                let t0 = Instant::now();
+                for _ in 0..DEPTH {
+                    client
+                        .pipeline(Op::CtrApply, Some(&icb), &payload)
+                        .expect("pipeline small");
+                }
+                let jobs = client.collect_all().expect("collect small burst");
+                latencies.push(t0.elapsed());
+                assert_eq!(jobs.len(), DEPTH);
+                for job in jobs {
+                    assert_eq!(job.result.expect("small CTR ok").len(), 64);
+                }
+            }
+            latencies
+        })
+    };
+
+    bulk_thread.join().expect("bulk neighbor");
+    let mut latencies = small_thread.join().expect("small lane");
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    println!(
+        "mixed traffic: {bulk_jobs} x {} KiB bulk (modeled {:.1} ms each) beside {} small bursts",
+        bulk_len / 1024,
+        modeled_job.as_secs_f64() * 1e3,
+        latencies.len(),
+    );
+    println!("mixed traffic: small-burst p50 {p50:>8.2?} p99 {p99:>8.2?}");
+
+    // The gate: inline bulk would pin the small p99 at or above one
+    // modeled job; the pool lane must keep it under half of one.
+    assert!(
+        p99 < modeled_job / 2,
+        "small-request p99 {p99:?} must stay under half a bulk job ({:?}) — bulk crypto may not run on the event loop",
+        modeled_job / 2,
+    );
+
+    // Queue pressure from the bulk lane must have grown that session's
+    // farm, and the books must balance.
+    let snap = server.registry().snapshot();
+    assert!(
+        snap.counter("engine.resize.grow").unwrap_or(0) >= 1,
+        "bulk depth {bulk_depth} must trip the elastic supervisor"
+    );
+    assert_eq!(snap.gauge("service.pipeline.inflight"), Some(0));
+    server.shutdown();
+}
+
 /// The 10 000-connection act: park [`HELD`] idle connections via the
 /// child, churn short-lived pipelined clients through the same server,
 /// and make the server prove it — connection gauge at or above the
@@ -173,6 +309,7 @@ fn massive_connection_hold(smoke: bool) {
         max_connections: HELD + 64,
         idle_timeout: Duration::from_secs(300),
         event_threads: 2,
+        elastic: None,
     })
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port");
@@ -343,6 +480,9 @@ fn main() {
             "every burst must complete"
         );
     }
+
+    println!();
+    mixed_traffic(smoke);
 
     println!();
     massive_connection_hold(smoke);

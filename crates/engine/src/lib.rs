@@ -14,6 +14,13 @@
 //!   [`SubmitError::Busy`]), sharding of parallel modes (ECB, CTR) across
 //!   every capable core, and single-core routing for chained modes (CBC,
 //!   CFB, OFB) through the object-safe [`rijndael::Mode`] trait;
+//! * [`pool`] — the [`WorkerPool`]: the wall-clock counterpart of the
+//!   engine — each core owned by an OS worker thread with a local deque,
+//!   work-stealing between siblings, completions over a channel, and an
+//!   elastic control plane ([`WorkerPool::add_core`] /
+//!   [`WorkerPool::remove_core`] / [`WorkerPool::swap_core`], plus
+//!   telemetry-driven [`WorkerPool::autoscale_tick`] under a
+//!   [`ResizePolicy`]);
 //! * [`stats`] — [`FarmStats`]: Table-2-style per-core and farm-aggregate
 //!   figures (blocks, cycles, occupancy, cycles/block) derived from the
 //!   telemetry snapshot rather than a private counter path;
@@ -57,12 +64,15 @@
 
 pub mod backend;
 pub mod error;
+pub mod pool;
 pub mod scheduler;
 pub mod stats;
 
 pub use crate::backend::{
-    Backend, BackendError, BackendSpec, BitslicedBackend, IpCoreBackend, SoftwareBackend,
+    Backend, BackendError, BackendSpec, BitslicedBackend, IpCoreBackend, PacedBackend,
+    SoftwareBackend,
 };
 pub use crate::error::Error;
+pub use crate::pool::{PoolBuilder, ResizeAction, ResizePolicy, WorkerPool};
 pub use crate::scheduler::{Engine, EngineBuilder, JobError, JobId, JobOutput, Mode, SubmitError};
 pub use crate::stats::{CoreStats, FarmStats};

@@ -1,0 +1,1397 @@
+//! True thread-parallel execution: a work-stealing, elastic worker pool.
+//!
+//! The [`Engine`](crate::Engine) models the paper's farm in *virtual
+//! time* — cycle counters advance, but every job still executes inline on
+//! the caller's thread. [`WorkerPool`] is the wall-clock counterpart: each
+//! [`Backend`] core gets an owning OS worker thread with a local deque,
+//! submission goes through a shared `&self` handle with the same bounded
+//! [`SubmitError::Busy`] semantics, and finished jobs come back over a
+//! completion channel (plus an optional notifier callback, which the TCP
+//! service wires to a self-pipe so its `poll(2)` loops wake without
+//! spinning).
+//!
+//! Scheduling mirrors the virtual-time engine: parallel modes (ECB, CTR)
+//! are dealt across every eligible worker's deque in the same 8-block
+//! granule plan ([`Engine::shares_batched`]), while chained modes (CBC,
+//! CFB, OFB) are *pinned* to the least-loaded capable worker — block
+//! `i+1` depends on block `i`, so the stream must not migrate mid-job. An
+//! idle worker first drains its own deque, then the shared injector, then
+//! **steals** from the back of the longest sibling deque (never a pinned
+//! task, never a direction its datapath lacks).
+//!
+//! The farm is *elastic* — the software analog of partial FPGA
+//! reconfiguration: [`WorkerPool::add_core`] and
+//! [`WorkerPool::remove_core`] grow and shrink the worker set while jobs
+//! are in flight, and [`WorkerPool::swap_core`] hot-swaps one worker's
+//! backend between tasks without draining the farm. A retired slot's
+//! pinned streams re-pin to a surviving capable worker; its parallel
+//! shards fall back to the injector. [`WorkerPool::autoscale_tick`]
+//! drives resizing from the published telemetry — the `engine.queue.depth`
+//! gauge and the `engine.core.occupancy_bp` histogram — under a
+//! [`ResizePolicy`], and every decision is visible as `engine.resize.*`
+//! counters and the `engine.workers` gauge.
+//!
+//! Worker threads spawn lazily on the first submission, so a pool that
+//! never sees work (an idle service session holding only a key) costs no
+//! threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use engine::{Mode, PoolBuilder, BackendSpec};
+//!
+//! let pool = PoolBuilder::new()
+//!     .cores(&[BackendSpec::Software; 2])
+//!     .capacity(8)
+//!     .build(&[0x2B; 16]);
+//! let id = pool.try_submit(Mode::EcbEncrypt, vec![0u8; 64]).unwrap();
+//! let out = pool.collect_timeout(std::time::Duration::from_secs(5)).unwrap();
+//! assert_eq!(out.id, id);
+//! assert!(out.data.is_ok());
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use aes_ip::core::Direction;
+use telemetry::{Counter, Gauge, Histogram, Registry};
+
+use crate::backend::{Backend, BackendSpec};
+use crate::scheduler::{
+    run_ctr_span, run_ecb_span, run_on_one, Engine, JobError, JobId, JobOutput, Mode, SubmitError,
+    OCCUPANCY_BOUNDS,
+};
+
+/// AES block size in bytes.
+const BLOCK: usize = 16;
+
+/// Bucket bounds for the `engine.pool.job_us` histogram: wall-clock
+/// submit-to-complete latency in microseconds, geometric steps from 50 µs
+/// to a quarter second.
+const JOB_US_BOUNDS: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+];
+
+/// What [`WorkerPool::autoscale_tick`] decided this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeAction {
+    /// A worker was added at this slot index.
+    Grew(usize),
+    /// The worker at this slot index was retired.
+    Shrank(usize),
+}
+
+/// Telemetry-driven resize policy for [`WorkerPool::autoscale_tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizePolicy {
+    /// Never shrink below this many live workers.
+    pub min_workers: usize,
+    /// Never grow past this many live workers.
+    pub max_workers: usize,
+    /// Grow when the `engine.queue.depth` gauge reaches this many open
+    /// jobs (and this pool has work of its own in flight).
+    pub grow_depth: usize,
+    /// Shrink only after this many *consecutive* idle ticks, so a burst
+    /// gap does not flap the farm.
+    pub shrink_after_ticks: u32,
+    /// Treat the farm as saturated (and refuse to shrink) while the mean
+    /// `engine.core.occupancy_bp` sample since the last tick is at or
+    /// above this many basis points.
+    pub busy_occupancy_bp: u64,
+    /// The backend grown workers are built with.
+    pub spec: BackendSpec,
+}
+
+impl Default for ResizePolicy {
+    fn default() -> Self {
+        ResizePolicy {
+            min_workers: 1,
+            max_workers: 4,
+            grow_depth: 4,
+            shrink_after_ticks: 8,
+            busy_occupancy_bp: 8_000,
+            spec: BackendSpec::Auto,
+        }
+    }
+}
+
+/// One unit of schedulable work: a shard (or the whole) of a job.
+struct Task {
+    job: Arc<JobState>,
+    /// Index into the job's `parts` this task produces.
+    part: usize,
+    /// Pinned tasks (chained streams) never migrate by stealing.
+    pinned: bool,
+    work: Work,
+}
+
+enum Work {
+    /// A contiguous whole-blocks span of an ECB job.
+    EcbShard { dir: Direction, data: Vec<u8> },
+    /// A contiguous counter span of a CTR job (`first_block` is the
+    /// span's SP 800-38A counter offset).
+    CtrShard {
+        nonce: [u8; 16],
+        first_block: u128,
+        data: Vec<u8>,
+    },
+    /// An unsharded job of any mode.
+    Whole { mode: Mode, data: Vec<u8> },
+}
+
+impl Task {
+    fn dir(&self) -> Direction {
+        match &self.work {
+            Work::EcbShard { dir, .. } => *dir,
+            Work::CtrShard { .. } => Direction::Encrypt,
+            Work::Whole { mode, .. } => mode.direction(),
+        }
+    }
+}
+
+/// Shared completion state of one job across its shards.
+struct JobState {
+    id: JobId,
+    started: Instant,
+    /// One slot per shard, reassembled in order at completion.
+    parts: Mutex<Vec<Option<Vec<u8>>>>,
+    /// Shards still outstanding; the worker that takes this to zero
+    /// assembles and delivers the output.
+    remaining: Mutex<usize>,
+    /// First fault wins; the job reports it once every shard has landed.
+    failed: Mutex<Option<JobError>>,
+}
+
+/// One farm slot's scheduler-visible state. The worker thread owns the
+/// backend itself; the slot mirrors just what routing decisions need.
+struct Slot {
+    alive: bool,
+    name: &'static str,
+    enc: bool,
+    dec: bool,
+    queue: VecDeque<Task>,
+    /// A pre-built replacement backend the worker installs before its
+    /// next task (hot-swap without draining the farm).
+    swap: Option<Box<dyn Backend>>,
+    busy: bool,
+}
+
+impl Slot {
+    fn supports(&self, dir: Direction) -> bool {
+        match dir {
+            Direction::Encrypt => self.enc,
+            Direction::Decrypt => self.dec,
+        }
+    }
+
+    fn load(&self) -> usize {
+        self.queue.len() + usize::from(self.busy)
+    }
+}
+
+struct State {
+    slots: Vec<Slot>,
+    injector: VecDeque<Task>,
+    /// Specs waiting for the lazy first-submission spawn.
+    pending: Vec<BackendSpec>,
+    /// Jobs accepted and not yet delivered — the bounded-capacity count.
+    open: usize,
+    started: bool,
+    shutdown: bool,
+}
+
+impl State {
+    fn eligible(&self, dir: Direction) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&i| self.slots[i].alive && self.slots[i].supports(dir))
+            .collect()
+    }
+
+    fn least_loaded(&self, dir: Direction) -> Option<usize> {
+        self.eligible(dir)
+            .into_iter()
+            .min_by_key(|&i| self.slots[i].load())
+    }
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Wakes workers when tasks arrive, a swap lands, or shutdown starts.
+    work_cv: Condvar,
+    /// Wakes [`WorkerPool::wait_idle`] when `open` returns to zero.
+    idle_cv: Condvar,
+    registry: Registry,
+    capacity: usize,
+    /// Key bytes for building grown / swapped backends; wiped on drop.
+    key: Mutex<Vec<u8>>,
+    tx: Mutex<Sender<JobOutput>>,
+    notifier: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+    jobs_completed: Counter,
+    jobs_failed: Counter,
+    queue_depth: Gauge,
+    job_us: Histogram,
+}
+
+impl Inner {
+    /// Final delivery: publish counters, push the output down the
+    /// channel, fire the notifier, and only then release the capacity
+    /// slot — locks are never held across the callback.
+    fn deliver(&self, out: JobOutput, started: Instant) {
+        self.queue_depth.sub(1);
+        match &out.data {
+            Ok(_) => self.jobs_completed.incr(),
+            Err(_) => self.jobs_failed.incr(),
+        }
+        let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.job_us.record(us);
+        let _ = self.tx.lock().expect("sender poisoned").send(out);
+        let notify = self.notifier.lock().expect("notifier poisoned").clone();
+        if let Some(f) = notify {
+            f();
+        }
+        // The capacity slot is released only after the output is on the
+        // channel and the notifier has fired, so `wait_idle` returning
+        // means every delivery side effect is visible.
+        let mut st = self.state.lock().expect("pool state poisoned");
+        st.open -= 1;
+        if st.open == 0 {
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Records one shard's result; the last shard in assembles the job
+    /// and delivers it. Call *without* holding the state lock.
+    fn finish_part(&self, job: &Arc<JobState>, part: usize, result: Result<Vec<u8>, JobError>) {
+        match result {
+            Ok(bytes) => {
+                self.parts_slot(job, part, bytes);
+            }
+            Err(e) => {
+                let mut failed = job.failed.lock().expect("job fault slot poisoned");
+                if failed.is_none() {
+                    *failed = Some(e);
+                }
+            }
+        }
+        let last = {
+            let mut remaining = job.remaining.lock().expect("job remaining poisoned");
+            *remaining -= 1;
+            *remaining == 0
+        };
+        if !last {
+            return;
+        }
+        let fault = job.failed.lock().expect("job fault slot poisoned").take();
+        let data = match fault {
+            Some(e) => Err(e),
+            None => {
+                let mut parts = job.parts.lock().expect("job parts poisoned");
+                let total: usize = parts.iter().map(|p| p.as_ref().map_or(0, Vec::len)).sum();
+                let mut buf = Vec::with_capacity(total);
+                for p in parts.iter_mut() {
+                    buf.extend_from_slice(&p.take().expect("every shard landed"));
+                }
+                Ok(buf)
+            }
+        };
+        self.deliver(JobOutput { id: job.id, data }, job.started);
+    }
+
+    fn parts_slot(&self, job: &Arc<JobState>, part: usize, bytes: Vec<u8>) {
+        job.parts.lock().expect("job parts poisoned")[part] = Some(bytes);
+    }
+
+    /// Fails every task in `tasks` (used when a remove/swap leaves a
+    /// direction with no capable worker). Call without the state lock.
+    fn fail_tasks(&self, tasks: Vec<Task>) {
+        for t in tasks {
+            let dir = t.dir();
+            self.finish_part(&t.job, t.part, Err(JobError::NoCapableCore { dir }));
+        }
+    }
+}
+
+/// Builds a [`WorkerPool`] — farm composition, queue capacity, telemetry
+/// registry — mirroring [`EngineBuilder`](crate::EngineBuilder).
+#[derive(Default)]
+pub struct PoolBuilder {
+    specs: Vec<BackendSpec>,
+    capacity: Option<usize>,
+    registry: Option<Registry>,
+}
+
+impl PoolBuilder {
+    /// Starts an empty builder (no cores, default capacity 8, private
+    /// registry).
+    #[must_use]
+    pub fn new() -> Self {
+        PoolBuilder::default()
+    }
+
+    /// Adds one worker slot built from `spec` (keyed at first
+    /// submission, when the worker threads spawn).
+    #[must_use]
+    pub fn core(mut self, spec: BackendSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Adds one worker slot per spec, in order.
+    #[must_use]
+    pub fn cores(mut self, specs: &[BackendSpec]) -> Self {
+        self.specs.extend_from_slice(specs);
+        self
+    }
+
+    /// Sets the bounded open-job capacity (default 8).
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Publishes the pool's instruments into `registry` instead of a
+    /// fresh private one (the same sharing semantics as engine farms:
+    /// delta-pushed counters aggregate).
+    #[must_use]
+    pub fn registry(mut self, registry: Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Assembles the pool. The key is retained (and wiped on drop) so
+    /// grown and hot-swapped workers can be keyed at runtime; worker
+    /// threads spawn lazily on the first submission.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty farm or a zero-capacity queue, like
+    /// [`EngineBuilder::build`](crate::EngineBuilder::build).
+    #[must_use]
+    pub fn build(self, key: &[u8]) -> WorkerPool {
+        assert!(!self.specs.is_empty(), "a pool needs at least one backend");
+        let capacity = self.capacity.unwrap_or(8);
+        assert!(capacity > 0, "a zero-capacity queue rejects every job");
+        let registry = self.registry.unwrap_or_default();
+        registry.gauge("engine.queue.capacity").set(capacity as i64);
+        let workers_gauge = registry.gauge("engine.workers");
+        workers_gauge.add(self.specs.len() as i64);
+        let (tx, rx) = channel();
+        WorkerPool {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    slots: Vec::new(),
+                    injector: VecDeque::new(),
+                    pending: self.specs,
+                    open: 0,
+                    started: false,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                idle_cv: Condvar::new(),
+                capacity,
+                key: Mutex::new(key.to_vec()),
+                tx: Mutex::new(tx),
+                notifier: Mutex::new(None),
+                jobs_completed: registry.counter("engine.jobs.completed"),
+                jobs_failed: registry.counter("engine.jobs.failed"),
+                queue_depth: registry.gauge("engine.queue.depth"),
+                job_us: registry.histogram("engine.pool.job_us", &JOB_US_BOUNDS),
+                registry: registry.clone(),
+            }),
+            rx: Mutex::new(rx),
+            handles: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(0),
+            submit_accepted: registry.counter("engine.submit.accepted"),
+            submit_busy: registry.counter("engine.submit.busy"),
+            submit_ragged: registry.counter("engine.submit.ragged"),
+            steals: registry.counter("engine.pool.steals"),
+            resize_grow: registry.counter("engine.resize.grow"),
+            resize_shrink: registry.counter("engine.resize.shrink"),
+            resize_swap: registry.counter("engine.resize.swap"),
+            workers_gauge,
+            occupancy_bp: registry.histogram("engine.core.occupancy_bp", &OCCUPANCY_BOUNDS),
+            idle_streak: AtomicU32::new(0),
+            last_occupancy: Mutex::new((0, 0)),
+            registry,
+        }
+    }
+}
+
+impl fmt::Debug for PoolBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PoolBuilder")
+            .field("specs", &self.specs)
+            .field("capacity", &self.capacity)
+            .field("shared_registry", &self.registry.is_some())
+            .finish()
+    }
+}
+
+/// The work-stealing elastic thread pool. See the [module docs](self).
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    rx: Mutex<Receiver<JobOutput>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    next_id: AtomicU64,
+    submit_accepted: Counter,
+    submit_busy: Counter,
+    submit_ragged: Counter,
+    steals: Counter,
+    resize_grow: Counter,
+    resize_shrink: Counter,
+    resize_swap: Counter,
+    workers_gauge: Gauge,
+    occupancy_bp: Histogram,
+    idle_streak: AtomicU32,
+    /// `(count, sum)` of the occupancy histogram at the last autoscale
+    /// tick, for the per-tick mean.
+    last_occupancy: Mutex<(u64, u64)>,
+    registry: Registry,
+}
+
+impl WorkerPool {
+    /// Shorthand: a pool over `specs` with a private registry.
+    #[must_use]
+    pub fn with_farm(key: &[u8], specs: &[BackendSpec], capacity: usize) -> WorkerPool {
+        PoolBuilder::new()
+            .cores(specs)
+            .capacity(capacity)
+            .build(key)
+    }
+
+    /// The registry this pool publishes into.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The bounded open-job capacity (the `Busy` detail value).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Jobs accepted and not yet delivered.
+    #[must_use]
+    pub fn open_jobs(&self) -> usize {
+        self.inner.state.lock().expect("pool state poisoned").open
+    }
+
+    /// Live workers (configured-but-unspawned count before the lazy
+    /// start, alive slots after).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        let st = self.inner.state.lock().expect("pool state poisoned");
+        if st.started {
+            st.slots.iter().filter(|s| s.alive).count()
+        } else {
+            st.pending.len()
+        }
+    }
+
+    /// Installs (or replaces) the completion notifier: called once per
+    /// delivered job, after the output is in the channel. The service
+    /// points this at a shard's wake pipe so `poll(2)` loops re-arm
+    /// without polling the pool.
+    pub fn set_notifier(&self, notifier: Arc<dyn Fn() + Send + Sync>) {
+        *self.inner.notifier.lock().expect("notifier poisoned") = Some(notifier);
+    }
+
+    /// Enqueues a mode operation over `data`, applying backpressure, and
+    /// wakes a worker. The first accepted submission spawns the worker
+    /// threads.
+    ///
+    /// Parallel modes (ECB, CTR) are dealt across every eligible worker
+    /// in 8-block granules; chained modes pin to the least-loaded capable
+    /// worker. The completion surfaces from [`WorkerPool::try_collect`] /
+    /// [`WorkerPool::collect_timeout`] in completion order.
+    ///
+    /// # Errors
+    ///
+    /// * [`SubmitError::Busy`] when `capacity` jobs are already open (or
+    ///   the pool is shutting down);
+    /// * [`SubmitError::RaggedLength`] when an ECB/CBC job is not a whole
+    ///   number of blocks.
+    pub fn try_submit(&self, mode: Mode, data: Vec<u8>) -> Result<JobId, SubmitError> {
+        let mut st = self.inner.state.lock().expect("pool state poisoned");
+        if st.shutdown || st.open >= self.inner.capacity {
+            self.submit_busy.incr();
+            return Err(SubmitError::Busy {
+                capacity: self.inner.capacity,
+            });
+        }
+        if mode.requires_full_blocks() && !data.len().is_multiple_of(BLOCK) {
+            self.submit_ragged.incr();
+            return Err(SubmitError::RaggedLength { len: data.len() });
+        }
+        self.ensure_started(&mut st);
+        self.submit_accepted.incr();
+        let id = JobId::from_raw(self.next_id.fetch_add(1, Ordering::Relaxed));
+
+        let dir = mode.direction();
+        let eligible = st.eligible(dir);
+        if eligible.is_empty() || data.is_empty() {
+            // Degenerate jobs complete on the submitting thread:
+            // accepted-then-failed when the farm has no datapath for the
+            // direction (like the engine), trivially done when there are
+            // no bytes. Take the capacity slot first — deliver() releases
+            // it.
+            st.open += 1;
+            drop(st);
+            self.inner.queue_depth.add(1);
+            let data = if eligible.is_empty() {
+                Err(JobError::NoCapableCore { dir })
+            } else {
+                Ok(Vec::new())
+            };
+            self.inner.deliver(JobOutput { id, data }, Instant::now());
+            return Ok(id);
+        }
+
+        st.open += 1;
+        self.inner.queue_depth.add(1);
+        if mode.is_parallel() && eligible.len() > 1 {
+            self.deal_shards(&mut st, id, mode, data, &eligible);
+        } else {
+            let job = Arc::new(JobState {
+                id,
+                started: Instant::now(),
+                parts: Mutex::new(vec![None]),
+                remaining: Mutex::new(1),
+                failed: Mutex::new(None),
+            });
+            let task = Task {
+                job,
+                part: 0,
+                pinned: !mode.is_parallel(),
+                work: Work::Whole { mode, data },
+            };
+            if task.pinned {
+                let target = st.least_loaded(dir).expect("eligible is non-empty");
+                st.slots[target].queue.push_back(task);
+            } else {
+                // A lone parallel job: any capable worker may take it.
+                st.injector.push_back(task);
+            }
+        }
+        drop(st);
+        self.inner.work_cv.notify_all();
+        Ok(id)
+    }
+
+    /// Deals a parallel job's granule shards across the eligible
+    /// workers' deques (same plan as the virtual-time engine). Idle
+    /// workers rebalance by stealing from the back.
+    fn deal_shards(
+        &self,
+        st: &mut State,
+        id: JobId,
+        mode: Mode,
+        mut data: Vec<u8>,
+        eligible: &[usize],
+    ) {
+        let n = data.len().div_ceil(BLOCK);
+        let shares = Engine::shares_batched(n, eligible.len());
+        // Split from the tail so each shard is one allocation and the
+        // bytes are copied exactly once.
+        let mut chunks: Vec<(usize, u128, Vec<u8>)> = Vec::new();
+        let mut first = n;
+        for (i, &share) in shares.iter().enumerate().rev() {
+            if share == 0 {
+                continue;
+            }
+            first -= share;
+            let chunk = data.split_off((first * BLOCK).min(data.len()));
+            chunks.push((i, first as u128, chunk));
+        }
+        chunks.reverse();
+        let job = Arc::new(JobState {
+            id,
+            started: Instant::now(),
+            parts: Mutex::new(vec![None; chunks.len()]),
+            remaining: Mutex::new(chunks.len()),
+            failed: Mutex::new(None),
+        });
+        for (part, (slot_pos, first_block, bytes)) in chunks.into_iter().enumerate() {
+            let work = match mode {
+                Mode::EcbEncrypt | Mode::EcbDecrypt => Work::EcbShard {
+                    dir: mode.direction(),
+                    data: bytes,
+                },
+                Mode::Ctr(nonce) => Work::CtrShard {
+                    nonce,
+                    first_block,
+                    data: bytes,
+                },
+                _ => unreachable!("only parallel modes are sharded"),
+            };
+            st.slots[eligible[slot_pos]].queue.push_back(Task {
+                job: Arc::clone(&job),
+                part,
+                pinned: false,
+                work,
+            });
+        }
+    }
+
+    /// Spawns the configured workers on the first submission.
+    fn ensure_started(&self, st: &mut State) {
+        if st.started {
+            return;
+        }
+        st.started = true;
+        let pending = std::mem::take(&mut st.pending);
+        let key = self.inner.key.lock().expect("pool key poisoned").clone();
+        for spec in pending {
+            self.spawn_worker(st, spec.build(&key));
+        }
+    }
+
+    /// Registers a slot for `backend` and spawns its owning thread.
+    /// Returns the new slot index.
+    fn spawn_worker(&self, st: &mut State, backend: Box<dyn Backend>) -> usize {
+        let index = st.slots.len();
+        st.slots.push(Slot {
+            alive: true,
+            name: backend.name(),
+            enc: backend.supports(Direction::Encrypt),
+            dec: backend.supports(Direction::Decrypt),
+            queue: VecDeque::new(),
+            swap: None,
+            busy: false,
+        });
+        let inner = Arc::clone(&self.inner);
+        let steals = self.steals.clone();
+        let occupancy = self.occupancy_bp.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("engine-worker-{index}"))
+            .spawn(move || worker_main(inner, index, backend, steals, occupancy))
+            .expect("spawn engine worker thread");
+        self.handles
+            .lock()
+            .expect("pool handles poisoned")
+            .push(handle);
+        index
+    }
+
+    /// Adds one worker built from `spec` (with the pool's key) to the
+    /// live farm, returning its slot index. Counted as
+    /// `engine.resize.grow`.
+    pub fn add_core(&self, spec: BackendSpec) -> usize {
+        let mut st = self.inner.state.lock().expect("pool state poisoned");
+        let index = if st.started {
+            let key = self.inner.key.lock().expect("pool key poisoned").clone();
+            self.spawn_worker(&mut st, spec.build(&key))
+        } else {
+            st.pending.push(spec);
+            st.pending.len() - 1
+        };
+        drop(st);
+        self.workers_gauge.add(1);
+        self.resize_grow.incr();
+        self.inner.work_cv.notify_all();
+        index
+    }
+
+    /// Retires the worker at `index`: its pinned streams re-pin to a
+    /// surviving capable worker, its parallel shards fall back to the
+    /// injector, and tasks no surviving worker can serve fail with
+    /// [`JobError::NoCapableCore`]. Counted as `engine.resize.shrink`.
+    /// Returns `false` for an unknown or already-retired slot.
+    pub fn remove_core(&self, index: usize) -> bool {
+        let mut st = self.inner.state.lock().expect("pool state poisoned");
+        if !st.started {
+            if index < st.pending.len() {
+                st.pending.remove(index);
+                drop(st);
+                self.workers_gauge.sub(1);
+                self.resize_shrink.incr();
+                return true;
+            }
+            return false;
+        }
+        if index >= st.slots.len() || !st.slots[index].alive {
+            return false;
+        }
+        st.slots[index].alive = false;
+        let orphans: Vec<Task> = st.slots[index].queue.drain(..).collect();
+        let unroutable = reroute(&mut st, orphans);
+        drop(st);
+        self.inner.fail_tasks(unroutable);
+        self.workers_gauge.sub(1);
+        self.resize_shrink.incr();
+        self.inner.work_cv.notify_all();
+        true
+    }
+
+    /// Hot-swaps the backend of the worker at `index` to one freshly
+    /// built from `spec` with the pool's key, *without* draining the
+    /// farm: the worker installs the replacement before its next task;
+    /// the task it is executing right now finishes on the old backend.
+    /// Queued tasks the new backend cannot serve are re-routed first.
+    /// Counted as `engine.resize.swap`. Returns `false` for an unknown
+    /// or retired slot.
+    pub fn swap_core(&self, index: usize, spec: BackendSpec) -> bool {
+        let key = self.inner.key.lock().expect("pool key poisoned").clone();
+        let mut st = self.inner.state.lock().expect("pool state poisoned");
+        if !st.started {
+            if index < st.pending.len() {
+                st.pending[index] = spec;
+                drop(st);
+                self.resize_swap.incr();
+                return true;
+            }
+            return false;
+        }
+        if index >= st.slots.len() || !st.slots[index].alive {
+            return false;
+        }
+        let backend = spec.build(&key);
+        let (enc, dec) = (
+            backend.supports(Direction::Encrypt),
+            backend.supports(Direction::Decrypt),
+        );
+        st.slots[index].name = backend.name();
+        st.slots[index].enc = enc;
+        st.slots[index].dec = dec;
+        st.slots[index].swap = Some(backend);
+        // The slot's queue may hold directions the new backend lacks
+        // (e.g. encdec -> encrypt-only): migrate them before the worker
+        // blindly pops its own deque.
+        let stale: Vec<Task> = {
+            let queue = &mut st.slots[index].queue;
+            let mut kept = VecDeque::with_capacity(queue.len());
+            let mut moved = Vec::new();
+            for t in queue.drain(..) {
+                let ok = match t.dir() {
+                    Direction::Encrypt => enc,
+                    Direction::Decrypt => dec,
+                };
+                if ok {
+                    kept.push_back(t);
+                } else {
+                    moved.push(t);
+                }
+            }
+            *queue = kept;
+            moved
+        };
+        let unroutable = reroute(&mut st, stale);
+        drop(st);
+        self.inner.fail_tasks(unroutable);
+        self.resize_swap.incr();
+        self.inner.work_cv.notify_all();
+        true
+    }
+
+    /// One supervisor tick of the elastic control plane: reads the
+    /// `engine.queue.depth` gauge and the `engine.core.occupancy_bp`
+    /// histogram (the same instruments `GET_STATS` serves) and grows or
+    /// shrinks the farm under `policy`. Growth requires queue pressure
+    /// *and* work of this pool's own in flight; shrinking requires
+    /// [`ResizePolicy::shrink_after_ticks`] consecutive idle ticks with
+    /// the cores below the saturation bar.
+    pub fn autoscale_tick(&self, policy: &ResizePolicy) -> Option<ResizeAction> {
+        let depth = self.inner.queue_depth.get().max(0) as usize;
+        let (count, sum) = (self.occupancy_bp.count(), self.occupancy_bp.sum());
+        let (dcount, dsum) = {
+            let mut last = self.last_occupancy.lock().expect("occupancy watermark");
+            let d = (count - last.0, sum - last.1);
+            *last = (count, sum);
+            d
+        };
+        let saturated = dcount > 0 && dsum / dcount >= policy.busy_occupancy_bp;
+        let (own_open, workers) = {
+            let st = self.inner.state.lock().expect("pool state poisoned");
+            let live = if st.started {
+                st.slots.iter().filter(|s| s.alive).count()
+            } else {
+                st.pending.len()
+            };
+            (st.open, live)
+        };
+        if depth >= policy.grow_depth && own_open > 0 && workers < policy.max_workers {
+            self.idle_streak.store(0, Ordering::Relaxed);
+            return Some(ResizeAction::Grew(self.add_core(policy.spec)));
+        }
+        if own_open == 0 && !saturated && workers > policy.min_workers {
+            let streak = self.idle_streak.fetch_add(1, Ordering::Relaxed) + 1;
+            if streak >= policy.shrink_after_ticks {
+                self.idle_streak.store(0, Ordering::Relaxed);
+                let victim = {
+                    let st = self.inner.state.lock().expect("pool state poisoned");
+                    (0..st.slots.len()).rev().find(|&i| st.slots[i].alive)
+                };
+                if let Some(i) = victim {
+                    if self.remove_core(i) {
+                        return Some(ResizeAction::Shrank(i));
+                    }
+                }
+            }
+        } else {
+            self.idle_streak.store(0, Ordering::Relaxed);
+        }
+        None
+    }
+
+    /// A finished job, if one is ready — non-blocking, completion order.
+    #[must_use]
+    pub fn try_collect(&self) -> Option<JobOutput> {
+        self.rx
+            .lock()
+            .expect("pool receiver poisoned")
+            .try_recv()
+            .ok()
+    }
+
+    /// A finished job, waiting up to `timeout` for one to complete.
+    #[must_use]
+    pub fn collect_timeout(&self, timeout: Duration) -> Option<JobOutput> {
+        self.rx
+            .lock()
+            .expect("pool receiver poisoned")
+            .recv_timeout(timeout)
+            .ok()
+    }
+
+    /// Blocks until no jobs are open (all accepted work delivered).
+    pub fn wait_idle(&self) {
+        let mut st = self.inner.state.lock().expect("pool state poisoned");
+        while st.open > 0 {
+            st = self.inner.idle_cv.wait(st).expect("pool state poisoned");
+        }
+    }
+
+    /// Graceful shutdown: refuses new submissions, lets the workers
+    /// finish everything queued, and joins them. Already-delivered
+    /// outputs stay collectable. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        let handles: Vec<JoinHandle<()>> = self
+            .handles
+            .lock()
+            .expect("pool handles poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            // A panicked worker already surfaced its fault to the jobs
+            // it held; joining must not re-raise during teardown.
+            let _ = h.join();
+        }
+        let st = self.inner.state.lock().expect("pool state poisoned");
+        let live = st.slots.iter().filter(|s| s.alive).count() + st.pending.len();
+        drop(st);
+        if live > 0 {
+            self.workers_gauge.sub(live as i64);
+        }
+        let mut st = self.inner.state.lock().expect("pool state poisoned");
+        for s in st.slots.iter_mut() {
+            s.alive = false;
+        }
+        st.pending.clear();
+    }
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .field("open_jobs", &self.open_jobs())
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Ok(mut key) = self.key.lock() {
+            rijndael::zeroize::wipe_bytes(&mut key);
+        }
+    }
+}
+
+/// Re-homes orphaned tasks: pinned streams to the least-loaded surviving
+/// capable worker, parallel shards to the injector (when anyone can still
+/// serve them). Returns the tasks nobody can run.
+fn reroute(st: &mut State, tasks: Vec<Task>) -> Vec<Task> {
+    let mut unroutable = Vec::new();
+    for t in tasks {
+        let dir = t.dir();
+        if t.pinned {
+            match st.least_loaded(dir) {
+                Some(target) => st.slots[target].queue.push_back(t),
+                None => unroutable.push(t),
+            }
+        } else if st.eligible(dir).is_empty() {
+            unroutable.push(t);
+        } else {
+            st.injector.push_back(t);
+        }
+    }
+    unroutable
+}
+
+/// What the worker loop decided to do next (chosen under the state lock,
+/// acted on outside it).
+enum Action {
+    Run(Task),
+    Install(Box<dyn Backend>),
+    Exit,
+}
+
+/// Finds runnable work for worker `me`: own deque front, then the first
+/// capable injector task, then a steal from the back of the longest
+/// sibling deque (unpinned, capable tasks only). Returns whether the
+/// task was stolen.
+fn find_task(st: &mut State, me: usize) -> Option<(Task, bool)> {
+    if let Some(t) = st.slots[me].queue.pop_front() {
+        return Some((t, false));
+    }
+    let (enc, dec) = (st.slots[me].enc, st.slots[me].dec);
+    let can = |dir: Direction| match dir {
+        Direction::Encrypt => enc,
+        Direction::Decrypt => dec,
+    };
+    if let Some(pos) = st.injector.iter().position(|t| can(t.dir())) {
+        return st.injector.remove(pos).map(|t| (t, false));
+    }
+    let mut victims: Vec<usize> = (0..st.slots.len())
+        .filter(|&i| i != me && st.slots[i].alive && !st.slots[i].queue.is_empty())
+        .collect();
+    victims.sort_by_key(|&i| std::cmp::Reverse(st.slots[i].queue.len()));
+    for v in victims {
+        let queue = &mut st.slots[v].queue;
+        for pos in (0..queue.len()).rev() {
+            if !queue[pos].pinned && can(queue[pos].dir()) {
+                return queue.remove(pos).map(|t| (t, true));
+            }
+        }
+    }
+    None
+}
+
+/// Per-worker delta push of the owned backend's counters into the shared
+/// registry — the same bookkeeping as `Engine::sync_telemetry`, owned by
+/// the worker thread so no lock guards the authoritative counters.
+struct CoreTel {
+    blocks: Counter,
+    cycles: Counter,
+    setup_cycles: Counter,
+    busy_cycles: Counter,
+    occupancy: Histogram,
+    last: (u64, u64, u64, u64),
+}
+
+impl CoreTel {
+    fn register(registry: &Registry, index: usize, name: &str, occupancy: Histogram) -> CoreTel {
+        let prefix = format!("engine.core.{index}.{name}");
+        CoreTel {
+            blocks: registry.counter(&format!("{prefix}.blocks")),
+            cycles: registry.counter(&format!("{prefix}.cycles")),
+            setup_cycles: registry.counter(&format!("{prefix}.setup_cycles")),
+            busy_cycles: registry.counter(&format!("{prefix}.busy_cycles")),
+            occupancy,
+            last: (0, 0, 0, 0),
+        }
+    }
+
+    fn sync(&mut self, backend: &dyn Backend) {
+        let now = (
+            backend.blocks(),
+            backend.cycles(),
+            backend.setup_cycles(),
+            backend.busy_cycles(),
+        );
+        let last = self.last;
+        self.last = now;
+        self.blocks.add(now.0.saturating_sub(last.0));
+        self.cycles.add(now.1.saturating_sub(last.1));
+        self.setup_cycles.add(now.2.saturating_sub(last.2));
+        self.busy_cycles.add(now.3.saturating_sub(last.3));
+        let op_delta = now
+            .1
+            .saturating_sub(last.1)
+            .saturating_sub(now.2.saturating_sub(last.2));
+        let busy_delta = now.3.saturating_sub(last.3);
+        if let Some(bp) = busy_delta.saturating_mul(10_000).checked_div(op_delta) {
+            self.occupancy.record(bp);
+        }
+    }
+}
+
+fn worker_main(
+    inner: Arc<Inner>,
+    me: usize,
+    mut backend: Box<dyn Backend>,
+    steals: Counter,
+    occupancy: Histogram,
+) {
+    let mut tel = CoreTel::register(&inner.registry, me, backend.name(), occupancy.clone());
+    loop {
+        let action = {
+            let mut st = inner.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(next) = st.slots[me].swap.take() {
+                    break Action::Install(next);
+                }
+                if !st.slots[me].alive {
+                    break Action::Exit;
+                }
+                if let Some((task, stolen)) = find_task(&mut st, me) {
+                    st.slots[me].busy = true;
+                    if stolen {
+                        steals.incr();
+                    }
+                    break Action::Run(task);
+                }
+                if st.shutdown {
+                    break Action::Exit;
+                }
+                st = inner.work_cv.wait(st).expect("pool state poisoned");
+            }
+        };
+        match action {
+            Action::Run(task) => {
+                let Task {
+                    job, part, work, ..
+                } = task;
+                let result = execute(backend.as_mut(), work);
+                tel.sync(backend.as_ref());
+                inner.state.lock().expect("pool state poisoned").slots[me].busy = false;
+                inner.finish_part(&job, part, result);
+            }
+            Action::Install(next) => {
+                // Push the retiring backend's final deltas, drop it (IP
+                // cores zero-reload their key schedule on drop), and
+                // re-register counters under the new backend's name.
+                tel.sync(backend.as_ref());
+                backend = next;
+                tel = CoreTel::register(&inner.registry, me, backend.name(), occupancy.clone());
+            }
+            Action::Exit => {
+                tel.sync(backend.as_ref());
+                return;
+            }
+        }
+    }
+}
+
+/// Runs one task's work on the owning worker's backend, in place.
+fn execute(backend: &mut dyn Backend, work: Work) -> Result<Vec<u8>, JobError> {
+    match work {
+        Work::EcbShard { dir, mut data } => run_ecb_span(backend, dir, &mut data).map(|()| data),
+        Work::CtrShard {
+            nonce,
+            first_block,
+            mut data,
+        } => run_ctr_span(backend, &nonce, first_block, &mut data).map(|()| data),
+        Work::Whole { mode, mut data } => run_on_one(backend, mode, &mut data).map(|()| data),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rijndael::modes::{Cbc, Ctr, Ecb};
+    use rijndael::Aes128;
+    use std::collections::BTreeMap;
+
+    const KEY: [u8; 16] = [
+        0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+        0x3C,
+    ];
+
+    const WAIT: Duration = Duration::from_secs(10);
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 7 + 3) as u8).collect()
+    }
+
+    fn collect_n(pool: &WorkerPool, n: usize) -> BTreeMap<JobId, Result<Vec<u8>, JobError>> {
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let o = pool.collect_timeout(WAIT).expect("job completes in time");
+            assert!(out.insert(o.id, o.data).is_none(), "duplicate completion");
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_and_chained_jobs_match_the_reference() {
+        let pool = WorkerPool::with_farm(&KEY, &[BackendSpec::EncDecCore; 3], 8);
+        let reference = Aes128::new(&KEY);
+        let ecb_data = sample(24 * 16);
+        let ctr_data = sample(10 * 16 + 5);
+        let cbc_data = sample(5 * 16);
+        let a = pool.try_submit(Mode::EcbEncrypt, ecb_data.clone()).unwrap();
+        let b = pool
+            .try_submit(Mode::Ctr([0xF0; 16]), ctr_data.clone())
+            .unwrap();
+        let c = pool
+            .try_submit(Mode::CbcEncrypt([0x11; 16]), cbc_data.clone())
+            .unwrap();
+        let got = collect_n(&pool, 3);
+
+        let mut expect = ecb_data;
+        Ecb::encrypt(&reference, &mut expect).unwrap();
+        assert_eq!(got[&a].as_ref().unwrap(), &expect);
+        let mut expect = ctr_data;
+        Ctr::apply(&reference, &[0xF0; 16], &mut expect);
+        assert_eq!(got[&b].as_ref().unwrap(), &expect);
+        let mut expect = cbc_data;
+        Cbc::encrypt(&reference, &[0x11; 16], &mut expect).unwrap();
+        assert_eq!(got[&c].as_ref().unwrap(), &expect);
+    }
+
+    #[test]
+    fn busy_and_ragged_surface_at_the_submit_boundary() {
+        let pool = WorkerPool::with_farm(&KEY, &[BackendSpec::Software], 2);
+        assert_eq!(
+            pool.try_submit(Mode::EcbEncrypt, sample(17)),
+            Err(SubmitError::RaggedLength { len: 17 })
+        );
+        pool.try_submit(Mode::Ctr([0; 16]), sample(5)).unwrap();
+        pool.try_submit(Mode::Ctr([0; 16]), sample(5)).unwrap();
+        // The third submission may race the workers draining the first
+        // two; only assert Busy when the pool is genuinely full.
+        if pool.open_jobs() >= 2 {
+            assert_eq!(
+                pool.try_submit(Mode::Ctr([0; 16]), sample(5)),
+                Err(SubmitError::Busy { capacity: 2 })
+            );
+        }
+        pool.wait_idle();
+        assert!(pool.try_submit(Mode::Ctr([0; 16]), sample(5)).is_ok());
+        assert_eq!(collect_n(&pool, 3).len(), 3);
+    }
+
+    #[test]
+    fn decrypt_on_an_encrypt_only_farm_fails_without_losing_the_job() {
+        let pool = WorkerPool::with_farm(&KEY, &[BackendSpec::EncryptCore; 2], 4);
+        let id = pool.try_submit(Mode::EcbDecrypt, sample(32)).unwrap();
+        let out = pool.collect_timeout(WAIT).unwrap();
+        assert_eq!(out.id, id);
+        assert_eq!(
+            out.data,
+            Err(JobError::NoCapableCore {
+                dir: Direction::Decrypt
+            })
+        );
+        // Forward-datapath CTR still runs.
+        pool.try_submit(Mode::Ctr([3; 16]), sample(32)).unwrap();
+        assert!(pool.collect_timeout(WAIT).unwrap().data.is_ok());
+    }
+
+    #[test]
+    fn empty_jobs_complete_immediately() {
+        let pool = WorkerPool::with_farm(&KEY, &[BackendSpec::Software], 2);
+        let id = pool.try_submit(Mode::EcbEncrypt, Vec::new()).unwrap();
+        let out = pool.collect_timeout(WAIT).unwrap();
+        assert_eq!(out.id, id);
+        assert_eq!(out.data.unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn grow_shrink_and_swap_under_load_lose_nothing() {
+        let reg = Registry::new();
+        let pool = PoolBuilder::new()
+            .core(BackendSpec::Ttable)
+            .capacity(64)
+            .registry(reg.clone())
+            .build(&KEY);
+        let reference = Aes128::new(&KEY);
+        let mut expected = BTreeMap::new();
+        let mut submit = |pool: &WorkerPool, i: usize| {
+            let data = sample(64 + (i % 7) * 16);
+            let id = pool.try_submit(Mode::EcbEncrypt, data.clone()).unwrap();
+            let mut e = data;
+            Ecb::encrypt(&reference, &mut e).unwrap();
+            expected.insert(id, e);
+        };
+        for i in 0..8 {
+            submit(&pool, i);
+        }
+        let grown = pool.add_core(BackendSpec::Software);
+        assert_eq!(pool.workers(), 2);
+        for i in 8..16 {
+            submit(&pool, i);
+        }
+        assert!(pool.swap_core(grown, BackendSpec::Bitsliced));
+        for i in 16..24 {
+            submit(&pool, i);
+        }
+        assert!(pool.remove_core(grown));
+        assert_eq!(pool.workers(), 1);
+        for i in 24..32 {
+            submit(&pool, i);
+        }
+        let got = collect_n(&pool, 32);
+        for (id, e) in &expected {
+            assert_eq!(got[id].as_ref().unwrap(), e, "{id}");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("engine.resize.grow"), Some(1));
+        assert_eq!(snap.counter("engine.resize.shrink"), Some(1));
+        assert_eq!(snap.counter("engine.resize.swap"), Some(1));
+        assert_eq!(snap.gauge("engine.workers"), Some(1));
+        assert_eq!(snap.counter("engine.jobs.completed"), Some(32));
+        assert_eq!(snap.counter("engine.jobs.failed"), Some(0));
+    }
+
+    #[test]
+    fn removing_the_last_capable_worker_fails_orphaned_work_typed() {
+        let pool = WorkerPool::with_farm(&KEY, &[BackendSpec::EncDecCore], 16);
+        // Force the worker to start, then retire it with work queued.
+        pool.try_submit(Mode::EcbEncrypt, sample(16)).unwrap();
+        pool.wait_idle();
+        for _ in 0..4 {
+            pool.try_submit(Mode::CbcEncrypt([0; 16]), sample(16 * 16))
+                .unwrap();
+        }
+        pool.remove_core(0);
+        let mut seen = 0;
+        let mut failed = 0;
+        while let Some(out) = pool.collect_timeout(WAIT) {
+            seen += 1;
+            if out.data.is_err() {
+                failed += 1;
+            }
+            if seen == 5 {
+                break;
+            }
+        }
+        // Every job completes (none lost); the ones the retirement
+        // orphaned report NoCapableCore.
+        assert_eq!(seen, 5);
+        assert!(failed <= 4);
+        // New submissions on the empty farm fail typed, immediately.
+        let id = pool.try_submit(Mode::EcbEncrypt, sample(16)).unwrap();
+        let out = pool.collect_timeout(WAIT).unwrap();
+        assert_eq!(out.id, id);
+        assert!(matches!(out.data, Err(JobError::NoCapableCore { .. })));
+    }
+
+    #[test]
+    fn swap_is_visible_in_farm_stats_under_both_names() {
+        let reg = Registry::new();
+        let pool = PoolBuilder::new()
+            .core(BackendSpec::Ttable)
+            .capacity(8)
+            .registry(reg.clone())
+            .build(&KEY);
+        pool.try_submit(Mode::EcbEncrypt, sample(8 * 16)).unwrap();
+        pool.wait_idle();
+        pool.swap_core(0, BackendSpec::Software);
+        pool.try_submit(Mode::EcbEncrypt, sample(8 * 16)).unwrap();
+        pool.wait_idle();
+        pool.shutdown();
+        let stats = crate::FarmStats::from_snapshot(&reg.snapshot());
+        let lines: Vec<(usize, &str, u64)> = stats
+            .per_core
+            .iter()
+            .map(|c| (c.index, c.name.as_str(), c.blocks))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![(0, "soft-ref", 8), (0, "soft-ttable", 8)],
+            "both backends that lived in slot 0 report their own blocks"
+        );
+    }
+
+    #[test]
+    fn autoscale_grows_under_pressure_and_shrinks_when_idle() {
+        let reg = Registry::new();
+        let pool = PoolBuilder::new()
+            .core(BackendSpec::Ttable)
+            .capacity(64)
+            .registry(reg.clone())
+            .build(&KEY);
+        let policy = ResizePolicy {
+            min_workers: 1,
+            max_workers: 3,
+            grow_depth: 4,
+            shrink_after_ticks: 2,
+            busy_occupancy_bp: 10_001, // never block shrink in this test
+            spec: BackendSpec::Software,
+        };
+        for _ in 0..16 {
+            pool.try_submit(Mode::EcbEncrypt, sample(32 * 16)).unwrap();
+        }
+        // Depth is high: the tick must grow (possibly repeatedly).
+        let grew = pool.autoscale_tick(&policy);
+        assert!(matches!(grew, Some(ResizeAction::Grew(_))), "{grew:?}");
+        pool.wait_idle();
+        for _ in 0..16 {
+            let _ = pool.try_collect();
+        }
+        // Idle: two consecutive ticks shrink back.
+        assert_eq!(pool.autoscale_tick(&policy), None);
+        assert!(matches!(
+            pool.autoscale_tick(&policy),
+            Some(ResizeAction::Shrank(_))
+        ));
+        assert_eq!(pool.workers(), 1);
+        assert!(reg.snapshot().counter("engine.resize.grow") >= Some(1));
+        assert_eq!(reg.snapshot().counter("engine.resize.shrink"), Some(1));
+    }
+
+    #[test]
+    fn notifier_fires_once_per_completion() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkerPool::with_farm(&KEY, &[BackendSpec::Software; 2], 8);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        pool.set_notifier(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        for _ in 0..5 {
+            pool.try_submit(Mode::Ctr([0; 16]), sample(40)).unwrap();
+        }
+        assert_eq!(collect_n(&pool, 5).len(), 5);
+        pool.wait_idle();
+        assert_eq!(fired.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn shutdown_finishes_queued_work_and_refuses_new_jobs() {
+        let pool = WorkerPool::with_farm(&KEY, &[BackendSpec::Ttable], 16);
+        for _ in 0..6 {
+            pool.try_submit(Mode::EcbEncrypt, sample(16 * 16)).unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(
+            pool.try_submit(Mode::EcbEncrypt, sample(16)),
+            Err(SubmitError::Busy { capacity: 16 })
+        );
+        assert_eq!(collect_n(&pool, 6).len(), 6);
+    }
+
+    #[test]
+    fn pool_is_send_and_sync() {
+        fn assert_both<T: Send + Sync>() {}
+        assert_both::<WorkerPool>();
+        assert_both::<ResizePolicy>();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn builder_panics_on_an_empty_farm() {
+        let _ = PoolBuilder::new().build(&KEY);
+    }
+}

@@ -47,8 +47,11 @@ const LATENCY_BOUNDS: [u64; 12] = [
 ];
 
 /// Bucket bounds for the `engine.core.occupancy_bp` histogram: datapath
-/// occupancy in basis points (10000 = fully saturated), deciles.
-const OCCUPANCY_BOUNDS: [u64; 10] = [1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000];
+/// occupancy in basis points (10000 = fully saturated), deciles. Shared
+/// with the thread [`pool`](crate::pool), which samples the same
+/// instrument.
+pub(crate) const OCCUPANCY_BOUNDS: [u64; 10] =
+    [1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000];
 
 /// A complete cipher-mode operation over one byte buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +142,14 @@ impl fmt::Display for Mode {
 /// Opaque handle identifying a submitted job in [`Engine::run`] output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(u64);
+
+impl JobId {
+    /// Crate-internal constructor so the thread [`pool`](crate::pool) can
+    /// mint ids from its own allocator without widening the public API.
+    pub(crate) const fn from_raw(raw: u64) -> JobId {
+        JobId(raw)
+    }
+}
 
 impl fmt::Display for JobId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -490,6 +501,12 @@ impl Engine {
     /// job. A job that faults reports its [`JobError`]; the rest of the
     /// batch still runs.
     pub fn run(&mut self) -> Vec<JobOutput> {
+        // An empty queue means nothing moved since the last sync: skip
+        // the per-core delta bookkeeping entirely so pipelined collect
+        // loops polling an idle engine stop paying snapshot churn.
+        if self.queue.is_empty() {
+            return Vec::new();
+        }
         let mut outputs = Vec::with_capacity(self.queue.len());
         let mut before = vec![0u64; self.workers.len()];
         while let Some(job) = self.queue.pop_front() {
@@ -580,11 +597,15 @@ impl Engine {
         match mode {
             Mode::EcbEncrypt | Mode::EcbDecrypt => self.run_ecb(&eligible, dir, data),
             Mode::Ctr(nonce) => self.run_ctr(&eligible, &nonce, data),
-            Mode::CbcEncrypt(iv) => self.run_chained(&eligible, &Cbc, &Iv::from(iv), true, data),
-            Mode::CbcDecrypt(iv) => self.run_chained(&eligible, &Cbc, &Iv::from(iv), false, data),
-            Mode::CfbEncrypt(iv) => self.run_chained(&eligible, &Cfb, &Iv::from(iv), true, data),
-            Mode::CfbDecrypt(iv) => self.run_chained(&eligible, &Cfb, &Iv::from(iv), false, data),
-            Mode::Ofb(iv) => self.run_chained(&eligible, &Ofb, &Iv::from(iv), true, data),
+            // Chained modes: block `i+1` depends on block `i`, so the
+            // whole stream goes to the single least-loaded eligible core.
+            _ => {
+                let w = *eligible
+                    .iter()
+                    .min_by_key(|&&i| self.workers[i].cycles())
+                    .expect("eligible is non-empty");
+                run_on_one(self.workers[w].as_mut(), mode, data)
+            }
         }
     }
 
@@ -600,8 +621,10 @@ impl Engine {
     /// last non-empty share gives back the padding so the total is
     /// exactly `n`. Every share but possibly the last is a multiple of 8,
     /// which keeps the bitsliced backend's passes full; only one core
-    /// ever sees a ragged (padded) granule.
-    fn shares_batched(n: usize, k: usize) -> Vec<usize> {
+    /// ever sees a ragged (padded) granule. Shared with the thread
+    /// [`pool`](crate::pool), which deals the same granule plan across
+    /// worker deques.
+    pub(crate) fn shares_batched(n: usize, k: usize) -> Vec<usize> {
         const GRANULE: usize = 8;
         let mut out: Vec<usize> = Self::shares(n.div_ceil(GRANULE), k)
             .into_iter()
@@ -628,27 +651,22 @@ impl Engine {
         dir: Direction,
         data: &mut [u8],
     ) -> Result<(), JobError> {
-        let (blocks, rest) = data.as_chunks_mut::<BLOCK>();
-        debug_assert!(rest.is_empty(), "length validated at submission");
+        let n = data.len() / BLOCK;
         let mut offset = 0;
-        for (&w, share) in eligible
-            .iter()
-            .zip(Self::shares_batched(blocks.len(), eligible.len()))
-        {
+        for (&w, share) in eligible.iter().zip(Self::shares_batched(n, eligible.len())) {
             if share == 0 {
                 continue;
             }
-            self.workers[w].process_batch(&mut blocks[offset..offset + share], dir)?;
-            offset += share;
+            let span = &mut data[offset..offset + share * BLOCK];
+            run_ecb_span(self.workers[w].as_mut(), dir, span)?;
+            offset += share * BLOCK;
         }
         Ok(())
     }
 
     /// CTR: each core generates the keystream for its contiguous span of
     /// counter values (SP 800-38A increment, so spans are just offsets)
-    /// and XORs it into its span of the buffer. Counter blocks are
-    /// precomputed per shard with [`Ctr::fill_counter_blocks`] — one
-    /// scratch buffer for the whole job, no per-block allocation.
+    /// and XORs it into its span of the buffer.
     fn run_ctr(
         &mut self,
         eligible: &[usize],
@@ -656,57 +674,90 @@ impl Engine {
         data: &mut [u8],
     ) -> Result<(), JobError> {
         let n = data.len().div_ceil(BLOCK);
-        let shares = Self::shares_batched(n, eligible.len());
-        let mut counters = vec![[0u8; 16]; shares.iter().copied().max().unwrap_or(0)];
         let mut first_block = 0usize;
-        for (&w, share) in eligible.iter().zip(shares) {
+        for (&w, share) in eligible.iter().zip(Self::shares_batched(n, eligible.len())) {
             if share == 0 {
                 continue;
             }
-            let batch = &mut counters[..share];
-            Ctr::fill_counter_blocks(nonce, first_block as u128, batch);
-            self.workers[w].process_batch(batch, Direction::Encrypt)?;
             let end = data.len().min((first_block + share) * BLOCK);
             let span = &mut data[first_block * BLOCK..end];
-            for (chunk, keystream) in span.chunks_mut(BLOCK).zip(batch.iter()) {
-                for (byte, k) in chunk.iter_mut().zip(keystream) {
-                    *byte ^= k;
-                }
-            }
+            run_ctr_span(self.workers[w].as_mut(), nonce, first_block as u128, span)?;
             first_block += share;
         }
         Ok(())
     }
+}
 
-    /// Chained modes: block `i+1` depends on block `i`, so the whole
-    /// stream goes to the single least-loaded eligible core, driven
-    /// through the object-safe [`rijndael::Mode`] trait.
-    fn run_chained(
-        &mut self,
-        eligible: &[usize],
-        mode: &dyn rijndael::Mode,
-        iv: &Iv,
-        encrypt: bool,
-        data: &mut [u8],
-    ) -> Result<(), JobError> {
-        let w = *eligible
-            .iter()
-            .min_by_key(|&&i| self.workers[i].cycles())
-            .expect("eligible is non-empty");
-        let adapter = BackendCipher::new(self.workers[w].as_mut());
-        let result = if encrypt {
-            mode.encrypt_in_place(&adapter, iv, data)
-        } else {
-            mode.decrypt_in_place(&adapter, iv, data)
-        };
-        // A backend fault trumps the mode result: the mode layer saw
-        // stale bytes after the latched fault, not an input problem.
-        if let Some(e) = adapter.fault() {
-            return Err(e.into());
+/// One ECB span on one backend: whole blocks through the widest batch
+/// path, in place. The single-backend executor both the virtual-time
+/// [`Engine`] and the thread [`pool`](crate::pool) shard over.
+pub(crate) fn run_ecb_span(
+    backend: &mut dyn Backend,
+    dir: Direction,
+    data: &mut [u8],
+) -> Result<(), JobError> {
+    let (blocks, rest) = data.as_chunks_mut::<BLOCK>();
+    debug_assert!(rest.is_empty(), "length validated at submission");
+    backend.process_batch(blocks, dir)?;
+    Ok(())
+}
+
+/// One CTR span on one backend: generates the keystream for the span's
+/// contiguous counter values (SP 800-38A increment; `first_block` is the
+/// span's offset into the stream) and XORs it into `data` in place.
+/// Counter blocks are precomputed with [`Ctr::fill_counter_blocks`] —
+/// one scratch buffer per span, no per-block allocation.
+pub(crate) fn run_ctr_span(
+    backend: &mut dyn Backend,
+    nonce: &[u8; 16],
+    first_block: u128,
+    data: &mut [u8],
+) -> Result<(), JobError> {
+    let mut counters = vec![[0u8; 16]; data.len().div_ceil(BLOCK)];
+    Ctr::fill_counter_blocks(nonce, first_block, &mut counters);
+    backend.process_batch(&mut counters, Direction::Encrypt)?;
+    for (chunk, keystream) in data.chunks_mut(BLOCK).zip(counters.iter()) {
+        for (byte, k) in chunk.iter_mut().zip(keystream) {
+            *byte ^= k;
         }
-        result.expect("mode inputs validated at submission");
-        Ok(())
     }
+    Ok(())
+}
+
+/// Runs a whole mode operation on a single backend: parallel modes take
+/// their span executors over the full buffer, chained modes drive the
+/// object-safe [`rijndael::Mode`] trait through a [`BackendCipher`]
+/// adapter. Used by the [`Engine`] for chained routing and by the thread
+/// [`pool`](crate::pool) for pinned (unsharded) tasks of every mode.
+pub(crate) fn run_on_one(
+    backend: &mut dyn Backend,
+    mode: Mode,
+    data: &mut [u8],
+) -> Result<(), JobError> {
+    let (chained, iv, encrypt): (&dyn rijndael::Mode, [u8; 16], bool) = match mode {
+        Mode::EcbEncrypt => return run_ecb_span(backend, Direction::Encrypt, data),
+        Mode::EcbDecrypt => return run_ecb_span(backend, Direction::Decrypt, data),
+        Mode::Ctr(nonce) => return run_ctr_span(backend, &nonce, 0, data),
+        Mode::CbcEncrypt(iv) => (&Cbc, iv, true),
+        Mode::CbcDecrypt(iv) => (&Cbc, iv, false),
+        Mode::CfbEncrypt(iv) => (&Cfb, iv, true),
+        Mode::CfbDecrypt(iv) => (&Cfb, iv, false),
+        Mode::Ofb(iv) => (&Ofb, iv, true),
+    };
+    let iv = Iv::from(iv);
+    let adapter = BackendCipher::new(backend);
+    let result = if encrypt {
+        chained.encrypt_in_place(&adapter, &iv, data)
+    } else {
+        chained.decrypt_in_place(&adapter, &iv, data)
+    };
+    // A backend fault trumps the mode result: the mode layer saw stale
+    // bytes after the latched fault, not an input problem.
+    if let Some(e) = adapter.fault() {
+        return Err(e.into());
+    }
+    result.expect("mode inputs validated at submission");
+    Ok(())
 }
 
 impl fmt::Debug for Engine {

@@ -87,9 +87,16 @@ impl FarmStats {
     /// `engine.core.<index>.<backend>.<field>` counter in `snap`.
     /// Non-matching instruments (including the `engine.core.occupancy_bp`
     /// histogram) are ignored.
+    ///
+    /// The index space is *not* assumed dense or fixed: an elastic pool
+    /// adds and removes cores at runtime (leaving holes), and a hot-swap
+    /// retires one backend's counters at an index and starts another's.
+    /// Entries are therefore keyed by `(index, backend name)` — after a
+    /// swap the same slot reports one line per backend that lived there,
+    /// each with the blocks it actually processed.
     #[must_use]
     pub fn from_snapshot(snap: &Snapshot) -> Self {
-        let mut cores: BTreeMap<usize, CoreStats> = BTreeMap::new();
+        let mut cores: BTreeMap<(usize, String), CoreStats> = BTreeMap::new();
         for e in snap.entries() {
             let Some(rest) = e.name.strip_prefix(CORE_PREFIX) else {
                 continue;
@@ -106,14 +113,16 @@ impl FarmStats {
                 continue;
             };
             let Value::Counter(v) = e.value else { continue };
-            let core = cores.entry(index).or_insert_with(|| CoreStats {
-                index,
-                name: backend.to_string(),
-                blocks: 0,
-                cycles: 0,
-                setup_cycles: 0,
-                busy_cycles: 0,
-            });
+            let core = cores
+                .entry((index, backend.to_string()))
+                .or_insert_with(|| CoreStats {
+                    index,
+                    name: backend.to_string(),
+                    blocks: 0,
+                    cycles: 0,
+                    setup_cycles: 0,
+                    busy_cycles: 0,
+                });
             match field {
                 "blocks" => core.blocks = v,
                 "cycles" => core.cycles = v,
@@ -277,6 +286,33 @@ mod tests {
         let s = FarmStats::from_snapshot(&reg.snapshot());
         assert_eq!(s.per_core.len(), 1);
         assert_eq!(s.total_blocks(), 8);
+    }
+
+    #[test]
+    fn sparse_indices_and_swapped_backends_each_get_a_line() {
+        let reg = Registry::new();
+        publish(&reg, 0, "ip-encdec", 8, 401, 400);
+        // Elastic farms leave holes: slots 1..4 were removed at runtime.
+        publish(&reg, 5, "soft-ttable", 4, 201, 200);
+        // A hot-swap retires one backend at a slot and starts another:
+        // the same index reports one line per backend that lived there.
+        publish(&reg, 5, "soft-aesni", 2, 101, 100);
+        let s = FarmStats::from_snapshot(&reg.snapshot());
+        assert_eq!(s.per_core.len(), 3);
+        assert_eq!(s.total_blocks(), 14);
+        let seen: Vec<(usize, &str, u64)> = s
+            .per_core
+            .iter()
+            .map(|c| (c.index, c.name.as_str(), c.blocks))
+            .collect();
+        assert_eq!(
+            seen,
+            vec![
+                (0, "ip-encdec", 8),
+                (5, "soft-aesni", 2),
+                (5, "soft-ttable", 4),
+            ]
+        );
     }
 
     #[test]

@@ -225,6 +225,111 @@ impl PollSet {
     }
 }
 
+/// A self-pipe that wakes a [`PollSet::poll`] loop from another thread.
+///
+/// The event-driven server parks its shard threads in `poll(2)`; crypto
+/// worker threads finishing a job have no socket to make readable, so
+/// without help a completion would wait out the full poll timeout. The
+/// classic fix is the *self-pipe trick*: the shard registers the read
+/// end of a pipe in its poll set, and completers write one byte to the
+/// write end — `poll` returns immediately, the shard drains the pipe and
+/// services the finished session.
+///
+/// Built on [`std::os::unix::net::UnixStream::pair`] so no new FFI is
+/// declared; both ends are nonblocking. A full pipe means a wake is
+/// already pending, so `WouldBlock` on the write side is success. On
+/// non-unix targets the type degrades to a no-op: the busy-poll fallback
+/// already re-checks every connection each tick.
+#[derive(Debug)]
+pub struct WakePipe {
+    #[cfg(unix)]
+    read: std::os::unix::net::UnixStream,
+    #[cfg(unix)]
+    write: std::sync::Arc<std::os::unix::net::UnixStream>,
+}
+
+/// The cloneable waking half of a [`WakePipe`], handed to worker-pool
+/// notifiers. Safe to call from any thread, never blocks.
+#[derive(Debug, Clone)]
+pub struct WakeNotifier {
+    #[cfg(unix)]
+    write: std::sync::Arc<std::os::unix::net::UnixStream>,
+}
+
+impl WakePipe {
+    /// Opens the pipe. Returns `None` when the platform cannot provide
+    /// one (socketpair exhaustion, non-unix targets) — callers fall back
+    /// to timeout-based polling.
+    #[must_use]
+    pub fn new() -> Option<WakePipe> {
+        #[cfg(unix)]
+        {
+            let (read, write) = std::os::unix::net::UnixStream::pair().ok()?;
+            read.set_nonblocking(true).ok()?;
+            write.set_nonblocking(true).ok()?;
+            Some(WakePipe {
+                read,
+                write: std::sync::Arc::new(write),
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Some(WakePipe {})
+        }
+    }
+
+    /// The descriptor to [`PollSet::register`] for reads.
+    #[must_use]
+    pub fn fd(&self) -> Fd {
+        #[cfg(unix)]
+        {
+            socket_fd(&self.read)
+        }
+        #[cfg(not(unix))]
+        {
+            -1
+        }
+    }
+
+    /// A handle other threads use to wake this pipe's poller.
+    #[must_use]
+    pub fn notifier(&self) -> WakeNotifier {
+        WakeNotifier {
+            #[cfg(unix)]
+            write: std::sync::Arc::clone(&self.write),
+        }
+    }
+
+    /// Consumes every pending wake byte so the next `poll` blocks again.
+    /// Call after the poll set reports the pipe readable.
+    pub fn drain(&mut self) {
+        #[cfg(unix)]
+        {
+            use std::io::Read;
+            let mut buf = [0u8; 64];
+            loop {
+                match (&self.read).read(&mut buf) {
+                    Ok(0) => break, // writer gone; nothing more to drain
+                    Ok(_) => continue,
+                    Err(_) => break, // WouldBlock: drained
+                }
+            }
+        }
+    }
+}
+
+impl WakeNotifier {
+    /// Wakes the poller. A full pipe already guarantees a wake is
+    /// pending, so every outcome is success; this never blocks.
+    pub fn wake(&self) {
+        #[cfg(unix)]
+        {
+            use std::io::Write;
+            let _ = (&*self.write).write(&[1u8]);
+        }
+    }
+}
+
 /// Best-effort bump of the process `RLIMIT_NOFILE` soft limit to its
 /// hard limit, returning the resulting soft limit. The event-driven
 /// server holds one descriptor per connection, so the default soft
@@ -364,6 +469,41 @@ mod tests {
                     Err(_) => break,
                 }
             }
+        }
+    }
+
+    #[test]
+    fn wake_pipe_unblocks_a_parked_poll_from_another_thread() {
+        let mut pipe = WakePipe::new().expect("platform provides a pipe");
+        let notifier = pipe.notifier();
+        let mut set = PollSet::new();
+        set.register(pipe.fd(), 42, true, false);
+
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            notifier.wake();
+            notifier.wake(); // coalesces, never blocks
+        });
+        let start = Instant::now();
+        let deadline = start + Duration::from_secs(5);
+        let mut woken = false;
+        while !woken && Instant::now() < deadline {
+            let ready = set.poll(Duration::from_millis(250)).unwrap();
+            woken = ready.iter().any(|r| r.token == 42 && r.readable);
+        }
+        waker.join().unwrap();
+        assert!(woken, "wake byte never surfaced");
+        if cfg!(unix) {
+            assert!(
+                start.elapsed() < Duration::from_millis(240),
+                "poll should return on the wake, not the timeout"
+            );
+        }
+        // Drained, the pipe goes quiet again.
+        pipe.drain();
+        if cfg!(unix) {
+            let ready = set.poll(Duration::from_millis(10)).unwrap();
+            assert!(ready.is_empty(), "{ready:?}");
         }
     }
 

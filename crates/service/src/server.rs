@@ -35,10 +35,12 @@
 //! the engine completes the job — in completion order, which across a
 //! multi-core farm is not submission order. A v2 client may therefore
 //! keep an arbitrary pipeline depth per connection. Bulk-eligible
-//! payloads (ECB/CTR at or past the session's bitsliced threshold)
-//! still run inline on the bulk lane. Version-1 frames keep the PR 3
-//! contract to the letter: executed synchronously, replies in request
-//! order, one layout on the wire.
+//! payloads hand off to the session's worker pool
+//! ([`engine::WorkerPool`]) and never run crypto on the shard thread;
+//! each shard parks a self-pipe wake fd in its poll set so a pool
+//! completion cuts the poll short and the reply goes out immediately.
+//! Version-1 frames keep the PR 3 contract to the letter: executed
+//! synchronously, replies in request order, one layout on the wire.
 //!
 //! # Telemetry
 //!
@@ -68,7 +70,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use engine::{BackendSpec, Error, SubmitError};
+use engine::{BackendSpec, Error, ResizePolicy, SubmitError};
 use rijndael::aead;
 use telemetry::{Counter, Gauge, Registry};
 
@@ -76,7 +78,7 @@ use crate::net::{self, PollSet};
 use crate::protocol::{
     ErrorCode, Frame, Op, RecvBuffer, RecvError, Status, FLAG_DEFER, PROTOCOL_V1, PROTOCOL_V2,
 };
-use crate::session::{SessionSlot, BULK_THRESHOLD};
+use crate::session::SessionSlot;
 
 /// Readiness-poll timeout: how often an idle shard (or the acceptor)
 /// wakes to check the shutdown flag, the inbox and the idle budgets.
@@ -84,6 +86,14 @@ const POLL: Duration = Duration::from_millis(10);
 
 /// How long the acceptor waits in its listener poll.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Poll token reserved for a shard's wake pipe. Connection tokens are
+/// slot indices, so the all-ones pattern can never collide with one.
+const WAKE_TOKEN: usize = usize::MAX;
+
+/// How often a shard runs the elastic policy over its keyed sessions
+/// when [`ServiceConfig::elastic`] is set.
+const AUTOSCALE_TICK: Duration = Duration::from_millis(100);
 
 /// Write-backpressure cap: once a connection's outgoing queue holds
 /// this many bytes the server stops reading from that peer until the
@@ -127,6 +137,13 @@ pub struct ServiceConfig {
     /// Shard event-loop threads the connections are spread across
     /// (clamped to at least 1).
     pub event_threads: usize,
+    /// Elastic worker-pool supervision: when set, each shard ticks every
+    /// keyed session's pool against this policy (~10×/s), growing it
+    /// under queue pressure and shrinking it when idle; the decisions
+    /// surface as `engine.resize.*` / `engine.workers` telemetry in
+    /// `GET_STATS`. `None` (the default) leaves every session's pool at
+    /// its configured size.
+    pub elastic: Option<ResizePolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -137,6 +154,7 @@ impl Default for ServiceConfig {
             max_connections: 64,
             idle_timeout: Duration::from_secs(30),
             event_threads: 2,
+            elastic: None,
         }
     }
 }
@@ -448,6 +466,11 @@ struct Conn {
     peer_version: u8,
     /// Set by [`Flow::Close`]: no more reads; drop once `out` drains.
     closing: bool,
+    /// The owning shard's wake-pipe callback, installed into each newly
+    /// keyed session's worker pool so bulk completions un-park the
+    /// shard's `poll(2)` immediately. `None` when the platform gave the
+    /// shard no pipe (the loop then falls back to its poll timeout).
+    notifier: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl Conn {
@@ -462,6 +485,7 @@ impl Conn {
             last_frame: Instant::now(),
             peer_version: PROTOCOL_V1,
             closing: false,
+            notifier: None,
         })
     }
 
@@ -493,11 +517,23 @@ fn shard_loop(shared: &Arc<Shared>, inbox: &Arc<Mutex<Vec<TcpStream>>>) {
         .registry
         .histogram("service.loop.dispatch_micros", &DISPATCH_BOUNDS);
 
+    // Self-pipe wakeup: session worker pools call the notifier when a
+    // bulk job finishes, making the pipe readable so a parked poll(2)
+    // returns immediately instead of waiting out its timeout. The pipe
+    // is registered under a reserved token no connection slot can reach.
+    let mut wake = net::WakePipe::new();
+    let shard_notifier: Option<Arc<dyn Fn() + Send + Sync>> = wake.as_ref().map(|w| {
+        let n = w.notifier();
+        Arc::new(move || n.wake()) as Arc<dyn Fn() + Send + Sync>
+    });
+    let mut last_scale = Instant::now();
+
     loop {
         // Admit handed-off sockets into free slots.
         for stream in inbox.lock().expect("inbox lock").drain(..) {
             match Conn::new(stream) {
-                Ok(conn) => {
+                Ok(mut conn) => {
+                    conn.notifier = shard_notifier.clone();
                     if let Some(slot) = conns.iter_mut().find(|c| c.is_none()) {
                         *slot = Some(conn);
                     } else {
@@ -519,7 +555,9 @@ fn shard_loop(shared: &Arc<Shared>, inbox: &Arc<Mutex<Vec<TcpStream>>>) {
         }
 
         // Interest set: read unless backpressured or closing, write
-        // when bytes are queued.
+        // when bytes are queued. The wake pipe rides along under its
+        // reserved token so completions (and only completions) can cut
+        // a poll short.
         poll.clear();
         for (token, conn) in conns.iter().enumerate() {
             let Some(conn) = conn else { continue };
@@ -527,7 +565,12 @@ fn shard_loop(shared: &Arc<Shared>, inbox: &Arc<Mutex<Vec<TcpStream>>>) {
             let write = !conn.out.is_empty();
             poll.register(net::socket_fd(&conn.stream), token, read, write);
         }
+        if let Some(w) = &wake {
+            poll.register(w.fd(), WAKE_TOKEN, true, false);
+        }
         if poll.is_empty() {
+            // No pipe and no sockets: plain timed sleep keeps the
+            // shutdown/inbox checks ticking.
             thread::sleep(POLL);
             continue;
         }
@@ -538,8 +581,10 @@ fn shard_loop(shared: &Arc<Shared>, inbox: &Arc<Mutex<Vec<TcpStream>>>) {
                 continue;
             }
         };
-        if !ready.is_empty() {
-            events_hist.record(ready.len() as u64);
+        let woken = ready.iter().any(|r| r.token == WAKE_TOKEN);
+        let socket_events = ready.len() - usize::from(woken);
+        if socket_events > 0 {
+            events_hist.record(socket_events as u64);
         }
 
         let started = Instant::now();
@@ -569,6 +614,46 @@ fn shard_loop(shared: &Arc<Shared>, inbox: &Arc<Mutex<Vec<TcpStream>>>) {
         }
         if !ready.is_empty() {
             dispatch_hist.record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+
+        // Crypto completion sweep. Drain the pipe *first* so a wake
+        // written after this point is never lost — it just cuts the
+        // next poll short. Then emit replies for every session with
+        // finished pipelined work and push them at the socket. The
+        // sweep runs every iteration (not only on a wake) so the
+        // non-unix fallback and engine-lane leftovers stay covered.
+        if woken {
+            if let Some(w) = wake.as_mut() {
+                w.drain();
+            }
+        }
+        for slot in &mut conns {
+            let Some(conn) = slot.as_mut() else { continue };
+            if conn.closing {
+                continue;
+            }
+            let finished = conn.slot.session_mut().is_some_and(|s| s.in_flight() > 0);
+            if !finished {
+                continue;
+            }
+            collect_pipelined(conn, shared);
+            if !conn.out.is_empty() && conn.out.flush(&mut &conn.stream).is_err() {
+                *slot = None;
+                shared.active.sub(1);
+            }
+        }
+
+        // Elastic supervision: tick each keyed session's worker pool
+        // against the configured policy roughly ten times a second.
+        if let Some(policy) = shared.config.elastic {
+            if last_scale.elapsed() >= AUTOSCALE_TICK {
+                last_scale = Instant::now();
+                for conn in conns.iter_mut().filter_map(Option::as_mut) {
+                    if let Some(session) = conn.slot.session_mut() {
+                        let _ = session.autoscale(&policy);
+                    }
+                }
+            }
         }
 
         // Idle sweep and closing-drain cleanup.
@@ -794,6 +879,7 @@ fn dispatch(frame: Frame, conn: &mut Conn, shared: &Shared) -> Flow {
         .registry
         .histogram("service.frame.request_bytes", &FRAME_SIZE_BOUNDS)
         .record((frame.header_len() + frame.payload.len()) as u64);
+    let notifier = conn.notifier.clone();
     let slot = &mut conn.slot;
     let out = &mut conn.out;
     let live = slot.session_mut().map_or(0, |s| s.id());
@@ -877,6 +963,12 @@ fn dispatch(frame: Frame, conn: &mut Conn, shared: &Shared) -> Flow {
                 &shared.registry,
             );
             rijndael::zeroize::wipe_bytes(&mut key);
+            // Hook the fresh session's pool completions up to this
+            // shard's wake pipe so a finished bulk job interrupts the
+            // poll instead of waiting out its timeout.
+            if let Some(n) = notifier {
+                slot.session_mut().expect("just rekeyed").set_notifier(n);
+            }
             // The reply carries the new id in the header only — key
             // material never appears in any reply payload.
             push_reply(out, &frame, Status::Ok, sid, Vec::new());
@@ -1069,12 +1161,12 @@ fn engine_op(
         return Flow::Continue;
     }
 
-    // Bulk-eligible payloads run inline on the session's bitsliced
-    // lane either way; v1 immediates must also run inline to keep
-    // their in-order reply contract.
-    let bulk = data.len() >= BULK_THRESHOLD
-        && matches!(op, Op::EcbEncrypt | Op::EcbDecrypt | Op::CtrApply);
-    if frame.version < PROTOCOL_V2 || bulk {
+    // v1 immediates run inline to keep their in-order reply contract
+    // (the session still picks its bitsliced bulk lane internally). v2
+    // traffic is pipelined: the session routes small jobs to its engine
+    // queue and bulk jobs to the worker pool, so the event loop never
+    // runs bulk crypto on its own thread.
+    if frame.version < PROTOCOL_V2 {
         match session.execute(mode, data) {
             Ok(result) => push_reply(out, &frame, Status::Ok, live, result),
             Err(e) => push_engine_error(out, shared, &frame, e, live),
@@ -1119,6 +1211,7 @@ fn session_ok(out: &mut OutBuf, shared: &Shared, frame: &Frame, live: u32) -> bo
 mod tests {
     use super::*;
     use crate::protocol::MAX_FRAME_LEN;
+    use crate::session::BULK_THRESHOLD;
 
     fn tiny_config() -> ServiceConfig {
         ServiceConfig {
@@ -1127,6 +1220,7 @@ mod tests {
             max_connections: 2,
             idle_timeout: Duration::from_millis(200),
             event_threads: 1,
+            elastic: None,
         }
     }
 
@@ -1469,6 +1563,58 @@ mod tests {
         let snap = server.registry().snapshot();
         assert_eq!(snap.gauge("service.pipeline.inflight"), Some(0));
         assert!(snap.counter("service.op.ecb_encrypt.requests") >= Some(u64::from(depth)));
+        server.shutdown();
+    }
+
+    /// Bulk v2 requests ride the worker-pool lane: the reply arrives via
+    /// the wake pipe + completion sweep rather than the inline dispatch
+    /// path, and the pool's worker gauge becomes visible in GET_STATS.
+    #[test]
+    fn bulk_pipelined_requests_ride_the_pool_and_wake_the_shard() {
+        let mut config = tiny_config();
+        config.queue_capacity = 16;
+        config.elastic = Some(ResizePolicy::default());
+        let server = Server::new(config).spawn("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let key_reply = call(&stream, &Frame::request(Op::SetKey, 0, 1, 0, vec![0u8; 16]));
+        assert_eq!(key_reply.status(), Some(Status::Ok));
+        let sid = key_reply.session;
+
+        // Well past BULK_THRESHOLD so every request takes the pool lane.
+        let bulk = vec![0u8; BULK_THRESHOLD * 16];
+        let depth = 8u32;
+        let mut w = &stream;
+        for i in 0..depth {
+            Frame::request(Op::EcbEncrypt, 0, 100 + i, sid, bulk.clone())
+                .with_corr(2000 + i)
+                .write_to(&mut w)
+                .unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut r = &stream;
+        for _ in 0..depth {
+            let reply = Frame::read_from(&mut r).unwrap();
+            assert_eq!(reply.status(), Some(Status::Ok), "{:?}", reply.error_body());
+            assert_eq!(reply.payload.len(), bulk.len());
+            // All-zero plaintext: every block is the AES-128 zero KAT.
+            assert_eq!(reply.payload[0], 0x66);
+            let first = &reply.payload[..16];
+            assert!(reply.payload.chunks_exact(16).all(|b| b == first));
+            assert!(seen.insert(reply.corr), "duplicate corr {}", reply.corr);
+        }
+        let snap = server.registry().snapshot();
+        assert_eq!(snap.gauge("service.pipeline.inflight"), Some(0));
+        assert!(
+            snap.gauge("engine.workers").unwrap_or(0) >= 1,
+            "bulk traffic must have spun up pool workers"
+        );
+        // The pool (not the inline lane) must have run the jobs: the
+        // only engine-counted work this test generates is the bulk
+        // bursts, and they all land on the pool's completion counter.
+        assert!(
+            snap.counter("engine.jobs.completed").unwrap_or(0) >= u64::from(depth),
+            "bulk v2 jobs must complete through the worker pool"
+        );
         server.shutdown();
     }
 }

@@ -6,11 +6,12 @@
 //! and a dispatched [`Gcm`] lane for the authenticated-encryption ops.
 //! Keys may be 16, 24 or 32 bytes (AES-128/192/256); the modeled IP
 //! cores are AES-128-only, so longer keys divert their farm slots to
-//! the software fallback backend. The key itself is never stored beyond
-//! construction and never echoed on the wire; when the session is
-//! dropped — connection teardown, idle expiry, or a re-key replacing it
-//! — the expanded schedules wipe themselves (`rijndael::zeroize`) and
-//! the hardware backends reload an all-zero key.
+//! the software fallback backend. The key is never echoed on the wire
+//! and the only raw copy kept is the worker pool's (it must key grown
+//! and hot-swapped workers at runtime); when the session is dropped —
+//! connection teardown, idle expiry, or a re-key replacing it — that
+//! copy and the expanded schedules wipe themselves (`rijndael::zeroize`)
+//! and the hardware backends reload an all-zero key.
 //!
 //! Every session engine publishes into the registry handed to
 //! [`Session::new`] — the server passes its service-wide
@@ -33,7 +34,12 @@
 //! side's finished jobs for its own collection call, so interleaving
 //! pipelined, deferred and immediate traffic loses nothing.
 
-use engine::{BackendSpec, Engine, EngineBuilder, Error, JobError, JobId, Mode, SubmitError};
+use std::sync::Arc;
+
+use engine::{
+    BackendSpec, Engine, EngineBuilder, Error, JobError, JobId, Mode, PoolBuilder, ResizeAction,
+    ResizePolicy, SubmitError, WorkerPool,
+};
 use rijndael::aead::{self, Aead, Gcm, NONCE_LEN};
 use rijndael::dispatch::Kind;
 use rijndael::modes::{Ctr, Ecb};
@@ -74,6 +80,14 @@ pub struct Session {
     /// Pipelined jobs finished by an earlier drain, in completion order,
     /// awaiting the next [`Session::collect`].
     piped_done: Vec<(u32, Result<Vec<u8>, JobError>)>,
+    /// The thread worker pool behind the pipelined *bulk* lane: v2
+    /// requests of [`BULK_THRESHOLD`] bytes or more run here, off the
+    /// event-loop thread, so one large job no longer head-of-line-blocks
+    /// every connection on the shard. Worker threads spawn lazily on the
+    /// first such request, so small-traffic sessions cost none.
+    pool: WorkerPool,
+    /// Pool-lane jobs not yet collected: `(job, correlation id)`.
+    pool_piped: Vec<(JobId, u32)>,
 }
 
 impl Session {
@@ -116,7 +130,28 @@ impl Session {
             completed: Vec::new(),
             piped: Vec::new(),
             piped_done: Vec::new(),
+            pool: PoolBuilder::new()
+                .cores(farm)
+                .capacity(queue_capacity)
+                .registry(registry.clone())
+                .build(key),
+            pool_piped: Vec::new(),
         }
+    }
+
+    /// Installs the completion callback the pool lane fires once per
+    /// finished bulk job — the server points this at its shard's wake
+    /// pipe so a parked `poll(2)` loop re-arms the connection without
+    /// waiting out its timeout. Call after every re-key (a new session
+    /// starts with no notifier).
+    pub fn set_notifier(&self, notifier: Arc<dyn Fn() + Send + Sync>) {
+        self.pool.set_notifier(notifier);
+    }
+
+    /// One elastic supervisor tick over the session's worker pool; see
+    /// [`WorkerPool::autoscale_tick`]. Returns what changed, if anything.
+    pub fn autoscale(&self, policy: &ResizePolicy) -> Option<ResizeAction> {
+        self.pool.autoscale_tick(policy)
     }
 
     /// The server-assigned session id carried in every frame.
@@ -131,11 +166,12 @@ impl Session {
         self.pending.len() + self.completed.len()
     }
 
-    /// Pipelined jobs not yet delivered (queued plus drained-early) —
-    /// the per-session contribution to the server's in-flight gauge.
+    /// Pipelined jobs not yet delivered (queued plus drained-early, both
+    /// lanes) — the per-session contribution to the server's in-flight
+    /// gauge, and the server's cue to re-collect after a pool wakeup.
     #[must_use]
     pub fn in_flight(&self) -> usize {
-        self.piped.len() + self.piped_done.len()
+        self.piped.len() + self.piped_done.len() + self.pool_piped.len()
     }
 
     /// The engine's queue bound (the `Busy` detail value).
@@ -220,24 +256,43 @@ impl Session {
     /// Enqueues a pipelined job tagged with the request's correlation
     /// id; its result surfaces from a later [`Session::collect`].
     ///
+    /// Payloads of [`BULK_THRESHOLD`] bytes or more go to the session's
+    /// worker pool and execute on its threads — the event loop returns
+    /// to `poll(2)` immediately and small neighbors stop queueing behind
+    /// bulk crypto. Smaller payloads ride the engine queue as before
+    /// (the engine drains them in microseconds; handing them to another
+    /// thread would cost more than computing them).
+    ///
     /// # Errors
     ///
     /// Propagates [`SubmitError`] verbatim — `Busy` is the per-session
     /// backpressure signal the server forwards as a typed reply.
     pub fn submit(&mut self, corr: u32, mode: Mode, data: Vec<u8>) -> Result<JobId, SubmitError> {
+        if data.len() >= BULK_THRESHOLD {
+            let id = self.pool.try_submit(mode, data)?;
+            self.pool_piped.push((id, corr));
+            return Ok(id);
+        }
         let id = self.engine.try_submit(mode, data)?;
         self.piped.push((id, corr));
         Ok(id)
     }
 
-    /// Drains the engine and returns every finished pipelined result in
-    /// completion order, tagged with its correlation id. Deferred jobs
-    /// completed by the same drain are stashed for the next flush.
+    /// Drains both pipelined lanes — the inline engine and the thread
+    /// pool — and returns every finished result in completion order,
+    /// tagged with its correlation id. Deferred jobs completed by the
+    /// same drain are stashed for the next flush.
     pub fn collect(&mut self) -> Vec<(u32, Result<Vec<u8>, JobError>)> {
         if !self.piped.is_empty() {
             let drained = self.engine.run();
             for out in drained {
                 self.stash(out.id, out.data);
+            }
+        }
+        while let Some(out) = self.pool.try_collect() {
+            if let Some(pos) = self.pool_piped.iter().position(|&(jid, _)| jid == out.id) {
+                let (_, corr) = self.pool_piped.remove(pos);
+                self.piped_done.push((corr, out.data));
             }
         }
         std::mem::take(&mut self.piped_done)
@@ -529,6 +584,61 @@ mod tests {
         let piped = s.collect();
         assert_eq!(piped.len(), 1);
         assert_eq!(piped[0].0, 8);
+    }
+
+    #[test]
+    fn bulk_pipelined_jobs_take_the_pool_lane_and_match_the_reference() {
+        let mut s = session(8);
+        let reference = Aes128::new(&KEY);
+        let big = sample(64 * 16);
+        let small = sample(2 * 16);
+        s.submit(0xB16, Mode::EcbEncrypt, big.clone()).unwrap();
+        s.submit(0x5A1, Mode::EcbEncrypt, small.clone()).unwrap();
+        assert_eq!(s.in_flight(), 2);
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut got = Vec::new();
+        while got.len() < 2 && std::time::Instant::now() < deadline {
+            got.extend(s.collect());
+        }
+        assert_eq!(got.len(), 2, "both lanes deliver");
+        assert_eq!(s.in_flight(), 0);
+        for (corr, data) in got {
+            let mut expect = if corr == 0xB16 {
+                big.clone()
+            } else {
+                small.clone()
+            };
+            Ecb::encrypt(&reference, &mut expect).unwrap();
+            assert_eq!(data.unwrap(), expect, "corr {corr:#x}");
+        }
+    }
+
+    #[test]
+    fn pool_lane_notifier_fires_on_bulk_completion() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut s = session(8);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        s.set_notifier(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        s.submit(1, Mode::Ctr([0; 16]), sample(BULK_THRESHOLD))
+            .unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut got = Vec::new();
+        while got.is_empty() && std::time::Instant::now() < deadline {
+            got.extend(s.collect());
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn autoscale_is_callable_through_the_session() {
+        let s = session(8);
+        // An idle, min-sized pool has nothing to do.
+        assert_eq!(s.autoscale(&engine::ResizePolicy::default()), None);
     }
 
     #[test]

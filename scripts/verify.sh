@@ -28,6 +28,13 @@ echo "==> engine subsystem tests"
 cargo test -q -p rijndael-engine --locked --offline
 cargo test -q --test engine_equivalence --locked --offline
 
+echo "==> worker-pool concurrency stress (resize + hot-swap under load)"
+cargo test -q -p rijndael-engine --test engine_concurrency --locked --offline
+# One pass with the dispatcher pinned: the Auto-built workers must keep
+# every invariant when they all resolve to the T-table backend.
+RIJNDAEL_FORCE_BACKEND=ttable \
+    cargo test -q -p rijndael-engine --test engine_concurrency --locked --offline
+
 echo "==> bitsliced backend cross-check"
 cargo test -q --test bitslice_equivalence --locked --offline
 
@@ -85,10 +92,18 @@ grep -E -q "dispatch p50 [0-9]+ us, p99 >?[0-9]+ us" "$load_out" \
     || { echo "service_load did not report event-loop p50/p99" >&2; exit 1; }
 rm -f "$load_out"
 
+echo "==> elastic scaling gate (smoke: >=2x paced 1->4 workers, resize step, autoscaled service)"
+elastic_json="$(mktemp)"
+trap 'rm -f "$elastic_json"' EXIT
+BENCH_ELASTIC_JSON="$elastic_json" \
+    cargo run -q --release --locked --offline -p rijndael-bench --bin elastic_scaling -- --smoke
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$elastic_json" \
+    || { echo "elastic_scaling JSON is malformed" >&2; exit 1; }
+
 echo "==> engine scaling report (smoke, backend race JSON)"
 bench_json="$(mktemp)"
 race_json="$(mktemp)"
-trap 'rm -f "$bench_json" "$race_json"' EXIT
+trap 'rm -f "$elastic_json" "$bench_json" "$race_json"' EXIT
 BENCH_BITSLICE_JSON="$race_json" \
     cargo run -q --release --locked --offline -p rijndael-bench --bin engine_scaling -- --smoke
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$race_json" \
@@ -96,7 +111,7 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$race_json" \
 
 echo "==> AEAD throughput report (smoke: GCM-vs-CTR overhead gate + GHASH race)"
 gcm_json="$(mktemp)"
-trap 'rm -f "$bench_json" "$race_json" "$gcm_json"' EXIT
+trap 'rm -f "$elastic_json" "$bench_json" "$race_json" "$gcm_json"' EXIT
 TESTKIT_BENCH_SMOKE=1 BENCH_GCM_JSON="$gcm_json" \
     cargo run -q --release --locked --offline -p rijndael-bench --bin aead_throughput
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$gcm_json" \

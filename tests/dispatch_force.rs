@@ -77,6 +77,7 @@ fn forced_backend_pins_dispatch_and_shows_up_in_get_stats() {
         max_connections: 4,
         idle_timeout: Duration::from_secs(10),
         event_threads: 1,
+        elastic: None,
     })
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port");

@@ -68,6 +68,7 @@ fn spawn_server(farm: Vec<BackendSpec>, queue: usize) -> rijndael_ip::service::S
         max_connections: 16,
         idle_timeout: Duration::from_secs(10),
         event_threads: 2,
+        elastic: None,
     })
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port")
