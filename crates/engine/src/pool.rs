@@ -25,11 +25,12 @@
 //! are in flight, and [`WorkerPool::swap_core`] hot-swaps one worker's
 //! backend between tasks without draining the farm. A retired slot's
 //! pinned streams re-pin to a surviving capable worker; its parallel
-//! shards fall back to the injector. [`WorkerPool::autoscale_tick`]
-//! drives resizing from the published telemetry — the `engine.queue.depth`
-//! gauge and the `engine.core.occupancy_bp` histogram — under a
-//! [`ResizePolicy`], and every decision is visible as `engine.resize.*`
-//! counters and the `engine.workers` gauge.
+//! shards fall back to the injector, and injector work the narrowed
+//! farm can no longer serve fails typed instead of stranding.
+//! [`WorkerPool::autoscale_tick`] drives resizing from the pool's own
+//! open-job count and the published `engine.core.occupancy_bp`
+//! histogram under a [`ResizePolicy`], and every decision is visible as
+//! `engine.resize.*` counters and the `engine.workers` gauge.
 //!
 //! Worker threads spawn lazily on the first submission, so a pool that
 //! never sees work (an idle service session holding only a key) costs no
@@ -93,8 +94,11 @@ pub struct ResizePolicy {
     pub min_workers: usize,
     /// Never grow past this many live workers.
     pub max_workers: usize,
-    /// Grow when the `engine.queue.depth` gauge reaches this many open
-    /// jobs (and this pool has work of its own in flight).
+    /// Grow when this pool has at least this many of its *own* jobs
+    /// open (accepted, not yet delivered). The shared
+    /// `engine.queue.depth` gauge is deliberately not consulted: every
+    /// keyed session publishes into the same service registry, so a
+    /// neighbor's backlog would over-grow unrelated pools.
     pub grow_depth: usize,
     /// Shrink only after this many *consecutive* idle ticks, so a burst
     /// gap does not flap the farm.
@@ -216,6 +220,32 @@ impl State {
         self.eligible(dir)
             .into_iter()
             .min_by_key(|&i| self.slots[i].load())
+    }
+
+    /// Removes and returns every injector task whose direction no live
+    /// worker supports. Resizes that change the farm's capability set
+    /// must call this: a lone parallel job lands in the injector, and a
+    /// worker only ever takes injector work it can run — an unservable
+    /// task would otherwise sit there forever, leaking its capacity
+    /// slot and hanging `wait_idle`.
+    fn drain_unservable_injector(&mut self) -> Vec<Task> {
+        let can_enc = self.slots.iter().any(|s| s.alive && s.enc);
+        let can_dec = self.slots.iter().any(|s| s.alive && s.dec);
+        let mut stranded = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.injector.len());
+        for t in self.injector.drain(..) {
+            let ok = match t.dir() {
+                Direction::Encrypt => can_enc,
+                Direction::Decrypt => can_dec,
+            };
+            if ok {
+                kept.push_back(t);
+            } else {
+                stranded.push(t);
+            }
+        }
+        self.injector = kept;
+        stranded
     }
 }
 
@@ -721,7 +751,8 @@ impl WorkerPool {
         }
         st.slots[index].alive = false;
         let orphans: Vec<Task> = st.slots[index].queue.drain(..).collect();
-        let unroutable = reroute(&mut st, orphans);
+        let mut unroutable = reroute(&mut st, orphans);
+        unroutable.extend(st.drain_unservable_injector());
         drop(st);
         self.inner.fail_tasks(unroutable);
         self.workers_gauge.sub(1);
@@ -782,7 +813,8 @@ impl WorkerPool {
             *queue = kept;
             moved
         };
-        let unroutable = reroute(&mut st, stale);
+        let mut unroutable = reroute(&mut st, stale);
+        unroutable.extend(st.drain_unservable_injector());
         drop(st);
         self.inner.fail_tasks(unroutable);
         self.resize_swap.incr();
@@ -790,15 +822,16 @@ impl WorkerPool {
         true
     }
 
-    /// One supervisor tick of the elastic control plane: reads the
-    /// `engine.queue.depth` gauge and the `engine.core.occupancy_bp`
-    /// histogram (the same instruments `GET_STATS` serves) and grows or
-    /// shrinks the farm under `policy`. Growth requires queue pressure
-    /// *and* work of this pool's own in flight; shrinking requires
+    /// One supervisor tick of the elastic control plane: reads this
+    /// pool's own open-job count (the per-pool analog of the
+    /// `engine.queue.depth` gauge, which is registry-wide and would let
+    /// a neighbor session's backlog grow this farm) and the
+    /// `engine.core.occupancy_bp` histogram, and grows or shrinks the
+    /// farm under `policy`. Growth requires this pool's own queue
+    /// pressure; shrinking requires
     /// [`ResizePolicy::shrink_after_ticks`] consecutive idle ticks with
     /// the cores below the saturation bar.
     pub fn autoscale_tick(&self, policy: &ResizePolicy) -> Option<ResizeAction> {
-        let depth = self.inner.queue_depth.get().max(0) as usize;
         let (count, sum) = (self.occupancy_bp.count(), self.occupancy_bp.sum());
         let (dcount, dsum) = {
             let mut last = self.last_occupancy.lock().expect("occupancy watermark");
@@ -816,7 +849,7 @@ impl WorkerPool {
             };
             (st.open, live)
         };
-        if depth >= policy.grow_depth && own_open > 0 && workers < policy.max_workers {
+        if own_open >= policy.grow_depth && workers < policy.max_workers {
             self.idle_streak.store(0, Ordering::Relaxed);
             return Some(ResizeAction::Grew(self.add_core(policy.spec)));
         }
@@ -868,9 +901,32 @@ impl WorkerPool {
         }
     }
 
+    /// Like [`WorkerPool::wait_idle`], but gives up after `timeout`.
+    /// Returns `true` when the pool went idle (every accepted job
+    /// delivered), `false` on timeout — the graceful-shutdown bound for
+    /// callers that must not hang on a wedged backend.
+    #[must_use]
+    pub fn wait_idle_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().expect("pool state poisoned");
+        while st.open > 0 {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self
+                .inner
+                .idle_cv
+                .wait_timeout(st, left)
+                .expect("pool state poisoned");
+            st = guard;
+        }
+        true
+    }
+
     /// Graceful shutdown: refuses new submissions, lets the workers
-    /// finish everything queued, and joins them. Already-delivered
-    /// outputs stay collectable. Idempotent.
+    /// finish everything they can serve, fails anything left over
+    /// (typed, so no job is silently lost), and joins the threads.
+    /// Already-delivered outputs stay collectable. Idempotent.
     pub fn shutdown(&self) {
         {
             let mut st = self.inner.state.lock().expect("pool state poisoned");
@@ -884,21 +940,30 @@ impl WorkerPool {
             .drain(..)
             .collect();
         for h in handles {
-            // A panicked worker already surfaced its fault to the jobs
-            // it held; joining must not re-raise during teardown.
+            // Worker panics are contained by the catch_unwind in the
+            // run loop (the held job already failed typed); joining
+            // must not re-raise during teardown.
             let _ = h.join();
         }
-        let st = self.inner.state.lock().expect("pool state poisoned");
-        let live = st.slots.iter().filter(|s| s.alive).count() + st.pending.len();
-        drop(st);
+        // Workers exit past injector tasks they cannot serve (e.g. a
+        // decrypt stranded by an earlier capability-narrowing resize):
+        // fail every leftover task so its job completes and `wait_idle`
+        // callers — and the clients behind them — are released.
+        let (live, leftovers) = {
+            let mut st = self.inner.state.lock().expect("pool state poisoned");
+            let live = st.slots.iter().filter(|s| s.alive).count() + st.pending.len();
+            let mut leftovers: Vec<Task> = st.injector.drain(..).collect();
+            for s in st.slots.iter_mut() {
+                leftovers.extend(s.queue.drain(..));
+                s.alive = false;
+            }
+            st.pending.clear();
+            (live, leftovers)
+        };
         if live > 0 {
             self.workers_gauge.sub(live as i64);
         }
-        let mut st = self.inner.state.lock().expect("pool state poisoned");
-        for s in st.slots.iter_mut() {
-            s.alive = false;
-        }
-        st.pending.clear();
+        self.inner.fail_tasks(leftovers);
     }
 }
 
@@ -1071,7 +1136,15 @@ fn worker_main(
                 let Task {
                     job, part, work, ..
                 } = task;
-                let result = execute(backend.as_mut(), work);
+                // Contain backend panics: an unwind through the run
+                // loop would strand the held job (wait_idle hangs) and
+                // poison the state mutex for every other thread. The
+                // panic becomes a typed fault and the worker carries
+                // on with the same backend.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute(backend.as_mut(), work)
+                }))
+                .unwrap_or(Err(JobError::WorkerPanicked));
                 tel.sync(backend.as_ref());
                 inner.state.lock().expect("pool state poisoned").slots[me].busy = false;
                 inner.finish_part(&job, part, result);
@@ -1285,6 +1358,86 @@ mod tests {
         let out = pool.collect_timeout(WAIT).unwrap();
         assert_eq!(out.id, id);
         assert!(matches!(out.data, Err(JobError::NoCapableCore { .. })));
+    }
+
+    #[test]
+    fn removing_the_last_decryptor_fails_stranded_injector_work() {
+        // A decrypt job with exactly one eligible worker goes to the
+        // injector as an unpinned Whole task. Retiring that worker must
+        // not strand it there: either the worker ran it first, or the
+        // removal fails it typed — never a hang.
+        let pool = WorkerPool::with_farm(
+            &KEY,
+            &[BackendSpec::EncryptCore, BackendSpec::EncDecCore],
+            16,
+        );
+        let id = pool.try_submit(Mode::EcbDecrypt, sample(32)).unwrap();
+        assert!(pool.remove_core(1));
+        let out = pool
+            .collect_timeout(WAIT)
+            .expect("the injector job completes despite the removal");
+        assert_eq!(out.id, id);
+        if let Err(e) = out.data {
+            assert_eq!(
+                e,
+                JobError::NoCapableCore {
+                    dir: Direction::Decrypt
+                }
+            );
+        }
+        pool.wait_idle(); // the capacity slot was released either way
+    }
+
+    #[test]
+    fn swapping_away_the_last_decryptor_fails_stranded_injector_work() {
+        let pool = WorkerPool::with_farm(
+            &KEY,
+            &[BackendSpec::EncryptCore, BackendSpec::EncDecCore],
+            16,
+        );
+        let id = pool.try_submit(Mode::EcbDecrypt, sample(32)).unwrap();
+        assert!(pool.swap_core(1, BackendSpec::EncryptCore));
+        let out = pool
+            .collect_timeout(WAIT)
+            .expect("the injector job completes despite the swap");
+        assert_eq!(out.id, id);
+        pool.wait_idle();
+        // And shutdown still drains cleanly afterwards.
+        pool.shutdown();
+    }
+
+    #[test]
+    fn autoscale_ignores_neighbor_pool_backlog() {
+        // Two session pools share one service registry. A's backlog
+        // drives the shared engine.queue.depth gauge high; B, nearly
+        // idle, must not grow on its neighbor's pressure.
+        let reg = Registry::new();
+        let a = PoolBuilder::new()
+            .core(BackendSpec::Ttable)
+            .capacity(64)
+            .registry(reg.clone())
+            .build(&KEY);
+        let b = PoolBuilder::new()
+            .core(BackendSpec::Ttable)
+            .capacity(64)
+            .registry(reg.clone())
+            .build(&KEY);
+        for _ in 0..16 {
+            a.try_submit(Mode::EcbEncrypt, sample(64 * 16)).unwrap();
+        }
+        b.try_submit(Mode::EcbEncrypt, sample(64 * 16)).unwrap();
+        let policy = ResizePolicy {
+            grow_depth: 4,
+            spec: BackendSpec::Software,
+            ..ResizePolicy::default()
+        };
+        assert_eq!(
+            b.autoscale_tick(&policy),
+            None,
+            "one own open job is below grow_depth, whatever the shared gauge says"
+        );
+        a.wait_idle();
+        b.wait_idle();
     }
 
     #[test]

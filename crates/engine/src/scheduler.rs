@@ -207,6 +207,10 @@ pub enum JobError {
     },
     /// A backend faulted mid-job.
     Backend(BackendError),
+    /// A pool worker panicked while executing the job; the panic was
+    /// contained and the worker kept running, but the job's bytes are
+    /// gone.
+    WorkerPanicked,
 }
 
 impl fmt::Display for JobError {
@@ -220,6 +224,7 @@ impl fmt::Display for JobError {
                 write!(f, "no core in the farm can {verb}")
             }
             JobError::Backend(e) => write!(f, "{e}"),
+            JobError::WorkerPanicked => write!(f, "a pool worker panicked mid-job"),
         }
     }
 }

@@ -95,6 +95,12 @@ const WAKE_TOKEN: usize = usize::MAX;
 /// when [`ServiceConfig::elastic`] is set.
 const AUTOSCALE_TICK: Duration = Duration::from_millis(100);
 
+/// How long the graceful-shutdown drain waits for a session's pool
+/// lane to finish its in-flight bulk jobs before the goodbye frame —
+/// generous next to real job times, but bounded so a wedged backend
+/// cannot hold the whole server exit hostage.
+const DRAIN_POOL_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// Write-backpressure cap: once a connection's outgoing queue holds
 /// this many bytes the server stops reading from that peer until the
 /// queue drains below it again.
@@ -802,6 +808,13 @@ fn error_body_bytes(code: ErrorCode, detail: u32) -> Vec<u8> {
 /// path. Uses blocking writes: the loop is exiting, so backpressure no
 /// longer matters, only delivery.
 fn drain_and_say_goodbye(mut conn: Conn, shared: &Shared) {
+    // v2 bulk jobs may still be executing on the session pool's worker
+    // threads, and collect's pool lane is non-blocking: wait the pool
+    // out (bounded) so every accepted request is answered before the
+    // goodbye instead of being dropped with the session.
+    if let Some(session) = conn.slot.session_mut() {
+        let _ = session.quiesce(DRAIN_POOL_TIMEOUT);
+    }
     collect_pipelined(&mut conn, shared);
     if let Some(session) = conn.slot.session_mut() {
         let sid = session.id();

@@ -154,6 +154,18 @@ impl Session {
         self.pool.autoscale_tick(policy)
     }
 
+    /// Waits (up to `timeout`) for every pool-lane bulk job still
+    /// executing on the worker threads to finish, so a following
+    /// [`Session::collect`] returns them. Returns `true` when the lane
+    /// went quiet. The server's graceful-shutdown drain calls this
+    /// before the goodbye frame — the pool lane of `collect` is
+    /// non-blocking, and dropping the session mid-execution would
+    /// silently discard an accepted request's reply.
+    #[must_use]
+    pub fn quiesce(&self, timeout: std::time::Duration) -> bool {
+        self.pool.wait_idle_timeout(timeout)
+    }
+
     /// The server-assigned session id carried in every frame.
     #[must_use]
     pub fn id(&self) -> u32 {
@@ -632,6 +644,22 @@ mod tests {
         }
         assert_eq!(got.len(), 1);
         assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn quiesce_waits_out_pool_lane_jobs() {
+        let mut s = session(8);
+        s.submit(0xD1, Mode::EcbEncrypt, sample(64 * 16)).unwrap();
+        assert!(
+            s.quiesce(std::time::Duration::from_secs(10)),
+            "the pool lane goes quiet"
+        );
+        // After a successful quiesce one collect is enough — no
+        // retry loop, which is what the shutdown drain relies on.
+        let got = s.collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 0xD1);
+        assert!(got[0].1.is_ok());
     }
 
     #[test]
