@@ -97,14 +97,16 @@ fn check() {
         assert!(sel.forced, "selection must flag the override");
     }
 
-    let server = Server::new(ServiceConfig {
-        farm: vec![BackendSpec::Auto; 2],
-        queue_capacity: 8,
-        max_connections: 4,
-        idle_timeout: Duration::from_secs(10),
-        event_threads: 1,
-        elastic: None,
-    })
+    let server = Server::new(
+        ServiceConfig::builder()
+            .farm(&[BackendSpec::Auto; 2])
+            .queue_capacity(8)
+            .max_connections(4)
+            .idle_timeout(Duration::from_secs(10))
+            .event_threads(1)
+            .build()
+            .expect("valid probe config"),
+    )
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port");
 

@@ -257,14 +257,17 @@ fn service_supervision(report: &Registry) {
         busy_occupancy_bp: 8_000,
         spec: PACED,
     };
-    let server = Server::new(ServiceConfig {
-        farm: vec![BackendSpec::Paced { block_ns: 50_000 }],
-        queue_capacity: 32,
-        max_connections: 4,
-        idle_timeout: Duration::from_secs(30),
-        event_threads: 1,
-        elastic: Some(policy),
-    })
+    let server = Server::new(
+        ServiceConfig::builder()
+            .farm(&[BackendSpec::Paced { block_ns: 50_000 }])
+            .queue_capacity(32)
+            .max_connections(4)
+            .idle_timeout(Duration::from_secs(30))
+            .event_threads(1)
+            .elastic(policy)
+            .build()
+            .expect("valid autoscale config"),
+    )
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port");
 

@@ -86,14 +86,16 @@ fn run_load(
     bursts_per_client: usize,
     payload_len: usize,
 ) -> (Duration, u64, Vec<Duration>) {
-    let server = Server::new(ServiceConfig {
-        farm: farm.to_vec(),
-        queue_capacity: 64,
-        max_connections: clients + 2,
-        idle_timeout: Duration::from_secs(30),
-        event_threads: 2,
-        elastic: None,
-    })
+    let server = Server::new(
+        ServiceConfig::builder()
+            .farm(farm)
+            .queue_capacity(64)
+            .max_connections(clients + 2)
+            .idle_timeout(Duration::from_secs(30))
+            .event_threads(2)
+            .build()
+            .expect("valid load config"),
+    )
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port");
     let addr = server.local_addr();
@@ -189,21 +191,25 @@ fn mixed_traffic(smoke: bool) {
     let bulk_depth = 4usize;
     let modeled_job = Duration::from_nanos(u64::from(BLOCK_NS)) * (bulk_len as u32 / 16);
 
-    let server = Server::new(ServiceConfig {
-        farm: vec![BackendSpec::Paced { block_ns: BLOCK_NS }],
-        queue_capacity: 64,
-        max_connections: 4,
-        idle_timeout: Duration::from_secs(30),
-        event_threads: 1, // both clients share one shard: the neighbor effect is real
-        elastic: Some(engine::ResizePolicy {
-            min_workers: 1,
-            max_workers: 4,
-            grow_depth: 2,
-            shrink_after_ticks: 4,
-            busy_occupancy_bp: 8_000,
-            spec: BackendSpec::Paced { block_ns: BLOCK_NS },
-        }),
-    })
+    let server = Server::new(
+        ServiceConfig::builder()
+            .farm(&[BackendSpec::Paced { block_ns: BLOCK_NS }])
+            .queue_capacity(64)
+            .max_connections(4)
+            .idle_timeout(Duration::from_secs(30))
+            // Both clients share one shard: the neighbor effect is real.
+            .event_threads(1)
+            .elastic(engine::ResizePolicy {
+                min_workers: 1,
+                max_workers: 4,
+                grow_depth: 2,
+                shrink_after_ticks: 4,
+                busy_occupancy_bp: 8_000,
+                spec: BackendSpec::Paced { block_ns: BLOCK_NS },
+            })
+            .build()
+            .expect("valid neighbor config"),
+    )
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port");
     let addr = server.local_addr();
@@ -303,14 +309,16 @@ fn mixed_traffic(smoke: bool) {
 /// floor the whole time, pipeline gauge drained to zero, and finite
 /// p50/p99 out of the event loop's own histograms.
 fn massive_connection_hold(smoke: bool) {
-    let server = Server::new(ServiceConfig {
-        farm: vec![BackendSpec::EncDecCore, BackendSpec::Software],
-        queue_capacity: 64,
-        max_connections: HELD + 64,
-        idle_timeout: Duration::from_secs(300),
-        event_threads: 2,
-        elastic: None,
-    })
+    let server = Server::new(
+        ServiceConfig::builder()
+            .farm(&[BackendSpec::EncDecCore, BackendSpec::Software])
+            .queue_capacity(64)
+            .max_connections(HELD + 64)
+            .idle_timeout(Duration::from_secs(300))
+            .event_threads(2)
+            .build()
+            .expect("valid hold config"),
+    )
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port");
     let addr = server.local_addr();

@@ -1,0 +1,23 @@
+//! One cluster node as a standalone process.
+//!
+//! Usage: `cluster_node [LISTEN_ADDR]` (default `127.0.0.1:0`).
+//! Prints `CLUSTER_NODE_LISTENING <addr>` on stdout once bound, then
+//! runs until stdin reaches EOF. See [`rijndael_cluster::node::run_node`].
+
+use std::process::ExitCode;
+
+use service::ServiceConfig;
+
+fn main() -> ExitCode {
+    let listen = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let config = ServiceConfig::default();
+    match rijndael_cluster::run_node(config, &listen) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cluster_node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

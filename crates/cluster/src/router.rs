@@ -1,0 +1,616 @@
+//! The cluster router: N nodes behind one [`Transport`].
+//!
+//! [`ClusterClient`] turns a fleet of `service` nodes into one logical
+//! crypto service. The moving parts:
+//!
+//! * **placement** — every session gets a label, and the label's home
+//!   node comes off a consistent-hash [`HashRing`] filtered by node
+//!   state (`Up` / `Draining` / `Down`), so placement is deterministic
+//!   and drain-stable;
+//! * **key distribution** — each session's raw key crosses the wire to
+//!   exactly one node (its first home). That node wraps it under the
+//!   per-cluster KEK (`WRAP_KEY` on a KEK-keyed session) and re-keys
+//!   itself from the blob (`SET_KEY_WRAPPED`). The router keeps the
+//!   blob **chain** — the KEK-wrapped key, plus any caller-supplied
+//!   re-wrap blobs — and replays it to re-create the session anywhere:
+//!   migration and reconnect move only wrapped material;
+//! * **draining** — [`ClusterClient::drain`] marks a node draining (no
+//!   new sessions), collects every in-flight pipelined reply from its
+//!   sessions (parking them for the caller's `collect_next`), then
+//!   re-establishes each session on its ring successor by chain
+//!   replay. Nothing accepted is lost; the node can then be stopped;
+//! * **failure** — a connection error triggers one reconnect attempt
+//!   with chain replay on the same node; if the node stays dead it is
+//!   marked `Down` and the call returns the typed
+//!   [`ClientError::NodeUnreachable`] instead of a raw I/O error.
+//!   Sessions on other nodes are untouched.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Duration;
+
+use service::protocol::{PROTOCOL_V1, PROTOCOL_V2};
+use service::{Client, ClientError, Op, PipelinedJob, Transport};
+
+use crate::ring::HashRing;
+use crate::stats;
+
+/// Availability of one cluster node, as the router sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Accepting new sessions and serving existing ones.
+    Up,
+    /// Serving existing traffic but closed to new session placement
+    /// (set by [`ClusterClient::drain`]).
+    Draining,
+    /// Unreachable after a failed reconnect; excluded from placement
+    /// until [`ClusterClient::restore`].
+    Down,
+}
+
+/// One node's health sample from [`ClusterClient::poll_health`].
+#[derive(Debug, Clone)]
+pub struct NodeHealth {
+    /// The node's index in the cluster.
+    pub node: usize,
+    /// The router's availability verdict after this poll.
+    pub state: NodeState,
+    /// Whether `GET_STATS` answered on this poll.
+    pub reachable: bool,
+    /// The node's `service.connections.active` gauge, when reachable.
+    pub active_connections: Option<i64>,
+    /// The node's `service.pipeline.inflight` gauge, when reachable.
+    pub inflight: Option<i64>,
+}
+
+struct Node {
+    addr: SocketAddr,
+    state: NodeState,
+}
+
+struct SessionEntry {
+    /// The node currently holding this session.
+    node: usize,
+    /// The dedicated connection, already keyed for the session.
+    client: Client,
+    /// Wrapped-key chain: element 0 is the session key wrapped under
+    /// the cluster KEK; each later element was wrapped under the key
+    /// the previous element unwraps to (caller re-keys through
+    /// `set_key_wrapped`). Replaying KEK ‖ chain on a fresh connection
+    /// reconstructs the session without raw key bytes.
+    chain: Vec<Vec<u8>>,
+    /// Completions collected on the caller's behalf during a drain,
+    /// owed to the next `collect_next` calls.
+    parked: Vec<PipelinedJob>,
+}
+
+/// A fleet of service nodes behind one client. See the [module
+/// docs](self) for the design; see [`Transport`] for the API surface.
+pub struct ClusterClient {
+    nodes: Vec<Node>,
+    ring: HashRing,
+    kek: Vec<u8>,
+    sessions: BTreeMap<u64, SessionEntry>,
+    next_label: u64,
+    current: Option<u64>,
+    version: u8,
+}
+
+impl ClusterClient {
+    /// Builds a router over `addrs` with the per-cluster KEK, probing
+    /// every node with a ping round trip so dead addresses fail fast.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] for an empty node list or a KEK that
+    /// is not an AES key length; [`ClientError::NodeUnreachable`] for
+    /// a node that does not answer the probe.
+    pub fn connect(addrs: &[SocketAddr], kek: &[u8]) -> Result<ClusterClient, ClientError> {
+        Self::connect_version(addrs, kek, PROTOCOL_V2)
+    }
+
+    /// [`ClusterClient::connect`] pinned to the version-1 wire format:
+    /// every node connection speaks strictly in-order v1, so requests
+    /// run inline on the node's event loop (no pipelining). The
+    /// compatibility path — and the honest way to benchmark per-node
+    /// serial capacity.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterClient::connect`].
+    pub fn connect_v1(addrs: &[SocketAddr], kek: &[u8]) -> Result<ClusterClient, ClientError> {
+        Self::connect_version(addrs, kek, PROTOCOL_V1)
+    }
+
+    fn connect_version(
+        addrs: &[SocketAddr],
+        kek: &[u8],
+        version: u8,
+    ) -> Result<ClusterClient, ClientError> {
+        if addrs.is_empty() {
+            return Err(ClientError::Protocol(
+                "a cluster needs at least one node".into(),
+            ));
+        }
+        if !matches!(kek.len(), 16 | 24 | 32) {
+            return Err(ClientError::Protocol(format!(
+                "KEK must be 16/24/32 bytes, got {}",
+                kek.len()
+            )));
+        }
+        let mut cluster = ClusterClient {
+            nodes: addrs
+                .iter()
+                .map(|&addr| Node {
+                    addr,
+                    state: NodeState::Up,
+                })
+                .collect(),
+            ring: HashRing::new(addrs.len()),
+            kek: kek.to_vec(),
+            sessions: BTreeMap::new(),
+            next_label: 0,
+            current: None,
+            version,
+        };
+        for node in 0..cluster.nodes.len() {
+            let mut probe = cluster.connect_node(node)?;
+            probe
+                .ping(b"cluster-probe")
+                .map_err(|_| ClientError::NodeUnreachable { node })?;
+        }
+        Ok(cluster)
+    }
+
+    /// Number of nodes (any state).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The router's current verdict for `node`.
+    #[must_use]
+    pub fn node_state(&self, node: usize) -> NodeState {
+        self.nodes[node].state
+    }
+
+    /// Live sessions across the cluster.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The node currently holding session `label`.
+    #[must_use]
+    pub fn session_node(&self, label: u64) -> Option<usize> {
+        self.sessions.get(&label).map(|e| e.node)
+    }
+
+    /// The session Transport calls route to (the most recently opened
+    /// or [`ClusterClient::use_session`]-selected one).
+    #[must_use]
+    pub fn current_session(&self) -> Option<u64> {
+        self.current
+    }
+
+    /// Routes subsequent Transport calls to session `label`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] for an unknown label.
+    pub fn use_session(&mut self, label: u64) -> Result<(), ClientError> {
+        if !self.sessions.contains_key(&label) {
+            return Err(ClientError::Protocol(format!("unknown session {label}")));
+        }
+        self.current = Some(label);
+        Ok(())
+    }
+
+    /// One TCP dial at the cluster's pinned wire version.
+    fn dial(&self, addr: SocketAddr) -> std::io::Result<Client> {
+        if self.version >= PROTOCOL_V2 {
+            Client::connect(addr)
+        } else {
+            Client::connect_v1(addr)
+        }
+    }
+
+    /// Connects to a node, retrying once; a second failure marks the
+    /// node `Down` and surfaces the typed verdict.
+    fn connect_node(&mut self, node: usize) -> Result<Client, ClientError> {
+        let addr = self.nodes[node].addr;
+        if let Ok(client) = self.dial(addr) {
+            return Ok(client);
+        }
+        thread::sleep(Duration::from_millis(50));
+        match self.dial(addr) {
+            Ok(client) => Ok(client),
+            Err(_) => {
+                self.nodes[node].state = NodeState::Down;
+                Err(ClientError::NodeUnreachable { node })
+            }
+        }
+    }
+
+    /// Connects to `node` and replays KEK ‖ `chain` to reconstruct a
+    /// session there. Only wrapped material crosses the wire.
+    fn establish(&mut self, node: usize, chain: &[Vec<u8>]) -> Result<Client, ClientError> {
+        let mut client = self.connect_node(node)?;
+        client.set_key(&self.kek)?;
+        for blob in chain {
+            client.set_key_wrapped(blob)?;
+        }
+        Ok(client)
+    }
+
+    /// The ring home for `label` among nodes in state `Up`.
+    fn place(&self, label: u64) -> Result<usize, ClientError> {
+        let nodes = &self.nodes;
+        self.ring
+            .route_where(label, |n| nodes[n].state == NodeState::Up)
+            .ok_or_else(|| ClientError::Protocol("no Up node available for placement".into()))
+    }
+
+    /// Opens a new session keyed with `key` and makes it current.
+    ///
+    /// The raw key crosses the wire exactly once, to the session's
+    /// home node: the home wraps it under the KEK (giving the router
+    /// the migration blob) and immediately re-keys itself from that
+    /// blob. Returns the session label.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors (`BadKeyLength`, ...),
+    /// [`ClientError::NodeUnreachable`], or transport failures.
+    pub fn open_session(&mut self, key: &[u8]) -> Result<u64, ClientError> {
+        let label = self.next_label;
+        let node = self.place(label)?;
+        let mut client = self.connect_node(node)?;
+        // KEK session first: WRAP_KEY under the KEK produces the blob
+        // every *other* node will be keyed from.
+        client.set_key(&self.kek)?;
+        let wrapped = client.wrap_key(key)?;
+        // The home node itself re-keys from the blob too — the raw key
+        // was only ever SET_KEY'd... never: it rode WRAP_KEY's payload,
+        // to this one node, and nowhere else.
+        client.set_key_wrapped(&wrapped)?;
+        self.next_label += 1;
+        self.sessions.insert(
+            label,
+            SessionEntry {
+                node,
+                client,
+                chain: vec![wrapped],
+                parked: Vec::new(),
+            },
+        );
+        self.current = Some(label);
+        Ok(label)
+    }
+
+    /// Runs `f` against the current session's connection, transparently
+    /// retrying once through a reconnect + chain replay on a transport
+    /// error. A node that stays dead surfaces as
+    /// [`ClientError::NodeUnreachable`].
+    fn with_current<R>(
+        &mut self,
+        f: impl Fn(&mut Client) -> Result<R, ClientError>,
+    ) -> Result<R, ClientError> {
+        let label = self.current.ok_or_else(|| {
+            ClientError::Protocol("no cluster session — call set_key first".into())
+        })?;
+        let mut entry = self
+            .sessions
+            .remove(&label)
+            .expect("current always names a live session");
+        let mut result = f(&mut entry.client);
+        if matches!(result, Err(ClientError::Io(_) | ClientError::Recv(_))) {
+            match self.establish(entry.node, &entry.chain) {
+                Ok(fresh) => {
+                    entry.client = fresh;
+                    result = f(&mut entry.client);
+                }
+                Err(e) => {
+                    self.sessions.insert(label, entry);
+                    return Err(e);
+                }
+            }
+        }
+        self.sessions.insert(label, entry);
+        result
+    }
+
+    /// Drains `node`: marks it `Draining` (no new sessions land
+    /// there), then migrates every session it holds to that session's
+    /// ring successor — in-flight pipelined replies are collected
+    /// first (and parked for `collect_next`), the successor is keyed
+    /// by chain replay, and the old connection is dropped. Returns how
+    /// many sessions moved.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors or [`ClientError::NodeUnreachable`] from
+    /// the successor; the drain stops at the first failure with the
+    /// remaining sessions still on the draining node.
+    pub fn drain(&mut self, node: usize) -> Result<usize, ClientError> {
+        self.nodes[node].state = NodeState::Draining;
+        let homed: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, e)| e.node == node)
+            .map(|(&label, _)| label)
+            .collect();
+        let mut moved = 0;
+        for label in homed {
+            let mut entry = self
+                .sessions
+                .remove(&label)
+                .expect("label collected from the live map");
+            // Nothing accepted may be lost: pull every in-flight
+            // pipelined completion off the old connection before it
+            // goes away.
+            match entry.client.collect_all() {
+                Ok(jobs) => entry.parked.extend(jobs),
+                Err(e) => {
+                    self.sessions.insert(label, entry);
+                    return Err(e);
+                }
+            }
+            let target = match self.place(label) {
+                Ok(t) => t,
+                Err(e) => {
+                    self.sessions.insert(label, entry);
+                    return Err(e);
+                }
+            };
+            match self.establish(target, &entry.chain) {
+                Ok(fresh) => {
+                    entry.client = fresh;
+                    entry.node = target;
+                    moved += 1;
+                    self.sessions.insert(label, entry);
+                }
+                Err(e) => {
+                    self.sessions.insert(label, entry);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Returns a `Down` or `Draining` node to placement rotation.
+    /// Existing sessions stay where they are; the ring simply starts
+    /// offering the node to new labels again.
+    pub fn restore(&mut self, node: usize) {
+        self.nodes[node].state = NodeState::Up;
+    }
+
+    /// Polls every non-`Down` node's `GET_STATS` over a transient
+    /// connection: reachability, the active-connection gauge and the
+    /// pipeline-inflight gauge. A node that does not answer is marked
+    /// `Down` (a `Draining` node that answers stays `Draining`).
+    #[must_use]
+    pub fn poll_health(&mut self) -> Vec<NodeHealth> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        for node in 0..self.nodes.len() {
+            let mut reachable = false;
+            let mut active = None;
+            let mut inflight = None;
+            if self.nodes[node].state != NodeState::Down {
+                if let Ok(mut probe) = self.dial(self.nodes[node].addr) {
+                    if let Ok(json) = probe.stats() {
+                        reachable = true;
+                        for (name, value) in stats::scrape(&json) {
+                            if let stats::Scraped::Gauge(v) = value {
+                                match name.as_str() {
+                                    "service.connections.active" => active = Some(v),
+                                    "service.pipeline.inflight" => inflight = Some(v),
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+                if !reachable {
+                    self.nodes[node].state = NodeState::Down;
+                }
+            }
+            out.push(NodeHealth {
+                node,
+                state: self.nodes[node].state,
+                reachable,
+                active_connections: active,
+                inflight,
+            });
+        }
+        out
+    }
+
+    /// Fetches and merges every reachable node's `GET_STATS` document
+    /// (see [`stats::aggregate`] for the merge semantics).
+    ///
+    /// # Errors
+    ///
+    /// Never fails outright — unreachable nodes appear as
+    /// `cluster.node.<i>.up = 0` — but the signature stays fallible to
+    /// match the `Transport` surface.
+    pub fn aggregated_stats(&mut self) -> Result<String, ClientError> {
+        let docs: Vec<Option<String>> = (0..self.nodes.len())
+            .map(|node| {
+                if self.nodes[node].state == NodeState::Down {
+                    return None;
+                }
+                self.dial(self.nodes[node].addr)
+                    .ok()
+                    .and_then(|mut probe| probe.stats().ok())
+            })
+            .collect();
+        Ok(stats::aggregate(&docs))
+    }
+
+    /// A connection to any `Up` node for session-less ops (ping).
+    fn any_up(&mut self) -> Result<Client, ClientError> {
+        let candidates: Vec<usize> = (0..self.nodes.len())
+            .filter(|&n| self.nodes[n].state == NodeState::Up)
+            .collect();
+        for node in candidates {
+            if let Ok(client) = self.dial(self.nodes[node].addr) {
+                return Ok(client);
+            }
+        }
+        Err(ClientError::Protocol("no Up node reachable".into()))
+    }
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("nodes", &self.nodes.len())
+            .field("sessions", &self.sessions.len())
+            .field("current", &self.current)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Transport for ClusterClient {
+    /// Opens a **new cluster session** (placement, KEK wrap, re-key)
+    /// and makes it current — the cluster analogue of a fresh
+    /// `SET_KEY`. Returns the home node's wire session id.
+    fn set_key(&mut self, key: &[u8]) -> Result<u32, ClientError> {
+        let label = self.open_session(key)?;
+        Ok(self.sessions[&label].client.session())
+    }
+
+    fn set_key_wrapped(&mut self, wrapped: &[u8]) -> Result<u32, ClientError> {
+        let sid = self.with_current(|c| c.set_key_wrapped(wrapped))?;
+        let label = self.current.expect("with_current verified this");
+        if let Some(entry) = self.sessions.get_mut(&label) {
+            // Extend the chain so migration can replay the re-key.
+            entry.chain.push(wrapped.to_vec());
+        }
+        Ok(sid)
+    }
+
+    fn ping(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        if self.current.is_some() {
+            self.with_current(|c| c.ping(payload))
+        } else {
+            self.any_up()?.ping(payload)
+        }
+    }
+
+    fn ecb_encrypt(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.with_current(|c| c.ecb_encrypt(plaintext))
+    }
+
+    fn ecb_decrypt(&mut self, ciphertext: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.with_current(|c| c.ecb_decrypt(ciphertext))
+    }
+
+    fn cbc_encrypt(&mut self, iv: &[u8; 16], plaintext: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.with_current(|c| c.cbc_encrypt(iv, plaintext))
+    }
+
+    fn cbc_decrypt(&mut self, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.with_current(|c| c.cbc_decrypt(iv, ciphertext))
+    }
+
+    fn ctr_apply(&mut self, counter: &[u8; 16], data: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.with_current(|c| c.ctr_apply(counter, data))
+    }
+
+    fn cmac_tag(&mut self, message: &[u8]) -> Result<[u8; 16], ClientError> {
+        self.with_current(|c| c.cmac_tag(message))
+    }
+
+    fn cmac_verify(&mut self, message: &[u8], tag: &[u8; 16]) -> Result<bool, ClientError> {
+        self.with_current(|c| c.cmac_verify(message, tag))
+    }
+
+    fn seal(
+        &mut self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        self.with_current(|c| c.seal(nonce, aad, plaintext))
+    }
+
+    fn open(
+        &mut self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Option<Vec<u8>>, ClientError> {
+        self.with_current(|c| c.open(nonce, aad, sealed))
+    }
+
+    fn wrap_key(&mut self, key_data: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.with_current(|c| c.wrap_key(key_data))
+    }
+
+    fn unwrap_key(&mut self, wrapped: &[u8]) -> Result<Option<Vec<u8>>, ClientError> {
+        self.with_current(|c| c.unwrap_key(wrapped))
+    }
+
+    fn xts_encrypt(
+        &mut self,
+        sector_base: u64,
+        sector_size: u32,
+        data: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        self.with_current(|c| c.xts_encrypt(sector_base, sector_size, data))
+    }
+
+    fn xts_decrypt(
+        &mut self,
+        sector_base: u64,
+        sector_size: u32,
+        data: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        self.with_current(|c| c.xts_decrypt(sector_base, sector_size, data))
+    }
+
+    /// Cluster-wide: the merged `telemetry/1` document across all
+    /// reachable nodes, not one node's snapshot.
+    fn stats(&mut self) -> Result<String, ClientError> {
+        self.aggregated_stats()
+    }
+
+    fn pipeline(&mut self, op: Op, iv: Option<&[u8; 16]>, data: &[u8]) -> Result<u32, ClientError> {
+        self.with_current(|c| c.pipeline(op, iv, data))
+    }
+
+    fn collect_next(&mut self) -> Result<PipelinedJob, ClientError> {
+        if let Some(label) = self.current {
+            if let Some(entry) = self.sessions.get_mut(&label) {
+                if !entry.parked.is_empty() {
+                    // Completions rescued during a drain come first, in
+                    // their original arrival order.
+                    return Ok(entry.parked.remove(0));
+                }
+            }
+        }
+        self.with_current(|c| c.collect_next())
+    }
+
+    fn collect_all(&mut self) -> Result<Vec<PipelinedJob>, ClientError> {
+        let mut jobs = Vec::new();
+        if let Some(label) = self.current {
+            if let Some(entry) = self.sessions.get_mut(&label) {
+                jobs.append(&mut entry.parked);
+            }
+        }
+        jobs.extend(self.with_current(|c| c.collect_all())?);
+        Ok(jobs)
+    }
+
+    fn in_flight(&self) -> usize {
+        let Some(label) = self.current else { return 0 };
+        self.sessions
+            .get(&label)
+            .map_or(0, |e| e.parked.len() + e.client.in_flight())
+    }
+}

@@ -1,0 +1,148 @@
+//! Cluster-wide `GET_STATS` aggregation.
+//!
+//! Each node answers `GET_STATS` with a `telemetry/1` JSON document.
+//! The router scrapes the counters and gauges out of every reachable
+//! node's document with plain string surgery (the workspace ships no
+//! JSON parser, deliberately — the schema is stable and flat), sums
+//! them by name into a fresh [`telemetry::Registry`], adds per-node
+//! reachability gauges (`cluster.node.<i>.up`), and re-serializes.
+//! The aggregate is therefore itself a well-formed `telemetry/1`
+//! document, consumable by everything that already reads single-node
+//! snapshots.
+//!
+//! Histograms are **dropped** in aggregation: bucket-wise summing of
+//! per-node latency histograms would silently claim a precision the
+//! merged distribution does not have. Counters and gauges sum
+//! honestly; distributions do not.
+
+use telemetry::Registry;
+
+/// One scraped instrument value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scraped {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A last-value gauge (may be negative).
+    Gauge(i64),
+}
+
+/// Scrapes every counter and gauge out of a `telemetry/1` document.
+/// Histogram entries are skipped; anything that does not match the
+/// stable serialization shape is ignored rather than guessed at.
+#[must_use]
+pub fn scrape(json: &str) -> Vec<(String, Scraped)> {
+    const NAME: &str = "{\"name\":\"";
+    const COUNTER: &str = "\",\"type\":\"counter\",\"value\":";
+    const GAUGE: &str = "\",\"type\":\"gauge\",\"value\":";
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(NAME) {
+        rest = &rest[pos + NAME.len()..];
+        let Some(name_end) = rest.find('"') else {
+            break;
+        };
+        let name = &rest[..name_end];
+        let tail = &rest[name_end..];
+        if let Some(body) = tail.strip_prefix(COUNTER) {
+            if let Some(end) = body.find('}') {
+                if let Ok(v) = body[..end].parse::<u64>() {
+                    out.push((name.to_string(), Scraped::Counter(v)));
+                }
+            }
+        } else if let Some(body) = tail.strip_prefix(GAUGE) {
+            if let Some(end) = body.find('}') {
+                if let Ok(v) = body[..end].parse::<i64>() {
+                    out.push((name.to_string(), Scraped::Gauge(v)));
+                }
+            }
+        }
+        rest = tail;
+    }
+    out
+}
+
+/// Merges per-node documents (one slot per node; `None` = unreachable)
+/// into a single `telemetry/1` document: counters and gauges summed by
+/// name, plus a `cluster.node.<i>.up` gauge per slot and a
+/// `cluster.nodes.reachable` gauge.
+#[must_use]
+pub fn aggregate(docs: &[Option<String>]) -> String {
+    let registry = Registry::new();
+    let mut reachable = 0i64;
+    for (i, doc) in docs.iter().enumerate() {
+        let up = doc.is_some();
+        reachable += i64::from(up);
+        registry
+            .gauge(&format!("cluster.node.{i}.up"))
+            .set(i64::from(up));
+        if let Some(doc) = doc {
+            for (name, value) in scrape(doc) {
+                match value {
+                    Scraped::Counter(v) => registry.counter(&name).add(v),
+                    Scraped::Gauge(v) => {
+                        registry.gauge(&name).add(v);
+                    }
+                }
+            }
+        }
+    }
+    registry.gauge("cluster.nodes.reachable").set(reachable);
+    registry.snapshot().to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &str) -> String {
+        format!("{{\"schema\":\"telemetry/1\",\"instruments\":[{entries}]}}")
+    }
+
+    #[test]
+    fn scrape_reads_counters_and_gauges_and_skips_histograms() {
+        let json = doc("{\"name\":\"a.hits\",\"type\":\"counter\",\"value\":4},\
+             {\"name\":\"a.depth\",\"type\":\"gauge\",\"value\":-1},\
+             {\"name\":\"a.lat\",\"type\":\"histogram\",\"count\":2,\"sum\":70,\
+              \"mean\":35.000,\"buckets\":[{\"le\":50,\"count\":2},{\"le\":null,\"count\":0}]}");
+        let scraped = scrape(&json);
+        assert_eq!(
+            scraped,
+            vec![
+                ("a.hits".to_string(), Scraped::Counter(4)),
+                ("a.depth".to_string(), Scraped::Gauge(-1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregate_sums_by_name_and_reports_reachability() {
+        let a = doc(
+            "{\"name\":\"service.op.ping.requests\",\"type\":\"counter\",\"value\":3},\
+             {\"name\":\"service.connections.active\",\"type\":\"gauge\",\"value\":2}",
+        );
+        let b = doc("{\"name\":\"service.op.ping.requests\",\"type\":\"counter\",\"value\":5}");
+        let merged = aggregate(&[Some(a), None, Some(b)]);
+        assert!(merged.starts_with("{\"schema\":\"telemetry/1\""));
+        let scraped = scrape(&merged);
+        let get = |name: &str| {
+            scraped
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing {name} in {merged}"))
+        };
+        assert_eq!(get("service.op.ping.requests"), Scraped::Counter(8));
+        assert_eq!(get("service.connections.active"), Scraped::Gauge(2));
+        assert_eq!(get("cluster.node.0.up"), Scraped::Gauge(1));
+        assert_eq!(get("cluster.node.1.up"), Scraped::Gauge(0));
+        assert_eq!(get("cluster.node.2.up"), Scraped::Gauge(1));
+        assert_eq!(get("cluster.nodes.reachable"), Scraped::Gauge(2));
+    }
+
+    #[test]
+    fn scrape_tolerates_garbage_without_panicking() {
+        assert!(scrape("").is_empty());
+        assert!(scrape("{\"name\":\"x").is_empty());
+        assert!(scrape("{\"name\":\"x\",\"type\":\"counter\",\"value\":notanumber}").is_empty());
+    }
+}

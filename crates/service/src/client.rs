@@ -1,15 +1,25 @@
 //! Blocking loopback client with a pipelined submit/collect API: one
 //! [`Client`] per connection, typed methods over the raw frame layer.
 //!
-//! The client tracks the sequence counter and the live session id, maps
-//! [`Status::Error`] replies into [`ClientError::Service`], and matches
-//! every reply to its request by **correlation id** — never by arrival
-//! order. That makes it safe against the v2 server's out-of-order
-//! completions: a reply for a different outstanding request is stashed
-//! and delivered when its own call asks for it, and only a reply that
-//! matches *nothing* outstanding is an error
-//! ([`ClientError::StrayReply`] — the old client failed hard on any
-//! sequence mismatch, with no way to resynchronise).
+//! The wire discipline lives in [`NodeConn`] — one TCP connection to
+//! one service node, owning the sequence counter, the live session id,
+//! correlation matching and the bounded stray-reply stash. [`Client`]
+//! wraps a `NodeConn` with typed per-op methods; the cluster router
+//! drives one connection per node through the same core, which is why
+//! the two never disagree about framing.
+//!
+//! The client maps [`Status::Error`] replies into
+//! [`ClientError::Service`], and matches every reply to its request by
+//! **correlation id** — never by arrival order. That makes it safe
+//! against the v2 server's out-of-order completions: a reply for a
+//! different outstanding request is stashed and delivered when its own
+//! call asks for it, and only a reply that matches *nothing*
+//! outstanding is an error ([`ClientError::StrayReply`] — the old
+//! client failed hard on any sequence mismatch, with no way to
+//! resynchronise). The stash is bounded at [`NodeConn::STASH_CAP`]
+//! frames: a caller that abandons correlation ids can no longer grow
+//! it without limit — the oldest stashed reply is dropped instead and
+//! counted in [`NodeConn::stash_evictions`].
 //!
 //! Three request disciplines are exposed:
 //!
@@ -55,6 +65,14 @@ pub enum ClientError {
         /// The unmatched correlation id.
         corr: u32,
     },
+    /// A cluster node stayed down through a reconnect attempt: the
+    /// router could neither reach it nor re-establish the session. The
+    /// raw transport failure was already consumed by the retry — this
+    /// is the typed verdict that replaces it.
+    NodeUnreachable {
+        /// The cluster's index for the unreachable node.
+        node: usize,
+    },
     /// The reply did not have the shape the call expected.
     Protocol(String),
 }
@@ -69,6 +87,9 @@ impl fmt::Display for ClientError {
             }
             ClientError::StrayReply { corr } => {
                 write!(f, "stray reply: correlation id {corr} matches no request")
+            }
+            ClientError::NodeUnreachable { node } => {
+                write!(f, "cluster node {node} unreachable after reconnect attempt")
             }
             ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
@@ -128,9 +149,17 @@ pub struct PipelinedJob {
     pub result: Result<Vec<u8>, (ErrorCode, u32)>,
 }
 
-/// A blocking connection to the service.
+/// The wire core: one TCP connection to one service node.
+///
+/// `NodeConn` owns everything a correct conversation needs — the
+/// sequence counter, the live session id, the v1/v2 framing choice,
+/// the set of outstanding correlation ids and the bounded stash of
+/// out-of-order replies. [`Client`] layers the typed per-op methods on
+/// top; `rijndael-cluster`'s router drives one `NodeConn`-backed
+/// client per node, so single-node and cluster traffic share one
+/// framing implementation.
 #[derive(Debug)]
-pub struct Client {
+pub struct NodeConn {
     stream: TcpStream,
     seq: u32,
     session: u32,
@@ -138,46 +167,50 @@ pub struct Client {
     /// Correlation ids of pipelined requests still awaiting replies.
     pending: HashSet<u32>,
     /// Out-of-order pipelined replies received while waiting for
-    /// something else, in arrival order.
+    /// something else, in arrival order; never longer than
+    /// [`NodeConn::STASH_CAP`].
     stash: Vec<Frame>,
+    /// Stashed replies dropped at the cap (their correlation ids are
+    /// forgotten with them).
+    stash_evicted: u64,
 }
 
-impl Client {
-    /// Connects (with `TCP_NODELAY`) speaking protocol v2, sequence
-    /// numbering starting at 1.
+impl NodeConn {
+    /// Most out-of-order replies held for later collection before the
+    /// oldest is dropped. A caller that abandons correlation ids (sends
+    /// pipelined work and never collects) previously grew the stash
+    /// without bound; now it saturates here.
+    pub const STASH_CAP: usize = 1024;
+
+    /// Connects (with `TCP_NODELAY`) speaking protocol v2.
     ///
     /// # Errors
     ///
     /// Propagates connect/setsockopt failures.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<NodeConn> {
         Self::connect_version(addr, crate::protocol::PROTOCOL_V2)
     }
 
-    /// Connects pinned to the version-1 wire format (11-byte header,
-    /// strictly in-order replies) — the compatibility path for peers
-    /// that predate pipelining.
+    /// Connects pinned to a specific wire-format version.
     ///
     /// # Errors
     ///
     /// Propagates connect/setsockopt failures.
-    pub fn connect_v1<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        Self::connect_version(addr, PROTOCOL_V1)
-    }
-
-    fn connect_version<A: ToSocketAddrs>(addr: A, version: u8) -> io::Result<Client> {
+    pub fn connect_version<A: ToSocketAddrs>(addr: A, version: u8) -> io::Result<NodeConn> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client {
+        Ok(NodeConn {
             stream,
             seq: 0,
             session: 0,
             version,
             pending: HashSet::new(),
             stash: Vec::new(),
+            stash_evicted: 0,
         })
     }
 
-    /// The live session id (0 before the first [`Client::set_key`]).
+    /// The live session id (0 before the first `SET_KEY`).
     #[must_use]
     pub fn session(&self) -> u32 {
         self.session
@@ -189,10 +222,21 @@ impl Client {
         self.version
     }
 
-    /// Pipelined requests sent and not yet collected.
+    /// Pipelined requests sent and not yet collected. A stashed reply
+    /// counts until its own collection call delivers it (the stash only
+    /// ever holds replies whose correlation id is still outstanding, so
+    /// the pending set alone is the honest tally — the old
+    /// `pending + stash` sum double-counted every stashed reply).
     #[must_use]
     pub fn in_flight(&self) -> usize {
-        self.pending.len() + self.stash.len()
+        self.pending.len()
+    }
+
+    /// Stashed replies dropped at [`NodeConn::STASH_CAP`] over the
+    /// connection's lifetime.
+    #[must_use]
+    pub fn stash_evictions(&self) -> u64 {
+        self.stash_evicted
     }
 
     fn next_seq(&mut self) -> u32 {
@@ -228,6 +272,17 @@ impl Client {
         Frame::read_from(&mut self.stream)
     }
 
+    /// Stashes an out-of-order reply, evicting the oldest stashed frame
+    /// (and forgetting its correlation id) once the cap is reached.
+    fn stash_reply(&mut self, reply: Frame) {
+        if self.stash.len() >= Self::STASH_CAP {
+            let evicted = self.stash.remove(0);
+            self.pending.remove(&evicted.corr);
+            self.stash_evicted += 1;
+        }
+        self.stash.push(reply);
+    }
+
     /// Reads until the reply correlated `want` arrives; pipelined
     /// replies that arrive in between are stashed for their own
     /// collection calls.
@@ -238,7 +293,7 @@ impl Client {
                 return Ok(reply);
             }
             if self.pending.contains(&reply.corr) {
-                self.stash.push(reply);
+                self.stash_reply(reply);
                 continue;
             }
             // An unsolicited goodbye (idle timeout, shutdown) carries
@@ -265,6 +320,227 @@ impl Client {
         Ok(reply)
     }
 
+    /// Sends a request **without waiting for the reply** and returns
+    /// its correlation id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures on the send.
+    fn pipeline_op(&mut self, op: Op, payload: Vec<u8>) -> Result<u32, ClientError> {
+        let corr = self.next_seq();
+        let request = self.request(op, 0, corr, payload);
+        self.send_raw(&request)?;
+        self.pending.insert(corr);
+        Ok(corr)
+    }
+
+    /// Receives the next pipelined completion (stashed replies first,
+    /// then the wire), blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::collect_next`].
+    fn collect_next(&mut self) -> Result<PipelinedJob, ClientError> {
+        if self.pending.is_empty() && self.stash.is_empty() {
+            return Err(ClientError::Protocol(
+                "collect_next with no pipelined request in flight".into(),
+            ));
+        }
+        let reply = if self.stash.is_empty() {
+            self.recv_raw()?
+        } else {
+            self.stash.remove(0)
+        };
+        if !self.pending.remove(&reply.corr) {
+            if reply.corr == 0 {
+                if let Some((code, detail)) = reply.error_body() {
+                    return Err(ClientError::Service { code, detail });
+                }
+            }
+            return Err(ClientError::StrayReply { corr: reply.corr });
+        }
+        let result = match reply.error_body() {
+            Some((code, detail)) => Err((code, detail)),
+            None => Ok(reply.payload),
+        };
+        Ok(PipelinedJob {
+            corr: reply.corr,
+            result,
+        })
+    }
+
+    /// Collects every outstanding pipelined completion, in arrival
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::collect_all`].
+    fn collect_all(&mut self) -> Result<Vec<PipelinedJob>, ClientError> {
+        let mut jobs = Vec::with_capacity(self.in_flight());
+        while self.in_flight() > 0 {
+            jobs.push(self.collect_next()?);
+        }
+        Ok(jobs)
+    }
+
+    /// Drains the session's deferred jobs until the `Flushed` marker.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::flush`].
+    fn flush(&mut self) -> Result<Vec<FlushedJob>, ClientError> {
+        let flush_seq = self.next_seq();
+        let request = self.request(Op::Flush, 0, flush_seq, Vec::new());
+        self.send_raw(&request)?;
+        let mut jobs = Vec::new();
+        loop {
+            let reply = self.recv_raw()?;
+            if self.pending.contains(&reply.corr) {
+                self.stash_reply(reply);
+                continue;
+            }
+            match reply.status() {
+                Some(Status::Data) => jobs.push(FlushedJob {
+                    seq: reply.corr,
+                    result: Ok(reply.payload),
+                }),
+                Some(Status::Error) => {
+                    let (code, detail) = reply
+                        .error_body()
+                        .ok_or_else(|| ClientError::Protocol("undecodable error reply".into()))?;
+                    if reply.corr == flush_seq {
+                        // The flush itself failed (NoSession, ...).
+                        return Err(ClientError::Service { code, detail });
+                    }
+                    jobs.push(FlushedJob {
+                        seq: reply.corr,
+                        result: Err((code, detail)),
+                    });
+                }
+                Some(Status::Flushed) => {
+                    let count = reply
+                        .payload
+                        .as_slice()
+                        .try_into()
+                        .map(u32::from_be_bytes)
+                        .map_err(|_| ClientError::Protocol("short Flushed payload".into()))?;
+                    if count as usize != jobs.len() {
+                        return Err(ClientError::Protocol(format!(
+                            "Flushed count {count} but {} results arrived",
+                            jobs.len()
+                        )));
+                    }
+                    return Ok(jobs);
+                }
+                _ => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected kind {:#04x} during flush",
+                        reply.kind
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// A blocking connection to the service: typed per-op methods over a
+/// [`NodeConn`].
+#[derive(Debug)]
+pub struct Client {
+    conn: NodeConn,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`) speaking protocol v2, sequence
+    /// numbering starting at 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/setsockopt failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Ok(Client {
+            conn: NodeConn::connect(addr)?,
+        })
+    }
+
+    /// Connects pinned to the version-1 wire format (11-byte header,
+    /// strictly in-order replies) — the compatibility path for peers
+    /// that predate pipelining.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/setsockopt failures.
+    pub fn connect_v1<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Ok(Client {
+            conn: NodeConn::connect_version(addr, PROTOCOL_V1)?,
+        })
+    }
+
+    /// The underlying wire connection.
+    #[must_use]
+    pub fn conn(&self) -> &NodeConn {
+        &self.conn
+    }
+
+    /// The live session id (0 before the first [`Client::set_key`]).
+    #[must_use]
+    pub fn session(&self) -> u32 {
+        self.conn.session()
+    }
+
+    /// The wire-format version this connection speaks.
+    #[must_use]
+    pub fn version(&self) -> u8 {
+        self.conn.version()
+    }
+
+    /// Pipelined requests sent and not yet collected.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.conn.in_flight()
+    }
+
+    /// Stashed replies dropped at [`NodeConn::STASH_CAP`] over the
+    /// connection's lifetime.
+    #[must_use]
+    pub fn stash_evictions(&self) -> u64 {
+        self.conn.stash_evictions()
+    }
+
+    #[cfg(test)]
+    fn request(&self, op: Op, flags: u8, seq: u32, payload: Vec<u8>) -> Frame {
+        self.conn.request(op, flags, seq, payload)
+    }
+
+    /// Sends a frame verbatim (protocol-test escape hatch).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn send_raw(&mut self, frame: &Frame) -> io::Result<()> {
+        self.conn.send_raw(frame)
+    }
+
+    /// Reads the next reply frame verbatim (protocol-test escape
+    /// hatch). Bypasses correlation matching — mixing this with
+    /// outstanding pipelined requests will misroute replies.
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing errors.
+    pub fn recv_raw(&mut self) -> Result<Frame, RecvError> {
+        self.conn.recv_raw()
+    }
+
+    #[cfg(test)]
+    fn recv_matched(&mut self, want: u32) -> Result<Frame, ClientError> {
+        self.conn.recv_matched(want)
+    }
+
+    fn call(&mut self, op: Op, flags: u8, payload: Vec<u8>) -> Result<Frame, ClientError> {
+        self.conn.call(op, flags, payload)
+    }
+
     fn expect_ok(reply: &Frame) -> Result<(), ClientError> {
         if reply.status() == Some(Status::Ok) {
             Ok(())
@@ -287,7 +563,25 @@ impl Client {
     pub fn set_key(&mut self, key: &[u8]) -> Result<u32, ClientError> {
         let reply = self.call(Op::SetKey, 0, key.to_vec())?;
         Self::expect_ok(&reply)?;
-        self.session = reply.session;
+        self.conn.session = reply.session;
+        Ok(reply.session)
+    }
+
+    /// Re-keys from an RFC 3394 blob wrapped under the **live**
+    /// session's key: the server unwraps it in place and the unwrapped
+    /// key becomes the new session key, so raw key bytes never cross
+    /// this connection. Returns the fresh session id.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors (`NoSession` without a live session,
+    /// `TagMismatch` on a tampered blob, `BadKeyLength` when the blob
+    /// unwraps to a non-key) or transport failures; every failure
+    /// leaves the current session live.
+    pub fn set_key_wrapped(&mut self, wrapped: &[u8]) -> Result<u32, ClientError> {
+        let reply = self.call(Op::SetKeyWrapped, 0, wrapped.to_vec())?;
+        Self::expect_ok(&reply)?;
+        self.conn.session = reply.session;
         Ok(reply.session)
     }
 
@@ -504,6 +798,59 @@ impl Client {
         }
     }
 
+    fn xts_payload(sector_base: u64, sector_size: u32, body: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(12 + body.len());
+        payload.extend_from_slice(&sector_base.to_be_bytes());
+        payload.extend_from_slice(&sector_size.to_be_bytes());
+        payload.extend_from_slice(body);
+        payload
+    }
+
+    /// XTS-encrypts `data` as consecutive `sector_size`-byte sectors
+    /// starting at sector number `sector_base` (sector `i` uses tweak
+    /// `sector_base + i`, wrapping). `data` must be a non-empty whole
+    /// number of sectors and `sector_size` at least one AES block.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors (`BadSectorSize` on bad geometry,
+    /// `NoSession`, ...) or transport failures.
+    pub fn xts_encrypt(
+        &mut self,
+        sector_base: u64,
+        sector_size: u32,
+        data: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        let reply = self.call(
+            Op::XtsEncrypt,
+            0,
+            Self::xts_payload(sector_base, sector_size, data),
+        )?;
+        Self::expect_ok(&reply)?;
+        Ok(reply.payload)
+    }
+
+    /// XTS-decrypts `data`; the inverse of [`Client::xts_encrypt`]
+    /// under the same sector geometry.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::xts_encrypt`].
+    pub fn xts_decrypt(
+        &mut self,
+        sector_base: u64,
+        sector_size: u32,
+        data: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        let reply = self.call(
+            Op::XtsDecrypt,
+            0,
+            Self::xts_payload(sector_base, sector_size, data),
+        )?;
+        Self::expect_ok(&reply)?;
+        Ok(reply.payload)
+    }
+
     /// Sends an engine op **without waiting for the reply** and returns
     /// its correlation id. Any number of pipelined requests may be in
     /// flight; collect them with [`Client::collect_next`] /
@@ -521,11 +868,7 @@ impl Client {
         iv: Option<&[u8; 16]>,
         data: &[u8],
     ) -> Result<u32, ClientError> {
-        let corr = self.next_seq();
-        let request = self.request(op, 0, corr, Self::engine_payload(iv, data));
-        self.send_raw(&request)?;
-        self.pending.insert(corr);
-        Ok(corr)
+        self.conn.pipeline_op(op, Self::engine_payload(iv, data))
     }
 
     /// Receives the next pipelined completion (stashed replies first,
@@ -538,32 +881,7 @@ impl Client {
     /// correlation id; unsolicited goodbyes surface as
     /// [`ClientError::Service`]; transport failures.
     pub fn collect_next(&mut self) -> Result<PipelinedJob, ClientError> {
-        if self.pending.is_empty() && self.stash.is_empty() {
-            return Err(ClientError::Protocol(
-                "collect_next with no pipelined request in flight".into(),
-            ));
-        }
-        let reply = if self.stash.is_empty() {
-            self.recv_raw()?
-        } else {
-            self.stash.remove(0)
-        };
-        if !self.pending.remove(&reply.corr) {
-            if reply.corr == 0 {
-                if let Some((code, detail)) = reply.error_body() {
-                    return Err(ClientError::Service { code, detail });
-                }
-            }
-            return Err(ClientError::StrayReply { corr: reply.corr });
-        }
-        let result = match reply.error_body() {
-            Some((code, detail)) => Err((code, detail)),
-            None => Ok(reply.payload),
-        };
-        Ok(PipelinedJob {
-            corr: reply.corr,
-            result,
-        })
+        self.conn.collect_next()
     }
 
     /// Collects every outstanding pipelined completion, in arrival
@@ -574,11 +892,7 @@ impl Client {
     /// As [`Client::collect_next`]; already-collected jobs are not
     /// re-delivered after an error.
     pub fn collect_all(&mut self) -> Result<Vec<PipelinedJob>, ClientError> {
-        let mut jobs = Vec::with_capacity(self.in_flight());
-        while self.in_flight() > 0 {
-            jobs.push(self.collect_next()?);
-        }
-        Ok(jobs)
+        self.conn.collect_all()
     }
 
     /// Submits a deferred engine job; `Busy` comes back as a value, not
@@ -623,57 +937,7 @@ impl Client {
     /// transport failures. Per-job failures come back inside
     /// [`FlushedJob::result`] instead of failing the whole flush.
     pub fn flush(&mut self) -> Result<Vec<FlushedJob>, ClientError> {
-        let flush_seq = self.next_seq();
-        let request = self.request(Op::Flush, 0, flush_seq, Vec::new());
-        self.send_raw(&request)?;
-        let mut jobs = Vec::new();
-        loop {
-            let reply = self.recv_raw()?;
-            if self.pending.contains(&reply.corr) {
-                self.stash.push(reply);
-                continue;
-            }
-            match reply.status() {
-                Some(Status::Data) => jobs.push(FlushedJob {
-                    seq: reply.corr,
-                    result: Ok(reply.payload),
-                }),
-                Some(Status::Error) => {
-                    let (code, detail) = reply
-                        .error_body()
-                        .ok_or_else(|| ClientError::Protocol("undecodable error reply".into()))?;
-                    if reply.corr == flush_seq {
-                        // The flush itself failed (NoSession, ...).
-                        return Err(ClientError::Service { code, detail });
-                    }
-                    jobs.push(FlushedJob {
-                        seq: reply.corr,
-                        result: Err((code, detail)),
-                    });
-                }
-                Some(Status::Flushed) => {
-                    let count = reply
-                        .payload
-                        .as_slice()
-                        .try_into()
-                        .map(u32::from_be_bytes)
-                        .map_err(|_| ClientError::Protocol("short Flushed payload".into()))?;
-                    if count as usize != jobs.len() {
-                        return Err(ClientError::Protocol(format!(
-                            "Flushed count {count} but {} results arrived",
-                            jobs.len()
-                        )));
-                    }
-                    return Ok(jobs);
-                }
-                _ => {
-                    return Err(ClientError::Protocol(format!(
-                        "unexpected kind {:#04x} during flush",
-                        reply.kind
-                    )))
-                }
-            }
-        }
+        self.conn.flush()
     }
 }
 
@@ -812,5 +1076,48 @@ mod tests {
             other => panic!("expected ShuttingDown, got {other:?}"),
         }
         server.join().unwrap();
+    }
+
+    #[test]
+    fn abandoned_pipelined_replies_evict_at_the_stash_cap() {
+        // One more pipelined job than the stash holds, all answered
+        // before the blocking ping the client is actually waiting on.
+        // The oldest stashed reply must be dropped (and its correlation
+        // id forgotten) instead of growing the stash without bound.
+        let depth = NodeConn::STASH_CAP + 1;
+        let mut replies: Vec<Frame> = (1..=depth as u32)
+            .map(|corr| ok_reply(corr, vec![0xCC]))
+            .collect();
+        let ping_corr = depth as u32 + 1;
+        replies.push(ok_reply(ping_corr, b"pong".to_vec()));
+        let (addr, server) = scripted_server(depth + 1, replies);
+
+        let mut client = Client::connect(addr).unwrap();
+        for _ in 0..depth {
+            client.pipeline(Op::EcbEncrypt, None, &[0u8; 16]).unwrap();
+        }
+        assert_eq!(client.in_flight(), depth);
+        let pong = client.ping(b"pong").unwrap();
+        assert_eq!(pong, b"pong");
+
+        // Exactly one eviction: the cap-sized stash plus the dropped
+        // oldest account for every pipelined reply.
+        assert_eq!(client.stash_evictions(), 1);
+        assert_eq!(client.in_flight(), NodeConn::STASH_CAP);
+        let jobs = client.collect_all().unwrap();
+        assert_eq!(jobs.len(), NodeConn::STASH_CAP);
+        // Correlation id 1 was the evicted one.
+        assert!(jobs.iter().all(|j| j.corr != 1));
+        assert_eq!(client.in_flight(), 0);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn node_unreachable_is_a_typed_displayable_error() {
+        let err = ClientError::NodeUnreachable { node: 2 };
+        assert_eq!(
+            err.to_string(),
+            "cluster node 2 unreachable after reconnect attempt"
+        );
     }
 }

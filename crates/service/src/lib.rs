@@ -25,7 +25,12 @@
 //!   shutdown that drains in-flight pipelined and deferred jobs;
 //! * [`client`] — a blocking loopback client with a pipelined
 //!   submit/collect API, used by the integration tests and the
-//!   `service_load` load generator.
+//!   `service_load` load generator; its wire core ([`NodeConn`]) is
+//!   reused per-node by the `rijndael-cluster` router;
+//! * [`transport`] — the object-safe [`Transport`] trait: the one
+//!   client surface implemented by both the single-node [`Client`] and
+//!   the cluster router, so callers swap between them without code
+//!   changes.
 //!
 //! Every server owns a [`telemetry::Registry`] that its session engines
 //! publish into; `GET_STATS` ([`Client::stats`]) returns one snapshot of
@@ -59,8 +64,10 @@ pub mod net;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod transport;
 
-pub use client::{Client, ClientError, FlushedJob, PipelinedJob, SubmitOutcome};
+pub use client::{Client, ClientError, FlushedJob, NodeConn, PipelinedJob, SubmitOutcome};
 pub use protocol::{ErrorCode, Frame, Op, RecvBuffer, RecvError, Status};
-pub use server::{Server, ServiceConfig, ServiceHandle};
+pub use server::{ConfigError, Server, ServiceConfig, ServiceConfigBuilder, ServiceHandle};
 pub use session::{Session, SessionSlot};
+pub use transport::Transport;

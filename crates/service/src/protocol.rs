@@ -114,6 +114,18 @@ pub enum Op {
     /// request counts, error tallies, connection gauges, and every
     /// session engine's `engine.*` instruments. Needs no session.
     GetStats = 0x04,
+    /// Re-key from an RFC 3394 wrapped blob: the server unwraps the
+    /// payload under the **live session's** key (which acts as the KEK)
+    /// and replaces the session with one keyed on the recovered bytes —
+    /// the raw key never crosses the wire. This is the cluster
+    /// key-distribution primitive: the home node wraps the session key
+    /// once ([`Op::WrapKey`]) and every other node only ever sees the
+    /// wrapped blob. Payload: the wrapped blob. Reply: [`Status::Ok`]
+    /// with the new session id in the header, or
+    /// [`ErrorCode::TagMismatch`] / [`ErrorCode::BadKeyLength`] /
+    /// [`ErrorCode::Malformed`] — all of which leave the KEK session
+    /// live.
+    SetKeyWrapped = 0x05,
     /// ECB-encrypt whole blocks. Payload: plaintext.
     EcbEncrypt = 0x10,
     /// ECB-decrypt whole blocks. Payload: ciphertext.
@@ -147,6 +159,17 @@ pub enum Op {
     /// multiple of 8). Reply: the recovered key data, or
     /// [`ErrorCode::TagMismatch`] when the integrity check fails.
     UnwrapKey = 0x23,
+    /// AES-XTS (IEEE 1619) sector encryption under the session key.
+    /// Payload: `sector_base: u64 BE` ‖ `sector_size: u32 BE` ‖ body,
+    /// where `sector_size` is ≥ 16 and the body is a non-empty whole
+    /// number of sectors; sector `i` of the body uses tweak
+    /// `sector_base + i` (wrapping). Reply: the ciphertext, same length
+    /// (ragged sector sizes use ciphertext stealing). A bad size or a
+    /// ragged body is [`ErrorCode::BadSectorSize`].
+    XtsEncrypt = 0x30,
+    /// AES-XTS sector decryption: inverse of [`Op::XtsEncrypt`], same
+    /// payload layout and error contract.
+    XtsDecrypt = 0x31,
 }
 
 impl Op {
@@ -158,6 +181,7 @@ impl Op {
             0x02 => Op::Flush,
             0x03 => Op::Ping,
             0x04 => Op::GetStats,
+            0x05 => Op::SetKeyWrapped,
             0x10 => Op::EcbEncrypt,
             0x11 => Op::EcbDecrypt,
             0x12 => Op::CbcEncrypt,
@@ -169,6 +193,8 @@ impl Op {
             0x21 => Op::Open,
             0x22 => Op::WrapKey,
             0x23 => Op::UnwrapKey,
+            0x30 => Op::XtsEncrypt,
+            0x31 => Op::XtsDecrypt,
             _ => return None,
         })
     }
@@ -182,6 +208,7 @@ impl Op {
             Op::Flush => "flush",
             Op::Ping => "ping",
             Op::GetStats => "get_stats",
+            Op::SetKeyWrapped => "set_key_wrapped",
             Op::EcbEncrypt => "ecb_encrypt",
             Op::EcbDecrypt => "ecb_decrypt",
             Op::CbcEncrypt => "cbc_encrypt",
@@ -193,6 +220,8 @@ impl Op {
             Op::Open => "open",
             Op::WrapKey => "wrap_key",
             Op::UnwrapKey => "unwrap_key",
+            Op::XtsEncrypt => "xts_encrypt",
+            Op::XtsDecrypt => "xts_decrypt",
         }
     }
 
@@ -313,6 +342,10 @@ pub enum ErrorCode {
     /// `SET_KEY` payload is not a valid AES key length (16, 24 or 32
     /// bytes). Detail: the received length.
     BadKeyLength = 16,
+    /// An XTS op's sector size is under one block, or its body is not a
+    /// non-empty whole number of sectors. Detail: the offending value
+    /// (the sector size, or the body length when the body is ragged).
+    BadSectorSize = 17,
 }
 
 impl ErrorCode {
@@ -336,6 +369,7 @@ impl ErrorCode {
             14 => ErrorCode::TooManyConnections,
             15 => ErrorCode::TagMismatch,
             16 => ErrorCode::BadKeyLength,
+            17 => ErrorCode::BadSectorSize,
             _ => return None,
         })
     }
@@ -361,6 +395,7 @@ impl ErrorCode {
             ErrorCode::TooManyConnections => "too_many_connections",
             ErrorCode::TagMismatch => "tag_mismatch",
             ErrorCode::BadKeyLength => "bad_key_length",
+            ErrorCode::BadSectorSize => "bad_sector_size",
         }
     }
 }
@@ -384,6 +419,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::TooManyConnections => "server connection cap reached",
             ErrorCode::TagMismatch => "authentication tag mismatch",
             ErrorCode::BadKeyLength => "key must be 16, 24 or 32 bytes",
+            ErrorCode::BadSectorSize => "sector size under 16 or body not whole sectors",
         };
         f.write_str(s)
     }
@@ -1001,6 +1037,7 @@ mod tests {
             Op::Flush,
             Op::Ping,
             Op::GetStats,
+            Op::SetKeyWrapped,
             Op::EcbEncrypt,
             Op::EcbDecrypt,
             Op::CbcEncrypt,
@@ -1012,6 +1049,8 @@ mod tests {
             Op::Open,
             Op::WrapKey,
             Op::UnwrapKey,
+            Op::XtsEncrypt,
+            Op::XtsDecrypt,
         ] {
             assert_eq!(Op::from_u8(op as u8), Some(op));
             assert!(op
@@ -1034,14 +1073,14 @@ mod tests {
             assert_eq!(Status::from_u8(st as u8), Some(st));
         }
         assert_eq!(Status::from_u8(0x90), None);
-        for code in 1..=16u8 {
-            let decoded = ErrorCode::from_u8(code).expect("codes 1..=16 are assigned");
+        for code in 1..=17u8 {
+            let decoded = ErrorCode::from_u8(code).expect("codes 1..=17 are assigned");
             assert_eq!(decoded as u8, code);
             assert!(!decoded.to_string().is_empty());
             assert!(!decoded.name().is_empty());
         }
         assert_eq!(ErrorCode::from_u8(0), None);
-        assert_eq!(ErrorCode::from_u8(17), None);
+        assert_eq!(ErrorCode::from_u8(18), None);
     }
 
     #[test]
@@ -1057,12 +1096,15 @@ mod tests {
             Op::Flush,
             Op::Ping,
             Op::GetStats,
+            Op::SetKeyWrapped,
             Op::CmacTag,
             Op::CmacVerify,
             Op::Seal,
             Op::Open,
             Op::WrapKey,
             Op::UnwrapKey,
+            Op::XtsEncrypt,
+            Op::XtsDecrypt,
         ] {
             assert!(!op.is_engine_op());
             assert_eq!(op.engine_mode(iv), None);

@@ -63,6 +63,7 @@
 //! [`ServiceHandle::shutdown`] joins the acceptor, which joins every
 //! shard — no threads outlive the handle.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -124,7 +125,16 @@ const EVENTS_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 const DISPATCH_BOUNDS: [u64; 8] = [10, 50, 100, 500, 1_000, 5_000, 10_000, 100_000];
 
 /// Server tuning knobs.
+///
+/// Construct through [`ServiceConfig::builder`], which validates the
+/// knobs and rejects contradictions with typed [`ConfigError`]s, or
+/// start from [`ServiceConfig::default`]. The struct is
+/// `#[non_exhaustive]`: direct struct-literal construction outside this
+/// crate is not supported (it silently skipped validation and broke on
+/// every added field), which is exactly the misuse the builder
+/// replaces.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServiceConfig {
     /// Engine farm built for every session (each connection keys its
     /// own copy, so farms are not shared across clients). The default is
@@ -152,6 +162,17 @@ pub struct ServiceConfig {
     pub elastic: Option<ResizePolicy>,
 }
 
+impl ServiceConfig {
+    /// A validating builder seeded with the default knobs — the blessed
+    /// construction path, mirroring `engine::EngineBuilder`.
+    #[must_use]
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: ServiceConfig::default(),
+        }
+    }
+}
+
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
@@ -162,6 +183,137 @@ impl Default for ServiceConfig {
             event_threads: 2,
             elastic: None,
         }
+    }
+}
+
+/// Typed rejection from [`ServiceConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The engine farm has no backend slots: sessions could never run a
+    /// job.
+    EmptyFarm,
+    /// Zero shard event-loop threads: no thread would ever service a
+    /// connection.
+    ZeroShards,
+    /// Zero per-session queue capacity: every submission would bounce
+    /// `Busy`.
+    ZeroQueueCapacity,
+    /// Zero connection admission cap: every connect would be refused.
+    ZeroConnections,
+    /// Contradictory elastic bounds: the pool could never hold a legal
+    /// worker count.
+    ElasticBounds {
+        /// The policy's floor (zero, or above the ceiling).
+        min_workers: usize,
+        /// The policy's ceiling.
+        max_workers: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyFarm => f.write_str("farm must have at least one backend slot"),
+            ConfigError::ZeroShards => f.write_str("event_threads must be at least 1"),
+            ConfigError::ZeroQueueCapacity => f.write_str("queue_capacity must be at least 1"),
+            ConfigError::ZeroConnections => f.write_str("max_connections must be at least 1"),
+            ConfigError::ElasticBounds {
+                min_workers,
+                max_workers,
+            } => write!(
+                f,
+                "elastic bounds are contradictory: min_workers {min_workers}, \
+                 max_workers {max_workers}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`ServiceConfig`]; see
+/// [`ServiceConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// The engine farm built for every session (one backend slot per
+    /// entry).
+    #[must_use]
+    pub fn farm(mut self, farm: &[BackendSpec]) -> Self {
+        self.config.farm = farm.to_vec();
+        self
+    }
+
+    /// Bound on each session's engine queue (deferred plus pipelined
+    /// jobs).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Connection admission cap.
+    #[must_use]
+    pub fn max_connections(mut self, cap: usize) -> Self {
+        self.config.max_connections = cap;
+        self
+    }
+
+    /// Idle budget before a typed [`ErrorCode::IdleTimeout`] goodbye.
+    #[must_use]
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.config.idle_timeout = timeout;
+        self
+    }
+
+    /// Shard event-loop threads the connections are spread across.
+    #[must_use]
+    pub fn event_threads(mut self, threads: usize) -> Self {
+        self.config.event_threads = threads;
+        self
+    }
+
+    /// Elastic worker-pool supervision policy (see
+    /// [`ServiceConfig::elastic`]).
+    #[must_use]
+    pub fn elastic(mut self, policy: ResizePolicy) -> Self {
+        self.config.elastic = Some(policy);
+        self
+    }
+
+    /// Validates the knobs and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ConfigError`] naming the first contradiction: an empty
+    /// farm, zero shards/capacity/connections, or elastic bounds that
+    /// admit no legal worker count.
+    pub fn build(self) -> Result<ServiceConfig, ConfigError> {
+        let c = &self.config;
+        if c.farm.is_empty() {
+            return Err(ConfigError::EmptyFarm);
+        }
+        if c.event_threads == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if c.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if c.max_connections == 0 {
+            return Err(ConfigError::ZeroConnections);
+        }
+        if let Some(policy) = &c.elastic {
+            if policy.min_workers == 0 || policy.min_workers > policy.max_workers {
+                return Err(ConfigError::ElasticBounds {
+                    min_workers: policy.min_workers,
+                    max_workers: policy.max_workers,
+                });
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -986,6 +1138,52 @@ fn dispatch(frame: Frame, conn: &mut Conn, shared: &Shared) -> Flow {
             // material never appears in any reply payload.
             push_reply(out, &frame, Status::Ok, sid, Vec::new());
         }
+        Op::SetKeyWrapped => {
+            // Needs a live session: its key is the KEK the blob was
+            // wrapped under. Every failure leaves that session live so
+            // the client can retry with a corrected blob.
+            if !session_ok(out, shared, &frame, live) {
+                return Flow::Continue;
+            }
+            let unwrapped = slot
+                .session_mut()
+                .expect("checked live")
+                .unwrap_key(&frame.payload);
+            match unwrapped {
+                Ok(mut key) => {
+                    if !matches!(key.len(), 16 | 24 | 32) {
+                        let len = key.len() as u32;
+                        rijndael::zeroize::wipe_bytes(&mut key);
+                        push_error(out, shared, &frame, ErrorCode::BadKeyLength, len, live);
+                        return Flow::Continue;
+                    }
+                    let sid = slot.rekey(
+                        &key,
+                        &shared.config.farm,
+                        shared.config.queue_capacity,
+                        &shared.registry,
+                    );
+                    rijndael::zeroize::wipe_bytes(&mut key);
+                    if let Some(n) = notifier {
+                        slot.session_mut().expect("just rekeyed").set_notifier(n);
+                    }
+                    push_reply(out, &frame, Status::Ok, sid, Vec::new());
+                }
+                Err(aead::Error::TagMismatch) => {
+                    push_error(out, shared, &frame, ErrorCode::TagMismatch, 0, live);
+                }
+                Err(_) => {
+                    push_error(
+                        out,
+                        shared,
+                        &frame,
+                        ErrorCode::Malformed,
+                        frame.payload.len() as u32,
+                        live,
+                    );
+                }
+            }
+        }
         Op::Flush => {
             if !session_ok(out, shared, &frame, live) {
                 return Flow::Continue;
@@ -1108,9 +1306,77 @@ fn dispatch(frame: Frame, conn: &mut Conn, shared: &Shared) -> Flow {
                 }
             }
         }
+        Op::XtsEncrypt | Op::XtsDecrypt => {
+            if !session_ok(out, shared, &frame, live) {
+                return Flow::Continue;
+            }
+            let Some((sector_base, sector_size, body)) = split_xts_payload(&frame.payload) else {
+                push_error(
+                    out,
+                    shared,
+                    &frame,
+                    ErrorCode::Malformed,
+                    frame.payload.len() as u32,
+                    live,
+                );
+                return Flow::Continue;
+            };
+            if sector_size < 16 {
+                push_error(
+                    out,
+                    shared,
+                    &frame,
+                    ErrorCode::BadSectorSize,
+                    sector_size,
+                    live,
+                );
+                return Flow::Continue;
+            }
+            if body.is_empty() || body.len() % sector_size as usize != 0 {
+                push_error(
+                    out,
+                    shared,
+                    &frame,
+                    ErrorCode::BadSectorSize,
+                    body.len() as u32,
+                    live,
+                );
+                return Flow::Continue;
+            }
+            let session = slot.session_mut().expect("checked live");
+            match session.xts_apply(
+                sector_base,
+                sector_size as usize,
+                body.to_vec(),
+                op == Op::XtsDecrypt,
+            ) {
+                Ok(data) => push_reply(out, &frame, Status::Ok, live, data),
+                // Unreachable after the validation above, but kept typed
+                // rather than panicking in the event loop.
+                Err(_) => {
+                    push_error(
+                        out,
+                        shared,
+                        &frame,
+                        ErrorCode::BadSectorSize,
+                        sector_size,
+                        live,
+                    );
+                }
+            }
+        }
         _ => return engine_op(frame, op, slot, out, shared, live),
     }
     Flow::Continue
+}
+
+/// Splits an XTS payload — `sector_base: u64 BE` ‖ `sector_size: u32
+/// BE` ‖ body — returning `None` when even the fixed header is missing.
+fn split_xts_payload(payload: &[u8]) -> Option<(u64, u32, &[u8])> {
+    let body = payload.get(12..)?;
+    let sector_base = u64::from_be_bytes(payload[..8].try_into().ok()?);
+    let sector_size = u32::from_be_bytes(payload[8..12].try_into().ok()?);
+    Some((sector_base, sector_size, body))
 }
 
 /// Splits a SEAL/OPEN payload — 12-byte nonce ‖ `aad_len: u32 BE` ‖ AAD
@@ -1227,14 +1493,14 @@ mod tests {
     use crate::session::BULK_THRESHOLD;
 
     fn tiny_config() -> ServiceConfig {
-        ServiceConfig {
-            farm: vec![BackendSpec::Software],
-            queue_capacity: 2,
-            max_connections: 2,
-            idle_timeout: Duration::from_millis(200),
-            event_threads: 1,
-            elastic: None,
-        }
+        ServiceConfig::builder()
+            .farm(&[BackendSpec::Software])
+            .queue_capacity(2)
+            .max_connections(2)
+            .idle_timeout(Duration::from_millis(200))
+            .event_threads(1)
+            .build()
+            .expect("tiny config is valid")
     }
 
     fn tiny_server() -> ServiceHandle {
@@ -1628,6 +1894,246 @@ mod tests {
             snap.counter("engine.jobs.completed").unwrap_or(0) >= u64::from(depth),
             "bulk v2 jobs must complete through the worker pool"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn builder_rejects_each_contradiction_with_a_typed_error() {
+        assert_eq!(
+            ServiceConfig::builder().farm(&[]).build().unwrap_err(),
+            ConfigError::EmptyFarm
+        );
+        assert_eq!(
+            ServiceConfig::builder()
+                .event_threads(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroShards
+        );
+        assert_eq!(
+            ServiceConfig::builder()
+                .queue_capacity(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroQueueCapacity
+        );
+        assert_eq!(
+            ServiceConfig::builder()
+                .max_connections(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroConnections
+        );
+        let contradictory = ResizePolicy {
+            min_workers: 3,
+            max_workers: 2,
+            ..ResizePolicy::default()
+        };
+        assert_eq!(
+            ServiceConfig::builder()
+                .elastic(contradictory)
+                .build()
+                .unwrap_err(),
+            ConfigError::ElasticBounds {
+                min_workers: 3,
+                max_workers: 2
+            }
+        );
+        let zero_floor = ResizePolicy {
+            min_workers: 0,
+            ..ResizePolicy::default()
+        };
+        assert!(matches!(
+            ServiceConfig::builder().elastic(zero_floor).build(),
+            Err(ConfigError::ElasticBounds { min_workers: 0, .. })
+        ));
+        // The defaults and a fully-specified valid config both pass.
+        assert!(ServiceConfig::builder().build().is_ok());
+        let built = ServiceConfig::builder()
+            .farm(&[BackendSpec::Ttable])
+            .queue_capacity(7)
+            .max_connections(9)
+            .idle_timeout(Duration::from_secs(3))
+            .event_threads(2)
+            .elastic(ResizePolicy::default())
+            .build()
+            .unwrap();
+        assert_eq!(built.queue_capacity, 7);
+        assert_eq!(built.max_connections, 9);
+        assert_eq!(built.event_threads, 2);
+        assert!(built.elastic.is_some());
+    }
+
+    #[test]
+    fn set_key_wrapped_rekeys_from_a_blob_wrapped_under_the_live_session() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Key the KEK session, wrap a fresh data key under it.
+        let kek_reply = call(&stream, &Frame::request(Op::SetKey, 0, 1, 0, vec![9u8; 16]));
+        assert_eq!(kek_reply.status(), Some(Status::Ok));
+        let kek_sid = kek_reply.session;
+        let data_key: Vec<u8> = (0..16u8).collect();
+        let wrapped = call(
+            &stream,
+            &Frame::request(Op::WrapKey, 0, 2, kek_sid, data_key.clone()),
+        );
+        assert_eq!(wrapped.status(), Some(Status::Ok));
+
+        // Re-key from the wrapped blob: the reply carries a fresh
+        // session id, and the session now behaves exactly as if the raw
+        // data key had been sent with SET_KEY.
+        let rekeyed = call(
+            &stream,
+            &Frame::request(Op::SetKeyWrapped, 0, 3, kek_sid, wrapped.payload.clone()),
+        );
+        assert_eq!(rekeyed.status(), Some(Status::Ok));
+        let sid = rekeyed.session;
+        assert_ne!(sid, 0);
+        assert_ne!(sid, kek_sid);
+        let ct = call(
+            &stream,
+            &Frame::request(Op::EcbEncrypt, 0, 4, sid, vec![0u8; 16]),
+        );
+        assert_eq!(ct.status(), Some(Status::Ok));
+        let expected = crate::session::tests_expected_ecb(&data_key, &[0u8; 16]);
+        assert_eq!(ct.payload, expected);
+
+        // A tampered blob is a typed TagMismatch and leaves the current
+        // session live (the next request still answers under `sid`).
+        let mut bad = wrapped.payload.clone();
+        bad[0] ^= 0x40;
+        let reply = call(&stream, &Frame::request(Op::SetKeyWrapped, 0, 5, sid, bad));
+        assert_eq!(reply.error_body(), Some((ErrorCode::TagMismatch, 0)));
+        let reply = call(&stream, &Frame::request(Op::Ping, 0, 6, sid, Vec::new()));
+        assert_eq!(reply.status(), Some(Status::Ok));
+
+        // An impossible blob length is Malformed; before any session it
+        // is NoSession.
+        let reply = call(
+            &stream,
+            &Frame::request(Op::SetKeyWrapped, 0, 7, sid, vec![0u8; 10]),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::Malformed, 10)));
+        let fresh = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = call(
+            &fresh,
+            &Frame::request(Op::SetKeyWrapped, 0, 1, 0, vec![0u8; 24]),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::NoSession, 0)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn set_key_wrapped_rejects_a_wrapped_non_key_with_bad_key_length() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let kek_reply = call(&stream, &Frame::request(Op::SetKey, 0, 1, 0, vec![9u8; 16]));
+        let kek_sid = kek_reply.session;
+        // 40 bytes wraps fine but is not an AES key length.
+        let wrapped = call(
+            &stream,
+            &Frame::request(Op::WrapKey, 0, 2, kek_sid, vec![5u8; 40]),
+        );
+        assert_eq!(wrapped.status(), Some(Status::Ok));
+        let reply = call(
+            &stream,
+            &Frame::request(Op::SetKeyWrapped, 0, 3, kek_sid, wrapped.payload),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::BadKeyLength, 40)));
+        // The KEK session survived the rejection.
+        let reply = call(
+            &stream,
+            &Frame::request(Op::Ping, 0, 4, kek_sid, Vec::new()),
+        );
+        assert_eq!(reply.status(), Some(Status::Ok));
+        server.shutdown();
+    }
+
+    /// Builds an XTS payload: sector_base ‖ sector_size ‖ body.
+    fn xts_payload(sector_base: u64, sector_size: u32, body: &[u8]) -> Vec<u8> {
+        let mut p = Vec::with_capacity(12 + body.len());
+        p.extend_from_slice(&sector_base.to_be_bytes());
+        p.extend_from_slice(&sector_size.to_be_bytes());
+        p.extend_from_slice(body);
+        p
+    }
+
+    #[test]
+    fn xts_wire_ops_roundtrip_and_match_the_session_lane() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let key: Vec<u8> = (100..132u8).collect();
+        let reply = call(&stream, &Frame::request(Op::SetKey, 0, 1, 0, key.clone()));
+        assert_eq!(reply.status(), Some(Status::Ok));
+        let sid = reply.session;
+
+        // Three 20-byte sectors exercise ciphertext stealing.
+        let body: Vec<u8> = (0..60u8).collect();
+        let ct = call(
+            &stream,
+            &Frame::request(Op::XtsEncrypt, 0, 2, sid, xts_payload(7, 20, &body)),
+        );
+        assert_eq!(ct.status(), Some(Status::Ok), "{:?}", ct.error_body());
+        assert_eq!(ct.payload.len(), body.len());
+        assert_ne!(ct.payload, body);
+        let pt = call(
+            &stream,
+            &Frame::request(Op::XtsDecrypt, 0, 3, sid, xts_payload(7, 20, &ct.payload)),
+        );
+        assert_eq!(pt.status(), Some(Status::Ok));
+        assert_eq!(pt.payload, body);
+
+        // The wire op matches a locally-keyed XTS lane sector by sector.
+        let local = crate::session::tests_expected_xts(&key, 7, 20, &body);
+        assert_eq!(ct.payload, local);
+
+        // Decrypting under the wrong sector base garbles the plaintext.
+        let wrong = call(
+            &stream,
+            &Frame::request(Op::XtsDecrypt, 0, 4, sid, xts_payload(8, 20, &ct.payload)),
+        );
+        assert_eq!(wrong.status(), Some(Status::Ok));
+        assert_ne!(wrong.payload, body);
+        server.shutdown();
+    }
+
+    #[test]
+    fn xts_wire_ops_reject_bad_geometry_with_typed_errors() {
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = call(&stream, &Frame::request(Op::SetKey, 0, 1, 0, vec![0u8; 16]));
+        let sid = reply.session;
+
+        // Shorter than the fixed header is Malformed.
+        let reply = call(
+            &stream,
+            &Frame::request(Op::XtsEncrypt, 0, 2, sid, vec![0u8; 11]),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::Malformed, 11)));
+        // A sector size under one block names the offending size.
+        let reply = call(
+            &stream,
+            &Frame::request(Op::XtsEncrypt, 0, 3, sid, xts_payload(0, 15, &[0u8; 30])),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::BadSectorSize, 15)));
+        // An empty body and a ragged body both name the body length.
+        let reply = call(
+            &stream,
+            &Frame::request(Op::XtsEncrypt, 0, 4, sid, xts_payload(0, 16, &[])),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::BadSectorSize, 0)));
+        let reply = call(
+            &stream,
+            &Frame::request(Op::XtsDecrypt, 0, 5, sid, xts_payload(0, 16, &[0u8; 17])),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::BadSectorSize, 17)));
+        // Before SET_KEY the ops are NoSession like every crypto op.
+        let fresh = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = call(
+            &fresh,
+            &Frame::request(Op::XtsEncrypt, 0, 1, 0, xts_payload(0, 16, &[0u8; 16])),
+        );
+        assert_eq!(reply.error_body(), Some((ErrorCode::NoSession, 0)));
         server.shutdown();
     }
 }

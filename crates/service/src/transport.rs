@@ -1,0 +1,336 @@
+//! The unified client surface: one object-safe trait over a single
+//! node or a whole cluster.
+//!
+//! [`Transport`] is the API every consumer — tests, benches, examples —
+//! should program against. The single-node [`Client`] implements it by
+//! delegating to its inherent methods; `rijndael-cluster`'s
+//! `ClusterClient` implements it by routing each call to the session's
+//! home node. Code written against `&mut dyn Transport` swaps between
+//! the two without changes, which is the whole point: the cluster is
+//! *behaviourally* one service, and the type system should say so.
+//!
+//! The trait is deliberately object-safe (no generics, no `Self`
+//! returns) so callers can hold `Box<dyn Transport>` and choose the
+//! backing at runtime — a config flag away from a fleet.
+
+use crate::client::{Client, ClientError, PipelinedJob};
+use crate::protocol::Op;
+
+/// One logical crypto service, whether backed by a single node or a
+/// cluster. See the [module docs](self) for the design intent; see
+/// [`Client`] for the per-method wire semantics the implementations
+/// must preserve.
+pub trait Transport {
+    /// Loads an AES key (16, 24 or 32 bytes), creating a fresh session;
+    /// returns the session id used on every subsequent request.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors (`BadKeyLength`, ...) or transport
+    /// failures.
+    fn set_key(&mut self, key: &[u8]) -> Result<u32, ClientError>;
+
+    /// Re-keys from an RFC 3394 blob wrapped under the live session's
+    /// key; raw key bytes never cross the wire.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors (`NoSession`, `TagMismatch`,
+    /// `BadKeyLength`) or transport failures.
+    fn set_key_wrapped(&mut self, wrapped: &[u8]) -> Result<u32, ClientError>;
+
+    /// Liveness probe; the service echoes `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors or transport failures.
+    fn ping(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError>;
+
+    /// ECB-encrypts whole blocks under the session key.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors (`NoSession`, `RaggedLength`, `Busy`...) or
+    /// transport failures.
+    fn ecb_encrypt(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, ClientError>;
+
+    /// ECB-decrypts whole blocks under the session key.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::ecb_encrypt`].
+    fn ecb_decrypt(&mut self, ciphertext: &[u8]) -> Result<Vec<u8>, ClientError>;
+
+    /// CBC-encrypts whole blocks under the session key.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::ecb_encrypt`].
+    fn cbc_encrypt(&mut self, iv: &[u8; 16], plaintext: &[u8]) -> Result<Vec<u8>, ClientError>;
+
+    /// CBC-decrypts whole blocks under the session key.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::ecb_encrypt`].
+    fn cbc_decrypt(&mut self, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec<u8>, ClientError>;
+
+    /// Applies the CTR keystream (encrypt = decrypt, any length).
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::ecb_encrypt`].
+    fn ctr_apply(&mut self, counter: &[u8; 16], data: &[u8]) -> Result<Vec<u8>, ClientError>;
+
+    /// Computes the AES-CMAC tag of `message` under the session key.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors or transport failures.
+    fn cmac_tag(&mut self, message: &[u8]) -> Result<[u8; 16], ClientError>;
+
+    /// Verifies an AES-CMAC tag; `Ok(false)` on a well-formed mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors other than `BadTag`, or transport failures.
+    fn cmac_verify(&mut self, message: &[u8], tag: &[u8; 16]) -> Result<bool, ClientError>;
+
+    /// AES-GCM seal under the session key: ciphertext ‖ 16-byte tag.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors or transport failures.
+    fn seal(
+        &mut self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> Result<Vec<u8>, ClientError>;
+
+    /// AES-GCM open; `Ok(None)` on a well-formed authentication
+    /// failure.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors other than `TagMismatch`, or transport
+    /// failures.
+    fn open(
+        &mut self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Option<Vec<u8>>, ClientError>;
+
+    /// Wraps `key_data` (RFC 3394) under the session key.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors or transport failures.
+    fn wrap_key(&mut self, key_data: &[u8]) -> Result<Vec<u8>, ClientError>;
+
+    /// Unwraps an RFC 3394 blob; `Ok(None)` when the integrity check
+    /// fails.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors other than `TagMismatch`, or transport
+    /// failures.
+    fn unwrap_key(&mut self, wrapped: &[u8]) -> Result<Option<Vec<u8>>, ClientError>;
+
+    /// XTS-encrypts whole `sector_size`-byte sectors starting at sector
+    /// number `sector_base`.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors (`BadSectorSize`, ...) or transport
+    /// failures.
+    fn xts_encrypt(
+        &mut self,
+        sector_base: u64,
+        sector_size: u32,
+        data: &[u8],
+    ) -> Result<Vec<u8>, ClientError>;
+
+    /// XTS-decrypts; the inverse of [`Transport::xts_encrypt`] under
+    /// the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::xts_encrypt`].
+    fn xts_decrypt(
+        &mut self,
+        sector_base: u64,
+        sector_size: u32,
+        data: &[u8],
+    ) -> Result<Vec<u8>, ClientError>;
+
+    /// Fetches the `telemetry/1` JSON snapshot. Cluster implementations
+    /// aggregate across nodes.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors or transport failures.
+    fn stats(&mut self) -> Result<String, ClientError>;
+
+    /// Sends an engine op without waiting; returns its correlation id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures on the send; server-side failures arrive with
+    /// the job at collection time.
+    fn pipeline(&mut self, op: Op, iv: Option<&[u8; 16]>, data: &[u8]) -> Result<u32, ClientError>;
+
+    /// Receives the next pipelined completion, blocking until one
+    /// arrives.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::collect_next`].
+    fn collect_next(&mut self) -> Result<PipelinedJob, ClientError>;
+
+    /// Collects every outstanding pipelined completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::collect_all`].
+    fn collect_all(&mut self) -> Result<Vec<PipelinedJob>, ClientError>;
+
+    /// Pipelined requests sent and not yet collected.
+    fn in_flight(&self) -> usize;
+}
+
+impl Transport for Client {
+    fn set_key(&mut self, key: &[u8]) -> Result<u32, ClientError> {
+        Client::set_key(self, key)
+    }
+
+    fn set_key_wrapped(&mut self, wrapped: &[u8]) -> Result<u32, ClientError> {
+        Client::set_key_wrapped(self, wrapped)
+    }
+
+    fn ping(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        Client::ping(self, payload)
+    }
+
+    fn ecb_encrypt(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, ClientError> {
+        Client::ecb_encrypt(self, plaintext)
+    }
+
+    fn ecb_decrypt(&mut self, ciphertext: &[u8]) -> Result<Vec<u8>, ClientError> {
+        Client::ecb_decrypt(self, ciphertext)
+    }
+
+    fn cbc_encrypt(&mut self, iv: &[u8; 16], plaintext: &[u8]) -> Result<Vec<u8>, ClientError> {
+        Client::cbc_encrypt(self, iv, plaintext)
+    }
+
+    fn cbc_decrypt(&mut self, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec<u8>, ClientError> {
+        Client::cbc_decrypt(self, iv, ciphertext)
+    }
+
+    fn ctr_apply(&mut self, counter: &[u8; 16], data: &[u8]) -> Result<Vec<u8>, ClientError> {
+        Client::ctr_apply(self, counter, data)
+    }
+
+    fn cmac_tag(&mut self, message: &[u8]) -> Result<[u8; 16], ClientError> {
+        Client::cmac_tag(self, message)
+    }
+
+    fn cmac_verify(&mut self, message: &[u8], tag: &[u8; 16]) -> Result<bool, ClientError> {
+        Client::cmac_verify(self, message, tag)
+    }
+
+    fn seal(
+        &mut self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        Client::seal(self, nonce, aad, plaintext)
+    }
+
+    fn open(
+        &mut self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Option<Vec<u8>>, ClientError> {
+        Client::open(self, nonce, aad, sealed)
+    }
+
+    fn wrap_key(&mut self, key_data: &[u8]) -> Result<Vec<u8>, ClientError> {
+        Client::wrap_key(self, key_data)
+    }
+
+    fn unwrap_key(&mut self, wrapped: &[u8]) -> Result<Option<Vec<u8>>, ClientError> {
+        Client::unwrap_key(self, wrapped)
+    }
+
+    fn xts_encrypt(
+        &mut self,
+        sector_base: u64,
+        sector_size: u32,
+        data: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        Client::xts_encrypt(self, sector_base, sector_size, data)
+    }
+
+    fn xts_decrypt(
+        &mut self,
+        sector_base: u64,
+        sector_size: u32,
+        data: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        Client::xts_decrypt(self, sector_base, sector_size, data)
+    }
+
+    fn stats(&mut self) -> Result<String, ClientError> {
+        Client::stats(self)
+    }
+
+    fn pipeline(&mut self, op: Op, iv: Option<&[u8; 16]>, data: &[u8]) -> Result<u32, ClientError> {
+        Client::pipeline(self, op, iv, data)
+    }
+
+    fn collect_next(&mut self) -> Result<PipelinedJob, ClientError> {
+        Client::collect_next(self)
+    }
+
+    fn collect_all(&mut self) -> Result<Vec<PipelinedJob>, ClientError> {
+        Client::collect_all(self)
+    }
+
+    fn in_flight(&self) -> usize {
+        Client::in_flight(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Object safety is the trait's load-bearing property: a `dyn`
+    // mention fails to compile if any method breaks it.
+    #[allow(dead_code)]
+    fn assert_object_safe(t: &mut dyn Transport) -> usize {
+        t.in_flight()
+    }
+
+    #[test]
+    fn client_is_usable_through_the_trait_object() {
+        let config = crate::ServiceConfig::builder()
+            .event_threads(1)
+            .build()
+            .unwrap();
+        let server = crate::Server::new(config).spawn("127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let t: &mut dyn Transport = &mut client;
+        t.set_key(&[7u8; 16]).unwrap();
+        let ct = t.ecb_encrypt(&[0u8; 16]).unwrap();
+        assert_eq!(t.ecb_decrypt(&ct).unwrap(), vec![0u8; 16]);
+        assert!(t.stats().unwrap().contains("telemetry/1"));
+        assert_eq!(t.in_flight(), 0);
+        server.shutdown();
+    }
+}

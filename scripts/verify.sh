@@ -92,9 +92,20 @@ grep -E -q "dispatch p50 [0-9]+ us, p99 >?[0-9]+ us" "$load_out" \
     || { echo "service_load did not report event-loop p50/p99" >&2; exit 1; }
 rm -f "$load_out"
 
+echo "==> cluster subsystem tests (ring, router, drain migration, node loss)"
+cargo test -q -p rijndael-cluster --locked --offline
+
+echo "==> cluster load gate (smoke: >=2.5x paced 1->3 nodes, drain zero-loss, fleet audit)"
+cluster_json="$(mktemp)"
+trap 'rm -f "$cluster_json"' EXIT
+BENCH_CLUSTER_JSON="$cluster_json" \
+    cargo run -q --release --locked --offline -p rijndael-bench --bin cluster_load -- --smoke
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$cluster_json" \
+    || { echo "cluster_load JSON is malformed" >&2; exit 1; }
+
 echo "==> elastic scaling gate (smoke: >=2x paced 1->4 workers, resize step, autoscaled service)"
 elastic_json="$(mktemp)"
-trap 'rm -f "$elastic_json"' EXIT
+trap 'rm -f "$cluster_json" "$elastic_json"' EXIT
 BENCH_ELASTIC_JSON="$elastic_json" \
     cargo run -q --release --locked --offline -p rijndael-bench --bin elastic_scaling -- --smoke
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$elastic_json" \
@@ -103,7 +114,7 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$elastic_json" \
 echo "==> engine scaling report (smoke, backend race JSON)"
 bench_json="$(mktemp)"
 race_json="$(mktemp)"
-trap 'rm -f "$elastic_json" "$bench_json" "$race_json"' EXIT
+trap 'rm -f "$cluster_json" "$elastic_json" "$bench_json" "$race_json"' EXIT
 BENCH_BITSLICE_JSON="$race_json" \
     cargo run -q --release --locked --offline -p rijndael-bench --bin engine_scaling -- --smoke
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$race_json" \
@@ -111,7 +122,7 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$race_json" \
 
 echo "==> AEAD throughput report (smoke: GCM-vs-CTR overhead gate + GHASH race)"
 gcm_json="$(mktemp)"
-trap 'rm -f "$elastic_json" "$bench_json" "$race_json" "$gcm_json"' EXIT
+trap 'rm -f "$cluster_json" "$elastic_json" "$bench_json" "$race_json" "$gcm_json"' EXIT
 TESTKIT_BENCH_SMOKE=1 BENCH_GCM_JSON="$gcm_json" \
     cargo run -q --release --locked --offline -p rijndael-bench --bin aead_throughput
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$gcm_json" \

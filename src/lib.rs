@@ -19,6 +19,9 @@
 //!   block jobs across farms of IP cores and software backends;
 //! * [`service`] — the framed TCP crypto service in front of the engine
 //!   (length-prefixed wire protocol, sessions, threaded server, client);
+//! * [`cluster`] — the client-side cluster router: N service nodes behind
+//!   one consistent-hashed [`service::Transport`] with wrapped-key session
+//!   distribution, draining and health supervision;
 //! * [`telemetry`] — the std-only metrics spine (counters, gauges,
 //!   histograms behind a registry with snapshot/delta/JSON rendering)
 //!   every layer above publishes into.
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub use aes_ip;
+pub use cluster;
 pub use engine;
 pub use fpga;
 pub use gf256;

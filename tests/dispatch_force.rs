@@ -71,14 +71,16 @@ fn forced_backend_pins_dispatch_and_shows_up_in_get_stats() {
 
     // Layer 4: the full service — the forced name is what GET_STATS
     // reports after bulk and small traffic.
-    let server = Server::new(ServiceConfig {
-        farm: vec![BackendSpec::Auto; 2],
-        queue_capacity: 8,
-        max_connections: 4,
-        idle_timeout: Duration::from_secs(10),
-        event_threads: 1,
-        elastic: None,
-    })
+    let server = Server::new(
+        ServiceConfig::builder()
+            .farm(&[BackendSpec::Auto; 2])
+            .queue_capacity(8)
+            .max_connections(4)
+            .idle_timeout(Duration::from_secs(10))
+            .event_threads(1)
+            .build()
+            .expect("valid test config"),
+    )
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port");
 

@@ -49,14 +49,16 @@ const SP800_CTR_CT: &str = "874d6191b620e3261bef6864990db6ce\
 const CMAC_TAG_1BLOCK: &str = "070a16b46b4d4144f79bdd9dd04a287c";
 
 fn spawn_server(farm: Vec<BackendSpec>, queue: usize) -> rijndael_ip::service::ServiceHandle {
-    Server::new(ServiceConfig {
-        farm,
-        queue_capacity: queue,
-        max_connections: 16,
-        idle_timeout: Duration::from_secs(10),
-        event_threads: 2,
-        elastic: None,
-    })
+    Server::new(
+        ServiceConfig::builder()
+            .farm(&farm)
+            .queue_capacity(queue)
+            .max_connections(16)
+            .idle_timeout(Duration::from_secs(10))
+            .event_threads(2)
+            .build()
+            .expect("valid test config"),
+    )
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port")
 }

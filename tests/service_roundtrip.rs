@@ -10,6 +10,7 @@ use rijndael_ip::engine::BackendSpec;
 use rijndael_ip::service::client::{Client, ClientError, SubmitOutcome};
 use rijndael_ip::service::protocol::{ErrorCode, Frame, Op, Status};
 use rijndael_ip::service::server::{Server, ServiceConfig};
+use rijndael_ip::service::Transport;
 
 /// Pulls one counter's value out of a `telemetry/1` JSON document with
 /// plain string surgery — the point is to audit the wire bytes without
@@ -62,20 +63,24 @@ const FIPS_PT: &str = "00112233445566778899aabbccddeeff";
 const FIPS_CT: &str = "69c4e0d86a7b0430d8cdb78070b4c55a";
 
 fn spawn_server(farm: Vec<BackendSpec>, queue: usize) -> rijndael_ip::service::ServiceHandle {
-    Server::new(ServiceConfig {
-        farm,
-        queue_capacity: queue,
-        max_connections: 16,
-        idle_timeout: Duration::from_secs(10),
-        event_threads: 2,
-        elastic: None,
-    })
+    Server::new(
+        ServiceConfig::builder()
+            .farm(&farm)
+            .queue_capacity(queue)
+            .max_connections(16)
+            .idle_timeout(Duration::from_secs(10))
+            .event_threads(2)
+            .build()
+            .expect("valid test config"),
+    )
     .spawn("127.0.0.1:0")
     .expect("bind ephemeral port")
 }
 
-/// One client's full KAT conversation (SP 800-38A + RFC 4493).
-fn sp800_conversation(mut client: Client) {
+/// One client's full KAT conversation (SP 800-38A + RFC 4493), written
+/// against the unified `Transport` surface so a cluster router can run
+/// the identical script.
+fn sp800_conversation(client: &mut dyn Transport) {
     let session = client.set_key(&hex16(SP800_KEY)).expect("SET_KEY");
     assert_ne!(session, 0);
 
@@ -129,7 +134,7 @@ fn four_concurrent_clients_roundtrip_published_kats() {
                 assert_eq!(ct, hex(FIPS_CT), "FIPS-197 C.1");
                 assert_eq!(client.ecb_decrypt(&ct).expect("decrypt"), hex(FIPS_PT));
             } else {
-                sp800_conversation(client);
+                sp800_conversation(&mut client);
             }
         }));
     }
